@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation (design-choice study): annealer cooling schedules. The paper
+ * adopts adaptive cooling because it matches constant cooling's
+ * solution quality at lower cost (§4.5). This sweep quantifies both on
+ * identical workloads: AND-objective quality, temperature steps, and
+ * proposal counts.
+ */
+
+#include "bench/bench_common.hpp"
+#include "core/sa_reducer.hpp"
+#include "graph/generators.hpp"
+
+using namespace redqaoa;
+
+int
+main()
+{
+    bench::banner("Ablation", "constant vs adaptive cooling");
+    const int kGraphs = 12;
+
+    std::printf("%-12s %-14s %-12s %-12s %-12s\n", "schedule",
+                "AND gap", "steps", "accepted", "rejected");
+    for (bool adaptive : {false, true}) {
+        SaOptions opts;
+        opts.adaptive = adaptive;
+        SaReducer annealer(opts);
+        Rng rng(72);
+        double gap = 0.0;
+        long long steps = 0, accepted = 0, rejected = 0;
+        for (int i = 0; i < kGraphs; ++i) {
+            Graph g = gen::connectedGnp(14, 0.3, rng);
+            SaResult res = annealer.reduce(g, 8, rng);
+            gap += res.objective;
+            steps += res.steps;
+            accepted += res.accepted;
+            rejected += res.rejected;
+        }
+        std::printf("%-12s %-14.4f %-12.1f %-12.1f %-12.1f\n",
+                    adaptive ? "adaptive" : "constant", gap / kGraphs,
+                    static_cast<double>(steps) / kGraphs,
+                    static_cast<double>(accepted) / kGraphs,
+                    static_cast<double>(rejected) / kGraphs);
+    }
+    std::printf("\npaper §4.5: adaptive cooling reaches comparable or"
+                " better objective at lower computational overhead"
+                " (fewer temperature steps).\n");
+    return 0;
+}

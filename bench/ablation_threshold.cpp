@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation (design-choice study): sensitivity to the AND-ratio
+ * threshold. Section 4.3 derives the default 0.7 from the 2% MSE
+ * target; this sweep shows the trade-off curve the paper describes —
+ * lower thresholds buy more reduction at the cost of landscape
+ * fidelity, and 0.7 is where MSE crosses ~0.02.
+ */
+
+#include "bench/bench_common.hpp"
+#include "core/red_qaoa.hpp"
+#include "graph/generators.hpp"
+
+using namespace redqaoa;
+
+int
+main()
+{
+    bench::banner("Ablation", "AND-ratio threshold sweep (paper default 0.7)");
+    const int kGraphs = 10;
+    const int kPoints = 128;
+    std::printf("%-10s %-14s %-14s %-12s\n", "threshold", "node red.",
+                "edge red.", "p=1 MSE");
+
+    for (double threshold : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+        RedQaoaOptions opts;
+        opts.andRatioThreshold = threshold;
+        opts.mseCheck = false;       // Isolate the threshold's effect.
+        opts.maxNodeReduction = 0.9; // Let the threshold drive.
+        RedQaoaReducer reducer(opts);
+
+        Rng rng(71);
+        double nodes = 0.0, edges = 0.0, mse = 0.0;
+        for (int i = 0; i < kGraphs; ++i) {
+            Graph g = gen::connectedGnp(12, 0.35, rng);
+            ReductionResult red = reducer.reduce(g, rng);
+            nodes += red.nodeReduction;
+            edges += red.edgeReduction;
+            mse += bench::idealMseAtDepth(g, red.reduced.graph, 1,
+                                          kPoints, 5);
+        }
+        std::printf("%-10.1f %12.1f%% %12.1f%% %-12.4f\n", threshold,
+                    100.0 * nodes / kGraphs, 100.0 * edges / kGraphs,
+                    mse / kGraphs);
+    }
+    std::printf("\nthe dynamic MSE check is disabled here to isolate the"
+                " threshold; with it on (the default), MSE is clamped"
+                " below 0.02 regardless.\n");
+    return 0;
+}

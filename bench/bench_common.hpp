@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries. Every bench is
+ * a standalone executable that prints the series its paper figure
+ * plots; these helpers keep the protocol (grids, random parameter sets,
+ * noisy-MSE computation) identical across figures.
+ *
+ * Scale note: bench defaults are sized so the whole harness finishes in
+ * minutes on a laptop CPU; each binary prints its parameters so runs
+ * are self-describing. Paper-scale settings are commented next to each
+ * constant.
+ */
+
+#ifndef REDQAOA_BENCH_BENCH_COMMON_HPP
+#define REDQAOA_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "landscape/landscape.hpp"
+#include "quantum/evaluator.hpp"
+
+namespace redqaoa {
+namespace bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *figure, const char *what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", figure, what);
+    std::printf("==============================================================\n");
+}
+
+/**
+ * Noisy-MSE protocol (§5.1.1): MSE between the noisy landscape of
+ * @p circuit_graph and the ideal landscape of @p reference_graph, both
+ * on a p=1 grid of @p width.
+ */
+inline double
+noisyVsIdealMse(const Graph &circuit_graph, const Graph &reference_graph,
+                const NoiseModel &nm, int width, int trajectories,
+                std::uint64_t seed, int shots = 2048)
+{
+    ExactEvaluator ideal(reference_graph);
+    Landscape ideal_ls = Landscape::evaluate(ideal, width);
+    NoiseModel device = noise::transpiled(nm, circuit_graph.numNodes());
+    NoisyEvaluator noisy(circuit_graph, device, trajectories, seed, shots);
+    Landscape noisy_ls = Landscape::evaluate(noisy, width);
+    return landscapeMse(ideal_ls.values(), noisy_ls.values());
+}
+
+/**
+ * Ideal-MSE protocol over random depth-p parameter sets shared between
+ * the two graphs (Figs 14, 16, 24 use 1024 sets at paper scale).
+ */
+inline double
+idealMseAtDepth(const Graph &a, const Graph &b, int p, int points,
+                std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto sets = randomParameterSets(p, points, rng);
+    auto ea = makeIdealEvaluator(a, p);
+    auto eb = makeIdealEvaluator(b, p);
+    auto va = evaluateAt(*ea, sets);
+    auto vb = evaluateAt(*eb, sets);
+    return landscapeMse(va, vb);
+}
+
+/** Render one landscape row-summary (optimum + MSE) for print output. */
+inline void
+printLandscapeLine(const char *label, const Landscape &ls, double mse)
+{
+    LandscapePoint opt = ls.optimum();
+    std::printf("  %-22s MSE=%.4f  optimum at gamma=%.3f beta=%.3f\n",
+                label, mse, opt.gamma, opt.beta);
+}
+
+/** Coarse ASCII rendering of a normalized landscape (for Figs 11/12/22). */
+inline void
+printAsciiLandscape(const char *label, const Landscape &ls)
+{
+    static const char *kShades = " .:-=+*#%@";
+    auto norm = ls.normalized();
+    std::printf("  %s (gamma ->, beta v)\n", label);
+    for (int bi = 0; bi < ls.width(); ++bi) {
+        std::printf("    ");
+        for (int gi = 0; gi < ls.width(); ++gi) {
+            double v = norm[static_cast<std::size_t>(bi * ls.width() + gi)];
+            int shade = static_cast<int>(v * 9.999);
+            std::putchar(kShades[shade]);
+        }
+        std::putchar('\n');
+    }
+}
+
+} // namespace bench
+} // namespace redqaoa
+
+#endif // REDQAOA_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 1: QAOA MaxCut approximation ratio over optimizer iterations,
+ * 6-node vs 10-node graphs, ideal vs noisy optimization.
+ *
+ * Protocol: COBYLA-lite minimizes -<H_c>; at every evaluation the
+ * incumbent parameters are re-scored on the ideal simulator and divided
+ * by the brute-force MaxCut, reproducing the paper's two panels:
+ * divergence under noise as iterations accumulate, and stagnation when
+ * scaling from 6 to 10 nodes.
+ */
+
+#include "bench/bench_common.hpp"
+#include "graph/generators.hpp"
+#include "opt/cobyla_lite.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+/** Best-so-far ideal approximation ratio per iteration. */
+std::vector<double>
+convergence(const Graph &g, const NoiseModel &nm, int iterations,
+            std::uint64_t seed)
+{
+    QaoaSimulator ideal(g);
+    Rng cut_rng(seed);
+    double maxcut = maxCutBruteForce(g);
+    NoiseModel device = noise::transpiled(nm, g.numNodes());
+    NoisyEvaluator noisy(g, device, 4, seed, nm.isIdeal() ? 0 : 1024);
+
+    Objective obj = [&](const std::vector<double> &x) {
+        return -noisy.expectation(QaoaParams::unflatten(x));
+    };
+    OptOptions opts;
+    opts.maxEvaluations = iterations;
+    CobylaLite optimizer(opts);
+    Rng rng(seed + 1);
+    OptResult res = optimizer.minimize(obj, QaoaParams::random(1, rng).flatten());
+
+    // Re-score the best-so-far iterate trace on the ideal simulator.
+    std::vector<double> ratios;
+    double best_noisy = 1e300;
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < res.iterates.size(); ++i) {
+        // trace[i] is the best-so-far noisy objective; recover which
+        // iterate achieved it to mirror the paper's replay protocol.
+        double noisy_val = res.trace[i];
+        if (noisy_val < best_noisy) {
+            best_noisy = noisy_val;
+            best_ratio =
+                ideal.expectation(QaoaParams::unflatten(res.iterates[i])) /
+                maxcut;
+        }
+        ratios.push_back(best_ratio);
+    }
+    // A run may converge before exhausting its budget; pad so the
+    // four series share a common length.
+    while (static_cast<int>(ratios.size()) < iterations)
+        ratios.push_back(ratios.back());
+    return ratios;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 1",
+                  "convergence: ideal vs noisy, 6-node vs 10-node");
+    const int kIterations = 100;
+    Rng rng(301);
+    Graph g6 = gen::connectedGnp(6, 0.5, rng);
+    Graph g10 = gen::connectedGnp(10, 0.4, rng);
+
+    auto ideal6 = convergence(g6, noise::ideal(), kIterations, 11);
+    auto noisy6 = convergence(g6, noise::ibmToronto(), kIterations, 11);
+    auto ideal10 = convergence(g10, noise::ideal(), kIterations, 13);
+    auto noisy10 = convergence(g10, noise::ibmToronto(), kIterations, 13);
+
+    std::printf("%-6s %-12s %-12s %-12s %-12s\n", "iter", "6n-ideal",
+                "6n-noisy", "10n-ideal", "10n-noisy");
+    for (std::size_t i = 9; i < ideal6.size(); i += 10)
+        std::printf("%-6zu %-12.3f %-12.3f %-12.3f %-12.3f\n", i + 1,
+                    ideal6[i], noisy6[i], ideal10[i], noisy10[i]);
+
+    std::printf("\nfinal approximation ratios:\n");
+    std::printf("  6-node : ideal %.3f | noisy %.3f\n", ideal6.back(),
+                noisy6.back());
+    std::printf("  10-node: ideal %.3f | noisy %.3f\n", ideal10.back(),
+                noisy10.back());
+    std::printf("paper shape: ideal >90%%; noisy 6-node ~80%%, noisy"
+                " 10-node stagnates near 60%%.\n");
+    return 0;
+}

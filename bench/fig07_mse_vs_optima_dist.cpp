@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 7: scatter of landscape MSE vs average distance between
+ * optimal parameter sets, for a random graph and its connected
+ * subgraphs at p=2 over shared random parameter sets.
+ *
+ * Scale: the paper uses 15-node graphs and 2048 parameter sets on GPUs;
+ * we use a 10-node graph (statevector on CPU) and 512 sets — the
+ * correlation, which is the figure's claim, is scale-free.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_common.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+/** Flattened torus distance between two p=2 parameter vectors. */
+double
+paramDistance(const QaoaParams &a, const QaoaParams &b)
+{
+    auto wrap = [](double d, double period) {
+        d = std::fabs(std::fmod(std::fabs(d), period));
+        return std::min(d, period - d);
+    };
+    double s = 0.0;
+    for (int l = 0; l < a.layers(); ++l) {
+        double dg = wrap(a.gamma[static_cast<std::size_t>(l)] -
+                             b.gamma[static_cast<std::size_t>(l)],
+                         2.0 * M_PI);
+        double db = wrap(a.beta[static_cast<std::size_t>(l)] -
+                             b.beta[static_cast<std::size_t>(l)],
+                         M_PI);
+        s += dg * dg + db * db;
+    }
+    return std::sqrt(s);
+}
+
+/** Indices of the near-optimal parameter sets (top tol band). */
+std::vector<std::size_t>
+optimaIndices(const std::vector<double> &vals, double tol)
+{
+    double hi = *std::max_element(vals.begin(), vals.end());
+    double lo = *std::min_element(vals.begin(), vals.end());
+    double cutoff = hi - tol * (hi - lo);
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        if (vals[i] >= cutoff)
+            out.push_back(i);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 7", "MSE vs distance between optima (p=2)");
+    const int kPoints = 512; // Paper: 2048.
+    const int kSubgraphs = 24;
+    Rng rng(307);
+    Graph g = gen::connectedGnp(10, 0.4, rng);
+    std::printf("base graph: %s | %d shared p=2 parameter sets\n\n",
+                g.summary().c_str(), kPoints);
+
+    auto sets = randomParameterSets(2, kPoints, rng);
+    ExactEvaluator base_eval(g);
+    auto base_vals = evaluateAt(base_eval, sets);
+    auto base_opt = optimaIndices(base_vals, 0.02);
+
+    std::vector<double> mses, dists;
+    for (int t = 0; t < kSubgraphs; ++t) {
+        int k = 5 + static_cast<int>(rng.index(5)); // 5-9 nodes.
+        Subgraph s = randomConnectedSubgraph(g, k, rng);
+        ExactEvaluator eval(s.graph);
+        auto vals = evaluateAt(eval, sets);
+        double mse = landscapeMse(base_vals, vals);
+
+        auto sub_opt = optimaIndices(vals, 0.02);
+        double dist = 0.0;
+        for (std::size_t i : sub_opt) {
+            double best = 1e300;
+            for (std::size_t j : base_opt)
+                best = std::min(best, paramDistance(sets[i], sets[j]));
+            dist += best;
+        }
+        dist /= static_cast<double>(sub_opt.size());
+        mses.push_back(mse);
+        dists.push_back(dist);
+    }
+
+    std::printf("%-10s %-10s\n", "MSE", "opt dist");
+    for (std::size_t i = 0; i < mses.size(); ++i)
+        std::printf("%-10.4f %-10.3f\n", mses[i], dists[i]);
+
+    std::printf("\nPearson r = %.3f over %zu subgraphs\n",
+                stats::pearson(mses, dists), mses.size());
+    std::printf("paper shape: strong positive correlation — MSE is a"
+                " faithful proxy for optima displacement.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 9: where does the SA-selected subgraph fall within the MSE
+ * distribution of ALL connected subgraphs of the same size? One
+ * 15-node random graph; node reduction ratios 0.67 / 0.60 / 0.53 /
+ * 0.47 / 0.40; histograms over the exhaustive subgraph population with
+ * the SA pick marked (the paper's dashed red line).
+ *
+ * Landscapes use the closed-form p=1 evaluator on a 30x30 grid (the
+ * paper's 900-point protocol).
+ */
+
+#include <algorithm>
+
+#include "bench/bench_common.hpp"
+#include "common/stats.hpp"
+#include "core/sa_reducer.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "quantum/analytic_p1.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+std::vector<double>
+gridValues(const Graph &g, int width)
+{
+    AnalyticP1Evaluator eval(g);
+    std::vector<double> v;
+    v.reserve(static_cast<std::size_t>(width) * width);
+    for (int bi = 0; bi < width; ++bi)
+        for (int gi = 0; gi < width; ++gi)
+            v.push_back(eval.expectation(2.0 * M_PI * gi / width,
+                                         M_PI * bi / width));
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 9", "SA pick vs exhaustive subgraph population");
+    const int kWidth = 30;
+    const std::size_t kEnumCap = 3000; // Workload cap per size.
+    Rng rng(309);
+    Graph g = gen::connectedGnp(15, 0.3, rng);
+    std::printf("graph: %s | p=1, %dx%d grid, enumeration cap %zu\n\n",
+                g.summary().c_str(), kWidth, kWidth, kEnumCap);
+
+    auto base_vals = gridValues(g, kWidth);
+    SaOptions sa_opts;
+    sa_opts.adaptive = true;
+    SaReducer annealer(sa_opts);
+
+    std::printf("%-12s %-6s %-8s %-9s %-9s %-9s %-9s %-11s\n",
+                "reduction", "k", "subs", "min", "median", "max",
+                "SA pick", "percentile");
+    for (double ratio : {0.67, 0.60, 0.53, 0.47, 0.40}) {
+        int k = std::max(2,
+                         static_cast<int>((1.0 - ratio) * 15 + 0.5));
+        auto sets = connectedSubgraphs(g, k, kEnumCap);
+        std::vector<double> mses;
+        mses.reserve(sets.size());
+        for (const auto &nodes : sets) {
+            Graph s = inducedSubgraph(g, nodes).graph;
+            if (s.numEdges() == 0)
+                continue;
+            mses.push_back(landscapeMse(base_vals, gridValues(s, kWidth)));
+        }
+        // Red-QAOA's protocol: several annealer runs, keep the candidate
+        // that survives the §4.4 dynamic MSE evaluation best.
+        double sa_mse = 1e300;
+        for (int run = 0; run < 5; ++run) {
+            SaResult sa = annealer.reduce(g, k, rng);
+            sa_mse = std::min(
+                sa_mse, landscapeMse(base_vals,
+                                     gridValues(sa.subgraph.graph,
+                                                kWidth)));
+        }
+
+        double below = 0.0;
+        for (double m : mses)
+            below += m <= sa_mse;
+        double pct = 100.0 * below / static_cast<double>(mses.size());
+
+        std::printf("%-12.2f %-6d %-8zu %-9.4f %-9.4f %-9.4f %-9.4f"
+                    " %5.1f%%\n",
+                    ratio, k, mses.size(), stats::minValue(mses),
+                    stats::median(mses), stats::maxValue(mses), sa_mse,
+                    pct);
+    }
+    std::printf("\npercentile = fraction of all subgraphs with MSE <= the"
+                " SA pick (lower is better).\n");
+    std::printf("paper shape: the SA pick sits at the extreme low end of"
+                " every histogram.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 11: the best-case (10-node) landscapes — ideal, Red-QAOA under
+ * noise, and the noisy baseline, with optima locations. Paper MSEs:
+ * Red-QAOA 0.03 vs baseline 0.13.
+ */
+
+#include "bench/bench_common.hpp"
+#include "core/red_qaoa.hpp"
+#include "graph/generators.hpp"
+
+using namespace redqaoa;
+
+int
+main()
+{
+    bench::banner("Figure 11", "best case (10-node): landscape recovery");
+    const int kWidth = 12;
+    const int kTraj = 8;
+    const int kShots = 2048;
+    NoiseModel nm = noise::ibmToronto();
+    Rng rng(311);
+    Graph g = gen::connectedGnp(10, 0.35, rng);
+    RedQaoaReducer reducer;
+    ReductionResult red = reducer.reduce(g, rng);
+    std::printf("graph: %s -> distilled %s\n\n", g.summary().c_str(),
+                red.reduced.graph.summary().c_str());
+
+    ExactEvaluator ideal(g);
+    Landscape ideal_ls = Landscape::evaluate(ideal, kWidth);
+    NoisyEvaluator noisy_base(g, noise::transpiled(nm, g.numNodes()),
+                              kTraj, 42, kShots);
+    Landscape base_ls = Landscape::evaluate(noisy_base, kWidth);
+    NoisyEvaluator noisy_red(
+        red.reduced.graph,
+        noise::transpiled(nm, red.reduced.graph.numNodes()), kTraj, 43,
+        kShots);
+    Landscape red_ls = Landscape::evaluate(noisy_red, kWidth);
+
+    double mse_base = landscapeMse(ideal_ls.values(), base_ls.values());
+    double mse_red = landscapeMse(ideal_ls.values(), red_ls.values());
+
+    bench::printLandscapeLine("ideal", ideal_ls, 0.0);
+    bench::printLandscapeLine("Red-QAOA (noisy)", red_ls, mse_red);
+    bench::printLandscapeLine("baseline (noisy)", base_ls, mse_base);
+    std::printf("\noptima drift from ideal: Red-QAOA %.3f | baseline"
+                " %.3f\n",
+                optimaDistance(ideal_ls, red_ls, 0.05),
+                optimaDistance(ideal_ls, base_ls, 0.05));
+    std::printf("\n");
+    bench::printAsciiLandscape("ideal", ideal_ls);
+    std::printf("\n");
+    bench::printAsciiLandscape("Red-QAOA (noisy)", red_ls);
+    std::printf("\n");
+    bench::printAsciiLandscape("baseline (noisy)", base_ls);
+    std::printf("\npaper: Red-QAOA MSE 0.03 vs baseline 0.13; Red-QAOA"
+                " optima stay near the ideal.\n");
+    return 0;
+}

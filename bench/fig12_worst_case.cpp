@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 12: the worst-case (11-node) scenario — even when the
+ * Red-QAOA landscape visibly deviates from the ideal, its optima stay
+ * closer to the true optimum than the noisy baseline's. Paper MSEs:
+ * Red-QAOA 0.07 vs baseline 0.12.
+ */
+
+#include "bench/bench_common.hpp"
+#include "core/red_qaoa.hpp"
+#include "graph/generators.hpp"
+
+using namespace redqaoa;
+
+int
+main()
+{
+    bench::banner("Figure 12", "worst case (11-node): optima still hold");
+    const int kWidth = 12;
+    const int kTraj = 8;
+    const int kShots = 2048;
+    NoiseModel nm = noise::ibmToronto();
+    Rng rng(312);
+    // Denser 11-node graph: reduction is harder (the paper's worst case
+    // had the smallest MSE gain).
+    Graph g = gen::connectedGnp(11, 0.5, rng);
+    RedQaoaReducer reducer;
+    ReductionResult red = reducer.reduce(g, rng);
+    std::printf("graph: %s -> distilled %s (AND ratio %.3f)\n\n",
+                g.summary().c_str(), red.reduced.graph.summary().c_str(),
+                red.andRatio);
+
+    ExactEvaluator ideal(g);
+    Landscape ideal_ls = Landscape::evaluate(ideal, kWidth);
+    NoisyEvaluator noisy_base(g, noise::transpiled(nm, g.numNodes()),
+                              kTraj, 52, kShots);
+    Landscape base_ls = Landscape::evaluate(noisy_base, kWidth);
+    NoisyEvaluator noisy_red(
+        red.reduced.graph,
+        noise::transpiled(nm, red.reduced.graph.numNodes()), kTraj, 53,
+        kShots);
+    Landscape red_ls = Landscape::evaluate(noisy_red, kWidth);
+
+    double mse_base = landscapeMse(ideal_ls.values(), base_ls.values());
+    double mse_red = landscapeMse(ideal_ls.values(), red_ls.values());
+
+    bench::printLandscapeLine("ideal", ideal_ls, 0.0);
+    bench::printLandscapeLine("Red-QAOA (noisy)", red_ls, mse_red);
+    bench::printLandscapeLine("baseline (noisy)", base_ls, mse_base);
+    std::printf("\noptima drift from ideal: Red-QAOA %.3f | baseline"
+                " %.3f\n",
+                optimaDistance(ideal_ls, red_ls, 0.05),
+                optimaDistance(ideal_ls, base_ls, 0.05));
+    std::printf("\npaper: Red-QAOA MSE 0.07 vs baseline 0.12 — the"
+                " smallest gap in the 7-14 node sweep, yet optima remain"
+                " closer to ideal.\n");
+    return 0;
+}

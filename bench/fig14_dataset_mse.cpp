@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 14: ideal-landscape MSE between each original graph and its
+ * Red-QAOA reduction, for AIDS / IMDb / Linux (<= 10 nodes) at QAOA
+ * depths p = 1, 2, 3 over shared random parameter sets. Paper: AIDS and
+ * Linux below 0.01, IMDb around 0.05, MSE creeping up slowly with p.
+ */
+
+#include "bench/bench_common.hpp"
+#include "core/red_qaoa.hpp"
+#include "graph/datasets.hpp"
+
+using namespace redqaoa;
+
+int
+main()
+{
+    bench::banner("Figure 14", "ideal MSE per dataset at p = 1, 2, 3");
+    const int kPerDataset = 12;
+    const int kPoints = 96; // Paper: 1024 parameter sets.
+    Rng rng(314);
+    RedQaoaReducer reducer;
+
+    std::printf("%-8s %-10s %-10s %-10s\n", "dataset", "p=1", "p=2",
+                "p=3");
+    for (const Dataset &d : {datasets::makeAids(), datasets::makeImdb(),
+                             datasets::makeLinux()}) {
+        auto batch = d.filterByNodes(5, 10);
+        if (static_cast<int>(batch.size()) > kPerDataset)
+            batch.resize(static_cast<std::size_t>(kPerDataset));
+
+        // Reduce once per graph; measure the same pair at all depths.
+        double mse[3] = {0.0, 0.0, 0.0};
+        int counted = 0;
+        for (const Graph &g : batch) {
+            ReductionResult red = reducer.reduce(g, rng);
+            if (red.reduced.graph.numNodes() == g.numNodes())
+                continue; // No reduction possible: MSE trivially 0.
+            for (int p = 1; p <= 3; ++p)
+                mse[p - 1] += bench::idealMseAtDepth(
+                    g, red.reduced.graph, p, kPoints,
+                    static_cast<std::uint64_t>(p) * 17);
+            ++counted;
+        }
+        if (counted == 0)
+            counted = 1;
+        std::printf("%-8s %-10.4f %-10.4f %-10.4f\n", d.name.c_str(),
+                    mse[0] / counted, mse[1] / counted, mse[2] / counted);
+    }
+    std::printf("\npaper shape: AIDS/Linux < 0.01; IMDb ~0.05 (small"
+                " dense graphs are the hard case, §6.3); MSE grows"
+                " mildly with p.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 15: IMDb node/edge reduction ratios, small (<= 10 nodes) vs
+ * medium (11-20 nodes) graphs. Paper: scaling from small to medium
+ * lifts node reduction 15% -> 25% and edge reduction 28% -> 35%.
+ */
+
+#include "bench/bench_common.hpp"
+#include "core/red_qaoa.hpp"
+#include "graph/datasets.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+void
+runCategory(const std::vector<Graph> &batch, const char *label, Rng &rng)
+{
+    RedQaoaReducer reducer;
+    double nodes = 0.0, edges = 0.0;
+    for (const Graph &g : batch) {
+        ReductionResult red = reducer.reduce(g, rng);
+        nodes += red.nodeReduction;
+        edges += red.edgeReduction;
+    }
+    double n = static_cast<double>(batch.size());
+    std::printf("%-16s %-8zu %13.1f%% %13.1f%%\n", label, batch.size(),
+                100.0 * nodes / n, 100.0 * edges / n);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 15", "IMDb reductions: small vs medium");
+    const int kPerCategory = 30;
+    Dataset imdb = datasets::makeImdb();
+    auto small = imdb.filterByNodes(7, 10);
+    auto medium = imdb.filterByNodes(11, 20);
+    if (static_cast<int>(small.size()) > kPerCategory)
+        small.resize(static_cast<std::size_t>(kPerCategory));
+    if (static_cast<int>(medium.size()) > kPerCategory)
+        medium.resize(static_cast<std::size_t>(kPerCategory));
+
+    Rng rng(315);
+    std::printf("%-16s %-8s %-14s %-14s\n", "category", "graphs",
+                "node red.", "edge red.");
+    runCategory(small, "IMDb (small)", rng);
+    runCategory(medium, "IMDb (medium)", rng);
+    std::printf("\npaper: small 15%%/28%% -> medium 25%%/35%% — larger"
+                " graphs give the annealer room to shed nodes without"
+                " collapsing the average degree.\n");
+    return 0;
+}

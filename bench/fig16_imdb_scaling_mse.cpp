@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 16: IMDb ideal-landscape MSE, small vs medium graphs, at
+ * p = 1, 2, 3. Paper: MSE drops from ~0.05 (small) to below 0.02
+ * (medium) — Red-QAOA's weak spot is only the small, dense regime.
+ *
+ * Scale note: "medium" here is 11-14 nodes (paper: up to 20) to keep
+ * CPU statevector landscapes at p = 2, 3 tractable; the small-vs-medium
+ * contrast is unaffected.
+ */
+
+#include "bench/bench_common.hpp"
+#include "core/red_qaoa.hpp"
+#include "graph/datasets.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+void
+runCategory(const std::vector<Graph> &batch, const char *label, Rng &rng,
+            int points)
+{
+    RedQaoaReducer reducer;
+    double mse[3] = {0.0, 0.0, 0.0};
+    int counted = 0;
+    for (const Graph &g : batch) {
+        ReductionResult red = reducer.reduce(g, rng);
+        if (red.reduced.graph.numNodes() == g.numNodes())
+            continue;
+        for (int p = 1; p <= 3; ++p)
+            mse[p - 1] += bench::idealMseAtDepth(
+                g, red.reduced.graph, p, points,
+                static_cast<std::uint64_t>(p) * 23);
+        ++counted;
+    }
+    if (counted == 0)
+        counted = 1;
+    std::printf("%-16s %-8d %-10.4f %-10.4f %-10.4f\n", label, counted,
+                mse[0] / counted, mse[1] / counted, mse[2] / counted);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 16", "IMDb MSE: small vs medium, p = 1, 2, 3");
+    const int kPoints = 64;
+    Dataset imdb = datasets::makeImdb();
+    auto small = imdb.filterByNodes(7, 10);
+    auto medium = imdb.filterByNodes(11, 14);
+    if (small.size() > 10)
+        small.resize(10);
+    if (medium.size() > 8)
+        medium.resize(8);
+
+    Rng rng(316);
+    std::printf("%-16s %-8s %-10s %-10s %-10s\n", "category", "graphs",
+                "p=1", "p=2", "p=3");
+    runCategory(small, "IMDb (small)", rng, kPoints);
+    runCategory(medium, "IMDb (medium)", rng, kPoints);
+    std::printf("\npaper shape: overall MSE drops from ~0.05 (small) to"
+                " below 0.02 (medium).\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Figure 20: convergence of noisy QAOA optimization with five COBYLA
+ * restarts — baseline (search on the original graph) vs Red-QAOA
+ * (search on the distilled graph). Parameters recorded at each
+ * iteration are re-scored with the ideal simulator on the ORIGINAL
+ * graph, exactly the paper's replay protocol.
+ */
+
+#include "bench/bench_common.hpp"
+#include "core/red_qaoa.hpp"
+#include "graph/generators.hpp"
+#include "opt/cobyla_lite.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+/** Ideal-energy replay traces for restarts of a noisy search. */
+std::vector<std::vector<double>>
+replayTraces(const Graph &search_graph, const Graph &original,
+             const NoiseModel &nm, int restarts, int evals,
+             std::uint64_t seed)
+{
+    QaoaSimulator ideal(original);
+    NoisyEvaluator noisy(search_graph,
+                         noise::transpiled(nm, search_graph.numNodes()),
+                         4, seed, 1024);
+    Objective obj = [&](const std::vector<double> &x) {
+        return -noisy.expectation(QaoaParams::unflatten(x));
+    };
+    OptOptions opts;
+    opts.maxEvaluations = evals;
+    CobylaLite optimizer(opts);
+    Rng rng(seed + 5);
+
+    std::vector<std::vector<double>> traces;
+    for (int r = 0; r < restarts; ++r) {
+        OptResult res =
+            optimizer.minimize(obj, QaoaParams::random(1, rng).flatten());
+        std::vector<double> replay;
+        double best_noisy = 1e300, best_ideal = 0.0;
+        for (std::size_t i = 0; i < res.iterates.size(); ++i) {
+            if (res.trace[i] < best_noisy) {
+                best_noisy = res.trace[i];
+                best_ideal = ideal.expectation(
+                    QaoaParams::unflatten(res.iterates[i]));
+            }
+            replay.push_back(best_ideal);
+        }
+        traces.push_back(std::move(replay));
+    }
+    return traces;
+}
+
+void
+printTraces(const char *label,
+            const std::vector<std::vector<double>> &traces)
+{
+    std::printf("%s (ideal-energy replay, one column per restart):\n",
+                label);
+    std::printf("%-6s", "iter");
+    for (std::size_t r = 0; r < traces.size(); ++r)
+        std::printf(" r%-7zu", r + 1);
+    std::printf("\n");
+    std::size_t len = traces[0].size();
+    for (std::size_t i = 4; i < len; i += 5) {
+        std::printf("%-6zu", i + 1);
+        for (const auto &t : traces)
+            std::printf(" %-8.3f", t[std::min(i, t.size() - 1)]);
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 20",
+                  "noisy convergence with restarts: baseline vs Red-QAOA");
+    const int kRestarts = 5; // Paper: 5 restarts.
+    const int kEvals = 45;
+    NoiseModel nm = noise::ibmToronto();
+    Rng rng(320);
+    Graph g = gen::connectedGnp(10, 0.4, rng);
+    RedQaoaReducer reducer;
+    ReductionResult red = reducer.reduce(g, rng);
+    std::printf("graph: %s -> distilled %s | noise %s\n\n",
+                g.summary().c_str(), red.reduced.graph.summary().c_str(),
+                nm.name.c_str());
+
+    auto base = replayTraces(g, g, nm, kRestarts, kEvals, 71);
+    auto ours = replayTraces(red.reduced.graph, g, nm, kRestarts, kEvals,
+                             72);
+    printTraces("baseline restarts", base);
+    printTraces("Red-QAOA", ours);
+
+    auto final_mean = [](const std::vector<std::vector<double>> &traces) {
+        double s = 0.0;
+        for (const auto &t : traces)
+            s += t.back();
+        return s / static_cast<double>(traces.size());
+    };
+    std::printf("final mean ideal energy: baseline %.3f | Red-QAOA"
+                " %.3f\n",
+                final_mean(base), final_mean(ours));
+    std::printf("paper shape: Red-QAOA converges faster and to higher"
+                " energies across restarts.\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Figure 21: MSE between the original graph's ideal landscape and the
+ * landscape of (a) a parameter-transfer donor (random regular graph,
+ * §5.6) and (b) the Red-QAOA distilled graph, across real-world
+ * (AIDS/Linux/IMDb <= 10 nodes) and structured families (star-30,
+ * 4-ary-30, 2/3/4/5-regular-60 with 10% edge rewiring).
+ *
+ * All landscapes use the closed-form p=1 evaluator (exact at any size),
+ * which is how the 60-node rows are computed without a GPU farm.
+ */
+
+#include "bench/bench_common.hpp"
+#include "core/red_qaoa.hpp"
+#include "core/transfer.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "quantum/analytic_p1.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+std::vector<double>
+analyticValues(const Graph &g,
+               const std::vector<std::pair<double, double>> &points)
+{
+    AnalyticP1Evaluator eval(g);
+    std::vector<double> v;
+    v.reserve(points.size());
+    for (auto [gm, bt] : points)
+        v.push_back(eval.expectation(gm, bt));
+    return v;
+}
+
+struct Row
+{
+    std::string label;
+    double transferMse;
+    double redMse;
+};
+
+Row
+evaluateGraph(const std::string &label, const Graph &g, Rng &rng,
+              const std::vector<std::pair<double, double>> &points)
+{
+    RedQaoaReducer reducer;
+    ReductionResult red = reducer.reduce(g, rng);
+    Graph donor =
+        transferDonor(red.reduced.graph.numNodes(), g.averageDegree(),
+                      rng);
+    auto base = analyticValues(g, points);
+    Row row;
+    row.label = label;
+    row.transferMse = landscapeMse(base, analyticValues(donor, points));
+    row.redMse =
+        landscapeMse(base, analyticValues(red.reduced.graph, points));
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 21", "Red-QAOA vs parameter transfer");
+    const int kPoints = 512; // Paper: 1024.
+    Rng rng(321);
+    Rng pts_rng(77);
+    std::vector<std::pair<double, double>> points;
+    for (int i = 0; i < kPoints; ++i)
+        points.emplace_back(pts_rng.uniform(0.0, 2.0 * M_PI),
+                            pts_rng.uniform(0.0, M_PI));
+
+    std::vector<Row> rows;
+
+    // Real-world datasets: mean over a sample of <=10-node graphs.
+    for (const Dataset &d : {datasets::makeAids(), datasets::makeLinux(),
+                             datasets::makeImdb()}) {
+        auto batch = d.filterByNodes(6, 10);
+        if (batch.size() > 10)
+            batch.resize(10);
+        double t = 0.0, r = 0.0;
+        for (const Graph &g : batch) {
+            Row row = evaluateGraph("", g, rng, points);
+            t += row.transferMse;
+            r += row.redMse;
+        }
+        rows.push_back(Row{d.name + "_10",
+                           t / static_cast<double>(batch.size()),
+                           r / static_cast<double>(batch.size())});
+    }
+
+    // Structured families (10% rewired, per §5.6).
+    rows.push_back(evaluateGraph(
+        "Star_30", gen::rewireEdges(gen::star(30), 0.1, rng), rng,
+        points));
+    rows.push_back(evaluateGraph(
+        "4-ary_30", gen::rewireEdges(gen::karyTree(30, 4), 0.1, rng),
+        rng, points));
+    for (int d : {2, 3, 4, 5}) {
+        Graph base = gen::randomRegular(60, d, rng);
+        Graph irregular = gen::rewireEdges(base, 0.1, rng);
+        char label[32];
+        std::snprintf(label, sizeof label, "%d-regular_60", d);
+        rows.push_back(evaluateGraph(label, irregular, rng, points));
+    }
+
+    std::printf("%-14s %-16s %-14s %-10s\n", "graph", "transfer MSE",
+                "Red-QAOA MSE", "winner");
+    for (const Row &row : rows)
+        std::printf("%-14s %-16.4f %-14.4f %s\n", row.label.c_str(),
+                    row.transferMse, row.redMse,
+                    row.redMse <= row.transferMse ? "Red-QAOA"
+                                                  : "transfer");
+    std::printf("\npaper shape: transfer is fine on near-regular graphs"
+                " but degrades with irregularity; Red-QAOA stays low"
+                " (<~0.02) across all families.\n");
+    return 0;
+}

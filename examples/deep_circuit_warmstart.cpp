@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Domain example 5: composing Red-QAOA with INTERP layer-growing
+ * (the "complementary warm-start techniques" of the paper's §7.2).
+ *
+ * Deep QAOA (p = 3) parameters are grown layer by layer on the CHEAP
+ * distilled graph, then transferred to the original graph — combining
+ * Red-QAOA's noise/cost reduction with INTERP's initialization quality.
+ * Compares against growing the schedule directly on the original graph.
+ *
+ * Usage: ./deep_circuit_warmstart
+ */
+
+#include <cstdio>
+
+#include "core/layerwise.hpp"
+#include "core/red_qaoa.hpp"
+#include "graph/generators.hpp"
+
+using namespace redqaoa;
+
+int
+main()
+{
+    Rng rng(41);
+    Graph g = gen::connectedGnp(12, 0.35, rng);
+    std::printf("Problem: %s | target depth p = 3\n", g.summary().c_str());
+
+    RedQaoaReducer reducer;
+    ReductionResult red = reducer.reduce(g, rng);
+    std::printf("Distilled: %s\n\n", red.reduced.graph.summary().c_str());
+
+    LayerwiseOptions opts;
+    opts.targetLayers = 3;
+    opts.evaluationsPerDepth = 70;
+
+    // Plan A: grow the schedule on the distilled graph, transfer, score.
+    ExactEvaluator red_eval(red.reduced.graph);
+    Rng r1(7);
+    LayerwiseResult on_reduced = optimizeLayerwise(red_eval, opts, r1);
+    ExactEvaluator full_eval(g);
+    double transferred = full_eval.expectation(on_reduced.params);
+
+    // Plan B: grow directly on the original graph (the expensive path).
+    ExactEvaluator full_eval2(g);
+    Rng r2(7);
+    LayerwiseResult on_original = optimizeLayerwise(full_eval2, opts, r2);
+
+    Rng cut_rng(9);
+    double maxcut = maxCutBest(g, cut_rng);
+
+    std::printf("%-34s %-12s %-10s\n", "", "<H_c> on G", "ratio");
+    std::printf("%-34s %-12.3f %-10.3f\n",
+                "Red-QAOA + INTERP (transferred)", transferred,
+                transferred / maxcut);
+    std::printf("%-34s %-12.3f %-10.3f\n", "direct INTERP on G",
+                on_original.energy, on_original.energy / maxcut);
+    std::printf("\nper-depth energies on the search graph:\n");
+    std::printf("  reduced:  ");
+    for (double e : on_reduced.perDepthEnergy)
+        std::printf("%.3f  ", e);
+    std::printf("\n  original: ");
+    for (double e : on_original.perDepthEnergy)
+        std::printf("%.3f  ", e);
+    std::printf("\n\nThe transferred schedule recovers most of the direct"
+                " run's quality while every search evaluation executed on"
+                " a %d-qubit circuit instead of %d.\n",
+                red.reduced.graph.numNodes(), g.numNodes());
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Domain example 2: social/collaboration networks (the IMDb workload).
+ *
+ * Ego networks are dense, so they stress Red-QAOA exactly where §6.3
+ * says it is hardest: removing one node costs many edges. This example
+ * reduces small and medium ego networks, shows the small-vs-medium
+ * effect, and runs one end-to-end optimization on a medium instance
+ * using the light-cone evaluator for scoring.
+ *
+ * Usage: ./ego_network
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "graph/datasets.hpp"
+#include "quantum/evaluator.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+void
+reduceBatch(const std::vector<Graph> &batch, const char *label, Rng &rng)
+{
+    RedQaoaReducer reducer;
+    double nodes = 0.0, edges = 0.0;
+    for (const Graph &g : batch) {
+        ReductionResult red = reducer.reduce(g, rng);
+        nodes += red.nodeReduction;
+        edges += red.edgeReduction;
+    }
+    double n = static_cast<double>(batch.size());
+    std::printf("%-14s %3zu graphs   node reduction %5.1f%%   "
+                "edge reduction %5.1f%%\n",
+                label, batch.size(), 100.0 * nodes / n, 100.0 * edges / n);
+}
+
+} // namespace
+
+int
+main()
+{
+    Dataset imdb = datasets::makeImdb(7003, 300);
+    auto small = imdb.filterByNodes(7, 10);
+    auto medium = imdb.filterByNodes(11, 20);
+    if (small.size() > 15)
+        small.resize(15);
+    if (medium.size() > 15)
+        medium.resize(15);
+
+    std::printf("IMDb-style ego networks (dense collaboration graphs)\n\n");
+    Rng rng(5);
+    reduceBatch(small, "small (<=10)", rng);
+    reduceBatch(medium, "medium (<=20)", rng);
+    std::printf("\n(§6.3: medium graphs reduce better than small dense "
+                "ones — 15%%->25%% nodes, 28%%->35%% edges)\n\n");
+
+    // End-to-end on one medium ego network.
+    const Graph &target = medium.front();
+    std::printf("End-to-end on a medium instance: %s\n",
+                target.summary().c_str());
+
+    PipelineOptions opts;
+    opts.layers = 1;
+    opts.noise = noise::ibmKolkata();
+    opts.restarts = 3;
+    opts.searchEvaluations = 40;
+    opts.refineEvaluations = 15;
+    opts.trajectories = 12;
+    RedQaoaPipeline pipeline(opts);
+    Rng run_rng(9);
+    PipelineResult res = pipeline.run(target, run_rng);
+
+    std::printf("  distilled to %d/%d nodes (AND ratio %.3f)\n",
+                res.reduction.reduced.graph.numNodes(), target.numNodes(),
+                res.reduction.andRatio);
+    std::printf("  ideal energy %.3f of MaxCut %d -> ratio %.3f\n",
+                res.idealEnergy, res.maxCut, res.approxRatio);
+    return 0;
+}

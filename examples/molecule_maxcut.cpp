@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Domain example 1: chemistry-style workloads.
+ *
+ * The paper's AIDS dataset is a corpus of small molecule graphs. This
+ * example sweeps a batch of synthetic molecules, reduces each with
+ * Red-QAOA, and reports per-molecule reductions plus the ideal-landscape
+ * MSE between original and distilled instance — the §6.2 protocol on a
+ * batch small enough to run in seconds.
+ *
+ * Usage: ./molecule_maxcut
+ */
+
+#include <cstdio>
+
+#include "core/red_qaoa.hpp"
+#include "graph/datasets.hpp"
+#include "landscape/landscape.hpp"
+
+using namespace redqaoa;
+
+int
+main()
+{
+    Dataset aids = datasets::makeAids(7001, 60);
+    auto batch = aids.filterByNodes(6, 10);
+    if (batch.size() > 12)
+        batch.resize(12);
+
+    std::printf("Molecule batch: %zu graphs (6-10 atoms)\n\n",
+                batch.size());
+    std::printf("%-4s %-18s %-18s %-8s %-8s %-10s\n", "#", "original",
+                "distilled", "nodes-", "edges-", "MSE");
+
+    Rng rng(11);
+    RedQaoaReducer reducer;
+    double total_mse = 0.0, total_nodes = 0.0, total_edges = 0.0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Graph &g = batch[i];
+        ReductionResult red = reducer.reduce(g, rng);
+
+        // Ideal-landscape comparison (Eq. 12): 24x24 p=1 grid.
+        ExactEvaluator base_eval(g);
+        ExactEvaluator red_eval(red.reduced.graph);
+        Landscape base = Landscape::evaluate(base_eval, 24);
+        Landscape dist = Landscape::evaluate(red_eval, 24);
+        double mse = landscapeMse(base, dist);
+
+        std::printf("%-4zu %-18s %-18s %-8.0f%% %-7.0f%% %-10.4f\n", i,
+                    g.summary().c_str(),
+                    red.reduced.graph.summary().c_str(),
+                    100.0 * red.nodeReduction, 100.0 * red.edgeReduction,
+                    mse);
+        total_mse += mse;
+        total_nodes += red.nodeReduction;
+        total_edges += red.edgeReduction;
+    }
+    double n = static_cast<double>(batch.size());
+    std::printf("\nmeans: node reduction %.0f%%, edge reduction %.0f%%, "
+                "MSE %.4f\n",
+                100.0 * total_nodes / n, 100.0 * total_edges / n,
+                total_mse / n);
+    std::printf("(paper reports ~28%% nodes, ~37%% edges, MSE <= 0.02 "
+                "across datasets)\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Domain example 4: Red-QAOA versus classic parameter transfer.
+ *
+ * Prior work transfers optimal parameters between random regular graphs.
+ * This demo rewires a regular graph (making it irregular, per the §5.6
+ * protocol), then compares two surrogates for its landscape: a random
+ * regular donor of matching degree, and the Red-QAOA distilled graph.
+ *
+ * Usage: ./parameter_transfer_demo
+ */
+
+#include <cstdio>
+
+#include "core/red_qaoa.hpp"
+#include "core/transfer.hpp"
+#include "graph/generators.hpp"
+#include "landscape/landscape.hpp"
+
+using namespace redqaoa;
+
+int
+main()
+{
+    Rng rng(23);
+
+    std::printf("%-26s %-12s %-14s %-12s\n", "graph",
+                "transfer MSE", "Red-QAOA MSE", "winner");
+
+    for (int degree : {3, 4}) {
+        // Base: random regular graph, then rewire 10% of edges.
+        Graph base = gen::randomRegular(16, degree, rng);
+        Graph irregular = gen::rewireEdges(base, 0.10, rng);
+
+        // Surrogate A: Red-QAOA reduction of the irregular graph.
+        RedQaoaReducer reducer;
+        ReductionResult red = reducer.reduce(irregular, rng);
+
+        // Surrogate B: random regular donor with the same node count as
+        // the Red-QAOA graph and the base graph's degree.
+        Graph donor = transferDonor(red.reduced.graph.numNodes(),
+                                    base.averageDegree(), rng);
+
+        // Compare both surrogate landscapes to the irregular original.
+        ExactEvaluator orig_eval(irregular);
+        ExactEvaluator red_eval(red.reduced.graph);
+        ExactEvaluator donor_eval(donor);
+        Landscape orig = Landscape::evaluate(orig_eval, 20);
+        Landscape red_ls = Landscape::evaluate(red_eval, 20);
+        Landscape donor_ls = Landscape::evaluate(donor_eval, 20);
+
+        double mse_transfer = landscapeMse(orig, donor_ls);
+        double mse_red = landscapeMse(orig, red_ls);
+
+        char label[64];
+        std::snprintf(label, sizeof label, "%d-regular-16 (10%% rewired)",
+                      degree);
+        std::printf("%-26s %-12.4f %-14.4f %s\n", label, mse_transfer,
+                    mse_red,
+                    mse_red <= mse_transfer ? "Red-QAOA" : "transfer");
+    }
+
+    std::printf("\nFig 21's conclusion: transfer works on (near-)regular"
+                " graphs but degrades with irregularity, while Red-QAOA"
+                " tracks the target landscape directly.\n");
+    return 0;
+}

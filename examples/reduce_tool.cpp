@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Command-line distillation tool: load a MaxCut instance from an
+ * edge-list file, run the Red-QAOA reducer, report the statistics, and
+ * optionally write the distilled graph back out.
+ *
+ * Usage:
+ *   ./reduce_tool                      # demo on a built-in graph
+ *   ./reduce_tool in.graph             # reduce a file, print stats
+ *   ./reduce_tool in.graph out.graph   # ... and save the result
+ *   ./reduce_tool in.graph out.graph 0.8   # custom AND-ratio threshold
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/red_qaoa.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "landscape/landscape.hpp"
+
+using namespace redqaoa;
+
+int
+main(int argc, char **argv)
+{
+    Graph g;
+    if (argc > 1) {
+        try {
+            g = io::loadGraph(argv[1]);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    } else {
+        Rng demo_rng(2024);
+        g = gen::connectedGnp(12, 0.35, demo_rng);
+        std::printf("(no input file: using a demo 12-node random graph)\n");
+    }
+    if (!g.isConnected()) {
+        std::fprintf(stderr,
+                     "error: input graph must be connected "
+                     "(QAOA instances are)\n");
+        return 1;
+    }
+
+    RedQaoaOptions opts;
+    if (argc > 3)
+        opts.andRatioThreshold = std::atof(argv[3]);
+
+    Rng rng(7);
+    RedQaoaReducer reducer(opts);
+    ReductionResult res = reducer.reduce(g, rng);
+
+    std::printf("input     : %s\n", g.summary().c_str());
+    std::printf("distilled : %s\n", res.reduced.graph.summary().c_str());
+    std::printf("AND ratio : %.3f (threshold %.2f)\n", res.andRatio,
+                opts.andRatioThreshold);
+    std::printf("reduction : %.0f%% nodes, %.0f%% edges\n",
+                100.0 * res.nodeReduction, 100.0 * res.edgeReduction);
+    std::printf("annealing : %d runs (binary search + post-selection)\n",
+                res.annealerRuns);
+    std::printf("node map  : distilled -> original:");
+    for (Node v : res.reduced.toOriginal)
+        std::printf(" %d", v);
+    std::printf("\n");
+
+    // Landscape fidelity report when the instance is small enough for
+    // an exact check.
+    if (g.numNodes() <= 16) {
+        ExactEvaluator base(g);
+        ExactEvaluator red(res.reduced.graph);
+        Landscape lb = Landscape::evaluate(base, 16);
+        Landscape lr = Landscape::evaluate(red, 16);
+        std::printf("landscape : p=1 normalized MSE %.4f (target <= 0.02)\n",
+                    landscapeMse(lb, lr));
+    }
+
+    if (argc > 2) {
+        try {
+            io::saveGraph(argv[2], res.reduced.graph);
+            std::printf("saved     : %s\n", argv[2]);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+
+namespace redqaoa {
+
+bool
+isTwoQubit(GateKind kind)
+{
+    return kind == GateKind::CNOT || kind == GateKind::RZZ ||
+           kind == GateKind::SWAP;
+}
+
+std::string
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::H:
+        return "h";
+      case GateKind::RX:
+        return "rx";
+      case GateKind::RZ:
+        return "rz";
+      case GateKind::CNOT:
+        return "cx";
+      case GateKind::RZZ:
+        return "rzz";
+      case GateKind::SWAP:
+        return "swap";
+      case GateKind::MEASURE:
+        return "measure";
+    }
+    return "?";
+}
+
+int
+Circuit::count(GateKind kind) const
+{
+    int c = 0;
+    for (const GateOp &g : gates_)
+        c += g.kind == kind;
+    return c;
+}
+
+int
+Circuit::twoQubitCount() const
+{
+    int c = 0;
+    for (const GateOp &g : gates_)
+        c += isTwoQubit(g.kind);
+    return c;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> level(static_cast<std::size_t>(numQubits_), 0);
+    int depth = 0;
+    for (const GateOp &g : gates_) {
+        auto a = static_cast<std::size_t>(g.q0);
+        if (isTwoQubit(g.kind)) {
+            auto b = static_cast<std::size_t>(g.q1);
+            int t = std::max(level[a], level[b]) + 1;
+            level[a] = level[b] = t;
+            depth = std::max(depth, t);
+        } else {
+            level[a] += 1;
+            depth = std::max(depth, level[a]);
+        }
+    }
+    return depth;
+}
+
+Circuit
+Circuit::decomposed() const
+{
+    Circuit out(numQubits_);
+    for (const GateOp &g : gates_) {
+        switch (g.kind) {
+          case GateKind::RZZ:
+            out.addCnot(g.q0, g.q1);
+            out.addRz(g.q1, g.angle);
+            out.addCnot(g.q0, g.q1);
+            break;
+          case GateKind::SWAP:
+            out.addCnot(g.q0, g.q1);
+            out.addCnot(g.q1, g.q0);
+            out.addCnot(g.q0, g.q1);
+            break;
+          default:
+            out.gates_.push_back(g);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace redqaoa

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Gate-list circuit IR. This layer exists for the hardware-facing
+ * experiments: transpilation to device couplings (§5.3 uses SABRE with
+ * 100 repetitions), depth/duration estimation, and the throughput study
+ * of Fig 25. Simulation does not go through this IR (the simulators
+ * apply QAOA layers directly); tests cross-check that the two paths
+ * agree.
+ */
+
+#ifndef REDQAOA_CIRCUIT_CIRCUIT_HPP
+#define REDQAOA_CIRCUIT_CIRCUIT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redqaoa {
+
+/** Supported gate kinds. */
+enum class GateKind : std::uint8_t
+{
+    H,
+    RX,
+    RZ,
+    CNOT,
+    RZZ,
+    SWAP,
+    MEASURE,
+};
+
+/** True for gates acting on two qubits. */
+bool isTwoQubit(GateKind kind);
+
+/** Printable mnemonic ("h", "rx", ...). */
+std::string gateName(GateKind kind);
+
+/** One gate instance. */
+struct GateOp
+{
+    GateKind kind;
+    int q0;            //!< First (or only) qubit.
+    int q1 = -1;       //!< Second qubit for 2q gates.
+    double angle = 0.0; //!< Rotation angle where applicable.
+};
+
+/** A flat gate list over n qubits. */
+class Circuit
+{
+  public:
+    Circuit() = default;
+    explicit Circuit(int num_qubits) : numQubits_(num_qubits) {}
+
+    int numQubits() const { return numQubits_; }
+    const std::vector<GateOp> &gates() const { return gates_; }
+    std::size_t size() const { return gates_.size(); }
+
+    void addH(int q) { gates_.push_back({GateKind::H, q, -1, 0.0}); }
+    void addRx(int q, double a) { gates_.push_back({GateKind::RX, q, -1, a}); }
+    void addRz(int q, double a) { gates_.push_back({GateKind::RZ, q, -1, a}); }
+    void addCnot(int c, int t)
+    {
+        gates_.push_back({GateKind::CNOT, c, t, 0.0});
+    }
+    void addRzz(int a, int b, double ang)
+    {
+        gates_.push_back({GateKind::RZZ, a, b, ang});
+    }
+    void addSwap(int a, int b)
+    {
+        gates_.push_back({GateKind::SWAP, a, b, 0.0});
+    }
+    void addMeasure(int q)
+    {
+        gates_.push_back({GateKind::MEASURE, q, -1, 0.0});
+    }
+
+    /** Number of gates of a given kind. */
+    int count(GateKind kind) const;
+
+    /** Two-qubit gate count (CNOT + RZZ + SWAP). */
+    int twoQubitCount() const;
+
+    /**
+     * Logical depth: length of the longest qubit-dependency chain
+     * (every gate takes one time step).
+     */
+    int depth() const;
+
+    /**
+     * Rewrite RZZ gates into the hardware basis
+     * (CNOT, RZ(angle), CNOT) and SWAPs into three CNOTs.
+     */
+    Circuit decomposed() const;
+
+  private:
+    int numQubits_ = 0;
+    std::vector<GateOp> gates_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_CIRCUIT_CIRCUIT_HPP

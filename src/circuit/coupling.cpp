@@ -1,0 +1,15 @@
+#include "circuit/coupling.hpp"
+
+#include <utility>
+
+namespace redqaoa {
+
+CouplingMap::CouplingMap(std::string name, Graph connectivity)
+    : name_(std::move(name)), graph_(std::move(connectivity))
+{
+    dist_.reserve(static_cast<std::size_t>(graph_.numNodes()));
+    for (Node v = 0; v < graph_.numNodes(); ++v)
+        dist_.push_back(graph_.bfsDistances(v));
+}
+
+} // namespace redqaoa

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Device coupling maps: which physical qubit pairs support 2-qubit
+ * gates, plus the all-pairs hop distances the SABRE heuristic needs.
+ */
+
+#ifndef REDQAOA_CIRCUIT_COUPLING_HPP
+#define REDQAOA_CIRCUIT_COUPLING_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace redqaoa {
+
+/** A named device coupling graph with cached distances. */
+class CouplingMap
+{
+  public:
+    CouplingMap() = default;
+
+    /** Build from a connectivity graph. */
+    CouplingMap(std::string name, Graph connectivity);
+
+    const std::string &name() const { return name_; }
+    int numQubits() const { return graph_.numNodes(); }
+    const Graph &graph() const { return graph_; }
+
+    /** True if (a, b) supports a native 2q gate. */
+    bool coupled(int a, int b) const { return graph_.hasEdge(a, b); }
+
+    /** Hop distance between physical qubits. */
+    int distance(int a, int b) const
+    {
+        return dist_[static_cast<std::size_t>(a)]
+                    [static_cast<std::size_t>(b)];
+    }
+
+  private:
+    std::string name_;
+    Graph graph_;
+    std::vector<std::vector<int>> dist_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_CIRCUIT_COUPLING_HPP

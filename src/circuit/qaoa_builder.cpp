@@ -1,0 +1,25 @@
+#include "circuit/qaoa_builder.hpp"
+
+namespace redqaoa {
+
+Circuit
+buildQaoaCircuit(const Graph &g, const QaoaParams &params, bool measure)
+{
+    Circuit c(g.numNodes());
+    for (int q = 0; q < g.numNodes(); ++q)
+        c.addH(q);
+    for (int layer = 0; layer < params.layers(); ++layer) {
+        double gma = params.gamma[static_cast<std::size_t>(layer)];
+        double bta = params.beta[static_cast<std::size_t>(layer)];
+        for (const Edge &e : g.edges())
+            c.addRzz(e.u, e.v, -gma);
+        for (int q = 0; q < g.numNodes(); ++q)
+            c.addRx(q, 2.0 * bta);
+    }
+    if (measure)
+        for (int q = 0; q < g.numNodes(); ++q)
+            c.addMeasure(q);
+    return c;
+}
+
+} // namespace redqaoa

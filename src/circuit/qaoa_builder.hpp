@@ -1,0 +1,23 @@
+/**
+ * @file
+ * QAOA circuit construction (Eq. 3): H on every qubit, then per layer an
+ * RZZ(-gamma) for each graph edge and an RX(2 beta) for each qubit,
+ * optionally terminated with measurements.
+ */
+
+#ifndef REDQAOA_CIRCUIT_QAOA_BUILDER_HPP
+#define REDQAOA_CIRCUIT_QAOA_BUILDER_HPP
+
+#include "circuit/circuit.hpp"
+#include "graph/graph.hpp"
+#include "quantum/maxcut.hpp"
+
+namespace redqaoa {
+
+/** Build the QAOA MaxCut circuit for @p g at @p params. */
+Circuit buildQaoaCircuit(const Graph &g, const QaoaParams &params,
+                         bool measure = false);
+
+} // namespace redqaoa
+
+#endif // REDQAOA_CIRCUIT_QAOA_BUILDER_HPP

@@ -1,0 +1,285 @@
+#include "circuit/sabre.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace redqaoa {
+
+namespace {
+
+/** Per-qubit dependency queues: gate indices in program order. */
+struct DependencyTracker
+{
+    explicit DependencyTracker(const Circuit &c)
+        : gates(c.gates()), nextIndex(c.gates().size(), 0)
+    {
+        perQubit.resize(static_cast<std::size_t>(c.numQubits()));
+        for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+            perQubit[static_cast<std::size_t>(gates[gi].q0)].push_back(gi);
+            if (isTwoQubit(gates[gi].kind))
+                perQubit[static_cast<std::size_t>(gates[gi].q1)]
+                    .push_back(gi);
+        }
+        head.assign(perQubit.size(), 0);
+        done.assign(gates.size(), false);
+    }
+
+    /** Is gate gi at the head of every operand queue? */
+    bool
+    ready(std::size_t gi) const
+    {
+        const GateOp &g = gates[gi];
+        auto q0 = static_cast<std::size_t>(g.q0);
+        if (head[q0] >= perQubit[q0].size() || perQubit[q0][head[q0]] != gi)
+            return false;
+        if (isTwoQubit(g.kind)) {
+            auto q1 = static_cast<std::size_t>(g.q1);
+            if (head[q1] >= perQubit[q1].size() ||
+                perQubit[q1][head[q1]] != gi)
+                return false;
+        }
+        return true;
+    }
+
+    /** Mark gate gi executed and advance its operand queues. */
+    void
+    retire(std::size_t gi)
+    {
+        const GateOp &g = gates[gi];
+        done[gi] = true;
+        ++head[static_cast<std::size_t>(g.q0)];
+        if (isTwoQubit(g.kind))
+            ++head[static_cast<std::size_t>(g.q1)];
+    }
+
+    /** Currently-ready gate indices (the SABRE front layer). */
+    std::vector<std::size_t>
+    frontLayer() const
+    {
+        std::vector<std::size_t> out;
+        for (std::size_t q = 0; q < perQubit.size(); ++q) {
+            if (head[q] >= perQubit[q].size())
+                continue;
+            std::size_t gi = perQubit[q][head[q]];
+            if (!done[gi] && ready(gi) &&
+                std::find(out.begin(), out.end(), gi) == out.end())
+                out.push_back(gi);
+        }
+        return out;
+    }
+
+    /** Next blocked 2q gate per qubit (the lookahead layer). */
+    std::vector<std::size_t>
+    lookaheadLayer() const
+    {
+        std::vector<std::size_t> out;
+        for (std::size_t q = 0; q < perQubit.size(); ++q) {
+            for (std::size_t i = head[q]; i < perQubit[q].size(); ++i) {
+                std::size_t gi = perQubit[q][i];
+                if (done[gi])
+                    continue;
+                if (isTwoQubit(gates[gi].kind)) {
+                    if (std::find(out.begin(), out.end(), gi) == out.end())
+                        out.push_back(gi);
+                    break;
+                }
+            }
+        }
+        return out;
+    }
+
+    const std::vector<GateOp> &gates;
+    std::vector<std::vector<std::size_t>> perQubit;
+    std::vector<std::size_t> head;
+    std::vector<bool> done;
+    std::vector<std::size_t> nextIndex;
+};
+
+} // namespace
+
+RouteResult
+SabreRouter::route(const Circuit &circuit,
+                   const std::vector<int> &initial_layout) const
+{
+    const int nl = circuit.numQubits();
+    const int np = coupling_.numQubits();
+    if (nl > np)
+        throw std::invalid_argument("SabreRouter: circuit too wide");
+    assert(static_cast<int>(initial_layout.size()) == nl);
+
+    RouteResult res;
+    res.initialLayout = initial_layout;
+    res.circuit = Circuit(np);
+
+    // layout[l] = physical location of logical qubit l.
+    std::vector<int> layout = initial_layout;
+    // phys2log[p] = logical qubit at p, or -1.
+    std::vector<int> phys2log(static_cast<std::size_t>(np), -1);
+    for (int l = 0; l < nl; ++l)
+        phys2log[static_cast<std::size_t>(layout[
+            static_cast<std::size_t>(l)])] = l;
+
+    DependencyTracker deps(circuit);
+
+    auto executable = [&](std::size_t gi) {
+        const GateOp &g = deps.gates[gi];
+        if (!isTwoQubit(g.kind))
+            return true;
+        return coupling_.coupled(
+            layout[static_cast<std::size_t>(g.q0)],
+            layout[static_cast<std::size_t>(g.q1)]);
+    };
+
+    auto emit = [&](std::size_t gi) {
+        GateOp g = deps.gates[gi];
+        g.q0 = layout[static_cast<std::size_t>(g.q0)];
+        if (isTwoQubit(g.kind))
+            g.q1 = layout[static_cast<std::size_t>(g.q1)];
+        switch (g.kind) {
+          case GateKind::H:
+            res.circuit.addH(g.q0);
+            break;
+          case GateKind::RX:
+            res.circuit.addRx(g.q0, g.angle);
+            break;
+          case GateKind::RZ:
+            res.circuit.addRz(g.q0, g.angle);
+            break;
+          case GateKind::CNOT:
+            res.circuit.addCnot(g.q0, g.q1);
+            break;
+          case GateKind::RZZ:
+            res.circuit.addRzz(g.q0, g.q1, g.angle);
+            break;
+          case GateKind::SWAP:
+            res.circuit.addSwap(g.q0, g.q1);
+            break;
+          case GateKind::MEASURE:
+            res.circuit.addMeasure(g.q0);
+            break;
+        }
+        deps.retire(gi);
+    };
+
+    auto applySwap = [&](int pa, int pb) {
+        res.circuit.addSwap(pa, pb);
+        ++res.swapCount;
+        int la = phys2log[static_cast<std::size_t>(pa)];
+        int lb = phys2log[static_cast<std::size_t>(pb)];
+        if (la >= 0)
+            layout[static_cast<std::size_t>(la)] = pb;
+        if (lb >= 0)
+            layout[static_cast<std::size_t>(lb)] = pa;
+        std::swap(phys2log[static_cast<std::size_t>(pa)],
+                  phys2log[static_cast<std::size_t>(pb)]);
+    };
+
+    auto layerCost = [&](const std::vector<std::size_t> &layer,
+                         const std::vector<int> &lay) {
+        double s = 0.0;
+        for (std::size_t gi : layer) {
+            const GateOp &g = deps.gates[gi];
+            if (!isTwoQubit(g.kind))
+                continue;
+            s += coupling_.distance(
+                lay[static_cast<std::size_t>(g.q0)],
+                lay[static_cast<std::size_t>(g.q1)]);
+        }
+        return s;
+    };
+
+    int stall_guard = 0;
+    const int max_stalls = 10 * np * np + 1000;
+    while (true) {
+        // Drain everything currently executable.
+        bool progressed = true;
+        while (progressed) {
+            progressed = false;
+            for (std::size_t gi : deps.frontLayer()) {
+                if (executable(gi)) {
+                    emit(gi);
+                    progressed = true;
+                }
+            }
+        }
+        std::vector<std::size_t> front = deps.frontLayer();
+        if (front.empty())
+            break; // All gates routed.
+
+        if (++stall_guard > max_stalls)
+            throw std::runtime_error("SabreRouter: routing stalled");
+
+        // Candidate swaps: device edges touching any front-gate operand.
+        std::vector<std::pair<int, int>> candidates;
+        for (std::size_t gi : front) {
+            const GateOp &g = deps.gates[gi];
+            for (int lq : {g.q0, g.q1}) {
+                if (lq < 0)
+                    continue;
+                int p = layout[static_cast<std::size_t>(lq)];
+                for (Node nb : coupling_.graph().neighbors(p))
+                    candidates.emplace_back(std::min(p, nb),
+                                            std::max(p, nb));
+            }
+        }
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                         candidates.end());
+        assert(!candidates.empty());
+
+        std::vector<std::size_t> lookahead = deps.lookaheadLayer();
+        double best_score = std::numeric_limits<double>::infinity();
+        std::pair<int, int> best_swap = candidates.front();
+        for (auto [pa, pb] : candidates) {
+            // Score the layout after this swap.
+            std::vector<int> trial = layout;
+            int la = phys2log[static_cast<std::size_t>(pa)];
+            int lb = phys2log[static_cast<std::size_t>(pb)];
+            if (la >= 0)
+                trial[static_cast<std::size_t>(la)] = pb;
+            if (lb >= 0)
+                trial[static_cast<std::size_t>(lb)] = pa;
+            double score =
+                layerCost(front, trial) / static_cast<double>(front.size());
+            if (!lookahead.empty())
+                score += lookahead_ * layerCost(lookahead, trial) /
+                         static_cast<double>(lookahead.size());
+            if (score < best_score) {
+                best_score = score;
+                best_swap = {pa, pb};
+            }
+        }
+        applySwap(best_swap.first, best_swap.second);
+    }
+
+    res.finalLayout = layout;
+    res.depth = res.circuit.decomposed().depth();
+    return res;
+}
+
+RouteResult
+SabreRouter::routeBestOf(const Circuit &circuit, int trials, Rng &rng) const
+{
+    assert(trials >= 1);
+    RouteResult best;
+    bool have = false;
+    for (int t = 0; t < trials; ++t) {
+        // Random injective logical -> physical assignment.
+        std::vector<int> phys(static_cast<std::size_t>(
+            coupling_.numQubits()));
+        std::iota(phys.begin(), phys.end(), 0);
+        rng.shuffle(phys);
+        phys.resize(static_cast<std::size_t>(circuit.numQubits()));
+        RouteResult cand = route(circuit, phys);
+        if (!have || cand.depth < best.depth) {
+            best = std::move(cand);
+            have = true;
+        }
+    }
+    return best;
+}
+
+} // namespace redqaoa

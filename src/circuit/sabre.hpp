@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SABRE-style swap router (Li, Ding, Xie 2019) — the transpiler the
+ * paper uses (§5.3), including its multi-trial protocol: route with
+ * several random initial layouts and keep the shortest-depth result.
+ *
+ * The heuristic is the standard front-layer distance sum with a decayed
+ * lookahead term over the next layer of blocked gates.
+ */
+
+#ifndef REDQAOA_CIRCUIT_SABRE_HPP
+#define REDQAOA_CIRCUIT_SABRE_HPP
+
+#include "circuit/circuit.hpp"
+#include "circuit/coupling.hpp"
+#include "common/rng.hpp"
+
+namespace redqaoa {
+
+/** Routed-circuit outcome. */
+struct RouteResult
+{
+    Circuit circuit;            //!< Gates on physical qubits, with SWAPs.
+    std::vector<int> initialLayout; //!< logical -> physical at entry.
+    std::vector<int> finalLayout;   //!< logical -> physical at exit.
+    int swapCount = 0;
+    int depth = 0;              //!< Depth of the decomposed circuit.
+};
+
+/** SABRE-like router over one coupling map. */
+class SabreRouter
+{
+  public:
+    /**
+     * @param coupling target device
+     * @param lookaheadWeight weight of the next-layer term (0.5 typical)
+     */
+    explicit SabreRouter(const CouplingMap &coupling,
+                         double lookaheadWeight = 0.5)
+        : coupling_(coupling), lookahead_(lookaheadWeight)
+    {}
+
+    /** Route @p circuit with the given logical->physical layout. */
+    RouteResult route(const Circuit &circuit,
+                      const std::vector<int> &initial_layout) const;
+
+    /**
+     * The paper's protocol: @p trials random initial layouts, return the
+     * minimum-depth routing.
+     */
+    RouteResult routeBestOf(const Circuit &circuit, int trials,
+                            Rng &rng) const;
+
+  private:
+    const CouplingMap &coupling_;
+    double lookahead_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_CIRCUIT_SABRE_HPP

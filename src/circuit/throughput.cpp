@@ -1,0 +1,92 @@
+#include "circuit/throughput.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "circuit/qaoa_builder.hpp"
+#include "graph/subgraph.hpp"
+
+namespace redqaoa {
+
+int
+ThroughputModel::packRegions(int size) const
+{
+    if (size <= 0 || size > device_.numQubits())
+        return size <= 0 ? 0 : 0;
+    const Graph &g = device_.graph();
+    std::vector<bool> used(static_cast<std::size_t>(g.numNodes()), false);
+    int regions = 0;
+
+    // Greedy BFS growth from the lowest-id free qubit; qubits in a
+    // region are retired so regions stay disjoint.
+    for (Node seed = 0; seed < g.numNodes(); ++seed) {
+        if (used[static_cast<std::size_t>(seed)])
+            continue;
+        std::vector<Node> region;
+        std::queue<Node> q;
+        std::vector<bool> seen = used;
+        q.push(seed);
+        seen[static_cast<std::size_t>(seed)] = true;
+        while (!q.empty() && static_cast<int>(region.size()) < size) {
+            Node v = q.front();
+            q.pop();
+            region.push_back(v);
+            for (Node w : g.neighbors(v)) {
+                if (!seen[static_cast<std::size_t>(w)]) {
+                    seen[static_cast<std::size_t>(w)] = true;
+                    q.push(w);
+                }
+            }
+        }
+        if (static_cast<int>(region.size()) == size) {
+            ++regions;
+            for (Node v : region)
+                used[static_cast<std::size_t>(v)] = true;
+        }
+    }
+    return regions;
+}
+
+ThroughputReport
+ThroughputModel::evaluate(const Graph &g, const QaoaParams &params,
+                          Rng &rng) const
+{
+    ThroughputReport rep;
+    const int q = g.numNodes();
+    rep.concurrentCopies = packRegions(q);
+    if (rep.concurrentCopies == 0)
+        return rep;
+
+    // Route within a device region of the circuit's size: grow a region
+    // from qubit 0 and route onto its induced coupling subgraph.
+    std::vector<Node> region;
+    {
+        std::queue<Node> bfs;
+        std::vector<bool> seen(
+            static_cast<std::size_t>(device_.numQubits()), false);
+        bfs.push(0);
+        seen[0] = true;
+        while (!bfs.empty() && static_cast<int>(region.size()) < q) {
+            Node v = bfs.front();
+            bfs.pop();
+            region.push_back(v);
+            for (Node w : device_.graph().neighbors(v))
+                if (!seen[static_cast<std::size_t>(w)]) {
+                    seen[static_cast<std::size_t>(w)] = true;
+                    bfs.push(w);
+                }
+        }
+    }
+    Subgraph sub = inducedSubgraph(device_.graph(), region);
+    CouplingMap region_map("region", sub.graph);
+    SabreRouter router(region_map);
+    Circuit logical = buildQaoaCircuit(g, params, /*measure=*/true);
+    RouteResult routed = router.routeBestOf(logical, routeTrials_, rng);
+
+    rep.batchSeconds = timing_.jobDuration(routed.circuit, shots_);
+    rep.jobsPerSecond =
+        static_cast<double>(rep.concurrentCopies) / rep.batchSeconds;
+    return rep;
+}
+
+} // namespace redqaoa

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multiprogramming throughput model for Fig 25.
+ *
+ * The paper evaluates Red-QAOA's system-level benefit by running many
+ * QAOA circuits concurrently on large devices: a reduced circuit both
+ * (a) packs more copies onto a device and (b) finishes each batch
+ * faster. We model (a) with a greedy disjoint-region packer on the
+ * coupling graph (BFS-grown regions, mirroring multiprogramming
+ * mappers) and (b) with the routed-circuit timing model. Relative
+ * throughput = (copies / batch time) ratio versus the baseline.
+ */
+
+#ifndef REDQAOA_CIRCUIT_THROUGHPUT_HPP
+#define REDQAOA_CIRCUIT_THROUGHPUT_HPP
+
+#include "circuit/coupling.hpp"
+#include "circuit/sabre.hpp"
+#include "circuit/timing.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "quantum/maxcut.hpp"
+
+namespace redqaoa {
+
+/** Outcome of mapping one workload onto one device. */
+struct ThroughputReport
+{
+    int concurrentCopies = 0; //!< Disjoint regions that fit the circuit.
+    double batchSeconds = 0.0; //!< Duration of one multiprogrammed batch.
+    double jobsPerSecond = 0.0; //!< concurrentCopies / batchSeconds.
+};
+
+/** Throughput estimator over one device. */
+class ThroughputModel
+{
+  public:
+    ThroughputModel(const CouplingMap &device, TimingModel timing = {},
+                    int shots = 8192, int route_trials = 4)
+        : device_(device), timing_(timing), shots_(shots),
+          routeTrials_(route_trials)
+    {}
+
+    /**
+     * Estimate throughput for running the depth-@p p QAOA of @p g.
+     * Routing happens inside a BFS-grown region of the device sized to
+     * the circuit, so bigger circuits pay both packing and depth costs.
+     */
+    ThroughputReport evaluate(const Graph &g, const QaoaParams &params,
+                              Rng &rng) const;
+
+    /**
+     * Greedy count of disjoint connected regions of @p size qubits
+     * (the multiprogramming capacity for a size-qubit circuit).
+     */
+    int packRegions(int size) const;
+
+  private:
+    const CouplingMap &device_;
+    TimingModel timing_;
+    int shots_;
+    int routeTrials_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_CIRCUIT_THROUGHPUT_HPP

@@ -1,0 +1,44 @@
+#include "circuit/timing.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace redqaoa {
+
+double
+TimingModel::circuitLatency(const Circuit &c) const
+{
+    Circuit hw = c.decomposed();
+    std::vector<double> ready(static_cast<std::size_t>(hw.numQubits()),
+                              0.0);
+    double makespan = 0.0;
+    for (const GateOp &g : hw.gates()) {
+        auto a = static_cast<std::size_t>(g.q0);
+        double dur;
+        if (g.kind == GateKind::MEASURE)
+            dur = measurement;
+        else if (isTwoQubit(g.kind))
+            dur = twoQubitGate;
+        else
+            dur = oneQubitGate;
+
+        double start = ready[a];
+        if (isTwoQubit(g.kind)) {
+            auto b = static_cast<std::size_t>(g.q1);
+            start = std::max(start, ready[b]);
+            ready[b] = start + dur;
+        }
+        ready[a] = start + dur;
+        makespan = std::max(makespan, start + dur);
+    }
+    return makespan;
+}
+
+double
+TimingModel::jobDuration(const Circuit &c, int shots) const
+{
+    return static_cast<double>(shots) *
+           (circuitLatency(c) + perShotOverhead);
+}
+
+} // namespace redqaoa

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Device timing model: per-gate durations and ASAP-scheduled circuit
+ * duration. Calibrated so a routed 10-node 1-layer QAOA job at 8192
+ * shots lands near the 4.2 s per-circuit execution time the paper
+ * quotes for ibm_sherbrooke (§6.4.2) — the anchor for Fig 18's
+ * projected execution-time curve and Fig 25's throughput model.
+ */
+
+#ifndef REDQAOA_CIRCUIT_TIMING_HPP
+#define REDQAOA_CIRCUIT_TIMING_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace redqaoa {
+
+/** Gate/readout latencies in seconds. */
+struct TimingModel
+{
+    double oneQubitGate = 35e-9;
+    double twoQubitGate = 300e-9;
+    double measurement = 300e-6;  //!< Readout + qubit reset.
+    double perShotOverhead = 200e-6; //!< Control-system turnaround.
+
+    /** ASAP critical-path duration of one execution of @p c. */
+    double circuitLatency(const Circuit &c) const;
+
+    /** Wall time for a shots-deep job of @p c. */
+    double jobDuration(const Circuit &c, int shots) const;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_CIRCUIT_TIMING_HPP

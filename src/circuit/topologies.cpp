@@ -1,0 +1,121 @@
+#include "circuit/topologies.hpp"
+
+#include <cassert>
+
+namespace redqaoa {
+namespace topologies {
+
+CouplingMap
+falcon27()
+{
+    // IBM 27-qubit Falcon (ibmq_kolkata / toronto / mumbai ...) coupling.
+    Graph g(27, {{0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},
+                 {4, 7},   {5, 8},   {6, 7},   {7, 10},  {8, 9},
+                 {8, 11},  {10, 12}, {11, 14}, {12, 13}, {12, 15},
+                 {13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18},
+                 {18, 21}, {19, 20}, {19, 22}, {21, 23}, {22, 25},
+                 {23, 24}, {24, 25}, {25, 26}});
+    return CouplingMap("falcon-27", std::move(g));
+}
+
+CouplingMap
+heavyHexLattice(int rows, int row_len, int spacing, int target,
+                const std::string &name)
+{
+    assert(rows >= 1 && row_len >= 2 && spacing >= 2);
+    std::vector<std::pair<int, int>> edges;
+    // Linear chains within rows.
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c + 1 < row_len; ++c)
+            edges.emplace_back(r * row_len + c, r * row_len + c + 1);
+
+    // Bridge qubits between consecutive rows, alternating offsets.
+    int next = rows * row_len;
+    for (int r = 0; r + 1 < rows; ++r) {
+        int offset = (r % 2 == 0) ? 0 : spacing / 2;
+        for (int c = offset; c < row_len; c += spacing) {
+            int bridge = next++;
+            edges.emplace_back(r * row_len + c, bridge);
+            edges.emplace_back((r + 1) * row_len + c, bridge);
+        }
+    }
+
+    int natural = next;
+    int total = target > 0 ? target : natural;
+    assert(natural <= total && "shrinking a lattice would disconnect it");
+    // Chain tail to reach the exact device size.
+    for (int q = natural; q < total; ++q)
+        edges.emplace_back(q == natural ? natural - 1 : q - 1, q);
+
+    return CouplingMap(name, Graph(total, edges));
+}
+
+CouplingMap
+eagle33()
+{
+    return heavyHexLattice(3, 9, 4, 33, "eagle-33");
+}
+
+CouplingMap
+hummingbird65()
+{
+    return heavyHexLattice(5, 10, 4, 65, "hummingbird-65");
+}
+
+CouplingMap
+eagle127()
+{
+    return heavyHexLattice(7, 14, 4, 127, "eagle-127");
+}
+
+CouplingMap
+aspenM3()
+{
+    // 2 x 5 grid of octagon rings; the last ring is a 7-cycle so the
+    // device lands on Aspen-M-3's 79 functional qubits.
+    std::vector<std::pair<int, int>> edges;
+    const int kRings = 10;
+    int base = 0;
+    std::vector<int> ring_size(kRings, 8);
+    ring_size[kRings - 1] = 7;
+    std::vector<int> ring_base(kRings, 0);
+    for (int ring = 0; ring < kRings; ++ring) {
+        ring_base[ring] = base;
+        for (int i = 0; i < ring_size[ring]; ++i)
+            edges.emplace_back(base + i, base + (i + 1) % ring_size[ring]);
+        base += ring_size[ring];
+    }
+    // Horizontal neighbors within each row of 5, two cross links each.
+    auto link = [&](int a, int b) {
+        edges.emplace_back(ring_base[a] + 1, ring_base[b] + 6 %
+                                                 ring_size[b]);
+        edges.emplace_back(ring_base[a] + 2, ring_base[b] + 5 %
+                                                 ring_size[b]);
+    };
+    for (int row = 0; row < 2; ++row)
+        for (int col = 0; col + 1 < 5; ++col)
+            link(row * 5 + col, row * 5 + col + 1);
+    // Vertical links between the two rows.
+    for (int col = 0; col < 5; ++col) {
+        int a = col, b = 5 + col;
+        edges.emplace_back(ring_base[a] + 4 % ring_size[a],
+                           ring_base[b] + 0);
+        edges.emplace_back(ring_base[a] + 3 % ring_size[a],
+                           ring_base[b] + 7 % ring_size[b]);
+    }
+    return CouplingMap("aspen-m3", Graph(base, edges));
+}
+
+std::vector<CouplingMap>
+fig25Devices()
+{
+    std::vector<CouplingMap> out;
+    out.push_back(falcon27());
+    out.push_back(eagle33());
+    out.push_back(hummingbird65());
+    out.push_back(eagle127());
+    return out;
+}
+
+} // namespace topologies
+} // namespace redqaoa

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Device topologies for the throughput study (Fig 25: Falcon 27q,
+ * "Eagle" 33q, Hummingbird 65q, Eagle 127q) and the Rigetti device.
+ *
+ * The 27-qubit Falcon map is the exact IBM heavy-hex coupling list; the
+ * larger lattices come from a parametric heavy-hex generator (rows of
+ * linearly coupled qubits with alternating bridge qubits) that matches
+ * IBM's degree <= 3 connectivity and is trimmed/extended to the exact
+ * qubit count. Rigetti Aspen is rings of 8 coupled in a grid.
+ */
+
+#ifndef REDQAOA_CIRCUIT_TOPOLOGIES_HPP
+#define REDQAOA_CIRCUIT_TOPOLOGIES_HPP
+
+#include "circuit/coupling.hpp"
+
+namespace redqaoa {
+namespace topologies {
+
+/** Exact IBM 27-qubit Falcon heavy-hex coupling. */
+CouplingMap falcon27();
+
+/** 33-qubit heavy-hex-style device (the paper's "Eagle 33-qubit"). */
+CouplingMap eagle33();
+
+/** 65-qubit Hummingbird-style heavy-hex. */
+CouplingMap hummingbird65();
+
+/** 127-qubit Eagle-style heavy-hex. */
+CouplingMap eagle127();
+
+/** 79-qubit Aspen-M-3-style lattice of octagons. */
+CouplingMap aspenM3();
+
+/**
+ * Parametric heavy-hex-like lattice: @p rows rows of @p row_len qubits,
+ * consecutive rows joined by bridge qubits every @p spacing columns
+ * (alternating offsets), then extended with a chain tail or trimmed to
+ * exactly @p target qubits (0 = keep natural size).
+ */
+CouplingMap heavyHexLattice(int rows, int row_len, int spacing, int target,
+                            const std::string &name);
+
+/** All four Fig 25 devices in the paper's order. */
+std::vector<CouplingMap> fig25Devices();
+
+} // namespace topologies
+} // namespace redqaoa
+
+#endif // REDQAOA_CIRCUIT_TOPOLOGIES_HPP

@@ -1,0 +1,118 @@
+#include "common/linalg.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace redqaoa {
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix
+Matrix::operator*(const Matrix &rhs) const
+{
+    assert(cols_ == rhs.rows_);
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            double a = (*this)(r, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t c = 0; c < rhs.cols_; ++c)
+                out(r, c) += a * rhs(k, c);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::operator*(const std::vector<double> &v) const
+{
+    assert(cols_ == v.size());
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            s += (*this)(r, c) * v[c];
+        out[r] = s;
+    }
+    return out;
+}
+
+std::vector<double>
+solveLinearSystem(Matrix a, std::vector<double> b)
+{
+    assert(a.rows() == a.cols());
+    assert(a.rows() == b.size());
+    const std::size_t n = a.rows();
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        double best = std::fabs(a(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::fabs(a(r, col)) > best) {
+                best = std::fabs(a(r, col));
+                pivot = r;
+            }
+        }
+        if (best < 1e-14)
+            throw std::runtime_error("solveLinearSystem: singular matrix");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a(pivot, c), a(col, c));
+            std::swap(b[pivot], b[col]);
+        }
+        // Eliminate below.
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double f = a(r, col) / a(col, col);
+            if (f == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a(r, c) -= f * a(col, c);
+            b[r] -= f * b[col];
+        }
+    }
+
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double s = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c)
+            s -= a(ri, c) * x[c];
+        x[ri] = s / a(ri, ri);
+    }
+    return x;
+}
+
+std::vector<double>
+solveLeastSquares(const Matrix &a, const std::vector<double> &b, double ridge)
+{
+    assert(a.rows() == b.size());
+    Matrix at = a.transposed();
+    Matrix ata = at * a;
+    for (std::size_t i = 0; i < ata.rows(); ++i)
+        ata(i, i) += ridge;
+    std::vector<double> atb = at * b;
+    return solveLinearSystem(std::move(ata), std::move(atb));
+}
+
+} // namespace redqaoa

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small dense linear algebra: just enough for the polynomial least-squares
+ * fits (Figs 5 and 18), the GCN pooling layers, and eigenvector centrality.
+ * Matrices are row-major doubles; sizes in this library are tiny (tens of
+ * rows), so no blocking or vectorization heroics are warranted.
+ */
+
+#ifndef REDQAOA_COMMON_LINALG_HPP
+#define REDQAOA_COMMON_LINALG_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace redqaoa {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix, zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    /** Matrix transpose. */
+    Matrix transposed() const;
+
+    /** Matrix product this * rhs; dimensions must agree. */
+    Matrix operator*(const Matrix &rhs) const;
+
+    /** Matrix-vector product. */
+    std::vector<double> operator*(const std::vector<double> &v) const;
+
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve the square system A x = b by Gaussian elimination with partial
+ * pivoting. @return the solution vector.
+ * @throws std::runtime_error if A is (numerically) singular.
+ */
+std::vector<double> solveLinearSystem(Matrix a, std::vector<double> b);
+
+/**
+ * Least-squares solution of the (possibly tall) system A x = b via the
+ * normal equations with Tikhonov damping @p ridge for conditioning.
+ */
+std::vector<double> solveLeastSquares(const Matrix &a,
+                                      const std::vector<double> &b,
+                                      double ridge = 0.0);
+
+} // namespace redqaoa
+
+#endif // REDQAOA_COMMON_LINALG_HPP

@@ -1,0 +1,77 @@
+#include "common/polyfit.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/linalg.hpp"
+
+namespace redqaoa {
+
+double
+Polynomial::operator()(double x) const
+{
+    double y = 0.0;
+    for (std::size_t i = coeffs.size(); i-- > 0;)
+        y = y * x + coeffs[i];
+    return y;
+}
+
+Polynomial
+polyfit(const std::vector<double> &xs, const std::vector<double> &ys,
+        std::size_t degree)
+{
+    assert(xs.size() == ys.size());
+    assert(xs.size() > degree);
+
+    Matrix vandermonde(xs.size(), degree + 1);
+    for (std::size_t r = 0; r < xs.size(); ++r) {
+        double v = 1.0;
+        for (std::size_t c = 0; c <= degree; ++c) {
+            vandermonde(r, c) = v;
+            v *= xs[r];
+        }
+    }
+    Polynomial p;
+    p.coeffs = solveLeastSquares(vandermonde, ys, 1e-10);
+    return p;
+}
+
+double
+rSquared(const Polynomial &fit, const std::vector<double> &xs,
+         const std::vector<double> &ys)
+{
+    assert(xs.size() == ys.size());
+    if (xs.empty())
+        return 0.0;
+    double mean_y = 0.0;
+    for (double y : ys)
+        mean_y += y;
+    mean_y /= static_cast<double>(ys.size());
+
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double r = ys[i] - fit(xs[i]);
+        ss_res += r * r;
+        double d = ys[i] - mean_y;
+        ss_tot += d * d;
+    }
+    if (ss_tot <= 0.0)
+        return 1.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+std::pair<double, double>
+fitNLogN(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    assert(xs.size() == ys.size());
+    Matrix design(xs.size(), 2);
+    for (std::size_t r = 0; r < xs.size(); ++r) {
+        double x = xs[r];
+        design(r, 0) = x > 1.0 ? x * std::log2(x) : 0.0;
+        design(r, 1) = 1.0;
+    }
+    auto sol = solveLeastSquares(design, ys, 1e-12);
+    return {sol[0], sol[1]};
+}
+
+} // namespace redqaoa

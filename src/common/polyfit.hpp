@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Polynomial and n*log(n) least-squares fits. The paper fits a 6th-degree
+ * polynomial through the MSE-vs-AND-ratio scatter (Fig 5) and an n*log(n)
+ * curve through the preprocessing-runtime measurements (Fig 18).
+ */
+
+#ifndef REDQAOA_COMMON_POLYFIT_HPP
+#define REDQAOA_COMMON_POLYFIT_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace redqaoa {
+
+/** Polynomial c0 + c1 x + ... + ck x^k represented by its coefficients. */
+struct Polynomial
+{
+    std::vector<double> coeffs; //!< coeffs[i] multiplies x^i.
+
+    /** Evaluate at @p x via Horner's rule. */
+    double operator()(double x) const;
+
+    /** Degree (coeffs.size() - 1); -1 when empty. */
+    int degree() const { return static_cast<int>(coeffs.size()) - 1; }
+};
+
+/**
+ * Least-squares fit of a degree-@p degree polynomial through the points
+ * (xs[i], ys[i]). Uses the normal equations with mild ridge damping, which
+ * is plenty for the degree-6, dozens-of-points fits in the paper.
+ */
+Polynomial polyfit(const std::vector<double> &xs,
+                   const std::vector<double> &ys, std::size_t degree);
+
+/** Coefficient of determination (R^2) of @p fit over the data. */
+double rSquared(const Polynomial &fit, const std::vector<double> &xs,
+                const std::vector<double> &ys);
+
+/**
+ * Fit y ~ a * x log2(x) + b (the Fig 18 model).
+ * @return {a, b}.
+ */
+std::pair<double, double> fitNLogN(const std::vector<double> &xs,
+                                   const std::vector<double> &ys);
+
+} // namespace redqaoa
+
+#endif // REDQAOA_COMMON_POLYFIT_HPP

@@ -1,0 +1,154 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace redqaoa {
+namespace stats {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+minValue(const std::vector<double> &xs)
+{
+    assert(!xs.empty());
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxValue(const std::vector<double> &xs)
+{
+    assert(!xs.empty());
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    assert(!xs.empty());
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(xs.begin(), xs.end());
+    double pos = q * static_cast<double>(xs.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(pos));
+    auto hi = static_cast<std::size_t>(std::ceil(pos));
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+median(const std::vector<double> &xs)
+{
+    return quantile(xs, 0.5);
+}
+
+BoxSummary
+boxSummary(const std::vector<double> &xs)
+{
+    assert(!xs.empty());
+    BoxSummary box;
+    box.q1 = quantile(xs, 0.25);
+    box.median = quantile(xs, 0.5);
+    box.q3 = quantile(xs, 0.75);
+    double iqr = box.q3 - box.q1;
+    double lo_fence = box.q1 - 1.5 * iqr;
+    double hi_fence = box.q3 + 1.5 * iqr;
+    box.whiskerLow = box.q3;
+    box.whiskerHigh = box.q1;
+    for (double x : xs) {
+        if (x >= lo_fence)
+            box.whiskerLow = std::min(box.whiskerLow, x);
+        if (x <= hi_fence)
+            box.whiskerHigh = std::max(box.whiskerHigh, x);
+    }
+    return box;
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    assert(xs.size() == ys.size());
+    if (xs.size() < 2)
+        return 0.0;
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+Histogram::frequency(std::size_t b) const
+{
+    if (total == 0 || b >= counts.size())
+        return 0.0;
+    return static_cast<double>(counts[b]) / static_cast<double>(total);
+}
+
+double
+Histogram::edge(std::size_t b) const
+{
+    double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + width * static_cast<double>(b);
+}
+
+Histogram
+histogram(const std::vector<double> &xs, std::size_t bins)
+{
+    assert(bins > 0);
+    Histogram h;
+    h.counts.assign(bins, 0);
+    if (xs.empty())
+        return h;
+    h.lo = minValue(xs);
+    h.hi = maxValue(xs);
+    if (h.hi <= h.lo)
+        h.hi = h.lo + 1e-12;
+    for (double x : xs) {
+        double t = (x - h.lo) / (h.hi - h.lo);
+        auto b = static_cast<std::size_t>(t * static_cast<double>(bins));
+        if (b >= bins)
+            b = bins - 1;
+        ++h.counts[b];
+        ++h.total;
+    }
+    return h;
+}
+
+} // namespace stats
+} // namespace redqaoa

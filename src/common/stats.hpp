@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Descriptive statistics used by the benchmark harness and the paper's
+ * figures: means, medians, quartiles (Fig 19 box plots), Pearson
+ * correlation (Figs 5 and 7), and histogramming (Fig 9).
+ */
+
+#ifndef REDQAOA_COMMON_STATS_HPP
+#define REDQAOA_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace redqaoa {
+namespace stats {
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Population variance; 0 for fewer than two samples. */
+double variance(const std::vector<double> &xs);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/** Minimum value; requires non-empty input. */
+double minValue(const std::vector<double> &xs);
+
+/** Maximum value; requires non-empty input. */
+double maxValue(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated quantile, q in [0, 1] (q = 0.5 is the median).
+ * Requires non-empty input; the input is copied and sorted internally.
+ */
+double quantile(std::vector<double> xs, double q);
+
+/** Median (quantile 0.5). */
+double median(const std::vector<double> &xs);
+
+/** Five-number summary for box plots. */
+struct BoxSummary
+{
+    double whiskerLow;  //!< Lowest sample above Q1 - 1.5 IQR.
+    double q1;          //!< First quartile.
+    double median;      //!< Median.
+    double q3;          //!< Third quartile.
+    double whiskerHigh; //!< Highest sample below Q3 + 1.5 IQR.
+};
+
+/** Compute the box-plot summary of @p xs (requires non-empty input). */
+BoxSummary boxSummary(const std::vector<double> &xs);
+
+/** Pearson correlation coefficient; 0 if either side is constant. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Fixed-width histogram over [lo, hi] with @p bins buckets. */
+struct Histogram
+{
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<std::size_t> counts;
+
+    /** Fraction of all samples that fell in bucket @p b. */
+    double frequency(std::size_t b) const;
+
+    /** Left edge of bucket @p b. */
+    double edge(std::size_t b) const;
+
+    std::size_t total = 0;
+};
+
+/** Build a histogram of @p xs; the range defaults to [min, max]. */
+Histogram histogram(const std::vector<double> &xs, std::size_t bins);
+
+} // namespace stats
+} // namespace redqaoa
+
+#endif // REDQAOA_COMMON_STATS_HPP

@@ -1,0 +1,77 @@
+#include "core/layerwise.hpp"
+
+#include <cassert>
+
+#include "opt/cobyla_lite.hpp"
+
+namespace redqaoa {
+
+QaoaParams
+interpExtend(const QaoaParams &params)
+{
+    const int p = params.layers();
+    assert(p >= 1);
+    QaoaParams out;
+    out.gamma.resize(static_cast<std::size_t>(p) + 1);
+    out.beta.resize(static_cast<std::size_t>(p) + 1);
+    auto interp = [p](const std::vector<double> &xs, std::size_t i) {
+        // 1-indexed INTERP rule with x_0 = x_{p+1} = 0 boundaries.
+        double left = i >= 1 && i <= static_cast<std::size_t>(p)
+                          ? xs[i - 1]
+                          : 0.0;
+        double right = i < static_cast<std::size_t>(p) ? xs[i] : 0.0;
+        double w = static_cast<double>(i) / p;
+        return w * left + (1.0 - w) * right;
+    };
+    for (std::size_t i = 0; i <= static_cast<std::size_t>(p); ++i) {
+        out.gamma[i] = interp(params.gamma, i);
+        out.beta[i] = interp(params.beta, i);
+    }
+    return out;
+}
+
+LayerwiseResult
+optimizeLayerwise(CutEvaluator &eval, const LayerwiseOptions &opts,
+                  Rng &rng)
+{
+    assert(opts.targetLayers >= 1);
+    LayerwiseResult res;
+
+    Objective objective = [&eval](const std::vector<double> &x) {
+        return -eval.expectation(QaoaParams::unflatten(x));
+    };
+
+    OptOptions opt_opts;
+    opt_opts.maxEvaluations = opts.evaluationsPerDepth;
+    CobylaLite optimizer(opt_opts);
+
+    // Depth 1: global-ish search via restarts.
+    auto runs = multiRestart(
+        optimizer, objective, opts.firstDepthRestarts,
+        [](Rng &r) { return QaoaParams::random(1, r).flatten(); }, rng);
+    std::size_t best = bestRun(runs);
+    QaoaParams current = QaoaParams::unflatten(runs[best].x);
+    double best_energy = -runs[best].value;
+    for (const auto &r : runs)
+        res.evaluations += r.evaluations;
+    res.perDepthEnergy.push_back(best_energy);
+
+    // Deeper layers: INTERP seed + local refinement.
+    for (int depth = 2; depth <= opts.targetLayers; ++depth) {
+        QaoaParams seed = interpExtend(current);
+        OptOptions local = opt_opts;
+        local.initialStep = 0.2; // Stay near the interpolated schedule.
+        CobylaLite refiner(local);
+        OptResult run = refiner.minimize(objective, seed.flatten());
+        res.evaluations += run.evaluations;
+        current = QaoaParams::unflatten(run.x);
+        best_energy = -run.value;
+        res.perDepthEnergy.push_back(best_energy);
+    }
+
+    res.params = std::move(current);
+    res.energy = best_energy;
+    return res;
+}
+
+} // namespace redqaoa

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Layer-growing QAOA optimization with INTERP initialization (Zhou,
+ * Wang, Choi, Pichler, Lukin, PRX 2020) — one of the "complementary
+ * warm-start techniques" the paper's related-work section (§7.2) says
+ * Red-QAOA composes with. Depth p parameters seed depth p+1 by linear
+ * interpolation of the angle schedule, so each depth starts near a good
+ * optimum instead of from scratch.
+ */
+
+#ifndef REDQAOA_CORE_LAYERWISE_HPP
+#define REDQAOA_CORE_LAYERWISE_HPP
+
+#include <functional>
+
+#include "opt/optimizer.hpp"
+#include "quantum/evaluator.hpp"
+
+namespace redqaoa {
+
+/**
+ * INTERP: grow a depth-p schedule to depth p+1.
+ * gamma'_i = (i-1)/p * gamma_{i-1} + (p-i+1)/p * gamma_i (1-indexed,
+ * boundary terms dropping out), likewise for beta.
+ */
+QaoaParams interpExtend(const QaoaParams &params);
+
+/** Options for the layerwise driver. */
+struct LayerwiseOptions
+{
+    int targetLayers = 3;        //!< Final depth p.
+    int evaluationsPerDepth = 60; //!< Optimizer budget at each depth.
+    int firstDepthRestarts = 4;  //!< Random restarts at p = 1 only.
+};
+
+/** Result of a layerwise run. */
+struct LayerwiseResult
+{
+    QaoaParams params;            //!< Best depth-p parameters.
+    double energy = 0.0;          //!< <H_c> at the final parameters.
+    std::vector<double> perDepthEnergy; //!< Best energy at each depth.
+    int evaluations = 0;          //!< Total objective calls.
+};
+
+/**
+ * Optimize QAOA layer by layer on @p eval (maximizes <H_c>): random-
+ * restart search at p = 1, then INTERP extension + local refinement up
+ * to the target depth.
+ */
+LayerwiseResult optimizeLayerwise(CutEvaluator &eval,
+                                  const LayerwiseOptions &opts, Rng &rng);
+
+} // namespace redqaoa
+
+#endif // REDQAOA_CORE_LAYERWISE_HPP

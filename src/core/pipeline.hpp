@@ -1,0 +1,84 @@
+/**
+ * @file
+ * End-to-end Red-QAOA pipeline (Fig 4 of the paper):
+ *
+ *   1. distill G -> G' with the annealing reducer;
+ *   2. search QAOA parameters on G' (the small, less noisy circuit),
+ *      with classical-optimizer restarts;
+ *   3. transfer the best parameters to G;
+ *   4. refine briefly on G (the only stage that pays big-circuit noise);
+ *   5. report the final parameters and ideal-energy / approximation
+ *      ratio scores.
+ *
+ * A baseline run (same budget, all stages on G) is provided for the
+ * head-to-head comparisons in Figs 17, 19, 20.
+ */
+
+#ifndef REDQAOA_CORE_PIPELINE_HPP
+#define REDQAOA_CORE_PIPELINE_HPP
+
+#include <memory>
+
+#include "core/red_qaoa.hpp"
+#include "opt/cobyla_lite.hpp"
+#include "opt/optimizer.hpp"
+#include "quantum/evaluator.hpp"
+
+namespace redqaoa {
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    int layers = 1;                  //!< QAOA depth p.
+    NoiseModel noise;                //!< Device noise during search.
+    int restarts = 5;                //!< Optimizer restarts on G'.
+    int searchEvaluations = 60;      //!< Objective budget per restart.
+    int refineEvaluations = 25;      //!< Budget for the final refine on G.
+    int trajectories = 24;           //!< Noisy-evaluator trajectories.
+    int shots = 0;                   //!< 0 = exact noisy expectations;
+                                     //!< > 0 = finite-shot sampling.
+    RedQaoaOptions reducer;          //!< Graph-distillation settings.
+    int exactQubitLimit = 16;        //!< Statevector cutoff for ideal eval.
+    std::uint64_t seed = 1234;       //!< Noise stream seed.
+};
+
+/** Everything a pipeline run produces. */
+struct PipelineResult
+{
+    ReductionResult reduction;   //!< Distillation statistics.
+    QaoaParams params;           //!< Final parameters.
+    double idealEnergy = 0.0;    //!< <H_c> of params on G, ideal backend.
+    double approxRatio = 0.0;    //!< idealEnergy / MaxCut(G).
+    int maxCut = 0;              //!< Classical ground truth.
+    std::vector<OptResult> searchRuns; //!< Per-restart traces on G'.
+    OptResult refineRun;         //!< Trace of the refine stage on G.
+};
+
+/** The Red-QAOA optimization pipeline and its plain-QAOA baseline. */
+class RedQaoaPipeline
+{
+  public:
+    explicit RedQaoaPipeline(PipelineOptions opts = {}) : opts_(opts) {}
+
+    /** Full Red-QAOA flow on @p g. */
+    PipelineResult run(const Graph &g, Rng &rng) const;
+
+    /**
+     * Baseline: identical optimizer budget but every stage executes on
+     * the original graph's (noisier) circuit.
+     */
+    PipelineResult runBaseline(const Graph &g, Rng &rng) const;
+
+    const PipelineOptions &options() const { return opts_; }
+
+  private:
+    PipelineResult runWithSearchGraph(const Graph &g,
+                                      ReductionResult reduction,
+                                      Rng &rng) const;
+
+    PipelineOptions opts_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_CORE_PIPELINE_HPP

@@ -1,0 +1,208 @@
+#include "core/sa_reducer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace redqaoa {
+
+double
+andObjective(const Graph &subgraph, double target_and)
+{
+    return std::fabs(subgraph.averageDegree() - target_and);
+}
+
+namespace {
+
+/** Mutable annealing state: a k-node subset with its induced edge count. */
+class SubsetState
+{
+  public:
+    SubsetState(const Graph &g, const Subgraph &init)
+        : g_(g), in_(static_cast<std::size_t>(g.numNodes()), false),
+          members_(init.toOriginal)
+    {
+        for (Node v : members_)
+            in_[static_cast<std::size_t>(v)] = true;
+        edges_ = init.graph.numEdges();
+    }
+
+    double
+    averageDegree() const
+    {
+        return 2.0 * edges_ / static_cast<double>(members_.size());
+    }
+
+    /** Induced edges the subset would gain from @p v (minus @p except). */
+    int
+    degreeInside(Node v, Node except) const
+    {
+        int d = 0;
+        for (Node w : g_.neighbors(v))
+            if (w != except && in_[static_cast<std::size_t>(w)])
+                ++d;
+        return d;
+    }
+
+    /** Is (members - out + in) connected? BFS over the swapped set. */
+    bool
+    connectedAfterSwap(Node out, Node incoming) const
+    {
+        std::vector<Node> set;
+        set.reserve(members_.size());
+        for (Node v : members_)
+            if (v != out)
+                set.push_back(v);
+        set.push_back(incoming);
+
+        std::vector<bool> in_set(static_cast<std::size_t>(g_.numNodes()),
+                                 false);
+        for (Node v : set)
+            in_set[static_cast<std::size_t>(v)] = true;
+
+        std::vector<Node> stack{set[0]};
+        std::vector<bool> seen(static_cast<std::size_t>(g_.numNodes()),
+                               false);
+        seen[static_cast<std::size_t>(set[0])] = true;
+        std::size_t visited = 1;
+        while (!stack.empty()) {
+            Node v = stack.back();
+            stack.pop_back();
+            for (Node w : g_.neighbors(v)) {
+                auto wi = static_cast<std::size_t>(w);
+                if (in_set[wi] && !seen[wi]) {
+                    seen[wi] = true;
+                    ++visited;
+                    stack.push_back(w);
+                }
+            }
+        }
+        return visited == set.size();
+    }
+
+    /** Apply the swap (must be validated by the caller). */
+    void
+    swap(Node out, Node incoming, int new_edges)
+    {
+        in_[static_cast<std::size_t>(out)] = false;
+        in_[static_cast<std::size_t>(incoming)] = true;
+        auto it = std::find(members_.begin(), members_.end(), out);
+        *it = incoming;
+        edges_ = new_edges;
+    }
+
+    int edges() const { return edges_; }
+    const std::vector<Node> &members() const { return members_; }
+    bool contains(Node v) const { return in_[static_cast<std::size_t>(v)]; }
+
+  private:
+    const Graph &g_;
+    std::vector<bool> in_;
+    std::vector<Node> members_;
+    int edges_;
+};
+
+} // namespace
+
+SaResult
+SaReducer::reduce(const Graph &g, int k, Rng &rng) const
+{
+    assert(k >= 1 && k <= g.numNodes());
+    const double target_and = g.averageDegree();
+
+    SaResult res;
+    Subgraph init = randomConnectedSubgraph(g, k, rng);
+    SubsetState state(g, init);
+
+    auto objective = [&](double avg_degree) {
+        return std::fabs(avg_degree - target_and);
+    };
+
+    double f_current = objective(state.averageDegree());
+    std::vector<Node> best_members = state.members();
+    double f_best = f_current;
+
+    // Outside pool for proposal sampling.
+    std::vector<Node> outside;
+    for (Node v = 0; v < g.numNodes(); ++v)
+        if (!state.contains(v))
+            outside.push_back(v);
+
+    if (outside.empty() || k == g.numNodes()) {
+        res.subgraph = std::move(init);
+        res.objective = f_current;
+        return res;
+    }
+
+    int consecutive_rejects = 0;
+    for (double t = opts_.t0; t > opts_.tf; ++res.steps) {
+        for (int move = 0; move < opts_.movesPerTemperature; ++move) {
+            // Propose a connected swap.
+            Node out = -1, in = -1;
+            int new_edges = 0;
+            bool found = false;
+            for (int attempt = 0; attempt < opts_.connectivityRetries;
+                 ++attempt) {
+                Node cand_out = state.members()[rng.index(
+                    state.members().size())];
+                Node cand_in = outside[rng.index(outside.size())];
+                int e_new = state.edges() -
+                            state.degreeInside(cand_out, cand_out) +
+                            state.degreeInside(cand_in, cand_out);
+                if (e_new == 0 && k > 1)
+                    continue; // Certainly disconnected.
+                if (!state.connectedAfterSwap(cand_out, cand_in))
+                    continue;
+                out = cand_out;
+                in = cand_in;
+                new_edges = e_new;
+                found = true;
+                break;
+            }
+            if (!found) {
+                ++res.rejected;
+                ++consecutive_rejects;
+                continue;
+            }
+
+            double f_neighbor =
+                objective(2.0 * new_edges / static_cast<double>(k));
+            bool accept = f_neighbor < f_current;
+            if (!accept) {
+                double p = std::exp(-(f_neighbor - f_current) / t);
+                accept = rng.uniform() < p;
+            }
+            if (accept) {
+                state.swap(out, in, new_edges);
+                // Maintain the outside pool.
+                auto it = std::find(outside.begin(), outside.end(), in);
+                *it = out;
+                f_current = f_neighbor;
+                ++res.accepted;
+                consecutive_rejects = 0;
+                if (f_current < f_best) {
+                    f_best = f_current;
+                    best_members = state.members();
+                }
+            } else {
+                ++res.rejected;
+                ++consecutive_rejects;
+            }
+        }
+
+        if (opts_.adaptive) {
+            double exponent =
+                1.0 + static_cast<double>(consecutive_rejects) /
+                          static_cast<double>(opts_.rejectWindow);
+            t *= std::pow(opts_.alpha, exponent);
+        } else {
+            t *= opts_.alpha;
+        }
+    }
+
+    res.subgraph = inducedSubgraph(g, best_members);
+    res.objective = f_best;
+    return res;
+}
+
+} // namespace redqaoa

@@ -1,0 +1,29 @@
+#include "core/transfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace redqaoa {
+
+Graph
+transferDonor(int nodes, double target_degree, Rng &rng)
+{
+    int d = std::max(1, static_cast<int>(std::lround(target_degree)));
+    d = std::min(d, nodes - 1);
+    // n * d must be even for a regular graph to exist.
+    if ((nodes * d) % 2 != 0) {
+        if (d + 1 <= nodes - 1)
+            ++d;
+        else
+            --d;
+    }
+    if (d < 1) {
+        // Degenerate corner (nodes == 1): an edgeless graph.
+        return Graph(nodes);
+    }
+    return gen::randomRegular(nodes, d, rng);
+}
+
+} // namespace redqaoa

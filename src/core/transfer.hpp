@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The parameter-transfer baseline of §5.6 / Fig 21.
+ *
+ * Prior work transfers optimal QAOA parameters between random *regular*
+ * graphs of matching degree parity. To compare on non-regular inputs the
+ * paper builds, for each original graph, a small random regular "donor"
+ * with the same node count as the Red-QAOA reduced graph and degree
+ * equal to the original's (rounded) average degree; the donor's
+ * landscape then stands in for the original's.
+ */
+
+#ifndef REDQAOA_CORE_TRANSFER_HPP
+#define REDQAOA_CORE_TRANSFER_HPP
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace redqaoa {
+
+/**
+ * Build the parameter-transfer donor: a random regular graph with
+ * @p nodes nodes and degree as close as possible to @p target_degree
+ * (adjusted for feasibility: d < n and n*d even).
+ */
+Graph transferDonor(int nodes, double target_degree, Rng &rng);
+
+} // namespace redqaoa
+
+#endif // REDQAOA_CORE_TRANSFER_HPP

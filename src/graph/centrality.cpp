@@ -1,0 +1,172 @@
+#include "graph/centrality.hpp"
+
+#include <cmath>
+#include <queue>
+#include <stack>
+
+namespace redqaoa {
+namespace centrality {
+
+std::vector<double>
+degree(const Graph &g)
+{
+    const int n = g.numNodes();
+    std::vector<double> c(static_cast<std::size_t>(n), 0.0);
+    if (n <= 1)
+        return c;
+    for (Node v = 0; v < n; ++v)
+        c[static_cast<std::size_t>(v)] =
+            static_cast<double>(g.degree(v)) / (n - 1);
+    return c;
+}
+
+std::vector<double>
+clustering(const Graph &g)
+{
+    const int n = g.numNodes();
+    std::vector<double> c(static_cast<std::size_t>(n), 0.0);
+    for (Node v = 0; v < n; ++v) {
+        const auto &nbrs = g.neighbors(v);
+        int d = static_cast<int>(nbrs.size());
+        if (d < 2)
+            continue;
+        int links = 0;
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+                if (g.hasEdge(nbrs[i], nbrs[j]))
+                    ++links;
+        c[static_cast<std::size_t>(v)] =
+            2.0 * links / (static_cast<double>(d) * (d - 1));
+    }
+    return c;
+}
+
+std::vector<double>
+betweenness(const Graph &g)
+{
+    const int n = g.numNodes();
+    std::vector<double> cb(static_cast<std::size_t>(n), 0.0);
+    if (n < 3)
+        return cb;
+
+    // Brandes (2001): one BFS per source with dependency accumulation.
+    for (Node s = 0; s < n; ++s) {
+        std::stack<Node> order;
+        std::vector<std::vector<Node>> preds(static_cast<std::size_t>(n));
+        std::vector<double> sigma(static_cast<std::size_t>(n), 0.0);
+        std::vector<int> dist(static_cast<std::size_t>(n), -1);
+        sigma[static_cast<std::size_t>(s)] = 1.0;
+        dist[static_cast<std::size_t>(s)] = 0;
+
+        std::queue<Node> q;
+        q.push(s);
+        while (!q.empty()) {
+            Node v = q.front();
+            q.pop();
+            order.push(v);
+            for (Node w : g.neighbors(v)) {
+                auto wi = static_cast<std::size_t>(w);
+                auto vi = static_cast<std::size_t>(v);
+                if (dist[wi] < 0) {
+                    dist[wi] = dist[vi] + 1;
+                    q.push(w);
+                }
+                if (dist[wi] == dist[vi] + 1) {
+                    sigma[wi] += sigma[vi];
+                    preds[wi].push_back(v);
+                }
+            }
+        }
+
+        std::vector<double> delta(static_cast<std::size_t>(n), 0.0);
+        while (!order.empty()) {
+            Node w = order.top();
+            order.pop();
+            auto wi = static_cast<std::size_t>(w);
+            for (Node v : preds[wi]) {
+                auto vi = static_cast<std::size_t>(v);
+                delta[vi] += sigma[vi] / sigma[wi] * (1.0 + delta[wi]);
+            }
+            if (w != s)
+                cb[wi] += delta[wi];
+        }
+    }
+
+    // Undirected normalization: each pair counted twice; scale by the
+    // number of (ordered) pairs excluding the endpoint itself.
+    double norm = static_cast<double>(n - 1) * (n - 2);
+    for (double &x : cb)
+        x /= norm;
+    return cb;
+}
+
+std::vector<double>
+closeness(const Graph &g)
+{
+    const int n = g.numNodes();
+    std::vector<double> c(static_cast<std::size_t>(n), 0.0);
+    if (n <= 1)
+        return c;
+    for (Node v = 0; v < n; ++v) {
+        auto dist = g.bfsDistances(v);
+        long long total = 0;
+        int reachable = 0;
+        for (int d : dist) {
+            if (d > 0) {
+                total += d;
+                ++reachable;
+            }
+        }
+        if (total == 0)
+            continue;
+        // Wasserman-Faust: scale by the reachable fraction so values from
+        // different components remain comparable.
+        double frac = static_cast<double>(reachable) / (n - 1);
+        c[static_cast<std::size_t>(v)] =
+            frac * static_cast<double>(reachable) /
+            static_cast<double>(total);
+    }
+    return c;
+}
+
+std::vector<double>
+eigenvector(const Graph &g, int max_iters, double tol)
+{
+    const int n = g.numNodes();
+    std::vector<double> x(static_cast<std::size_t>(n),
+                          n > 0 ? 1.0 / std::sqrt(n) : 0.0);
+    if (n == 0 || g.numEdges() == 0)
+        return x;
+
+    std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+    for (int it = 0; it < max_iters; ++it) {
+        // Iterate on A + I: same leading eigenvector as A, but the
+        // spectral shift breaks the oscillation on bipartite graphs
+        // (stars, even cycles) where plain power iteration cycles.
+        next = x;
+        for (const Edge &e : g.edges()) {
+            next[static_cast<std::size_t>(e.u)] +=
+                x[static_cast<std::size_t>(e.v)];
+            next[static_cast<std::size_t>(e.v)] +=
+                x[static_cast<std::size_t>(e.u)];
+        }
+        double norm = 0.0;
+        for (double v : next)
+            norm += v * v;
+        norm = std::sqrt(norm);
+        if (norm < 1e-300)
+            return x; // Degenerate; keep previous iterate.
+        double diff = 0.0;
+        for (std::size_t i = 0; i < next.size(); ++i) {
+            next[i] /= norm;
+            diff += std::fabs(next[i] - x[i]);
+        }
+        x.swap(next);
+        if (diff < tol)
+            break;
+    }
+    return x;
+}
+
+} // namespace centrality
+} // namespace redqaoa

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Node centrality measures. Section 5.5 of the paper feeds exactly this
+ * feature set — node degree, clustering coefficient, betweenness,
+ * closeness, and eigenvector centrality — to the GNN pooling baselines.
+ */
+
+#ifndef REDQAOA_GRAPH_CENTRALITY_HPP
+#define REDQAOA_GRAPH_CENTRALITY_HPP
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace redqaoa {
+namespace centrality {
+
+/** Degree centrality: degree / (n - 1). */
+std::vector<double> degree(const Graph &g);
+
+/**
+ * Local clustering coefficient: fraction of a node's neighbor pairs that
+ * are themselves adjacent (0 for degree < 2).
+ */
+std::vector<double> clustering(const Graph &g);
+
+/**
+ * Betweenness centrality via Brandes' algorithm (unweighted),
+ * normalized by (n-1)(n-2)/2 pairs.
+ */
+std::vector<double> betweenness(const Graph &g);
+
+/**
+ * Closeness centrality with the Wasserman-Faust component correction,
+ * so disconnected graphs still get sensible values.
+ */
+std::vector<double> closeness(const Graph &g);
+
+/**
+ * Eigenvector centrality by power iteration on A (L2-normalized);
+ * falls back to the uniform vector if iteration cannot make progress
+ * (e.g., empty edge set).
+ */
+std::vector<double> eigenvector(const Graph &g, int max_iters = 200,
+                                double tol = 1e-10);
+
+} // namespace centrality
+} // namespace redqaoa
+
+#endif // REDQAOA_GRAPH_CENTRALITY_HPP

@@ -1,0 +1,201 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace redqaoa {
+namespace gen {
+
+Graph
+erdosRenyiGnp(int n, double p, Rng &rng)
+{
+    Graph g(n);
+    for (Node u = 0; u < n; ++u)
+        for (Node v = u + 1; v < n; ++v)
+            if (rng.bernoulli(p))
+                g.addEdge(u, v);
+    return g;
+}
+
+Graph
+erdosRenyiGnm(int n, int m, Rng &rng)
+{
+    assert(m <= n * (n - 1) / 2);
+    Graph g(n);
+    int added = 0;
+    while (added < m) {
+        Node u = static_cast<Node>(rng.index(static_cast<std::size_t>(n)));
+        Node v = static_cast<Node>(rng.index(static_cast<std::size_t>(n)));
+        if (g.addEdge(u, v))
+            ++added;
+    }
+    return g;
+}
+
+Graph
+connectedGnp(int n, double p, Rng &rng, int max_tries)
+{
+    double prob = p;
+    for (int round = 0;; ++round) {
+        for (int t = 0; t < max_tries; ++t) {
+            Graph g = erdosRenyiGnp(n, prob, rng);
+            if (g.isConnected())
+                return g;
+        }
+        prob = std::min(1.0, prob * 1.5 + 0.02);
+        if (round > 64)
+            throw std::runtime_error("connectedGnp: cannot connect graph");
+    }
+}
+
+Graph
+randomRegular(int n, int d, Rng &rng)
+{
+    if (d >= n || (n * d) % 2 != 0)
+        throw std::invalid_argument("randomRegular: invalid (n, d)");
+    if (d == n - 1)
+        return complete(n); // The unique (n-1)-regular graph.
+    // Configuration model: n*d stubs, random perfect matching, reject on
+    // self-loop or multi-edge and retry. Rejection gets expensive for
+    // dense d, so bound the attempts and fall back to a randomized
+    // circulant (ring lattice), which is d-regular by construction.
+    for (int attempt = 0; attempt < 2000; ++attempt) {
+        std::vector<Node> stubs;
+        stubs.reserve(static_cast<std::size_t>(n) * d);
+        for (Node v = 0; v < n; ++v)
+            for (int k = 0; k < d; ++k)
+                stubs.push_back(v);
+        rng.shuffle(stubs);
+        Graph g(n);
+        bool ok = true;
+        for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+            if (!g.addEdge(stubs[i], stubs[i + 1])) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return g;
+    }
+    // Circulant fallback under a random node relabeling: connect each
+    // node to its d/2 nearest ring neighbors (plus the antipode when d
+    // is odd; n is even then because n*d is even).
+    std::vector<Node> perm(static_cast<std::size_t>(n));
+    for (Node v = 0; v < n; ++v)
+        perm[static_cast<std::size_t>(v)] = v;
+    rng.shuffle(perm);
+    Graph g(n);
+    for (Node v = 0; v < n; ++v) {
+        for (int k = 1; k <= d / 2; ++k)
+            g.addEdge(perm[static_cast<std::size_t>(v)],
+                      perm[static_cast<std::size_t>((v + k) % n)]);
+        if (d % 2 == 1)
+            g.addEdge(perm[static_cast<std::size_t>(v)],
+                      perm[static_cast<std::size_t>((v + n / 2) % n)]);
+    }
+    return g;
+}
+
+Graph
+cycle(int n)
+{
+    assert(n >= 3);
+    Graph g(n);
+    for (Node v = 0; v < n; ++v)
+        g.addEdge(v, (v + 1) % n);
+    return g;
+}
+
+Graph
+path(int n)
+{
+    Graph g(n);
+    for (Node v = 0; v + 1 < n; ++v)
+        g.addEdge(v, v + 1);
+    return g;
+}
+
+Graph
+star(int n)
+{
+    assert(n >= 2);
+    Graph g(n);
+    for (Node v = 1; v < n; ++v)
+        g.addEdge(0, v);
+    return g;
+}
+
+Graph
+complete(int n)
+{
+    Graph g(n);
+    for (Node u = 0; u < n; ++u)
+        for (Node v = u + 1; v < n; ++v)
+            g.addEdge(u, v);
+    return g;
+}
+
+Graph
+karyTree(int n, int arity)
+{
+    assert(arity >= 1);
+    Graph g(n);
+    for (Node v = 1; v < n; ++v)
+        g.addEdge((v - 1) / arity, v);
+    return g;
+}
+
+Graph
+egoNetwork(int n, double alter_p, Rng &rng)
+{
+    assert(n >= 1);
+    Graph g(n);
+    for (Node v = 1; v < n; ++v)
+        g.addEdge(0, v);
+    for (Node u = 1; u < n; ++u)
+        for (Node v = u + 1; v < n; ++v)
+            if (rng.bernoulli(alter_p))
+                g.addEdge(u, v);
+    return g;
+}
+
+Graph
+rewireEdges(const Graph &g, double fraction, Rng &rng)
+{
+    int to_rewire =
+        std::max(1, static_cast<int>(fraction * g.numEdges() + 0.5));
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        // Select which edges survive.
+        std::vector<Edge> kept = g.edges();
+        rng.shuffle(kept);
+        int removed = std::min<int>(to_rewire, static_cast<int>(kept.size()));
+        kept.resize(kept.size() - static_cast<std::size_t>(removed));
+
+        Graph out(g.numNodes());
+        for (const Edge &e : kept)
+            out.addEdge(e.u, e.v);
+        // Re-insert the same number of fresh edges elsewhere.
+        int inserted = 0;
+        int guard = 0;
+        while (inserted < removed && guard < 100000) {
+            ++guard;
+            Node u = static_cast<Node>(
+                rng.index(static_cast<std::size_t>(g.numNodes())));
+            Node v = static_cast<Node>(
+                rng.index(static_cast<std::size_t>(g.numNodes())));
+            if (u == v || g.hasEdge(u, v))
+                continue; // Keep the rewiring a genuine change.
+            if (out.addEdge(u, v))
+                ++inserted;
+        }
+        if (inserted == removed && out.isConnected())
+            return out;
+    }
+    // Dense or adversarial corner: fall back to the original graph rather
+    // than looping forever; callers treat rewiring as best-effort.
+    return g;
+}
+
+} // namespace gen
+} // namespace redqaoa

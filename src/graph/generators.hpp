@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Graph generators covering every family the paper evaluates on:
+ * Erdős–Rényi random graphs (the "Random" dataset and most ablations),
+ * random regular graphs and their 10%-rewired variants (the parameter
+ * transfer study, §5.6), cycles (Fig 3), stars and complete k-ary trees
+ * (Fig 21), plus ego-network builders used by the synthetic IMDb dataset.
+ */
+
+#ifndef REDQAOA_GRAPH_GENERATORS_HPP
+#define REDQAOA_GRAPH_GENERATORS_HPP
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace redqaoa {
+namespace gen {
+
+/** Erdős–Rényi G(n, p): each pair independently an edge w.p. @p p. */
+Graph erdosRenyiGnp(int n, double p, Rng &rng);
+
+/** Erdős–Rényi G(n, m): exactly @p m distinct edges chosen uniformly. */
+Graph erdosRenyiGnm(int n, int m, Rng &rng);
+
+/**
+ * Connected Erdős–Rényi graph: resamples G(n, p) until connected,
+ * nudging p upward every @p max_tries failures so the loop terminates
+ * even for very sparse requests.
+ */
+Graph connectedGnp(int n, double p, Rng &rng, int max_tries = 200);
+
+/**
+ * Random d-regular graph via the configuration (pairing) model with
+ * rejection of self-loops/multi-edges. Requires n*d even and d < n.
+ */
+Graph randomRegular(int n, int d, Rng &rng);
+
+/** Cycle graph C_n (n >= 3). */
+Graph cycle(int n);
+
+/** Path graph P_n. */
+Graph path(int n);
+
+/** Star graph: node 0 joined to nodes 1..n-1. */
+Graph star(int n);
+
+/** Complete graph K_n. */
+Graph complete(int n);
+
+/**
+ * Complete k-ary tree with @p n nodes (breadth-first filled). The paper's
+ * "4-aray_30" graph in Fig 21 is karyTree(30, 4).
+ */
+Graph karyTree(int n, int arity);
+
+/**
+ * Ego network: an ego node connected to all n-1 alters; each alter pair
+ * is connected with probability @p alter_p. Models IMDb collaboration
+ * neighborhoods (dense, near-clique for high alter_p).
+ */
+Graph egoNetwork(int n, double alter_p, Rng &rng);
+
+/**
+ * Rewire approximately @p fraction of the edges: each selected edge is
+ * removed and a new non-duplicate edge inserted between a uniformly
+ * random non-adjacent pair, preserving edge count but breaking
+ * regularity. Used to create the "slightly irregular" graphs of §5.6.
+ * The result is resampled (a bounded number of times) to stay connected.
+ */
+Graph rewireEdges(const Graph &g, double fraction, Rng &rng);
+
+} // namespace gen
+} // namespace redqaoa
+
+#endif // REDQAOA_GRAPH_GENERATORS_HPP

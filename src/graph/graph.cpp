@@ -1,0 +1,131 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <sstream>
+
+namespace redqaoa {
+
+Graph::Graph(int n, const std::vector<std::pair<int, int>> &edges)
+    : adj_(static_cast<std::size_t>(n))
+{
+    for (auto [u, v] : edges)
+        addEdge(u, v);
+}
+
+bool
+Graph::addEdge(Node u, Node v)
+{
+    assert(u >= 0 && u < numNodes());
+    assert(v >= 0 && v < numNodes());
+    if (u == v || hasEdge(u, v))
+        return false;
+    if (u > v)
+        std::swap(u, v);
+    adj_[static_cast<std::size_t>(u)].push_back(v);
+    adj_[static_cast<std::size_t>(v)].push_back(u);
+    edges_.push_back(Edge{u, v});
+    return true;
+}
+
+bool
+Graph::hasEdge(Node u, Node v) const
+{
+    if (u < 0 || v < 0 || u >= numNodes() || v >= numNodes())
+        return false;
+    // Scan the smaller adjacency list.
+    const auto &a = degree(u) <= degree(v) ? neighbors(u) : neighbors(v);
+    Node needle = degree(u) <= degree(v) ? v : u;
+    return std::find(a.begin(), a.end(), needle) != a.end();
+}
+
+double
+Graph::averageDegree() const
+{
+    if (numNodes() == 0)
+        return 0.0;
+    return 2.0 * numEdges() / static_cast<double>(numNodes());
+}
+
+bool
+Graph::isConnected() const
+{
+    if (numNodes() <= 1)
+        return true;
+    auto dist = bfsDistances(0);
+    return std::none_of(dist.begin(), dist.end(),
+                        [](int d) { return d < 0; });
+}
+
+std::vector<std::vector<Node>>
+Graph::connectedComponents() const
+{
+    std::vector<std::vector<Node>> comps;
+    std::vector<bool> seen(static_cast<std::size_t>(numNodes()), false);
+    for (Node s = 0; s < numNodes(); ++s) {
+        if (seen[static_cast<std::size_t>(s)])
+            continue;
+        std::vector<Node> comp;
+        std::queue<Node> q;
+        q.push(s);
+        seen[static_cast<std::size_t>(s)] = true;
+        while (!q.empty()) {
+            Node v = q.front();
+            q.pop();
+            comp.push_back(v);
+            for (Node w : neighbors(v)) {
+                if (!seen[static_cast<std::size_t>(w)]) {
+                    seen[static_cast<std::size_t>(w)] = true;
+                    q.push(w);
+                }
+            }
+        }
+        comps.push_back(std::move(comp));
+    }
+    return comps;
+}
+
+std::vector<int>
+Graph::bfsDistances(Node src) const
+{
+    std::vector<int> dist(static_cast<std::size_t>(numNodes()), -1);
+    if (src < 0 || src >= numNodes())
+        return dist;
+    std::queue<Node> q;
+    dist[static_cast<std::size_t>(src)] = 0;
+    q.push(src);
+    while (!q.empty()) {
+        Node v = q.front();
+        q.pop();
+        for (Node w : neighbors(v)) {
+            if (dist[static_cast<std::size_t>(w)] < 0) {
+                dist[static_cast<std::size_t>(w)] =
+                    dist[static_cast<std::size_t>(v)] + 1;
+                q.push(w);
+            }
+        }
+    }
+    return dist;
+}
+
+int
+Graph::maxDegree() const
+{
+    int best = 0;
+    for (Node v = 0; v < numNodes(); ++v)
+        best = std::max(best, degree(v));
+    return best;
+}
+
+std::string
+Graph::summary() const
+{
+    std::ostringstream os;
+    os << "n=" << numNodes() << " m=" << numEdges();
+    os.precision(3);
+    os << " AND=" << averageDegree();
+    return os.str();
+}
+
+} // namespace redqaoa

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Undirected simple graph used throughout Red-QAOA.
+ *
+ * QAOA MaxCut instances, device coupling maps, and the reducer's subgraphs
+ * are all instances of this type. Nodes are dense integers [0, n); edges
+ * are unweighted and stored both as a flat edge list (for Hamiltonian
+ * construction, where edge order defines the cost-term order) and as
+ * adjacency lists (for traversals and the annealer's neighbor moves).
+ */
+
+#ifndef REDQAOA_GRAPH_GRAPH_HPP
+#define REDQAOA_GRAPH_GRAPH_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace redqaoa {
+
+/** Node index type. */
+using Node = int;
+
+/** An undirected edge (endpoints kept with u < v). */
+struct Edge
+{
+    Node u;
+    Node v;
+
+    bool operator==(const Edge &o) const { return u == o.u && v == o.v; }
+};
+
+/** Undirected simple graph with dense node ids. */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /** Graph with @p n isolated nodes. */
+    explicit Graph(int n) : adj_(static_cast<std::size_t>(n)) {}
+
+    /** Graph from a node count and an edge list (duplicates ignored). */
+    Graph(int n, const std::vector<std::pair<int, int>> &edges);
+
+    /** Number of nodes. */
+    int numNodes() const { return static_cast<int>(adj_.size()); }
+
+    /** Number of edges. */
+    int numEdges() const { return static_cast<int>(edges_.size()); }
+
+    /**
+     * Add the undirected edge (u, v).
+     * Self-loops and duplicate edges are ignored.
+     * @return true if the edge was inserted.
+     */
+    bool addEdge(Node u, Node v);
+
+    /** True if (u, v) is an edge. */
+    bool hasEdge(Node u, Node v) const;
+
+    /** Neighbors of @p v (unsorted, insertion order). */
+    const std::vector<Node> &neighbors(Node v) const
+    {
+        return adj_[static_cast<std::size_t>(v)];
+    }
+
+    /** Degree of @p v. */
+    int degree(Node v) const
+    {
+        return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+    }
+
+    /** Flat edge list, endpoints normalized u < v, in insertion order. */
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /**
+     * Average node degree (AND) = 2|E| / |V|: the similarity metric
+     * Red-QAOA's annealing objective is built on (paper Section 4.2).
+     */
+    double averageDegree() const;
+
+    /** True if the graph is connected (the empty graph counts as connected). */
+    bool isConnected() const;
+
+    /** Connected components as node lists. */
+    std::vector<std::vector<Node>> connectedComponents() const;
+
+    /**
+     * BFS hop distances from @p src; unreachable nodes get -1.
+     */
+    std::vector<int> bfsDistances(Node src) const;
+
+    /** Maximum degree over all nodes (0 for the empty graph). */
+    int maxDegree() const;
+
+    /** Human-readable one-line summary ("n=10 m=22 AND=4.40"). */
+    std::string summary() const;
+
+  private:
+    std::vector<std::vector<Node>> adj_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_GRAPH_GRAPH_HPP

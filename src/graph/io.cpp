@@ -1,0 +1,119 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace redqaoa {
+namespace io {
+
+namespace {
+
+[[noreturn]] void
+fail(int line_no, const std::string &what)
+{
+    std::ostringstream os;
+    os << "edge list parse error at line " << line_no << ": " << what;
+    throw std::runtime_error(os.str());
+}
+
+} // namespace
+
+Graph
+readEdgeList(std::istream &in)
+{
+    int declared_nodes = -1;
+    std::vector<std::pair<int, int>> edges;
+    int max_node = -1;
+
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments.
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string first;
+        if (!(ls >> first))
+            continue; // Blank line.
+
+        if (first == "p") {
+            if (declared_nodes >= 0)
+                fail(line_no, "duplicate 'p' line");
+            if (!(ls >> declared_nodes) || declared_nodes < 0)
+                fail(line_no, "bad node count");
+            continue;
+        }
+
+        int u, v;
+        if (first == "e") {
+            if (!(ls >> u >> v))
+                fail(line_no, "bad edge");
+        } else {
+            // Bare "u v" pair: first token is u.
+            try {
+                std::size_t used = 0;
+                u = std::stoi(first, &used);
+                if (used != first.size())
+                    fail(line_no, "unrecognized token '" + first + "'");
+            } catch (const std::logic_error &) {
+                fail(line_no, "unrecognized token '" + first + "'");
+            }
+            if (!(ls >> v))
+                fail(line_no, "bad edge");
+        }
+        if (u < 0 || v < 0)
+            fail(line_no, "negative node id");
+        std::string trailing;
+        if (ls >> trailing)
+            fail(line_no, "trailing tokens");
+        edges.emplace_back(u, v);
+        max_node = std::max(max_node, std::max(u, v));
+    }
+
+    int n = declared_nodes >= 0 ? declared_nodes : max_node + 1;
+    if (max_node >= n)
+        throw std::runtime_error(
+            "edge list parse error: edge endpoint exceeds node count");
+    return Graph(n, edges);
+}
+
+Graph
+readEdgeListString(const std::string &text)
+{
+    std::istringstream in(text);
+    return readEdgeList(in);
+}
+
+Graph
+loadGraph(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open graph file: " + path);
+    return readEdgeList(in);
+}
+
+void
+writeEdgeList(std::ostream &out, const Graph &g)
+{
+    out << "# redqaoa edge list: " << g.summary() << "\n";
+    out << "p " << g.numNodes() << "\n";
+    for (const Edge &e : g.edges())
+        out << "e " << e.u << " " << e.v << "\n";
+}
+
+void
+saveGraph(const std::string &path, const Graph &g)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write graph file: " + path);
+    writeEdgeList(out, g);
+}
+
+} // namespace io
+} // namespace redqaoa

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Graph serialization: a plain edge-list text format so users can run
+ * Red-QAOA on their own instances and export distilled graphs.
+ *
+ * Format (comments and blank lines allowed):
+ *
+ *     # anything after '#' is ignored
+ *     p <num_nodes>
+ *     e <u> <v>
+ *     e <u> <v>
+ *     ...
+ *
+ * The "p"/"e" prefixes follow DIMACS conventions loosely; a bare pair
+ * "u v" per line is also accepted (node count inferred).
+ */
+
+#ifndef REDQAOA_GRAPH_IO_HPP
+#define REDQAOA_GRAPH_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace redqaoa {
+namespace io {
+
+/**
+ * Parse a graph from a stream.
+ * @throws std::runtime_error on malformed input (bad tokens, negative
+ *         ids, edge endpoints beyond the declared node count).
+ */
+Graph readEdgeList(std::istream &in);
+
+/** Parse a graph from a string (convenience for tests/tools). */
+Graph readEdgeListString(const std::string &text);
+
+/** Load a graph from a file. @throws std::runtime_error if unreadable. */
+Graph loadGraph(const std::string &path);
+
+/** Serialize in the canonical "p/e" form. */
+void writeEdgeList(std::ostream &out, const Graph &g);
+
+/** Save to a file. @throws std::runtime_error if unwritable. */
+void saveGraph(const std::string &path, const Graph &g);
+
+} // namespace io
+} // namespace redqaoa
+
+#endif // REDQAOA_GRAPH_IO_HPP

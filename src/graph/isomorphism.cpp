@@ -1,0 +1,185 @@
+#include "graph/isomorphism.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+namespace redqaoa {
+
+namespace {
+
+/**
+ * Weisfeiler-Leman color refinement. Returns one color id per node;
+ * ids are isomorphism-invariant because at every round new ids are
+ * assigned in sorted order of the (old color, sorted neighbor colors)
+ * signatures, which are themselves invariant.
+ */
+std::vector<int>
+wlColors(const Graph &g)
+{
+    const int n = g.numNodes();
+    std::vector<int> color(static_cast<std::size_t>(n), 0);
+    for (Node v = 0; v < n; ++v)
+        color[static_cast<std::size_t>(v)] = g.degree(v);
+
+    for (int round = 0; round < n; ++round) {
+        using Sig = std::pair<int, std::vector<int>>;
+        std::vector<Sig> sigs(static_cast<std::size_t>(n));
+        for (Node v = 0; v < n; ++v) {
+            std::vector<int> nb;
+            nb.reserve(g.neighbors(v).size());
+            for (Node w : g.neighbors(v))
+                nb.push_back(color[static_cast<std::size_t>(w)]);
+            std::sort(nb.begin(), nb.end());
+            sigs[static_cast<std::size_t>(v)] = {
+                color[static_cast<std::size_t>(v)], std::move(nb)};
+        }
+        std::map<Sig, int> ids;
+        for (const auto &s : sigs)
+            ids.emplace(s, 0);
+        int next = 0;
+        for (auto &kv : ids)
+            kv.second = next++;
+        bool changed = false;
+        for (Node v = 0; v < n; ++v) {
+            int nc = ids[sigs[static_cast<std::size_t>(v)]];
+            if (nc != color[static_cast<std::size_t>(v)])
+                changed = true;
+            color[static_cast<std::size_t>(v)] = nc;
+        }
+        if (!changed)
+            break;
+    }
+    return color;
+}
+
+/** Branch-and-bound search for the lexicographically smallest placement. */
+class CanonicalSearch
+{
+  public:
+    explicit CanonicalSearch(const Graph &g)
+        : g_(g), n_(g.numNodes()), colors_(wlColors(g))
+    {
+        // The canonical node ordering must visit WL color classes in
+        // ascending id order; this is isomorphism-invariant and prunes
+        // the permutation space to within-class choices.
+        colorSequence_.reserve(static_cast<std::size_t>(n_));
+        std::vector<int> sorted = colors_;
+        std::sort(sorted.begin(), sorted.end());
+        colorSequence_ = std::move(sorted);
+        used_.assign(static_cast<std::size_t>(n_), false);
+        placed_.reserve(static_cast<std::size_t>(n_));
+        current_.assign(static_cast<std::size_t>(n_), 0);
+        best_.assign(static_cast<std::size_t>(n_),
+                     ~static_cast<std::uint64_t>(0));
+        haveBest_ = false;
+    }
+
+    std::vector<std::uint64_t>
+    run()
+    {
+        assert(n_ <= 64 && "canonical form limited to 64 nodes");
+        dfs(0);
+        return best_;
+    }
+
+  private:
+    void
+    dfs(int pos)
+    {
+        if (pos == n_) {
+            best_ = current_;
+            haveBest_ = true;
+            return;
+        }
+        int want_color = colorSequence_[static_cast<std::size_t>(pos)];
+        for (Node v = 0; v < n_; ++v) {
+            auto vi = static_cast<std::size_t>(v);
+            if (used_[vi] || colors_[vi] != want_color)
+                continue;
+            // Adjacency mask of v against already-placed nodes.
+            std::uint64_t mask = 0;
+            for (int j = 0; j < pos; ++j)
+                if (g_.hasEdge(v, placed_[static_cast<std::size_t>(j)]))
+                    mask |= (1ULL << j);
+            auto pi = static_cast<std::size_t>(pos);
+            if (haveBest_) {
+                if (mask > best_[pi])
+                    continue; // Prefix already worse.
+            }
+            bool strictly_better = !haveBest_ || mask < best_[pi];
+            current_[pi] = mask;
+            used_[vi] = true;
+            placed_.push_back(v);
+            if (strictly_better) {
+                // Everything below this prefix beats best: finish greedily
+                // by full search (best_ updated at the first leaf).
+                std::vector<std::uint64_t> saved_best;
+                bool saved_have = haveBest_;
+                if (haveBest_)
+                    saved_best = best_;
+                haveBest_ = false;
+                dfs(pos + 1);
+                // If the old best was smaller on this prefix we would not
+                // be here; new best is valid. (dfs always sets best_ at
+                // leaves when haveBest_ is false.)
+                (void)saved_best;
+                (void)saved_have;
+                haveBest_ = true;
+            } else {
+                dfs(pos + 1);
+            }
+            placed_.pop_back();
+            used_[vi] = false;
+        }
+    }
+
+    const Graph &g_;
+    int n_;
+    std::vector<int> colors_;
+    std::vector<int> colorSequence_;
+    std::vector<bool> used_;
+    std::vector<Node> placed_;
+    std::vector<std::uint64_t> current_;
+    std::vector<std::uint64_t> best_;
+    bool haveBest_;
+};
+
+} // namespace
+
+std::string
+canonicalCertificate(const Graph &g)
+{
+    std::ostringstream os;
+    os << g.numNodes() << ":" << g.numEdges() << ":";
+    if (g.numNodes() == 0)
+        return os.str();
+    CanonicalSearch search(g);
+    for (std::uint64_t m : search.run())
+        os << std::hex << m << ",";
+    return os.str();
+}
+
+bool
+isIsomorphic(const Graph &a, const Graph &b)
+{
+    if (a.numNodes() != b.numNodes() || a.numEdges() != b.numEdges())
+        return false;
+    return canonicalCertificate(a) == canonicalCertificate(b);
+}
+
+std::vector<std::size_t>
+uniqueUpToIsomorphism(const std::vector<Graph> &graphs)
+{
+    std::vector<std::size_t> keep;
+    std::map<std::string, std::size_t> seen;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+        std::string cert = canonicalCertificate(graphs[i]);
+        if (seen.emplace(std::move(cert), i).second)
+            keep.push_back(i);
+    }
+    return keep;
+}
+
+} // namespace redqaoa

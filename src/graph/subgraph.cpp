@@ -1,0 +1,148 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace redqaoa {
+
+Subgraph
+inducedSubgraph(const Graph &g, std::vector<Node> nodes)
+{
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+    std::vector<int> to_new(static_cast<std::size_t>(g.numNodes()), -1);
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        to_new[static_cast<std::size_t>(nodes[i])] = static_cast<int>(i);
+
+    Subgraph s;
+    s.graph = Graph(static_cast<int>(nodes.size()));
+    s.toOriginal = std::move(nodes);
+    for (const Edge &e : g.edges()) {
+        int nu = to_new[static_cast<std::size_t>(e.u)];
+        int nv = to_new[static_cast<std::size_t>(e.v)];
+        if (nu >= 0 && nv >= 0)
+            s.graph.addEdge(nu, nv);
+    }
+    return s;
+}
+
+Subgraph
+randomConnectedSubgraph(const Graph &g, int k, Rng &rng)
+{
+    assert(k >= 1);
+    if (k > g.numNodes())
+        throw std::invalid_argument("randomConnectedSubgraph: k > n");
+
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        Node seed =
+            static_cast<Node>(rng.index(static_cast<std::size_t>(g.numNodes())));
+        std::vector<bool> in(static_cast<std::size_t>(g.numNodes()), false);
+        std::vector<Node> chosen{seed};
+        std::vector<Node> frontier;
+        in[static_cast<std::size_t>(seed)] = true;
+        for (Node w : g.neighbors(seed))
+            frontier.push_back(w);
+
+        while (static_cast<int>(chosen.size()) < k && !frontier.empty()) {
+            std::size_t pick_at = rng.index(frontier.size());
+            Node v = frontier[pick_at];
+            frontier[pick_at] = frontier.back();
+            frontier.pop_back();
+            if (in[static_cast<std::size_t>(v)])
+                continue;
+            in[static_cast<std::size_t>(v)] = true;
+            chosen.push_back(v);
+            for (Node w : g.neighbors(v))
+                if (!in[static_cast<std::size_t>(w)])
+                    frontier.push_back(w);
+        }
+        if (static_cast<int>(chosen.size()) == k)
+            return inducedSubgraph(g, std::move(chosen));
+        // Seed landed in a too-small component; retry.
+    }
+    throw std::runtime_error(
+        "randomConnectedSubgraph: no component of requested size");
+}
+
+namespace {
+
+/** ESU recursive extension (Wernicke 2006). */
+void
+extendSubgraph(const Graph &g, std::vector<Node> &sub,
+               std::vector<Node> extension, Node root, int k,
+               std::size_t limit, std::vector<std::vector<Node>> &out)
+{
+    if (static_cast<int>(sub.size()) == k) {
+        std::vector<Node> sorted = sub;
+        std::sort(sorted.begin(), sorted.end());
+        out.push_back(std::move(sorted));
+        return;
+    }
+    while (!extension.empty()) {
+        if (limit != 0 && out.size() >= limit)
+            return;
+        Node w = extension.back();
+        extension.pop_back();
+
+        // New extension: exclusive neighbors of w greater than root.
+        std::vector<Node> next_ext = extension;
+        for (Node u : g.neighbors(w)) {
+            if (u <= root)
+                continue;
+            bool adjacent_to_sub = false;
+            for (Node s : sub) {
+                if (u == s || g.hasEdge(u, s)) {
+                    adjacent_to_sub = true;
+                    break;
+                }
+            }
+            if (!adjacent_to_sub &&
+                std::find(next_ext.begin(), next_ext.end(), u) ==
+                    next_ext.end())
+                next_ext.push_back(u);
+        }
+        sub.push_back(w);
+        extendSubgraph(g, sub, std::move(next_ext), root, k, limit, out);
+        sub.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<std::vector<Node>>
+connectedSubgraphs(const Graph &g, int k, std::size_t limit)
+{
+    std::vector<std::vector<Node>> out;
+    if (k < 1 || k > g.numNodes())
+        return out;
+    for (Node root = 0; root < g.numNodes(); ++root) {
+        if (limit != 0 && out.size() >= limit)
+            break;
+        std::vector<Node> sub{root};
+        std::vector<Node> ext;
+        for (Node w : g.neighbors(root))
+            if (w > root)
+                ext.push_back(w);
+        extendSubgraph(g, sub, std::move(ext), root, k, limit, out);
+    }
+    return out;
+}
+
+Subgraph
+edgeNeighborhood(const Graph &g, Edge e, int radius)
+{
+    auto du = g.bfsDistances(e.u);
+    auto dv = g.bfsDistances(e.v);
+    std::vector<Node> nodes;
+    for (Node w = 0; w < g.numNodes(); ++w) {
+        int a = du[static_cast<std::size_t>(w)];
+        int b = dv[static_cast<std::size_t>(w)];
+        if ((a >= 0 && a <= radius) || (b >= 0 && b <= radius))
+            nodes.push_back(w);
+    }
+    return inducedSubgraph(g, std::move(nodes));
+}
+
+} // namespace redqaoa

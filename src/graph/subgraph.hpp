@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Subgraph machinery: induced subgraphs with node maps, random connected
+ * subgraphs (the annealer's initial solution), exhaustive connected
+ * subgraph enumeration (the paper's Figs 5 and 9 sweep *all* unique
+ * subgraphs of a 15-node graph), and the distance-p neighborhood around
+ * an edge (the QAOA light-cone of §3.3).
+ */
+
+#ifndef REDQAOA_GRAPH_SUBGRAPH_HPP
+#define REDQAOA_GRAPH_SUBGRAPH_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace redqaoa {
+
+/** An induced subgraph together with its node correspondence. */
+struct Subgraph
+{
+    Graph graph;                 //!< The induced subgraph, nodes relabeled.
+    std::vector<Node> toOriginal; //!< toOriginal[new] = original node id.
+
+    /** Original node ids sorted ascending (defines the relabeling). */
+    const std::vector<Node> &nodes() const { return toOriginal; }
+};
+
+/** Induced subgraph on @p nodes (deduplicated, sorted internally). */
+Subgraph inducedSubgraph(const Graph &g, std::vector<Node> nodes);
+
+/**
+ * Uniform-ish random connected induced subgraph of size @p k grown by a
+ * randomized BFS (snowball sampling). Requires a connected component of
+ * size >= k to exist; throws otherwise.
+ */
+Subgraph randomConnectedSubgraph(const Graph &g, int k, Rng &rng);
+
+/**
+ * Enumerate all connected induced subgraphs with exactly @p k nodes,
+ * using the ESU (FANMOD) algorithm. Stops after @p limit results to
+ * bound work on dense graphs (0 = unlimited).
+ * @return node sets (each sorted ascending).
+ */
+std::vector<std::vector<Node>> connectedSubgraphs(const Graph &g, int k,
+                                                  std::size_t limit = 0);
+
+/**
+ * The distance-@p radius neighborhood of edge (u, v): all nodes within
+ * @p radius hops of either endpoint, i.e. the qubits a depth-p QAOA edge
+ * term can touch (Farhi's light-cone argument, §3.3 of the paper).
+ */
+Subgraph edgeNeighborhood(const Graph &g, Edge e, int radius);
+
+} // namespace redqaoa
+
+#endif // REDQAOA_GRAPH_SUBGRAPH_HPP

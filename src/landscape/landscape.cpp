@@ -1,0 +1,159 @@
+#include "landscape/landscape.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace redqaoa {
+
+Landscape
+Landscape::evaluate(CutEvaluator &eval, int width)
+{
+    assert(width >= 2);
+    Landscape ls;
+    ls.width_ = width;
+    ls.values_.resize(static_cast<std::size_t>(width) * width);
+    for (int bi = 0; bi < width; ++bi) {
+        double beta = M_PI * bi / width;
+        for (int gi = 0; gi < width; ++gi) {
+            double gamma = 2.0 * M_PI * gi / width;
+            QaoaParams p({gamma}, {beta});
+            ls.values_[static_cast<std::size_t>(bi * width + gi)] =
+                eval.expectation(p);
+        }
+    }
+    return ls;
+}
+
+LandscapePoint
+Landscape::point(int gi, int bi) const
+{
+    return LandscapePoint{2.0 * M_PI * gi / width_, M_PI * bi / width_};
+}
+
+std::vector<double>
+Landscape::normalized() const
+{
+    return normalizeValues(values_);
+}
+
+LandscapePoint
+Landscape::optimum() const
+{
+    assert(!values_.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < values_.size(); ++i)
+        if (values_[i] > values_[best])
+            best = i;
+    int bi = static_cast<int>(best) / width_;
+    int gi = static_cast<int>(best) % width_;
+    return point(gi, bi);
+}
+
+std::vector<LandscapePoint>
+Landscape::optima(double tol) const
+{
+    assert(!values_.empty());
+    double lo = *std::min_element(values_.begin(), values_.end());
+    double hi = *std::max_element(values_.begin(), values_.end());
+    double cutoff = hi - tol * (hi - lo);
+    std::vector<LandscapePoint> out;
+    for (int bi = 0; bi < width_; ++bi)
+        for (int gi = 0; gi < width_; ++gi)
+            if (at(gi, bi) >= cutoff)
+                out.push_back(point(gi, bi));
+    return out;
+}
+
+std::vector<double>
+normalizeValues(const std::vector<double> &v)
+{
+    if (v.empty())
+        return {};
+    double lo = *std::min_element(v.begin(), v.end());
+    double hi = *std::max_element(v.begin(), v.end());
+    std::vector<double> out(v.size(), 0.0);
+    if (hi - lo < 1e-300)
+        return out;
+    double inv = 1.0 / (hi - lo);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = (v[i] - lo) * inv;
+    return out;
+}
+
+double
+landscapeMse(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    assert(!a.empty());
+    auto na = normalizeValues(a);
+    auto nb = normalizeValues(b);
+    double s = 0.0;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+        double d = na[i] - nb[i];
+        s += d * d;
+    }
+    return s / static_cast<double>(na.size());
+}
+
+double
+landscapeMse(const Landscape &a, const Landscape &b)
+{
+    return landscapeMse(a.values(), b.values());
+}
+
+double
+torusDistance(const LandscapePoint &a, const LandscapePoint &b)
+{
+    auto wrap = [](double d, double period) {
+        d = std::fabs(d);
+        d = std::fmod(d, period);
+        return std::min(d, period - d);
+    };
+    double dg = wrap(a.gamma - b.gamma, 2.0 * M_PI);
+    double db = wrap(a.beta - b.beta, M_PI);
+    return std::sqrt(dg * dg + db * db);
+}
+
+double
+optimaDistance(const Landscape &a, const Landscape &b, double tol)
+{
+    auto oa = a.optima(tol);
+    auto ob = b.optima(tol);
+    assert(!oa.empty() && !ob.empty());
+    auto one_sided = [](const std::vector<LandscapePoint> &from,
+                        const std::vector<LandscapePoint> &to) {
+        double total = 0.0;
+        for (const auto &p : from) {
+            double best = std::numeric_limits<double>::infinity();
+            for (const auto &q : to)
+                best = std::min(best, torusDistance(p, q));
+            total += best;
+        }
+        return total / static_cast<double>(from.size());
+    };
+    return 0.5 * (one_sided(oa, ob) + one_sided(ob, oa));
+}
+
+std::vector<QaoaParams>
+randomParameterSets(int p, int count, Rng &rng)
+{
+    std::vector<QaoaParams> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        out.push_back(QaoaParams::random(p, rng));
+    return out;
+}
+
+std::vector<double>
+evaluateAt(CutEvaluator &eval, const std::vector<QaoaParams> &params)
+{
+    std::vector<double> out;
+    out.reserve(params.size());
+    for (const QaoaParams &p : params)
+        out.push_back(eval.expectation(p));
+    return out;
+}
+
+} // namespace redqaoa

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Energy-landscape tooling (paper §3.3-§3.4, §5.1.1).
+ *
+ * Two representations cover every experiment:
+ *  - a dense (gamma, beta) grid for p = 1 visual landscapes (Figs 2, 3,
+ *    6, 11, 12, 22) with gamma in [0, 2pi) and beta in [0, pi);
+ *  - a shared set of random parameter points for arbitrary p (the
+ *    "1024 parameter sets" protocol of §5.1.1, Figs 7, 14, 16, 21, 24).
+ *
+ * MSE between instances is always computed on min-max normalized values
+ * (Eq. 12), and optimum comparisons respect the landscape's torus
+ * topology (gamma period 2pi, beta period pi).
+ */
+
+#ifndef REDQAOA_LANDSCAPE_LANDSCAPE_HPP
+#define REDQAOA_LANDSCAPE_LANDSCAPE_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "quantum/evaluator.hpp"
+#include "quantum/maxcut.hpp"
+
+namespace redqaoa {
+
+/** A point on the p=1 landscape torus. */
+struct LandscapePoint
+{
+    double gamma;
+    double beta;
+};
+
+/** Dense p=1 landscape over a width x width (gamma, beta) grid. */
+class Landscape
+{
+  public:
+    Landscape() = default;
+
+    /** Evaluate @p eval over the grid (row-major: beta rows, gamma cols). */
+    static Landscape evaluate(CutEvaluator &eval, int width);
+
+    int width() const { return width_; }
+
+    /** Raw value at grid cell (gi, bi). */
+    double at(int gi, int bi) const
+    {
+        return values_[static_cast<std::size_t>(bi * width_ + gi)];
+    }
+
+    /** Flat raw values. */
+    const std::vector<double> &values() const { return values_; }
+
+    /** Angles at cell index. */
+    LandscapePoint point(int gi, int bi) const;
+
+    /** Min-max normalized copy of the values. */
+    std::vector<double> normalized() const;
+
+    /** Grid coordinates of the maximum (the MaxCut optimum). */
+    LandscapePoint optimum() const;
+
+    /**
+     * All near-optimal points: value >= max - tol * (max - min).
+     * Fig 6/7 track where optima sit, and flat landscapes have several.
+     */
+    std::vector<LandscapePoint> optima(double tol = 1e-6) const;
+
+  private:
+    int width_ = 0;
+    std::vector<double> values_;
+};
+
+/** Min-max normalize (constant input maps to all zeros). */
+std::vector<double> normalizeValues(const std::vector<double> &v);
+
+/** Mean squared error between two normalized value sets (Eq. 12). */
+double landscapeMse(const std::vector<double> &a,
+                    const std::vector<double> &b);
+
+/** Convenience: normalized MSE between two landscapes. */
+double landscapeMse(const Landscape &a, const Landscape &b);
+
+/** Torus distance between two (gamma, beta) points. */
+double torusDistance(const LandscapePoint &a, const LandscapePoint &b);
+
+/**
+ * Mean distance from each optimum of @p a to the nearest optimum of
+ * @p b, symmetrized. This is the Fig 7 "average distance between
+ * optimals" metric.
+ */
+double optimaDistance(const Landscape &a, const Landscape &b,
+                      double tol = 1e-6);
+
+/** Shared random parameter sets for depth-p MSE protocols. */
+std::vector<QaoaParams> randomParameterSets(int p, int count, Rng &rng);
+
+/** Evaluate @p eval at every parameter set. */
+std::vector<double> evaluateAt(CutEvaluator &eval,
+                               const std::vector<QaoaParams> &params);
+
+} // namespace redqaoa
+
+#endif // REDQAOA_LANDSCAPE_LANDSCAPE_HPP

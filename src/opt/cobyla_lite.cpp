@@ -1,0 +1,122 @@
+#include "opt/cobyla_lite.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/linalg.hpp"
+
+namespace redqaoa {
+
+OptResult
+CobylaLite::minimize(const Objective &f, const std::vector<double> &x0) const
+{
+    const std::size_t n = x0.size();
+    assert(n >= 1);
+    OptResult res;
+    res.value = std::numeric_limits<double>::infinity();
+
+    auto eval = [&](const std::vector<double> &x) {
+        double v = f(x);
+        ++res.evaluations;
+        if (v < res.value) {
+            res.value = v;
+            res.x = x;
+        }
+        res.trace.push_back(res.value);
+        res.iterates.push_back(x);
+        return v;
+    };
+
+    double rho = opts_.initialStep;
+    const double rho_end = std::max(opts_.tolerance, 1e-8);
+
+    // Interpolation set: x0 plus axis offsets.
+    std::vector<std::vector<double>> pts(n + 1, x0);
+    std::vector<double> vals(n + 1);
+    for (std::size_t i = 0; i < n; ++i)
+        pts[i + 1][i] += rho;
+    for (std::size_t i = 0; i <= n && res.evaluations < opts_.maxEvaluations;
+         ++i)
+        vals[i] = eval(pts[i]);
+
+    auto respan = [&](std::size_t best) {
+        // Rebuild the simplex around the incumbent with the current rho.
+        std::vector<double> anchor = pts[best];
+        double anchor_val = vals[best];
+        pts.assign(n + 1, anchor);
+        vals.assign(n + 1, anchor_val);
+        for (std::size_t i = 0;
+             i < n && res.evaluations < opts_.maxEvaluations; ++i) {
+            pts[i + 1][i] += rho;
+            vals[i + 1] = eval(pts[i + 1]);
+        }
+    };
+
+    while (res.evaluations < opts_.maxEvaluations && rho > rho_end) {
+        std::size_t best = 0, worst = 0;
+        for (std::size_t i = 1; i <= n; ++i) {
+            if (vals[i] < vals[best])
+                best = i;
+            if (vals[i] > vals[worst])
+                worst = i;
+        }
+
+        // Fit the interpolating linear model around the incumbent:
+        // rows are displacement vectors, rhs the value differences.
+        Matrix m(n, n);
+        std::vector<double> dv(n, 0.0);
+        std::size_t row = 0;
+        for (std::size_t i = 0; i <= n; ++i) {
+            if (i == best)
+                continue;
+            for (std::size_t d = 0; d < n; ++d)
+                m(row, d) = pts[i][d] - pts[best][d];
+            dv[row] = vals[i] - vals[best];
+            ++row;
+        }
+        std::vector<double> grad;
+        bool degenerate = false;
+        try {
+            grad = solveLinearSystem(m, dv);
+        } catch (...) {
+            degenerate = true;
+        }
+        double gnorm = 0.0;
+        if (!degenerate) {
+            for (double gd : grad)
+                gnorm += gd * gd;
+            gnorm = std::sqrt(gnorm);
+        }
+        if (degenerate || gnorm < 1e-12) {
+            rho *= 0.5;
+            respan(best);
+            continue;
+        }
+
+        // Trust-region step on the linear model.
+        std::vector<double> cand = pts[best];
+        for (std::size_t d = 0; d < n; ++d)
+            cand[d] -= rho * grad[d] / gnorm;
+        double fc = eval(cand);
+
+        if (fc < vals[best]) {
+            // Model predicted well: replace the worst vertex, expand a bit.
+            pts[worst] = std::move(cand);
+            vals[worst] = fc;
+            rho = std::min(rho * 1.25, opts_.initialStep * 4.0);
+        } else if (fc < vals[worst]) {
+            pts[worst] = std::move(cand);
+            vals[worst] = fc;
+        } else {
+            rho *= 0.5;
+            // Keep the geometry fresh near the incumbent after shrinking.
+            if (rho > rho_end)
+                respan(best);
+        }
+    }
+    return res;
+}
+
+} // namespace redqaoa

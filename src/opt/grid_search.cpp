@@ -1,0 +1,51 @@
+#include "opt/grid_search.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace redqaoa {
+
+GridResult
+gridSearchP1(const std::function<double(double, double)> &f, int width)
+{
+    GridResult res;
+    res.bestValue = std::numeric_limits<double>::infinity();
+    for (int bi = 0; bi < width; ++bi) {
+        double beta = M_PI * bi / width;
+        for (int gi = 0; gi < width; ++gi) {
+            double gamma = 2.0 * M_PI * gi / width;
+            double v = f(gamma, beta);
+            ++res.evaluations;
+            if (v < res.bestValue) {
+                res.bestValue = v;
+                res.bestX = {gamma, beta};
+            }
+        }
+    }
+    return res;
+}
+
+GridResult
+randomSearch(const std::function<double(const std::vector<double> &)> &f,
+             int p, int count, Rng &rng)
+{
+    GridResult res;
+    res.bestValue = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < count; ++i) {
+        std::vector<double> x;
+        x.reserve(static_cast<std::size_t>(2 * p));
+        for (int d = 0; d < p; ++d)
+            x.push_back(rng.uniform(0.0, 2.0 * M_PI));
+        for (int d = 0; d < p; ++d)
+            x.push_back(rng.uniform(0.0, M_PI));
+        double v = f(x);
+        ++res.evaluations;
+        if (v < res.bestValue) {
+            res.bestValue = v;
+            res.bestX = std::move(x);
+        }
+    }
+    return res;
+}
+
+} // namespace redqaoa

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Grid search over QAOA parameters: the protocol behind the paper's
+ * landscape studies ("grid search with a width of 30", §4.2) and the
+ * end-to-end surrogate training of Fig 19. For p = 1 it scans the
+ * (gamma, beta) torus; for p > 1 it scans a shared random sample (the
+ * curse of dimensionality makes dense grids pointless there, and the
+ * paper itself switches to random parameter sets).
+ */
+
+#ifndef REDQAOA_OPT_GRID_SEARCH_HPP
+#define REDQAOA_OPT_GRID_SEARCH_HPP
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace redqaoa {
+
+/** Result of a parameter scan. */
+struct GridResult
+{
+    std::vector<double> bestX; //!< Flattened [gamma..., beta...].
+    double bestValue = 0.0;    //!< Minimum objective over the scan.
+    int evaluations = 0;
+};
+
+/**
+ * Dense p=1 scan: gamma over [0, 2pi) and beta over [0, pi) with
+ * @p width points per axis. Minimizes @p f (pass -<H_c>).
+ */
+GridResult gridSearchP1(
+    const std::function<double(double, double)> &f, int width);
+
+/**
+ * Random scan for depth-p parameters: @p count points, gamma uniform in
+ * [0, 2pi), beta uniform in [0, pi). Minimizes @p f on flattened params.
+ */
+GridResult randomSearch(
+    const std::function<double(const std::vector<double> &)> &f, int p,
+    int count, Rng &rng);
+
+} // namespace redqaoa
+
+#endif // REDQAOA_OPT_GRID_SEARCH_HPP

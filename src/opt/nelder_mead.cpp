@@ -1,0 +1,126 @@
+#include "opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace redqaoa {
+
+namespace {
+
+struct Tracker
+{
+    const Objective &f;
+    OptResult &res;
+
+    double
+    operator()(const std::vector<double> &x)
+    {
+        double v = f(x);
+        ++res.evaluations;
+        if (res.trace.empty() || v < res.value) {
+            res.value = v;
+            res.x = x;
+        }
+        res.trace.push_back(res.value);
+        res.iterates.push_back(x);
+        return v;
+    }
+};
+
+} // namespace
+
+OptResult
+NelderMead::minimize(const Objective &f, const std::vector<double> &x0) const
+{
+    const std::size_t n = x0.size();
+    assert(n >= 1);
+    OptResult res;
+    res.value = std::numeric_limits<double>::infinity();
+    Tracker eval{f, res};
+
+    // Initial simplex: x0 plus one perturbed vertex per dimension.
+    std::vector<std::vector<double>> pts(n + 1, x0);
+    std::vector<double> vals(n + 1);
+    for (std::size_t i = 0; i < n; ++i)
+        pts[i + 1][i] += opts_.initialStep;
+    for (std::size_t i = 0; i <= n; ++i)
+        vals[i] = eval(pts[i]);
+
+    constexpr double kAlpha = 1.0; // Reflection.
+    constexpr double kGamma = 2.0; // Expansion.
+    constexpr double kRho = 0.5;   // Contraction.
+    constexpr double kSigma = 0.5; // Shrink.
+
+    while (res.evaluations < opts_.maxEvaluations) {
+        // Order vertices by value.
+        std::vector<std::size_t> idx(n + 1);
+        for (std::size_t i = 0; i <= n; ++i)
+            idx[i] = i;
+        std::sort(idx.begin(), idx.end(), [&vals](std::size_t a,
+                                                  std::size_t b) {
+            return vals[a] < vals[b];
+        });
+        std::size_t best = idx[0], worst = idx[n], second_worst = idx[n - 1];
+
+        if (std::fabs(vals[worst] - vals[best]) < opts_.tolerance)
+            break;
+
+        // Centroid of all but the worst.
+        std::vector<double> centroid(n, 0.0);
+        for (std::size_t i = 0; i <= n; ++i) {
+            if (i == worst)
+                continue;
+            for (std::size_t d = 0; d < n; ++d)
+                centroid[d] += pts[i][d];
+        }
+        for (double &c : centroid)
+            c /= static_cast<double>(n);
+
+        auto blend = [&](double t) {
+            std::vector<double> x(n);
+            for (std::size_t d = 0; d < n; ++d)
+                x[d] = centroid[d] + t * (pts[worst][d] - centroid[d]);
+            return x;
+        };
+
+        std::vector<double> reflected = blend(-kAlpha);
+        double fr = eval(reflected);
+        if (fr < vals[best]) {
+            std::vector<double> expanded = blend(-kAlpha * kGamma);
+            double fe = eval(expanded);
+            if (fe < fr) {
+                pts[worst] = std::move(expanded);
+                vals[worst] = fe;
+            } else {
+                pts[worst] = std::move(reflected);
+                vals[worst] = fr;
+            }
+        } else if (fr < vals[second_worst]) {
+            pts[worst] = std::move(reflected);
+            vals[worst] = fr;
+        } else {
+            std::vector<double> contracted = blend(kRho);
+            double fc = eval(contracted);
+            if (fc < vals[worst]) {
+                pts[worst] = std::move(contracted);
+                vals[worst] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for (std::size_t i = 0; i <= n; ++i) {
+                    if (i == best)
+                        continue;
+                    for (std::size_t d = 0; d < n; ++d)
+                        pts[i][d] = pts[best][d] +
+                                    kSigma * (pts[i][d] - pts[best][d]);
+                    vals[i] = eval(pts[i]);
+                    if (res.evaluations >= opts_.maxEvaluations)
+                        break;
+                }
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace redqaoa

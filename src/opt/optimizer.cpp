@@ -1,0 +1,30 @@
+#include "opt/optimizer.hpp"
+
+#include <cassert>
+
+namespace redqaoa {
+
+std::vector<OptResult>
+multiRestart(const Optimizer &optimizer, const Objective &f, int restarts,
+             const std::function<std::vector<double>(Rng &)> &sampler,
+             Rng &rng)
+{
+    std::vector<OptResult> runs;
+    runs.reserve(static_cast<std::size_t>(restarts));
+    for (int r = 0; r < restarts; ++r)
+        runs.push_back(optimizer.minimize(f, sampler(rng)));
+    return runs;
+}
+
+std::size_t
+bestRun(const std::vector<OptResult> &runs)
+{
+    assert(!runs.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < runs.size(); ++i)
+        if (runs[i].value < runs[best].value)
+            best = i;
+    return best;
+}
+
+} // namespace redqaoa

@@ -1,0 +1,63 @@
+#include "opt/spsa.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace redqaoa {
+
+OptResult
+Spsa::minimize(const Objective &f, const std::vector<double> &x0) const
+{
+    const std::size_t n = x0.size();
+    OptResult res;
+    res.value = std::numeric_limits<double>::infinity();
+    Rng rng(seed_);
+
+    auto eval = [&](const std::vector<double> &x) {
+        double v = f(x);
+        ++res.evaluations;
+        if (v < res.value) {
+            res.value = v;
+            res.x = x;
+        }
+        res.trace.push_back(res.value);
+        res.iterates.push_back(x);
+        return v;
+    };
+
+    std::vector<double> x = x0;
+    eval(x);
+
+    // Standard gain schedules (Spall's recommended exponents).
+    constexpr double kAlpha = 0.602;
+    constexpr double kGammaExp = 0.101;
+    constexpr double kStability = 10.0;
+
+    int k = 0;
+    while (res.evaluations + 2 <= opts_.maxEvaluations) {
+        ++k;
+        double ak = a0_ / std::pow(k + kStability, kAlpha);
+        double ck = c0_ / std::pow(k, kGammaExp);
+
+        // Rademacher perturbation.
+        std::vector<double> delta(n);
+        for (std::size_t d = 0; d < n; ++d)
+            delta[d] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+
+        std::vector<double> xp = x, xm = x;
+        for (std::size_t d = 0; d < n; ++d) {
+            xp[d] += ck * delta[d];
+            xm[d] -= ck * delta[d];
+        }
+        double fp = eval(xp);
+        double fm = eval(xm);
+        double diff = (fp - fm) / (2.0 * ck);
+        for (std::size_t d = 0; d < n; ++d)
+            x[d] -= ak * diff / delta[d];
+    }
+    if (res.evaluations < opts_.maxEvaluations)
+        eval(x);
+    return res;
+}
+
+} // namespace redqaoa

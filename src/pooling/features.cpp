@@ -1,0 +1,32 @@
+#include "pooling/features.hpp"
+
+#include <algorithm>
+
+#include "graph/centrality.hpp"
+
+namespace redqaoa {
+namespace pooling {
+
+Matrix
+nodeFeatures(const Graph &g)
+{
+    const auto n = static_cast<std::size_t>(g.numNodes());
+    std::vector<std::vector<double>> cols = {
+        centrality::degree(g), centrality::clustering(g),
+        centrality::betweenness(g), centrality::closeness(g),
+        centrality::eigenvector(g)};
+
+    Matrix x(n, kNumFeatures);
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+        const auto &col = cols[c];
+        double lo = *std::min_element(col.begin(), col.end());
+        double hi = *std::max_element(col.begin(), col.end());
+        double range = hi - lo;
+        for (std::size_t r = 0; r < n; ++r)
+            x(r, c) = range > 1e-12 ? (col[r] - lo) / range : 0.0;
+    }
+    return x;
+}
+
+} // namespace pooling
+} // namespace redqaoa

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Node feature extraction for the GNN pooling baselines. Section 5.5 of
+ * the paper: "the feature vector is generated from the input graph,
+ * which is a normalized vector that includes the node degrees,
+ * clustering coefficient, betweenness centrality, closeness centrality,
+ * and eigenvector centrality."
+ */
+
+#ifndef REDQAOA_POOLING_FEATURES_HPP
+#define REDQAOA_POOLING_FEATURES_HPP
+
+#include "common/linalg.hpp"
+#include "graph/graph.hpp"
+
+namespace redqaoa {
+namespace pooling {
+
+/** Number of per-node features (degree, clustering, btw, close, eig). */
+constexpr std::size_t kNumFeatures = 5;
+
+/**
+ * n x 5 feature matrix, each column min-max normalized to [0, 1]
+ * (constant columns map to zero).
+ */
+Matrix nodeFeatures(const Graph &g);
+
+} // namespace pooling
+} // namespace redqaoa
+
+#endif // REDQAOA_POOLING_FEATURES_HPP

@@ -1,0 +1,59 @@
+#include "pooling/gcn.hpp"
+
+#include <cmath>
+
+namespace redqaoa {
+namespace pooling {
+
+Matrix
+normalizedAdjacency(const Graph &g)
+{
+    const auto n = static_cast<std::size_t>(g.numNodes());
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) = 1.0; // Self loops.
+    for (const Edge &e : g.edges()) {
+        a(static_cast<std::size_t>(e.u), static_cast<std::size_t>(e.v)) = 1.0;
+        a(static_cast<std::size_t>(e.v), static_cast<std::size_t>(e.u)) = 1.0;
+    }
+    // Degree of A + I.
+    std::vector<double> dinv(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double d = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            d += a(i, j);
+        dinv[i] = 1.0 / std::sqrt(d);
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            a(i, j) *= dinv[i] * dinv[j];
+    return a;
+}
+
+Matrix
+xavierMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+    Matrix w(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            w(r, c) = rng.uniform(-bound, bound);
+    return w;
+}
+
+GcnLayer::GcnLayer(std::size_t in, std::size_t out, std::uint64_t seed)
+    : w_(xavierMatrix(in, out, seed))
+{}
+
+Matrix
+GcnLayer::forward(const Graph &g, const Matrix &x) const
+{
+    Matrix h = normalizedAdjacency(g) * x * w_;
+    for (double &v : h.data())
+        v = std::tanh(v);
+    return h;
+}
+
+} // namespace pooling
+} // namespace redqaoa

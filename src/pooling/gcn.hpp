@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal graph-convolution layer used by the SAG / Top-K / ASA pooling
+ * baselines: X' = act( A_hat X W ) with the Kipf-Welling normalized
+ * adjacency A_hat = D^{-1/2} (A + I) D^{-1/2}.
+ *
+ * Weights are deterministic Xavier-uniform draws from a seeded PCG
+ * stream. This reproduces the baselines' *architecture* without a
+ * training stack; DESIGN.md §4 documents why that preserves the
+ * comparison the paper makes (fixed-ratio structural reducers with no
+ * dynamic AND check).
+ */
+
+#ifndef REDQAOA_POOLING_GCN_HPP
+#define REDQAOA_POOLING_GCN_HPP
+
+#include <cstdint>
+
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace redqaoa {
+namespace pooling {
+
+/** Dense normalized adjacency A_hat = D^{-1/2}(A + I)D^{-1/2}. */
+Matrix normalizedAdjacency(const Graph &g);
+
+/** One GCN layer with fixed (seeded) Xavier weights. */
+class GcnLayer
+{
+  public:
+    /** Layer mapping @p in features to @p out features. */
+    GcnLayer(std::size_t in, std::size_t out, std::uint64_t seed);
+
+    /** Forward pass with tanh activation. */
+    Matrix forward(const Graph &g, const Matrix &x) const;
+
+    const Matrix &weights() const { return w_; }
+
+  private:
+    Matrix w_;
+};
+
+/** Xavier-uniform matrix draw (deterministic given the seed). */
+Matrix xavierMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed);
+
+} // namespace pooling
+} // namespace redqaoa
+
+#endif // REDQAOA_POOLING_GCN_HPP

@@ -1,0 +1,172 @@
+#include "pooling/poolers.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "graph/subgraph.hpp"
+#include "pooling/features.hpp"
+#include "pooling/gcn.hpp"
+
+namespace redqaoa {
+namespace pooling {
+
+namespace {
+
+/** Indices of the k largest scores (ties broken by lower node id). */
+std::vector<Node>
+topKNodes(const std::vector<double> &scores, int k)
+{
+    std::vector<Node> idx(scores.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(), [&scores](Node a, Node b) {
+        return scores[static_cast<std::size_t>(a)] >
+               scores[static_cast<std::size_t>(b)];
+    });
+    idx.resize(static_cast<std::size_t>(k));
+    return idx;
+}
+
+} // namespace
+
+Graph
+TopKPooling::pool(const Graph &g, int k) const
+{
+    assert(k >= 1 && k <= g.numNodes());
+    Matrix x = nodeFeatures(g);
+    Matrix w = xavierMatrix(kNumFeatures, 1, seed_);
+    double norm = 0.0;
+    for (double v : w.data())
+        norm += v * v;
+    norm = std::sqrt(std::max(norm, 1e-12));
+
+    std::vector<double> scores(static_cast<std::size_t>(g.numNodes()), 0.0);
+    for (std::size_t r = 0; r < scores.size(); ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < kNumFeatures; ++c)
+            s += x(r, c) * w(c, 0);
+        scores[r] = s / norm;
+    }
+    return inducedSubgraph(g, topKNodes(scores, k)).graph;
+}
+
+Graph
+SagPooling::pool(const Graph &g, int k) const
+{
+    assert(k >= 1 && k <= g.numNodes());
+    Matrix x = nodeFeatures(g);
+    // Self-attention score per node from a scalar-output GCN layer.
+    GcnLayer att(kNumFeatures, 1, seed_);
+    Matrix s = att.forward(g, x);
+    std::vector<double> scores(static_cast<std::size_t>(g.numNodes()), 0.0);
+    for (std::size_t r = 0; r < scores.size(); ++r)
+        scores[r] = s(r, 0);
+    return inducedSubgraph(g, topKNodes(scores, k)).graph;
+}
+
+Graph
+AsaPooling::pool(const Graph &g, int k) const
+{
+    assert(k >= 1 && k <= g.numNodes());
+    const auto n = static_cast<std::size_t>(g.numNodes());
+    Matrix x = nodeFeatures(g);
+    // Hidden representation feeding the attention and fitness heads.
+    GcnLayer embed(kNumFeatures, kNumFeatures, seed_);
+    Matrix h = embed.forward(g, x);
+
+    // Local attention over each ego cluster c_i = N(i) + {i}:
+    // alpha_j  ~ softmax( w_att . [h_i || h_j] ).
+    Matrix w_att = xavierMatrix(2 * kNumFeatures, 1, seed_ + 1);
+    Matrix cluster(n, kNumFeatures);
+    for (Node i = 0; i < g.numNodes(); ++i) {
+        std::vector<Node> members = g.neighbors(i);
+        members.push_back(i);
+        std::vector<double> logits;
+        logits.reserve(members.size());
+        for (Node j : members) {
+            double l = 0.0;
+            for (std::size_t c = 0; c < kNumFeatures; ++c) {
+                l += w_att(c, 0) * h(static_cast<std::size_t>(i), c);
+                l += w_att(kNumFeatures + c, 0) *
+                     h(static_cast<std::size_t>(j), c);
+            }
+            logits.push_back(l);
+        }
+        double mx = *std::max_element(logits.begin(), logits.end());
+        double z = 0.0;
+        for (double &l : logits) {
+            l = std::exp(l - mx);
+            z += l;
+        }
+        for (std::size_t m = 0; m < members.size(); ++m)
+            for (std::size_t c = 0; c < kNumFeatures; ++c)
+                cluster(static_cast<std::size_t>(i), c) +=
+                    (logits[m] / z) *
+                    h(static_cast<std::size_t>(members[m]), c);
+    }
+
+    // Cluster fitness scores.
+    Matrix w_fit = xavierMatrix(kNumFeatures, 1, seed_ + 2);
+    double norm = 0.0;
+    for (double v : w_fit.data())
+        norm += v * v;
+    norm = std::sqrt(std::max(norm, 1e-12));
+    std::vector<double> fitness(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < kNumFeatures; ++c)
+            s += cluster(r, c) * w_fit(c, 0);
+        fitness[r] = s / norm;
+    }
+
+    // Keep the top-k cluster medoids; connect clusters that shared an
+    // edge between any members (S^T A S with hard membership).
+    std::vector<Node> medoids = topKNodes(fitness, k);
+    std::vector<int> owner(n, -1);
+    for (std::size_t c = 0; c < medoids.size(); ++c) {
+        owner[static_cast<std::size_t>(medoids[c])] = static_cast<int>(c);
+    }
+    // Unselected nodes join the adjacent selected cluster with the best
+    // fitness (or stay unassigned if none is adjacent).
+    for (Node v = 0; v < g.numNodes(); ++v) {
+        auto vi = static_cast<std::size_t>(v);
+        if (owner[vi] >= 0)
+            continue;
+        int best = -1;
+        double best_fit = -1e300;
+        for (Node w : g.neighbors(v)) {
+            int c = owner[static_cast<std::size_t>(w)];
+            if (c >= 0 &&
+                fitness[static_cast<std::size_t>(medoids[
+                    static_cast<std::size_t>(c)])] > best_fit) {
+                best = c;
+                best_fit = fitness[static_cast<std::size_t>(
+                    medoids[static_cast<std::size_t>(c)])];
+            }
+        }
+        owner[vi] = best;
+    }
+
+    Graph pooled(k);
+    for (const Edge &e : g.edges()) {
+        int cu = owner[static_cast<std::size_t>(e.u)];
+        int cv = owner[static_cast<std::size_t>(e.v)];
+        if (cu >= 0 && cv >= 0 && cu != cv)
+            pooled.addEdge(cu, cv);
+    }
+    return pooled;
+}
+
+std::vector<std::unique_ptr<GraphPooler>>
+allPoolers(std::uint64_t seed)
+{
+    std::vector<std::unique_ptr<GraphPooler>> out;
+    out.push_back(std::make_unique<AsaPooling>(seed + 2));
+    out.push_back(std::make_unique<SagPooling>(seed + 1));
+    out.push_back(std::make_unique<TopKPooling>(seed));
+    return out;
+}
+
+} // namespace pooling
+} // namespace redqaoa

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The three GNN graph-pooling baselines the paper compares against
+ * (§2.2.2, §4.5, §5.5): Top-K pooling (Gao & Ji, Graph U-Nets), SAG
+ * pooling (Lee et al.), and ASA pooling (Ranjan et al., ASAP). All take
+ * a fixed target size — exactly the property the paper criticizes: they
+ * never check whether the pooled graph still approximates the original's
+ * average node degree.
+ */
+
+#ifndef REDQAOA_POOLING_POOLERS_HPP
+#define REDQAOA_POOLING_POOLERS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace redqaoa {
+namespace pooling {
+
+/** Abstract fixed-ratio graph pooler. */
+class GraphPooler
+{
+  public:
+    virtual ~GraphPooler() = default;
+
+    /**
+     * Reduce @p g to @p k nodes.
+     * @return the pooled graph (nodes relabeled 0..k-1).
+     */
+    virtual Graph pool(const Graph &g, int k) const = 0;
+
+    /** Baseline label ("TopK", "SAG", "ASA"). */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Top-K pooling: projection score s = X w / ||w||, keep the k highest-
+ * scoring nodes, return the induced subgraph.
+ */
+class TopKPooling : public GraphPooler
+{
+  public:
+    explicit TopKPooling(std::uint64_t seed = 4242) : seed_(seed) {}
+    Graph pool(const Graph &g, int k) const override;
+    std::string name() const override { return "TopK"; }
+
+  private:
+    std::uint64_t seed_;
+};
+
+/**
+ * SAG pooling: self-attention scores from a GCN layer with scalar
+ * output, keep the top-k nodes, return the induced subgraph.
+ */
+class SagPooling : public GraphPooler
+{
+  public:
+    explicit SagPooling(std::uint64_t seed = 4243) : seed_(seed) {}
+    Graph pool(const Graph &g, int k) const override;
+    std::string name() const override { return "SAG"; }
+
+  private:
+    std::uint64_t seed_;
+};
+
+/**
+ * ASA pooling (ASAP): every node forms an ego cluster; a local attention
+ * mechanism aggregates member features into a cluster embedding; a
+ * fitness projection ranks clusters; the top-k cluster medoids become
+ * the pooled nodes and clusters are connected when any members were
+ * adjacent (S^T A S connectivity).
+ */
+class AsaPooling : public GraphPooler
+{
+  public:
+    explicit AsaPooling(std::uint64_t seed = 4244) : seed_(seed) {}
+    Graph pool(const Graph &g, int k) const override;
+    std::string name() const override { return "ASA"; }
+
+  private:
+    std::uint64_t seed_;
+};
+
+/** All three baselines, in the paper's plotting order (ASA, SAG, TopK). */
+std::vector<std::unique_ptr<GraphPooler>> allPoolers(
+    std::uint64_t seed = 4242);
+
+} // namespace pooling
+} // namespace redqaoa
+
+#endif // REDQAOA_POOLING_POOLERS_HPP

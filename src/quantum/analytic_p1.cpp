@@ -1,0 +1,83 @@
+#include "quantum/analytic_p1.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace redqaoa {
+
+namespace {
+
+int
+commonNeighbors(const Graph &g, Node u, Node v)
+{
+    int f = 0;
+    for (Node w : g.neighbors(u))
+        if (w != v && g.hasEdge(w, v))
+            ++f;
+    return f;
+}
+
+double
+edgeTerm(int d, int e, int f, double gamma, double beta)
+{
+    double cg = std::cos(gamma);
+    double term1 = 0.25 * std::sin(4.0 * beta) * std::sin(gamma) *
+                   (std::pow(cg, d) + std::pow(cg, e));
+    double s2b = std::sin(2.0 * beta);
+    double term2 = 0.25 * s2b * s2b * std::pow(cg, d + e - 2 * f) *
+                   (1.0 - std::pow(std::cos(2.0 * gamma), f));
+    return 0.5 + term1 - term2;
+}
+
+} // namespace
+
+double
+analyticEdgeExpectationP1(const Graph &g, const Edge &e, double gamma,
+                          double beta)
+{
+    int d = g.degree(e.u) - 1;
+    int ee = g.degree(e.v) - 1;
+    int f = commonNeighbors(g, e.u, e.v);
+    return edgeTerm(d, ee, f, gamma, beta);
+}
+
+double
+analyticExpectationP1(const Graph &g, double gamma, double beta)
+{
+    double total = 0.0;
+    for (const Edge &e : g.edges())
+        total += analyticEdgeExpectationP1(g, e, gamma, beta);
+    return total;
+}
+
+AnalyticP1Evaluator::AnalyticP1Evaluator(const Graph &g)
+    : numNodes_(g.numNodes())
+{
+    edges_.reserve(g.edges().size());
+    for (const Edge &e : g.edges()) {
+        EdgeInfo info;
+        info.d = g.degree(e.u) - 1;
+        info.e = g.degree(e.v) - 1;
+        info.f = commonNeighbors(g, e.u, e.v);
+        edges_.push_back(info);
+    }
+}
+
+double
+AnalyticP1Evaluator::expectation(double gamma, double beta) const
+{
+    double total = 0.0;
+    for (const EdgeInfo &info : edges_)
+        total += edgeTerm(info.d, info.e, info.f, gamma, beta);
+    return total;
+}
+
+double
+AnalyticP1Evaluator::expectation(const QaoaParams &params) const
+{
+    assert(params.layers() == 1);
+    return expectation(params.gamma[0], params.beta[0]);
+}
+
+} // namespace redqaoa

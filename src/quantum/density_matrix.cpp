@@ -1,0 +1,303 @@
+#include "quantum/density_matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace redqaoa {
+
+namespace {
+constexpr Complex kI{0.0, 1.0};
+} // namespace
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : numQubits_(num_qubits),
+      rho_(static_cast<std::size_t>(1) << (2 * num_qubits), Complex{0, 0})
+{
+    assert(num_qubits >= 0 && num_qubits <= 14);
+    rho_[0] = 1.0;
+}
+
+DensityMatrix
+DensityMatrix::uniform(int num_qubits)
+{
+    DensityMatrix dm(num_qubits);
+    double v = 1.0 / static_cast<double>(static_cast<std::size_t>(1)
+                                         << num_qubits);
+    std::fill(dm.rho_.begin(), dm.rho_.end(), Complex{v, 0.0});
+    return dm;
+}
+
+Complex
+DensityMatrix::entry(std::size_t r, std::size_t c) const
+{
+    return rho_[(c << numQubits_) | r];
+}
+
+void
+DensityMatrix::applyUnitary1Q(int q, const Gate1Q &u)
+{
+    // rho -> U rho U^dagger: block-local 2x2 transform on (row q, col q+n).
+    Kraus1Q single{u};
+    applyKraus1Q(q, single);
+}
+
+void
+DensityMatrix::applyDiagonalPhase(const std::vector<double> &diag,
+                                  double angle)
+{
+    const std::size_t dim = static_cast<std::size_t>(1) << numQubits_;
+    assert(diag.size() == dim);
+    // rho[r,c] picks up exp(-i angle (diag[r] - diag[c])).
+    for (std::size_t c = 0; c < dim; ++c) {
+        for (std::size_t r = 0; r < dim; ++r) {
+            double phi = -angle * (diag[r] - diag[c]);
+            rho_[(c << numQubits_) | r] *=
+                Complex{std::cos(phi), std::sin(phi)};
+        }
+    }
+}
+
+void
+DensityMatrix::applyRzz(int a, int b, double theta)
+{
+    const std::size_t dim = static_cast<std::size_t>(1) << numQubits_;
+    const std::uint64_t abit = static_cast<std::uint64_t>(1) << a;
+    const std::uint64_t bbit = static_cast<std::uint64_t>(1) << b;
+    for (std::size_t c = 0; c < dim; ++c) {
+        bool pc = ((c & abit) != 0) != ((c & bbit) != 0);
+        for (std::size_t r = 0; r < dim; ++r) {
+            bool pr = ((r & abit) != 0) != ((r & bbit) != 0);
+            if (pr == pc)
+                continue; // Equal parity: phases cancel.
+            // Phase exp(-i theta/2 (s_r - s_c)) with s = +-1.
+            double phi = (pr ? 1.0 : -1.0) * theta;
+            rho_[(c << numQubits_) | r] *=
+                Complex{std::cos(phi), std::sin(phi)};
+        }
+    }
+}
+
+void
+DensityMatrix::applyKraus1Q(int q, const Kraus1Q &ks)
+{
+    const std::size_t dim4 = rho_.size();
+    const std::uint64_t rbit = static_cast<std::uint64_t>(1) << q;
+    const std::uint64_t cbit = static_cast<std::uint64_t>(1)
+                               << (q + numQubits_);
+    const std::uint64_t both = rbit | cbit;
+
+    for (std::size_t i = 0; i < dim4; ++i) {
+        if (i & both)
+            continue; // Only visit block bases.
+        std::size_t i00 = i;
+        std::size_t i10 = i | rbit;
+        std::size_t i01 = i | cbit;
+        std::size_t i11 = i | both;
+        // B[r][c] with r the row bit and c the column bit.
+        Complex b00 = rho_[i00], b01 = rho_[i01];
+        Complex b10 = rho_[i10], b11 = rho_[i11];
+        Complex n00{0, 0}, n01{0, 0}, n10{0, 0}, n11{0, 0};
+        for (const Gate1Q &k : ks) {
+            // M = K * B.
+            Complex m00 = k[0] * b00 + k[1] * b10;
+            Complex m01 = k[0] * b01 + k[1] * b11;
+            Complex m10 = k[2] * b00 + k[3] * b10;
+            Complex m11 = k[2] * b01 + k[3] * b11;
+            // N += M * K^dagger;  (M K^dag)[r][c] = sum_c' M[r][c'] conj(K[c][c']).
+            n00 += m00 * std::conj(k[0]) + m01 * std::conj(k[1]);
+            n01 += m00 * std::conj(k[2]) + m01 * std::conj(k[3]);
+            n10 += m10 * std::conj(k[0]) + m11 * std::conj(k[1]);
+            n11 += m10 * std::conj(k[2]) + m11 * std::conj(k[3]);
+        }
+        rho_[i00] = n00;
+        rho_[i01] = n01;
+        rho_[i10] = n10;
+        rho_[i11] = n11;
+    }
+}
+
+void
+DensityMatrix::applyDepolarizing1Q(int q, double p)
+{
+    if (p <= 0.0)
+        return;
+    // (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z)
+    //   = (1 - 4p/3) rho + (4p/3) (Tr_q rho  (x)  I/2).
+    double c = 4.0 * p / 3.0;
+    const std::size_t dim4 = rho_.size();
+    const std::uint64_t rbit = static_cast<std::uint64_t>(1) << q;
+    const std::uint64_t cbit = static_cast<std::uint64_t>(1)
+                               << (q + numQubits_);
+    const std::uint64_t both = rbit | cbit;
+    for (std::size_t i = 0; i < dim4; ++i) {
+        if (i & both)
+            continue;
+        std::size_t i00 = i, i10 = i | rbit, i01 = i | cbit,
+                    i11 = i | both;
+        Complex tr_half = 0.5 * (rho_[i00] + rho_[i11]);
+        rho_[i00] = (1.0 - c) * rho_[i00] + c * tr_half;
+        rho_[i11] = (1.0 - c) * rho_[i11] + c * tr_half;
+        rho_[i01] *= (1.0 - c);
+        rho_[i10] *= (1.0 - c);
+    }
+}
+
+void
+DensityMatrix::applyDepolarizing2Q(int a, int b, double p)
+{
+    if (p <= 0.0)
+        return;
+    // (1-p) rho + p/15 sum_{P != I} P rho P
+    //   = (1 - 16p/15) rho + (16p/15) (Tr_ab rho  (x)  I/4).
+    double c = 16.0 * p / 15.0;
+    const std::size_t dim4 = rho_.size();
+    const std::uint64_t ra = static_cast<std::uint64_t>(1) << a;
+    const std::uint64_t rb = static_cast<std::uint64_t>(1) << b;
+    const std::uint64_t ca = static_cast<std::uint64_t>(1)
+                             << (a + numQubits_);
+    const std::uint64_t cb = static_cast<std::uint64_t>(1)
+                             << (b + numQubits_);
+    const std::uint64_t all = ra | rb | ca | cb;
+    for (std::size_t i = 0; i < dim4; ++i) {
+        if (i & all)
+            continue;
+        // The 4x4 subsystem block: row index s, column index t in {0..3}
+        // with bit0 = qubit a, bit1 = qubit b.
+        std::size_t idx[4][4];
+        for (int s = 0; s < 4; ++s) {
+            for (int t = 0; t < 4; ++t) {
+                std::size_t j = i;
+                if (s & 1)
+                    j |= ra;
+                if (s & 2)
+                    j |= rb;
+                if (t & 1)
+                    j |= ca;
+                if (t & 2)
+                    j |= cb;
+                idx[s][t] = j;
+            }
+        }
+        Complex tr{0, 0};
+        for (int s = 0; s < 4; ++s)
+            tr += rho_[idx[s][s]];
+        Complex fill = tr * 0.25;
+        for (int s = 0; s < 4; ++s) {
+            for (int t = 0; t < 4; ++t) {
+                Complex v = (1.0 - c) * rho_[idx[s][t]];
+                if (s == t)
+                    v += c * fill;
+                rho_[idx[s][t]] = v;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyAmplitudeDamping(int q, double gamma)
+{
+    if (gamma <= 0.0)
+        return;
+    double s = std::sqrt(1.0 - gamma);
+    double r = std::sqrt(gamma);
+    Kraus1Q ks{
+        Gate1Q{Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{s, 0}},
+        Gate1Q{Complex{0, 0}, Complex{r, 0}, Complex{0, 0}, Complex{0, 0}}};
+    applyKraus1Q(q, ks);
+}
+
+void
+DensityMatrix::applyPhaseDamping(int q, double lambda)
+{
+    if (lambda <= 0.0)
+        return;
+    double s = std::sqrt(1.0 - lambda);
+    double r = std::sqrt(lambda);
+    Kraus1Q ks{
+        Gate1Q{Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{s, 0}},
+        Gate1Q{Complex{0, 0}, Complex{0, 0}, Complex{0, 0}, Complex{r, 0}}};
+    applyKraus1Q(q, ks);
+}
+
+double
+DensityMatrix::trace() const
+{
+    const std::size_t dim = static_cast<std::size_t>(1) << numQubits_;
+    double t = 0.0;
+    for (std::size_t z = 0; z < dim; ++z)
+        t += rho_[(z << numQubits_) | z].real();
+    return t;
+}
+
+std::vector<double>
+DensityMatrix::diagonal() const
+{
+    const std::size_t dim = static_cast<std::size_t>(1) << numQubits_;
+    std::vector<double> d(dim);
+    for (std::size_t z = 0; z < dim; ++z)
+        d[z] = rho_[(z << numQubits_) | z].real();
+    return d;
+}
+
+double
+DensityMatrix::zzExpectation(int a, int b) const
+{
+    const std::size_t dim = static_cast<std::size_t>(1) << numQubits_;
+    const std::uint64_t abit = static_cast<std::uint64_t>(1) << a;
+    const std::uint64_t bbit = static_cast<std::uint64_t>(1) << b;
+    double s = 0.0;
+    for (std::size_t z = 0; z < dim; ++z) {
+        bool parity = ((z & abit) != 0) != ((z & bbit) != 0);
+        double pr = rho_[(z << numQubits_) | z].real();
+        s += parity ? -pr : pr;
+    }
+    return s;
+}
+
+double
+noisyQaoaExpectationDM(const Graph &g, const QaoaParams &params,
+                       const NoiseModel &nm)
+{
+    const int n = g.numNodes();
+    DensityMatrix rho = DensityMatrix::uniform(n);
+
+    auto oneQubitNoise = [&](int q) {
+        rho.applyDepolarizing1Q(q, nm.oneQubitDepol);
+        rho.applyAmplitudeDamping(q, nm.amplitudeDamping);
+        rho.applyPhaseDamping(q, nm.phaseDamping);
+    };
+
+    // Initial H layer noise (the uniform state already includes the H's).
+    for (int q = 0; q < n; ++q)
+        oneQubitNoise(q);
+
+    for (int layer = 0; layer < params.layers(); ++layer) {
+        double gma = params.gamma[static_cast<std::size_t>(layer)];
+        double bta = params.beta[static_cast<std::size_t>(layer)];
+        for (const Edge &e : g.edges()) {
+            // exp(-i gamma cut_e) == RZZ(-gamma) up to global phase.
+            rho.applyRzz(e.u, e.v, -gma);
+            rho.applyDepolarizing2Q(e.u, e.v, nm.twoQubitDepol);
+            rho.applyAmplitudeDamping(e.u, nm.amplitudeDamping);
+            rho.applyAmplitudeDamping(e.v, nm.amplitudeDamping);
+            rho.applyPhaseDamping(e.u, nm.phaseDamping);
+            rho.applyPhaseDamping(e.v, nm.phaseDamping);
+        }
+        double c = std::cos(bta);
+        double s = std::sin(bta);
+        Gate1Q rx{Complex{c, 0}, Complex{0, -s}, Complex{0, -s},
+                  Complex{c, 0}}; // RX(2 beta)
+        for (int q = 0; q < n; ++q) {
+            rho.applyUnitary1Q(q, rx);
+            oneQubitNoise(q);
+        }
+    }
+
+    double lambda2 = nm.readoutLambda() * nm.readoutLambda();
+    double energy = 0.0;
+    for (const Edge &e : g.edges())
+        energy += 0.5 * (1.0 - lambda2 * rho.zzExpectation(e.u, e.v));
+    return energy;
+}
+
+} // namespace redqaoa

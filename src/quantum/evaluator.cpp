@@ -1,0 +1,23 @@
+#include "quantum/evaluator.hpp"
+
+namespace redqaoa {
+
+std::unique_ptr<CutEvaluator>
+makeIdealEvaluator(const Graph &g, int p, int exact_qubit_limit)
+{
+    if (g.numNodes() <= exact_qubit_limit)
+        return std::make_unique<ExactEvaluator>(g);
+    if (p == 1)
+        return std::make_unique<AnalyticEvaluator>(g);
+    return std::make_unique<LightconeCutEvaluator>(g, p, exact_qubit_limit);
+}
+
+std::unique_ptr<CutEvaluator>
+makeNoisyEvaluator(const Graph &g, const NoiseModel &nm, int trajectories,
+                   std::uint64_t seed, int shots)
+{
+    return std::make_unique<NoisyEvaluator>(g, nm, trajectories, seed,
+                                            shots);
+}
+
+} // namespace redqaoa

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Uniform interface over the QAOA energy evaluators so landscapes,
+ * optimizers, and the Red-QAOA pipeline can mix ideal, noisy, analytic,
+ * and light-cone backends without caring which is underneath.
+ */
+
+#ifndef REDQAOA_QUANTUM_EVALUATOR_HPP
+#define REDQAOA_QUANTUM_EVALUATOR_HPP
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "quantum/analytic_p1.hpp"
+#include "quantum/lightcone.hpp"
+#include "quantum/maxcut.hpp"
+#include "quantum/noise.hpp"
+#include "quantum/trajectory.hpp"
+
+namespace redqaoa {
+
+/** Abstract QAOA <H_c> evaluator for a fixed graph. */
+class CutEvaluator
+{
+  public:
+    virtual ~CutEvaluator() = default;
+
+    /** Expected cut value of the trial state at @p params. */
+    virtual double expectation(const QaoaParams &params) = 0;
+
+    /** Number of qubits the underlying circuit uses. */
+    virtual int numQubits() const = 0;
+
+    /** Short backend label for logs. */
+    virtual std::string describe() const = 0;
+};
+
+/** Exact statevector backend (ideal execution). */
+class ExactEvaluator : public CutEvaluator
+{
+  public:
+    explicit ExactEvaluator(const Graph &g) : sim_(g) {}
+
+    double expectation(const QaoaParams &params) override
+    {
+        return sim_.expectation(params);
+    }
+    int numQubits() const override { return sim_.numQubits(); }
+    std::string describe() const override { return "statevector"; }
+
+  private:
+    QaoaSimulator sim_;
+};
+
+/** Pauli-trajectory noisy backend. */
+class NoisyEvaluator : public CutEvaluator
+{
+  public:
+    /**
+     * @param shots 0 = exact expectation per trajectory (readout folded
+     *        analytically); > 0 = finite measurement statistics, the
+     *        realistic mode for landscape experiments (the paper uses
+     *        8192 shots). Shot noise is what degrades large noisy
+     *        circuits after normalization: gate errors contract the
+     *        energy signal while the shot-noise floor stays put.
+     */
+    NoisyEvaluator(const Graph &g, const NoiseModel &nm,
+                   int trajectories = 48, std::uint64_t seed = 99,
+                   int shots = 0)
+        : sim_(g, nm, trajectories, seed), shots_(shots),
+          name_("noisy:" + nm.name)
+    {}
+
+    double expectation(const QaoaParams &params) override
+    {
+        if (shots_ > 0)
+            return sim_.sampledExpectation(params, shots_);
+        return sim_.expectation(params);
+    }
+    int numQubits() const override { return sim_.numQubits(); }
+    std::string describe() const override { return name_; }
+
+  private:
+    TrajectorySimulator sim_;
+    int shots_;
+    std::string name_;
+};
+
+/** Closed-form p=1 backend (any graph size). */
+class AnalyticEvaluator : public CutEvaluator
+{
+  public:
+    explicit AnalyticEvaluator(const Graph &g) : eval_(g) {}
+
+    double expectation(const QaoaParams &params) override
+    {
+        return eval_.expectation(params);
+    }
+    int numQubits() const override { return eval_.numQubits(); }
+    std::string describe() const override { return "analytic-p1"; }
+
+  private:
+    AnalyticP1Evaluator eval_;
+};
+
+/** Per-edge light-cone backend for large graphs at p >= 1. */
+class LightconeCutEvaluator : public CutEvaluator
+{
+  public:
+    LightconeCutEvaluator(const Graph &g, int p, int max_cone_qubits = 20)
+        : eval_(g, p, max_cone_qubits)
+    {}
+
+    double expectation(const QaoaParams &params) override
+    {
+        return eval_.expectation(params);
+    }
+    int numQubits() const override { return eval_.numQubits(); }
+    std::string describe() const override { return "lightcone"; }
+
+  private:
+    LightconeEvaluator eval_;
+};
+
+/**
+ * Pick the cheapest exact(ish) ideal evaluator for (graph, depth):
+ * statevector below @p exact_qubit_limit qubits, the closed form at
+ * p = 1, the light-cone evaluator otherwise.
+ */
+std::unique_ptr<CutEvaluator> makeIdealEvaluator(const Graph &g, int p,
+                                                 int exact_qubit_limit = 16);
+
+/** Noisy trajectory evaluator factory (see NoisyEvaluator on shots). */
+std::unique_ptr<CutEvaluator> makeNoisyEvaluator(const Graph &g,
+                                                 const NoiseModel &nm,
+                                                 int trajectories = 48,
+                                                 std::uint64_t seed = 99,
+                                                 int shots = 0);
+
+} // namespace redqaoa
+
+#endif // REDQAOA_QUANTUM_EVALUATOR_HPP

@@ -1,0 +1,84 @@
+#include "quantum/lightcone.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redqaoa {
+
+LightconeEvaluator::LightconeEvaluator(const Graph &g, int p,
+                                       int max_cone_qubits)
+    : graph_(g), depth_(p)
+{
+    assert(p >= 1);
+    assert(max_cone_qubits >= 2);
+
+    std::map<std::vector<Node>, std::size_t> group_of;
+    for (const Edge &e : g.edges()) {
+        auto du = g.bfsDistances(e.u);
+        auto dv = g.bfsDistances(e.v);
+        // Collect the cone; when truncating keep closest-first.
+        std::vector<std::pair<int, Node>> ranked;
+        for (Node w = 0; w < g.numNodes(); ++w) {
+            int a = du[static_cast<std::size_t>(w)];
+            int b = dv[static_cast<std::size_t>(w)];
+            int dist = -1;
+            if (a >= 0 && a <= p)
+                dist = a;
+            if (b >= 0 && b <= p)
+                dist = dist < 0 ? b : std::min(dist, b);
+            if (dist >= 0)
+                ranked.emplace_back(dist, w);
+        }
+        std::sort(ranked.begin(), ranked.end());
+        if (static_cast<int>(ranked.size()) > max_cone_qubits) {
+            ranked.resize(static_cast<std::size_t>(max_cone_qubits));
+            ++truncatedCones_;
+        }
+        std::vector<Node> nodes;
+        nodes.reserve(ranked.size());
+        for (auto [dist, w] : ranked)
+            nodes.push_back(w);
+        std::sort(nodes.begin(), nodes.end());
+        maxConeSize_ = std::max(maxConeSize_,
+                                static_cast<int>(nodes.size()));
+
+        auto [it, inserted] = group_of.try_emplace(nodes, groups_.size());
+        if (inserted) {
+            ConeGroup grp;
+            grp.cone = inducedSubgraph(g, nodes);
+            grp.costTable = cutTable(grp.cone.graph);
+            groups_.push_back(std::move(grp));
+        }
+        ConeGroup &grp = groups_[it->second];
+        // Map edge endpoints to cone-local ids.
+        const auto &to_orig = grp.cone.toOriginal;
+        auto local = [&to_orig](Node orig) {
+            auto pos = std::lower_bound(to_orig.begin(), to_orig.end(),
+                                        orig);
+            return static_cast<int>(pos - to_orig.begin());
+        };
+        grp.localEdges.emplace_back(local(e.u), local(e.v));
+    }
+}
+
+double
+LightconeEvaluator::expectation(const QaoaParams &params)
+{
+    assert(params.layers() == depth_);
+    double total = 0.0;
+    for (const ConeGroup &grp : groups_) {
+        Statevector psi = Statevector::uniform(grp.cone.graph.numNodes());
+        for (int layer = 0; layer < depth_; ++layer) {
+            psi.applyDiagonalPhase(
+                grp.costTable,
+                params.gamma[static_cast<std::size_t>(layer)]);
+            psi.applyRxAll(2.0 *
+                           params.beta[static_cast<std::size_t>(layer)]);
+        }
+        for (auto [a, b] : grp.localEdges)
+            total += 0.5 * (1.0 - psi.zzExpectation(a, b));
+    }
+    return total;
+}
+
+} // namespace redqaoa

@@ -1,0 +1,163 @@
+#include "quantum/maxcut.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace redqaoa {
+
+std::vector<double>
+QaoaParams::flatten() const
+{
+    std::vector<double> x = gamma;
+    x.insert(x.end(), beta.begin(), beta.end());
+    return x;
+}
+
+QaoaParams
+QaoaParams::unflatten(const std::vector<double> &x)
+{
+    assert(x.size() % 2 == 0);
+    std::size_t p = x.size() / 2;
+    QaoaParams out;
+    out.gamma.assign(x.begin(), x.begin() + static_cast<long>(p));
+    out.beta.assign(x.begin() + static_cast<long>(p), x.end());
+    return out;
+}
+
+QaoaParams
+QaoaParams::random(int p, Rng &rng)
+{
+    QaoaParams out;
+    out.gamma.reserve(static_cast<std::size_t>(p));
+    out.beta.reserve(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+        out.gamma.push_back(rng.uniform(0.0, 2.0 * M_PI));
+        out.beta.push_back(rng.uniform(0.0, M_PI));
+    }
+    return out;
+}
+
+int
+cutValue(const Graph &g, std::uint64_t z)
+{
+    int cut = 0;
+    for (const Edge &e : g.edges()) {
+        bool bu = (z >> e.u) & 1u;
+        bool bv = (z >> e.v) & 1u;
+        cut += bu != bv;
+    }
+    return cut;
+}
+
+std::vector<double>
+cutTable(const Graph &g)
+{
+    const int n = g.numNodes();
+    if (n > 26)
+        throw std::invalid_argument("cutTable: graph too large (n > 26)");
+    const std::size_t dim = static_cast<std::size_t>(1) << n;
+    std::vector<double> table(dim, 0.0);
+    // Per-edge pass: bit-parallel would be possible, but this is already
+    // a one-time O(2^n m) cost per graph and not a hot path.
+    for (const Edge &e : g.edges()) {
+        const std::uint64_t ubit = static_cast<std::uint64_t>(1) << e.u;
+        const std::uint64_t vbit = static_cast<std::uint64_t>(1) << e.v;
+        for (std::size_t z = 0; z < dim; ++z) {
+            bool parity = ((z & ubit) != 0) != ((z & vbit) != 0);
+            table[z] += parity ? 1.0 : 0.0;
+        }
+    }
+    return table;
+}
+
+int
+maxCutBruteForce(const Graph &g)
+{
+    const int n = g.numNodes();
+    if (n > 26)
+        throw std::invalid_argument("maxCutBruteForce: n > 26");
+    if (n == 0)
+        return 0;
+    const std::uint64_t half = static_cast<std::uint64_t>(1)
+                               << (n > 0 ? n - 1 : 0);
+    int best = 0;
+    // Cut is symmetric under global flip; scanning half the space suffices.
+    for (std::uint64_t z = 0; z < half; ++z)
+        best = std::max(best, cutValue(g, z));
+    return best;
+}
+
+int
+maxCutLocalSearch(const Graph &g, Rng &rng, int restarts)
+{
+    const int n = g.numNodes();
+    int best = 0;
+    std::vector<int> side(static_cast<std::size_t>(n), 0);
+    for (int r = 0; r < restarts; ++r) {
+        for (int v = 0; v < n; ++v)
+            side[static_cast<std::size_t>(v)] = rng.bernoulli(0.5) ? 1 : 0;
+        bool improved = true;
+        while (improved) {
+            improved = false;
+            for (Node v = 0; v < n; ++v) {
+                // Gain from flipping v: (#same-side nbrs) - (#cut nbrs).
+                int same = 0, cut = 0;
+                for (Node w : g.neighbors(v)) {
+                    if (side[static_cast<std::size_t>(w)] ==
+                        side[static_cast<std::size_t>(v)])
+                        ++same;
+                    else
+                        ++cut;
+                }
+                if (same > cut) {
+                    side[static_cast<std::size_t>(v)] ^= 1;
+                    improved = true;
+                }
+            }
+        }
+        int value = 0;
+        for (const Edge &e : g.edges())
+            value += side[static_cast<std::size_t>(e.u)] !=
+                     side[static_cast<std::size_t>(e.v)];
+        best = std::max(best, value);
+    }
+    return best;
+}
+
+int
+maxCutBest(const Graph &g, Rng &rng)
+{
+    if (g.numNodes() <= 24)
+        return maxCutBruteForce(g);
+    return maxCutLocalSearch(g, rng);
+}
+
+QaoaSimulator::QaoaSimulator(const Graph &g) : graph_(g), cut_(cutTable(g))
+{}
+
+double
+QaoaSimulator::expectation(const QaoaParams &params)
+{
+    Statevector psi = state(params);
+    const auto &amps = psi.amplitudes();
+    double e = 0.0;
+    for (std::size_t z = 0; z < amps.size(); ++z)
+        e += std::norm(amps[z]) * cut_[z];
+    return e;
+}
+
+Statevector
+QaoaSimulator::state(const QaoaParams &params) const
+{
+    Statevector psi = Statevector::uniform(graph_.numNodes());
+    for (int layer = 0; layer < params.layers(); ++layer) {
+        psi.applyDiagonalPhase(cut_,
+                               params.gamma[static_cast<std::size_t>(layer)]);
+        psi.applyRxAll(2.0 * params.beta[static_cast<std::size_t>(layer)]);
+    }
+    return psi;
+}
+
+} // namespace redqaoa

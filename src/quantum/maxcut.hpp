@@ -1,0 +1,98 @@
+/**
+ * @file
+ * MaxCut cost Hamiltonian machinery (Eq. 5 of the paper) and the ideal
+ * QAOA expectation evaluator.
+ *
+ * H_c = sum_{(i,j) in E} (I - Z_i Z_j) / 2 is diagonal; its eigenvalue on
+ * basis state z is the cut value cut(z). The simulator therefore applies
+ * the cost layer as a single diagonal phase and computes <H_c> directly
+ * from probabilities, which keeps landscape grids cheap.
+ */
+
+#ifndef REDQAOA_QUANTUM_MAXCUT_HPP
+#define REDQAOA_QUANTUM_MAXCUT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "quantum/statevector.hpp"
+
+namespace redqaoa {
+
+/** QAOA variational parameters: p gammas and p betas (Eq. 3). */
+struct QaoaParams
+{
+    std::vector<double> gamma; //!< Cost-layer angles, one per layer.
+    std::vector<double> beta;  //!< Mixer-layer angles, one per layer.
+
+    QaoaParams() = default;
+    QaoaParams(std::vector<double> g, std::vector<double> b)
+        : gamma(std::move(g)), beta(std::move(b))
+    {}
+
+    /** Number of QAOA layers. */
+    int layers() const { return static_cast<int>(gamma.size()); }
+
+    /** Flatten to [gamma..., beta...] for generic optimizers. */
+    std::vector<double> flatten() const;
+
+    /** Rebuild from a flattened vector of length 2p. */
+    static QaoaParams unflatten(const std::vector<double> &x);
+
+    /** Uniformly random parameters: gamma in [0, 2pi), beta in [0, pi). */
+    static QaoaParams random(int p, Rng &rng);
+};
+
+/** Cut value of basis state @p z (bit i = partition of node i). */
+int cutValue(const Graph &g, std::uint64_t z);
+
+/** Table of cut values for all 2^n basis states (n <= 26 enforced). */
+std::vector<double> cutTable(const Graph &g);
+
+/**
+ * Exact MaxCut via exhaustive enumeration. O(2^(n-1) m); practical to
+ * n = 26 or so. Used for approximation-ratio denominators (Eq. 13).
+ */
+int maxCutBruteForce(const Graph &g);
+
+/**
+ * MaxCut lower bound by multi-restart local search with 1-bit flips;
+ * exact on small graphs with overwhelming probability and a strong
+ * heuristic above the brute-force range.
+ */
+int maxCutLocalSearch(const Graph &g, Rng &rng, int restarts = 32);
+
+/** Exact below 26 nodes, local search above. */
+int maxCutBest(const Graph &g, Rng &rng);
+
+/**
+ * Ideal QAOA simulator for one graph. Caches the cut table and reuses a
+ * scratch statevector so repeated landscape evaluations do not allocate.
+ */
+class QaoaSimulator
+{
+  public:
+    explicit QaoaSimulator(const Graph &g);
+
+    /** <H_c> for the trial state |psi(gamma, beta)> (Eq. 3). */
+    double expectation(const QaoaParams &params);
+
+    /** Prepare and return the trial state (for inspection / sampling). */
+    Statevector state(const QaoaParams &params) const;
+
+    /** The graph's cut table (shared with callers needing ground truth). */
+    const std::vector<double> &costTable() const { return cut_; }
+
+    int numQubits() const { return graph_.numNodes(); }
+    const Graph &graph() const { return graph_; }
+
+  private:
+    Graph graph_;
+    std::vector<double> cut_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_QUANTUM_MAXCUT_HPP

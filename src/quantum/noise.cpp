@@ -1,0 +1,171 @@
+#include "quantum/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace redqaoa {
+
+bool
+NoiseModel::isIdeal() const
+{
+    return oneQubitDepol == 0.0 && twoQubitDepol == 0.0 &&
+           amplitudeDamping == 0.0 && phaseDamping == 0.0 &&
+           readoutError == 0.0 && overRotation == 0.0 &&
+           zzCrosstalk == 0.0;
+}
+
+namespace noise {
+
+namespace {
+
+NoiseModel
+make(std::string name, double p1, double p2, double ad, double pd,
+     double ro, double ovr, double zz)
+{
+    NoiseModel m;
+    m.name = std::move(name);
+    m.oneQubitDepol = p1;
+    m.twoQubitDepol = p2;
+    m.amplitudeDamping = ad;
+    m.phaseDamping = pd;
+    m.readoutError = ro;
+    m.overRotation = ovr;
+    // Preset rates are EFFECTIVE per-CNOT error rates: isolated gate
+    // error inflated by crosstalk, idle decoherence, and calibration
+    // drift (roughly 1.5-2x the reported randomized-benchmarking
+    // numbers), which is what end-to-end circuit fidelities on these
+    // devices actually tracked. All presets model calibrated-but-
+    // uneven hardware: heterogeneity, readout asymmetry, and
+    // angle-proportional pulse durations.
+    m.inhomogeneity = 0.7;
+    m.readoutAsymmetry = 0.35;
+    m.durationScaledNoise = true;
+    m.zzCrosstalk = zz;
+    return m;
+}
+
+} // namespace
+
+NoiseModel
+ideal()
+{
+    return NoiseModel{};
+}
+
+double
+cnotsPerRzz(int num_nodes)
+{
+    // 2 CNOTs for the RZZ decomposition plus SWAP overhead. Calibrated
+    // to production-compiler routing on heavy-hex: our own lean router
+    // measures ~6 CNOTs/edge at 6 nodes rising to ~9 at 14 on
+    // falcon-27, and stock toolchains on dense graphs land at 2-3x
+    // that (published dense-graph QAOA transpilations run 15-25
+    // CNOTs/edge at 10-14 qubits once layout, SWAP chains, and basis
+    // translation are all accounted).
+    return 4.0 + 1.5 * num_nodes;
+}
+
+NoiseModel
+transpiled(const NoiseModel &base, int num_nodes)
+{
+    if (base.isIdeal())
+        return base;
+    NoiseModel m = base;
+    double k = cnotsPerRzz(num_nodes);
+    m.twoQubitDepol = 1.0 - std::pow(1.0 - base.twoQubitDepol, k);
+    // Damping accumulates with circuit duration, which scales with the
+    // same gate multiplicity.
+    m.amplitudeDamping =
+        1.0 - std::pow(1.0 - base.amplitudeDamping, k);
+    m.phaseDamping = 1.0 - std::pow(1.0 - base.phaseDamping, k);
+    // Basis decomposition of H/RX into the native set: ~2 pulses.
+    m.oneQubitDepol = 1.0 - std::pow(1.0 - base.oneQubitDepol, 2.0);
+    m.name = base.name + ":transpiled";
+    return m;
+}
+
+NoiseModel
+deviceRun(const NoiseModel &base)
+{
+    NoiseModel m = base;
+    m.twoQubitDepol = std::min(0.5, base.twoQubitDepol * 1.6);
+    m.readoutError = std::min(0.4, base.readoutError * 1.5);
+    m.zzCrosstalk = base.zzCrosstalk * 1.5;
+    m.amplitudeDamping = std::min(0.5, base.amplitudeDamping * 1.4);
+    m.phaseDamping = std::min(0.5, base.phaseDamping * 1.4);
+    m.name = base.name + ":device-run";
+    return m;
+}
+
+NoiseModel
+scaled(double s)
+{
+    return make("scaled", 4e-4 * s, 1.2e-2 * s, 3e-3 * s, 3.6e-3 * s,
+                2.0e-2 * s, 2.0e-2 * s, 0.4 * s);
+}
+
+NoiseModel
+ibmKolkata()
+{
+    return make("ibmq_kolkata", 2.3e-4, 1.4e-2, 3.5e-3, 4.2e-3, 1.5e-2,
+                1.2e-2, 0.25);
+}
+
+NoiseModel
+ibmAuckland()
+{
+    return make("ibm_auckland", 2.6e-4, 1.6e-2, 3.8e-3, 4.6e-3, 1.8e-2,
+                1.4e-2, 0.30);
+}
+
+NoiseModel
+ibmCairo()
+{
+    return make("ibm_cairo", 3.0e-4, 1.8e-2, 4.0e-3, 4.8e-3, 2.2e-2,
+                1.6e-2, 0.35);
+}
+
+NoiseModel
+ibmMumbai()
+{
+    return make("ibmq_mumbai", 3.4e-4, 2.1e-2, 4.5e-3, 5.4e-3, 2.8e-2,
+                1.9e-2, 0.40);
+}
+
+NoiseModel
+ibmGuadalupe()
+{
+    return make("ibmq_guadalupe", 4.0e-4, 2.4e-2, 5.0e-3, 6.0e-3, 3.2e-2,
+                2.2e-2, 0.45);
+}
+
+NoiseModel
+ibmMelbourne()
+{
+    return make("ibmq_16_melbourne", 1.0e-3, 5.5e-2, 8.0e-3, 9.6e-3,
+                7.0e-2, 4.5e-2, 0.80);
+}
+
+NoiseModel
+ibmToronto()
+{
+    return make("ibmq_toronto", 6.0e-4, 3.8e-2, 6.0e-3, 7.2e-3, 6.0e-2,
+                3.2e-2, 0.60);
+}
+
+NoiseModel
+rigettiAspenM3()
+{
+    return make("aspen_m3", 1.6e-3, 7.0e-2, 8.0e-3, 9.6e-3, 9.0e-2,
+                5.5e-2, 1.00);
+}
+
+std::vector<NoiseModel>
+fig24Backends()
+{
+    return {ibmKolkata(),   ibmAuckland(),  ibmCairo(),  ibmMumbai(),
+            ibmGuadalupe(), ibmMelbourne(), ibmToronto()};
+}
+
+} // namespace noise
+} // namespace redqaoa

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Device noise models.
+ *
+ * The paper runs noisy experiments on Qiskit fake backends and on real
+ * IBM/Rigetti devices (§5.3-§5.4, §6.7-§6.8). We replace those with
+ * parameterized channel models: depolarizing noise after every 1- and
+ * 2-qubit gate, amplitude/phase damping accumulated per gate, and a
+ * symmetric readout flip folded into the measured observable. Error
+ * magnitudes for each preset are calibration-scale values chosen to
+ * preserve the papers device ordering (Kolkata best ... Toronto/
+ * Melbourne worst, Aspen-M-3 noisier still); see DESIGN.md §4.
+ */
+
+#ifndef REDQAOA_QUANTUM_NOISE_HPP
+#define REDQAOA_QUANTUM_NOISE_HPP
+
+#include <string>
+#include <vector>
+
+namespace redqaoa {
+
+/** Gate-level noise parameters for one device. */
+struct NoiseModel
+{
+    std::string name = "ideal";
+    double oneQubitDepol = 0.0;   //!< Depolarizing prob per 1q gate.
+    double twoQubitDepol = 0.0;   //!< Depolarizing prob per 2q gate.
+    double amplitudeDamping = 0.0; //!< Damping prob per gate touch.
+    double phaseDamping = 0.0;    //!< Dephasing prob per gate touch.
+    double readoutError = 0.0;    //!< Symmetric bit-flip prob at readout.
+    /**
+     * Std dev of the static fractional calibration error on gate
+     * angles (coherent over/under-rotation). Unlike the stochastic
+     * channels above, this error survives trajectory averaging and
+     * min-max normalization — it is what visibly displaces landscape
+     * optima on real hardware (paper Figs 2, 11, 22).
+     */
+    double overRotation = 0.0;
+    /**
+     * Log-normal sigma of the static per-site spread of gate and
+     * readout errors. Real devices are heterogeneous (2q error rates
+     * vary by ~10x across pairs); heterogeneity attenuates different
+     * edge terms differently, which — unlike uniform contraction —
+     * changes the normalized landscape's shape.
+     */
+    double inhomogeneity = 0.0;
+    /**
+     * Readout asymmetry a: the |1> state misreads with probability
+     * readoutError * (1 + a) and |0> with readoutError * (1 - a)
+     * (decay during readout makes p(0|1) > p(1|0) on hardware). The
+     * induced bias terms distort cut expectations state-dependently.
+     */
+    double readoutAsymmetry = 0.0;
+    /**
+     * Scale gate noise with the rotation angle (cross-resonance RZZ
+     * pulse duration is proportional to the angle, so decoherence per
+     * gate is too). This makes the noise intensity vary ACROSS the
+     * (gamma, beta) landscape. Off by default so the exact
+     * density-matrix cross-checks stay angle-independent; all device
+     * presets enable it.
+     */
+    bool durationScaledNoise = false;
+    /**
+     * Parasitic always-on ZZ coupling (rad of conditional phase
+     * accumulated per cost layer at full pulse duration, per hardware-
+     * neighbor pair). On fixed-frequency transmons this coherent
+     * crosstalk effectively adds phantom edges to the executed MaxCut
+     * instance — a first-order landscape-shape distortion that grows
+     * with circuit size, and the dominant systematic for QAOA.
+     */
+    double zzCrosstalk = 0.0;
+
+    /** True if every channel is trivial. */
+    bool isIdeal() const;
+
+    /**
+     * Readout attenuation for a ZZ observable: <Z_i Z_j> measured =
+     * (1-2e)^2 <Z_i Z_j> ideal, so each edge term shrinks by lambda^2.
+     */
+    double readoutLambda() const { return 1.0 - 2.0 * readoutError; }
+};
+
+namespace noise {
+
+/** Noiseless model. */
+NoiseModel ideal();
+
+/**
+ * Effective gate-level model for a TRANSPILED n-node MaxCut circuit.
+ *
+ * The base presets are per-hardware-gate error rates, but one logical
+ * RZZ costs 2 CNOTs after decomposition plus SABRE SWAP overhead on the
+ * sparse heavy-hex coupling. Calibrated against this library's own
+ * router (bench of routed QAOA circuits on falcon-27: ~6 CNOTs/edge at
+ * 6 nodes growing to ~9 at 14), the multiplicity model is
+ * k(n) = 5.5 + 0.25 n; the effective 2q depolarizing probability is
+ * 1 - (1 - p2)^k(n), and damping scales with the same duration factor.
+ * This is what makes bigger circuits dramatically noisier — the effect
+ * Red-QAOA exploits.
+ */
+NoiseModel transpiled(const NoiseModel &base, int num_nodes);
+
+/** CNOTs per logical RZZ after decomposition + routing (see above). */
+double cnotsPerRzz(int num_nodes);
+
+/**
+ * End-to-end device-run degradation: real submissions (paper §6.7) run
+ * hours after calibration, without per-job tuning or dynamical
+ * decoupling, and reported calibration numbers undercount the error a
+ * queued job actually experiences. Applies a fixed degradation factor
+ * to the stochastic channels; used by the real-device reproductions
+ * (Figs 22, 23).
+ */
+NoiseModel deviceRun(const NoiseModel &base);
+
+/**
+ * Uniform scale model: handy for sweeps; @p scale = 1 matches a
+ * mid-grade Falcon device.
+ */
+NoiseModel scaled(double scale);
+
+/** IBM Kolkata (27q Falcon r5.11; among the lowest error rates). */
+NoiseModel ibmKolkata();
+
+/** IBM Auckland (27q Falcon r5.11). */
+NoiseModel ibmAuckland();
+
+/** IBM Cairo (27q Falcon r5.11). */
+NoiseModel ibmCairo();
+
+/** IBM Mumbai (27q Falcon r5.10). */
+NoiseModel ibmMumbai();
+
+/** IBM Guadalupe (16q Falcon r4P). */
+NoiseModel ibmGuadalupe();
+
+/** IBM Melbourne (retired 14q Canary; high error). */
+NoiseModel ibmMelbourne();
+
+/** IBM Toronto (retired 27q Falcon r4; high error; FakeToronto's basis). */
+NoiseModel ibmToronto();
+
+/** Rigetti Aspen-M-3 (79q; §6.7 reports higher error rates than IBM). */
+NoiseModel rigettiAspenM3();
+
+/** All IBM presets of the Fig 24 sweep, ordered as in the paper. */
+std::vector<NoiseModel> fig24Backends();
+
+} // namespace noise
+} // namespace redqaoa
+
+#endif // REDQAOA_QUANTUM_NOISE_HPP

@@ -1,0 +1,220 @@
+#include "quantum/statevector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace redqaoa {
+
+namespace {
+constexpr Complex kI{0.0, 1.0};
+} // namespace
+
+Statevector::Statevector(int num_qubits)
+    : numQubits_(num_qubits),
+      amps_(static_cast<std::size_t>(1) << num_qubits, Complex{0.0, 0.0})
+{
+    assert(num_qubits >= 0 && num_qubits < 30);
+    amps_[0] = 1.0;
+}
+
+Statevector
+Statevector::uniform(int num_qubits)
+{
+    Statevector s(num_qubits);
+    double a = 1.0 / std::sqrt(static_cast<double>(s.dim()));
+    std::fill(s.amps_.begin(), s.amps_.end(), Complex{a, 0.0});
+    return s;
+}
+
+void
+Statevector::apply1Q(int q, const Gate1Q &u)
+{
+    const std::size_t step = static_cast<std::size_t>(1) << q;
+    const std::size_t n = amps_.size();
+    for (std::size_t base = 0; base < n; base += 2 * step) {
+        for (std::size_t i = base; i < base + step; ++i) {
+            Complex a0 = amps_[i];
+            Complex a1 = amps_[i + step];
+            amps_[i] = u[0] * a0 + u[1] * a1;
+            amps_[i + step] = u[2] * a0 + u[3] * a1;
+        }
+    }
+}
+
+void
+Statevector::applyH(int q)
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    apply1Q(q, Gate1Q{Complex{s, 0}, Complex{s, 0}, Complex{s, 0},
+                      Complex{-s, 0}});
+}
+
+void
+Statevector::applyX(int q)
+{
+    const std::size_t step = static_cast<std::size_t>(1) << q;
+    const std::size_t n = amps_.size();
+    for (std::size_t base = 0; base < n; base += 2 * step)
+        for (std::size_t i = base; i < base + step; ++i)
+            std::swap(amps_[i], amps_[i + step]);
+}
+
+void
+Statevector::applyY(int q)
+{
+    apply1Q(q, Gate1Q{Complex{0, 0}, -kI, kI, Complex{0, 0}});
+}
+
+void
+Statevector::applyZ(int q)
+{
+    const std::size_t step = static_cast<std::size_t>(1) << q;
+    const std::size_t n = amps_.size();
+    for (std::size_t base = 0; base < n; base += 2 * step)
+        for (std::size_t i = base; i < base + step; ++i)
+            amps_[i + step] = -amps_[i + step];
+}
+
+void
+Statevector::applyRx(int q, double theta)
+{
+    double c = std::cos(theta / 2.0);
+    double s = std::sin(theta / 2.0);
+    apply1Q(q, Gate1Q{Complex{c, 0}, Complex{0, -s}, Complex{0, -s},
+                      Complex{c, 0}});
+}
+
+void
+Statevector::applyRy(int q, double theta)
+{
+    double c = std::cos(theta / 2.0);
+    double s = std::sin(theta / 2.0);
+    apply1Q(q, Gate1Q{Complex{c, 0}, Complex{-s, 0}, Complex{s, 0},
+                      Complex{c, 0}});
+}
+
+void
+Statevector::applyRz(int q, double theta)
+{
+    Complex e0 = std::exp(-kI * (theta / 2.0));
+    Complex e1 = std::exp(kI * (theta / 2.0));
+    const std::size_t step = static_cast<std::size_t>(1) << q;
+    const std::size_t n = amps_.size();
+    for (std::size_t base = 0; base < n; base += 2 * step) {
+        for (std::size_t i = base; i < base + step; ++i) {
+            amps_[i] *= e0;
+            amps_[i + step] *= e1;
+        }
+    }
+}
+
+void
+Statevector::applyCnot(int c, int t)
+{
+    const std::uint64_t cbit = static_cast<std::uint64_t>(1) << c;
+    const std::uint64_t tbit = static_cast<std::uint64_t>(1) << t;
+    const std::size_t n = amps_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((i & cbit) && !(i & tbit))
+            std::swap(amps_[i], amps_[i | tbit]);
+    }
+}
+
+void
+Statevector::applyRzz(int a, int b, double theta)
+{
+    Complex even = std::exp(-kI * (theta / 2.0)); // Z_a Z_b = +1
+    Complex odd = std::exp(kI * (theta / 2.0));   // Z_a Z_b = -1
+    const std::uint64_t abit = static_cast<std::uint64_t>(1) << a;
+    const std::uint64_t bbit = static_cast<std::uint64_t>(1) << b;
+    const std::size_t n = amps_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        bool parity = ((i & abit) != 0) != ((i & bbit) != 0);
+        amps_[i] *= parity ? odd : even;
+    }
+}
+
+void
+Statevector::applyDiagonalPhase(const std::vector<double> &diag, double angle)
+{
+    assert(diag.size() == amps_.size());
+    const std::size_t n = amps_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        double phi = -angle * diag[i];
+        amps_[i] *= Complex{std::cos(phi), std::sin(phi)};
+    }
+}
+
+void
+Statevector::applyRxAll(double theta)
+{
+    for (int q = 0; q < numQubits_; ++q)
+        applyRx(q, theta);
+}
+
+double
+Statevector::norm2() const
+{
+    double s = 0.0;
+    for (const Complex &a : amps_)
+        s += std::norm(a);
+    return s;
+}
+
+std::vector<double>
+Statevector::probabilities() const
+{
+    std::vector<double> p(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        p[i] = std::norm(amps_[i]);
+    return p;
+}
+
+double
+Statevector::zzExpectation(int a, int b) const
+{
+    const std::uint64_t abit = static_cast<std::uint64_t>(1) << a;
+    const std::uint64_t bbit = static_cast<std::uint64_t>(1) << b;
+    double s = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        bool parity = ((i & abit) != 0) != ((i & bbit) != 0);
+        double pr = std::norm(amps_[i]);
+        s += parity ? -pr : pr;
+    }
+    return s;
+}
+
+double
+Statevector::zExpectation(int q) const
+{
+    const std::uint64_t qbit = static_cast<std::uint64_t>(1) << q;
+    double s = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        double pr = std::norm(amps_[i]);
+        s += (i & qbit) ? -pr : pr;
+    }
+    return s;
+}
+
+std::vector<std::uint64_t>
+Statevector::sample(int shots, Rng &rng) const
+{
+    // Cumulative distribution + binary search per shot.
+    std::vector<double> cdf(amps_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        acc += std::norm(amps_[i]);
+        cdf[i] = acc;
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(static_cast<std::size_t>(shots));
+    for (int s = 0; s < shots; ++s) {
+        double u = rng.uniform() * acc;
+        auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        out.push_back(static_cast<std::uint64_t>(it - cdf.begin()));
+    }
+    return out;
+}
+
+} // namespace redqaoa

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * This is the workhorse behind every ideal-execution experiment in the
+ * paper (the "statevector backend" of §5.3). It provides generic 1- and
+ * 2-qubit unitaries plus the two fast paths QAOA actually needs:
+ * a diagonal phase multiply for the cost layer e^{-i gamma H_c} and the
+ * RX butterfly for the mixer layer e^{-i beta H_m}.
+ *
+ * Qubit q corresponds to bit q of the basis-state index (little-endian).
+ */
+
+#ifndef REDQAOA_QUANTUM_STATEVECTOR_HPP
+#define REDQAOA_QUANTUM_STATEVECTOR_HPP
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace redqaoa {
+
+using Complex = std::complex<double>;
+
+/** 2x2 unitary, row-major. */
+using Gate1Q = std::array<Complex, 4>;
+
+/** Dense n-qubit state vector. */
+class Statevector
+{
+  public:
+    /** |0...0> on @p num_qubits qubits. */
+    explicit Statevector(int num_qubits);
+
+    /** Uniform superposition |s> = H^n |0...0>. */
+    static Statevector uniform(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    std::size_t dim() const { return amps_.size(); }
+
+    Complex &operator[](std::size_t i) { return amps_[i]; }
+    const Complex &operator[](std::size_t i) const { return amps_[i]; }
+
+    /** Apply an arbitrary 2x2 unitary to qubit @p q. */
+    void apply1Q(int q, const Gate1Q &u);
+
+    /** Hadamard on qubit @p q. */
+    void applyH(int q);
+
+    /** Pauli gates on qubit @p q. */
+    void applyX(int q);
+    void applyY(int q);
+    void applyZ(int q);
+
+    /** RX(theta) = exp(-i theta X / 2). */
+    void applyRx(int q, double theta);
+
+    /** RY(theta) = exp(-i theta Y / 2). */
+    void applyRy(int q, double theta);
+
+    /** RZ(theta) = exp(-i theta Z / 2). */
+    void applyRz(int q, double theta);
+
+    /** CNOT with control @p c, target @p t. */
+    void applyCnot(int c, int t);
+
+    /** RZZ(theta) = exp(-i theta Z_a Z_b / 2) (diagonal fast path). */
+    void applyRzz(int a, int b, double theta);
+
+    /**
+     * Multiply amplitude of basis state z by exp(-i angle * diag[z]).
+     * Used for the whole-layer QAOA cost unitary with diag = cut table.
+     */
+    void applyDiagonalPhase(const std::vector<double> &diag, double angle);
+
+    /** Apply RX(theta) to every qubit (the QAOA mixer layer). */
+    void applyRxAll(double theta);
+
+    /** Squared norm (should stay 1 within rounding). */
+    double norm2() const;
+
+    /** Probability vector |amp_z|^2. */
+    std::vector<double> probabilities() const;
+
+    /** <Z_a Z_b> expectation (+1/-1 parity average). */
+    double zzExpectation(int a, int b) const;
+
+    /** <Z_q> expectation. */
+    double zExpectation(int q) const;
+
+    /**
+     * Sample @p shots basis states from the current distribution.
+     * O(2^n) preprocessing then O(log 2^n) per shot.
+     */
+    std::vector<std::uint64_t> sample(int shots, Rng &rng) const;
+
+    const std::vector<Complex> &amplitudes() const { return amps_; }
+
+  private:
+    int numQubits_;
+    std::vector<Complex> amps_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_QUANTUM_STATEVECTOR_HPP

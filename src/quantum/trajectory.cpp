@@ -1,0 +1,304 @@
+#include "quantum/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace redqaoa {
+
+PauliChannel
+PauliChannel::fromModel(const NoiseModel &nm)
+{
+    PauliChannel ch;
+    // Depolarizing: exact twirl.
+    ch.px += nm.oneQubitDepol / 3.0;
+    ch.py += nm.oneQubitDepol / 3.0;
+    ch.pz += nm.oneQubitDepol / 3.0;
+    // Amplitude damping: twirl coefficients.
+    if (nm.amplitudeDamping > 0.0) {
+        double g = nm.amplitudeDamping;
+        double z = (1.0 - std::sqrt(1.0 - g)) / 2.0;
+        ch.px += g / 4.0;
+        ch.py += g / 4.0;
+        ch.pz += z * z;
+    }
+    // Phase damping: diagonal channel, twirls to pure dephasing.
+    if (nm.phaseDamping > 0.0) {
+        double l = nm.phaseDamping;
+        double z = (1.0 - std::sqrt(1.0 - l)) / 2.0;
+        ch.pz += l / 4.0 + z * z;
+    }
+    return ch;
+}
+
+TrajectorySimulator::TrajectorySimulator(const Graph &g,
+                                         const NoiseModel &nm,
+                                         int trajectories,
+                                         std::uint64_t seed)
+    : graph_(g), model_(nm), oneQ_(PauliChannel::fromModel(nm)),
+      trajectories_(nm.isIdeal() ? 1 : trajectories), rng_(seed)
+{
+    // Static calibration errors: one draw per gate site, fixed for the
+    // simulator's lifetime (quasi-static coherent error model).
+    Rng calib(seed ^ 0xc0ffee123ULL);
+    edgeScale_.assign(g.edges().size(), 1.0);
+    qubitScale_.assign(static_cast<std::size_t>(g.numNodes()), 1.0);
+    if (nm.overRotation > 0.0) {
+        for (double &s : edgeScale_)
+            s = 1.0 + calib.normal(0.0, nm.overRotation);
+        for (double &s : qubitScale_)
+            s = 1.0 + calib.normal(0.0, nm.overRotation);
+    }
+
+    // Heterogeneous 2q error rates (log-normal spread around the mean).
+    edgeDepol_.assign(g.edges().size(), nm.twoQubitDepol);
+    if (nm.inhomogeneity > 0.0 && nm.twoQubitDepol > 0.0) {
+        for (double &p : edgeDepol_)
+            p = std::min(0.5, p * std::exp(calib.normal(
+                                  0.0, nm.inhomogeneity)));
+    }
+
+    // Idle decoherence per cost layer: each qubit sits through
+    // ~ 2m/n sequential pulse slots, damping in each.
+    if (nm.amplitudeDamping > 0.0 || nm.phaseDamping > 0.0) {
+        double slots = g.numNodes() > 0
+                           ? 2.0 * g.numEdges() / g.numNodes()
+                           : 0.0;
+        NoiseModel idle;
+        idle.amplitudeDamping =
+            1.0 - std::pow(1.0 - nm.amplitudeDamping, slots);
+        idle.phaseDamping =
+            1.0 - std::pow(1.0 - nm.phaseDamping, slots);
+        idlePerLayer_ = PauliChannel::fromModel(idle);
+    }
+
+    // Parasitic ZZ couplings: on hardware, qubits that are neighbors on
+    // the DEVICE (not necessarily in the problem graph) accumulate
+    // conditional phase during the cost layer. We approximate the
+    // embedding with a hardware chain over the qubits plus a few
+    // longer-range spectator pairs.
+    if (nm.zzCrosstalk > 0.0) {
+        for (int q = 0; q + 1 < g.numNodes(); ++q)
+            crosstalkPairs_.emplace_back(q, q + 1);
+        // Spectator pairs grow superlinearly: a bigger circuit
+        // occupies more of the chip and sees more parasitic couplings.
+        int spectators = std::max(
+            g.numNodes() / 2,
+            g.numNodes() * (g.numNodes() - 6) / 8);
+        for (int extra = 0; extra < spectators; ++extra) {
+            int a = static_cast<int>(
+                calib.index(static_cast<std::size_t>(g.numNodes())));
+            int b = static_cast<int>(
+                calib.index(static_cast<std::size_t>(g.numNodes())));
+            if (a != b)
+                crosstalkPairs_.emplace_back(a, b);
+        }
+        crosstalkPhase_.reserve(crosstalkPairs_.size());
+        for (std::size_t i = 0; i < crosstalkPairs_.size(); ++i)
+            crosstalkPhase_.push_back(
+                calib.normal(0.0, nm.zzCrosstalk));
+    }
+
+    // Per-qubit asymmetric readout: |1> misreads more often than |0>.
+    const auto nq = static_cast<std::size_t>(g.numNodes());
+    readoutFlip0_.assign(nq, nm.readoutError);
+    readoutFlip1_.assign(nq, nm.readoutError);
+    if (nm.readoutError > 0.0) {
+        for (std::size_t q = 0; q < nq; ++q) {
+            double site = 1.0;
+            if (nm.inhomogeneity > 0.0)
+                site = std::exp(calib.normal(0.0,
+                                             0.5 * nm.inhomogeneity));
+            readoutFlip0_[q] = std::min(
+                0.45,
+                nm.readoutError * (1.0 - nm.readoutAsymmetry) * site);
+            readoutFlip1_[q] = std::min(
+                0.45,
+                nm.readoutError * (1.0 + nm.readoutAsymmetry) * site);
+        }
+    }
+}
+
+double
+TrajectorySimulator::durationFactor(double angle) const
+{
+    if (!model_.durationScaledNoise)
+        return 1.0;
+    // Pulse length proportional to the wrapped angle, with a floor for
+    // the fixed pulse-envelope overhead.
+    double a = std::fabs(std::fmod(angle, 2.0 * M_PI));
+    if (a > M_PI)
+        a = 2.0 * M_PI - a;
+    return 0.25 + 0.75 * a / M_PI;
+}
+
+void
+TrajectorySimulator::applyPauliError(Statevector &psi, int q, Rng &rng,
+                                     double duration)
+{
+    double u = rng.uniform();
+    if (u < duration * oneQ_.px) {
+        psi.applyX(q);
+    } else if (u < duration * (oneQ_.px + oneQ_.py)) {
+        psi.applyY(q);
+    } else if (u < duration * (oneQ_.px + oneQ_.py + oneQ_.pz)) {
+        psi.applyZ(q);
+    }
+}
+
+void
+TrajectorySimulator::applyTwoQubitError(Statevector &psi,
+                                        std::size_t edge_index, Rng &rng,
+                                        double duration)
+{
+    const Edge &edge = graph_.edges()[edge_index];
+    int a = edge.u;
+    int b = edge.v;
+    double p_edge = duration * edgeDepol_[edge_index];
+    if (p_edge > 0.0 && rng.uniform() < p_edge) {
+        // Uniform non-identity 2q Pauli: index 1..15 as base-4 digits.
+        int code = 1 + static_cast<int>(rng.index(15));
+        int pa = code & 3;
+        int pb = (code >> 2) & 3;
+        auto apply = [&psi](int q, int p) {
+            switch (p) {
+              case 1:
+                psi.applyX(q);
+                break;
+              case 2:
+                psi.applyY(q);
+                break;
+              case 3:
+                psi.applyZ(q);
+                break;
+              default:
+                break;
+            }
+        };
+        apply(a, pa);
+        apply(b, pb);
+    }
+    // Per-gate damping on both qubits (twirled).
+    if (model_.amplitudeDamping > 0.0 || model_.phaseDamping > 0.0) {
+        NoiseModel damp_only;
+        damp_only.amplitudeDamping = model_.amplitudeDamping;
+        damp_only.phaseDamping = model_.phaseDamping;
+        PauliChannel damp = PauliChannel::fromModel(damp_only);
+        auto applyDamp = [&](int q) {
+            double u = rng.uniform();
+            if (u < duration * damp.px)
+                psi.applyX(q);
+            else if (u < duration * (damp.px + damp.py))
+                psi.applyY(q);
+            else if (u < duration * (damp.px + damp.py + damp.pz))
+                psi.applyZ(q);
+        };
+        applyDamp(a);
+        applyDamp(b);
+    }
+}
+
+Statevector
+TrajectorySimulator::runTrajectory(const QaoaParams &params, Rng &rng)
+{
+    const int n = graph_.numNodes();
+    Statevector psi = Statevector::uniform(n);
+    // Initial H layer counts as one 1q gate per qubit.
+    for (int q = 0; q < n; ++q)
+        applyPauliError(psi, q, rng, 1.0);
+
+    for (int layer = 0; layer < params.layers(); ++layer) {
+        double gma = params.gamma[static_cast<std::size_t>(layer)];
+        double bta = params.beta[static_cast<std::size_t>(layer)];
+        double rzz_duration = durationFactor(gma);
+        double rx_duration = durationFactor(2.0 * bta);
+        for (std::size_t ei = 0; ei < graph_.edges().size(); ++ei) {
+            const Edge &e = graph_.edges()[ei];
+            // exp(-i gamma cut_e), with the static calibration error.
+            psi.applyRzz(e.u, e.v, -gma * edgeScale_[ei]);
+            applyTwoQubitError(psi, ei, rng, rzz_duration);
+        }
+        // Parasitic conditional phases accumulate over the cost layer,
+        // scaled by its duration (coherent: identical every trajectory).
+        for (std::size_t ci = 0; ci < crosstalkPairs_.size(); ++ci)
+            psi.applyRzz(crosstalkPairs_[ci].first,
+                         crosstalkPairs_[ci].second,
+                         crosstalkPhase_[ci] * rzz_duration);
+        // Idle decoherence over the layer's wall time.
+        for (int q = 0; q < n; ++q) {
+            double u = rng.uniform();
+            if (u < rzz_duration * idlePerLayer_.px)
+                psi.applyX(q);
+            else if (u < rzz_duration *
+                             (idlePerLayer_.px + idlePerLayer_.py))
+                psi.applyY(q);
+            else if (u < rzz_duration *
+                             (idlePerLayer_.px + idlePerLayer_.py +
+                              idlePerLayer_.pz))
+                psi.applyZ(q);
+        }
+        for (int q = 0; q < n; ++q) {
+            psi.applyRx(q, 2.0 * bta *
+                               qubitScale_[static_cast<std::size_t>(q)]);
+            applyPauliError(psi, q, rng, rx_duration);
+        }
+    }
+    return psi;
+}
+
+double
+TrajectorySimulator::expectation(const QaoaParams &params)
+{
+    double total = 0.0;
+    for (int t = 0; t < trajectories_; ++t) {
+        Rng traj_rng = rng_.split();
+        Statevector psi = runTrajectory(params, traj_rng);
+        double e = 0.0;
+        for (const Edge &edge : graph_.edges()) {
+            // Asymmetric readout folded analytically: a qubit in state
+            // s flips with prob q0 (s = +1) or q1 (s = -1), giving
+            //   E[s^m] = a s + b,  a = 1 - q0 - q1,  b = q1 - q0.
+            auto ui = static_cast<std::size_t>(edge.u);
+            auto vi = static_cast<std::size_t>(edge.v);
+            double au = 1.0 - readoutFlip0_[ui] - readoutFlip1_[ui];
+            double bu = readoutFlip1_[ui] - readoutFlip0_[ui];
+            double av = 1.0 - readoutFlip0_[vi] - readoutFlip1_[vi];
+            double bv = readoutFlip1_[vi] - readoutFlip0_[vi];
+            double zz = au * av * psi.zzExpectation(edge.u, edge.v) +
+                        au * bv * psi.zExpectation(edge.u) +
+                        bu * av * psi.zExpectation(edge.v) + bu * bv;
+            e += 0.5 * (1.0 - zz);
+        }
+        total += e;
+    }
+    return total / static_cast<double>(trajectories_);
+}
+
+double
+TrajectorySimulator::sampledExpectation(const QaoaParams &params, int shots)
+{
+    int per_traj = std::max(1, shots / trajectories_);
+    double total = 0.0;
+    long long count = 0;
+    for (int t = 0; t < trajectories_; ++t) {
+        Rng traj_rng = rng_.split();
+        Statevector psi = runTrajectory(params, traj_rng);
+        auto outcomes = psi.sample(per_traj, traj_rng);
+        for (std::uint64_t z : outcomes) {
+            // State-dependent readout flips (|1> misreads more often).
+            std::uint64_t flipped = z;
+            for (int q = 0; q < graph_.numNodes(); ++q) {
+                bool is_one = (z >> q) & 1u;
+                double flip_p =
+                    is_one ? readoutFlip1_[static_cast<std::size_t>(q)]
+                           : readoutFlip0_[static_cast<std::size_t>(q)];
+                if (traj_rng.bernoulli(flip_p))
+                    flipped ^= (static_cast<std::uint64_t>(1) << q);
+            }
+            total += cutValue(graph_, flipped);
+            ++count;
+        }
+    }
+    return total / static_cast<double>(count);
+}
+
+} // namespace redqaoa

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Pauli-trajectory noisy simulator.
+ *
+ * Density matrices cost 4^n memory; above ~12 qubits the paper's noisy
+ * experiments (7-14 node graphs, Fig 10) need a cheaper route. We unravel
+ * the noise channels into stochastic Pauli insertions on a statevector
+ * and average over trajectories:
+ *  - depolarizing(p): with prob p apply a uniform non-identity Pauli;
+ *  - amplitude damping(g): Pauli twirl px = py = g/4,
+ *    pz = ((1 - sqrt(1-g))/2)^2;
+ *  - phase damping(l): pz = l/4 + ((1 - sqrt(1-l))/2)^2.
+ * The twirl is exact for depolarizing and a standard approximation for
+ * the damping channels (tests cross-check against the exact density
+ * matrix on small systems). Readout error is folded analytically.
+ */
+
+#ifndef REDQAOA_QUANTUM_TRAJECTORY_HPP
+#define REDQAOA_QUANTUM_TRAJECTORY_HPP
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "quantum/maxcut.hpp"
+#include "quantum/noise.hpp"
+
+namespace redqaoa {
+
+/** Per-qubit Pauli error probabilities of a twirled 1q channel stack. */
+struct PauliChannel
+{
+    double px = 0.0;
+    double py = 0.0;
+    double pz = 0.0;
+
+    /** Twirl of (depolarizing, amplitude damping, phase damping). */
+    static PauliChannel fromModel(const NoiseModel &nm);
+};
+
+/**
+ * Noisy QAOA expectation estimator for one graph under one noise model.
+ * Deterministic given the Rng seed. Reuses buffers across calls, so a
+ * single instance amortizes across a whole landscape grid.
+ */
+class TrajectorySimulator
+{
+  public:
+    /**
+     * @param g graph / MaxCut instance
+     * @param nm noise model
+     * @param trajectories number of Monte-Carlo unravelings per call
+     * @param seed base seed (each expectation call derives sub-streams)
+     */
+    TrajectorySimulator(const Graph &g, const NoiseModel &nm,
+                        int trajectories = 48, std::uint64_t seed = 99);
+
+    /** Mean <H_c> over trajectories with analytic readout folding. */
+    double expectation(const QaoaParams &params);
+
+    /**
+     * Shot-sampled estimate: per trajectory, draws measurement outcomes
+     * (with readout flips) and averages cut values. @p shots total.
+     */
+    double sampledExpectation(const QaoaParams &params, int shots);
+
+    int numQubits() const { return graph_.numNodes(); }
+
+  private:
+    /** One noisy trajectory; returns the final statevector. */
+    Statevector runTrajectory(const QaoaParams &params, Rng &rng);
+
+    /**
+     * @param duration pulse-duration factor in (0, 1]; error
+     *        probabilities scale with it when the model enables
+     *        duration-scaled noise (1.0 otherwise).
+     */
+    void applyPauliError(Statevector &psi, int q, Rng &rng,
+                         double duration);
+    void applyTwoQubitError(Statevector &psi, std::size_t edge_index,
+                            Rng &rng, double duration);
+
+    /** Angle-to-duration factor (see NoiseModel::durationScaledNoise). */
+    double durationFactor(double angle) const;
+
+    Graph graph_;
+    NoiseModel model_;
+    PauliChannel oneQ_;
+    int trajectories_;
+    Rng rng_;
+    /**
+     * Static calibration errors (coherent over-rotations), drawn once
+     * per simulator: edgeScale_[e] multiplies the RZZ angle of edge e,
+     * qubitScale_[q] the RX angle of qubit q. Deterministic given the
+     * seed, and constant across trajectories — like real miscalibrated
+     * gates, they do not average out.
+     */
+    std::vector<double> edgeScale_;
+    std::vector<double> qubitScale_;
+    /** Static per-edge 2q depolarizing probability (inhomogeneous). */
+    std::vector<double> edgeDepol_;
+    /** Parasitic ZZ pairs (phantom hardware-neighbor couplings). */
+    std::vector<std::pair<int, int>> crosstalkPairs_;
+    /** Static parasitic coupling strength per pair (rad per layer). */
+    std::vector<double> crosstalkPhase_;
+    /** Static per-qubit readout flip probabilities for |0> / |1>. */
+    std::vector<double> readoutFlip0_;
+    std::vector<double> readoutFlip1_;
+    /**
+     * Twirled idle-decoherence channel applied to every qubit once per
+     * cost layer: the m edge pulses execute with parallelism ~ n/2, so
+     * each qubit idles through ~ 2m/n sequential gate slots and damps
+     * the whole time. This is the dominant size-dependent noise on
+     * hardware — exactly the cost a smaller distilled circuit avoids.
+     */
+    PauliChannel idlePerLayer_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_QUANTUM_TRAJECTORY_HPP

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Circuit IR, QAOA builder, topology, timing, and throughput-model
+ * tests. A key cross-check: the gate-list QAOA circuit executed on the
+ * statevector simulator must reproduce the fast-path QAOA energies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "circuit/qaoa_builder.hpp"
+#include "circuit/throughput.hpp"
+#include "circuit/timing.hpp"
+#include "circuit/topologies.hpp"
+#include "graph/generators.hpp"
+#include "quantum/maxcut.hpp"
+#include "quantum/statevector.hpp"
+
+namespace redqaoa {
+namespace {
+
+TEST(Circuit, CountsAndDepth)
+{
+    Circuit c(3);
+    c.addH(0);
+    c.addH(1);
+    c.addCnot(0, 1);
+    c.addRx(2, 0.5);
+    c.addCnot(1, 2);
+    EXPECT_EQ(c.count(GateKind::H), 2);
+    EXPECT_EQ(c.twoQubitCount(), 2);
+    // H(0) | H(1),Rx(2) happen at level 1; CNOT(0,1) at 2; CNOT(1,2) at 3.
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, DecomposeRzzAndSwap)
+{
+    Circuit c(2);
+    c.addRzz(0, 1, 0.3);
+    c.addSwap(0, 1);
+    Circuit hw = c.decomposed();
+    EXPECT_EQ(hw.count(GateKind::RZZ), 0);
+    EXPECT_EQ(hw.count(GateKind::SWAP), 0);
+    EXPECT_EQ(hw.count(GateKind::CNOT), 5);
+    EXPECT_EQ(hw.count(GateKind::RZ), 1);
+}
+
+TEST(QaoaBuilder, GateInventory)
+{
+    Rng rng(1);
+    Graph g = gen::connectedGnp(6, 0.5, rng);
+    QaoaParams p = QaoaParams::random(2, rng);
+    Circuit c = buildQaoaCircuit(g, p, true);
+    EXPECT_EQ(c.count(GateKind::H), 6);
+    EXPECT_EQ(c.count(GateKind::RZZ), 2 * g.numEdges());
+    EXPECT_EQ(c.count(GateKind::RX), 12);
+    EXPECT_EQ(c.count(GateKind::MEASURE), 6);
+}
+
+TEST(QaoaBuilder, CircuitMatchesFastPathSimulation)
+{
+    // Execute the gate list on a fresh statevector and compare <H_c>
+    // against the fast-path QaoaSimulator.
+    Rng rng(2);
+    Graph g = gen::connectedGnp(6, 0.5, rng);
+    QaoaParams p = QaoaParams::random(2, rng);
+    Circuit c = buildQaoaCircuit(g, p, false);
+
+    Statevector psi(6);
+    for (const GateOp &op : c.gates()) {
+        switch (op.kind) {
+          case GateKind::H:
+            psi.applyH(op.q0);
+            break;
+          case GateKind::RX:
+            psi.applyRx(op.q0, op.angle);
+            break;
+          case GateKind::RZ:
+            psi.applyRz(op.q0, op.angle);
+            break;
+          case GateKind::CNOT:
+            psi.applyCnot(op.q0, op.q1);
+            break;
+          case GateKind::RZZ:
+            psi.applyRzz(op.q0, op.q1, op.angle);
+            break;
+          default:
+            break;
+        }
+    }
+    double e = 0.0;
+    for (const Edge &edge : g.edges())
+        e += 0.5 * (1.0 - psi.zzExpectation(edge.u, edge.v));
+
+    QaoaSimulator sim(g);
+    EXPECT_NEAR(e, sim.expectation(p), 1e-9);
+}
+
+TEST(Topologies, DeviceSizes)
+{
+    EXPECT_EQ(topologies::falcon27().numQubits(), 27);
+    EXPECT_EQ(topologies::eagle33().numQubits(), 33);
+    EXPECT_EQ(topologies::hummingbird65().numQubits(), 65);
+    EXPECT_EQ(topologies::eagle127().numQubits(), 127);
+    EXPECT_EQ(topologies::aspenM3().numQubits(), 79);
+    EXPECT_EQ(topologies::fig25Devices().size(), 4u);
+}
+
+TEST(Topologies, DevicesAreConnected)
+{
+    for (const auto &dev : topologies::fig25Devices())
+        EXPECT_TRUE(dev.graph().isConnected()) << dev.name();
+    EXPECT_TRUE(topologies::aspenM3().graph().isConnected());
+}
+
+TEST(Topologies, HeavyHexDegreeBound)
+{
+    // Heavy-hex lattices keep qubit degree <= 3 (bridge qubits degree 2).
+    for (const auto &dev : topologies::fig25Devices())
+        EXPECT_LE(dev.graph().maxDegree(), 3) << dev.name();
+}
+
+TEST(Topologies, DistancesAreMetric)
+{
+    CouplingMap dev = topologies::falcon27();
+    for (int a = 0; a < 27; ++a) {
+        EXPECT_EQ(dev.distance(a, a), 0);
+        for (int b = 0; b < 27; ++b) {
+            EXPECT_EQ(dev.distance(a, b), dev.distance(b, a));
+            if (dev.coupled(a, b)) {
+                EXPECT_EQ(dev.distance(a, b), 1);
+            }
+        }
+    }
+}
+
+TEST(Timing, LatencyScalesWithDepth)
+{
+    TimingModel tm;
+    Rng rng(3);
+    Graph small = gen::cycle(4);
+    Graph big = gen::complete(8);
+    QaoaParams p({0.4}, {0.3});
+    double t_small = tm.circuitLatency(buildQaoaCircuit(small, p, true));
+    double t_big = tm.circuitLatency(buildQaoaCircuit(big, p, true));
+    EXPECT_GT(t_big, t_small);
+    EXPECT_GT(t_small, 0.0);
+}
+
+TEST(Timing, SherbrookeAnchorIsClose)
+{
+    // §6.4.2: a 10-node 1-layer QAOA circuit takes ~4.2 s on
+    // ibm_sherbrooke at 8192 shots. The default timing model should
+    // land within a factor of ~1.5 of that anchor.
+    Rng rng(4);
+    Graph g = gen::connectedGnp(10, 0.4, rng);
+    QaoaParams p({0.7}, {0.3});
+    TimingModel tm;
+    double secs = tm.jobDuration(buildQaoaCircuit(g, p, true), 8192);
+    EXPECT_GT(secs, 4.2 / 1.5);
+    EXPECT_LT(secs, 4.2 * 1.5);
+}
+
+TEST(Throughput, PackerCountsDisjointRegions)
+{
+    CouplingMap dev = topologies::falcon27();
+    ThroughputModel model(dev);
+    EXPECT_EQ(model.packRegions(27), 1);
+    EXPECT_GE(model.packRegions(10), 2);
+    EXPECT_GE(model.packRegions(5), 4);
+    EXPECT_EQ(model.packRegions(28), 0);
+}
+
+TEST(Throughput, SmallerCircuitsGetMoreCopies)
+{
+    CouplingMap dev = topologies::hummingbird65();
+    ThroughputModel model(dev);
+    int big = model.packRegions(20);
+    int small = model.packRegions(8);
+    EXPECT_GT(small, big);
+}
+
+TEST(Throughput, ReducedGraphImprovesJobsPerSecond)
+{
+    // The Fig 25 effect in miniature: a 7-node circuit on falcon-27
+    // beats a 10-node circuit in jobs/second.
+    Rng rng(5);
+    Graph big = gen::connectedGnp(10, 0.45, rng);
+    Graph small = gen::connectedGnp(7, 0.5, rng);
+    QaoaParams p({0.7}, {0.3});
+    CouplingMap dev = topologies::falcon27();
+    ThroughputModel model(dev, TimingModel{}, 1024, 2);
+    Rng r1(6), r2(7);
+    auto rep_big = model.evaluate(big, p, r1);
+    auto rep_small = model.evaluate(small, p, r2);
+    EXPECT_GT(rep_small.jobsPerSecond, rep_big.jobsPerSecond);
+}
+
+TEST(GateNames, Mnemonics)
+{
+    EXPECT_EQ(gateName(GateKind::H), "h");
+    EXPECT_EQ(gateName(GateKind::CNOT), "cx");
+    EXPECT_EQ(gateName(GateKind::RZZ), "rzz");
+    EXPECT_TRUE(isTwoQubit(GateKind::SWAP));
+    EXPECT_FALSE(isTwoQubit(GateKind::MEASURE));
+}
+
+} // namespace
+} // namespace redqaoa

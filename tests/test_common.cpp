@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Common-utility tests: RNG determinism and distribution sanity,
+ * descriptive statistics, dense linear algebra, and the polynomial /
+ * n log n fits used by Figs 5 and 18.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/linalg.hpp"
+#include "common/polyfit.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace redqaoa {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DistinctSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double lo = 1.0, hi = 0.0, sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, IndexStaysInRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.index(17), 17u);
+}
+
+TEST(Rng, IndexCoversRange)
+{
+    Rng r(10);
+    std::vector<int> seen(5, 0);
+    for (int i = 0; i < 1000; ++i)
+        ++seen[r.index(5)];
+    for (int c : seen)
+        EXPECT_GT(c, 100);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(11);
+    const int n = 40000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = r.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng r(12);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(13);
+    Rng c1 = parent.split();
+    Rng c2 = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += c1.next() == c2.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Stats, MeanVariance)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(stats::mean(xs), 3.0);
+    EXPECT_DOUBLE_EQ(stats::variance(xs), 2.0);
+    EXPECT_DOUBLE_EQ(stats::stddev(xs), std::sqrt(2.0));
+}
+
+TEST(Stats, EmptyInputsAreSafe)
+{
+    std::vector<double> xs;
+    EXPECT_DOUBLE_EQ(stats::mean(xs), 0.0);
+    EXPECT_DOUBLE_EQ(stats::variance(xs), 0.0);
+}
+
+TEST(Stats, QuantilesAndMedian)
+{
+    std::vector<double> xs{4, 1, 3, 2};
+    EXPECT_DOUBLE_EQ(stats::median(xs), 2.5);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 4.0);
+}
+
+TEST(Stats, BoxSummaryOrdering)
+{
+    std::vector<double> xs;
+    Rng r(14);
+    for (int i = 0; i < 200; ++i)
+        xs.push_back(r.normal(5.0, 2.0));
+    auto box = stats::boxSummary(xs);
+    EXPECT_LE(box.whiskerLow, box.q1);
+    EXPECT_LE(box.q1, box.median);
+    EXPECT_LE(box.median, box.q3);
+    EXPECT_LE(box.q3, box.whiskerHigh);
+}
+
+TEST(Stats, PearsonPerfectCorrelation)
+{
+    std::vector<double> xs{1, 2, 3, 4};
+    std::vector<double> ys{2, 4, 6, 8};
+    EXPECT_NEAR(stats::pearson(xs, ys), 1.0, 1e-12);
+    std::vector<double> neg{8, 6, 4, 2};
+    EXPECT_NEAR(stats::pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantInputIsZero)
+{
+    std::vector<double> xs{1, 1, 1};
+    std::vector<double> ys{2, 5, 9};
+    EXPECT_DOUBLE_EQ(stats::pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, HistogramFrequenciesSumToOne)
+{
+    Rng r(15);
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i)
+        xs.push_back(r.uniform());
+    auto h = stats::histogram(xs, 10);
+    double total = 0.0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b)
+        total += h.frequency(b);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Linalg, IdentitySolve)
+{
+    Matrix eye = Matrix::identity(3);
+    std::vector<double> b{1, 2, 3};
+    auto x = solveLinearSystem(eye, b);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Linalg, GeneralSolve)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 2;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 3;
+    auto x = solveLinearSystem(a, {5, 10});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, SingularThrows)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 4;
+    EXPECT_THROW(solveLinearSystem(a, {1, 2}), std::runtime_error);
+}
+
+TEST(Linalg, PivotingHandlesZeroDiagonal)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 0;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 0;
+    auto x = solveLinearSystem(a, {3, 7});
+    EXPECT_NEAR(x[0], 7.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, MatmulAndTranspose)
+{
+    Matrix a(2, 3);
+    int v = 1;
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            a(r, c) = v++;
+    Matrix ata = a.transposed() * a;
+    EXPECT_EQ(ata.rows(), 3u);
+    EXPECT_EQ(ata.cols(), 3u);
+    EXPECT_DOUBLE_EQ(ata(0, 0), 1 * 1 + 4 * 4);
+    EXPECT_DOUBLE_EQ(ata(2, 1), 3 * 2 + 6 * 5);
+}
+
+TEST(Linalg, LeastSquaresRecoversLine)
+{
+    // y = 3x + 1 with exact data.
+    Matrix design(4, 2);
+    std::vector<double> ys;
+    for (int i = 0; i < 4; ++i) {
+        design(static_cast<std::size_t>(i), 0) = i;
+        design(static_cast<std::size_t>(i), 1) = 1.0;
+        ys.push_back(3.0 * i + 1.0);
+    }
+    auto sol = solveLeastSquares(design, ys);
+    EXPECT_NEAR(sol[0], 3.0, 1e-9);
+    EXPECT_NEAR(sol[1], 1.0, 1e-9);
+}
+
+TEST(Polyfit, ExactQuadratic)
+{
+    std::vector<double> xs{-2, -1, 0, 1, 2, 3};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(2.0 * x * x - x + 0.5);
+    Polynomial p = polyfit(xs, ys, 2);
+    EXPECT_NEAR(p.coeffs[0], 0.5, 1e-8);
+    EXPECT_NEAR(p.coeffs[1], -1.0, 1e-8);
+    EXPECT_NEAR(p.coeffs[2], 2.0, 1e-8);
+    EXPECT_NEAR(rSquared(p, xs, ys), 1.0, 1e-10);
+}
+
+TEST(Polyfit, Degree6FitRuns)
+{
+    // The Fig 5 configuration: degree-6 fit through noisy data.
+    Rng r(16);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 60; ++i) {
+        double x = r.uniform(0.2, 1.0);
+        xs.push_back(x);
+        ys.push_back(0.25 * std::pow(1.0 - x, 3) + 0.01 * r.normal());
+    }
+    Polynomial p = polyfit(xs, ys, 6);
+    EXPECT_EQ(p.degree(), 6);
+    EXPECT_GT(rSquared(p, xs, ys), 0.5);
+}
+
+TEST(Polyfit, NLogNFitRecoversCoefficients)
+{
+    std::vector<double> xs, ys;
+    for (double x : {10.0, 50.0, 100.0, 400.0, 1000.0}) {
+        xs.push_back(x);
+        ys.push_back(2.5e-5 * x * std::log2(x) + 0.003);
+    }
+    auto [a, b] = fitNLogN(xs, ys);
+    EXPECT_NEAR(a, 2.5e-5, 1e-8);
+    EXPECT_NEAR(b, 0.003, 1e-6);
+}
+
+TEST(Polynomial, HornerEvaluation)
+{
+    Polynomial p;
+    p.coeffs = {1.0, 0.0, 2.0}; // 1 + 2x^2.
+    EXPECT_DOUBLE_EQ(p(3.0), 19.0);
+    EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+}
+
+} // namespace
+} // namespace redqaoa

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Red-QAOA core tests: Algorithm 1's annealer (connectivity, size,
+ * objective quality, cooling schedules), the dynamic binary-search
+ * reducer (AND-ratio threshold honored), and the transfer donors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/red_qaoa.hpp"
+#include "core/sa_reducer.hpp"
+#include "core/transfer.hpp"
+#include "graph/generators.hpp"
+
+namespace redqaoa {
+namespace {
+
+TEST(SaReducer, ProducesConnectedSubgraphOfRequestedSize)
+{
+    Rng rng(1);
+    Graph g = gen::connectedGnp(14, 0.3, rng);
+    SaReducer annealer;
+    for (int k : {4, 7, 10, 14}) {
+        SaResult res = annealer.reduce(g, k, rng);
+        EXPECT_EQ(res.subgraph.graph.numNodes(), k);
+        EXPECT_TRUE(res.subgraph.graph.isConnected());
+    }
+}
+
+TEST(SaReducer, ObjectiveMatchesAndGap)
+{
+    Rng rng(2);
+    Graph g = gen::connectedGnp(12, 0.4, rng);
+    SaReducer annealer;
+    SaResult res = annealer.reduce(g, 8, rng);
+    EXPECT_NEAR(res.objective,
+                std::fabs(res.subgraph.graph.averageDegree() -
+                          g.averageDegree()),
+                1e-12);
+}
+
+TEST(SaReducer, BeatsRandomSubgraphsOnAverage)
+{
+    // The annealer's whole job: its AND gap should be well below the
+    // mean gap of random connected subgraphs of the same size.
+    Rng rng(3);
+    Graph g = gen::connectedGnp(15, 0.35, rng);
+    const int k = 9;
+    SaReducer annealer;
+    double sa_gap = annealer.reduce(g, k, rng).objective;
+
+    double random_gap = 0.0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+        Subgraph s = randomConnectedSubgraph(g, k, rng);
+        random_gap +=
+            std::fabs(s.graph.averageDegree() - g.averageDegree());
+    }
+    random_gap /= trials;
+    EXPECT_LE(sa_gap, random_gap + 1e-9);
+}
+
+TEST(SaReducer, AdaptiveCoolingTerminatesFaster)
+{
+    Rng rng1(4), rng2(4);
+    Graph g = gen::connectedGnp(14, 0.35, rng1);
+    Rng graph_sync(4);
+    (void)gen::connectedGnp(14, 0.35, rng2); // Keep streams aligned.
+
+    SaOptions constant;
+    constant.adaptive = false;
+    SaOptions adaptive = constant;
+    adaptive.adaptive = true;
+
+    SaResult res_const = SaReducer(constant).reduce(g, 8, rng1);
+    SaResult res_adapt = SaReducer(adaptive).reduce(g, 8, rng2);
+    EXPECT_LE(res_adapt.steps, res_const.steps);
+    EXPECT_GT(res_adapt.steps, 0);
+}
+
+TEST(SaReducer, FullSizeRequestReturnsWholeGraph)
+{
+    Rng rng(5);
+    Graph g = gen::connectedGnp(9, 0.4, rng);
+    SaReducer annealer;
+    SaResult res = annealer.reduce(g, 9, rng);
+    EXPECT_EQ(res.subgraph.graph.numNodes(), 9);
+    EXPECT_EQ(res.subgraph.graph.numEdges(), g.numEdges());
+    EXPECT_NEAR(res.objective, 0.0, 1e-12);
+}
+
+TEST(SaReducer, MoveCountersAreConsistent)
+{
+    Rng rng(6);
+    Graph g = gen::connectedGnp(12, 0.4, rng);
+    SaOptions opts;
+    opts.movesPerTemperature = 2;
+    SaReducer annealer(opts);
+    SaResult res = annealer.reduce(g, 7, rng);
+    EXPECT_EQ(res.accepted + res.rejected,
+              res.steps * opts.movesPerTemperature);
+}
+
+TEST(RedQaoaReducer, ThresholdHonored)
+{
+    Rng rng(7);
+    RedQaoaReducer reducer;
+    for (int t = 0; t < 6; ++t) {
+        Graph g = gen::connectedGnp(12, 0.4, rng);
+        ReductionResult res = reducer.reduce(g, rng);
+        EXPECT_GE(res.andRatio,
+                  reducer.options().andRatioThreshold - 1e-9);
+        EXPECT_TRUE(res.reduced.graph.isConnected());
+    }
+}
+
+TEST(RedQaoaReducer, ActuallyReduces)
+{
+    Rng rng(8);
+    int reduced_count = 0;
+    RedQaoaReducer reducer;
+    for (int t = 0; t < 8; ++t) {
+        Graph g = gen::connectedGnp(12, 0.45, rng);
+        ReductionResult res = reducer.reduce(g, rng);
+        if (res.nodeReduction > 0.0)
+            ++reduced_count;
+        EXPECT_GE(res.nodeReduction, 0.0);
+        EXPECT_LE(res.nodeReduction, 1.0);
+    }
+    // Dense-ish random graphs should essentially always shrink.
+    EXPECT_GE(reduced_count, 6);
+}
+
+TEST(RedQaoaReducer, EdgeReductionExceedsNodeReduction)
+{
+    // Removing nodes removes at least their incident edges, so the edge
+    // ratio should typically exceed the node ratio (the 28% vs 37%
+    // pattern of Fig 13).
+    Rng rng(9);
+    RedQaoaReducer reducer;
+    double node_total = 0.0, edge_total = 0.0;
+    int n_reduced = 0;
+    for (int t = 0; t < 10; ++t) {
+        Graph g = gen::connectedGnp(12, 0.4, rng);
+        ReductionResult res = reducer.reduce(g, rng);
+        if (res.nodeReduction > 0) {
+            node_total += res.nodeReduction;
+            edge_total += res.edgeReduction;
+            ++n_reduced;
+        }
+    }
+    ASSERT_GT(n_reduced, 0);
+    EXPECT_GE(edge_total, node_total);
+}
+
+TEST(RedQaoaReducer, FixedSizeMode)
+{
+    Rng rng(10);
+    Graph g = gen::connectedGnp(12, 0.4, rng);
+    RedQaoaReducer reducer;
+    ReductionResult res = reducer.reduceToSize(g, 6, rng);
+    EXPECT_EQ(res.reduced.graph.numNodes(), 6);
+    EXPECT_NEAR(res.nodeReduction, 0.5, 1e-12);
+}
+
+TEST(RedQaoaReducer, BinarySearchIsLogarithmic)
+{
+    Rng rng(11);
+    Graph g = gen::connectedGnp(40, 0.15, rng);
+    RedQaoaReducer reducer;
+    ReductionResult res = reducer.reduce(g, rng);
+    // Binary search over [n/2, n] midpoints (<= ceil(log2 20) = 5)
+    // plus the 3 post-selection anneals at the accepted size.
+    EXPECT_LE(res.annealerRuns, 9);
+    EXPECT_GE(res.annealerRuns, 1);
+}
+
+TEST(RedQaoaReducer, TinyGraphsPassThrough)
+{
+    Rng rng(12);
+    Graph g(2, {{0, 1}});
+    RedQaoaReducer reducer;
+    ReductionResult res = reducer.reduce(g, rng);
+    EXPECT_EQ(res.reduced.graph.numNodes(), 2);
+    EXPECT_DOUBLE_EQ(res.andRatio, 1.0);
+}
+
+TEST(TransferDonor, RegularWithFeasibleDegree)
+{
+    Rng rng(13);
+    Graph donor = transferDonor(8, 3.0, rng);
+    EXPECT_EQ(donor.numNodes(), 8);
+    for (Node v = 0; v < 8; ++v)
+        EXPECT_EQ(donor.degree(v), 3);
+}
+
+TEST(TransferDonor, OddProductsGetAdjusted)
+{
+    Rng rng(14);
+    // 7 nodes, degree 3 -> 21 odd: must adjust to an even product.
+    Graph donor = transferDonor(7, 3.0, rng);
+    EXPECT_EQ(donor.numNodes(), 7);
+    int d = donor.degree(0);
+    for (Node v = 1; v < 7; ++v)
+        EXPECT_EQ(donor.degree(v), d);
+    EXPECT_EQ((7 * d) % 2, 0);
+}
+
+TEST(TransferDonor, DegreeCappedByNodes)
+{
+    Rng rng(15);
+    Graph donor = transferDonor(4, 9.0, rng);
+    EXPECT_EQ(donor.numNodes(), 4);
+    EXPECT_EQ(donor.degree(0), 3); // K4.
+}
+
+} // namespace
+} // namespace redqaoa

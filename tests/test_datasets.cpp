@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Synthetic benchmark datasets must match the published Table 1 /
+ * §6.2-§6.3 / §7.1 statistics they were built to reproduce: counts,
+ * node ranges, density regimes, and the regular-graph fractions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+
+namespace redqaoa {
+namespace {
+
+TEST(Datasets, AidsTable1Stats)
+{
+    Dataset d = datasets::makeAids();
+    EXPECT_EQ(d.graphs.size(), 700u);
+    EXPECT_GE(d.minNodes(), 2);
+    EXPECT_LE(d.maxNodes(), 10);
+    EXPECT_NEAR(d.meanNodes(), 8.0, 1.0);
+    // Valence cap: molecules have max degree <= 4.
+    for (const Graph &g : d.graphs)
+        EXPECT_LE(g.maxDegree(), 4);
+}
+
+TEST(Datasets, AidsIsSparse)
+{
+    Dataset d = datasets::makeAids();
+    EXPECT_LT(d.meanAverageDegree(), 3.0);
+    // Essentially no regular molecule graphs (paper: 1.14%).
+    EXPECT_LT(d.regularFraction(), 0.08);
+}
+
+TEST(Datasets, LinuxTable1Stats)
+{
+    Dataset d = datasets::makeLinux();
+    EXPECT_EQ(d.graphs.size(), 1000u);
+    EXPECT_GE(d.minNodes(), 4);
+    EXPECT_LE(d.maxNodes(), 10);
+    EXPECT_LT(d.meanAverageDegree(), 3.0);
+    // Paper §7.1: 0% of LINUX graphs are regular.
+    EXPECT_LT(d.regularFraction(), 0.05);
+}
+
+TEST(Datasets, ImdbTable1Stats)
+{
+    Dataset d = datasets::makeImdb();
+    EXPECT_EQ(d.graphs.size(), 1500u);
+    EXPECT_GE(d.minNodes(), 7);
+    EXPECT_LE(d.maxNodes(), 89);
+    // Dense ego networks: much higher AND than AIDS/Linux.
+    EXPECT_GT(d.meanAverageDegree(), 5.0);
+    // Paper §7.1: about 54% of IMDb graphs are regular.
+    EXPECT_NEAR(d.regularFraction(), 0.54, 0.08);
+}
+
+TEST(Datasets, ImdbSizeDistributionHasTail)
+{
+    Dataset d = datasets::makeImdb();
+    auto small = d.filterByNodes(0, 10);
+    auto medium = d.filterByNodes(11, 20);
+    auto large = d.filterByNodes(21, 89);
+    EXPECT_GT(small.size(), medium.size());
+    EXPECT_GT(medium.size(), large.size());
+    EXPECT_GT(large.size(), 0u);
+}
+
+TEST(Datasets, RandomDatasetRange)
+{
+    Dataset d = datasets::makeRandom();
+    EXPECT_EQ(d.graphs.size(), 10u);
+    EXPECT_EQ(d.minNodes(), 7);
+    EXPECT_EQ(d.maxNodes(), 20);
+    for (const Graph &g : d.graphs)
+        EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Datasets, DeterministicBySeed)
+{
+    Dataset a = datasets::makeAids(123, 30);
+    Dataset b = datasets::makeAids(123, 30);
+    ASSERT_EQ(a.graphs.size(), b.graphs.size());
+    for (std::size_t i = 0; i < a.graphs.size(); ++i) {
+        EXPECT_EQ(a.graphs[i].numNodes(), b.graphs[i].numNodes());
+        EXPECT_EQ(a.graphs[i].numEdges(), b.graphs[i].numEdges());
+    }
+    Dataset c = datasets::makeAids(124, 30);
+    bool all_same = true;
+    for (std::size_t i = 0; i < a.graphs.size(); ++i)
+        if (a.graphs[i].numEdges() != c.graphs[i].numEdges())
+            all_same = false;
+    EXPECT_FALSE(all_same);
+}
+
+TEST(Datasets, FilterByNodesBounds)
+{
+    Dataset d = datasets::makeLinux(7002, 100);
+    auto f = d.filterByNodes(6, 8);
+    for (const Graph &g : f) {
+        EXPECT_GE(g.numNodes(), 6);
+        EXPECT_LE(g.numNodes(), 8);
+    }
+}
+
+TEST(Datasets, AllGraphsConnected)
+{
+    // QAOA circuits need connected instances; every synthetic dataset
+    // generator must produce connected graphs.
+    for (const Dataset &d :
+         {datasets::makeAids(1, 60), datasets::makeLinux(2, 60),
+          datasets::makeImdb(3, 60), datasets::makeRandom(4, 10)}) {
+        for (const Graph &g : d.graphs)
+            EXPECT_TRUE(g.isConnected()) << d.name;
+    }
+}
+
+} // namespace
+} // namespace redqaoa

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Graph substrate tests: core operations, generators, centralities
+ * against hand-computed values, and subgraph machinery (including the
+ * light-cone neighborhoods of §3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/centrality.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+
+namespace redqaoa {
+namespace {
+
+TEST(Graph, AddEdgeBasics)
+{
+    Graph g(4);
+    EXPECT_TRUE(g.addEdge(0, 1));
+    EXPECT_TRUE(g.addEdge(3, 1));
+    EXPECT_FALSE(g.addEdge(1, 0)); // Duplicate.
+    EXPECT_FALSE(g.addEdge(2, 2)); // Self loop.
+    EXPECT_EQ(g.numEdges(), 2);
+    EXPECT_TRUE(g.hasEdge(1, 3));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(Graph, EdgesAreNormalized)
+{
+    Graph g(3);
+    g.addEdge(2, 0);
+    EXPECT_EQ(g.edges()[0].u, 0);
+    EXPECT_EQ(g.edges()[0].v, 2);
+}
+
+TEST(Graph, AverageDegree)
+{
+    EXPECT_DOUBLE_EQ(gen::cycle(6).averageDegree(), 2.0);
+    EXPECT_DOUBLE_EQ(gen::complete(5).averageDegree(), 4.0);
+    EXPECT_DOUBLE_EQ(Graph(4).averageDegree(), 0.0);
+}
+
+TEST(Graph, Connectivity)
+{
+    Graph g(4, {{0, 1}, {2, 3}});
+    EXPECT_FALSE(g.isConnected());
+    auto comps = g.connectedComponents();
+    EXPECT_EQ(comps.size(), 2u);
+    g.addEdge(1, 2);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Graph, BfsDistances)
+{
+    Graph g = gen::path(5);
+    auto d = g.bfsDistances(0);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(d[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Generators, ErdosRenyiEdgeCountConcentrates)
+{
+    Rng rng(1);
+    int total = 0;
+    const int trials = 30;
+    for (int t = 0; t < trials; ++t)
+        total += gen::erdosRenyiGnp(20, 0.3, rng).numEdges();
+    double expected = 0.3 * 190;
+    EXPECT_NEAR(total / static_cast<double>(trials), expected, 8.0);
+}
+
+TEST(Generators, GnmExactEdgeCount)
+{
+    Rng rng(2);
+    Graph g = gen::erdosRenyiGnm(12, 20, rng);
+    EXPECT_EQ(g.numEdges(), 20);
+}
+
+TEST(Generators, ConnectedGnpIsConnected)
+{
+    Rng rng(3);
+    for (int t = 0; t < 10; ++t)
+        EXPECT_TRUE(gen::connectedGnp(10, 0.2, rng).isConnected());
+}
+
+TEST(Generators, RandomRegularDegrees)
+{
+    Rng rng(4);
+    for (int d : {2, 3, 4}) {
+        Graph g = gen::randomRegular(10, d, rng);
+        for (Node v = 0; v < 10; ++v)
+            EXPECT_EQ(g.degree(v), d);
+    }
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct)
+{
+    Rng rng(5);
+    EXPECT_THROW(gen::randomRegular(5, 3, rng), std::invalid_argument);
+}
+
+TEST(Generators, NamedFamilies)
+{
+    EXPECT_EQ(gen::cycle(7).numEdges(), 7);
+    EXPECT_EQ(gen::path(7).numEdges(), 6);
+    EXPECT_EQ(gen::star(7).numEdges(), 6);
+    EXPECT_EQ(gen::star(7).degree(0), 6);
+    EXPECT_EQ(gen::complete(7).numEdges(), 21);
+    Graph t = gen::karyTree(13, 4);
+    EXPECT_EQ(t.numEdges(), 12);
+    EXPECT_EQ(t.degree(0), 4);
+    EXPECT_TRUE(t.isConnected());
+}
+
+TEST(Generators, EgoNetworkHubTouchesAll)
+{
+    Rng rng(6);
+    Graph g = gen::egoNetwork(10, 0.5, rng);
+    EXPECT_EQ(g.degree(0), 9);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Generators, RewirePreservesCountsAndConnectivity)
+{
+    Rng rng(7);
+    Graph base = gen::randomRegular(12, 4, rng);
+    Graph rewired = gen::rewireEdges(base, 0.1, rng);
+    EXPECT_EQ(rewired.numNodes(), base.numNodes());
+    EXPECT_EQ(rewired.numEdges(), base.numEdges());
+    EXPECT_TRUE(rewired.isConnected());
+    // Should no longer be regular (with overwhelming probability).
+    bool regular = true;
+    for (Node v = 1; v < rewired.numNodes(); ++v)
+        if (rewired.degree(v) != rewired.degree(0))
+            regular = false;
+    EXPECT_FALSE(regular);
+}
+
+TEST(Centrality, DegreeOnStar)
+{
+    auto c = centrality::degree(gen::star(5));
+    EXPECT_DOUBLE_EQ(c[0], 1.0);
+    EXPECT_DOUBLE_EQ(c[1], 0.25);
+}
+
+TEST(Centrality, ClusteringOnTriangleWithTail)
+{
+    // Triangle 0-1-2 plus tail 2-3.
+    Graph g(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+    auto c = centrality::clustering(g);
+    EXPECT_DOUBLE_EQ(c[0], 1.0);
+    EXPECT_DOUBLE_EQ(c[1], 1.0);
+    EXPECT_NEAR(c[2], 1.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(c[3], 0.0);
+}
+
+TEST(Centrality, BetweennessOnPath)
+{
+    // Path 0-1-2: node 1 lies on the single 0-2 shortest path.
+    auto c = centrality::betweenness(gen::path(3));
+    EXPECT_NEAR(c[1], 1.0, 1e-12);
+    EXPECT_NEAR(c[0], 0.0, 1e-12);
+}
+
+TEST(Centrality, BetweennessOnStarCenter)
+{
+    auto c = centrality::betweenness(gen::star(6));
+    EXPECT_NEAR(c[0], 1.0, 1e-12);
+    for (int v = 1; v < 6; ++v)
+        EXPECT_NEAR(c[static_cast<std::size_t>(v)], 0.0, 1e-12);
+}
+
+TEST(Centrality, ClosenessOnPathEnds)
+{
+    auto c = centrality::closeness(gen::path(5));
+    EXPECT_GT(c[2], c[0]);
+    EXPECT_GT(c[2], c[4]);
+    EXPECT_NEAR(c[0], 4.0 / (1 + 2 + 3 + 4), 1e-12);
+}
+
+TEST(Centrality, EigenvectorSymmetricOnCycle)
+{
+    auto c = centrality::eigenvector(gen::cycle(6));
+    for (int v = 1; v < 6; ++v)
+        EXPECT_NEAR(c[static_cast<std::size_t>(v)], c[0], 1e-6);
+}
+
+TEST(Centrality, EigenvectorFavorsHub)
+{
+    auto c = centrality::eigenvector(gen::star(7));
+    for (int v = 1; v < 7; ++v)
+        EXPECT_GT(c[0], c[static_cast<std::size_t>(v)]);
+}
+
+TEST(Subgraph, InducedKeepsInternalEdges)
+{
+    Graph g(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+    Subgraph s = inducedSubgraph(g, {0, 1, 2});
+    EXPECT_EQ(s.graph.numNodes(), 3);
+    EXPECT_EQ(s.graph.numEdges(), 2);
+    EXPECT_EQ(s.toOriginal.size(), 3u);
+    EXPECT_TRUE(s.graph.hasEdge(0, 1));
+    EXPECT_TRUE(s.graph.hasEdge(1, 2));
+}
+
+TEST(Subgraph, RandomConnectedHasRequestedSize)
+{
+    Rng rng(8);
+    Graph g = gen::connectedGnp(12, 0.3, rng);
+    for (int k : {3, 6, 9, 12}) {
+        Subgraph s = randomConnectedSubgraph(g, k, rng);
+        EXPECT_EQ(s.graph.numNodes(), k);
+        EXPECT_TRUE(s.graph.isConnected());
+    }
+}
+
+TEST(Subgraph, EnumerationCountsOnCycle)
+{
+    // C_5 has exactly 5 connected induced subgraphs of each size 1..4.
+    Graph g = gen::cycle(5);
+    for (int k = 1; k <= 4; ++k)
+        EXPECT_EQ(connectedSubgraphs(g, k).size(), 5u) << "k=" << k;
+    EXPECT_EQ(connectedSubgraphs(g, 5).size(), 1u);
+}
+
+TEST(Subgraph, EnumerationMatchesCompleteGraphBinomial)
+{
+    // K_5: every subset is connected -> C(5, k) subgraphs.
+    Graph g = gen::complete(5);
+    EXPECT_EQ(connectedSubgraphs(g, 2).size(), 10u);
+    EXPECT_EQ(connectedSubgraphs(g, 3).size(), 10u);
+    EXPECT_EQ(connectedSubgraphs(g, 4).size(), 5u);
+}
+
+TEST(Subgraph, EnumerationRespectsLimit)
+{
+    Graph g = gen::complete(8);
+    auto subs = connectedSubgraphs(g, 4, 7);
+    EXPECT_EQ(subs.size(), 7u);
+}
+
+TEST(Subgraph, EdgeNeighborhoodRadii)
+{
+    Graph g = gen::path(7); // 0-1-2-3-4-5-6.
+    Edge mid{3, 4};
+    Subgraph r1 = edgeNeighborhood(g, mid, 1);
+    EXPECT_EQ(r1.graph.numNodes(), 4); // {2,3,4,5}.
+    Subgraph r2 = edgeNeighborhood(g, mid, 2);
+    EXPECT_EQ(r2.graph.numNodes(), 6); // {1..6}.
+    Subgraph r3 = edgeNeighborhood(g, mid, 3);
+    EXPECT_EQ(r3.graph.numNodes(), 7);
+}
+
+TEST(Subgraph, EdgeNeighborhoodIsConnected)
+{
+    Rng rng(9);
+    Graph g = gen::connectedGnp(12, 0.25, rng);
+    for (const Edge &e : g.edges()) {
+        Subgraph s = edgeNeighborhood(g, e, 2);
+        EXPECT_TRUE(s.graph.isConnected());
+    }
+}
+
+} // namespace
+} // namespace redqaoa

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Graph I/O tests: round trips, format tolerance, and malformed-input
+ * rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace redqaoa {
+namespace {
+
+TEST(GraphIo, ParsesDimacsStyle)
+{
+    Graph g = io::readEdgeListString("p 4\ne 0 1\ne 1 2\ne 2 3\n");
+    EXPECT_EQ(g.numNodes(), 4);
+    EXPECT_EQ(g.numEdges(), 3);
+    EXPECT_TRUE(g.hasEdge(1, 2));
+}
+
+TEST(GraphIo, ParsesBarePairs)
+{
+    Graph g = io::readEdgeListString("0 1\n1 2\n0 2\n");
+    EXPECT_EQ(g.numNodes(), 3);
+    EXPECT_EQ(g.numEdges(), 3);
+}
+
+TEST(GraphIo, IgnoresCommentsAndBlankLines)
+{
+    Graph g = io::readEdgeListString(
+        "# a molecule\n\np 3  # three atoms\ne 0 1\n# bond two\ne 1 2\n");
+    EXPECT_EQ(g.numNodes(), 3);
+    EXPECT_EQ(g.numEdges(), 2);
+}
+
+TEST(GraphIo, DeclaredIsolatedNodesSurvive)
+{
+    Graph g = io::readEdgeListString("p 6\ne 0 1\n");
+    EXPECT_EQ(g.numNodes(), 6);
+    EXPECT_EQ(g.degree(5), 0);
+}
+
+TEST(GraphIo, DuplicateEdgesCollapse)
+{
+    Graph g = io::readEdgeListString("e 0 1\ne 1 0\ne 0 1\n");
+    EXPECT_EQ(g.numEdges(), 1);
+}
+
+TEST(GraphIo, RejectsMalformedInput)
+{
+    EXPECT_THROW(io::readEdgeListString("e 0\n"), std::runtime_error);
+    EXPECT_THROW(io::readEdgeListString("e 0 x\n"), std::runtime_error);
+    EXPECT_THROW(io::readEdgeListString("banana\n"), std::runtime_error);
+    EXPECT_THROW(io::readEdgeListString("e 0 1 2\n"), std::runtime_error);
+    EXPECT_THROW(io::readEdgeListString("p 2\ne 0 5\n"),
+                 std::runtime_error);
+    EXPECT_THROW(io::readEdgeListString("p 2\np 3\n"), std::runtime_error);
+    EXPECT_THROW(io::readEdgeListString("e -1 0\n"), std::runtime_error);
+}
+
+TEST(GraphIo, StreamRoundTrip)
+{
+    Rng rng(5);
+    Graph g = gen::connectedGnp(9, 0.4, rng);
+    std::ostringstream out;
+    io::writeEdgeList(out, g);
+    Graph back = io::readEdgeListString(out.str());
+    EXPECT_EQ(back.numNodes(), g.numNodes());
+    EXPECT_EQ(back.numEdges(), g.numEdges());
+    for (const Edge &e : g.edges())
+        EXPECT_TRUE(back.hasEdge(e.u, e.v));
+}
+
+TEST(GraphIo, FileRoundTrip)
+{
+    Rng rng(6);
+    Graph g = gen::connectedGnp(7, 0.5, rng);
+    std::string path = "/tmp/redqaoa_io_test.graph";
+    io::saveGraph(path, g);
+    Graph back = io::loadGraph(path);
+    EXPECT_EQ(back.numNodes(), g.numNodes());
+    EXPECT_EQ(back.numEdges(), g.numEdges());
+}
+
+TEST(GraphIo, MissingFileThrows)
+{
+    EXPECT_THROW(io::loadGraph("/nonexistent/nope.graph"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace redqaoa

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Canonical-form isomorphism tests: certificates must be permutation
+ * invariant, distinguish non-isomorphic graphs (including WL-hard
+ * regular pairs), and drive deduplication correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "graph/subgraph.hpp"
+
+namespace redqaoa {
+namespace {
+
+/** Relabel @p g by permutation pi (new id = pi[old id]). */
+Graph
+permuted(const Graph &g, const std::vector<int> &pi)
+{
+    Graph out(g.numNodes());
+    for (const Edge &e : g.edges())
+        out.addEdge(pi[static_cast<std::size_t>(e.u)],
+                    pi[static_cast<std::size_t>(e.v)]);
+    return out;
+}
+
+TEST(Isomorphism, PermutationInvariance)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 10; ++trial) {
+        Graph g = gen::connectedGnp(8, 0.4, rng);
+        std::vector<int> pi(8);
+        for (int i = 0; i < 8; ++i)
+            pi[static_cast<std::size_t>(i)] = i;
+        rng.shuffle(pi);
+        Graph h = permuted(g, pi);
+        EXPECT_TRUE(isIsomorphic(g, h)) << "trial " << trial;
+        EXPECT_EQ(canonicalCertificate(g), canonicalCertificate(h));
+    }
+}
+
+TEST(Isomorphism, DistinguishesEdgeCounts)
+{
+    Graph a = gen::cycle(5);
+    Graph b = gen::path(5);
+    EXPECT_FALSE(isIsomorphic(a, b));
+}
+
+TEST(Isomorphism, DistinguishesSameDegreeSequence)
+{
+    // C_6 vs two triangles: both 2-regular on 6 nodes.
+    Graph c6 = gen::cycle(6);
+    Graph two_triangles(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+    EXPECT_FALSE(isIsomorphic(c6, two_triangles));
+}
+
+TEST(Isomorphism, StarVsTriangleWithTail)
+{
+    Graph star = gen::star(4);
+    Graph triangle_tail(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+    EXPECT_FALSE(isIsomorphic(star, triangle_tail));
+}
+
+TEST(Isomorphism, EmptyAndSingletonGraphs)
+{
+    EXPECT_TRUE(isIsomorphic(Graph(0), Graph(0)));
+    EXPECT_TRUE(isIsomorphic(Graph(1), Graph(1)));
+    EXPECT_FALSE(isIsomorphic(Graph(1), Graph(2)));
+}
+
+TEST(Isomorphism, RegularPairsNeedingBacktrack)
+{
+    // K_3,3 vs the 3-prism: both 3-regular on 6 nodes, not isomorphic
+    // (K_3,3 is triangle-free). WL alone cannot split 1-colored regular
+    // graphs; the backtracking canonical form must.
+    Graph k33(6,
+              {{0, 3}, {0, 4}, {0, 5}, {1, 3}, {1, 4}, {1, 5}, {2, 3},
+               {2, 4}, {2, 5}});
+    Graph prism(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5},
+                    {0, 3}, {1, 4}, {2, 5}});
+    EXPECT_FALSE(isIsomorphic(k33, prism));
+
+    // And each must still match its own relabelings.
+    std::vector<int> pi{3, 1, 4, 0, 5, 2};
+    EXPECT_TRUE(isIsomorphic(k33, permuted(k33, pi)));
+    EXPECT_TRUE(isIsomorphic(prism, permuted(prism, pi)));
+}
+
+TEST(Isomorphism, UniqueFilterOnCycleSubgraphs)
+{
+    // All 5 connected 3-node subgraphs of C_5 are paths: one class.
+    Graph g = gen::cycle(5);
+    std::vector<Graph> subs;
+    for (const auto &nodes : connectedSubgraphs(g, 3))
+        subs.push_back(inducedSubgraph(g, nodes).graph);
+    EXPECT_EQ(subs.size(), 5u);
+    auto unique = uniqueUpToIsomorphism(subs);
+    EXPECT_EQ(unique.size(), 1u);
+}
+
+TEST(Isomorphism, UniqueFilterKeepsDistinctClasses)
+{
+    std::vector<Graph> graphs{gen::path(4), gen::star(4), gen::cycle(4),
+                              gen::path(4), gen::complete(4)};
+    auto unique = uniqueUpToIsomorphism(graphs);
+    EXPECT_EQ(unique.size(), 4u);
+    EXPECT_EQ(unique[0], 0u); // First occurrence wins.
+}
+
+TEST(Isomorphism, CountsNonIsomorphicFourNodeGraphs)
+{
+    // There are exactly 2 connected graph classes on 3 nodes and
+    // 6 on 4 nodes; verify via enumeration of K_n subgraph patterns.
+    Rng rng(2);
+    std::vector<Graph> all3, all4;
+    // Enumerate all labeled graphs on 3 and 4 nodes, keep connected.
+    for (int mask = 0; mask < 8; ++mask) {
+        Graph g(3);
+        std::vector<std::pair<int, int>> pairs{{0, 1}, {0, 2}, {1, 2}};
+        for (int b = 0; b < 3; ++b)
+            if (mask & (1 << b))
+                g.addEdge(pairs[static_cast<std::size_t>(b)].first,
+                          pairs[static_cast<std::size_t>(b)].second);
+        if (g.isConnected())
+            all3.push_back(g);
+    }
+    EXPECT_EQ(uniqueUpToIsomorphism(all3).size(), 2u);
+
+    std::vector<std::pair<int, int>> pairs4{{0, 1}, {0, 2}, {0, 3},
+                                            {1, 2}, {1, 3}, {2, 3}};
+    for (int mask = 0; mask < 64; ++mask) {
+        Graph g(4);
+        for (int b = 0; b < 6; ++b)
+            if (mask & (1 << b))
+                g.addEdge(pairs4[static_cast<std::size_t>(b)].first,
+                          pairs4[static_cast<std::size_t>(b)].second);
+        if (g.isConnected())
+            all4.push_back(g);
+    }
+    EXPECT_EQ(uniqueUpToIsomorphism(all4).size(), 6u);
+}
+
+} // namespace
+} // namespace redqaoa

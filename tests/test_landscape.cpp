@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Landscape tooling tests, including executable versions of the paper's
+ * own motivating observations: cycle graphs share landscapes (Fig 3)
+ * and MSE correlates with optima displacement (Fig 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "landscape/landscape.hpp"
+
+namespace redqaoa {
+namespace {
+
+TEST(Normalize, MapsToUnitInterval)
+{
+    auto n = normalizeValues({2.0, 4.0, 6.0});
+    EXPECT_DOUBLE_EQ(n[0], 0.0);
+    EXPECT_DOUBLE_EQ(n[1], 0.5);
+    EXPECT_DOUBLE_EQ(n[2], 1.0);
+}
+
+TEST(Normalize, ConstantInputBecomesZero)
+{
+    auto n = normalizeValues({3.0, 3.0, 3.0});
+    for (double v : n)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Mse, IdenticalLandscapesAreZero)
+{
+    std::vector<double> a{1.0, 2.0, 5.0, 3.0};
+    EXPECT_DOUBLE_EQ(landscapeMse(a, a), 0.0);
+}
+
+TEST(Mse, ScaleAndShiftInvariance)
+{
+    // Normalization makes MSE invariant to affine transforms, which is
+    // exactly why the paper can compare graphs of different sizes.
+    std::vector<double> a{1.0, 2.0, 5.0, 3.0};
+    std::vector<double> b;
+    for (double v : a)
+        b.push_back(10.0 * v - 7.0);
+    EXPECT_NEAR(landscapeMse(a, b), 0.0, 1e-15);
+}
+
+TEST(Mse, OppositeLandscapes)
+{
+    std::vector<double> a{0.0, 1.0};
+    std::vector<double> b{1.0, 0.0};
+    EXPECT_DOUBLE_EQ(landscapeMse(a, b), 1.0);
+}
+
+TEST(TorusDistance, WrapsAround)
+{
+    LandscapePoint a{0.1, 0.05};
+    LandscapePoint b{2.0 * M_PI - 0.1, M_PI - 0.05};
+    // Both coordinates wrap: distance is sqrt(0.2^2 + 0.1^2).
+    EXPECT_NEAR(torusDistance(a, b), std::sqrt(0.04 + 0.01), 1e-12);
+}
+
+TEST(TorusDistance, ZeroForIdenticalPoints)
+{
+    LandscapePoint a{1.0, 0.5};
+    EXPECT_DOUBLE_EQ(torusDistance(a, a), 0.0);
+}
+
+TEST(Landscape, GridEvaluationShape)
+{
+    Graph g = gen::cycle(5);
+    ExactEvaluator eval(g);
+    Landscape ls = Landscape::evaluate(eval, 8);
+    EXPECT_EQ(ls.width(), 8);
+    EXPECT_EQ(ls.values().size(), 64u);
+    // Grid includes gamma = beta = 0 -> uniform state energy m/2.
+    EXPECT_NEAR(ls.at(0, 0), g.numEdges() / 2.0, 1e-10);
+}
+
+TEST(Landscape, OptimumIsGridMaximum)
+{
+    Graph g = gen::cycle(6);
+    ExactEvaluator eval(g);
+    Landscape ls = Landscape::evaluate(eval, 12);
+    LandscapePoint opt = ls.optimum();
+    QaoaParams p({opt.gamma}, {opt.beta});
+    ExactEvaluator check(g);
+    double best = check.expectation(p);
+    for (double v : ls.values())
+        EXPECT_LE(v, best + 1e-10);
+}
+
+TEST(Landscape, CycleGraphsShareLandscapes)
+{
+    // Fig 3: 7-node and 10-node cycles have nearly identical normalized
+    // landscapes (identical subgraph structure).
+    Graph c7 = gen::cycle(7);
+    Graph c10 = gen::cycle(10);
+    ExactEvaluator e7(c7), e10(c10);
+    Landscape l7 = Landscape::evaluate(e7, 16);
+    Landscape l10 = Landscape::evaluate(e10, 16);
+    EXPECT_LT(landscapeMse(l7, l10), 1e-3);
+}
+
+TEST(Landscape, DifferentFamiliesDiverge)
+{
+    // A star and a cycle have very different landscapes.
+    Graph star = gen::star(8);
+    Graph ring = gen::cycle(8);
+    ExactEvaluator es(star), ec(ring);
+    Landscape ls = Landscape::evaluate(es, 16);
+    Landscape lc = Landscape::evaluate(ec, 16);
+    EXPECT_GT(landscapeMse(ls, lc), 0.01);
+}
+
+TEST(Landscape, OptimaDistanceZeroForIdenticalGraphs)
+{
+    Graph g = gen::cycle(6);
+    ExactEvaluator a(g), b(g);
+    Landscape la = Landscape::evaluate(a, 10);
+    Landscape lb = Landscape::evaluate(b, 10);
+    EXPECT_DOUBLE_EQ(optimaDistance(la, lb), 0.0);
+}
+
+TEST(Landscape, MseTracksOptimaDistance)
+{
+    // The Fig 7 premise, as a coarse property: across subgraphs of one
+    // graph, low-MSE subgraphs have closer optima than high-MSE ones on
+    // average (positive rank correlation).
+    Rng rng(5);
+    Graph g = gen::connectedGnp(9, 0.35, rng);
+    ExactEvaluator base_eval(g);
+    Landscape base = Landscape::evaluate(base_eval, 12);
+
+    std::vector<double> mses, dists;
+    for (int k = 4; k <= 8; ++k) {
+        for (int t = 0; t < 3; ++t) {
+            Subgraph s = randomConnectedSubgraph(g, k, rng);
+            ExactEvaluator se(s.graph);
+            Landscape ls = Landscape::evaluate(se, 12);
+            mses.push_back(landscapeMse(base, ls));
+            dists.push_back(optimaDistance(base, ls, 0.02));
+        }
+    }
+    // Split by median MSE and compare mean optima distance.
+    double med = stats::median(mses);
+    double lo_sum = 0, hi_sum = 0;
+    int lo_n = 0, hi_n = 0;
+    for (std::size_t i = 0; i < mses.size(); ++i) {
+        if (mses[i] <= med) {
+            lo_sum += dists[i];
+            ++lo_n;
+        } else {
+            hi_sum += dists[i];
+            ++hi_n;
+        }
+    }
+    ASSERT_GT(lo_n, 0);
+    ASSERT_GT(hi_n, 0);
+    EXPECT_LE(lo_sum / lo_n, hi_sum / hi_n + 0.35);
+}
+
+TEST(RandomParameterSets, ShapeAndRanges)
+{
+    Rng rng(6);
+    auto sets = randomParameterSets(3, 50, rng);
+    EXPECT_EQ(sets.size(), 50u);
+    for (const auto &p : sets) {
+        EXPECT_EQ(p.layers(), 3);
+        for (double gm : p.gamma) {
+            EXPECT_GE(gm, 0.0);
+            EXPECT_LT(gm, 2.0 * M_PI);
+        }
+        for (double bt : p.beta) {
+            EXPECT_GE(bt, 0.0);
+            EXPECT_LT(bt, M_PI);
+        }
+    }
+}
+
+TEST(RandomParameterSets, EvaluateAtMatchesDirectCalls)
+{
+    Rng rng(7);
+    Graph g = gen::cycle(6);
+    ExactEvaluator eval(g);
+    auto sets = randomParameterSets(2, 10, rng);
+    auto vals = evaluateAt(eval, sets);
+    ASSERT_EQ(vals.size(), 10u);
+    ExactEvaluator check(g);
+    for (std::size_t i = 0; i < sets.size(); ++i)
+        EXPECT_DOUBLE_EQ(vals[i], check.expectation(sets[i]));
+}
+
+} // namespace
+} // namespace redqaoa

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * INTERP layer-growing tests: the interpolation rule's algebra, and the
+ * layerwise driver's monotone improvement across depths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/layerwise.hpp"
+#include "graph/generators.hpp"
+
+namespace redqaoa {
+namespace {
+
+TEST(Interp, DepthOneToTwo)
+{
+    QaoaParams p1({1.0}, {0.5});
+    QaoaParams p2 = interpExtend(p1);
+    ASSERT_EQ(p2.layers(), 2);
+    // i = 0 (0-indexed): w = 0 -> right value; i = 1: w = 1/1... the
+    // endpoints stretch the single-layer schedule.
+    EXPECT_DOUBLE_EQ(p2.gamma[0], 1.0);
+    EXPECT_DOUBLE_EQ(p2.gamma[1], 1.0);
+    EXPECT_DOUBLE_EQ(p2.beta[0], 0.5);
+    EXPECT_DOUBLE_EQ(p2.beta[1], 0.5);
+}
+
+TEST(Interp, PreservesMonotoneSchedules)
+{
+    // A linear ramp stays a ramp under INTERP.
+    QaoaParams p3({0.2, 0.4, 0.6}, {0.6, 0.4, 0.2});
+    QaoaParams p4 = interpExtend(p3);
+    ASSERT_EQ(p4.layers(), 4);
+    for (int i = 0; i + 1 < 4; ++i) {
+        EXPECT_LE(p4.gamma[static_cast<std::size_t>(i)],
+                  p4.gamma[static_cast<std::size_t>(i) + 1] + 1e-12);
+        EXPECT_GE(p4.beta[static_cast<std::size_t>(i)],
+                  p4.beta[static_cast<std::size_t>(i) + 1] - 1e-12);
+    }
+}
+
+TEST(Interp, BoundaryWeights)
+{
+    QaoaParams p2({0.3, 0.9}, {0.8, 0.2});
+    QaoaParams p3 = interpExtend(p2);
+    ASSERT_EQ(p3.layers(), 3);
+    // First entry keeps the first old value (w = 0).
+    EXPECT_DOUBLE_EQ(p3.gamma[0], 0.3);
+    // Middle: (1/2) * old[0] + (1/2) * old[1].
+    EXPECT_DOUBLE_EQ(p3.gamma[1], 0.5 * 0.3 + 0.5 * 0.9);
+    // Last: w = 1 -> old last value.
+    EXPECT_DOUBLE_EQ(p3.gamma[2], 0.9);
+}
+
+TEST(Layerwise, EnergyImprovesWithDepth)
+{
+    Rng rng(3);
+    Graph g = gen::cycle(8); // p=1 cannot saturate an even cycle.
+    ExactEvaluator eval(g);
+    LayerwiseOptions opts;
+    opts.targetLayers = 3;
+    opts.evaluationsPerDepth = 80;
+    LayerwiseResult res = optimizeLayerwise(eval, opts, rng);
+
+    ASSERT_EQ(res.perDepthEnergy.size(), 3u);
+    // Deeper depths should not be (meaningfully) worse.
+    EXPECT_GE(res.perDepthEnergy[1], res.perDepthEnergy[0] - 0.05);
+    EXPECT_GE(res.perDepthEnergy[2], res.perDepthEnergy[1] - 0.05);
+    EXPECT_EQ(res.params.layers(), 3);
+    EXPECT_GT(res.energy, 0.6 * 8); // Well above random guessing.
+}
+
+TEST(Layerwise, SingleDepthDegeneratesToRestarts)
+{
+    Rng rng(4);
+    Graph g = gen::connectedGnp(7, 0.5, rng);
+    ExactEvaluator eval(g);
+    LayerwiseOptions opts;
+    opts.targetLayers = 1;
+    opts.evaluationsPerDepth = 50;
+    LayerwiseResult res = optimizeLayerwise(eval, opts, rng);
+    EXPECT_EQ(res.params.layers(), 1);
+    EXPECT_EQ(res.perDepthEnergy.size(), 1u);
+}
+
+TEST(Layerwise, EvaluationAccountingIsComplete)
+{
+    Rng rng(5);
+    Graph g = gen::connectedGnp(6, 0.5, rng);
+    ExactEvaluator eval(g);
+    LayerwiseOptions opts;
+    opts.targetLayers = 2;
+    opts.evaluationsPerDepth = 30;
+    opts.firstDepthRestarts = 2;
+    LayerwiseResult res = optimizeLayerwise(eval, opts, rng);
+    EXPECT_GT(res.evaluations, 0);
+    EXPECT_LE(res.evaluations, 30 * 3 + 10);
+}
+
+} // namespace
+} // namespace redqaoa

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Noise-channel correctness: density-matrix channels must preserve
+ * trace/positivity, the zero-noise density matrix must agree with the
+ * statevector, trajectories must converge to the density matrix under
+ * depolarizing noise, and noise must strictly degrade the QAOA signal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "quantum/density_matrix.hpp"
+#include "quantum/maxcut.hpp"
+#include "quantum/noise.hpp"
+#include "quantum/trajectory.hpp"
+
+namespace redqaoa {
+namespace {
+
+TEST(DensityMatrix, UniformStateDiagonal)
+{
+    DensityMatrix dm = DensityMatrix::uniform(3);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+    auto d = dm.diagonal();
+    for (double v : d)
+        EXPECT_NEAR(v, 1.0 / 8.0, 1e-12);
+}
+
+TEST(DensityMatrix, ZeroNoiseMatchesStatevector)
+{
+    Rng rng(5);
+    Graph g = gen::connectedGnp(5, 0.5, rng);
+    QaoaSimulator sv(g);
+    for (int t = 0; t < 6; ++t) {
+        QaoaParams p = QaoaParams::random(2, rng);
+        double ideal = sv.expectation(p);
+        double dm = noisyQaoaExpectationDM(g, p, noise::ideal());
+        EXPECT_NEAR(dm, ideal, 1e-9);
+    }
+}
+
+TEST(DensityMatrix, ChannelsPreserveTrace)
+{
+    DensityMatrix dm = DensityMatrix::uniform(3);
+    dm.applyRzz(0, 1, 0.7);
+    dm.applyDepolarizing1Q(0, 0.05);
+    dm.applyDepolarizing2Q(0, 2, 0.08);
+    dm.applyAmplitudeDamping(1, 0.1);
+    dm.applyPhaseDamping(2, 0.12);
+    Gate1Q h{Complex{M_SQRT1_2, 0}, Complex{M_SQRT1_2, 0},
+             Complex{M_SQRT1_2, 0}, Complex{-M_SQRT1_2, 0}};
+    dm.applyUnitary1Q(1, h);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, DiagonalStaysNonNegative)
+{
+    DensityMatrix dm = DensityMatrix::uniform(3);
+    dm.applyDepolarizing1Q(0, 0.2);
+    dm.applyAmplitudeDamping(1, 0.3);
+    dm.applyDepolarizing2Q(1, 2, 0.25);
+    for (double v : dm.diagonal())
+        EXPECT_GE(v, -1e-12);
+}
+
+TEST(DensityMatrix, FullDepolarizingGivesMaximallyMixedQubit)
+{
+    // p = 3/4 single-qubit depolarizing is the fully depolarizing map.
+    DensityMatrix dm(1); // |0><0|.
+    dm.applyDepolarizing1Q(0, 0.75);
+    auto d = dm.diagonal();
+    EXPECT_NEAR(d[0], 0.5, 1e-12);
+    EXPECT_NEAR(d[1], 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingDrivesToGround)
+{
+    DensityMatrix dm(1);
+    // Prepare |1><1| via X (as a unitary).
+    Gate1Q x{Complex{0, 0}, Complex{1, 0}, Complex{1, 0}, Complex{0, 0}};
+    dm.applyUnitary1Q(0, x);
+    for (int k = 0; k < 60; ++k)
+        dm.applyAmplitudeDamping(0, 0.2);
+    auto d = dm.diagonal();
+    EXPECT_NEAR(d[0], 1.0, 1e-4);
+}
+
+TEST(DensityMatrix, PhaseDampingKillsCoherence)
+{
+    DensityMatrix dm(1);
+    Gate1Q h{Complex{M_SQRT1_2, 0}, Complex{M_SQRT1_2, 0},
+             Complex{M_SQRT1_2, 0}, Complex{-M_SQRT1_2, 0}};
+    dm.applyUnitary1Q(0, h);
+    for (int k = 0; k < 80; ++k)
+        dm.applyPhaseDamping(0, 0.25);
+    // Off-diagonal decayed to sqrt(1-l)^80 ~ 1e-5, diagonal untouched.
+    EXPECT_NEAR(std::abs(dm.entry(0, 1)), 0.0, 1e-4);
+    EXPECT_NEAR(dm.entry(0, 0).real(), 0.5, 1e-10);
+}
+
+TEST(DensityMatrix, DepolarizingShrinksZz)
+{
+    Rng rng(8);
+    Graph g = gen::connectedGnp(5, 0.5, rng);
+    QaoaParams p = QaoaParams::random(1, rng);
+
+    NoiseModel weak;
+    weak.twoQubitDepol = 0.01;
+    NoiseModel strong;
+    strong.twoQubitDepol = 0.10;
+
+    QaoaSimulator sv(g);
+    double ideal = sv.expectation(p);
+    double e_weak = noisyQaoaExpectationDM(g, p, weak);
+    double e_strong = noisyQaoaExpectationDM(g, p, strong);
+    // Noise pulls the energy toward the maximally mixed value m/2.
+    double mixed = g.numEdges() / 2.0;
+    EXPECT_LT(std::fabs(e_strong - mixed), std::fabs(ideal - mixed) + 1e-9);
+    EXPECT_LT(std::fabs(e_strong - mixed),
+              std::fabs(e_weak - mixed) + 1e-9);
+}
+
+TEST(Trajectory, IdealModelReproducesStatevector)
+{
+    Rng rng(9);
+    Graph g = gen::connectedGnp(6, 0.5, rng);
+    QaoaSimulator sv(g);
+    TrajectorySimulator traj(g, noise::ideal(), 4, 1);
+    for (int t = 0; t < 5; ++t) {
+        QaoaParams p = QaoaParams::random(1, rng);
+        EXPECT_NEAR(traj.expectation(p), sv.expectation(p), 1e-9);
+    }
+}
+
+TEST(Trajectory, ConvergesToDensityMatrixUnderDepolarizing)
+{
+    Rng rng(10);
+    Graph g = gen::connectedGnp(5, 0.55, rng);
+    NoiseModel nm;
+    nm.oneQubitDepol = 0.004;
+    nm.twoQubitDepol = 0.03;
+    QaoaParams p = QaoaParams::random(1, rng);
+    double exact = noisyQaoaExpectationDM(g, p, nm);
+    TrajectorySimulator traj(g, nm, 1500, 42);
+    double estimate = traj.expectation(p);
+    // Monte-Carlo tolerance: generous but far tighter than the
+    // ideal-vs-noisy separation the experiments rely on.
+    EXPECT_NEAR(estimate, exact, 0.08);
+}
+
+TEST(Trajectory, ReadoutFoldingMatchesDensityMatrix)
+{
+    Rng rng(11);
+    Graph g = gen::connectedGnp(5, 0.5, rng);
+    NoiseModel nm;
+    nm.readoutError = 0.05; // Readout-only: both paths are analytic.
+    QaoaParams p = QaoaParams::random(1, rng);
+    double dm = noisyQaoaExpectationDM(g, p, nm);
+    TrajectorySimulator traj(g, nm, 1, 7);
+    EXPECT_NEAR(traj.expectation(p), dm, 1e-9);
+}
+
+TEST(Trajectory, SampledExpectationApproximatesAnalytic)
+{
+    Rng rng(12);
+    Graph g = gen::connectedGnp(5, 0.5, rng);
+    NoiseModel nm = noise::scaled(1.0);
+    TrajectorySimulator traj(g, nm, 16, 5);
+    QaoaParams p = QaoaParams::random(1, rng);
+    double analytic = traj.expectation(p);
+    TrajectorySimulator traj2(g, nm, 16, 5);
+    double sampled = traj2.sampledExpectation(p, 20000);
+    EXPECT_NEAR(sampled, analytic, 0.25);
+}
+
+TEST(PauliChannelTwirl, DepolarizingProbabilities)
+{
+    NoiseModel nm;
+    nm.oneQubitDepol = 0.03;
+    PauliChannel ch = PauliChannel::fromModel(nm);
+    EXPECT_NEAR(ch.px, 0.01, 1e-12);
+    EXPECT_NEAR(ch.py, 0.01, 1e-12);
+    EXPECT_NEAR(ch.pz, 0.01, 1e-12);
+}
+
+TEST(PauliChannelTwirl, DampingIsMostlyXY)
+{
+    NoiseModel nm;
+    nm.amplitudeDamping = 0.04;
+    PauliChannel ch = PauliChannel::fromModel(nm);
+    EXPECT_NEAR(ch.px, 0.01, 1e-12);
+    EXPECT_NEAR(ch.py, 0.01, 1e-12);
+    EXPECT_LT(ch.pz, 1e-3);
+}
+
+TEST(NoisePresets, DeviceOrderingIsSane)
+{
+    // Kolkata is the paper's lowest-error device; Toronto/Melbourne and
+    // Aspen are the noisy end.
+    EXPECT_LT(noise::ibmKolkata().twoQubitDepol,
+              noise::ibmToronto().twoQubitDepol);
+    EXPECT_LT(noise::ibmToronto().twoQubitDepol,
+              noise::ibmMelbourne().twoQubitDepol);
+    EXPECT_LT(noise::ibmMelbourne().twoQubitDepol,
+              noise::rigettiAspenM3().twoQubitDepol);
+    EXPECT_EQ(noise::fig24Backends().size(), 7u);
+    EXPECT_TRUE(noise::ideal().isIdeal());
+    EXPECT_FALSE(noise::ibmCairo().isIdeal());
+}
+
+TEST(NoisePresets, ReadoutLambda)
+{
+    NoiseModel nm;
+    nm.readoutError = 0.25;
+    EXPECT_NEAR(nm.readoutLambda(), 0.5, 1e-12);
+}
+
+TEST(OverRotation, DistortsLandscapeShape)
+{
+    // A purely coherent calibration error must change the landscape in
+    // a way normalization cannot hide (stochastic channels mostly
+    // rescale; over-rotation displaces structure).
+    Rng rng(21);
+    Graph g = gen::connectedGnp(7, 0.5, rng);
+    QaoaSimulator ideal(g);
+
+    NoiseModel coherent;
+    coherent.overRotation = 0.10;
+    TrajectorySimulator traj(g, coherent, 1, 7);
+
+    double max_gap = 0.0;
+    for (int t = 0; t < 10; ++t) {
+        QaoaParams p = QaoaParams::random(1, rng);
+        max_gap = std::max(max_gap, std::fabs(traj.expectation(p) -
+                                              ideal.expectation(p)));
+    }
+    EXPECT_GT(max_gap, 0.01);
+}
+
+TEST(OverRotation, DeterministicPerSeed)
+{
+    Rng rng(22);
+    Graph g = gen::connectedGnp(6, 0.5, rng);
+    NoiseModel nm;
+    nm.overRotation = 0.05;
+    QaoaParams p = QaoaParams::random(1, rng);
+    TrajectorySimulator a(g, nm, 1, 9);
+    TrajectorySimulator b(g, nm, 1, 9);
+    EXPECT_DOUBLE_EQ(a.expectation(p), b.expectation(p));
+    TrajectorySimulator c(g, nm, 1, 10);
+    EXPECT_NE(a.expectation(p), c.expectation(p));
+}
+
+TEST(OverRotation, MarksModelAsNoisy)
+{
+    NoiseModel nm;
+    EXPECT_TRUE(nm.isIdeal());
+    nm.overRotation = 0.02;
+    EXPECT_FALSE(nm.isIdeal());
+}
+
+TEST(ShotSampling, ConvergesToAnalyticExpectation)
+{
+    Rng rng(23);
+    Graph g = gen::connectedGnp(6, 0.5, rng);
+    NoiseModel nm;
+    nm.twoQubitDepol = 0.01;
+    QaoaParams p = QaoaParams::random(1, rng);
+    TrajectorySimulator exact(g, nm, 64, 3);
+    double reference = exact.expectation(p);
+    TrajectorySimulator sampled(g, nm, 64, 3);
+    EXPECT_NEAR(sampled.sampledExpectation(p, 60000), reference, 0.15);
+}
+
+TEST(TranspiledModel, InflatesWithCircuitSize)
+{
+    NoiseModel base = noise::ibmKolkata();
+    NoiseModel small = noise::transpiled(base, 6);
+    NoiseModel large = noise::transpiled(base, 14);
+    EXPECT_GT(small.twoQubitDepol, base.twoQubitDepol);
+    EXPECT_GT(large.twoQubitDepol, small.twoQubitDepol);
+    EXPECT_LT(large.twoQubitDepol, 1.0);
+    // Readout is size-independent.
+    EXPECT_DOUBLE_EQ(large.readoutError, base.readoutError);
+    // Ideal stays ideal.
+    EXPECT_TRUE(noise::transpiled(noise::ideal(), 10).isIdeal());
+}
+
+TEST(TranspiledModel, CnotMultiplicityMatchesRouterScale)
+{
+    // The multiplicity model must bracket what our own SABRE measures
+    // (~6-9 CNOTs/edge on falcon-27 between 6 and 14 nodes) from above
+    // (stock compilers do worse).
+    EXPECT_GE(noise::cnotsPerRzz(6), 6.0);
+    EXPECT_GE(noise::cnotsPerRzz(14), 9.0);
+    EXPECT_LT(noise::cnotsPerRzz(14), 40.0);
+}
+
+TEST(DeviceRunModel, DegradesStochasticChannels)
+{
+    NoiseModel base = noise::rigettiAspenM3();
+    NoiseModel run = noise::deviceRun(base);
+    EXPECT_GT(run.twoQubitDepol, base.twoQubitDepol);
+    EXPECT_GT(run.readoutError, base.readoutError);
+    EXPECT_GT(run.zzCrosstalk, base.zzCrosstalk);
+    EXPECT_LE(run.twoQubitDepol, 0.5);
+    EXPECT_LE(run.readoutError, 0.4);
+    // Coherent calibration error is untouched.
+    EXPECT_DOUBLE_EQ(run.overRotation, base.overRotation);
+}
+
+TEST(ZzCrosstalk, DistortsLandscapeCoherently)
+{
+    Rng rng(30);
+    Graph g = gen::connectedGnp(7, 0.5, rng);
+    QaoaSimulator ideal(g);
+    NoiseModel nm;
+    nm.zzCrosstalk = 0.4;
+    TrajectorySimulator traj(g, nm, 1, 3);
+    double gap = 0.0;
+    for (int t = 0; t < 8; ++t) {
+        QaoaParams p = QaoaParams::random(1, rng);
+        gap = std::max(gap, std::fabs(traj.expectation(p) -
+                                      ideal.expectation(p)));
+    }
+    EXPECT_GT(gap, 0.02);
+    // Coherent: two simulators with the same seed agree exactly.
+    TrajectorySimulator again(g, nm, 1, 3);
+    QaoaParams p({0.9}, {0.4});
+    TrajectorySimulator first(g, nm, 1, 3);
+    EXPECT_DOUBLE_EQ(first.expectation(p), again.expectation(p));
+}
+
+TEST(AsymmetricReadout, BiasActivatesWithBrokenSymmetry)
+{
+    // The QAOA state has <Z_i> = 0 by symmetry, so asymmetric readout
+    // alone shifts each edge only by the constant b_u * b_v; combined
+    // with amplitude damping (which breaks the symmetry) the bias
+    // becomes state-dependent.
+    Rng rng(31);
+    Graph g = gen::connectedGnp(6, 0.5, rng);
+    QaoaParams p = QaoaParams::random(1, rng);
+
+    NoiseModel symmetric;
+    symmetric.readoutError = 0.06;
+    NoiseModel asymmetric = symmetric;
+    asymmetric.readoutAsymmetry = 0.5;
+
+    TrajectorySimulator sym(g, symmetric, 1, 5);
+    TrajectorySimulator asym(g, asymmetric, 1, 5);
+    // Readout-only, both are deterministic; they must differ.
+    EXPECT_NE(sym.expectation(p), asym.expectation(p));
+}
+
+TEST(DurationScaledNoise, QuietAtSmallAngles)
+{
+    Rng rng(32);
+    Graph g = gen::connectedGnp(7, 0.5, rng);
+    NoiseModel nm;
+    nm.twoQubitDepol = 0.12;
+    nm.durationScaledNoise = true;
+    QaoaSimulator ideal(g);
+
+    // Mean absolute deviation from ideal at small vs large gamma.
+    auto deviation = [&](double gamma) {
+        TrajectorySimulator traj(g, nm, 200, 9);
+        QaoaParams p({gamma}, {0.4});
+        return std::fabs(traj.expectation(p) - ideal.expectation(p));
+    };
+    // Small-angle cost layers are quieter (shorter pulses).
+    EXPECT_LT(deviation(0.05), deviation(3.0) + 0.05);
+}
+
+TEST(ShotSampling, FewShotsAreNoisierThanMany)
+{
+    // Dispersion across repeated estimates should shrink with shots.
+    Rng rng(24);
+    Graph g = gen::connectedGnp(6, 0.5, rng);
+    NoiseModel nm;
+    nm.twoQubitDepol = 0.01;
+    QaoaParams p = QaoaParams::random(1, rng);
+
+    auto dispersion = [&](int shots, std::uint64_t seed0) {
+        std::vector<double> vals;
+        for (int r = 0; r < 8; ++r) {
+            TrajectorySimulator sim(g, nm, 4, seed0 + r);
+            vals.push_back(sim.sampledExpectation(p, shots));
+        }
+        double mean = 0.0;
+        for (double v : vals)
+            mean += v / vals.size();
+        double var = 0.0;
+        for (double v : vals)
+            var += (v - mean) * (v - mean) / vals.size();
+        return var;
+    };
+    EXPECT_GT(dispersion(64, 100), dispersion(8192, 200));
+}
+
+} // namespace
+} // namespace redqaoa

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * GNN pooling baseline tests: feature extraction matches the §5.5 spec,
+ * GCN layers are well-formed, and all three poolers produce the
+ * requested sizes deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pooling/features.hpp"
+#include "pooling/gcn.hpp"
+#include "pooling/poolers.hpp"
+
+namespace redqaoa {
+namespace {
+
+TEST(Features, ShapeAndRange)
+{
+    Rng rng(1);
+    Graph g = gen::connectedGnp(9, 0.4, rng);
+    Matrix x = pooling::nodeFeatures(g);
+    EXPECT_EQ(x.rows(), 9u);
+    EXPECT_EQ(x.cols(), pooling::kNumFeatures);
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c) {
+            EXPECT_GE(x(r, c), 0.0);
+            EXPECT_LE(x(r, c), 1.0);
+        }
+}
+
+TEST(Features, HubDominatesOnStar)
+{
+    Matrix x = pooling::nodeFeatures(gen::star(8));
+    // Degree (col 0), betweenness (2), closeness (3), eigenvector (4)
+    // are all maximal at the hub.
+    for (std::size_t c : {0u, 2u, 3u, 4u})
+        for (std::size_t r = 1; r < 8; ++r)
+            EXPECT_GE(x(0, c), x(r, c)) << "col " << c;
+}
+
+TEST(Gcn, NormalizedAdjacencyRowsAreFinite)
+{
+    Rng rng(2);
+    Graph g = gen::connectedGnp(7, 0.35, rng);
+    Matrix a = pooling::normalizedAdjacency(g);
+    EXPECT_EQ(a.rows(), 7u);
+    for (std::size_t i = 0; i < 7; ++i) {
+        EXPECT_GT(a(i, i), 0.0); // Self loops present.
+        for (std::size_t j = 0; j < 7; ++j) {
+            EXPECT_GE(a(i, j), 0.0);
+            EXPECT_LE(a(i, j), 1.0);
+        }
+    }
+}
+
+TEST(Gcn, ForwardShapeAndBounds)
+{
+    Rng rng(3);
+    Graph g = gen::connectedGnp(8, 0.4, rng);
+    Matrix x = pooling::nodeFeatures(g);
+    pooling::GcnLayer layer(pooling::kNumFeatures, 3, 99);
+    Matrix h = layer.forward(g, x);
+    EXPECT_EQ(h.rows(), 8u);
+    EXPECT_EQ(h.cols(), 3u);
+    for (double v : h.data()) {
+        EXPECT_GE(v, -1.0); // tanh range.
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(Gcn, XavierIsDeterministic)
+{
+    Matrix a = pooling::xavierMatrix(4, 3, 7);
+    Matrix b = pooling::xavierMatrix(4, 3, 7);
+    EXPECT_EQ(a.data(), b.data());
+    Matrix c = pooling::xavierMatrix(4, 3, 8);
+    EXPECT_NE(a.data(), c.data());
+}
+
+/** Every pooler must honor the requested size on assorted graphs. */
+class PoolerSizes : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PoolerSizes, RequestedSizeHonored)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 10);
+    Graph g = gen::connectedGnp(10, 0.4, rng);
+    for (const auto &pooler : pooling::allPoolers()) {
+        for (int k : {3, 5, 8, 10}) {
+            Graph pooled = pooler->pool(g, k);
+            EXPECT_EQ(pooled.numNodes(), k) << pooler->name();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolerSizes, ::testing::Range(0, 6));
+
+TEST(Poolers, DeterministicAcrossCalls)
+{
+    Rng rng(20);
+    Graph g = gen::connectedGnp(9, 0.45, rng);
+    for (const auto &pooler : pooling::allPoolers()) {
+        Graph a = pooler->pool(g, 5);
+        Graph b = pooler->pool(g, 5);
+        EXPECT_EQ(a.numEdges(), b.numEdges()) << pooler->name();
+        for (const Edge &e : a.edges())
+            EXPECT_TRUE(b.hasEdge(e.u, e.v)) << pooler->name();
+    }
+}
+
+TEST(Poolers, TopKAndSagReturnInducedSubgraphs)
+{
+    // Induced subgraphs can never gain average degree.
+    Rng rng(21);
+    for (int t = 0; t < 5; ++t) {
+        Graph g = gen::connectedGnp(10, 0.4, rng);
+        pooling::TopKPooling topk;
+        pooling::SagPooling sag;
+        for (int k : {5, 7}) {
+            EXPECT_LE(topk.pool(g, k).numEdges(), g.numEdges());
+            EXPECT_LE(sag.pool(g, k).numEdges(), g.numEdges());
+        }
+    }
+}
+
+TEST(Poolers, AsaProducesValidGraph)
+{
+    Rng rng(22);
+    Graph g = gen::connectedGnp(12, 0.3, rng);
+    pooling::AsaPooling asa;
+    Graph pooled = asa.pool(g, 6);
+    EXPECT_EQ(pooled.numNodes(), 6);
+    // Simple graph invariants hold.
+    for (const Edge &e : pooled.edges()) {
+        EXPECT_NE(e.u, e.v);
+        EXPECT_LT(e.v, 6);
+    }
+}
+
+TEST(Poolers, NamesAndOrder)
+{
+    auto all = pooling::allPoolers();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0]->name(), "ASA");
+    EXPECT_EQ(all[1]->name(), "SAG");
+    EXPECT_EQ(all[2]->name(), "TopK");
+}
+
+TEST(Poolers, FullSizePoolKeepsAllNodes)
+{
+    Rng rng(23);
+    Graph g = gen::connectedGnp(8, 0.5, rng);
+    pooling::TopKPooling topk;
+    Graph pooled = topk.pool(g, 8);
+    EXPECT_EQ(pooled.numNodes(), 8);
+    EXPECT_EQ(pooled.numEdges(), g.numEdges());
+}
+
+} // namespace
+} // namespace redqaoa

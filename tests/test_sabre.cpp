@@ -1,0 +1,179 @@
+/**
+ * @file
+ * SABRE router tests: routed circuits must respect device coupling,
+ * preserve circuit semantics under the tracked qubit permutation, and
+ * the multi-trial protocol must never do worse than a single trial.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "circuit/qaoa_builder.hpp"
+#include "circuit/sabre.hpp"
+#include "circuit/topologies.hpp"
+#include "graph/generators.hpp"
+#include "quantum/maxcut.hpp"
+#include "quantum/statevector.hpp"
+
+namespace redqaoa {
+namespace {
+
+std::vector<int>
+identityLayout(int n)
+{
+    std::vector<int> l(static_cast<std::size_t>(n));
+    std::iota(l.begin(), l.end(), 0);
+    return l;
+}
+
+void
+expectAllTwoQubitGatesCoupled(const Circuit &c, const CouplingMap &dev)
+{
+    for (const GateOp &g : c.gates()) {
+        if (isTwoQubit(g.kind)) {
+            EXPECT_TRUE(dev.coupled(g.q0, g.q1))
+                << gateName(g.kind) << " on (" << g.q0 << "," << g.q1
+                << ")";
+        }
+    }
+}
+
+TEST(Sabre, LineCircuitOnLineDeviceNeedsNoSwaps)
+{
+    // Nearest-neighbor RZZs on a path device route swap-free under the
+    // identity layout.
+    CouplingMap dev("line", gen::path(6));
+    Circuit c(6);
+    for (int q = 0; q + 1 < 6; ++q)
+        c.addRzz(q, q + 1, 0.3);
+    SabreRouter router(dev);
+    RouteResult res = router.route(c, identityLayout(6));
+    EXPECT_EQ(res.swapCount, 0);
+    expectAllTwoQubitGatesCoupled(res.circuit, dev);
+}
+
+TEST(Sabre, DistantGateGetsRouted)
+{
+    CouplingMap dev("line", gen::path(5));
+    Circuit c(5);
+    c.addRzz(0, 4, 0.5); // Distance 4: needs swaps.
+    SabreRouter router(dev);
+    RouteResult res = router.route(c, identityLayout(5));
+    EXPECT_GE(res.swapCount, 3);
+    expectAllTwoQubitGatesCoupled(res.circuit, dev);
+}
+
+TEST(Sabre, RoutesDenseQaoaOnFalcon)
+{
+    Rng rng(1);
+    Graph g = gen::connectedGnp(10, 0.5, rng);
+    QaoaParams p = QaoaParams::random(1, rng);
+    Circuit c = buildQaoaCircuit(g, p, true);
+    CouplingMap dev = topologies::falcon27();
+    SabreRouter router(dev);
+    RouteResult res = router.routeBestOf(c, 4, rng);
+    expectAllTwoQubitGatesCoupled(res.circuit, dev);
+    // Every logical gate survives routing (plus inserted swaps).
+    EXPECT_EQ(res.circuit.count(GateKind::RZZ), g.numEdges());
+    EXPECT_EQ(res.circuit.count(GateKind::MEASURE), 10);
+    EXPECT_EQ(res.circuit.count(GateKind::SWAP), res.swapCount);
+}
+
+TEST(Sabre, RoutedCircuitPreservesSemantics)
+{
+    // Execute the routed circuit (including SWAPs) and undo the final
+    // layout: energies must match the unrouted circuit.
+    Rng rng(2);
+    Graph g = gen::connectedGnp(5, 0.5, rng);
+    QaoaParams p = QaoaParams::random(1, rng);
+    Circuit c = buildQaoaCircuit(g, p, false);
+    CouplingMap dev("line", gen::path(5));
+    SabreRouter router(dev);
+    RouteResult res = router.route(c, identityLayout(5));
+
+    Statevector psi(5);
+    for (const GateOp &op : res.circuit.gates()) {
+        switch (op.kind) {
+          case GateKind::H:
+            psi.applyH(op.q0);
+            break;
+          case GateKind::RX:
+            psi.applyRx(op.q0, op.angle);
+            break;
+          case GateKind::RZ:
+            psi.applyRz(op.q0, op.angle);
+            break;
+          case GateKind::CNOT:
+            psi.applyCnot(op.q0, op.q1);
+            break;
+          case GateKind::RZZ:
+            psi.applyRzz(op.q0, op.q1, op.angle);
+            break;
+          case GateKind::SWAP:
+            psi.applyCnot(op.q0, op.q1);
+            psi.applyCnot(op.q1, op.q0);
+            psi.applyCnot(op.q0, op.q1);
+            break;
+          default:
+            break;
+        }
+    }
+    // <Z_u Z_v> read at the physical locations of u and v.
+    double e = 0.0;
+    for (const Edge &edge : g.edges()) {
+        int pu = res.finalLayout[static_cast<std::size_t>(edge.u)];
+        int pv = res.finalLayout[static_cast<std::size_t>(edge.v)];
+        e += 0.5 * (1.0 - psi.zzExpectation(pu, pv));
+    }
+    QaoaSimulator sim(g);
+    EXPECT_NEAR(e, sim.expectation(p), 1e-9);
+}
+
+TEST(Sabre, BestOfTrialsNotWorseThanFirstTrial)
+{
+    Rng rng(3);
+    Graph g = gen::connectedGnp(8, 0.5, rng);
+    QaoaParams p = QaoaParams::random(1, rng);
+    Circuit c = buildQaoaCircuit(g, p, false);
+    CouplingMap dev = topologies::falcon27();
+    SabreRouter router(dev);
+
+    Rng rng_multi(77);
+    RouteResult multi = router.routeBestOf(c, 8, rng_multi);
+    Rng rng_single(77);
+    RouteResult single = router.routeBestOf(c, 1, rng_single);
+    EXPECT_LE(multi.depth, single.depth);
+}
+
+TEST(Sabre, RejectsOversizedCircuits)
+{
+    CouplingMap dev("line", gen::path(3));
+    Circuit c(5);
+    SabreRouter router(dev);
+    EXPECT_THROW(router.route(c, {0, 1, 2, 3, 4}),
+                 std::invalid_argument);
+}
+
+TEST(Sabre, InitialLayoutRespected)
+{
+    CouplingMap dev("line", gen::path(4));
+    Circuit c(2);
+    c.addH(0);
+    c.addH(1);
+    SabreRouter router(dev);
+    RouteResult res = router.route(c, {3, 1});
+    // H gates must land on physical qubits 3 and 1.
+    int on3 = 0, on1 = 0;
+    for (const GateOp &g : res.circuit.gates()) {
+        if (g.kind == GateKind::H && g.q0 == 3)
+            ++on3;
+        if (g.kind == GateKind::H && g.q0 == 1)
+            ++on1;
+    }
+    EXPECT_EQ(on3, 1);
+    EXPECT_EQ(on1, 1);
+}
+
+} // namespace
+} // namespace redqaoa

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Statevector simulator unit tests: gate algebra against hand-computed
+ * amplitudes, unitarity, fast-path equivalences, and sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/statevector.hpp"
+
+namespace redqaoa {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(Statevector, InitialStateIsZeroKet)
+{
+    Statevector s(3);
+    EXPECT_EQ(s.dim(), 8u);
+    EXPECT_NEAR(std::abs(s[0]), 1.0, kTol);
+    for (std::size_t i = 1; i < s.dim(); ++i)
+        EXPECT_NEAR(std::abs(s[i]), 0.0, kTol);
+}
+
+TEST(Statevector, UniformStateHasEqualAmplitudes)
+{
+    Statevector s = Statevector::uniform(4);
+    double expect = 1.0 / 4.0;
+    for (std::size_t i = 0; i < s.dim(); ++i) {
+        EXPECT_NEAR(s[i].real(), expect, kTol);
+        EXPECT_NEAR(s[i].imag(), 0.0, kTol);
+    }
+}
+
+TEST(Statevector, HadamardCreatesSuperposition)
+{
+    Statevector s(1);
+    s.applyH(0);
+    double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(s[0].real(), r, kTol);
+    EXPECT_NEAR(s[1].real(), r, kTol);
+}
+
+TEST(Statevector, HadamardIsInvolution)
+{
+    Statevector s(2);
+    s.applyH(0);
+    s.applyH(1);
+    s.applyH(0);
+    s.applyH(1);
+    EXPECT_NEAR(std::abs(s[0]), 1.0, kTol);
+}
+
+TEST(Statevector, PauliXFlipsBit)
+{
+    Statevector s(2);
+    s.applyX(1);
+    EXPECT_NEAR(std::abs(s[2]), 1.0, kTol); // |10>.
+}
+
+TEST(Statevector, PauliYOnZero)
+{
+    Statevector s(1);
+    s.applyY(0);
+    // Y|0> = i|1>.
+    EXPECT_NEAR(s[1].imag(), 1.0, kTol);
+    EXPECT_NEAR(s[1].real(), 0.0, kTol);
+}
+
+TEST(Statevector, PauliZFlipsPhaseOfOne)
+{
+    Statevector s(1);
+    s.applyX(0);
+    s.applyZ(0);
+    EXPECT_NEAR(s[1].real(), -1.0, kTol);
+}
+
+TEST(Statevector, XYZAnticommutation)
+{
+    // XZ = -ZX on an arbitrary state.
+    Statevector a(1), b(1);
+    a.applyH(0);
+    b.applyH(0);
+    a.applyX(0);
+    a.applyZ(0);
+    b.applyZ(0);
+    b.applyX(0);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_NEAR(a[i].real(), -b[i].real(), kTol);
+        EXPECT_NEAR(a[i].imag(), -b[i].imag(), kTol);
+    }
+}
+
+TEST(Statevector, RxRotatesBetweenBasisStates)
+{
+    Statevector s(1);
+    s.applyRx(0, M_PI); // RX(pi)|0> = -i|1>.
+    EXPECT_NEAR(std::abs(s[0]), 0.0, kTol);
+    EXPECT_NEAR(s[1].imag(), -1.0, kTol);
+}
+
+TEST(Statevector, RxHalfPi)
+{
+    Statevector s(1);
+    s.applyRx(0, M_PI / 2.0);
+    double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(s[0].real(), r, kTol);
+    EXPECT_NEAR(s[1].imag(), -r, kTol);
+}
+
+TEST(Statevector, RzAppliesOppositePhases)
+{
+    Statevector s(1);
+    s.applyH(0);
+    s.applyRz(0, M_PI / 2.0);
+    // exp(-i pi/4)/sqrt2, exp(+i pi/4)/sqrt2.
+    double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(s[0].real(), r * std::cos(M_PI / 4.0), kTol);
+    EXPECT_NEAR(s[0].imag(), -r * std::sin(M_PI / 4.0), kTol);
+    EXPECT_NEAR(s[1].imag(), r * std::sin(M_PI / 4.0), kTol);
+}
+
+TEST(Statevector, CnotEntangles)
+{
+    Statevector s(2);
+    s.applyH(0);
+    s.applyCnot(0, 1);
+    // Bell state (|00> + |11>)/sqrt2.
+    double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(s[0].real(), r, kTol);
+    EXPECT_NEAR(s[3].real(), r, kTol);
+    EXPECT_NEAR(std::abs(s[1]), 0.0, kTol);
+    EXPECT_NEAR(std::abs(s[2]), 0.0, kTol);
+}
+
+TEST(Statevector, RzzMatchesCnotRzCnotDecomposition)
+{
+    double theta = 0.77;
+    Statevector a = Statevector::uniform(3);
+    Statevector b = Statevector::uniform(3);
+    a.applyRzz(0, 2, theta);
+    b.applyCnot(0, 2);
+    b.applyRz(2, theta);
+    b.applyCnot(0, 2);
+    for (std::size_t i = 0; i < a.dim(); ++i) {
+        EXPECT_NEAR(a[i].real(), b[i].real(), kTol);
+        EXPECT_NEAR(a[i].imag(), b[i].imag(), kTol);
+    }
+}
+
+TEST(Statevector, DiagonalPhaseMatchesPerEdgeRzz)
+{
+    // exp(-i g * cut) over edges == product of RZZ(-g) up to global phase.
+    // Use a 3-path: edges (0,1), (1,2).
+    std::vector<double> diag(8, 0.0);
+    auto parity = [](std::size_t z, int a, int b) {
+        return (((z >> a) ^ (z >> b)) & 1u) != 0u;
+    };
+    for (std::size_t z = 0; z < 8; ++z)
+        diag[z] = (parity(z, 0, 1) ? 1.0 : 0.0) +
+                  (parity(z, 1, 2) ? 1.0 : 0.0);
+    double g = 0.31;
+    Statevector a = Statevector::uniform(3);
+    Statevector b = Statevector::uniform(3);
+    a.applyDiagonalPhase(diag, g);
+    b.applyRzz(0, 1, -g);
+    b.applyRzz(1, 2, -g);
+    // Compare up to global phase: use amplitude ratios against index 0.
+    Complex phase = a[0] / b[0];
+    for (std::size_t i = 0; i < a.dim(); ++i) {
+        Complex scaled = b[i] * phase;
+        EXPECT_NEAR(a[i].real(), scaled.real(), 1e-10);
+        EXPECT_NEAR(a[i].imag(), scaled.imag(), 1e-10);
+    }
+}
+
+TEST(Statevector, NormPreservedByGateSequences)
+{
+    Statevector s = Statevector::uniform(5);
+    s.applyRx(2, 0.3);
+    s.applyRz(4, 1.1);
+    s.applyCnot(0, 3);
+    s.applyRzz(1, 4, 0.9);
+    s.applyH(2);
+    s.applyY(0);
+    EXPECT_NEAR(s.norm2(), 1.0, 1e-10);
+}
+
+TEST(Statevector, ZzExpectationOnProductStates)
+{
+    Statevector s(2); // |00>: both +1 eigenstates.
+    EXPECT_NEAR(s.zzExpectation(0, 1), 1.0, kTol);
+    s.applyX(0); // |01>: opposite.
+    EXPECT_NEAR(s.zzExpectation(0, 1), -1.0, kTol);
+}
+
+TEST(Statevector, ZzExpectationOnUniformIsZero)
+{
+    Statevector s = Statevector::uniform(3);
+    EXPECT_NEAR(s.zzExpectation(0, 2), 0.0, kTol);
+}
+
+TEST(Statevector, SamplingMatchesDistribution)
+{
+    Statevector s(2);
+    s.applyH(0); // (|00> + |01>)/sqrt2: outcomes 0 and 1 only.
+    Rng rng(5);
+    auto shots = s.sample(4000, rng);
+    int zero = 0, one = 0;
+    for (auto z : shots) {
+        ASSERT_LT(z, 2u);
+        if (z == 0)
+            ++zero;
+        else
+            ++one;
+    }
+    EXPECT_NEAR(static_cast<double>(zero) / 4000.0, 0.5, 0.05);
+    EXPECT_NEAR(static_cast<double>(one) / 4000.0, 0.5, 0.05);
+}
+
+TEST(Statevector, ApplyRxAllMatchesPerQubit)
+{
+    Statevector a = Statevector::uniform(4);
+    Statevector b = Statevector::uniform(4);
+    a.applyRxAll(0.7);
+    for (int q = 0; q < 4; ++q)
+        b.applyRx(q, 0.7);
+    for (std::size_t i = 0; i < a.dim(); ++i)
+        EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, kTol);
+}
+
+/** Probabilities sum to one after arbitrary circuits (property sweep). */
+class StatevectorNorm : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(StatevectorNorm, RandomCircuitPreservesNorm)
+{
+    int seed = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed));
+    int n = 2 + static_cast<int>(rng.index(4));
+    Statevector s = Statevector::uniform(n);
+    for (int step = 0; step < 30; ++step) {
+        int q = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+        switch (rng.index(6)) {
+          case 0:
+            s.applyH(q);
+            break;
+          case 1:
+            s.applyRx(q, rng.uniform(0, 6.28));
+            break;
+          case 2:
+            s.applyRz(q, rng.uniform(0, 6.28));
+            break;
+          case 3:
+            s.applyY(q);
+            break;
+          case 4: {
+            int t = (q + 1) % n;
+            s.applyCnot(q, t);
+            break;
+          }
+          default: {
+            int t = (q + 1) % n;
+            s.applyRzz(q, t, rng.uniform(0, 6.28));
+            break;
+          }
+        }
+    }
+    EXPECT_NEAR(s.norm2(), 1.0, 1e-9);
+    double total = 0.0;
+    for (double p : s.probabilities())
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatevectorNorm,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace redqaoa
