@@ -14,23 +14,50 @@
 #ifndef REDQAOA_BENCH_BENCH_COMMON_HPP
 #define REDQAOA_BENCH_BENCH_COMMON_HPP
 
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "landscape/landscape.hpp"
 #include "quantum/evaluator.hpp"
 
 namespace redqaoa {
 namespace bench {
 
-/** Print the standard bench banner. */
+/**
+ * Print the standard bench banner, including the worker-thread count so
+ * runs are self-describing (landscape grids, trajectory averages, and
+ * light-cone sums all fan out over the pool; see REDQAOA_THREADS).
+ */
 inline void
 banner(const char *figure, const char *what)
 {
     std::printf("==============================================================\n");
     std::printf("%s — %s\n", figure, what);
+    std::printf("threads=%d (REDQAOA_THREADS overrides)\n",
+                ThreadPool::globalThreadCount());
     std::printf("==============================================================\n");
+}
+
+/**
+ * Row-major width x width grid of p=1 energies via the closed-form
+ * evaluator (gamma in [0, 2pi), beta in [0, pi); the paper's 900-point
+ * protocol at width 30). Fans out over the thread pool.
+ */
+inline std::vector<double>
+analyticGridValues(const Graph &g, int width)
+{
+    AnalyticP1Evaluator eval(g);
+    std::vector<std::pair<double, double>> points;
+    points.reserve(static_cast<std::size_t>(width) * width);
+    for (int bi = 0; bi < width; ++bi)
+        for (int gi = 0; gi < width; ++gi)
+            points.emplace_back(2.0 * M_PI * gi / width,
+                                M_PI * bi / width);
+    return eval.batchExpectation(points);
 }
 
 /**

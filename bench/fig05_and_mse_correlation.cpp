@@ -24,20 +24,6 @@ using namespace redqaoa;
 
 namespace {
 
-/** 30x30 grid of p=1 energies via the closed form. */
-std::vector<double>
-gridValues(const Graph &g, int width)
-{
-    AnalyticP1Evaluator eval(g);
-    std::vector<double> v;
-    v.reserve(static_cast<std::size_t>(width) * width);
-    for (int bi = 0; bi < width; ++bi)
-        for (int gi = 0; gi < width; ++gi)
-            v.push_back(eval.expectation(2.0 * M_PI * gi / width,
-                                         M_PI * bi / width));
-    return v;
-}
-
 } // namespace
 
 int
@@ -54,7 +40,7 @@ main()
     for (int gi = 0; gi < kGraphs; ++gi) {
         int n = 8 + static_cast<int>(rng.index(3)); // 8-10 nodes.
         Graph g = gen::connectedGnp(n, 0.4, rng);
-        auto base_vals = gridValues(g, kWidth);
+        auto base_vals = bench::analyticGridValues(g, kWidth);
         double base_and = g.averageDegree();
 
         for (int k = 3; k < n; ++k) {
@@ -70,7 +56,8 @@ main()
                 if (s.numEdges() == 0)
                     continue;
                 and_ratios.push_back(s.averageDegree() / base_and);
-                mses.push_back(landscapeMse(base_vals, gridValues(s, kWidth)));
+                mses.push_back(landscapeMse(
+                    base_vals, bench::analyticGridValues(s, kWidth)));
             }
         }
     }

@@ -23,19 +23,6 @@ using namespace redqaoa;
 
 namespace {
 
-std::vector<double>
-gridValues(const Graph &g, int width)
-{
-    AnalyticP1Evaluator eval(g);
-    std::vector<double> v;
-    v.reserve(static_cast<std::size_t>(width) * width);
-    for (int bi = 0; bi < width; ++bi)
-        for (int gi = 0; gi < width; ++gi)
-            v.push_back(eval.expectation(2.0 * M_PI * gi / width,
-                                         M_PI * bi / width));
-    return v;
-}
-
 } // namespace
 
 int
@@ -49,7 +36,7 @@ main()
     std::printf("graph: %s | p=1, %dx%d grid, enumeration cap %zu\n\n",
                 g.summary().c_str(), kWidth, kWidth, kEnumCap);
 
-    auto base_vals = gridValues(g, kWidth);
+    auto base_vals = bench::analyticGridValues(g, kWidth);
     SaOptions sa_opts;
     sa_opts.adaptive = true;
     SaReducer annealer(sa_opts);
@@ -67,7 +54,8 @@ main()
             Graph s = inducedSubgraph(g, nodes).graph;
             if (s.numEdges() == 0)
                 continue;
-            mses.push_back(landscapeMse(base_vals, gridValues(s, kWidth)));
+            mses.push_back(landscapeMse(
+                base_vals, bench::analyticGridValues(s, kWidth)));
         }
         // Red-QAOA's protocol: several annealer runs, keep the candidate
         // that survives the §4.4 dynamic MSE evaluation best.
@@ -75,9 +63,10 @@ main()
         for (int run = 0; run < 5; ++run) {
             SaResult sa = annealer.reduce(g, k, rng);
             sa_mse = std::min(
-                sa_mse, landscapeMse(base_vals,
-                                     gridValues(sa.subgraph.graph,
-                                                kWidth)));
+                sa_mse,
+                landscapeMse(base_vals,
+                             bench::analyticGridValues(
+                                 sa.subgraph.graph, kWidth)));
         }
 
         double below = 0.0;

@@ -26,11 +26,7 @@ analyticValues(const Graph &g,
                const std::vector<std::pair<double, double>> &points)
 {
     AnalyticP1Evaluator eval(g);
-    std::vector<double> v;
-    v.reserve(points.size());
-    for (auto [gm, bt] : points)
-        v.push_back(eval.expectation(gm, bt));
-    return v;
+    return eval.batchExpectation(points);
 }
 
 struct Row

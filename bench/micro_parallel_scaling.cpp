@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Single- vs multi-thread throughput of the parallel hot paths:
+ * the noisy landscape grid (the dominant experimental workload), the
+ * trajectory estimator, and the light-cone evaluator.
+ *
+ * Usage: bench_micro_parallel_scaling [width] [trajectories] [nodes]
+ * Defaults: a 64x64 noisy landscape over an 8-node graph with 8
+ * trajectories per cell. The multi-thread pass uses REDQAOA_THREADS
+ * (or all hardware threads) and must reproduce the 1-thread values
+ * exactly — the bench verifies that before printing the speedup.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.hpp"
+#include "common/thread_pool.hpp"
+#include "graph/generators.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+template <typename F>
+double
+timeIt(F &&fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    return dt.count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int width = argc > 1 ? std::atoi(argv[1]) : 64;
+    int trajectories = argc > 2 ? std::atoi(argv[2]) : 8;
+    int nodes = argc > 3 ? std::atoi(argv[3]) : 8;
+    int threads = ThreadPool::defaultThreads();
+
+    bench::banner("micro_parallel_scaling",
+                  "1-thread vs multi-thread throughput of the hot paths");
+    std::printf("  width=%d trajectories=%d nodes=%d threads=%d\n", width,
+                trajectories, nodes, threads);
+
+    Rng grng(7);
+    Graph g = gen::erdosRenyiGnp(nodes, 0.5, grng);
+    NoiseModel nm = noise::transpiled(noise::ibmGuadalupe(), g.numNodes());
+
+    // --- Noisy landscape grid (width x width cells) -------------------
+    std::vector<double> serial_vals, parallel_vals;
+    ThreadPool::setGlobalThreads(1);
+    double t_serial = timeIt([&] {
+        NoisyEvaluator noisy(g, nm, trajectories, 42, 0);
+        serial_vals = Landscape::evaluate(noisy, width).values();
+    });
+    ThreadPool::setGlobalThreads(threads);
+    double t_parallel = timeIt([&] {
+        NoisyEvaluator noisy(g, nm, trajectories, 42, 0);
+        parallel_vals = Landscape::evaluate(noisy, width).values();
+    });
+    bool identical = serial_vals == parallel_vals;
+    double cells = static_cast<double>(width) * width;
+    std::printf("  noisy landscape  %6.2fs -> %6.2fs  speedup %.2fx  "
+                "(%.0f vs %.0f cells/s)  values %s\n",
+                t_serial, t_parallel, t_serial / t_parallel,
+                cells / t_serial, cells / t_parallel,
+                identical ? "bit-identical" : "DIFFER (BUG)");
+
+    // --- Single-point trajectory estimator ----------------------------
+    QaoaParams point({0.8}, {0.35});
+    const int reps = 200;
+    double e_serial = 0.0, e_parallel = 0.0;
+    ThreadPool::setGlobalThreads(1);
+    double t_traj_serial = timeIt([&] {
+        TrajectorySimulator sim(g, nm, 64, 99);
+        for (int r = 0; r < reps; ++r)
+            e_serial += sim.expectation(point);
+    });
+    ThreadPool::setGlobalThreads(threads);
+    double t_traj_parallel = timeIt([&] {
+        TrajectorySimulator sim(g, nm, 64, 99);
+        for (int r = 0; r < reps; ++r)
+            e_parallel += sim.expectation(point);
+    });
+    std::printf("  trajectories     %6.2fs -> %6.2fs  speedup %.2fx  "
+                "values %s\n",
+                t_traj_serial, t_traj_parallel,
+                t_traj_serial / t_traj_parallel,
+                e_serial == e_parallel ? "bit-identical" : "DIFFER (BUG)");
+
+    // --- Light-cone evaluator on a larger sparse graph ----------------
+    Rng r2(11);
+    Graph big = gen::randomRegular(60, 3, r2);
+    QaoaParams deep({0.5, 0.2}, {0.4, 0.1});
+    const int lc_reps = 20;
+    double c_serial = 0.0, c_parallel = 0.0;
+    ThreadPool::setGlobalThreads(1);
+    double t_lc_serial = timeIt([&] {
+        LightconeEvaluator lc(big, 2, 16);
+        for (int r = 0; r < lc_reps; ++r)
+            c_serial += lc.expectation(deep);
+    });
+    ThreadPool::setGlobalThreads(threads);
+    double t_lc_parallel = timeIt([&] {
+        LightconeEvaluator lc(big, 2, 16);
+        for (int r = 0; r < lc_reps; ++r)
+            c_parallel += lc.expectation(deep);
+    });
+    std::printf("  lightcone        %6.2fs -> %6.2fs  speedup %.2fx\n",
+                t_lc_serial, t_lc_parallel, t_lc_serial / t_lc_parallel);
+
+    std::printf("  overall landscape speedup at %d threads: %.2fx\n",
+                threads, t_serial / t_parallel);
+    return identical && e_serial == e_parallel ? 0 : 1;
+}

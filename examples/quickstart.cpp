@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "common/thread_pool.hpp"
 #include "core/pipeline.hpp"
 #include "graph/generators.hpp"
 
@@ -19,6 +20,11 @@ using namespace redqaoa;
 int
 main()
 {
+    // Noisy evaluation, landscape grids, and SA candidate checks fan
+    // out over a thread pool; REDQAOA_THREADS=1 forces serial runs.
+    std::printf("Threads: %d (set REDQAOA_THREADS to override)\n",
+                ThreadPool::globalThreadCount());
+
     // 1. A MaxCut problem: a random 10-node graph.
     Rng rng(2024);
     Graph g = gen::connectedGnp(10, 0.4, rng);

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Format gate for CI and local use.
+#
+# Always enforced (fast, no tooling needed): no tabs, no CRLF, no
+# trailing whitespace, newline at EOF — the tree is clean on these and
+# stays clean.
+#
+# clang-format (against the repo .clang-format) runs in advisory mode
+# by default: it prints the diff it would apply but does not fail the
+# build, because the pre-existing tree has never been normalized with
+# clang-format. Set STRICT_CLANG_FORMAT=1 to make it a hard failure
+# once a normalization pass has landed.
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=$(find src tests bench examples -name '*.cpp' -o -name '*.hpp')
+fail=0
+
+for f in $files; do
+    if grep -qP '\t' "$f"; then
+        echo "error: tab character in $f"
+        fail=1
+    fi
+    if grep -qP '\r' "$f"; then
+        echo "error: CRLF line ending in $f"
+        fail=1
+    fi
+    if grep -qP '[ \t]+$' "$f"; then
+        echo "error: trailing whitespace in $f"
+        fail=1
+    fi
+    if [ -n "$(tail -c1 "$f")" ]; then
+        echo "error: missing newline at end of $f"
+        fail=1
+    fi
+done
+
+if command -v clang-format >/dev/null 2>&1; then
+    strict="${STRICT_CLANG_FORMAT:-0}"
+    diff_seen=0
+    for f in $files; do
+        if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+            if [ "$diff_seen" -eq 0 ]; then
+                echo "clang-format differences (advisory unless STRICT_CLANG_FORMAT=1):"
+                diff_seen=1
+            fi
+            echo "  $f"
+            if [ "$strict" = "1" ]; then
+                fail=1
+            fi
+        fi
+    done
+    [ "$diff_seen" -eq 0 ] && echo "clang-format: clean"
+else
+    echo "clang-format not found; skipped style diff (mechanical checks ran)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "format check FAILED"
+    exit 1
+fi
+echo "format check passed"

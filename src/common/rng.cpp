@@ -97,4 +97,14 @@ Rng::split()
     return Rng(child_seed);
 }
 
+std::vector<Rng>
+Rng::splitN(std::size_t n)
+{
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        streams.push_back(split());
+    return streams;
+}
+
 } // namespace redqaoa

@@ -86,6 +86,16 @@ class Rng
     /** Derive an independent child stream (for per-task seeding). */
     Rng split();
 
+    /**
+     * Derive @p n child streams, drawn serially from this generator.
+     * This is the hand-off point between sequential seeding and parallel
+     * execution: splitting is cheap and ordered, so a parallel loop that
+     * consumes streams[i] in task i produces the same results at any
+     * thread count — and the same results as a serial loop that called
+     * split() once per iteration.
+     */
+    std::vector<Rng> splitN(std::size_t n);
+
   private:
     std::uint64_t state_ = 0;
     std::uint64_t inc_ = 0;

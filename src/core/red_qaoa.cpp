@@ -19,13 +19,8 @@ analyticLandscapeMse(const Graph &a, const Graph &b,
                      const std::vector<std::pair<double, double>> &points)
 {
     AnalyticP1Evaluator ea(a), eb(b);
-    std::vector<double> va, vb;
-    va.reserve(points.size());
-    vb.reserve(points.size());
-    for (auto [gm, bt] : points) {
-        va.push_back(ea.expectation(gm, bt));
-        vb.push_back(eb.expectation(gm, bt));
-    }
+    std::vector<double> va = ea.batchExpectation(points);
+    std::vector<double> vb = eb.batchExpectation(points);
     auto normalize = [](std::vector<double> &v) {
         double lo = *std::min_element(v.begin(), v.end());
         double hi = *std::max_element(v.begin(), v.end());

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/thread_pool.hpp"
+
 namespace redqaoa {
 
 double
@@ -134,6 +136,9 @@ SaReducer::reduce(const Graph &g, int k, Rng &rng) const
         return res;
     }
 
+    const bool parallel_candidates =
+        opts_.parallelCandidates && ThreadPool::globalThreadCount() > 1;
+
     int consecutive_rejects = 0;
     for (double t = opts_.t0; t > opts_.tf; ++res.steps) {
         for (int move = 0; move < opts_.movesPerTemperature; ++move) {
@@ -141,23 +146,65 @@ SaReducer::reduce(const Graph &g, int k, Rng &rng) const
             Node out = -1, in = -1;
             int new_edges = 0;
             bool found = false;
-            for (int attempt = 0; attempt < opts_.connectivityRetries;
-                 ++attempt) {
-                Node cand_out = state.members()[rng.index(
-                    state.members().size())];
-                Node cand_in = outside[rng.index(outside.size())];
-                int e_new = state.edges() -
-                            state.degreeInside(cand_out, cand_out) +
-                            state.degreeInside(cand_in, cand_out);
-                if (e_new == 0 && k > 1)
-                    continue; // Certainly disconnected.
-                if (!state.connectedAfterSwap(cand_out, cand_in))
-                    continue;
-                out = cand_out;
-                in = cand_in;
-                new_edges = e_new;
-                found = true;
-                break;
+            if (parallel_candidates) {
+                // Draw the whole retry budget up front (serial,
+                // deterministic), check the candidates' connectivity
+                // concurrently, and accept the first valid one in draw
+                // order. The accepted move only depends on the draws,
+                // so the chain is identical at any thread count >= 2;
+                // it can differ from the 1-thread chain, which stops
+                // drawing at the first success.
+                struct Candidate
+                {
+                    Node out;
+                    Node in;
+                    int edges = 0;
+                    bool ok = false;
+                };
+                std::vector<Candidate> cands(
+                    static_cast<std::size_t>(opts_.connectivityRetries));
+                for (Candidate &c : cands) {
+                    c.out = state.members()[rng.index(
+                        state.members().size())];
+                    c.in = outside[rng.index(outside.size())];
+                }
+                parallelFor(cands.size(), [&](std::size_t i) {
+                    Candidate &c = cands[i];
+                    c.edges = state.edges() -
+                              state.degreeInside(c.out, c.out) +
+                              state.degreeInside(c.in, c.out);
+                    if (c.edges == 0 && k > 1)
+                        return; // Certainly disconnected.
+                    c.ok = state.connectedAfterSwap(c.out, c.in);
+                });
+                for (const Candidate &c : cands) {
+                    if (c.ok) {
+                        out = c.out;
+                        in = c.in;
+                        new_edges = c.edges;
+                        found = true;
+                        break;
+                    }
+                }
+            } else {
+                for (int attempt = 0;
+                     attempt < opts_.connectivityRetries; ++attempt) {
+                    Node cand_out = state.members()[rng.index(
+                        state.members().size())];
+                    Node cand_in = outside[rng.index(outside.size())];
+                    int e_new = state.edges() -
+                                state.degreeInside(cand_out, cand_out) +
+                                state.degreeInside(cand_in, cand_out);
+                    if (e_new == 0 && k > 1)
+                        continue; // Certainly disconnected.
+                    if (!state.connectedAfterSwap(cand_out, cand_in))
+                        continue;
+                    out = cand_out;
+                    in = cand_in;
+                    new_edges = e_new;
+                    found = true;
+                    break;
+                }
             }
             if (!found) {
                 ++res.rejected;

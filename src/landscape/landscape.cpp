@@ -13,16 +13,20 @@ Landscape::evaluate(CutEvaluator &eval, int width)
     assert(width >= 2);
     Landscape ls;
     ls.width_ = width;
-    ls.values_.resize(static_cast<std::size_t>(width) * width);
+    // Materialize the grid in row-major order and hand it to the
+    // backend's batch path, which fans the cells out over the thread
+    // pool while preserving the serial evaluation order's results.
+    std::vector<QaoaParams> grid;
+    grid.reserve(static_cast<std::size_t>(width) * width);
     for (int bi = 0; bi < width; ++bi) {
         double beta = M_PI * bi / width;
         for (int gi = 0; gi < width; ++gi) {
             double gamma = 2.0 * M_PI * gi / width;
-            QaoaParams p({gamma}, {beta});
-            ls.values_[static_cast<std::size_t>(bi * width + gi)] =
-                eval.expectation(p);
+            grid.emplace_back(std::vector<double>{gamma},
+                              std::vector<double>{beta});
         }
     }
+    ls.values_ = eval.batchExpectation(grid);
     return ls;
 }
 
@@ -149,11 +153,7 @@ randomParameterSets(int p, int count, Rng &rng)
 std::vector<double>
 evaluateAt(CutEvaluator &eval, const std::vector<QaoaParams> &params)
 {
-    std::vector<double> out;
-    out.reserve(params.size());
-    for (const QaoaParams &p : params)
-        out.push_back(eval.expectation(p));
-    return out;
+    return eval.batchExpectation(params);
 }
 
 } // namespace redqaoa

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/thread_pool.hpp"
+
 namespace redqaoa {
 
 namespace {
@@ -78,6 +80,17 @@ AnalyticP1Evaluator::expectation(const QaoaParams &params) const
 {
     assert(params.layers() == 1);
     return expectation(params.gamma[0], params.beta[0]);
+}
+
+std::vector<double>
+AnalyticP1Evaluator::batchExpectation(
+    const std::vector<std::pair<double, double>> &points) const
+{
+    std::vector<double> out(points.size());
+    parallelFor(points.size(), [&](std::size_t i) {
+        out[i] = expectation(points[i].first, points[i].second);
+    });
+    return out;
 }
 
 } // namespace redqaoa

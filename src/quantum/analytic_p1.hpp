@@ -19,6 +19,9 @@
 #ifndef REDQAOA_QUANTUM_ANALYTIC_P1_HPP
 #define REDQAOA_QUANTUM_ANALYTIC_P1_HPP
 
+#include <utility>
+#include <vector>
+
 #include "graph/graph.hpp"
 #include "quantum/maxcut.hpp"
 
@@ -45,6 +48,16 @@ class AnalyticP1Evaluator
 
     /** QaoaParams convenience (requires params.layers() == 1). */
     double expectation(const QaoaParams &params) const;
+
+    /**
+     * <H_c> at every (gamma, beta) point, in order, fanned out over the
+     * global thread pool. The evaluation is a pure function of the
+     * precomputed edge table, so values are identical at any thread
+     * count. This is the §4.4 landscape-MSE hot path.
+     */
+    std::vector<double>
+    batchExpectation(const std::vector<std::pair<double, double>> &points)
+        const;
 
     int numQubits() const { return numNodes_; }
 

@@ -1,6 +1,22 @@
 #include "quantum/evaluator.hpp"
 
+#include "common/thread_pool.hpp"
+
 namespace redqaoa {
+
+std::vector<double>
+CutEvaluator::batchExpectation(std::span<const QaoaParams> params)
+{
+    std::vector<double> out(params.size());
+    if (concurrentSafe()) {
+        parallelFor(params.size(),
+                    [&](std::size_t i) { out[i] = expectation(params[i]); });
+    } else {
+        for (std::size_t i = 0; i < params.size(); ++i)
+            out[i] = expectation(params[i]);
+    }
+    return out;
+}
 
 std::unique_ptr<CutEvaluator>
 makeIdealEvaluator(const Graph &g, int p, int exact_qubit_limit)

@@ -9,7 +9,9 @@
 #define REDQAOA_QUANTUM_EVALUATOR_HPP
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "quantum/analytic_p1.hpp"
@@ -29,11 +31,31 @@ class CutEvaluator
     /** Expected cut value of the trial state at @p params. */
     virtual double expectation(const QaoaParams &params) = 0;
 
+    /**
+     * Expected cut value at every parameter point, in order. The default
+     * fans the points out over the global thread pool when the backend
+     * declares expectation() safe to call concurrently (see
+     * concurrentSafe) and falls back to a serial loop otherwise; with a
+     * 1-thread pool both paths are the same serial loop. Backends with
+     * internal mutable state (the noisy trajectory evaluator) override
+     * this with a deterministic parallel implementation.
+     */
+    virtual std::vector<double>
+    batchExpectation(std::span<const QaoaParams> params);
+
     /** Number of qubits the underlying circuit uses. */
     virtual int numQubits() const = 0;
 
     /** Short backend label for logs. */
     virtual std::string describe() const = 0;
+
+  protected:
+    /**
+     * True when expectation() may be called from several threads at
+     * once. Backends that only read their state during evaluation
+     * return true to unlock the parallel batch default.
+     */
+    virtual bool concurrentSafe() const { return false; }
 };
 
 /** Exact statevector backend (ideal execution). */
@@ -48,6 +70,9 @@ class ExactEvaluator : public CutEvaluator
     }
     int numQubits() const override { return sim_.numQubits(); }
     std::string describe() const override { return "statevector"; }
+
+  protected:
+    bool concurrentSafe() const override { return true; }
 
   private:
     QaoaSimulator sim_;
@@ -78,6 +103,18 @@ class NoisyEvaluator : public CutEvaluator
             return sim_.sampledExpectation(params, shots_);
         return sim_.expectation(params);
     }
+
+    /**
+     * Deterministic parallel batch: the simulator pre-splits one RNG
+     * stream per (point, trajectory) serially, then evaluates points
+     * concurrently. Results match the serial loop bit-for-bit.
+     */
+    std::vector<double>
+    batchExpectation(std::span<const QaoaParams> params) override
+    {
+        return sim_.batchExpectation(params, shots_);
+    }
+
     int numQubits() const override { return sim_.numQubits(); }
     std::string describe() const override { return name_; }
 
@@ -100,6 +137,9 @@ class AnalyticEvaluator : public CutEvaluator
     int numQubits() const override { return eval_.numQubits(); }
     std::string describe() const override { return "analytic-p1"; }
 
+  protected:
+    bool concurrentSafe() const override { return true; }
+
   private:
     AnalyticP1Evaluator eval_;
 };
@@ -118,6 +158,14 @@ class LightconeCutEvaluator : public CutEvaluator
     }
     int numQubits() const override { return eval_.numQubits(); }
     std::string describe() const override { return "lightcone"; }
+
+  protected:
+    /**
+     * Cone evaluation only reads the precomputed groups; concurrent
+     * batch calls compose with the evaluator's internal per-cone
+     * parallelism because nested parallel sections run inline.
+     */
+    bool concurrentSafe() const override { return true; }
 
   private:
     LightconeEvaluator eval_;

@@ -38,7 +38,12 @@ class LightconeEvaluator
      */
     LightconeEvaluator(const Graph &g, int p, int max_cone_qubits = 20);
 
-    /** <H_c> as a sum of per-edge cone simulations. */
+    /**
+     * <H_c> as a sum of per-edge cone simulations. With a multi-thread
+     * global pool the deduplicated cones are simulated in parallel and
+     * reduced in a fixed order (thread-count independent); with one
+     * thread the historical serial accumulation runs unchanged.
+     */
     double expectation(const QaoaParams &params);
 
     /** Largest cone size encountered (diagnostics). */
@@ -57,6 +62,9 @@ class LightconeEvaluator
         /** Local endpoints of each original edge evaluated here. */
         std::vector<std::pair<int, int>> localEdges;
     };
+
+    /** Summed edge terms of one cone group (read-only, thread-safe). */
+    double groupEnergy(const ConeGroup &grp, const QaoaParams &params) const;
 
     Graph graph_;
     int depth_;

@@ -138,7 +138,7 @@ QaoaSimulator::QaoaSimulator(const Graph &g) : graph_(g), cut_(cutTable(g))
 {}
 
 double
-QaoaSimulator::expectation(const QaoaParams &params)
+QaoaSimulator::expectation(const QaoaParams &params) const
 {
     Statevector psi = state(params);
     const auto &amps = psi.amplitudes();

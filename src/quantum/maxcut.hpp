@@ -77,7 +77,7 @@ class QaoaSimulator
     explicit QaoaSimulator(const Graph &g);
 
     /** <H_c> for the trial state |psi(gamma, beta)> (Eq. 3). */
-    double expectation(const QaoaParams &params);
+    double expectation(const QaoaParams &params) const;
 
     /** Prepare and return the trial state (for inspection / sampling). */
     Statevector state(const QaoaParams &params) const;

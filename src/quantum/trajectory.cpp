@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.hpp"
+
 namespace redqaoa {
 
 PauliChannel
@@ -133,7 +135,7 @@ TrajectorySimulator::durationFactor(double angle) const
 
 void
 TrajectorySimulator::applyPauliError(Statevector &psi, int q, Rng &rng,
-                                     double duration)
+                                     double duration) const
 {
     double u = rng.uniform();
     if (u < duration * oneQ_.px) {
@@ -148,7 +150,7 @@ TrajectorySimulator::applyPauliError(Statevector &psi, int q, Rng &rng,
 void
 TrajectorySimulator::applyTwoQubitError(Statevector &psi,
                                         std::size_t edge_index, Rng &rng,
-                                        double duration)
+                                        double duration) const
 {
     const Edge &edge = graph_.edges()[edge_index];
     int a = edge.u;
@@ -198,7 +200,7 @@ TrajectorySimulator::applyTwoQubitError(Statevector &psi,
 }
 
 Statevector
-TrajectorySimulator::runTrajectory(const QaoaParams &params, Rng &rng)
+TrajectorySimulator::runTrajectory(const QaoaParams &params, Rng &rng) const
 {
     const int n = graph_.numNodes();
     Statevector psi = Statevector::uniform(n);
@@ -246,59 +248,114 @@ TrajectorySimulator::runTrajectory(const QaoaParams &params, Rng &rng)
 }
 
 double
+TrajectorySimulator::trajectoryEnergy(const QaoaParams &params,
+                                      Rng &rng) const
+{
+    Statevector psi = runTrajectory(params, rng);
+    double e = 0.0;
+    for (const Edge &edge : graph_.edges()) {
+        // Asymmetric readout folded analytically: a qubit in state
+        // s flips with prob q0 (s = +1) or q1 (s = -1), giving
+        //   E[s^m] = a s + b,  a = 1 - q0 - q1,  b = q1 - q0.
+        auto ui = static_cast<std::size_t>(edge.u);
+        auto vi = static_cast<std::size_t>(edge.v);
+        double au = 1.0 - readoutFlip0_[ui] - readoutFlip1_[ui];
+        double bu = readoutFlip1_[ui] - readoutFlip0_[ui];
+        double av = 1.0 - readoutFlip0_[vi] - readoutFlip1_[vi];
+        double bv = readoutFlip1_[vi] - readoutFlip0_[vi];
+        double zz = au * av * psi.zzExpectation(edge.u, edge.v) +
+                    au * bv * psi.zExpectation(edge.u) +
+                    bu * av * psi.zExpectation(edge.v) + bu * bv;
+        e += 0.5 * (1.0 - zz);
+    }
+    return e;
+}
+
+double
+TrajectorySimulator::sampledTrajectoryTotal(const QaoaParams &params,
+                                            Rng &rng, int shots) const
+{
+    Statevector psi = runTrajectory(params, rng);
+    auto outcomes = psi.sample(shots, rng);
+    double total = 0.0;
+    for (std::uint64_t z : outcomes) {
+        // State-dependent readout flips (|1> misreads more often).
+        std::uint64_t flipped = z;
+        for (int q = 0; q < graph_.numNodes(); ++q) {
+            bool is_one = (z >> q) & 1u;
+            double flip_p =
+                is_one ? readoutFlip1_[static_cast<std::size_t>(q)]
+                       : readoutFlip0_[static_cast<std::size_t>(q)];
+            if (rng.bernoulli(flip_p))
+                flipped ^= (static_cast<std::uint64_t>(1) << q);
+        }
+        total += cutValue(graph_, flipped);
+    }
+    return total;
+}
+
+double
+TrajectorySimulator::expectationWithStreams(const QaoaParams &params,
+                                            std::span<Rng> streams,
+                                            int shots) const
+{
+    // One output slot per trajectory plus an in-order reduction keeps
+    // the sum identical at every thread count. Cut-value totals are
+    // integer-valued doubles, so even regrouping them would be exact.
+    std::vector<double> per_traj(streams.size());
+    if (shots == 0) {
+        parallelFor(streams.size(), [&](std::size_t t) {
+            per_traj[t] = trajectoryEnergy(params, streams[t]);
+        });
+        double total = 0.0;
+        for (double e : per_traj)
+            total += e;
+        return total / static_cast<double>(trajectories_);
+    }
+    int shots_per_traj = std::max(1, shots / trajectories_);
+    parallelFor(streams.size(), [&](std::size_t t) {
+        per_traj[t] = sampledTrajectoryTotal(params, streams[t],
+                                             shots_per_traj);
+    });
+    double total = 0.0;
+    for (double s : per_traj)
+        total += s;
+    auto count = static_cast<double>(shots_per_traj) *
+                 static_cast<double>(trajectories_);
+    return total / count;
+}
+
+double
 TrajectorySimulator::expectation(const QaoaParams &params)
 {
-    double total = 0.0;
-    for (int t = 0; t < trajectories_; ++t) {
-        Rng traj_rng = rng_.split();
-        Statevector psi = runTrajectory(params, traj_rng);
-        double e = 0.0;
-        for (const Edge &edge : graph_.edges()) {
-            // Asymmetric readout folded analytically: a qubit in state
-            // s flips with prob q0 (s = +1) or q1 (s = -1), giving
-            //   E[s^m] = a s + b,  a = 1 - q0 - q1,  b = q1 - q0.
-            auto ui = static_cast<std::size_t>(edge.u);
-            auto vi = static_cast<std::size_t>(edge.v);
-            double au = 1.0 - readoutFlip0_[ui] - readoutFlip1_[ui];
-            double bu = readoutFlip1_[ui] - readoutFlip0_[ui];
-            double av = 1.0 - readoutFlip0_[vi] - readoutFlip1_[vi];
-            double bv = readoutFlip1_[vi] - readoutFlip0_[vi];
-            double zz = au * av * psi.zzExpectation(edge.u, edge.v) +
-                        au * bv * psi.zExpectation(edge.u) +
-                        bu * av * psi.zExpectation(edge.v) + bu * bv;
-            e += 0.5 * (1.0 - zz);
-        }
-        total += e;
-    }
-    return total / static_cast<double>(trajectories_);
+    auto streams = rng_.splitN(static_cast<std::size_t>(trajectories_));
+    return expectationWithStreams(params, streams, 0);
 }
 
 double
 TrajectorySimulator::sampledExpectation(const QaoaParams &params, int shots)
 {
-    int per_traj = std::max(1, shots / trajectories_);
-    double total = 0.0;
-    long long count = 0;
-    for (int t = 0; t < trajectories_; ++t) {
-        Rng traj_rng = rng_.split();
-        Statevector psi = runTrajectory(params, traj_rng);
-        auto outcomes = psi.sample(per_traj, traj_rng);
-        for (std::uint64_t z : outcomes) {
-            // State-dependent readout flips (|1> misreads more often).
-            std::uint64_t flipped = z;
-            for (int q = 0; q < graph_.numNodes(); ++q) {
-                bool is_one = (z >> q) & 1u;
-                double flip_p =
-                    is_one ? readoutFlip1_[static_cast<std::size_t>(q)]
-                           : readoutFlip0_[static_cast<std::size_t>(q)];
-                if (traj_rng.bernoulli(flip_p))
-                    flipped ^= (static_cast<std::uint64_t>(1) << q);
-            }
-            total += cutValue(graph_, flipped);
-            ++count;
-        }
-    }
-    return total / static_cast<double>(count);
+    auto streams = rng_.splitN(static_cast<std::size_t>(trajectories_));
+    return expectationWithStreams(params, streams, shots);
+}
+
+std::vector<double>
+TrajectorySimulator::batchExpectation(std::span<const QaoaParams> params,
+                                      int shots)
+{
+    // Serial seeding, parallel evaluation: point i consumes exactly the
+    // RNG draws a serial loop of expectation() calls would have handed
+    // it, so batch results are bit-identical to the serial path and
+    // independent of the thread count.
+    const auto traj = static_cast<std::size_t>(trajectories_);
+    std::vector<Rng> streams = rng_.splitN(params.size() * traj);
+    std::vector<double> out(params.size());
+    parallelFor(params.size(), [&](std::size_t i) {
+        out[i] = expectationWithStreams(
+            params[i], std::span<Rng>(streams).subspan(i * traj, traj),
+            shots);
+    });
+    return out;
 }
 
 } // namespace redqaoa

@@ -18,6 +18,8 @@
 #ifndef REDQAOA_QUANTUM_TRAJECTORY_HPP
 #define REDQAOA_QUANTUM_TRAJECTORY_HPP
 
+#include <span>
+
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
 #include "quantum/maxcut.hpp"
@@ -53,20 +55,48 @@ class TrajectorySimulator
     TrajectorySimulator(const Graph &g, const NoiseModel &nm,
                         int trajectories = 48, std::uint64_t seed = 99);
 
-    /** Mean <H_c> over trajectories with analytic readout folding. */
+    /**
+     * Mean <H_c> over trajectories with analytic readout folding.
+     * Trajectory RNG streams are pre-split serially and the trajectories
+     * then run on the global thread pool, so the value is identical at
+     * any thread count (and to the historical serial implementation).
+     */
     double expectation(const QaoaParams &params);
 
     /**
      * Shot-sampled estimate: per trajectory, draws measurement outcomes
      * (with readout flips) and averages cut values. @p shots total.
+     * Parallel over trajectories with the same determinism guarantee as
+     * expectation().
      */
     double sampledExpectation(const QaoaParams &params, int shots);
+
+    /**
+     * Expectation at every point of @p params (shots > 0 selects the
+     * sampled estimator). All (point, trajectory) RNG streams are split
+     * serially up front, then the points fan out over the thread pool;
+     * the result matches a serial loop of expectation() /
+     * sampledExpectation() calls bit-for-bit, at any thread count.
+     */
+    std::vector<double> batchExpectation(std::span<const QaoaParams> params,
+                                         int shots = 0);
 
     int numQubits() const { return graph_.numNodes(); }
 
   private:
     /** One noisy trajectory; returns the final statevector. */
-    Statevector runTrajectory(const QaoaParams &params, Rng &rng);
+    Statevector runTrajectory(const QaoaParams &params, Rng &rng) const;
+
+    /** Trajectory energy with analytic readout folding. */
+    double trajectoryEnergy(const QaoaParams &params, Rng &rng) const;
+
+    /** Trajectory cut-value total over @p shots sampled outcomes. */
+    double sampledTrajectoryTotal(const QaoaParams &params, Rng &rng,
+                                  int shots) const;
+
+    /** Mean over pre-split per-trajectory streams (parallel fan-out). */
+    double expectationWithStreams(const QaoaParams &params,
+                                  std::span<Rng> streams, int shots) const;
 
     /**
      * @param duration pulse-duration factor in (0, 1]; error
@@ -74,9 +104,9 @@ class TrajectorySimulator
      *        duration-scaled noise (1.0 otherwise).
      */
     void applyPauliError(Statevector &psi, int q, Rng &rng,
-                         double duration);
+                         double duration) const;
     void applyTwoQubitError(Statevector &psi, std::size_t edge_index,
-                            Rng &rng, double duration);
+                            Rng &rng, double duration) const;
 
     /** Angle-to-duration factor (see NoiseModel::durationScaledNoise). */
     double durationFactor(double angle) const;
