@@ -13,14 +13,13 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(ablation_cooling, "Ablation",
+                        "constant vs adaptive cooling")
 {
-    bench::banner("Ablation", "constant vs adaptive cooling");
-    const int kGraphs = 12;
+    const int kGraphs = ctx.scale(4, 12);
 
-    std::printf("%-12s %-14s %-12s %-12s %-12s\n", "schedule",
-                "AND gap", "steps", "accepted", "rejected");
+    ctx.out("%-12s %-14s %-12s %-12s %-12s\n", "schedule",
+            "AND gap", "steps", "accepted", "rejected");
     for (bool adaptive : {false, true}) {
         SaOptions opts;
         opts.adaptive = adaptive;
@@ -36,14 +35,23 @@ main()
             accepted += res.accepted;
             rejected += res.rejected;
         }
-        std::printf("%-12s %-14.4f %-12.1f %-12.1f %-12.1f\n",
-                    adaptive ? "adaptive" : "constant", gap / kGraphs,
-                    static_cast<double>(steps) / kGraphs,
-                    static_cast<double>(accepted) / kGraphs,
-                    static_cast<double>(rejected) / kGraphs);
+        ctx.out("%-12s %-14.4f %-12.1f %-12.1f %-12.1f\n",
+                adaptive ? "adaptive" : "constant", gap / kGraphs,
+                static_cast<double>(steps) / kGraphs,
+                static_cast<double>(accepted) / kGraphs,
+                static_cast<double>(rejected) / kGraphs);
+        ctx.sink.labelPoint("schedule",
+                            adaptive ? "adaptive" : "constant");
+        ctx.sink.seriesPoint("and_gap", gap / kGraphs);
+        ctx.sink.seriesPoint("steps",
+                             static_cast<double>(steps) / kGraphs);
+        ctx.sink.seriesPoint("accepted",
+                             static_cast<double>(accepted) / kGraphs);
+        ctx.sink.seriesPoint("rejected",
+                             static_cast<double>(rejected) / kGraphs);
     }
-    std::printf("\npaper §4.5: adaptive cooling reaches comparable or"
-                " better objective at lower computational overhead"
-                " (fewer temperature steps).\n");
-    return 0;
+    ctx.out("\n");
+    ctx.note("paper §4.5: adaptive cooling reaches comparable or"
+             " better objective at lower computational overhead (fewer"
+             " temperature steps).");
 }

@@ -13,14 +13,13 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(ablation_threshold, "Ablation",
+                        "AND-ratio threshold sweep (paper default 0.7)")
 {
-    bench::banner("Ablation", "AND-ratio threshold sweep (paper default 0.7)");
-    const int kGraphs = 10;
-    const int kPoints = 128;
-    std::printf("%-10s %-14s %-14s %-12s\n", "threshold", "node red.",
-                "edge red.", "p=1 MSE");
+    const int kGraphs = ctx.scale(3, 10);
+    const int kPoints = ctx.scale(48, 128);
+    ctx.out("%-10s %-14s %-14s %-12s\n", "threshold", "node red.",
+            "edge red.", "p=1 MSE");
 
     for (double threshold : {0.5, 0.6, 0.7, 0.8, 0.9}) {
         RedQaoaOptions opts;
@@ -39,12 +38,18 @@ main()
             mse += bench::idealMseAtDepth(g, red.reduced.graph, 1,
                                           kPoints, 5);
         }
-        std::printf("%-10.1f %12.1f%% %12.1f%% %-12.4f\n", threshold,
-                    100.0 * nodes / kGraphs, 100.0 * edges / kGraphs,
-                    mse / kGraphs);
+        ctx.out("%-10.1f %12.1f%% %12.1f%% %-12.4f\n", threshold,
+                100.0 * nodes / kGraphs, 100.0 * edges / kGraphs,
+                mse / kGraphs);
+        ctx.sink.seriesPoint("threshold", threshold);
+        ctx.sink.seriesPoint("node_reduction_pct",
+                             100.0 * nodes / kGraphs);
+        ctx.sink.seriesPoint("edge_reduction_pct",
+                             100.0 * edges / kGraphs);
+        ctx.sink.seriesPoint("mse_p1", mse / kGraphs);
     }
-    std::printf("\nthe dynamic MSE check is disabled here to isolate the"
-                " threshold; with it on (the default), MSE is clamped"
-                " below 0.02 regardless.\n");
-    return 0;
+    ctx.out("\n");
+    ctx.note("the dynamic MSE check is disabled here to isolate the"
+             " threshold; with it on (the default), MSE is clamped"
+             " below 0.02 regardless.");
 }

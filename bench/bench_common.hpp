@@ -1,46 +1,32 @@
 /**
  * @file
- * Shared helpers for the per-figure benchmark binaries. Every bench is
- * a standalone executable that prints the series its paper figure
- * plots; these helpers keep the protocol (grids, random parameter sets,
- * noisy-MSE computation) identical across figures.
+ * Shared helpers for the per-figure benchmark implementations. Every
+ * figure is registered with the harness (bench/harness/figure.hpp) and
+ * runs through the unified redqaoa_bench runner; these helpers keep the
+ * protocol (grids, random parameter sets, noisy-MSE computation)
+ * identical across figures.
  *
- * Scale note: bench defaults are sized so the whole harness finishes in
- * minutes on a laptop CPU; each binary prints its parameters so runs
- * are self-describing. Paper-scale settings are commented next to each
- * constant.
+ * Scale note: full-scale defaults are sized so the whole suite finishes
+ * in minutes on a laptop CPU; --quick shrinks every figure to a
+ * CI-smoke workload (FigureContext::scale picks between the two).
+ * Paper-scale settings are commented next to each constant.
  */
 
 #ifndef REDQAOA_BENCH_BENCH_COMMON_HPP
 #define REDQAOA_BENCH_BENCH_COMMON_HPP
 
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench/harness/figure.hpp"
 #include "common/thread_pool.hpp"
 #include "landscape/landscape.hpp"
 #include "quantum/evaluator.hpp"
 
 namespace redqaoa {
 namespace bench {
-
-/**
- * Print the standard bench banner, including the worker-thread count so
- * runs are self-describing (landscape grids, trajectory averages, and
- * light-cone sums all fan out over the pool; see REDQAOA_THREADS).
- */
-inline void
-banner(const char *figure, const char *what)
-{
-    std::printf("==============================================================\n");
-    std::printf("%s — %s\n", figure, what);
-    std::printf("threads=%d (REDQAOA_THREADS overrides)\n",
-                ThreadPool::globalThreadCount());
-    std::printf("==============================================================\n");
-}
 
 /**
  * Row-major width x width grid of p=1 energies via the closed-form
@@ -95,30 +81,37 @@ idealMseAtDepth(const Graph &a, const Graph &b, int p, int points,
     return landscapeMse(va, vb);
 }
 
-/** Render one landscape row-summary (optimum + MSE) for print output. */
+/**
+ * Render one landscape row-summary (optimum + MSE) into the figure's
+ * text output, and record the MSE as a metric under @p metric_name
+ * when non-empty.
+ */
 inline void
-printLandscapeLine(const char *label, const Landscape &ls, double mse)
+landscapeLine(FigureContext &ctx, const char *label, const Landscape &ls,
+              double mse, const char *metric_name = nullptr)
 {
     LandscapePoint opt = ls.optimum();
-    std::printf("  %-22s MSE=%.4f  optimum at gamma=%.3f beta=%.3f\n",
-                label, mse, opt.gamma, opt.beta);
+    ctx.out("  %-22s MSE=%.4f  optimum at gamma=%.3f beta=%.3f\n",
+            label, mse, opt.gamma, opt.beta);
+    if (metric_name)
+        ctx.sink.metric(metric_name, mse);
 }
 
-/** Coarse ASCII rendering of a normalized landscape (for Figs 11/12/22). */
+/** Coarse ASCII rendering of a normalized landscape (Figs 11/12/22). */
 inline void
-printAsciiLandscape(const char *label, const Landscape &ls)
+asciiLandscape(FigureContext &ctx, const char *label, const Landscape &ls)
 {
     static const char *kShades = " .:-=+*#%@";
     auto norm = ls.normalized();
-    std::printf("  %s (gamma ->, beta v)\n", label);
+    ctx.out("  %s (gamma ->, beta v)\n", label);
     for (int bi = 0; bi < ls.width(); ++bi) {
-        std::printf("    ");
+        std::string row = "    ";
         for (int gi = 0; gi < ls.width(); ++gi) {
             double v = norm[static_cast<std::size_t>(bi * ls.width() + gi)];
             int shade = static_cast<int>(v * 9.999);
-            std::putchar(kShades[shade]);
+            row += kShades[shade];
         }
-        std::putchar('\n');
+        ctx.out("%s\n", row.c_str());
     }
 }
 

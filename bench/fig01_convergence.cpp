@@ -63,12 +63,10 @@ convergence(const Graph &g, const NoiseModel &nm, int iterations,
 
 } // namespace
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig01, "Figure 1",
+                        "convergence: ideal vs noisy, 6-node vs 10-node")
 {
-    bench::banner("Figure 1",
-                  "convergence: ideal vs noisy, 6-node vs 10-node");
-    const int kIterations = 100;
+    const int kIterations = ctx.scale(30, 100);
     Rng rng(301);
     Graph g6 = gen::connectedGnp(6, 0.5, rng);
     Graph g10 = gen::connectedGnp(10, 0.4, rng);
@@ -78,18 +76,26 @@ main()
     auto ideal10 = convergence(g10, noise::ideal(), kIterations, 13);
     auto noisy10 = convergence(g10, noise::ibmToronto(), kIterations, 13);
 
-    std::printf("%-6s %-12s %-12s %-12s %-12s\n", "iter", "6n-ideal",
-                "6n-noisy", "10n-ideal", "10n-noisy");
+    ctx.out("%-6s %-12s %-12s %-12s %-12s\n", "iter", "6n-ideal",
+            "6n-noisy", "10n-ideal", "10n-noisy");
     for (std::size_t i = 9; i < ideal6.size(); i += 10)
-        std::printf("%-6zu %-12.3f %-12.3f %-12.3f %-12.3f\n", i + 1,
-                    ideal6[i], noisy6[i], ideal10[i], noisy10[i]);
+        ctx.out("%-6zu %-12.3f %-12.3f %-12.3f %-12.3f\n", i + 1,
+                ideal6[i], noisy6[i], ideal10[i], noisy10[i]);
 
-    std::printf("\nfinal approximation ratios:\n");
-    std::printf("  6-node : ideal %.3f | noisy %.3f\n", ideal6.back(),
-                noisy6.back());
-    std::printf("  10-node: ideal %.3f | noisy %.3f\n", ideal10.back(),
-                noisy10.back());
-    std::printf("paper shape: ideal >90%%; noisy 6-node ~80%%, noisy"
-                " 10-node stagnates near 60%%.\n");
-    return 0;
+    ctx.out("\nfinal approximation ratios:\n");
+    ctx.out("  6-node : ideal %.3f | noisy %.3f\n", ideal6.back(),
+            noisy6.back());
+    ctx.out("  10-node: ideal %.3f | noisy %.3f\n", ideal10.back(),
+            noisy10.back());
+
+    ctx.sink.series("ratio_6n_ideal", ideal6);
+    ctx.sink.series("ratio_6n_noisy", noisy6);
+    ctx.sink.series("ratio_10n_ideal", ideal10);
+    ctx.sink.series("ratio_10n_noisy", noisy10);
+    ctx.sink.metric("final_ratio_6n_ideal", ideal6.back());
+    ctx.sink.metric("final_ratio_6n_noisy", noisy6.back());
+    ctx.sink.metric("final_ratio_10n_ideal", ideal10.back());
+    ctx.sink.metric("final_ratio_10n_noisy", noisy10.back());
+    ctx.note("paper shape: ideal >90%; noisy 6-node ~80%; noisy"
+             " 10-node stagnates near 60%.");
 }

@@ -2,7 +2,7 @@
  * @file
  * Figure 2: ideal vs noisy energy landscape for a 13-node graph on
  * ibmq_kolkata (here: the Kolkata noise preset on the trajectory
- * simulator — DESIGN.md §4 substitution 1). Prints the noisy-vs-ideal
+ * simulator — DESIGN.md §4 substitution 1). Emits the noisy-vs-ideal
  * MSE and both landscapes in ASCII to show the distortion.
  */
 
@@ -11,32 +11,34 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig02, "Figure 2",
+                        "ideal vs noisy landscape, 13-node graph, Kolkata")
 {
-    bench::banner("Figure 2",
-                  "ideal vs noisy landscape, 13-node graph, Kolkata");
-    const int kWidth = 16; // Paper plots a denser grid; shape identical.
+    const int kWidth = ctx.scale(8, 16); // Paper plots a denser grid.
+    const int kTraj = ctx.scale(4, 8);
     Rng rng(302);
     Graph g = gen::connectedGnp(13, 0.3, rng);
-    std::printf("graph: %s | grid %dx%d\n\n", g.summary().c_str(), kWidth,
-                kWidth);
+    ctx.out("graph: %s | grid %dx%d\n\n", g.summary().c_str(), kWidth,
+            kWidth);
 
     ExactEvaluator ideal(g);
     Landscape ideal_ls = Landscape::evaluate(ideal, kWidth);
     NoiseModel device = noise::transpiled(noise::ibmKolkata(), g.numNodes());
-    NoisyEvaluator noisy(g, device, 8, 99, 2048);
+    NoisyEvaluator noisy(g, device, kTraj, 99, 2048);
     Landscape noisy_ls = Landscape::evaluate(noisy, kWidth);
 
     double mse = landscapeMse(ideal_ls.values(), noisy_ls.values());
-    bench::printLandscapeLine("ideal", ideal_ls, 0.0);
-    bench::printLandscapeLine("noisy (kolkata)", noisy_ls, mse);
-    std::printf("\n");
-    bench::printAsciiLandscape("ideal landscape", ideal_ls);
-    std::printf("\n");
-    bench::printAsciiLandscape("noisy landscape", noisy_ls);
-    std::printf("\nnoise-induced distortion (MSE vs ideal): %.4f\n", mse);
-    std::printf("paper shape: visibly distorted landscape on the device;"
-                " optima displaced.\n");
-    return 0;
+    bench::landscapeLine(ctx, "ideal", ideal_ls, 0.0);
+    bench::landscapeLine(ctx, "noisy (kolkata)", noisy_ls, mse,
+                         "mse_noisy_vs_ideal");
+    ctx.out("\n");
+    bench::asciiLandscape(ctx, "ideal landscape", ideal_ls);
+    ctx.out("\n");
+    bench::asciiLandscape(ctx, "noisy landscape", noisy_ls);
+    ctx.out("\nnoise-induced distortion (MSE vs ideal): %.4f\n", mse);
+    ctx.sink.series("ideal_landscape", ideal_ls.values());
+    ctx.sink.series("noisy_landscape", noisy_ls.values());
+    ctx.sink.metric("grid_width", kWidth);
+    ctx.note("paper shape: visibly distorted landscape on the device;"
+             " optima displaced.");
 }

@@ -10,11 +10,10 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig03, "Figure 3",
+                        "cycle-graph landscape concentration")
 {
-    bench::banner("Figure 3", "cycle-graph landscape concentration");
-    const int kWidth = 32; // Paper grid.
+    const int kWidth = ctx.scale(16, 32); // Paper grid: 32.
     Graph c7 = gen::cycle(7);
     Graph c10 = gen::cycle(10);
 
@@ -23,22 +22,25 @@ main()
     Landscape l10 = Landscape::evaluate(e10, kWidth);
     double mse = landscapeMse(l7, l10);
 
-    bench::printLandscapeLine("7-node cycle", l7, 0.0);
-    bench::printLandscapeLine("10-node cycle", l10, mse);
-    std::printf("\nMSE between normalized landscapes: %.2e\n", mse);
-    std::printf("paper: 1.6e-05 (nearly identical landscapes).\n");
+    bench::landscapeLine(ctx, "7-node cycle", l7, 0.0);
+    bench::landscapeLine(ctx, "10-node cycle", l10, mse,
+                         "mse_c7_vs_c10");
+    ctx.out("\nMSE between normalized landscapes: %.2e\n", mse);
+    ctx.note("paper: 1.6e-05 (nearly identical landscapes).");
 
     // Bonus series: MSE of C_n vs C_16 for growing n — landscape
     // concentration across the whole family.
-    std::printf("\ncycle family vs C_16:\n%-6s %-12s\n", "n", "MSE");
+    ctx.out("\ncycle family vs C_16:\n%-6s %-12s\n", "n", "MSE");
     ExactEvaluator e16(gen::cycle(16));
     Landscape l16 = Landscape::evaluate(e16, kWidth);
     for (int n : {4, 5, 6, 8, 12, 14}) {
         ExactEvaluator en(gen::cycle(n));
         Landscape ln = Landscape::evaluate(en, kWidth);
-        std::printf("%-6d %-12.2e\n", n, landscapeMse(ln, l16));
+        double family_mse = landscapeMse(ln, l16);
+        ctx.out("%-6d %-12.2e\n", n, family_mse);
+        ctx.sink.seriesPoint("cycle_n", n);
+        ctx.sink.seriesPoint("mse_vs_c16", family_mse);
     }
-    std::printf("(odd/even parity and tiny cycles differ; large cycles"
-                " converge.)\n");
-    return 0;
+    ctx.note("(odd/even parity and tiny cycles differ; large cycles"
+             " converge.)");
 }

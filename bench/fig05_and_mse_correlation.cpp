@@ -22,17 +22,14 @@
 
 using namespace redqaoa;
 
-namespace {
-
-} // namespace
-
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig05, "Figure 5",
+                        "MSE vs AND-ratio over unique subgraphs")
 {
-    bench::banner("Figure 5", "MSE vs AND-ratio over unique subgraphs");
-    const int kGraphs = 15;           // Paper: 15 random graphs.
-    const int kWidth = 30;            // Paper: grid width 30.
-    const std::size_t kSubgraphCap = 220; // Per (graph, size) workload cap.
+    const int kGraphs = ctx.scale(4, 15); // Paper: 15 random graphs.
+    const int kWidth = ctx.scale(16, 30); // Paper: grid width 30.
+    // Per (graph, size) workload cap.
+    const std::size_t kSubgraphCap =
+        static_cast<std::size_t>(ctx.scale(60, 220));
 
     Rng rng(305);
     std::vector<double> and_ratios, mses;
@@ -62,10 +59,11 @@ main()
         }
     }
 
-    // Bucket the scatter for printing.
-    std::printf("samples: %zu unique subgraphs\n\n", mses.size());
-    std::printf("%-18s %-10s %-10s\n", "AND-ratio bucket", "mean MSE",
-                "count");
+    // Bucket the scatter for reporting.
+    ctx.out("samples: %zu unique subgraphs\n\n", mses.size());
+    ctx.sink.metric("samples", mses.size());
+    ctx.out("%-18s %-10s %-10s\n", "AND-ratio bucket", "mean MSE",
+            "count");
     for (double lo = 0.2; lo < 1.0; lo += 0.1) {
         double hi = lo + 0.1;
         double sum = 0.0;
@@ -76,19 +74,25 @@ main()
                 ++count;
             }
         }
-        if (count > 0)
-            std::printf("[%.1f, %.1f)        %-10.4f %-10d\n", lo, hi,
-                        sum / count, count);
+        if (count > 0) {
+            ctx.out("[%.1f, %.1f)        %-10.4f %-10d\n", lo, hi,
+                    sum / count, count);
+            ctx.sink.seriesPoint("bucket_lo", lo);
+            ctx.sink.seriesPoint("bucket_mean_mse", sum / count);
+            ctx.sink.seriesPoint("bucket_count", count);
+        }
     }
 
     Polynomial fit = polyfit(and_ratios, mses, 6);
-    std::printf("\n6th-degree fit R^2 = %.3f\n",
-                rSquared(fit, and_ratios, mses));
-    std::printf("Pearson r (AND ratio vs MSE) = %.3f\n",
-                stats::pearson(and_ratios, mses));
-    std::printf("fit at ratio 0.7 -> MSE %.4f (paper: 0.7 is the 2%%"
-                " threshold)\n", fit(0.7));
-    std::printf("paper shape: strong negative correlation — MSE falls"
-                " toward 0 as the AND ratio approaches 1.\n");
-    return 0;
+    double r2 = rSquared(fit, and_ratios, mses);
+    double pearson = stats::pearson(and_ratios, mses);
+    ctx.out("\n6th-degree fit R^2 = %.3f\n", r2);
+    ctx.out("Pearson r (AND ratio vs MSE) = %.3f\n", pearson);
+    ctx.out("fit at ratio 0.7 -> MSE %.4f (paper: 0.7 is the 2%%"
+            " threshold)\n", fit(0.7));
+    ctx.sink.metric("fit_r_squared", r2);
+    ctx.sink.metric("pearson_r", pearson);
+    ctx.sink.metric("fit_mse_at_ratio_0_7", fit(0.7));
+    ctx.note("paper shape: strong negative correlation — MSE falls"
+             " toward 0 as the AND ratio approaches 1.");
 }

@@ -11,11 +11,10 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig06, "Figure 6",
+                        "MSE vs optimal-point placement")
 {
-    bench::banner("Figure 6", "MSE vs optimal-point placement");
-    const int kWidth = 24;
+    const int kWidth = ctx.scale(12, 24);
     Rng rng(306);
 
     // Reference graph plus five comparison graphs of varied density.
@@ -30,19 +29,23 @@ main()
     ExactEvaluator ref_eval(ref);
     Landscape ref_ls = Landscape::evaluate(ref_eval, kWidth);
 
-    std::printf("reference: %s\n\n", ref.summary().c_str());
-    std::printf("%-22s %-10s %-14s %-10s\n", "graph", "MSE",
-                "optima drift", "usable?");
+    ctx.out("reference: %s\n\n", ref.summary().c_str());
+    ctx.out("%-22s %-10s %-14s %-10s\n", "graph", "MSE",
+            "optima drift", "usable?");
     for (const Graph &g : others) {
         ExactEvaluator eval(g);
         Landscape ls = Landscape::evaluate(eval, kWidth);
         double mse = landscapeMse(ref_ls, ls);
         double drift = optimaDistance(ref_ls, ls, 0.02);
-        std::printf("%-22s %-10.4f %-14.3f %s\n", g.summary().c_str(),
-                    mse, drift, mse <= 0.02 ? "yes (<=2%)" : "no");
+        ctx.out("%-22s %-10.4f %-14.3f %s\n", g.summary().c_str(),
+                mse, drift, mse <= 0.02 ? "yes (<=2%)" : "no");
+        ctx.sink.labelPoint("graph", g.summary());
+        ctx.sink.seriesPoint("mse", mse);
+        ctx.sink.seriesPoint("optima_drift", drift);
+        ctx.sink.seriesPoint("usable", mse <= 0.02 ? 1.0 : 0.0);
     }
-    std::printf("\npaper shape: MSE <= 0.02 keeps the optimal points"
-                " aligned with the reference; larger MSE displaces"
-                " them.\n");
-    return 0;
+    ctx.out("\n");
+    ctx.note("paper shape: MSE <= 0.02 keeps the optimal points"
+             " aligned with the reference; larger MSE displaces"
+             " them.");
 }

@@ -57,16 +57,15 @@ optimaIndices(const std::vector<double> &vals, double tol)
 
 } // namespace
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig07, "Figure 7",
+                        "MSE vs distance between optima (p=2)")
 {
-    bench::banner("Figure 7", "MSE vs distance between optima (p=2)");
-    const int kPoints = 512; // Paper: 2048.
-    const int kSubgraphs = 24;
+    const int kPoints = ctx.scale(128, 512); // Paper: 2048.
+    const int kSubgraphs = ctx.scale(8, 24);
     Rng rng(307);
     Graph g = gen::connectedGnp(10, 0.4, rng);
-    std::printf("base graph: %s | %d shared p=2 parameter sets\n\n",
-                g.summary().c_str(), kPoints);
+    ctx.out("base graph: %s | %d shared p=2 parameter sets\n\n",
+            g.summary().c_str(), kPoints);
 
     auto sets = randomParameterSets(2, kPoints, rng);
     ExactEvaluator base_eval(g);
@@ -94,13 +93,17 @@ main()
         dists.push_back(dist);
     }
 
-    std::printf("%-10s %-10s\n", "MSE", "opt dist");
+    ctx.out("%-10s %-10s\n", "MSE", "opt dist");
     for (std::size_t i = 0; i < mses.size(); ++i)
-        std::printf("%-10.4f %-10.3f\n", mses[i], dists[i]);
+        ctx.out("%-10.4f %-10.3f\n", mses[i], dists[i]);
+    ctx.sink.series("mse", mses);
+    ctx.sink.series("optima_distance", dists);
 
-    std::printf("\nPearson r = %.3f over %zu subgraphs\n",
-                stats::pearson(mses, dists), mses.size());
-    std::printf("paper shape: strong positive correlation — MSE is a"
-                " faithful proxy for optima displacement.\n");
-    return 0;
+    double pearson = stats::pearson(mses, dists);
+    ctx.out("\nPearson r = %.3f over %zu subgraphs\n", pearson,
+            mses.size());
+    ctx.sink.metric("pearson_r", pearson);
+    ctx.sink.metric("subgraphs", mses.size());
+    ctx.note("paper shape: strong positive correlation — MSE is a"
+             " faithful proxy for optima displacement.");
 }

@@ -18,19 +18,22 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig08, "Figure 8",
+                        "pooling vs simulated annealing across"
+                        " reduction ratios")
 {
-    bench::banner("Figure 8",
-                  "pooling vs simulated annealing across reduction ratios");
-    const int kPoints = 96; // Paper uses denser sampling; shape holds.
-    const int kDepth = 3;   // Paper: p = 3.
+    const int kPoints = ctx.scale(24, 96); // Paper: denser sampling.
+    const int kDepth = 3;                  // Paper: p = 3.
 
     // Random-dataset graphs small enough for exact p=3 landscapes.
     Dataset random = datasets::makeRandom();
     std::vector<Graph> graphs = random.filterByNodes(7, 12);
-    std::printf("graphs: %zu (7-12 nodes) | p=%d | %d parameter sets\n\n",
-                graphs.size(), kDepth, kPoints);
+    const std::size_t kMaxGraphs =
+        static_cast<std::size_t>(ctx.scale(3, 1000));
+    if (graphs.size() > kMaxGraphs)
+        graphs.resize(kMaxGraphs);
+    ctx.out("graphs: %zu (7-12 nodes) | p=%d | %d parameter sets\n\n",
+            graphs.size(), kDepth, kPoints);
 
     auto poolers = pooling::allPoolers();
     SaOptions sa_const;
@@ -38,8 +41,10 @@ main()
     SaOptions sa_adapt;
     sa_adapt.adaptive = true;
 
-    std::printf("%-8s %-10s %-10s %-10s %-10s %-10s\n", "ratio", "ASA",
-                "SAG", "Top_K", "SA", "SA_Adap");
+    static const char *kMethods[5] = {"ASA", "SAG", "Top_K", "SA",
+                                      "SA_Adap"};
+    ctx.out("%-8s %-10s %-10s %-10s %-10s %-10s\n", "ratio", "ASA",
+            "SAG", "Top_K", "SA", "SA_Adap");
     for (double ratio : {0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}) {
         // ratio = fraction of nodes REMOVED (the paper's x-axis).
         double sums[5] = {0, 0, 0, 0, 0};
@@ -64,13 +69,16 @@ main()
             sums[3] += bench::idealMseAtDepth(g, s1, kDepth, kPoints, 31);
             sums[4] += bench::idealMseAtDepth(g, s2, kDepth, kPoints, 31);
         }
-        std::printf("%-8.1f %-10.4f %-10.4f %-10.4f %-10.4f %-10.4f\n",
-                    ratio, sums[0] / counted, sums[1] / counted,
-                    sums[2] / counted, sums[3] / counted,
-                    sums[4] / counted);
+        ctx.out("%-8.1f %-10.4f %-10.4f %-10.4f %-10.4f %-10.4f\n",
+                ratio, sums[0] / counted, sums[1] / counted,
+                sums[2] / counted, sums[3] / counted,
+                sums[4] / counted);
+        ctx.sink.seriesPoint("ratio", ratio);
+        for (int m = 0; m < 5; ++m)
+            ctx.sink.seriesPoint(std::string("mse_") + kMethods[m],
+                                 sums[m] / counted);
     }
-    std::printf("\npaper shape: SA-based methods sit below the GNN"
-                " poolers at almost every ratio; adaptive SA is best"
-                " overall.\n");
-    return 0;
+    ctx.out("\n");
+    ctx.note("paper shape: SA-based methods sit below the GNN poolers"
+             " at almost every ratio; adaptive SA is best overall.");
 }

@@ -21,29 +21,26 @@
 
 using namespace redqaoa;
 
-namespace {
-
-} // namespace
-
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig09, "Figure 9",
+                        "SA pick vs exhaustive subgraph population")
 {
-    bench::banner("Figure 9", "SA pick vs exhaustive subgraph population");
-    const int kWidth = 30;
-    const std::size_t kEnumCap = 3000; // Workload cap per size.
+    const int kWidth = ctx.scale(16, 30);
+    const std::size_t kEnumCap =
+        static_cast<std::size_t>(ctx.scale(400, 3000));
+    const int kSaRuns = ctx.scale(2, 5);
     Rng rng(309);
     Graph g = gen::connectedGnp(15, 0.3, rng);
-    std::printf("graph: %s | p=1, %dx%d grid, enumeration cap %zu\n\n",
-                g.summary().c_str(), kWidth, kWidth, kEnumCap);
+    ctx.out("graph: %s | p=1, %dx%d grid, enumeration cap %zu\n\n",
+            g.summary().c_str(), kWidth, kWidth, kEnumCap);
 
     auto base_vals = bench::analyticGridValues(g, kWidth);
     SaOptions sa_opts;
     sa_opts.adaptive = true;
     SaReducer annealer(sa_opts);
 
-    std::printf("%-12s %-6s %-8s %-9s %-9s %-9s %-9s %-11s\n",
-                "reduction", "k", "subs", "min", "median", "max",
-                "SA pick", "percentile");
+    ctx.out("%-12s %-6s %-8s %-9s %-9s %-9s %-9s %-11s\n",
+            "reduction", "k", "subs", "min", "median", "max",
+            "SA pick", "percentile");
     for (double ratio : {0.67, 0.60, 0.53, 0.47, 0.40}) {
         int k = std::max(2,
                          static_cast<int>((1.0 - ratio) * 15 + 0.5));
@@ -60,7 +57,7 @@ main()
         // Red-QAOA's protocol: several annealer runs, keep the candidate
         // that survives the §4.4 dynamic MSE evaluation best.
         double sa_mse = 1e300;
-        for (int run = 0; run < 5; ++run) {
+        for (int run = 0; run < kSaRuns; ++run) {
             SaResult sa = annealer.reduce(g, k, rng);
             sa_mse = std::min(
                 sa_mse,
@@ -74,15 +71,21 @@ main()
             below += m <= sa_mse;
         double pct = 100.0 * below / static_cast<double>(mses.size());
 
-        std::printf("%-12.2f %-6d %-8zu %-9.4f %-9.4f %-9.4f %-9.4f"
-                    " %5.1f%%\n",
-                    ratio, k, mses.size(), stats::minValue(mses),
-                    stats::median(mses), stats::maxValue(mses), sa_mse,
-                    pct);
+        ctx.out("%-12.2f %-6d %-8zu %-9.4f %-9.4f %-9.4f %-9.4f"
+                " %5.1f%%\n",
+                ratio, k, mses.size(), stats::minValue(mses),
+                stats::median(mses), stats::maxValue(mses), sa_mse,
+                pct);
+        ctx.sink.seriesPoint("reduction_ratio", ratio);
+        ctx.sink.seriesPoint("population_min", stats::minValue(mses));
+        ctx.sink.seriesPoint("population_median", stats::median(mses));
+        ctx.sink.seriesPoint("population_max", stats::maxValue(mses));
+        ctx.sink.seriesPoint("sa_pick_mse", sa_mse);
+        ctx.sink.seriesPoint("sa_pick_percentile", pct);
     }
-    std::printf("\npercentile = fraction of all subgraphs with MSE <= the"
-                " SA pick (lower is better).\n");
-    std::printf("paper shape: the SA pick sits at the extreme low end of"
-                " every histogram.\n");
-    return 0;
+    ctx.out("\n");
+    ctx.note("percentile = fraction of all subgraphs with MSE <= the"
+             " SA pick (lower is better).");
+    ctx.note("paper shape: the SA pick sits at the extreme low end of"
+             " every histogram.");
 }

@@ -11,26 +11,27 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig10, "Figure 10",
+                        "noisy MSE scaling, baseline vs Red-QAOA,"
+                        " 7-14 nodes")
 {
-    bench::banner("Figure 10",
-                  "noisy MSE scaling, baseline vs Red-QAOA, 7-14 nodes");
-    const int kWidth = 12;
-    const int kTraj = 8;
-    NoiseModel nm = noise::ibmToronto(); // FakeToronto stand-in.
-    std::printf("noise: %s | grid %dx%d | %d trajectories\n\n",
-                nm.name.c_str(), kWidth, kWidth, kTraj);
+    const int kWidth = ctx.scale(8, 12);
+    const int kTraj = ctx.scale(4, 8);
+    const int kMaxNodes = ctx.scale(10, 14);
+    const int kNoiseSeeds = ctx.scale(1, 3); // Mean over noise draws.
+    NoiseModel nm = noise::ibmToronto();     // FakeToronto stand-in.
+    ctx.out("noise: %s | grid %dx%d | %d trajectories\n\n",
+            nm.name.c_str(), kWidth, kWidth, kTraj);
 
     Rng rng(310);
     RedQaoaReducer reducer;
 
-    std::printf("%-8s %-20s %-16s %-16s %-10s\n", "qubits", "graph",
-                "baseline MSE", "Red-QAOA MSE", "reduction");
+    ctx.out("%-8s %-20s %-16s %-16s %-10s\n", "qubits", "graph",
+            "baseline MSE", "Red-QAOA MSE", "reduction");
     double base_sum = 0.0, red_sum = 0.0;
     int node_red_pct_sum = 0, edge_red_pct_sum = 0;
-    const int kNoiseSeeds = 3; // Mean over calibration/noise draws.
-    for (int n = 7; n <= 14; ++n) {
+    int sizes = 0;
+    for (int n = 7; n <= kMaxNodes; ++n) {
         Graph g = gen::connectedGnp(n, 0.35, rng);
         ReductionResult red = reducer.reduce(g, rng);
 
@@ -46,22 +47,33 @@ main()
         base_mse /= kNoiseSeeds;
         red_mse /= kNoiseSeeds;
 
-        std::printf("%-8d %-20s %-16.4f %-16.4f %d->%d nodes\n", n,
-                    g.summary().c_str(), base_mse, red_mse, n,
-                    red.reduced.graph.numNodes());
+        ctx.out("%-8d %-20s %-16.4f %-16.4f %d->%d nodes\n", n,
+                g.summary().c_str(), base_mse, red_mse, n,
+                red.reduced.graph.numNodes());
+        ctx.sink.seriesPoint("qubits", n);
+        ctx.sink.seriesPoint("baseline_mse", base_mse);
+        ctx.sink.seriesPoint("redqaoa_mse", red_mse);
+        ctx.sink.seriesPoint("reduced_nodes",
+                             red.reduced.graph.numNodes());
         base_sum += base_mse;
         red_sum += red_mse;
         node_red_pct_sum +=
             static_cast<int>(100.0 * red.nodeReduction + 0.5);
         edge_red_pct_sum +=
             static_cast<int>(100.0 * red.edgeReduction + 0.5);
+        ++sizes;
     }
-    std::printf("\nmeans over 8 sizes: baseline MSE %.4f | Red-QAOA MSE"
-                " %.4f | node red. %d%% | edge red. %d%%\n",
-                base_sum / 8.0, red_sum / 8.0, node_red_pct_sum / 8,
-                edge_red_pct_sum / 8);
-    std::printf("paper shape: both MSEs grow with qubit count; Red-QAOA"
-                " stays below the baseline everywhere (paper means: 36%%"
-                " node / 50%% edge reduction).\n");
-    return 0;
+    ctx.out("\nmeans over %d sizes: baseline MSE %.4f | Red-QAOA MSE"
+            " %.4f | node red. %d%% | edge red. %d%%\n",
+            sizes, base_sum / sizes, red_sum / sizes,
+            node_red_pct_sum / sizes, edge_red_pct_sum / sizes);
+    ctx.sink.metric("mean_baseline_mse", base_sum / sizes);
+    ctx.sink.metric("mean_redqaoa_mse", red_sum / sizes);
+    ctx.sink.metric("mean_node_reduction_pct",
+                    static_cast<double>(node_red_pct_sum) / sizes);
+    ctx.sink.metric("mean_edge_reduction_pct",
+                    static_cast<double>(edge_red_pct_sum) / sizes);
+    ctx.note("paper shape: both MSEs grow with qubit count; Red-QAOA"
+             " stays below the baseline everywhere (paper means: 36%"
+             " node / 50% edge reduction).");
 }

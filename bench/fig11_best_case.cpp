@@ -11,20 +11,19 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig11, "Figure 11",
+                        "best case (10-node): landscape recovery")
 {
-    bench::banner("Figure 11", "best case (10-node): landscape recovery");
-    const int kWidth = 12;
-    const int kTraj = 8;
-    const int kShots = 2048;
+    const int kWidth = ctx.scale(8, 12);
+    const int kTraj = ctx.scale(4, 8);
+    const int kShots = ctx.scale(512, 2048);
     NoiseModel nm = noise::ibmToronto();
     Rng rng(311);
     Graph g = gen::connectedGnp(10, 0.35, rng);
     RedQaoaReducer reducer;
     ReductionResult red = reducer.reduce(g, rng);
-    std::printf("graph: %s -> distilled %s\n\n", g.summary().c_str(),
-                red.reduced.graph.summary().c_str());
+    ctx.out("graph: %s -> distilled %s\n\n", g.summary().c_str(),
+            red.reduced.graph.summary().c_str());
 
     ExactEvaluator ideal(g);
     Landscape ideal_ls = Landscape::evaluate(ideal, kWidth);
@@ -40,20 +39,25 @@ main()
     double mse_base = landscapeMse(ideal_ls.values(), base_ls.values());
     double mse_red = landscapeMse(ideal_ls.values(), red_ls.values());
 
-    bench::printLandscapeLine("ideal", ideal_ls, 0.0);
-    bench::printLandscapeLine("Red-QAOA (noisy)", red_ls, mse_red);
-    bench::printLandscapeLine("baseline (noisy)", base_ls, mse_base);
-    std::printf("\noptima drift from ideal: Red-QAOA %.3f | baseline"
-                " %.3f\n",
-                optimaDistance(ideal_ls, red_ls, 0.05),
-                optimaDistance(ideal_ls, base_ls, 0.05));
-    std::printf("\n");
-    bench::printAsciiLandscape("ideal", ideal_ls);
-    std::printf("\n");
-    bench::printAsciiLandscape("Red-QAOA (noisy)", red_ls);
-    std::printf("\n");
-    bench::printAsciiLandscape("baseline (noisy)", base_ls);
-    std::printf("\npaper: Red-QAOA MSE 0.03 vs baseline 0.13; Red-QAOA"
-                " optima stay near the ideal.\n");
-    return 0;
+    bench::landscapeLine(ctx, "ideal", ideal_ls, 0.0);
+    bench::landscapeLine(ctx, "Red-QAOA (noisy)", red_ls, mse_red,
+                         "mse_redqaoa");
+    bench::landscapeLine(ctx, "baseline (noisy)", base_ls, mse_base,
+                         "mse_baseline");
+    double drift_red = optimaDistance(ideal_ls, red_ls, 0.05);
+    double drift_base = optimaDistance(ideal_ls, base_ls, 0.05);
+    ctx.out("\noptima drift from ideal: Red-QAOA %.3f | baseline"
+            " %.3f\n",
+            drift_red, drift_base);
+    ctx.sink.metric("optima_drift_redqaoa", drift_red);
+    ctx.sink.metric("optima_drift_baseline", drift_base);
+    ctx.out("\n");
+    bench::asciiLandscape(ctx, "ideal", ideal_ls);
+    ctx.out("\n");
+    bench::asciiLandscape(ctx, "Red-QAOA (noisy)", red_ls);
+    ctx.out("\n");
+    bench::asciiLandscape(ctx, "baseline (noisy)", base_ls);
+    ctx.out("\n");
+    ctx.note("paper: Red-QAOA MSE 0.03 vs baseline 0.13; Red-QAOA"
+             " optima stay near the ideal.");
 }

@@ -12,13 +12,12 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig12, "Figure 12",
+                        "worst case (11-node): optima still hold")
 {
-    bench::banner("Figure 12", "worst case (11-node): optima still hold");
-    const int kWidth = 12;
-    const int kTraj = 8;
-    const int kShots = 2048;
+    const int kWidth = ctx.scale(8, 12);
+    const int kTraj = ctx.scale(4, 8);
+    const int kShots = ctx.scale(512, 2048);
     NoiseModel nm = noise::ibmToronto();
     Rng rng(312);
     // Denser 11-node graph: reduction is harder (the paper's worst case
@@ -26,9 +25,10 @@ main()
     Graph g = gen::connectedGnp(11, 0.5, rng);
     RedQaoaReducer reducer;
     ReductionResult red = reducer.reduce(g, rng);
-    std::printf("graph: %s -> distilled %s (AND ratio %.3f)\n\n",
-                g.summary().c_str(), red.reduced.graph.summary().c_str(),
-                red.andRatio);
+    ctx.out("graph: %s -> distilled %s (AND ratio %.3f)\n\n",
+            g.summary().c_str(), red.reduced.graph.summary().c_str(),
+            red.andRatio);
+    ctx.sink.metric("and_ratio", red.andRatio);
 
     ExactEvaluator ideal(g);
     Landscape ideal_ls = Landscape::evaluate(ideal, kWidth);
@@ -44,15 +44,20 @@ main()
     double mse_base = landscapeMse(ideal_ls.values(), base_ls.values());
     double mse_red = landscapeMse(ideal_ls.values(), red_ls.values());
 
-    bench::printLandscapeLine("ideal", ideal_ls, 0.0);
-    bench::printLandscapeLine("Red-QAOA (noisy)", red_ls, mse_red);
-    bench::printLandscapeLine("baseline (noisy)", base_ls, mse_base);
-    std::printf("\noptima drift from ideal: Red-QAOA %.3f | baseline"
-                " %.3f\n",
-                optimaDistance(ideal_ls, red_ls, 0.05),
-                optimaDistance(ideal_ls, base_ls, 0.05));
-    std::printf("\npaper: Red-QAOA MSE 0.07 vs baseline 0.12 — the"
-                " smallest gap in the 7-14 node sweep, yet optima remain"
-                " closer to ideal.\n");
-    return 0;
+    bench::landscapeLine(ctx, "ideal", ideal_ls, 0.0);
+    bench::landscapeLine(ctx, "Red-QAOA (noisy)", red_ls, mse_red,
+                         "mse_redqaoa");
+    bench::landscapeLine(ctx, "baseline (noisy)", base_ls, mse_base,
+                         "mse_baseline");
+    double drift_red = optimaDistance(ideal_ls, red_ls, 0.05);
+    double drift_base = optimaDistance(ideal_ls, base_ls, 0.05);
+    ctx.out("\noptima drift from ideal: Red-QAOA %.3f | baseline"
+            " %.3f\n",
+            drift_red, drift_base);
+    ctx.sink.metric("optima_drift_redqaoa", drift_red);
+    ctx.sink.metric("optima_drift_baseline", drift_base);
+    ctx.out("\n");
+    ctx.note("paper: Red-QAOA MSE 0.07 vs baseline 0.12 — the smallest"
+             " gap in the 7-14 node sweep, yet optima remain closer to"
+             " ideal.");
 }

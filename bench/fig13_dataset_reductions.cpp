@@ -12,16 +12,16 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig13, "Figure 13",
+                        "dataset reduction ratios (<=10 nodes)")
 {
-    bench::banner("Figure 13", "dataset reduction ratios (<=10 nodes)");
-    const int kPerDataset = 40; // Sampled per dataset for wall time.
+    // Sampled per dataset for wall time.
+    const int kPerDataset = ctx.scale(8, 40);
     Rng rng(313);
     RedQaoaReducer reducer;
 
-    std::printf("%-8s %-8s %-14s %-14s %-10s\n", "dataset", "graphs",
-                "node red.", "edge red.", "gap");
+    ctx.out("%-8s %-8s %-14s %-14s %-10s\n", "dataset", "graphs",
+            "node red.", "edge red.", "gap");
     double all_nodes = 0.0, all_edges = 0.0;
     int datasets_counted = 0;
     for (const Dataset &d : {datasets::makeAids(), datasets::makeImdb(),
@@ -36,17 +36,23 @@ main()
             edges += red.edgeReduction;
         }
         double n = static_cast<double>(batch.size());
-        std::printf("%-8s %-8zu %13.1f%% %13.1f%% %8.1f%%\n",
-                    d.name.c_str(), batch.size(), 100.0 * nodes / n,
-                    100.0 * edges / n, 100.0 * (edges - nodes) / n);
+        ctx.out("%-8s %-8zu %13.1f%% %13.1f%% %8.1f%%\n",
+                d.name.c_str(), batch.size(), 100.0 * nodes / n,
+                100.0 * edges / n, 100.0 * (edges - nodes) / n);
+        ctx.sink.labelPoint("dataset", d.name);
+        ctx.sink.seriesPoint("node_reduction_pct", 100.0 * nodes / n);
+        ctx.sink.seriesPoint("edge_reduction_pct", 100.0 * edges / n);
         all_nodes += nodes / n;
         all_edges += edges / n;
         ++datasets_counted;
     }
-    std::printf("\nmeans: %.1f%% node / %.1f%% edge reduction\n",
-                100.0 * all_nodes / datasets_counted,
-                100.0 * all_edges / datasets_counted);
-    std::printf("paper: 28%% nodes / 37%% edges on average; IMDb gap"
-                " >10%% (dense ego nets), AIDS/Linux gap ~5%%.\n");
-    return 0;
+    ctx.out("\nmeans: %.1f%% node / %.1f%% edge reduction\n",
+            100.0 * all_nodes / datasets_counted,
+            100.0 * all_edges / datasets_counted);
+    ctx.sink.metric("mean_node_reduction_pct",
+                    100.0 * all_nodes / datasets_counted);
+    ctx.sink.metric("mean_edge_reduction_pct",
+                    100.0 * all_edges / datasets_counted);
+    ctx.note("paper: 28% nodes / 37% edges on average; IMDb gap >10%"
+             " (dense ego nets), AIDS/Linux gap ~5%.");
 }

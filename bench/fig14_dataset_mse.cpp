@@ -12,17 +12,16 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig14, "Figure 14",
+                        "ideal MSE per dataset at p = 1, 2, 3")
 {
-    bench::banner("Figure 14", "ideal MSE per dataset at p = 1, 2, 3");
-    const int kPerDataset = 12;
-    const int kPoints = 96; // Paper: 1024 parameter sets.
+    const int kPerDataset = ctx.scale(4, 12);
+    const int kPoints = ctx.scale(32, 96); // Paper: 1024 sets.
     Rng rng(314);
     RedQaoaReducer reducer;
 
-    std::printf("%-8s %-10s %-10s %-10s\n", "dataset", "p=1", "p=2",
-                "p=3");
+    ctx.out("%-8s %-10s %-10s %-10s\n", "dataset", "p=1", "p=2",
+            "p=3");
     for (const Dataset &d : {datasets::makeAids(), datasets::makeImdb(),
                              datasets::makeLinux()}) {
         auto batch = d.filterByNodes(5, 10);
@@ -44,11 +43,15 @@ main()
         }
         if (counted == 0)
             counted = 1;
-        std::printf("%-8s %-10.4f %-10.4f %-10.4f\n", d.name.c_str(),
-                    mse[0] / counted, mse[1] / counted, mse[2] / counted);
+        ctx.out("%-8s %-10.4f %-10.4f %-10.4f\n", d.name.c_str(),
+                mse[0] / counted, mse[1] / counted, mse[2] / counted);
+        ctx.sink.labelPoint("dataset", d.name);
+        ctx.sink.seriesPoint("mse_p1", mse[0] / counted);
+        ctx.sink.seriesPoint("mse_p2", mse[1] / counted);
+        ctx.sink.seriesPoint("mse_p3", mse[2] / counted);
     }
-    std::printf("\npaper shape: AIDS/Linux < 0.01; IMDb ~0.05 (small"
-                " dense graphs are the hard case, §6.3); MSE grows"
-                " mildly with p.\n");
-    return 0;
+    ctx.out("\n");
+    ctx.note("paper shape: AIDS/Linux < 0.01; IMDb ~0.05 (small dense"
+             " graphs are the hard case, §6.3); MSE grows mildly"
+             " with p.");
 }

@@ -14,7 +14,8 @@ using namespace redqaoa;
 namespace {
 
 void
-runCategory(const std::vector<Graph> &batch, const char *label, Rng &rng)
+runCategory(redqaoa::bench::FigureContext &ctx,
+            const std::vector<Graph> &batch, const char *label, Rng &rng)
 {
     RedQaoaReducer reducer;
     double nodes = 0.0, edges = 0.0;
@@ -24,17 +25,19 @@ runCategory(const std::vector<Graph> &batch, const char *label, Rng &rng)
         edges += red.edgeReduction;
     }
     double n = static_cast<double>(batch.size());
-    std::printf("%-16s %-8zu %13.1f%% %13.1f%%\n", label, batch.size(),
-                100.0 * nodes / n, 100.0 * edges / n);
+    ctx.out("%-16s %-8zu %13.1f%% %13.1f%%\n", label, batch.size(),
+            100.0 * nodes / n, 100.0 * edges / n);
+    ctx.sink.labelPoint("category", label);
+    ctx.sink.seriesPoint("node_reduction_pct", 100.0 * nodes / n);
+    ctx.sink.seriesPoint("edge_reduction_pct", 100.0 * edges / n);
 }
 
 } // namespace
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig15, "Figure 15",
+                        "IMDb reductions: small vs medium")
 {
-    bench::banner("Figure 15", "IMDb reductions: small vs medium");
-    const int kPerCategory = 30;
+    const int kPerCategory = ctx.scale(8, 30);
     Dataset imdb = datasets::makeImdb();
     auto small = imdb.filterByNodes(7, 10);
     auto medium = imdb.filterByNodes(11, 20);
@@ -44,12 +47,12 @@ main()
         medium.resize(static_cast<std::size_t>(kPerCategory));
 
     Rng rng(315);
-    std::printf("%-16s %-8s %-14s %-14s\n", "category", "graphs",
-                "node red.", "edge red.");
-    runCategory(small, "IMDb (small)", rng);
-    runCategory(medium, "IMDb (medium)", rng);
-    std::printf("\npaper: small 15%%/28%% -> medium 25%%/35%% — larger"
-                " graphs give the annealer room to shed nodes without"
-                " collapsing the average degree.\n");
-    return 0;
+    ctx.out("%-16s %-8s %-14s %-14s\n", "category", "graphs",
+            "node red.", "edge red.");
+    runCategory(ctx, small, "IMDb (small)", rng);
+    runCategory(ctx, medium, "IMDb (medium)", rng);
+    ctx.out("\n");
+    ctx.note("paper: small 15%/28% -> medium 25%/35% — larger graphs"
+             " give the annealer room to shed nodes without collapsing"
+             " the average degree.");
 }

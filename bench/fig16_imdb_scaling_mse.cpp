@@ -18,7 +18,8 @@ using namespace redqaoa;
 namespace {
 
 void
-runCategory(const std::vector<Graph> &batch, const char *label, Rng &rng,
+runCategory(redqaoa::bench::FigureContext &ctx,
+            const std::vector<Graph> &batch, const char *label, Rng &rng,
             int points)
 {
     RedQaoaReducer reducer;
@@ -36,31 +37,38 @@ runCategory(const std::vector<Graph> &batch, const char *label, Rng &rng,
     }
     if (counted == 0)
         counted = 1;
-    std::printf("%-16s %-8d %-10.4f %-10.4f %-10.4f\n", label, counted,
-                mse[0] / counted, mse[1] / counted, mse[2] / counted);
+    ctx.out("%-16s %-8d %-10.4f %-10.4f %-10.4f\n", label, counted,
+            mse[0] / counted, mse[1] / counted, mse[2] / counted);
+    ctx.sink.labelPoint("category", label);
+    ctx.sink.seriesPoint("mse_p1", mse[0] / counted);
+    ctx.sink.seriesPoint("mse_p2", mse[1] / counted);
+    ctx.sink.seriesPoint("mse_p3", mse[2] / counted);
 }
 
 } // namespace
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig16, "Figure 16",
+                        "IMDb MSE: small vs medium, p = 1, 2, 3")
 {
-    bench::banner("Figure 16", "IMDb MSE: small vs medium, p = 1, 2, 3");
-    const int kPoints = 64;
+    const int kPoints = ctx.scale(24, 64);
     Dataset imdb = datasets::makeImdb();
     auto small = imdb.filterByNodes(7, 10);
     auto medium = imdb.filterByNodes(11, 14);
-    if (small.size() > 10)
-        small.resize(10);
-    if (medium.size() > 8)
-        medium.resize(8);
+    const std::size_t kSmallCap =
+        static_cast<std::size_t>(ctx.scale(4, 10));
+    const std::size_t kMediumCap =
+        static_cast<std::size_t>(ctx.scale(3, 8));
+    if (small.size() > kSmallCap)
+        small.resize(kSmallCap);
+    if (medium.size() > kMediumCap)
+        medium.resize(kMediumCap);
 
     Rng rng(316);
-    std::printf("%-16s %-8s %-10s %-10s %-10s\n", "category", "graphs",
-                "p=1", "p=2", "p=3");
-    runCategory(small, "IMDb (small)", rng, kPoints);
-    runCategory(medium, "IMDb (medium)", rng, kPoints);
-    std::printf("\npaper shape: overall MSE drops from ~0.05 (small) to"
-                " below 0.02 (medium).\n");
-    return 0;
+    ctx.out("%-16s %-8s %-10s %-10s %-10s\n", "category", "graphs",
+            "p=1", "p=2", "p=3");
+    runCategory(ctx, small, "IMDb (small)", rng, kPoints);
+    runCategory(ctx, medium, "IMDb (medium)", rng, kPoints);
+    ctx.out("\n");
+    ctx.note("paper shape: overall MSE drops from ~0.05 (small) to"
+             " below 0.02 (medium).");
 }

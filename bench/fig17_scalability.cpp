@@ -64,13 +64,13 @@ evaluatorFor(const Graph &g, int p)
 
 } // namespace
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig17, "Figure 17",
+                        "30-node scalability, p = 1, 2, 3")
 {
-    bench::banner("Figure 17", "30-node scalability, p = 1, 2, 3");
-    const int kGraphs = 3;    // Paper: 100 graphs.
-    const int kRestarts = 3;  // Paper: 20/50/150 per depth.
-    const int kEvals = 40;
+    const int kGraphs = ctx.scale(1, 3);   // Paper: 100 graphs.
+    const int kRestarts = ctx.scale(2, 3); // Paper: 20/50/150.
+    const int kEvals = ctx.scale(20, 40);
+    const int kMaxDepth = ctx.scale(2, 3);
     Rng rng(317);
 
     std::vector<Graph> graphs;
@@ -78,9 +78,9 @@ main()
         graphs.push_back(gen::connectedGnp(30, 0.12, rng));
 
     RedQaoaReducer reducer;
-    std::printf("%-4s %-16s %-16s %-18s\n", "p", "best ratio",
-                "avg ratio", "mean reduction");
-    for (int p = 1; p <= 3; ++p) {
+    ctx.out("%-4s %-16s %-16s %-18s\n", "p", "best ratio",
+            "avg ratio", "mean reduction");
+    for (int p = 1; p <= kMaxDepth; ++p) {
         double best_ratio = 0.0, avg_ratio = 0.0, node_red = 0.0,
                edge_red = 0.0;
         for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
@@ -121,12 +121,18 @@ main()
             avg_ratio += ours.average / base.average;
         }
         double n = static_cast<double>(graphs.size());
-        std::printf("%-4d %-16.3f %-16.3f %.0f%% nodes / %.0f%% edges\n",
-                    p, best_ratio / n, avg_ratio / n,
-                    100.0 * node_red / n, 100.0 * edge_red / n);
+        ctx.out("%-4d %-16.3f %-16.3f %.0f%% nodes / %.0f%% edges\n",
+                p, best_ratio / n, avg_ratio / n,
+                100.0 * node_red / n, 100.0 * edge_red / n);
+        ctx.sink.seriesPoint("p", p);
+        ctx.sink.seriesPoint("best_ratio", best_ratio / n);
+        ctx.sink.seriesPoint("avg_ratio", avg_ratio / n);
+        ctx.sink.seriesPoint("node_reduction_pct",
+                             100.0 * node_red / n);
+        ctx.sink.seriesPoint("edge_reduction_pct",
+                             100.0 * edge_red / n);
     }
-    std::printf("\npaper: best ratios ~1.00/1.00/0.99 and average ratios"
-                " ~0.98/0.97/0.97 at 30.7%% node / 44.3%% edge"
-                " reduction.\n");
-    return 0;
+    ctx.out("\n");
+    ctx.note("paper: best ratios ~1.00/1.00/0.99 and average ratios"
+             " ~0.98/0.97/0.97 at 30.7% node / 44.3% edge reduction.");
 }

@@ -39,13 +39,11 @@ trainOnSurrogate(const Graph &surrogate, const NoiseModel &nm, int width,
 
 } // namespace
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig19, "Figure 19",
+                        "relative improvement from surrogate training")
 {
-    bench::banner("Figure 19",
-                  "relative improvement from surrogate training");
-    const int kGraphs = 10;
-    const int kGridWidth = 16;
+    const int kGraphs = ctx.scale(3, 10);
+    const int kGridWidth = ctx.scale(8, 16);
     NoiseModel nm = noise::ibmToronto();
     Rng rng(319);
 
@@ -86,18 +84,24 @@ main()
                                   base_ratio);
     }
 
-    std::printf("relative improvement over noisy baseline (%%), %d"
-                " graphs:\n\n",
-                kGraphs);
-    std::printf("%-10s %-9s %-9s %-9s %-9s %-9s\n", "method", "whisk-",
-                "Q1", "median", "Q3", "whisk+");
+    ctx.out("relative improvement over noisy baseline (%%), %d"
+            " graphs:\n\n",
+            kGraphs);
+    ctx.out("%-10s %-9s %-9s %-9s %-9s %-9s\n", "method", "whisk-",
+            "Q1", "median", "Q3", "whisk+");
     for (int m = 0; m < 4; ++m) {
         auto box = stats::boxSummary(improvements[static_cast<std::size_t>(m)]);
-        std::printf("%-10s %-9.1f %-9.1f %-9.1f %-9.1f %-9.1f\n",
-                    names[m], box.whiskerLow, box.q1, box.median, box.q3,
-                    box.whiskerHigh);
+        ctx.out("%-10s %-9.1f %-9.1f %-9.1f %-9.1f %-9.1f\n",
+                names[m], box.whiskerLow, box.q1, box.median, box.q3,
+                box.whiskerHigh);
+        ctx.sink.labelPoint("method", names[m]);
+        ctx.sink.seriesPoint("whisker_low", box.whiskerLow);
+        ctx.sink.seriesPoint("q1", box.q1);
+        ctx.sink.seriesPoint("median", box.median);
+        ctx.sink.seriesPoint("q3", box.q3);
+        ctx.sink.seriesPoint("whisker_high", box.whiskerHigh);
     }
-    std::printf("\npaper shape: Red-QAOA median ~+4.2%% and consistently"
-                " positive; SAG/Top-K highly variable; ASA negative.\n");
-    return 0;
+    ctx.out("\n");
+    ctx.note("paper shape: Red-QAOA median ~+4.2% and consistently"
+             " positive; SAG/Top-K highly variable; ASA negative.");
 }

@@ -54,48 +54,52 @@ replayTraces(const Graph &search_graph, const Graph &original,
 }
 
 void
-printTraces(const char *label,
-            const std::vector<std::vector<double>> &traces)
+reportTraces(redqaoa::bench::FigureContext &ctx, const char *label,
+             const char *series_prefix,
+             const std::vector<std::vector<double>> &traces)
 {
-    std::printf("%s (ideal-energy replay, one column per restart):\n",
-                label);
-    std::printf("%-6s", "iter");
+    ctx.out("%s (ideal-energy replay, one column per restart):\n",
+            label);
+    ctx.out("%-6s", "iter");
     for (std::size_t r = 0; r < traces.size(); ++r)
-        std::printf(" r%-7zu", r + 1);
-    std::printf("\n");
+        ctx.out(" r%-7zu", r + 1);
+    ctx.out("\n");
     std::size_t len = traces[0].size();
     for (std::size_t i = 4; i < len; i += 5) {
-        std::printf("%-6zu", i + 1);
+        ctx.out("%-6zu", i + 1);
         for (const auto &t : traces)
-            std::printf(" %-8.3f", t[std::min(i, t.size() - 1)]);
-        std::printf("\n");
+            ctx.out(" %-8.3f", t[std::min(i, t.size() - 1)]);
+        ctx.out("\n");
     }
-    std::printf("\n");
+    ctx.out("\n");
+    for (std::size_t r = 0; r < traces.size(); ++r)
+        ctx.sink.series(std::string(series_prefix) + "_restart" +
+                            std::to_string(r + 1),
+                        traces[r]);
 }
 
 } // namespace
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig20, "Figure 20",
+                        "noisy convergence with restarts: baseline vs"
+                        " Red-QAOA")
 {
-    bench::banner("Figure 20",
-                  "noisy convergence with restarts: baseline vs Red-QAOA");
-    const int kRestarts = 5; // Paper: 5 restarts.
-    const int kEvals = 45;
+    const int kRestarts = ctx.scale(2, 5); // Paper: 5 restarts.
+    const int kEvals = ctx.scale(20, 45);
     NoiseModel nm = noise::ibmToronto();
     Rng rng(320);
     Graph g = gen::connectedGnp(10, 0.4, rng);
     RedQaoaReducer reducer;
     ReductionResult red = reducer.reduce(g, rng);
-    std::printf("graph: %s -> distilled %s | noise %s\n\n",
-                g.summary().c_str(), red.reduced.graph.summary().c_str(),
-                nm.name.c_str());
+    ctx.out("graph: %s -> distilled %s | noise %s\n\n",
+            g.summary().c_str(), red.reduced.graph.summary().c_str(),
+            nm.name.c_str());
 
     auto base = replayTraces(g, g, nm, kRestarts, kEvals, 71);
     auto ours = replayTraces(red.reduced.graph, g, nm, kRestarts, kEvals,
                              72);
-    printTraces("baseline restarts", base);
-    printTraces("Red-QAOA", ours);
+    reportTraces(ctx, "baseline restarts", "baseline", base);
+    reportTraces(ctx, "Red-QAOA", "redqaoa", ours);
 
     auto final_mean = [](const std::vector<std::vector<double>> &traces) {
         double s = 0.0;
@@ -103,10 +107,13 @@ main()
             s += t.back();
         return s / static_cast<double>(traces.size());
     };
-    std::printf("final mean ideal energy: baseline %.3f | Red-QAOA"
-                " %.3f\n",
-                final_mean(base), final_mean(ours));
-    std::printf("paper shape: Red-QAOA converges faster and to higher"
-                " energies across restarts.\n");
-    return 0;
+    double base_final = final_mean(base);
+    double ours_final = final_mean(ours);
+    ctx.out("final mean ideal energy: baseline %.3f | Red-QAOA"
+            " %.3f\n",
+            base_final, ours_final);
+    ctx.sink.metric("final_mean_energy_baseline", base_final);
+    ctx.sink.metric("final_mean_energy_redqaoa", ours_final);
+    ctx.note("paper shape: Red-QAOA converges faster and to higher"
+             " energies across restarts.");
 }

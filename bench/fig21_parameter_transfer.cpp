@@ -56,11 +56,12 @@ evaluateGraph(const std::string &label, const Graph &g, Rng &rng,
 
 } // namespace
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig21, "Figure 21",
+                        "Red-QAOA vs parameter transfer")
 {
-    bench::banner("Figure 21", "Red-QAOA vs parameter transfer");
-    const int kPoints = 512; // Paper: 1024.
+    const int kPoints = ctx.scale(128, 512); // Paper: 1024.
+    const std::size_t kPerDataset =
+        static_cast<std::size_t>(ctx.scale(4, 10));
     Rng rng(321);
     Rng pts_rng(77);
     std::vector<std::pair<double, double>> points;
@@ -74,8 +75,8 @@ main()
     for (const Dataset &d : {datasets::makeAids(), datasets::makeLinux(),
                              datasets::makeImdb()}) {
         auto batch = d.filterByNodes(6, 10);
-        if (batch.size() > 10)
-            batch.resize(10);
+        if (batch.size() > kPerDataset)
+            batch.resize(kPerDataset);
         double t = 0.0, r = 0.0;
         for (const Graph &g : batch) {
             Row row = evaluateGraph("", g, rng, points);
@@ -102,15 +103,19 @@ main()
         rows.push_back(evaluateGraph(label, irregular, rng, points));
     }
 
-    std::printf("%-14s %-16s %-14s %-10s\n", "graph", "transfer MSE",
-                "Red-QAOA MSE", "winner");
-    for (const Row &row : rows)
-        std::printf("%-14s %-16.4f %-14.4f %s\n", row.label.c_str(),
-                    row.transferMse, row.redMse,
-                    row.redMse <= row.transferMse ? "Red-QAOA"
-                                                  : "transfer");
-    std::printf("\npaper shape: transfer is fine on near-regular graphs"
-                " but degrades with irregularity; Red-QAOA stays low"
-                " (<~0.02) across all families.\n");
-    return 0;
+    ctx.out("%-14s %-16s %-14s %-10s\n", "graph", "transfer MSE",
+            "Red-QAOA MSE", "winner");
+    for (const Row &row : rows) {
+        ctx.out("%-14s %-16.4f %-14.4f %s\n", row.label.c_str(),
+                row.transferMse, row.redMse,
+                row.redMse <= row.transferMse ? "Red-QAOA"
+                                              : "transfer");
+        ctx.sink.labelPoint("graph", row.label);
+        ctx.sink.seriesPoint("transfer_mse", row.transferMse);
+        ctx.sink.seriesPoint("redqaoa_mse", row.redMse);
+    }
+    ctx.out("\n");
+    ctx.note("paper shape: transfer is fine on near-regular graphs but"
+             " degrades with irregularity; Red-QAOA stays low (<~0.02)"
+             " across all families.");
 }

@@ -12,21 +12,20 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig22, "Figure 22",
+                        "ibmq_kolkata 13-node device study")
 {
-    bench::banner("Figure 22", "ibmq_kolkata 13-node device study");
-    const int kWidth = 12;
-    const int kTraj = 8;
-    const int kShots = 2048; // Paper: 8192.
+    const int kWidth = ctx.scale(8, 12);
+    const int kTraj = ctx.scale(4, 8);
+    const int kShots = ctx.scale(512, 2048); // Paper: 8192.
     NoiseModel nm = noise::deviceRun(noise::ibmKolkata());
     Rng rng(322);
     Graph g = gen::connectedGnp(13, 0.3, rng);
     RedQaoaReducer reducer;
     ReductionResult red = reducer.reduce(g, rng);
-    std::printf("graph: %s -> distilled %s | backend %s\n\n",
-                g.summary().c_str(), red.reduced.graph.summary().c_str(),
-                nm.name.c_str());
+    ctx.out("graph: %s -> distilled %s | backend %s\n\n",
+            g.summary().c_str(), red.reduced.graph.summary().c_str(),
+            nm.name.c_str());
 
     ExactEvaluator ideal(g);
     Landscape ideal_ls = Landscape::evaluate(ideal, kWidth);
@@ -42,14 +41,19 @@ main()
     double mse_base = landscapeMse(ideal_ls.values(), base_ls.values());
     double mse_red = landscapeMse(ideal_ls.values(), red_ls.values());
 
-    bench::printLandscapeLine("ideal", ideal_ls, 0.0);
-    bench::printLandscapeLine("Red-QAOA (device)", red_ls, mse_red);
-    bench::printLandscapeLine("baseline (device)", base_ls, mse_base);
-    std::printf("\noptima drift from ideal: Red-QAOA %.3f | baseline"
-                " %.3f\n",
-                optimaDistance(ideal_ls, red_ls, 0.05),
-                optimaDistance(ideal_ls, base_ls, 0.05));
-    std::printf("\npaper: Red-QAOA MSE 0.01 vs baseline 0.07; Red-QAOA"
-                " optima land near the ideal optimum.\n");
-    return 0;
+    bench::landscapeLine(ctx, "ideal", ideal_ls, 0.0);
+    bench::landscapeLine(ctx, "Red-QAOA (device)", red_ls, mse_red,
+                         "mse_redqaoa");
+    bench::landscapeLine(ctx, "baseline (device)", base_ls, mse_base,
+                         "mse_baseline");
+    double drift_red = optimaDistance(ideal_ls, red_ls, 0.05);
+    double drift_base = optimaDistance(ideal_ls, base_ls, 0.05);
+    ctx.out("\noptima drift from ideal: Red-QAOA %.3f | baseline"
+            " %.3f\n",
+            drift_red, drift_base);
+    ctx.sink.metric("optima_drift_redqaoa", drift_red);
+    ctx.sink.metric("optima_drift_baseline", drift_base);
+    ctx.out("\n");
+    ctx.note("paper: Red-QAOA MSE 0.01 vs baseline 0.07; Red-QAOA"
+             " optima land near the ideal optimum.");
 }

@@ -12,24 +12,23 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig23, "Figure 23",
+                        "Rigetti Aspen-M-3, 5-10 node graphs")
 {
-    bench::banner("Figure 23", "Rigetti Aspen-M-3, 5-10 node graphs");
-    const int kWidth = 12;
-    const int kTraj = 8;
+    const int kWidth = ctx.scale(8, 12);
+    const int kTraj = ctx.scale(4, 8);
+    const int kSeeds = ctx.scale(1, 3); // Mean over noise draws.
     NoiseModel nm = noise::deviceRun(noise::rigettiAspenM3());
     Rng rng(323);
     RedQaoaReducer reducer;
 
-    std::printf("%-8s %-16s %-16s %-8s\n", "nodes", "baseline MSE",
-                "Red-QAOA MSE", "better?");
+    ctx.out("%-8s %-16s %-16s %-8s\n", "nodes", "baseline MSE",
+            "Red-QAOA MSE", "better?");
     int wins = 0;
     for (int n = 5; n <= 10; ++n) {
         Graph g = gen::connectedGnp(n, 0.45, rng);
         ReductionResult red = reducer.reduce(g, rng);
         double base_mse = 0.0, red_mse = 0.0;
-        const int kSeeds = 3; // Mean over calibration/noise draws.
         for (int s = 0; s < kSeeds; ++s) {
             base_mse += bench::noisyVsIdealMse(
                 g, g, nm, kWidth, kTraj,
@@ -42,11 +41,14 @@ main()
         red_mse /= kSeeds;
         bool better = red_mse < base_mse;
         wins += better;
-        std::printf("%-8d %-16.4f %-16.4f %s\n", n, base_mse, red_mse,
-                    better ? "yes" : "no");
+        ctx.out("%-8d %-16.4f %-16.4f %s\n", n, base_mse, red_mse,
+                better ? "yes" : "no");
+        ctx.sink.seriesPoint("nodes", n);
+        ctx.sink.seriesPoint("baseline_mse", base_mse);
+        ctx.sink.seriesPoint("redqaoa_mse", red_mse);
     }
-    std::printf("\nRed-QAOA wins %d/6 sizes.\n", wins);
-    std::printf("paper: lower MSE across ALL evaluated cases on the"
-                " Aspen-M-3 device.\n");
-    return 0;
+    ctx.out("\nRed-QAOA wins %d/6 sizes.\n", wins);
+    ctx.sink.metric("wins", wins);
+    ctx.note("paper: lower MSE across ALL evaluated cases on the"
+             " Aspen-M-3 device.");
 }

@@ -1,6 +1,6 @@
 /**
  * @file
- * Figure 24: noise-model sweep. One random 10-node graph, 1-layer QAOA,
+ * Figure 24: noise-model sweep. Random 10-node graphs, 1-layer QAOA,
  * noisy-vs-ideal landscape MSE under the seven IBM backend presets
  * (Kolkata ... Toronto), baseline vs Red-QAOA. The paper's protocol
  * samples 1024 parameter sets; we use a p=1 grid of equivalent size
@@ -13,26 +13,25 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig24, "Figure 24",
+                        "noise-model sweep across IBM backends")
 {
-    bench::banner("Figure 24", "noise-model sweep across IBM backends");
-    const int kWidth = 12;
-    const int kTraj = 8;
+    const int kWidth = ctx.scale(8, 12);
+    const int kTraj = ctx.scale(4, 8);
+    const int kGraphs = ctx.scale(1, 3); // Mean over test graphs.
     Rng rng(324);
     RedQaoaReducer reducer;
-    const int kGraphs = 3; // Mean over test graphs and noise draws.
     std::vector<Graph> graphs;
     std::vector<Graph> reduced;
     for (int i = 0; i < kGraphs; ++i) {
         graphs.push_back(gen::connectedGnp(10, 0.4, rng));
         reduced.push_back(reducer.reduce(graphs.back(), rng).reduced.graph);
-        std::printf("graph %d: %s -> distilled %s\n", i,
-                    graphs.back().summary().c_str(),
-                    reduced.back().summary().c_str());
+        ctx.out("graph %d: %s -> distilled %s\n", i,
+                graphs.back().summary().c_str(),
+                reduced.back().summary().c_str());
     }
-    std::printf("\n%-18s %-12s %-16s %-16s\n", "backend", "2q error",
-                "baseline MSE", "Red-QAOA MSE");
+    ctx.out("\n%-18s %-12s %-16s %-16s\n", "backend", "2q error",
+            "baseline MSE", "Red-QAOA MSE");
     int wins = 0, total = 0;
     for (const NoiseModel &nm : noise::fig24Backends()) {
         double base_mse = 0.0, red_mse = 0.0;
@@ -48,13 +47,18 @@ main()
         }
         base_mse /= kGraphs;
         red_mse /= kGraphs;
-        std::printf("%-18s %-12.4f %-16.4f %-16.4f\n", nm.name.c_str(),
-                    nm.twoQubitDepol, base_mse, red_mse);
+        ctx.out("%-18s %-12.4f %-16.4f %-16.4f\n", nm.name.c_str(),
+                nm.twoQubitDepol, base_mse, red_mse);
+        ctx.sink.labelPoint("backend", nm.name);
+        ctx.sink.seriesPoint("two_qubit_error", nm.twoQubitDepol);
+        ctx.sink.seriesPoint("baseline_mse", base_mse);
+        ctx.sink.seriesPoint("redqaoa_mse", red_mse);
         wins += red_mse < base_mse;
         ++total;
     }
-    std::printf("\nRed-QAOA lower on %d/%d backends.\n", wins, total);
-    std::printf("paper shape: Red-QAOA below baseline on every backend,"
-                " from low-error Kolkata to retired Toronto.\n");
-    return 0;
+    ctx.out("\nRed-QAOA lower on %d/%d backends.\n", wins, total);
+    ctx.sink.metric("wins", wins);
+    ctx.sink.metric("backends", total);
+    ctx.note("paper shape: Red-QAOA below baseline on every backend,"
+             " from low-error Kolkata to retired Toronto.");
 }

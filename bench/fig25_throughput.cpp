@@ -17,21 +17,26 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(fig25, "Figure 25",
+                        "multiprogramming throughput improvement")
 {
-    bench::banner("Figure 25", "multiprogramming throughput improvement");
-    const int kPerDataset = 8;
+    const int kPerDataset = ctx.scale(3, 8);
     const int kShots = 1024;
     QaoaParams params({0.8}, {0.4});
     Rng rng(325);
     RedQaoaReducer reducer;
 
     auto devices = topologies::fig25Devices();
-    std::printf("%-8s", "dataset");
-    for (const auto &dev : devices)
-        std::printf(" %-16s", dev.name().c_str());
-    std::printf("\n");
+    // Quick mode keeps the two smaller devices (routing on the
+    // 65/127-qubit lattices dominates the wall clock).
+    if (ctx.quick && devices.size() > 2)
+        devices.erase(devices.begin() + 2, devices.end());
+    ctx.out("%-8s", "dataset");
+    for (const auto &dev : devices) {
+        ctx.out(" %-16s", dev.name().c_str());
+        ctx.sink.labelPoint("device", dev.name());
+    }
+    ctx.out("\n");
 
     for (const Dataset &d : {datasets::makeAids(), datasets::makeLinux(),
                              datasets::makeImdb()}) {
@@ -44,7 +49,7 @@ main()
         for (const Graph &g : batch)
             reduced.push_back(reducer.reduce(g, rng).reduced.graph);
 
-        std::printf("%-8s", d.name.c_str());
+        ctx.out("%-8s", d.name.c_str());
         for (const auto &dev : devices) {
             ThroughputModel model(dev, TimingModel{}, kShots, 2);
             double ratio_sum = 0.0;
@@ -58,13 +63,14 @@ main()
                     ++counted;
                 }
             }
-            std::printf(" %-16.2f", ratio_sum / counted);
+            double ratio = ratio_sum / counted;
+            ctx.out(" %-16.2f", ratio);
+            ctx.sink.seriesPoint("throughput_ratio_" + d.name, ratio);
         }
-        std::printf("\n");
+        ctx.out("\n");
     }
-    std::printf("\nvalues are relative throughput (Red-QAOA jobs/s over"
-                " baseline jobs/s), averaged over the workload.\n");
-    std::printf("paper: ~1.85x AIDS, ~2.1x Linux, ~1.4x IMDb across the"
-                " four devices.\n");
-    return 0;
+    ctx.out("\nvalues are relative throughput (Red-QAOA jobs/s over"
+            " baseline jobs/s), averaged over the workload.\n");
+    ctx.note("paper: ~1.85x AIDS, ~2.1x Linux, ~1.4x IMDb across the"
+             " four devices.");
 }

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Drives registered figures and assembles the aggregate JSON document:
+ * run metadata (git sha, thread count, scale, wall clock) plus one
+ * entry per figure with its structured results and timing. This is a
+ * library (separate from the CLI in main.cpp) so tests can run figures
+ * in-process and parse the document back.
+ *
+ * Document schema (schema_version 1):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "metadata": {
+ *       "tool": "redqaoa_bench",
+ *       "git_sha": "<short sha or 'unknown'>",
+ *       "threads": <worker threads>,
+ *       "quick": <bool>,
+ *       "filter": "<regex or ''>",
+ *       "timestamp_unix": <seconds since epoch>,
+ *       "figure_count": <n>,
+ *       "total_wall_seconds": <double>
+ *     },
+ *     "figures": [
+ *       {
+ *         "name": "fig01", "title": "Figure 1",
+ *         "description": "...", "quick": <bool>,
+ *         "wall_seconds": <double>,
+ *         "error": "<what() of a thrown exception>", // only on failure
+ *         "metrics": {"<name>": <double>, ...},      // optional
+ *         "series": {"<name>": [<double>, ...], ...},// optional
+ *         "labels": {"<name>": ["...", ...], ...},   // optional
+ *         "notes": ["...", ...]                      // optional
+ *       }, ...
+ *     ]
+ *   }
+ *
+ * A figure that throws is recorded with an "error" member (whatever it
+ * emitted before the throw is kept) and the remaining figures still
+ * run; metadata.failed_count reports how many failed.
+ */
+
+#ifndef REDQAOA_BENCH_HARNESS_BENCH_RUNNER_HPP
+#define REDQAOA_BENCH_HARNESS_BENCH_RUNNER_HPP
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "bench/harness/figure.hpp"
+#include "common/json.hpp"
+
+namespace redqaoa {
+namespace bench {
+
+/** Caller misuse (e.g. a filter matching nothing) — CLI exit code 2,
+ *  as opposed to a figure failing at runtime (exit code 1). */
+struct UsageError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+struct RunOptions
+{
+    bool quick = false;   //!< CI-smoke scale instead of full scale.
+    std::string filter;   //!< Name regex; empty selects every figure.
+    /**
+     * Stream for live human-readable output (banner + the figure's
+     * preserved printf text), or nullptr for silent structured runs.
+     */
+    std::ostream *text_out = nullptr;
+};
+
+/**
+ * Run the selected figures and return the aggregate document described
+ * above. Figure exceptions are captured per entry (see "error" above),
+ * never propagated. Throws std::regex_error on a bad filter and
+ * UsageError when the filter matches nothing.
+ */
+json::Value runFigures(const RunOptions &opts);
+
+/** The short git sha stamped into run metadata ("unknown" if absent).
+ *  The REDQAOA_GIT_SHA environment variable overrides the build-time
+ *  value, for runs from exported source trees. */
+std::string gitSha();
+
+} // namespace bench
+} // namespace redqaoa
+
+#endif // REDQAOA_BENCH_HARNESS_BENCH_RUNNER_HPP

@@ -1,0 +1,89 @@
+#include "bench/harness/figure.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <regex>
+#include <stdexcept>
+
+namespace redqaoa {
+namespace bench {
+
+void
+FigureContext::out(const char *fmt, ...)
+{
+    char stack_buf[512];
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(stack_buf, sizeof stack_buf, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return;
+    }
+    if (static_cast<std::size_t>(needed) < sizeof stack_buf) {
+        sink.appendText(stack_buf);
+    } else {
+        std::vector<char> heap_buf(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args_copy);
+        sink.appendText(heap_buf.data());
+    }
+    va_end(args_copy);
+}
+
+FigureRegistry &
+FigureRegistry::instance()
+{
+    static FigureRegistry registry;
+    return registry;
+}
+
+bool
+FigureRegistry::add(FigureInfo info)
+{
+    for (const FigureInfo &f : figures_)
+        if (f.name == info.name)
+            throw std::runtime_error("duplicate figure registration: " +
+                                     info.name);
+    figures_.push_back(std::move(info));
+    return true;
+}
+
+const FigureInfo *
+FigureRegistry::find(const std::string &name) const
+{
+    for (const FigureInfo &f : figures_)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+std::vector<const FigureInfo *>
+FigureRegistry::all() const
+{
+    std::vector<const FigureInfo *> out;
+    out.reserve(figures_.size());
+    for (const FigureInfo &f : figures_)
+        out.push_back(&f);
+    std::sort(out.begin(), out.end(),
+              [](const FigureInfo *a, const FigureInfo *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+std::vector<const FigureInfo *>
+FigureRegistry::match(const std::string &pattern) const
+{
+    std::regex re(pattern);
+    std::vector<const FigureInfo *> out;
+    for (const FigureInfo *f : all())
+        if (std::regex_search(f->name, re))
+            out.push_back(f);
+    return out;
+}
+
+} // namespace bench
+} // namespace redqaoa

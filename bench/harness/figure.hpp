@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Figure registry for the unified benchmark runner. Each paper figure
+ * (and ablation/table/micro study) registers itself at static-init time
+ * with REDQAOA_REGISTER_FIGURE and receives a FigureContext when run:
+ * the quick/full scale switch, the ResultSink for structured output,
+ * and a printf-style text channel that preserves the historical
+ * human-readable output.
+ *
+ * Figure translation units are compiled into an OBJECT library so the
+ * linker cannot drop their registration statics (a plain static archive
+ * would discard unreferenced TUs).
+ */
+
+#ifndef REDQAOA_BENCH_HARNESS_FIGURE_HPP
+#define REDQAOA_BENCH_HARNESS_FIGURE_HPP
+
+#include <string>
+#include <vector>
+
+#include "bench/harness/result_sink.hpp"
+
+namespace redqaoa {
+namespace bench {
+
+/** Everything a figure needs while it runs. */
+class FigureContext
+{
+  public:
+    FigureContext(bool quick_mode, ResultSink &sink_ref)
+        : quick(quick_mode), sink(sink_ref)
+    {
+    }
+
+    bool quick;       //!< --quick: CI-smoke scale instead of full scale.
+    ResultSink &sink; //!< Structured results for the JSON document.
+
+    /** Pick the workload knob for the current scale. */
+    int scale(int quick_value, int full_value) const
+    {
+        return quick ? quick_value : full_value;
+    }
+    double scale(double quick_value, double full_value) const
+    {
+        return quick ? quick_value : full_value;
+    }
+
+    /** printf into the figure's human-readable text output. */
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    void
+    out(const char *fmt, ...);
+
+    /**
+     * Record @p text as a JSON note AND print it (plus newline) to the
+     * text output — the one call for paper-shape commentary, so the
+     * two channels can never drift apart.
+     */
+    void note(const std::string &text)
+    {
+        sink.note(text);
+        sink.appendText(text + "\n");
+    }
+};
+
+using FigureFn = void (*)(FigureContext &);
+
+struct FigureInfo
+{
+    std::string name;        //!< Registry key, e.g. "fig17".
+    std::string title;       //!< Display title, e.g. "Figure 17".
+    std::string description; //!< One-line summary of what it measures.
+    FigureFn fn = nullptr;
+};
+
+/** Process-wide registry populated by REDQAOA_REGISTER_FIGURE. */
+class FigureRegistry
+{
+  public:
+    static FigureRegistry &instance();
+
+    /** Register @p info; duplicate names throw. Returns true. */
+    bool add(FigureInfo info);
+
+    /** Figure by exact name, or nullptr. */
+    const FigureInfo *find(const std::string &name) const;
+
+    /** All figures, sorted by name. */
+    std::vector<const FigureInfo *> all() const;
+
+    /**
+     * Figures whose name matches the ECMAScript regex @p pattern
+     * (std::regex_search, so "fig1" matches fig1x too — anchor with
+     * ^...$ for exact sets). Sorted by name. Throws std::regex_error on
+     * an invalid pattern.
+     */
+    std::vector<const FigureInfo *> match(const std::string &pattern) const;
+
+  private:
+    std::vector<FigureInfo> figures_;
+};
+
+} // namespace bench
+} // namespace redqaoa
+
+/**
+ * Define and register a figure. @p id is both the registry name and the
+ * symbol suffix; the statement is followed by the run function's body:
+ *
+ *   REDQAOA_REGISTER_FIGURE(fig17, "Figure 17", "30-node scalability")
+ *   {
+ *       const int kGraphs = ctx.scale(1, 3);
+ *       ...
+ *   }
+ */
+#define REDQAOA_REGISTER_FIGURE(id, title_str, description_str)          \
+    static void redqaoaFigureRun_##id(                                   \
+        ::redqaoa::bench::FigureContext &ctx);                           \
+    static const bool redqaoaFigureReg_##id =                            \
+        ::redqaoa::bench::FigureRegistry::instance().add(                \
+            {#id, title_str, description_str, &redqaoaFigureRun_##id});  \
+    static void redqaoaFigureRun_##id(                                   \
+        [[maybe_unused]] ::redqaoa::bench::FigureContext &ctx)
+
+#endif // REDQAOA_BENCH_HARNESS_FIGURE_HPP

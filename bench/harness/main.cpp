@@ -1,0 +1,164 @@
+/**
+ * @file
+ * redqaoa_bench — unified benchmark runner for every paper figure,
+ * table, and ablation study.
+ *
+ *   redqaoa_bench --list                      enumerate figures
+ *   redqaoa_bench                             run all, full scale, text
+ *   redqaoa_bench --quick                     CI-smoke scale
+ *   redqaoa_bench --filter '^fig1[0-9]$'      regex name selection
+ *   redqaoa_bench --json out.json             aggregate JSON document
+ *   redqaoa_bench --json out.json --text      JSON plus live text
+ *
+ * Text output (the historical per-binary printf output, ASCII
+ * landscapes included) is on by default and suppressed when --json is
+ * given unless --text re-enables it. Exit codes: 0 success, 1 runtime
+ * failure, 2 usage error (bad flag, bad regex, filter matches nothing).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <stdexcept>
+#include <string>
+
+#include "bench/harness/bench_runner.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: redqaoa_bench [--list] [--filter <regex>] [--quick]\n"
+        "                     [--json <path>] [--text] [--help]\n"
+        "\n"
+        "  --list           list registered figures and exit\n"
+        "  --filter <re>    run only figures whose name matches <re>\n"
+        "  --quick          CI-smoke workload scale (default: full"
+        " laptop scale)\n"
+        "  --json <path>    write the aggregate JSON document to"
+        " <path>\n"
+        "  --text           human-readable output (default unless"
+        " --json is given)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool list = false;
+    bool quick = false;
+    bool want_text = false;
+    bool text_flag_given = false;
+    std::string filter;
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--text") {
+            want_text = true;
+            text_flag_given = true;
+        } else if (arg == "--filter") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "error: --filter needs a value\n");
+                usage(stderr);
+                return 2;
+            }
+            filter = argv[i];
+        } else if (arg == "--json") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "error: --json needs a path\n");
+                usage(stderr);
+                return 2;
+            }
+            json_path = argv[i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "error: unknown argument '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+    if (!text_flag_given)
+        want_text = json_path.empty();
+
+    if (list) {
+        std::vector<const bench::FigureInfo *> figures;
+        try {
+            figures = filter.empty()
+                          ? bench::FigureRegistry::instance().all()
+                          : bench::FigureRegistry::instance().match(
+                                filter);
+        } catch (const std::regex_error &e) {
+            std::fprintf(stderr, "error: bad --filter regex: %s\n",
+                         e.what());
+            return 2;
+        }
+        for (const bench::FigureInfo *f : figures)
+            std::printf("%-20s %-10s %s\n", f->name.c_str(),
+                        f->title.c_str(), f->description.c_str());
+        std::printf("%zu figures registered\n", figures.size());
+        return 0;
+    }
+
+    bench::RunOptions opts;
+    opts.quick = quick;
+    opts.filter = filter;
+    opts.text_out = want_text ? &std::cout : nullptr;
+
+    json::Value doc;
+    try {
+        doc = bench::runFigures(opts);
+    } catch (const std::regex_error &e) {
+        std::fprintf(stderr, "error: bad --filter regex: %s\n",
+                     e.what());
+        return 2;
+    } catch (const bench::UsageError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                         json_path.c_str());
+            return 1;
+        }
+        out << doc.dump(2) << "\n";
+        if (!out.good()) {
+            std::fprintf(stderr, "error: short write to '%s'\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote %s (%zu figures)\n",
+                     json_path.c_str(),
+                     doc.find("figures")->size());
+    }
+    // A figure that threw is recorded in the document but still makes
+    // the run a failure (exit 1, distinct from usage errors).
+    const json::Value *failed =
+        doc.find("metadata")->find("failed_count");
+    if (failed && failed->asNumber() > 0) {
+        std::fprintf(stderr, "error: %.0f figure(s) failed\n",
+                     failed->asNumber());
+        return 1;
+    }
+    return 0;
+}

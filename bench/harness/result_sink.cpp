@@ -1,0 +1,119 @@
+#include "bench/harness/result_sink.hpp"
+
+namespace redqaoa {
+namespace bench {
+
+void
+ResultSink::metric(const std::string &name, double value)
+{
+    for (auto &kv : metrics_) {
+        if (kv.first == name) {
+            kv.second = value;
+            return;
+        }
+    }
+    metrics_.emplace_back(name, value);
+}
+
+void
+ResultSink::series(const std::string &name, std::vector<double> values)
+{
+    for (auto &kv : series_) {
+        if (kv.first == name) {
+            kv.second = std::move(values);
+            return;
+        }
+    }
+    series_.emplace_back(name, std::move(values));
+}
+
+void
+ResultSink::seriesPoint(const std::string &name, double value)
+{
+    for (auto &kv : series_) {
+        if (kv.first == name) {
+            kv.second.push_back(value);
+            return;
+        }
+    }
+    series_.emplace_back(name, std::vector<double>{value});
+}
+
+void
+ResultSink::labels(const std::string &name,
+                   std::vector<std::string> values)
+{
+    for (auto &kv : labels_) {
+        if (kv.first == name) {
+            kv.second = std::move(values);
+            return;
+        }
+    }
+    labels_.emplace_back(name, std::move(values));
+}
+
+void
+ResultSink::labelPoint(const std::string &name, const std::string &value)
+{
+    for (auto &kv : labels_) {
+        if (kv.first == name) {
+            kv.second.push_back(value);
+            return;
+        }
+    }
+    labels_.emplace_back(name, std::vector<std::string>{value});
+}
+
+void
+ResultSink::note(const std::string &text)
+{
+    notes_.push_back(text);
+}
+
+void
+ResultSink::appendText(const std::string &chunk)
+{
+    text_ += chunk;
+}
+
+json::Value
+ResultSink::toJson() const
+{
+    json::Value out = json::Value::object();
+    if (!metrics_.empty()) {
+        json::Value m = json::Value::object();
+        for (const auto &kv : metrics_)
+            m[kv.first] = json::Value(kv.second);
+        out["metrics"] = std::move(m);
+    }
+    if (!series_.empty()) {
+        json::Value s = json::Value::object();
+        for (const auto &kv : series_) {
+            json::Value arr = json::Value::array();
+            for (double v : kv.second)
+                arr.push(json::Value(v));
+            s[kv.first] = std::move(arr);
+        }
+        out["series"] = std::move(s);
+    }
+    if (!labels_.empty()) {
+        json::Value l = json::Value::object();
+        for (const auto &kv : labels_) {
+            json::Value arr = json::Value::array();
+            for (const std::string &v : kv.second)
+                arr.push(json::Value(v));
+            l[kv.first] = std::move(arr);
+        }
+        out["labels"] = std::move(l);
+    }
+    if (!notes_.empty()) {
+        json::Value n = json::Value::array();
+        for (const std::string &v : notes_)
+            n.push(json::Value(v));
+        out["notes"] = std::move(n);
+    }
+    return out;
+}
+
+} // namespace bench
+} // namespace redqaoa

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ResultSink: the structured output surface every figure writes to.
+ * Figures emit named scalar metrics, numeric series, string label
+ * columns, and free-form notes; the sink renders them into the
+ * per-figure JSON object. Human-readable text (the historical printf
+ * output, ASCII landscapes included) is captured separately and only
+ * shown in text mode — it never pollutes the JSON document.
+ */
+
+#ifndef REDQAOA_BENCH_HARNESS_RESULT_SINK_HPP
+#define REDQAOA_BENCH_HARNESS_RESULT_SINK_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace redqaoa {
+namespace bench {
+
+class ResultSink
+{
+  public:
+    /** Record (or overwrite) the scalar metric @p name. */
+    void metric(const std::string &name, double value);
+
+    /** Record the whole numeric series @p name at once. */
+    void series(const std::string &name, std::vector<double> values);
+
+    /** Append one point to the series @p name (created on first use). */
+    void seriesPoint(const std::string &name, double value);
+
+    /** Record a column of string labels (e.g. row names of a table). */
+    void labels(const std::string &name, std::vector<std::string> values);
+
+    /** Append one label to the column @p name. */
+    void labelPoint(const std::string &name, const std::string &value);
+
+    /** Free-form commentary (paper-shape expectations etc.). */
+    void note(const std::string &text);
+
+    /** Append raw human-readable text (text mode only; not in JSON). */
+    void appendText(const std::string &chunk);
+
+    const std::string &text() const { return text_; }
+
+    /**
+     * The figure's structured payload: {"metrics": {...},
+     * "series": {...}, "labels": {...}, "notes": [...]}. Empty sections
+     * are omitted.
+     */
+    json::Value toJson() const;
+
+  private:
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, std::vector<double>>> series_;
+    std::vector<std::pair<std::string, std::vector<std::string>>>
+        labels_;
+    std::vector<std::string> notes_;
+    std::string text_;
+};
+
+} // namespace bench
+} // namespace redqaoa
+
+#endif // REDQAOA_BENCH_HARNESS_RESULT_SINK_HPP

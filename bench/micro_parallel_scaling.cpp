@@ -4,16 +4,16 @@
  * the noisy landscape grid (the dominant experimental workload), the
  * trajectory estimator, and the light-cone evaluator.
  *
- * Usage: bench_micro_parallel_scaling [width] [trajectories] [nodes]
- * Defaults: a 64x64 noisy landscape over an 8-node graph with 8
- * trajectories per cell. The multi-thread pass uses REDQAOA_THREADS
- * (or all hardware threads) and must reproduce the 1-thread values
- * exactly — the bench verifies that before printing the speedup.
+ * Full scale runs a 64x64 noisy landscape over an 8-node graph with 8
+ * trajectories per cell; --quick shrinks the grid to 16x16 with 4
+ * trajectories. The multi-thread pass uses REDQAOA_THREADS (or all
+ * hardware threads) and must reproduce the 1-thread values exactly —
+ * the figure verifies that and reports it as the `values_identical`
+ * metric (1 = bit-identical, the CI assertion).
  */
 
 #include <chrono>
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
 
 #include "bench/bench_common.hpp"
 #include "common/thread_pool.hpp"
@@ -34,20 +34,31 @@ timeIt(F &&fn)
     return dt.count();
 }
 
+/** Restores the global pool size even if a workload throws. */
+class ThreadCountGuard
+{
+  public:
+    ThreadCountGuard() : saved_(ThreadPool::globalThreadCount()) {}
+    ~ThreadCountGuard() { ThreadPool::setGlobalThreads(saved_); }
+
+  private:
+    int saved_;
+};
+
 } // namespace
 
-int
-main(int argc, char **argv)
+REDQAOA_REGISTER_FIGURE(micro_parallel, "Micro",
+                        "1-thread vs multi-thread throughput of the"
+                        " hot paths")
 {
-    int width = argc > 1 ? std::atoi(argv[1]) : 64;
-    int trajectories = argc > 2 ? std::atoi(argv[2]) : 8;
-    int nodes = argc > 3 ? std::atoi(argv[3]) : 8;
-    int threads = ThreadPool::defaultThreads();
+    const int width = ctx.scale(16, 64);
+    const int trajectories = ctx.scale(4, 8);
+    const int nodes = 8;
+    const int threads = ThreadPool::defaultThreads();
+    ThreadCountGuard guard;
 
-    bench::banner("micro_parallel_scaling",
-                  "1-thread vs multi-thread throughput of the hot paths");
-    std::printf("  width=%d trajectories=%d nodes=%d threads=%d\n", width,
-                trajectories, nodes, threads);
+    ctx.out("  width=%d trajectories=%d nodes=%d threads=%d\n", width,
+            trajectories, nodes, threads);
 
     Rng grng(7);
     Graph g = gen::erdosRenyiGnp(nodes, 0.5, grng);
@@ -67,15 +78,18 @@ main(int argc, char **argv)
     });
     bool identical = serial_vals == parallel_vals;
     double cells = static_cast<double>(width) * width;
-    std::printf("  noisy landscape  %6.2fs -> %6.2fs  speedup %.2fx  "
-                "(%.0f vs %.0f cells/s)  values %s\n",
-                t_serial, t_parallel, t_serial / t_parallel,
-                cells / t_serial, cells / t_parallel,
-                identical ? "bit-identical" : "DIFFER (BUG)");
+    ctx.out("  noisy landscape  %6.2fs -> %6.2fs  speedup %.2fx  "
+            "(%.0f vs %.0f cells/s)  values %s\n",
+            t_serial, t_parallel, t_serial / t_parallel,
+            cells / t_serial, cells / t_parallel,
+            identical ? "bit-identical" : "DIFFER (BUG)");
+    ctx.sink.metric("landscape_serial_seconds", t_serial);
+    ctx.sink.metric("landscape_parallel_seconds", t_parallel);
+    ctx.sink.metric("landscape_speedup", t_serial / t_parallel);
 
     // --- Single-point trajectory estimator ----------------------------
     QaoaParams point({0.8}, {0.35});
-    const int reps = 200;
+    const int reps = ctx.scale(50, 200);
     double e_serial = 0.0, e_parallel = 0.0;
     ThreadPool::setGlobalThreads(1);
     double t_traj_serial = timeIt([&] {
@@ -89,17 +103,19 @@ main(int argc, char **argv)
         for (int r = 0; r < reps; ++r)
             e_parallel += sim.expectation(point);
     });
-    std::printf("  trajectories     %6.2fs -> %6.2fs  speedup %.2fx  "
-                "values %s\n",
-                t_traj_serial, t_traj_parallel,
-                t_traj_serial / t_traj_parallel,
-                e_serial == e_parallel ? "bit-identical" : "DIFFER (BUG)");
+    ctx.out("  trajectories     %6.2fs -> %6.2fs  speedup %.2fx  "
+            "values %s\n",
+            t_traj_serial, t_traj_parallel,
+            t_traj_serial / t_traj_parallel,
+            e_serial == e_parallel ? "bit-identical" : "DIFFER (BUG)");
+    ctx.sink.metric("trajectory_speedup",
+                    t_traj_serial / t_traj_parallel);
 
     // --- Light-cone evaluator on a larger sparse graph ----------------
     Rng r2(11);
     Graph big = gen::randomRegular(60, 3, r2);
     QaoaParams deep({0.5, 0.2}, {0.4, 0.1});
-    const int lc_reps = 20;
+    const int lc_reps = ctx.scale(5, 20);
     double c_serial = 0.0, c_parallel = 0.0;
     ThreadPool::setGlobalThreads(1);
     double t_lc_serial = timeIt([&] {
@@ -113,10 +129,18 @@ main(int argc, char **argv)
         for (int r = 0; r < lc_reps; ++r)
             c_parallel += lc.expectation(deep);
     });
-    std::printf("  lightcone        %6.2fs -> %6.2fs  speedup %.2fx\n",
-                t_lc_serial, t_lc_parallel, t_lc_serial / t_lc_parallel);
+    ctx.out("  lightcone        %6.2fs -> %6.2fs  speedup %.2fx\n",
+            t_lc_serial, t_lc_parallel, t_lc_serial / t_lc_parallel);
+    ctx.sink.metric("lightcone_speedup", t_lc_serial / t_lc_parallel);
 
-    std::printf("  overall landscape speedup at %d threads: %.2fx\n",
-                threads, t_serial / t_parallel);
-    return identical && e_serial == e_parallel ? 0 : 1;
+    ctx.out("  overall landscape speedup at %d threads: %.2fx\n",
+            threads, t_serial / t_parallel);
+    bool all_identical = identical && e_serial == e_parallel;
+    ctx.sink.metric("values_identical", all_identical ? 1.0 : 0.0);
+    // The PR-1 determinism contract is a hard gate: divergence fails
+    // the figure (runner exit 1), which fails the bench_smoke ctest
+    // and the CI bench-results job.
+    if (!all_identical)
+        throw std::runtime_error("multi-thread values differ from the"
+                                 " 1-thread reference");
 }

@@ -10,25 +10,32 @@
 
 using namespace redqaoa;
 
-int
-main()
+REDQAOA_REGISTER_FIGURE(table1, "Table 1", "benchmark graph datasets")
 {
-    bench::banner("Table 1", "benchmark graph datasets");
-    std::printf("%-8s %-34s %-8s %-10s %-8s %-8s %-9s\n", "Dataset",
-                "Description", "Graphs", "Nodes", "MeanN", "MeanAND",
-                "Regular%");
+    ctx.out("%-8s %-34s %-8s %-10s %-8s %-8s %-9s\n", "Dataset",
+            "Description", "Graphs", "Nodes", "MeanN", "MeanAND",
+            "Regular%");
     for (const Dataset &d :
          {datasets::makeAids(), datasets::makeLinux(),
           datasets::makeImdb(), datasets::makeRandom()}) {
-        std::printf("%-8s %-34s %-8zu %2d-%-7d %-8.1f %-8.2f %-9.1f\n",
-                    d.name.c_str(), d.description.c_str(),
-                    d.graphs.size(), d.minNodes(), d.maxNodes(),
-                    d.meanNodes(), d.meanAverageDegree(),
-                    100.0 * d.regularFraction());
+        ctx.out("%-8s %-34s %-8zu %2d-%-7d %-8.1f %-8.2f %-9.1f\n",
+                d.name.c_str(), d.description.c_str(),
+                d.graphs.size(), d.minNodes(), d.maxNodes(),
+                d.meanNodes(), d.meanAverageDegree(),
+                100.0 * d.regularFraction());
+        ctx.sink.labelPoint("dataset", d.name);
+        ctx.sink.seriesPoint("graphs", d.graphs.size());
+        ctx.sink.seriesPoint("min_nodes", d.minNodes());
+        ctx.sink.seriesPoint("max_nodes", d.maxNodes());
+        ctx.sink.seriesPoint("mean_nodes", d.meanNodes());
+        ctx.sink.seriesPoint("mean_average_degree",
+                             d.meanAverageDegree());
+        ctx.sink.seriesPoint("regular_fraction_pct",
+                             100.0 * d.regularFraction());
     }
-    std::printf("\npaper: AIDS 700 graphs 2-10 nodes; LINUX 1000 graphs"
-                " 4-10; IMDb 1500 graphs 7-89; Random 10 graphs 7-20.\n");
-    std::printf("paper §7.1 regular fractions: AIDS 1.14%%, LINUX 0%%,"
-                " IMDb ~54%%.\n");
-    return 0;
+    ctx.out("\n");
+    ctx.note("paper: AIDS 700 graphs 2-10 nodes; LINUX 1000 graphs"
+             " 4-10; IMDb 1500 graphs 7-89; Random 10 graphs 7-20.");
+    ctx.note("paper §7.1 regular fractions: AIDS 1.14%, LINUX 0%,"
+             " IMDb ~54%.");
 }

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Diff two redqaoa_bench JSON result files and flag metric drift.
+
+Usage:
+    compare_bench.py BASE.json NEW.json [--tolerance R] [--time-tolerance R]
+                     [--strict]
+
+Compares every figure present in both documents:
+  * scalar metrics: relative delta beyond --tolerance is flagged;
+  * series: length changes are flagged, element values are compared at
+    the same tolerance and the worst relative delta is reported;
+  * wall_seconds / total_wall_seconds: compared against the looser
+    --time-tolerance (timings are noisy on shared CI runners).
+Figures or metrics present on only one side are reported as added /
+removed (informational, never a failure).
+
+Exit status is 0 unless --strict is given, in which case flagged
+deltas (not timing drift) exit 1. CI runs this as a non-blocking
+report step; stdlib only, no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+EPS = 1e-12
+
+
+def rel_delta(base, new):
+    """Relative delta |new - base| / max(|base|, |new|, eps)."""
+    denom = max(abs(base), abs(new), EPS)
+    return abs(new - base) / denom
+
+
+def fmt_value(v):
+    """One value for display; non-finite metrics arrive as None."""
+    return "null" if v is None else f"{v:.6g}"
+
+
+def fmt_delta(base, new):
+    return f"{fmt_value(base)} -> {fmt_value(new)}" \
+           f" ({100.0 * rel_delta(base, new):+.1f}%)"
+
+
+def index_figures(doc):
+    return {f["name"]: f for f in doc.get("figures", [])}
+
+
+def compare_metrics(name, base_fig, new_fig, tolerance, flags, infos):
+    base_metrics = base_fig.get("metrics", {})
+    new_metrics = new_fig.get("metrics", {})
+    for key in sorted(set(base_metrics) | set(new_metrics)):
+        if key not in base_metrics:
+            infos.append(
+                f"{name}.{key}: added (={fmt_value(new_metrics[key])})")
+            continue
+        if key not in new_metrics:
+            infos.append(f"{name}.{key}: removed")
+            continue
+        b, n = base_metrics[key], new_metrics[key]
+        if b is None or n is None:
+            if b != n:
+                flags.append(f"{name}.{key}: {b} -> {n} (non-finite)")
+            continue
+        if rel_delta(b, n) > tolerance:
+            flags.append(f"{name}.{key}: {fmt_delta(b, n)}")
+
+
+def compare_series(name, base_fig, new_fig, tolerance, flags, infos):
+    base_series = base_fig.get("series", {})
+    new_series = new_fig.get("series", {})
+    for key in sorted(set(base_series) | set(new_series)):
+        if key not in base_series:
+            infos.append(f"{name}.series.{key}: added")
+            continue
+        if key not in new_series:
+            infos.append(f"{name}.series.{key}: removed")
+            continue
+        b, n = base_series[key], new_series[key]
+        if len(b) != len(n):
+            flags.append(
+                f"{name}.series.{key}: length {len(b)} -> {len(n)}")
+            continue
+        worst = 0.0
+        worst_i = -1
+        for i, (bv, nv) in enumerate(zip(b, n)):
+            if bv is None or nv is None:
+                if bv != nv:
+                    flags.append(
+                        f"{name}.series.{key}[{i}]: {bv} -> {nv}"
+                        " (non-finite)")
+                continue
+            d = rel_delta(bv, nv)
+            if d > worst:
+                worst, worst_i = d, i
+        if worst > tolerance:
+            flags.append(
+                f"{name}.series.{key}[{worst_i}]: "
+                f"{fmt_delta(b[worst_i], n[worst_i])}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("base", help="baseline bench JSON")
+    parser.add_argument("new", help="candidate bench JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative tolerance for metric/series"
+                             " values (default 0.25)")
+    parser.add_argument("--time-tolerance", type=float, default=1.0,
+                        help="relative tolerance for wall-clock drift"
+                             " (default 1.0, i.e. 2x)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when value deltas are flagged")
+    args = parser.parse_args()
+
+    with open(args.base) as fh:
+        base = json.load(fh)
+    with open(args.new) as fh:
+        new = json.load(fh)
+
+    for doc, label in ((base, args.base), (new, args.new)):
+        if doc.get("schema_version") != 1:
+            print(f"warning: {label} has schema_version"
+                  f" {doc.get('schema_version')!r}, expected 1")
+
+    base_quick = base.get("metadata", {}).get("quick")
+    new_quick = new.get("metadata", {}).get("quick")
+    if base_quick != new_quick:
+        print(f"warning: comparing quick={base_quick} against"
+              f" quick={new_quick}; value deltas are expected")
+
+    base_figs = index_figures(base)
+    new_figs = index_figures(new)
+
+    flags = []      # value drift beyond tolerance
+    time_drift = [] # wall-clock drift (informational)
+    infos = []      # added/removed entries
+
+    for name in sorted(set(base_figs) | set(new_figs)):
+        if name not in base_figs:
+            infos.append(f"{name}: figure added")
+            continue
+        if name not in new_figs:
+            infos.append(f"{name}: figure removed")
+            continue
+        bf, nf = base_figs[name], new_figs[name]
+        compare_metrics(name, bf, nf, args.tolerance, flags, infos)
+        compare_series(name, bf, nf, args.tolerance, flags, infos)
+        bt, nt = bf.get("wall_seconds"), nf.get("wall_seconds")
+        if (bt is not None and nt is not None
+                and rel_delta(bt, nt) > args.time_tolerance):
+            time_drift.append(f"{name}.wall_seconds: {fmt_delta(bt, nt)}")
+
+    bt = base.get("metadata", {}).get("total_wall_seconds")
+    nt = new.get("metadata", {}).get("total_wall_seconds")
+    if (bt is not None and nt is not None
+            and rel_delta(bt, nt) > args.time_tolerance):
+        time_drift.append(f"metadata.total_wall_seconds:"
+                          f" {fmt_delta(bt, nt)}")
+
+    print(f"compared {len(set(base_figs) & set(new_figs))} common"
+          f" figures ({args.base} vs {args.new},"
+          f" tolerance {args.tolerance:g})")
+    for section, entries in (("value deltas beyond tolerance", flags),
+                             ("wall-clock drift", time_drift),
+                             ("added/removed", infos)):
+        if entries:
+            print(f"\n{section} ({len(entries)}):")
+            for e in entries:
+                print(f"  {e}")
+    if not flags and not time_drift and not infos:
+        print("no differences beyond tolerance")
+
+    if args.strict and flags:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

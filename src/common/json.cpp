@@ -1,0 +1,499 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace redqaoa {
+namespace json {
+
+namespace {
+
+[[noreturn]] void
+typeError(const char *wanted)
+{
+    throw std::runtime_error(std::string("json: value is not a ") +
+                             wanted);
+}
+
+/** Shortest round-trippable rendering of a finite double. */
+std::string
+formatNumber(double d)
+{
+    if (!std::isfinite(d))
+        return "null";
+    // Integers up to 2^53 print without an exponent or decimal point.
+    if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", d);
+        return buf;
+    }
+    // %.17g always round-trips; prefer the shorter %.15g when lossless.
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.15g", d);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back != d)
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+    return buf;
+}
+
+} // namespace
+
+std::string
+escapeString(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+bool
+Value::asBool() const
+{
+    if (type_ != Type::Boolean)
+        typeError("boolean");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    if (type_ != Type::Number)
+        typeError("number");
+    return number_;
+}
+
+const std::string &
+Value::asString() const
+{
+    if (type_ != Type::String)
+        typeError("string");
+    return string_;
+}
+
+const Array &
+Value::asArray() const
+{
+    if (type_ != Type::ArrayT)
+        typeError("array");
+    return array_;
+}
+
+const Object &
+Value::asObject() const
+{
+    if (type_ != Type::ObjectT)
+        typeError("object");
+    return object_;
+}
+
+void
+Value::push(Value v)
+{
+    if (type_ != Type::ArrayT)
+        typeError("array");
+    array_.push_back(std::move(v));
+}
+
+std::size_t
+Value::size() const
+{
+    if (type_ == Type::ArrayT)
+        return array_.size();
+    if (type_ == Type::ObjectT)
+        return object_.size();
+    return 0;
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    if (type_ != Type::ObjectT)
+        typeError("object");
+    for (auto &kv : object_)
+        if (kv.first == key)
+            return kv.second;
+    object_.emplace_back(key, Value());
+    return object_.back().second;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type_ != Type::ObjectT)
+        return nullptr;
+    for (const auto &kv : object_)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    auto newline = [&](int d) {
+        if (!pretty)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) *
+                       static_cast<std::size_t>(d),
+                   ' ');
+    };
+
+    switch (type_) {
+    case Type::Null:
+        out += "null";
+        break;
+    case Type::Boolean:
+        out += bool_ ? "true" : "false";
+        break;
+    case Type::Number:
+        out += formatNumber(number_);
+        break;
+    case Type::String:
+        out += '"';
+        out += escapeString(string_);
+        out += '"';
+        break;
+    case Type::ArrayT:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out += pretty ? "," : ",";
+            newline(depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+    case Type::ObjectT:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out += ",";
+            newline(depth + 1);
+            out += '"';
+            out += escapeString(object_[i].first);
+            out += pretty ? "\": " : "\":";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value parseDocument()
+    {
+        Value v = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why)
+    {
+        throw std::runtime_error("json: " + why + " at offset " +
+                                 std::to_string(pos_));
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const char *lit)
+    {
+        std::size_t n = 0;
+        while (lit[n])
+            ++n;
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value parseValue()
+    {
+        skipWhitespace();
+        char c = peek();
+        switch (c) {
+        case '{':
+            return parseObject();
+        case '[':
+            return parseArray();
+        case '"':
+            return Value(parseString());
+        case 't':
+            if (consumeLiteral("true"))
+                return Value(true);
+            fail("invalid literal");
+        case 'f':
+            if (consumeLiteral("false"))
+                return Value(false);
+            fail("invalid literal");
+        case 'n':
+            if (consumeLiteral("null"))
+                return Value();
+            fail("invalid literal");
+        default:
+            return parseNumber();
+        }
+    }
+
+    Value parseObject()
+    {
+        expect('{');
+        Value obj = Value::object();
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            skipWhitespace();
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            obj[key] = parseValue();
+            skipWhitespace();
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return obj;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    Value parseArray()
+    {
+        expect('[');
+        Value arr = Value::array();
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            arr.push(parseValue());
+            skipWhitespace();
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return arr;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape");
+                }
+                // UTF-8 encode the code point (BMP only; the harness
+                // never emits surrogate pairs).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out +=
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default:
+                fail("invalid escape character");
+            }
+        }
+    }
+
+    Value parseNumber()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '+' || c == '-' ||
+                c == '.' || c == 'e' || c == 'E')
+                ++pos_;
+            else
+                break;
+        }
+        if (pos_ == start)
+            fail("invalid number");
+        std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0')
+            fail("invalid number '" + tok + "'");
+        return Value(d);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+Value::parse(const std::string &text)
+{
+    Parser p(text);
+    return p.parseDocument();
+}
+
+} // namespace json
+} // namespace redqaoa

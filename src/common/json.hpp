@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Minimal JSON document model used by the benchmark harness: an ordered
+ * value type (objects keep insertion order so emitted documents are
+ * stable across runs), a writer with full string escaping, and a strict
+ * recursive-descent parser so results files can be read back (tests,
+ * tooling). No external dependencies.
+ */
+
+#ifndef REDQAOA_COMMON_JSON_HPP
+#define REDQAOA_COMMON_JSON_HPP
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace redqaoa {
+namespace json {
+
+class Value;
+
+/** JSON array: ordered sequence of values. */
+using Array = std::vector<Value>;
+
+/** JSON object: insertion-ordered key/value pairs (keys unique). */
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/**
+ * One JSON value of any type. Numbers are stored as double (the harness
+ * only emits measurements); non-finite doubles serialize as null, per
+ * RFC 8259 which has no NaN/Inf representation.
+ */
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Boolean,
+        Number,
+        String,
+        ArrayT,
+        ObjectT,
+    };
+
+    Value() : type_(Type::Null) {}
+    Value(std::nullptr_t) : type_(Type::Null) {}
+    Value(bool b) : type_(Type::Boolean), bool_(b) {}
+    Value(double d) : type_(Type::Number), number_(d) {}
+    Value(int i) : type_(Type::Number), number_(i) {}
+    Value(long long i)
+        : type_(Type::Number), number_(static_cast<double>(i))
+    {
+    }
+    Value(std::size_t i)
+        : type_(Type::Number), number_(static_cast<double>(i))
+    {
+    }
+    Value(const char *s) : type_(Type::String), string_(s) {}
+    Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+    Value(Array a) : type_(Type::ArrayT), array_(std::move(a)) {}
+    Value(Object o) : type_(Type::ObjectT), object_(std::move(o)) {}
+
+    /** Fresh empty array / object values. */
+    static Value array() { return Value(Array{}); }
+    static Value object() { return Value(Object{}); }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Boolean; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::ArrayT; }
+    bool isObject() const { return type_ == Type::ObjectT; }
+
+    /** Typed accessors; they throw std::runtime_error on a mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Array: append one element (value must be an array). */
+    void push(Value v);
+
+    /** Array / object element count (0 for scalars). */
+    std::size_t size() const;
+
+    /**
+     * Object: reference to the value under @p key, inserting a null
+     * member at the end if absent (value must be an object).
+     */
+    Value &operator[](const std::string &key);
+
+    /** Object: pointer to the member under @p key, or nullptr. */
+    const Value *find(const std::string &key) const;
+
+    /**
+     * Serialize. @p indent < 0 emits the compact single-line form;
+     * otherwise pretty-print with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parse a complete JSON document (trailing garbage is an error).
+     * Throws std::runtime_error with an offset-annotated message on
+     * malformed input.
+     */
+    static Value parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/** Escape @p s for embedding inside a JSON string literal (no quotes). */
+std::string escapeString(const std::string &s);
+
+} // namespace json
+} // namespace redqaoa
+
+#endif // REDQAOA_COMMON_JSON_HPP
