@@ -54,6 +54,49 @@ BM_CutTableConstruction(benchmark::State &state)
 }
 BENCHMARK(BM_CutTableConstruction)->Arg(10)->Arg(14)->Arg(18);
 
+// The three kernel layers of every statevector simulation, mirrored
+// from the registered micro_kernels figure (same shapes: sparse graph,
+// n = 12/16/20) so google-benchmark users see the identical workload.
+
+void
+BM_PhaseTableLayer(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    Graph g = graphFor(n, std::min(0.9, 6.0 / (n - 1)));
+    CutTable table = makeCutTable(g);
+    std::vector<Complex> phases;
+    buildPhaseTable(table.maxCode, 0.8, phases);
+    Statevector psi = Statevector::uniform(n);
+    for (auto _ : state)
+        psi.applyPhaseTable(table.codes, phases);
+    state.counters["amps"] = static_cast<double>(psi.dim());
+}
+BENCHMARK(BM_PhaseTableLayer)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_FusedMixerLayer(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    Statevector psi = Statevector::uniform(n);
+    for (auto _ : state)
+        psi.applyRxAll(0.8);
+    state.counters["amps"] = static_cast<double>(psi.dim());
+}
+BENCHMARK(BM_FusedMixerLayer)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_ExpectationFromCodes(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    Graph g = graphFor(n, std::min(0.9, 6.0 / (n - 1)));
+    CutTable table = makeCutTable(g);
+    Statevector psi = Statevector::uniform(n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(psi.expectationFromCodes(table.codes));
+    state.counters["amps"] = static_cast<double>(psi.dim());
+}
+BENCHMARK(BM_ExpectationFromCodes)->Arg(12)->Arg(16)->Arg(20);
+
 void
 BM_TrajectoryExpectation(benchmark::State &state)
 {

@@ -3,24 +3,38 @@
 
 Usage:
     compare_bench.py BASE.json NEW.json [--tolerance R] [--time-tolerance R]
-                     [--strict]
+                     [--kernel-figures REGEX] [--kernel-time-tolerance R]
+                     [--annotate] [--strict]
 
 Compares every figure present in both documents:
   * scalar metrics: relative delta beyond --tolerance is flagged;
+    metrics whose name ends in `_seconds` are timings and compared
+    against the looser --time-tolerance instead (reported as drift,
+    not value deltas);
   * series: length changes are flagged, element values are compared at
-    the same tolerance and the worst relative delta is reported;
-  * wall_seconds / total_wall_seconds: compared against the looser
+    the same tolerance and the worst relative delta is reported
+    (`_seconds` series are timings, compared at --time-tolerance);
+  * wall_seconds / total_wall_seconds: compared against
     --time-tolerance (timings are noisy on shared CI runners).
 Figures or metrics present on only one side are reported as added /
 removed (informational, never a failure).
 
+--kernel-figures REGEX enables the kernel regression check: for
+figures matching the regex, `_seconds` metrics and wall_seconds are
+additionally compared against --kernel-time-tolerance (default 0.25)
+and regressions (slowdowns only) are reported in a dedicated section;
+with --annotate they are also emitted as GitHub `::warning` workflow
+annotations. Kernel regressions never affect the exit status — the
+check is loud, not blocking.
+
 Exit status is 0 unless --strict is given, in which case flagged
-deltas (not timing drift) exit 1. CI runs this as a non-blocking
+value deltas (not timing drift) exit 1. CI runs this as a non-blocking
 report step; stdlib only, no third-party imports.
 """
 
 import argparse
 import json
+import re
 import sys
 
 EPS = 1e-12
@@ -46,7 +60,8 @@ def index_figures(doc):
     return {f["name"]: f for f in doc.get("figures", [])}
 
 
-def compare_metrics(name, base_fig, new_fig, tolerance, flags, infos):
+def compare_metrics(name, base_fig, new_fig, tolerance, time_tolerance,
+                    flags, time_drift, infos):
     base_metrics = base_fig.get("metrics", {})
     new_metrics = new_fig.get("metrics", {})
     for key in sorted(set(base_metrics) | set(new_metrics)):
@@ -62,11 +77,46 @@ def compare_metrics(name, base_fig, new_fig, tolerance, flags, infos):
             if b != n:
                 flags.append(f"{name}.{key}: {b} -> {n} (non-finite)")
             continue
+        if key.endswith("_seconds"):
+            # Timing metric: noisy by nature, report as drift only.
+            if rel_delta(b, n) > time_tolerance:
+                time_drift.append(f"{name}.{key}: {fmt_delta(b, n)}")
+            continue
         if rel_delta(b, n) > tolerance:
             flags.append(f"{name}.{key}: {fmt_delta(b, n)}")
 
 
-def compare_series(name, base_fig, new_fig, tolerance, flags, infos):
+def check_kernel_regressions(pattern, base_figs, new_figs, tolerance,
+                             min_seconds):
+    """Slowdowns beyond tolerance in `_seconds` metrics / wall_seconds
+    of figures matching the kernel regex. Timings under @p min_seconds
+    are below the scheduling-noise floor and skipped."""
+    regressions = []
+    matcher = re.compile(pattern)
+    for name in sorted(set(base_figs) & set(new_figs)):
+        if not matcher.search(name):
+            continue
+        bf, nf = base_figs[name], new_figs[name]
+        base_metrics = bf.get("metrics", {})
+        new_metrics = nf.get("metrics", {})
+        timed = [(f"{name}.{k}", base_metrics[k], new_metrics[k])
+                 for k in sorted(set(base_metrics) & set(new_metrics))
+                 if k.endswith("_seconds")]
+        timed.append((f"{name}.wall_seconds", bf.get("wall_seconds"),
+                      nf.get("wall_seconds")))
+        for label, b, n in timed:
+            if b is None or n is None or b <= min_seconds:
+                continue
+            slowdown = (n - b) / b
+            if slowdown > tolerance:
+                regressions.append(
+                    f"{label}: {fmt_value(b)}s -> {fmt_value(n)}s"
+                    f" (+{100.0 * slowdown:.0f}% slower)")
+    return regressions
+
+
+def compare_series(name, base_fig, new_fig, tolerance, time_tolerance,
+                   flags, time_drift, infos):
     base_series = base_fig.get("series", {})
     new_series = new_fig.get("series", {})
     for key in sorted(set(base_series) | set(new_series)):
@@ -81,6 +131,11 @@ def compare_series(name, base_fig, new_fig, tolerance, flags, infos):
             flags.append(
                 f"{name}.series.{key}: length {len(b)} -> {len(n)}")
             continue
+        # Timing series (e.g. fig18 preprocess_seconds) drift like
+        # wall-clock, not like measurements.
+        is_timing = key.endswith("_seconds")
+        out = time_drift if is_timing else flags
+        limit = time_tolerance if is_timing else tolerance
         worst = 0.0
         worst_i = -1
         for i, (bv, nv) in enumerate(zip(b, n)):
@@ -93,8 +148,8 @@ def compare_series(name, base_fig, new_fig, tolerance, flags, infos):
             d = rel_delta(bv, nv)
             if d > worst:
                 worst, worst_i = d, i
-        if worst > tolerance:
-            flags.append(
+        if worst > limit:
+            out.append(
                 f"{name}.series.{key}[{worst_i}]: "
                 f"{fmt_delta(b[worst_i], n[worst_i])}")
 
@@ -111,6 +166,22 @@ def main():
     parser.add_argument("--time-tolerance", type=float, default=1.0,
                         help="relative tolerance for wall-clock drift"
                              " (default 1.0, i.e. 2x)")
+    parser.add_argument("--kernel-figures", default=None,
+                        help="regex of figures whose `_seconds` metrics"
+                             " and wall-clock get the kernel regression"
+                             " check")
+    parser.add_argument("--kernel-time-tolerance", type=float,
+                        default=0.25,
+                        help="relative slowdown flagged by the kernel"
+                             " regression check (default 0.25)")
+    parser.add_argument("--kernel-min-seconds", type=float,
+                        default=2e-5,
+                        help="kernel timings below this are under the"
+                             " measurement noise floor and skipped"
+                             " (default 2e-5)")
+    parser.add_argument("--annotate", action="store_true",
+                        help="emit kernel regressions as GitHub"
+                             " ::warning annotations")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when value deltas are flagged")
     args = parser.parse_args()
@@ -146,8 +217,10 @@ def main():
             infos.append(f"{name}: figure removed")
             continue
         bf, nf = base_figs[name], new_figs[name]
-        compare_metrics(name, bf, nf, args.tolerance, flags, infos)
-        compare_series(name, bf, nf, args.tolerance, flags, infos)
+        compare_metrics(name, bf, nf, args.tolerance,
+                        args.time_tolerance, flags, time_drift, infos)
+        compare_series(name, bf, nf, args.tolerance,
+                       args.time_tolerance, flags, time_drift, infos)
         bt, nt = bf.get("wall_seconds"), nf.get("wall_seconds")
         if (bt is not None and nt is not None
                 and rel_delta(bt, nt) > args.time_tolerance):
@@ -160,18 +233,32 @@ def main():
         time_drift.append(f"metadata.total_wall_seconds:"
                           f" {fmt_delta(bt, nt)}")
 
+    kernel_regressions = []
+    if args.kernel_figures:
+        kernel_regressions = check_kernel_regressions(
+            args.kernel_figures, base_figs, new_figs,
+            args.kernel_time_tolerance, args.kernel_min_seconds)
+
     print(f"compared {len(set(base_figs) & set(new_figs))} common"
           f" figures ({args.base} vs {args.new},"
           f" tolerance {args.tolerance:g})")
     for section, entries in (("value deltas beyond tolerance", flags),
                              ("wall-clock drift", time_drift),
+                             (f"kernel regressions beyond"
+                              f" {100 * args.kernel_time_tolerance:.0f}%",
+                              kernel_regressions),
                              ("added/removed", infos)):
         if entries:
             print(f"\n{section} ({len(entries)}):")
             for e in entries:
                 print(f"  {e}")
-    if not flags and not time_drift and not infos:
+    if not flags and not time_drift and not infos \
+            and not kernel_regressions:
         print("no differences beyond tolerance")
+
+    if args.annotate:
+        for e in kernel_regressions:
+            print(f"::warning title=bench kernel regression::{e}")
 
     if args.strict and flags:
         return 1

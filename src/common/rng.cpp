@@ -16,42 +16,6 @@ Rng::reseed(std::uint64_t seed)
     hasCachedNormal_ = false;
 }
 
-std::uint32_t
-Rng::next()
-{
-    std::uint64_t old = state_;
-    state_ = old * 6364136223846793005ULL + inc_;
-    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
-    auto rot = static_cast<std::uint32_t>(old >> 59u);
-    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
-}
-
-double
-Rng::uniform()
-{
-    // 53-bit mantissa from two draws for full double resolution.
-    std::uint64_t hi = next();
-    std::uint64_t lo = next();
-    std::uint64_t bits = (hi << 21u) ^ lo;
-    return static_cast<double>(bits & ((1ULL << 53u) - 1)) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
-}
-
-std::size_t
-Rng::index(std::size_t n)
-{
-    // Rejection-free for our sizes: modulo bias is negligible because the
-    // library never indexes ranges anywhere near 2^32, but we use Lemire's
-    // multiply-shift reduction anyway for uniformity.
-    std::uint64_t m = static_cast<std::uint64_t>(next()) * n;
-    return static_cast<std::size_t>(m >> 32u);
-}
-
 int
 Rng::intRange(int lo, int hi)
 {
@@ -81,12 +45,6 @@ double
 Rng::normal(double mean, double stddev)
 {
     return mean + stddev * normal();
-}
-
-bool
-Rng::bernoulli(double p)
-{
-    return uniform() < p;
 }
 
 Rng

@@ -36,21 +36,61 @@ class Rng
     /** Re-initialize the stream from @p seed. */
     void reseed(std::uint64_t seed);
 
-    /** Next raw 32-bit output. */
-    std::uint32_t next();
+    /**
+     * Next raw 32-bit output. Inline (with the distributions below):
+     * the trajectory simulator draws millions of variates per figure,
+     * so the PCG32 step must not cost a function call.
+     */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+    }
 
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return 0xffffffffu; }
     result_type operator()() { return next(); }
 
+    /**
+     * The raw 53-bit draw behind uniform(): uniform() returns exactly
+     * bits53() * 2^-53, so "uniform() < p" can be decided by comparing
+     * bits53() against ceil(p * 2^53) without leaving integers (the
+     * trajectory readout-flip fast path).
+     */
+    std::uint64_t
+    bits53()
+    {
+        std::uint64_t hi = next();
+        std::uint64_t lo = next();
+        return ((hi << 21u) ^ lo) & ((1ULL << 53u) - 1);
+    }
+
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform() { return static_cast<double>(bits53()) * 0x1.0p-53; }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Uniform integer in [0, n), n > 0. */
-    std::size_t index(std::size_t n);
+    std::size_t
+    index(std::size_t n)
+    {
+        // Rejection-free for our sizes: modulo bias is negligible
+        // because the library never indexes ranges anywhere near 2^32,
+        // but we use Lemire's multiply-shift reduction anyway for
+        // uniformity.
+        std::uint64_t m = static_cast<std::uint64_t>(next()) * n;
+        return static_cast<std::size_t>(m >> 32u);
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     int intRange(int lo, int hi);
@@ -62,7 +102,7 @@ class Rng
     double normal(double mean, double stddev);
 
     /** Bernoulli trial with success probability @p p. */
-    bool bernoulli(double p);
+    bool bernoulli(double p) { return uniform() < p; }
 
     /** Fisher-Yates shuffle of @p v. */
     template <typename T>

@@ -32,6 +32,13 @@ globalSlot()
     return pool;
 }
 
+/**
+ * Cached size of the global pool (0 = not created yet). The statevector
+ * kernels consult the thread count on every call, so reads must not
+ * take the global mutex.
+ */
+std::atomic<int> g_global_threads{0};
+
 } // namespace
 
 struct ThreadPool::Job
@@ -159,8 +166,11 @@ ThreadPool::global()
 {
     std::lock_guard<std::mutex> lock(g_global_mutex);
     auto &slot = globalSlot();
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<ThreadPool>(defaultThreads());
+        g_global_threads.store(slot->threadCount(),
+                               std::memory_order_relaxed);
+    }
     return *slot;
 }
 
@@ -170,11 +180,16 @@ ThreadPool::setGlobalThreads(int threads)
     auto pool = std::make_unique<ThreadPool>(std::max(1, threads));
     std::lock_guard<std::mutex> lock(g_global_mutex);
     globalSlot() = std::move(pool);
+    g_global_threads.store(globalSlot()->threadCount(),
+                           std::memory_order_relaxed);
 }
 
 int
 ThreadPool::globalThreadCount()
 {
+    int cached = g_global_threads.load(std::memory_order_relaxed);
+    if (cached != 0)
+        return cached;
     return global().threadCount();
 }
 

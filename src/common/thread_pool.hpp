@@ -75,7 +75,11 @@ class ThreadPool
      */
     static void setGlobalThreads(int threads);
 
-    /** Thread count of the global pool. */
+    /**
+     * Thread count of the global pool (creating it on first use).
+     * Served from a cached atomic, so hot kernels may call this per
+     * invocation without touching the pool mutex.
+     */
     static int globalThreadCount();
 
     /** REDQAOA_THREADS if set (clamped to >= 1), else hardware threads. */

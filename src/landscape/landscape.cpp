@@ -91,14 +91,24 @@ landscapeMse(const std::vector<double> &a, const std::vector<double> &b)
 {
     assert(a.size() == b.size());
     assert(!a.empty());
-    auto na = normalizeValues(a);
-    auto nb = normalizeValues(b);
+    // Normalization folded into the accumulation — no intermediate
+    // vectors. Matches normalizeValues() pointwise: (v - lo) / range,
+    // or all-zeros for a flat landscape.
+    auto range_of = [](const std::vector<double> &v) {
+        auto [lo_it, hi_it] = std::minmax_element(v.begin(), v.end());
+        double lo = *lo_it;
+        double range = *hi_it - lo;
+        return std::pair<double, double>(
+            lo, range < 1e-300 ? 0.0 : 1.0 / range);
+    };
+    auto [lo_a, inv_a] = range_of(a);
+    auto [lo_b, inv_b] = range_of(b);
     double s = 0.0;
-    for (std::size_t i = 0; i < na.size(); ++i) {
-        double d = na[i] - nb[i];
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = (a[i] - lo_a) * inv_a - (b[i] - lo_b) * inv_b;
         s += d * d;
     }
-    return s / static_cast<double>(na.size());
+    return s / static_cast<double>(a.size());
 }
 
 double

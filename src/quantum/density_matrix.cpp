@@ -63,16 +63,18 @@ DensityMatrix::applyRzz(int a, int b, double theta)
     const std::size_t dim = static_cast<std::size_t>(1) << numQubits_;
     const std::uint64_t abit = static_cast<std::uint64_t>(1) << a;
     const std::uint64_t bbit = static_cast<std::uint64_t>(1) << b;
+    // Phase exp(-i theta/2 (s_r - s_c)) with s = +-1: only two distinct
+    // values, so the per-entry cos/sin of the historical loop hoists
+    // into one pair of lookups (odd[pr] with phi = +-theta).
+    const Complex odd[2] = {Complex{std::cos(-theta), std::sin(-theta)},
+                            Complex{std::cos(theta), std::sin(theta)}};
     for (std::size_t c = 0; c < dim; ++c) {
         bool pc = ((c & abit) != 0) != ((c & bbit) != 0);
         for (std::size_t r = 0; r < dim; ++r) {
             bool pr = ((r & abit) != 0) != ((r & bbit) != 0);
             if (pr == pc)
                 continue; // Equal parity: phases cancel.
-            // Phase exp(-i theta/2 (s_r - s_c)) with s = +-1.
-            double phi = (pr ? 1.0 : -1.0) * theta;
-            rho_[(c << numQubits_) | r] *=
-                Complex{std::cos(phi), std::sin(phi)};
+            rho_[(c << numQubits_) | r] *= odd[pr ? 1 : 0];
         }
     }
 }

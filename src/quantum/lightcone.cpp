@@ -48,7 +48,7 @@ LightconeEvaluator::LightconeEvaluator(const Graph &g, int p,
         if (inserted) {
             ConeGroup grp;
             grp.cone = inducedSubgraph(g, nodes);
-            grp.costTable = cutTable(grp.cone.graph);
+            grp.costTable = makeCutTable(grp.cone.graph);
             groups_.push_back(std::move(grp));
         }
         ConeGroup &grp = groups_[it->second];
@@ -67,15 +67,16 @@ double
 LightconeEvaluator::groupEnergy(const ConeGroup &grp,
                                 const QaoaParams &params) const
 {
-    Statevector psi = Statevector::uniform(grp.cone.graph.numNodes());
-    for (int layer = 0; layer < depth_; ++layer) {
-        psi.applyDiagonalPhase(
-            grp.costTable, params.gamma[static_cast<std::size_t>(layer)]);
-        psi.applyRxAll(2.0 * params.beta[static_cast<std::size_t>(layer)]);
-    }
+    Statevector &psi = scratchUniformState(StateScratch::kLightcone,
+                                           grp.cone.graph.numNodes());
+    applyQaoaLayers(psi, grp.costTable, params);
+    // All edge terms of the cone in one fused pass over the amplitudes.
+    thread_local std::vector<double> zz;
+    zz.resize(grp.localEdges.size());
+    psi.zAndZzExpectations(grp.localEdges, {}, zz);
     double e = 0.0;
-    for (auto [a, b] : grp.localEdges)
-        e += 0.5 * (1.0 - psi.zzExpectation(a, b));
+    for (double term : zz)
+        e += 0.5 * (1.0 - term);
     return e;
 }
 
@@ -84,22 +85,11 @@ LightconeEvaluator::expectation(const QaoaParams &params)
 {
     assert(params.layers() == depth_);
     if (ThreadPool::globalThreadCount() == 1 || groups_.size() < 2) {
-        // Serial path: one accumulator straight through every edge term,
-        // matching the historical implementation bit-for-bit.
+        // Serial path: accumulate the group energies straight through in
+        // group order on the calling thread.
         double total = 0.0;
-        for (const ConeGroup &grp : groups_) {
-            Statevector psi =
-                Statevector::uniform(grp.cone.graph.numNodes());
-            for (int layer = 0; layer < depth_; ++layer) {
-                psi.applyDiagonalPhase(
-                    grp.costTable,
-                    params.gamma[static_cast<std::size_t>(layer)]);
-                psi.applyRxAll(
-                    2.0 * params.beta[static_cast<std::size_t>(layer)]);
-            }
-            for (auto [a, b] : grp.localEdges)
-                total += 0.5 * (1.0 - psi.zzExpectation(a, b));
-        }
+        for (const ConeGroup &grp : groups_)
+            total += groupEnergy(grp, params);
         return total;
     }
     // Parallel path: one cone simulation per slot, reduced in group

@@ -41,8 +41,10 @@ class LightconeEvaluator
     /**
      * <H_c> as a sum of per-edge cone simulations. With a multi-thread
      * global pool the deduplicated cones are simulated in parallel and
-     * reduced in a fixed order (thread-count independent); with one
-     * thread the historical serial accumulation runs unchanged.
+     * reduced in a fixed group order (thread-count independent); with
+     * one thread the same group energies accumulate serially on the
+     * calling thread. Cone statevectors live in per-thread scratch, so
+     * sweeps do not allocate per evaluation.
      */
     double expectation(const QaoaParams &params);
 
@@ -58,12 +60,16 @@ class LightconeEvaluator
     struct ConeGroup
     {
         Subgraph cone;
-        std::vector<double> costTable; //!< Cut table of the cone graph.
+        CutTable costTable; //!< Integer cut table of the cone graph.
         /** Local endpoints of each original edge evaluated here. */
         std::vector<std::pair<int, int>> localEdges;
     };
 
-    /** Summed edge terms of one cone group (read-only, thread-safe). */
+    /**
+     * Summed edge terms of one cone group (read-only, thread-safe):
+     * phase-table cost layers + fused mixer in per-thread scratch, then
+     * every edge term from one fused <ZZ> pass.
+     */
     double groupEnergy(const ConeGroup &grp, const QaoaParams &params) const;
 
     Graph graph_;

@@ -1,9 +1,12 @@
 #include "quantum/maxcut.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/thread_pool.hpp"
 
 namespace redqaoa {
 
@@ -51,25 +54,60 @@ cutValue(const Graph &g, std::uint64_t z)
     return cut;
 }
 
-std::vector<double>
-cutTable(const Graph &g)
+CutTable
+makeCutTable(const Graph &g)
 {
     const int n = g.numNodes();
     if (n > 26)
         throw std::invalid_argument("cutTable: graph too large (n > 26)");
     const std::size_t dim = static_cast<std::size_t>(1) << n;
-    std::vector<double> table(dim, 0.0);
-    // Per-edge pass: bit-parallel would be possible, but this is already
-    // a one-time O(2^n m) cost per graph and not a hot path.
-    for (const Edge &e : g.edges()) {
-        const std::uint64_t ubit = static_cast<std::uint64_t>(1) << e.u;
-        const std::uint64_t vbit = static_cast<std::uint64_t>(1) << e.v;
-        for (std::size_t z = 0; z < dim; ++z) {
-            bool parity = ((z & ubit) != 0) != ((z & vbit) != 0);
-            table[z] += parity ? 1.0 : 0.0;
+    CutTable table;
+    table.maxCode = g.numEdges();
+    table.codes.resize(dim);
+    // One pass over the table with the per-edge parities accumulated in
+    // registers, instead of the historical m read-modify-write sweeps.
+    const Edge *edge_data = g.edges().data();
+    const std::size_t m = g.edges().size();
+    std::int32_t *codes = table.codes.data();
+    auto fill = [codes, edge_data, m](std::size_t begin, std::size_t end) {
+        for (std::size_t z = begin; z < end; ++z) {
+            std::int32_t cut = 0;
+            for (std::size_t e = 0; e < m; ++e)
+                cut += static_cast<std::int32_t>(
+                    ((z >> edge_data[e].u) ^ (z >> edge_data[e].v)) &
+                    1u);
+            codes[z] = cut;
         }
-    }
+    };
+    if (detail::intraStateParallel(dim))
+        parallelForChunks(dim, fill, detail::kStateChunkLen);
+    else
+        fill(0, dim);
     return table;
+}
+
+std::vector<double>
+cutTable(const Graph &g)
+{
+    CutTable table = makeCutTable(g);
+    std::vector<double> out(table.codes.size());
+    for (std::size_t z = 0; z < out.size(); ++z)
+        out[z] = static_cast<double>(table.codes[z]);
+    return out;
+}
+
+void
+applyQaoaLayers(Statevector &psi, const CutTable &table,
+                const QaoaParams &params)
+{
+    thread_local std::vector<Complex> phases;
+    for (int layer = 0; layer < params.layers(); ++layer) {
+        buildPhaseTable(table.maxCode,
+                        params.gamma[static_cast<std::size_t>(layer)],
+                        phases);
+        psi.applyPhaseTable(table.codes, phases);
+        psi.applyRxAll(2.0 * params.beta[static_cast<std::size_t>(layer)]);
+    }
 }
 
 int
@@ -134,29 +172,24 @@ maxCutBest(const Graph &g, Rng &rng)
     return maxCutLocalSearch(g, rng);
 }
 
-QaoaSimulator::QaoaSimulator(const Graph &g) : graph_(g), cut_(cutTable(g))
+QaoaSimulator::QaoaSimulator(const Graph &g)
+    : graph_(g), table_(makeCutTable(g))
 {}
 
 double
 QaoaSimulator::expectation(const QaoaParams &params) const
 {
-    Statevector psi = state(params);
-    const auto &amps = psi.amplitudes();
-    double e = 0.0;
-    for (std::size_t z = 0; z < amps.size(); ++z)
-        e += std::norm(amps[z]) * cut_[z];
-    return e;
+    Statevector &psi = scratchUniformState(StateScratch::kEvaluator,
+                                           graph_.numNodes());
+    applyQaoaLayers(psi, table_, params);
+    return psi.expectationFromCodes(table_.codes);
 }
 
 Statevector
 QaoaSimulator::state(const QaoaParams &params) const
 {
     Statevector psi = Statevector::uniform(graph_.numNodes());
-    for (int layer = 0; layer < params.layers(); ++layer) {
-        psi.applyDiagonalPhase(cut_,
-                               params.gamma[static_cast<std::size_t>(layer)]);
-        psi.applyRxAll(2.0 * params.beta[static_cast<std::size_t>(layer)]);
-    }
+    applyQaoaLayers(psi, table_, params);
     return psi;
 }
 

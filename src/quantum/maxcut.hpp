@@ -4,9 +4,11 @@
  * QAOA expectation evaluator.
  *
  * H_c = sum_{(i,j) in E} (I - Z_i Z_j) / 2 is diagonal; its eigenvalue on
- * basis state z is the cut value cut(z). The simulator therefore applies
- * the cost layer as a single diagonal phase and computes <H_c> directly
- * from probabilities, which keeps landscape grids cheap.
+ * basis state z is the cut value cut(z). Cut values are small integers
+ * (0..m), so the table is kept as integer codes: the cost layer then
+ * applies exp(-i gamma H_c) through an (m+1)-entry phase lookup instead
+ * of a per-amplitude cos/sin, and <H_c> is a fused reduction over the
+ * amplitudes — no probability vector is ever materialized.
  */
 
 #ifndef REDQAOA_QUANTUM_MAXCUT_HPP
@@ -48,8 +50,31 @@ struct QaoaParams
 /** Cut value of basis state @p z (bit i = partition of node i). */
 int cutValue(const Graph &g, std::uint64_t z);
 
-/** Table of cut values for all 2^n basis states (n <= 26 enforced). */
+/**
+ * Integer cut table: codes[z] = cut(z) for all 2^n basis states, plus
+ * the largest representable code (the edge count). Built in a single
+ * pass per basis state with shift-xor edge parities.
+ */
+struct CutTable
+{
+    std::vector<std::int32_t> codes; //!< cut(z) per basis state.
+    int maxCode = 0;                 //!< Upper bound on codes (= |E|).
+};
+
+/** Cut table for all 2^n basis states (n <= 26 enforced). */
+CutTable makeCutTable(const Graph &g);
+
+/** The cut table as doubles (historical API; equals makeCutTable). */
 std::vector<double> cutTable(const Graph &g);
+
+/**
+ * Apply the p QAOA layers in @p params to @p psi: per layer the cost
+ * unitary exp(-i gamma H_c) via a phase-table lookup (per-thread table
+ * scratch, no allocation after warmup) and the fused RX mixer. The one
+ * layer-application path shared by the exact and light-cone backends.
+ */
+void applyQaoaLayers(Statevector &psi, const CutTable &table,
+                     const QaoaParams &params);
 
 /**
  * Exact MaxCut via exhaustive enumeration. O(2^(n-1) m); practical to
@@ -68,8 +93,10 @@ int maxCutLocalSearch(const Graph &g, Rng &rng, int restarts = 32);
 int maxCutBest(const Graph &g, Rng &rng);
 
 /**
- * Ideal QAOA simulator for one graph. Caches the cut table and reuses a
- * scratch statevector so repeated landscape evaluations do not allocate.
+ * Ideal QAOA simulator for one graph. Caches the integer cut table and
+ * runs expectation() entirely in per-thread scratch (statevector +
+ * phase table), so repeated landscape evaluations do not allocate and
+ * the instance is safe to share across concurrent batch workers.
  */
 class QaoaSimulator
 {
@@ -82,15 +109,18 @@ class QaoaSimulator
     /** Prepare and return the trial state (for inspection / sampling). */
     Statevector state(const QaoaParams &params) const;
 
-    /** The graph's cut table (shared with callers needing ground truth). */
-    const std::vector<double> &costTable() const { return cut_; }
+    /** The graph's cut table (integer codes, ground truth per state). */
+    const std::vector<std::int32_t> &costTable() const
+    {
+        return table_.codes;
+    }
 
     int numQubits() const { return graph_.numNodes(); }
     const Graph &graph() const { return graph_; }
 
   private:
     Graph graph_;
-    std::vector<double> cut_;
+    CutTable table_; //!< Integer codes: phase lookup + expectation.
 };
 
 } // namespace redqaoa

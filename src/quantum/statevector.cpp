@@ -1,13 +1,135 @@
 #include "quantum/statevector.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+
+#include "common/thread_pool.hpp"
 
 namespace redqaoa {
 
 namespace {
+
 constexpr Complex kI{0.0, 1.0};
+
+/**
+ * Kernels go parallel above this many amplitudes (16k amps = 256 KiB,
+ * enough work to amortize the fork-join). Below it, or on a 1-thread
+ * pool, every loop is the plain serial one.
+ */
+constexpr std::size_t kMinParallelDim = std::size_t{1} << 14;
+
+/**
+ * Fixed reduction chunk: partial sums are always accumulated over
+ * [c * kChunkLen, (c+1) * kChunkLen) windows and combined in window
+ * order, so a parallel reduction is independent of the thread count.
+ */
+constexpr std::size_t kChunkLen = detail::kStateChunkLen;
+
+/** Cache block for the fused mixer: 2^11 amps = 32 KiB, L1-resident. */
+constexpr int kBlockQubits = 11;
+
+using detail::intraStateParallel;
+
+/**
+ * chunk(begin, end) over [0, n): parallel when the state is large and
+ * the pool is multi-threaded, inline otherwise. Only for element-wise
+ * updates, whose values do not depend on the partition.
+ */
+template <typename Chunk>
+void
+forAmpChunks(std::size_t n, Chunk &&chunk)
+{
+    if (intraStateParallel(n))
+        parallelForChunks(n, chunk, kChunkLen);
+    else
+        chunk(0, n);
+}
+
+/**
+ * Deterministic sum reduction: serial single-accumulator loop on a
+ * 1-thread pool (bit-identical to the historical kernels), fixed-chunk
+ * partials combined in chunk order otherwise (identical at every
+ * thread count >= 2).
+ */
+template <typename PartialSum>
+double
+chunkedSum(std::size_t n, PartialSum &&partial_sum)
+{
+    if (!intraStateParallel(n))
+        return partial_sum(0, n);
+    const std::size_t chunks = (n + kChunkLen - 1) / kChunkLen;
+    // Plain pointer into the caller's scratch: a thread_local named in
+    // the worker lambda would resolve to the WORKER's instance.
+    thread_local std::vector<double> partials;
+    partials.assign(chunks, 0.0);
+    double *out = partials.data();
+    parallelFor(chunks, [&, out](std::size_t c) {
+        const std::size_t begin = c * kChunkLen;
+        out[c] = partial_sum(begin, std::min(n, begin + kChunkLen));
+    });
+    double total = 0.0;
+    for (double p : partials)
+        total += p;
+    return total;
+}
+
+/** The RX butterfly: (a0, a1) <- RX-matrix * (a0, a1), real arithmetic. */
+inline void
+rxButterfly(Complex &a0, Complex &a1, double c, double s)
+{
+    const double re0 = a0.real(), im0 = a0.imag();
+    const double re1 = a1.real(), im1 = a1.imag();
+    a0 = Complex{c * re0 + s * im1, c * im0 - s * re1};
+    a1 = Complex{c * re1 + s * im0, c * im1 - s * re0};
+}
+
+/** Serial RX pass over [0, n) with pair stride @p step. */
+void
+rxPass(Complex *amps, std::size_t n, std::size_t step, double c, double s)
+{
+    if (step == 1) {
+        for (std::size_t i = 0; i < n; i += 2)
+            rxButterfly(amps[i], amps[i + 1], c, s);
+        return;
+    }
+    for (std::size_t base = 0; base < n; base += 2 * step)
+        for (std::size_t i = base; i < base + step; ++i)
+            rxButterfly(amps[i], amps[i + step], c, s);
+}
+
+/**
+ * Parallel RX pass: the n/2 butterflies are independent, so they are
+ * chunked over a flat pair index (value-identical to rxPass under any
+ * partition).
+ */
+void
+rxPassParallel(Complex *amps, std::size_t n, std::size_t step, double c,
+               double s)
+{
+    const std::size_t mask = step - 1;
+    parallelForChunks(
+        n / 2,
+        [&](std::size_t pb, std::size_t pe) {
+            for (std::size_t p = pb; p < pe; ++p) {
+                const std::size_t i = ((p & ~mask) << 1) | (p & mask);
+                rxButterfly(amps[i], amps[i + step], c, s);
+            }
+        },
+        kChunkLen / 2);
+}
+
+/** One 1q-unitary butterfly (generic complex 2x2). */
+inline void
+gateButterfly(Complex &a0, Complex &a1, const Gate1Q &u)
+{
+    const Complex b0 = a0;
+    const Complex b1 = a1;
+    a0 = u[0] * b0 + u[1] * b1;
+    a1 = u[2] * b0 + u[3] * b1;
+}
+
 } // namespace
 
 Statevector::Statevector(int num_qubits)
@@ -22,9 +144,18 @@ Statevector
 Statevector::uniform(int num_qubits)
 {
     Statevector s(num_qubits);
-    double a = 1.0 / std::sqrt(static_cast<double>(s.dim()));
-    std::fill(s.amps_.begin(), s.amps_.end(), Complex{a, 0.0});
+    s.resetUniform(num_qubits);
     return s;
+}
+
+void
+Statevector::resetUniform(int num_qubits)
+{
+    assert(num_qubits >= 0 && num_qubits < 30);
+    numQubits_ = num_qubits;
+    const std::size_t dim = static_cast<std::size_t>(1) << num_qubits;
+    const double a = 1.0 / std::sqrt(static_cast<double>(dim));
+    amps_.assign(dim, Complex{a, 0.0});
 }
 
 void
@@ -32,14 +163,23 @@ Statevector::apply1Q(int q, const Gate1Q &u)
 {
     const std::size_t step = static_cast<std::size_t>(1) << q;
     const std::size_t n = amps_.size();
-    for (std::size_t base = 0; base < n; base += 2 * step) {
-        for (std::size_t i = base; i < base + step; ++i) {
-            Complex a0 = amps_[i];
-            Complex a1 = amps_[i + step];
-            amps_[i] = u[0] * a0 + u[1] * a1;
-            amps_[i + step] = u[2] * a0 + u[3] * a1;
-        }
+    Complex *amps = amps_.data();
+    if (intraStateParallel(n)) {
+        const std::size_t mask = step - 1;
+        parallelForChunks(
+            n / 2,
+            [&](std::size_t pb, std::size_t pe) {
+                for (std::size_t p = pb; p < pe; ++p) {
+                    const std::size_t i = ((p & ~mask) << 1) | (p & mask);
+                    gateButterfly(amps[i], amps[i + step], u);
+                }
+            },
+            kChunkLen / 2);
+        return;
     }
+    for (std::size_t base = 0; base < n; base += 2 * step)
+        for (std::size_t i = base; i < base + step; ++i)
+            gateButterfly(amps[i], amps[i + step], u);
 }
 
 void
@@ -79,10 +219,13 @@ Statevector::applyZ(int q)
 void
 Statevector::applyRx(int q, double theta)
 {
-    double c = std::cos(theta / 2.0);
-    double s = std::sin(theta / 2.0);
-    apply1Q(q, Gate1Q{Complex{c, 0}, Complex{0, -s}, Complex{0, -s},
-                      Complex{c, 0}});
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    const std::size_t step = static_cast<std::size_t>(1) << q;
+    if (intraStateParallel(amps_.size()))
+        rxPassParallel(amps_.data(), amps_.size(), step, c, s);
+    else
+        rxPass(amps_.data(), amps_.size(), step, c, s);
 }
 
 void
@@ -97,16 +240,15 @@ Statevector::applyRy(int q, double theta)
 void
 Statevector::applyRz(int q, double theta)
 {
-    Complex e0 = std::exp(-kI * (theta / 2.0));
-    Complex e1 = std::exp(kI * (theta / 2.0));
-    const std::size_t step = static_cast<std::size_t>(1) << q;
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    const Complex mul[2] = {Complex{c, -s}, Complex{c, s}};
     const std::size_t n = amps_.size();
-    for (std::size_t base = 0; base < n; base += 2 * step) {
-        for (std::size_t i = base; i < base + step; ++i) {
-            amps_[i] *= e0;
-            amps_[i + step] *= e1;
-        }
-    }
+    Complex *amps = amps_.data();
+    forAmpChunks(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            amps[i] *= mul[(i >> q) & 1u];
+    });
 }
 
 void
@@ -124,97 +266,352 @@ Statevector::applyCnot(int c, int t)
 void
 Statevector::applyRzz(int a, int b, double theta)
 {
-    Complex even = std::exp(-kI * (theta / 2.0)); // Z_a Z_b = +1
-    Complex odd = std::exp(kI * (theta / 2.0));   // Z_a Z_b = -1
-    const std::uint64_t abit = static_cast<std::uint64_t>(1) << a;
-    const std::uint64_t bbit = static_cast<std::uint64_t>(1) << b;
+    applyRzz0(makeRzzTerm(a, b, theta));
+}
+
+void
+Statevector::applyRzzBatch(std::span<const RzzTerm> terms)
+{
+    // Tile width: adaptive so the phase-product table build never
+    // rivals the state pass itself (table <= dim/4 entries), capped at
+    // 2^8 = 4 KiB (L1-resident).
     const std::size_t n = amps_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        bool parity = ((i & abit) != 0) != ((i & bbit) != 0);
-        amps_[i] *= parity ? odd : even;
+    Complex *amps = amps_.data();
+    std::size_t group = 8;
+    while (group > 1 && (std::size_t{1} << group) > n / 4)
+        --group;
+    for (std::size_t offset = 0; offset < terms.size(); offset += group) {
+        const std::size_t k = std::min(group, terms.size() - offset);
+        if (k == 1) {
+            applyRzz0(terms[offset]);
+            continue;
+        }
+        Complex table[std::size_t{1} << 8];
+        table[0] = Complex{1.0, 0.0};
+        std::size_t filled = 1;
+        for (std::size_t j = 0; j < k; ++j) {
+            const RzzTerm &t = terms[offset + j];
+            for (std::size_t idx = 0; idx < filled; ++idx) {
+                table[idx | filled] = table[idx] * t.odd;
+                table[idx] = table[idx] * t.even;
+            }
+            filled <<= 1;
+        }
+        // Gray-delta index update: as i increments, the bits that flip
+        // are a low run, and only numQubits_ distinct runs exist.
+        // delta[r] holds which term parities toggle when the low r+1
+        // bits flip, so the per-amplitude cost is one ctz + xor +
+        // lookup + multiply — independent of the tile width.
+        std::uint64_t masks[8];
+        for (std::size_t j = 0; j < k; ++j)
+            masks[j] = (std::uint64_t{1} << terms[offset + j].a) |
+                       (std::uint64_t{1} << terms[offset + j].b);
+        std::uint32_t delta[31] = {};
+        for (int r = 0; r < numQubits_; ++r) {
+            const std::uint64_t flipped =
+                (std::uint64_t{1} << (r + 1)) - 1;
+            std::uint32_t d = 0;
+            for (std::size_t j = 0; j < k; ++j)
+                if (std::popcount(masks[j] & flipped) & 1)
+                    d |= std::uint32_t{1} << j;
+            delta[r] = d;
+        }
+        forAmpChunks(n, [&](std::size_t begin, std::size_t end) {
+            std::uint32_t idx = 0;
+            for (std::size_t j = 0; j < k; ++j)
+                idx |= static_cast<std::uint32_t>(
+                           std::popcount(begin & masks[j]) & 1)
+                       << j;
+            for (std::size_t i = begin; i < end; ++i) {
+                amps[i] *= table[idx];
+                const std::size_t next = i + 1;
+                if (next < end)
+                    idx ^= delta[std::countr_zero(next)];
+            }
+        });
     }
+}
+
+void
+Statevector::applyRzz0(const RzzTerm &t)
+{
+    const Complex mul[2] = {t.even, t.odd};
+    const std::size_t n = amps_.size();
+    Complex *amps = amps_.data();
+    const int a = t.a, b = t.b;
+    forAmpChunks(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            amps[i] *= mul[((i >> a) ^ (i >> b)) & 1u];
+    });
 }
 
 void
 Statevector::applyDiagonalPhase(const std::vector<double> &diag, double angle)
 {
     assert(diag.size() == amps_.size());
-    const std::size_t n = amps_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        double phi = -angle * diag[i];
-        amps_[i] *= Complex{std::cos(phi), std::sin(phi)};
-    }
+    Complex *amps = amps_.data();
+    forAmpChunks(amps_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            double phi = -angle * diag[i];
+            amps[i] *= Complex{std::cos(phi), std::sin(phi)};
+        }
+    });
+}
+
+void
+Statevector::applyPhaseTable(std::span<const std::int32_t> codes,
+                             std::span<const Complex> phases)
+{
+    assert(codes.size() == amps_.size());
+    Complex *amps = amps_.data();
+    forAmpChunks(amps_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            amps[i] *= phases[static_cast<std::size_t>(codes[i])];
+    });
 }
 
 void
 Statevector::applyRxAll(double theta)
 {
-    for (int q = 0; q < numQubits_; ++q)
-        applyRx(q, theta);
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    const std::size_t n = amps_.size();
+    Complex *amps = amps_.data();
+
+    // Low qubits: fused back-to-back butterflies inside each cache
+    // block. Qubits below the block size never pair across blocks, so
+    // this is bit-identical to full per-qubit passes — it just visits
+    // memory once per block instead of once per qubit.
+    const int low = std::min(numQubits_, kBlockQubits);
+    const std::size_t block = std::size_t{1} << low;
+    const std::size_t blocks = n / block;
+    auto fused = [&](std::size_t bbegin, std::size_t bend) {
+        for (std::size_t b = bbegin; b < bend; ++b) {
+            Complex *base = amps + b * block;
+            for (int q = 0; q < low; ++q)
+                rxPass(base, block, std::size_t{1} << q, c, s);
+        }
+    };
+    if (intraStateParallel(n))
+        parallelForChunks(blocks, fused,
+                          std::max<std::size_t>(1, kChunkLen / block));
+    else
+        fused(0, blocks);
+
+    // High qubits: one strided streaming pass each (inner runs are at
+    // least a full cache block, so these are bandwidth-bound anyway).
+    for (int q = low; q < numQubits_; ++q) {
+        const std::size_t step = std::size_t{1} << q;
+        if (intraStateParallel(n))
+            rxPassParallel(amps, n, step, c, s);
+        else
+            rxPass(amps, n, step, c, s);
+    }
 }
 
 double
 Statevector::norm2() const
 {
-    double s = 0.0;
-    for (const Complex &a : amps_)
-        s += std::norm(a);
-    return s;
+    const Complex *amps = amps_.data();
+    return chunkedSum(amps_.size(), [&](std::size_t begin, std::size_t end) {
+        double s = 0.0;
+        for (std::size_t i = begin; i < end; ++i)
+            s += std::norm(amps[i]);
+        return s;
+    });
 }
 
 std::vector<double>
 Statevector::probabilities() const
 {
     std::vector<double> p(amps_.size());
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        p[i] = std::norm(amps_[i]);
+    const Complex *amps = amps_.data();
+    forAmpChunks(amps_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            p[i] = std::norm(amps[i]);
+    });
     return p;
 }
 
 double
 Statevector::zzExpectation(int a, int b) const
 {
-    const std::uint64_t abit = static_cast<std::uint64_t>(1) << a;
-    const std::uint64_t bbit = static_cast<std::uint64_t>(1) << b;
-    double s = 0.0;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        bool parity = ((i & abit) != 0) != ((i & bbit) != 0);
-        double pr = std::norm(amps_[i]);
-        s += parity ? -pr : pr;
-    }
-    return s;
+    const Complex *amps = amps_.data();
+    return chunkedSum(amps_.size(), [&](std::size_t begin, std::size_t end) {
+        double s = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+            double pr = std::norm(amps[i]);
+            s += (((i >> a) ^ (i >> b)) & 1u) ? -pr : pr;
+        }
+        return s;
+    });
 }
 
 double
 Statevector::zExpectation(int q) const
 {
-    const std::uint64_t qbit = static_cast<std::uint64_t>(1) << q;
-    double s = 0.0;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        double pr = std::norm(amps_[i]);
-        s += (i & qbit) ? -pr : pr;
+    const Complex *amps = amps_.data();
+    return chunkedSum(amps_.size(), [&](std::size_t begin, std::size_t end) {
+        double s = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+            double pr = std::norm(amps[i]);
+            s += ((i >> q) & 1u) ? -pr : pr;
+        }
+        return s;
+    });
+}
+
+void
+Statevector::zAndZzExpectations(std::span<const std::pair<int, int>> pairs,
+                                std::span<double> z_out,
+                                std::span<double> zz_out) const
+{
+    assert(z_out.empty() ||
+           z_out.size() == static_cast<std::size_t>(numQubits_));
+    assert(zz_out.size() == pairs.size());
+    const std::size_t dim = amps_.size();
+    const std::size_t nz = z_out.size();
+    const std::size_t ne = pairs.size();
+    const std::size_t outs = nz + ne;
+    if (outs == 0)
+        return;
+
+    const std::pair<int, int> *pair_data = pairs.data();
+    const Complex *amps = amps_.data();
+    auto accumulate = [amps, nz, ne, pair_data](std::size_t begin,
+                                                std::size_t end,
+                                                double *acc) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const double pr = std::norm(amps[i]);
+            for (std::size_t q = 0; q < nz; ++q)
+                acc[q] += ((i >> q) & 1u) ? -pr : pr;
+            for (std::size_t k = 0; k < ne; ++k)
+                acc[nz + k] += (((i >> pair_data[k].first) ^
+                                 (i >> pair_data[k].second)) &
+                                1u)
+                                   ? -pr
+                                   : pr;
+        }
+    };
+
+    thread_local std::vector<double> acc;
+    if (!intraStateParallel(dim)) {
+        acc.assign(outs, 0.0);
+        accumulate(0, dim, acc.data());
+    } else {
+        const std::size_t chunks = (dim + kChunkLen - 1) / kChunkLen;
+        thread_local std::vector<double> partial_scratch;
+        partial_scratch.assign(chunks * outs, 0.0);
+        double *partials = partial_scratch.data();
+        parallelFor(chunks, [&, partials](std::size_t c) {
+            const std::size_t begin = c * kChunkLen;
+            accumulate(begin, std::min(dim, begin + kChunkLen),
+                       partials + c * outs);
+        });
+        acc.assign(outs, 0.0);
+        for (std::size_t c = 0; c < chunks; ++c)
+            for (std::size_t j = 0; j < outs; ++j)
+                acc[j] += partials[c * outs + j];
     }
-    return s;
+    for (std::size_t q = 0; q < nz; ++q)
+        z_out[q] = acc[q];
+    for (std::size_t k = 0; k < ne; ++k)
+        zz_out[k] = acc[nz + k];
+}
+
+double
+Statevector::expectationFromTable(std::span<const double> diag) const
+{
+    assert(diag.size() == amps_.size());
+    const Complex *amps = amps_.data();
+    return chunkedSum(amps_.size(), [&](std::size_t begin, std::size_t end) {
+        double s = 0.0;
+        for (std::size_t i = begin; i < end; ++i)
+            s += std::norm(amps[i]) * diag[i];
+        return s;
+    });
+}
+
+double
+Statevector::expectationFromCodes(std::span<const std::int32_t> codes) const
+{
+    assert(codes.size() == amps_.size());
+    const Complex *amps = amps_.data();
+    return chunkedSum(amps_.size(), [&](std::size_t begin, std::size_t end) {
+        double s = 0.0;
+        for (std::size_t i = begin; i < end; ++i)
+            s += std::norm(amps[i]) * static_cast<double>(codes[i]);
+        return s;
+    });
 }
 
 std::vector<std::uint64_t>
 Statevector::sample(int shots, Rng &rng) const
 {
-    // Cumulative distribution + binary search per shot.
-    std::vector<double> cdf(amps_.size());
+    std::vector<std::uint64_t> out;
+    sampleInto(shots, rng, out);
+    return out;
+}
+
+void
+Statevector::sampleInto(int shots, Rng &rng,
+                        std::vector<std::uint64_t> &out) const
+{
+    // Cumulative distribution + binary search per shot; the table is
+    // per-thread scratch so batch sweeps do not allocate it each call.
+    const std::size_t dim = amps_.size();
+    thread_local std::vector<double> cdf_scratch;
+    cdf_scratch.resize(dim);
+    double *cdf = cdf_scratch.data();
     double acc = 0.0;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
+    for (std::size_t i = 0; i < dim; ++i) {
         acc += std::norm(amps_[i]);
         cdf[i] = acc;
     }
-    std::vector<std::uint64_t> out;
+    out.clear();
     out.reserve(static_cast<std::size_t>(shots));
     for (int s = 0; s < shots; ++s) {
         double u = rng.uniform() * acc;
-        auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-        out.push_back(static_cast<std::uint64_t>(it - cdf.begin()));
+        // Branchless fixed-depth lower bound (dim is a power of two):
+        // pos ends as the count of cdf entries < u, i.e. the first
+        // index with cdf[pos] >= u — identical to std::lower_bound.
+        std::size_t pos = 0;
+        for (std::size_t len = dim >> 1; len > 0; len >>= 1)
+            if (cdf[pos + len - 1] < u)
+                pos += len;
+        out.push_back(pos);
     }
-    return out;
+}
+
+void
+buildPhaseTable(int max_code, double angle, std::vector<Complex> &out)
+{
+    out.resize(static_cast<std::size_t>(max_code) + 1);
+    for (int c = 0; c <= max_code; ++c) {
+        double phi = -angle * static_cast<double>(c);
+        out[static_cast<std::size_t>(c)] =
+            Complex{std::cos(phi), std::sin(phi)};
+    }
+}
+
+namespace detail {
+
+bool
+intraStateParallel(std::size_t dim)
+{
+    return dim >= kMinParallelDim && ThreadPool::globalThreadCount() > 1;
+}
+
+} // namespace detail
+
+Statevector &
+scratchUniformState(StateScratch slot, int num_qubits)
+{
+    thread_local std::array<Statevector, 3> states{
+        Statevector(0), Statevector(0), Statevector(0)};
+    Statevector &s = states[static_cast<std::size_t>(slot)];
+    s.resetUniform(num_qubits);
+    return s;
 }
 
 } // namespace redqaoa

@@ -4,9 +4,22 @@
  *
  * This is the workhorse behind every ideal-execution experiment in the
  * paper (the "statevector backend" of §5.3). It provides generic 1- and
- * 2-qubit unitaries plus the two fast paths QAOA actually needs:
- * a diagonal phase multiply for the cost layer e^{-i gamma H_c} and the
- * RX butterfly for the mixer layer e^{-i beta H_m}.
+ * 2-qubit unitaries plus the fast paths QAOA actually needs:
+ *  - a precomputed-phase-table multiply for the cost layer
+ *    e^{-i gamma H_c} (the cut table holds small integers, so the
+ *    per-amplitude cos/sin collapses into an m+1-entry lookup);
+ *  - a fused, cache-blocked RX butterfly for the whole mixer layer
+ *    e^{-i beta H_m} that walks the state once per cache block instead
+ *    of once per qubit;
+ *  - fused expectation reductions (cut-table energy, batched <Z>/<ZZ>)
+ *    that read the amplitudes exactly once.
+ *
+ * Above kMinParallelDim amplitudes the kernels chunk their loops over
+ * the global thread pool. Element-wise updates are value-exact under
+ * any partition; reductions switch to fixed-size chunks with an
+ * in-order combine, so results are identical at every thread count
+ * >= 2, and with a 1-thread pool every kernel runs the plain serial
+ * loop (bit-identical to the historical implementation).
  *
  * Qubit q corresponds to bit q of the basis-state index (little-endian).
  */
@@ -15,8 +28,11 @@
 #define REDQAOA_QUANTUM_STATEVECTOR_HPP
 
 #include <array>
+#include <cmath>
 #include <complex>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -28,6 +44,24 @@ using Complex = std::complex<double>;
 /** 2x2 unitary, row-major. */
 using Gate1Q = std::array<Complex, 4>;
 
+/** One RZZ(theta) on (a, b) as its two parity phases (see makeRzzTerm). */
+struct RzzTerm
+{
+    int a;
+    int b;
+    Complex even; //!< Phase for Z_a Z_b = +1: exp(-i theta / 2).
+    Complex odd;  //!< Phase for Z_a Z_b = -1: exp(+i theta / 2).
+};
+
+/** RzzTerm for RZZ(theta) on qubits (a, b). */
+inline RzzTerm
+makeRzzTerm(int a, int b, double theta)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    return RzzTerm{a, b, Complex{c, -s}, Complex{c, s}};
+}
+
 /** Dense n-qubit state vector. */
 class Statevector
 {
@@ -37,6 +71,13 @@ class Statevector
 
     /** Uniform superposition |s> = H^n |0...0>. */
     static Statevector uniform(int num_qubits);
+
+    /**
+     * Reset to the uniform superposition on @p num_qubits qubits,
+     * reusing the existing allocation when capacity permits (the
+     * workspace fast path).
+     */
+    void resetUniform(int num_qubits);
 
     int numQubits() const { return numQubits_; }
     std::size_t dim() const { return amps_.size(); }
@@ -71,12 +112,39 @@ class Statevector
     void applyRzz(int a, int b, double theta);
 
     /**
+     * Apply a run of commuting RZZ terms in fused passes: terms are
+     * tiled into groups whose 2^k-entry phase-product tables are
+     * applied with one parity-indexed multiply per amplitude, instead
+     * of one full pass per term. Equal to applying each term in order
+     * (up to phase-product rounding). The noisy cost layer batches
+     * every RZZ between stochastic Pauli insertions through this.
+     */
+    void applyRzzBatch(std::span<const RzzTerm> terms);
+
+    /**
      * Multiply amplitude of basis state z by exp(-i angle * diag[z]).
-     * Used for the whole-layer QAOA cost unitary with diag = cut table.
+     * General-diagonal path; integer-valued layers (the QAOA cost
+     * unitary) should precompute a phase table and use
+     * applyPhaseTable, which is bit-identical and skips the
+     * per-amplitude cos/sin.
      */
     void applyDiagonalPhase(const std::vector<double> &diag, double angle);
 
-    /** Apply RX(theta) to every qubit (the QAOA mixer layer). */
+    /**
+     * Multiply amplitude z by phases[codes[z]]. With phases built by
+     * buildPhaseTable this applies exp(-i angle * codes[z]) exactly as
+     * applyDiagonalPhase would for diag[z] = codes[z], at one table
+     * lookup per amplitude instead of a cos/sin pair.
+     */
+    void applyPhaseTable(std::span<const std::int32_t> codes,
+                         std::span<const Complex> phases);
+
+    /**
+     * Apply RX(theta) to every qubit (the QAOA mixer layer), fused:
+     * qubits that fit a cache block are applied back-to-back while the
+     * block is resident, so the state is traversed ~once instead of n
+     * times. Bit-identical to applyRx(q, theta) for q = 0..n-1.
+     */
     void applyRxAll(double theta);
 
     /** Squared norm (should stay 1 within rounding). */
@@ -92,17 +160,89 @@ class Statevector
     double zExpectation(int q) const;
 
     /**
+     * Fused single-pass <Z_q> for every qubit and <Z_a Z_b> for every
+     * pair in @p pairs: |amp|^2 is computed once per amplitude and
+     * every accumulator updated from it. z_out must have numQubits()
+     * slots (or be empty to skip the <Z> sums); zz_out must have
+     * pairs.size() slots. Each output matches the corresponding
+     * zExpectation / zzExpectation call bit-for-bit on a 1-thread
+     * pool.
+     */
+    void zAndZzExpectations(std::span<const std::pair<int, int>> pairs,
+                            std::span<double> z_out,
+                            std::span<double> zz_out) const;
+
+    /**
+     * <diag> = sum_z |amp_z|^2 diag[z] without materializing the
+     * probability vector (the QAOA <H_c> fast path; diag is the cut
+     * table).
+     */
+    double expectationFromTable(std::span<const double> diag) const;
+
+    /**
+     * expectationFromTable for an integer-coded diagonal (the CutTable
+     * form): bit-identical to the double version on the same values,
+     * with no materialized double mirror of the table.
+     */
+    double expectationFromCodes(std::span<const std::int32_t> codes) const;
+
+    /**
      * Sample @p shots basis states from the current distribution.
-     * O(2^n) preprocessing then O(log 2^n) per shot.
+     * O(2^n) preprocessing then O(log 2^n) per shot (branchless fixed-
+     * depth search over the power-of-two cumulative table). The table
+     * lives in per-thread scratch, so repeated calls do not allocate.
      */
     std::vector<std::uint64_t> sample(int shots, Rng &rng) const;
+
+    /** sample() into a reusable buffer (@p out is clear()ed first). */
+    void sampleInto(int shots, Rng &rng,
+                    std::vector<std::uint64_t> &out) const;
 
     const std::vector<Complex> &amplitudes() const { return amps_; }
 
   private:
+    /** One-term RZZ from its precomputed parity phases. */
+    void applyRzz0(const RzzTerm &t);
+
     int numQubits_;
     std::vector<Complex> amps_;
 };
+
+/**
+ * Fill @p out with the m+1 phases exp(-i angle * c) for c = 0..max_code,
+ * each computed exactly as applyDiagonalPhase computes the per-amplitude
+ * phase (so applyPhaseTable reproduces it bit-for-bit).
+ */
+void buildPhaseTable(int max_code, double angle, std::vector<Complex> &out);
+
+namespace detail {
+
+/**
+ * True when a loop over @p dim amplitudes should chunk over the global
+ * thread pool (the statevector kernels' shared dispatch predicate —
+ * also used by sibling amplitude-sized loops like the cut-table fill).
+ */
+bool intraStateParallel(std::size_t dim);
+
+/** Fixed chunk length of the parallel amplitude loops / reductions. */
+constexpr std::size_t kStateChunkLen = std::size_t{1} << 12;
+
+} // namespace detail
+
+/**
+ * Named per-thread scratch statevectors. Each caller class owns a slot
+ * so nested users (e.g. a light-cone evaluation inside a batched sweep)
+ * can never clobber each other's live workspace on the same thread.
+ */
+enum class StateScratch { kEvaluator, kTrajectory, kLightcone };
+
+/**
+ * The calling thread's reusable scratch statevector for @p slot, reset
+ * to the uniform superposition on @p num_qubits qubits. The returned
+ * reference stays valid for the lifetime of the thread; repeated calls
+ * with the same or smaller sizes do not allocate.
+ */
+Statevector &scratchUniformState(StateScratch slot, int num_qubits);
 
 } // namespace redqaoa
 

@@ -1,6 +1,7 @@
 #include "quantum/trajectory.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/thread_pool.hpp"
@@ -100,6 +101,21 @@ TrajectorySimulator::TrajectorySimulator(const Graph &g,
                 calib.normal(0.0, nm.zzCrosstalk));
     }
 
+    // Twirled per-gate damping channel for the 2q sites, fixed for the
+    // simulator's lifetime (historically rebuilt per gate application).
+    if (nm.amplitudeDamping > 0.0 || nm.phaseDamping > 0.0) {
+        NoiseModel damp_only;
+        damp_only.amplitudeDamping = nm.amplitudeDamping;
+        damp_only.phaseDamping = nm.phaseDamping;
+        dampPerGate_ = PauliChannel::fromModel(damp_only);
+    }
+
+    // Edge endpoint pairs in edge order, for the shift-xor parity cut
+    // values of the sampled estimator and the fused <ZZ> reductions.
+    edgePairs_.reserve(g.edges().size());
+    for (const Edge &e : g.edges())
+        edgePairs_.emplace_back(e.u, e.v);
+
     // Per-qubit asymmetric readout: |1> misreads more often than |0>.
     const auto nq = static_cast<std::size_t>(g.numNodes());
     readoutFlip0_.assign(nq, nm.readoutError);
@@ -117,6 +133,18 @@ TrajectorySimulator::TrajectorySimulator(const Graph &g,
                 0.45,
                 nm.readoutError * (1.0 + nm.readoutAsymmetry) * site);
         }
+    }
+
+    // Integer flip thresholds: uniform() < p == bits53() < ceil(p*2^53)
+    // (p * 2^53 is an exact power-of-two scaling), so the per-shot
+    // readout loop never leaves integer arithmetic.
+    flipThresh0_.resize(nq);
+    flipThresh1_.resize(nq);
+    for (std::size_t q = 0; q < nq; ++q) {
+        flipThresh0_[q] = static_cast<std::uint64_t>(
+            std::ceil(readoutFlip0_[q] * 0x1.0p53));
+        flipThresh1_[q] = static_cast<std::uint64_t>(
+            std::ceil(readoutFlip1_[q] * 0x1.0p53));
     }
 }
 
@@ -147,84 +175,101 @@ TrajectorySimulator::applyPauliError(Statevector &psi, int q, Rng &rng,
     }
 }
 
-void
-TrajectorySimulator::applyTwoQubitError(Statevector &psi,
-                                        std::size_t edge_index, Rng &rng,
-                                        double duration) const
+int
+TrajectorySimulator::collectTwoQubitError(std::size_t edge_index, Rng &rng,
+                                          double duration,
+                                          PauliOp *ops) const
 {
+    // Draws and thresholds are identical to the historical immediate
+    // application; only the state update is deferred so the diagonal
+    // RZZ run can stay batched until a Pauli actually fires.
     const Edge &edge = graph_.edges()[edge_index];
-    int a = edge.u;
-    int b = edge.v;
+    int count = 0;
     double p_edge = duration * edgeDepol_[edge_index];
     if (p_edge > 0.0 && rng.uniform() < p_edge) {
         // Uniform non-identity 2q Pauli: index 1..15 as base-4 digits.
         int code = 1 + static_cast<int>(rng.index(15));
         int pa = code & 3;
         int pb = (code >> 2) & 3;
-        auto apply = [&psi](int q, int p) {
-            switch (p) {
-              case 1:
-                psi.applyX(q);
-                break;
-              case 2:
-                psi.applyY(q);
-                break;
-              case 3:
-                psi.applyZ(q);
-                break;
-              default:
-                break;
-            }
-        };
-        apply(a, pa);
-        apply(b, pb);
+        if (pa != 0)
+            ops[count++] = PauliOp{edge.u, pa};
+        if (pb != 0)
+            ops[count++] = PauliOp{edge.v, pb};
     }
-    // Per-gate damping on both qubits (twirled).
+    // Per-gate damping on both qubits (twirled, precomputed once).
     if (model_.amplitudeDamping > 0.0 || model_.phaseDamping > 0.0) {
-        NoiseModel damp_only;
-        damp_only.amplitudeDamping = model_.amplitudeDamping;
-        damp_only.phaseDamping = model_.phaseDamping;
-        PauliChannel damp = PauliChannel::fromModel(damp_only);
-        auto applyDamp = [&](int q) {
+        const PauliChannel &damp = dampPerGate_;
+        for (int q : {edge.u, edge.v}) {
             double u = rng.uniform();
             if (u < duration * damp.px)
-                psi.applyX(q);
+                ops[count++] = PauliOp{q, 1};
             else if (u < duration * (damp.px + damp.py))
-                psi.applyY(q);
+                ops[count++] = PauliOp{q, 2};
             else if (u < duration * (damp.px + damp.py + damp.pz))
-                psi.applyZ(q);
-        };
-        applyDamp(a);
-        applyDamp(b);
+                ops[count++] = PauliOp{q, 3};
+        }
     }
+    return count;
 }
 
-Statevector
+Statevector &
 TrajectorySimulator::runTrajectory(const QaoaParams &params, Rng &rng) const
 {
     const int n = graph_.numNodes();
-    Statevector psi = Statevector::uniform(n);
+    // Per-thread workspace: batch sweeps stop allocating one 2^n vector
+    // per (point, trajectory).
+    Statevector &psi = scratchUniformState(StateScratch::kTrajectory, n);
     // Initial H layer counts as one 1q gate per qubit.
     for (int q = 0; q < n; ++q)
         applyPauliError(psi, q, rng, 1.0);
 
+    thread_local std::vector<RzzTerm> pending;
+    auto applyPauli = [&psi](PauliOp op) {
+        switch (op.pauli) {
+          case 1:
+            psi.applyX(op.qubit);
+            break;
+          case 2:
+            psi.applyY(op.qubit);
+            break;
+          default:
+            psi.applyZ(op.qubit);
+            break;
+        }
+    };
     for (int layer = 0; layer < params.layers(); ++layer) {
         double gma = params.gamma[static_cast<std::size_t>(layer)];
         double bta = params.beta[static_cast<std::size_t>(layer)];
         double rzz_duration = durationFactor(gma);
         double rx_duration = durationFactor(2.0 * bta);
+        // Cost layer: the diagonal RZZs all commute, so they accumulate
+        // into fused batch applications that only flush when a
+        // stochastic Pauli insertion actually fires in between (rare),
+        // instead of one full state pass per edge.
+        pending.clear();
         for (std::size_t ei = 0; ei < graph_.edges().size(); ++ei) {
             const Edge &e = graph_.edges()[ei];
             // exp(-i gamma cut_e), with the static calibration error.
-            psi.applyRzz(e.u, e.v, -gma * edgeScale_[ei]);
-            applyTwoQubitError(psi, ei, rng, rzz_duration);
+            pending.push_back(
+                makeRzzTerm(e.u, e.v, -gma * edgeScale_[ei]));
+            PauliOp ops[4];
+            int nops = collectTwoQubitError(ei, rng, rzz_duration, ops);
+            if (nops > 0) {
+                psi.applyRzzBatch(pending);
+                pending.clear();
+                for (int k = 0; k < nops; ++k)
+                    applyPauli(ops[k]);
+            }
         }
         // Parasitic conditional phases accumulate over the cost layer,
-        // scaled by its duration (coherent: identical every trajectory).
+        // scaled by its duration (coherent: identical every trajectory);
+        // they join the same fused diagonal flush.
         for (std::size_t ci = 0; ci < crosstalkPairs_.size(); ++ci)
-            psi.applyRzz(crosstalkPairs_[ci].first,
-                         crosstalkPairs_[ci].second,
-                         crosstalkPhase_[ci] * rzz_duration);
+            pending.push_back(makeRzzTerm(
+                crosstalkPairs_[ci].first, crosstalkPairs_[ci].second,
+                crosstalkPhase_[ci] * rzz_duration));
+        psi.applyRzzBatch(pending);
+        pending.clear();
         // Idle decoherence over the layer's wall time.
         for (int q = 0; q < n; ++q) {
             double u = rng.uniform();
@@ -251,9 +296,16 @@ double
 TrajectorySimulator::trajectoryEnergy(const QaoaParams &params,
                                       Rng &rng) const
 {
-    Statevector psi = runTrajectory(params, rng);
+    Statevector &psi = runTrajectory(params, rng);
+    // Every <Z_q> and <Z_u Z_v> in one fused pass over the amplitudes
+    // (historically 3 full passes per edge).
+    thread_local std::vector<double> z, zz;
+    z.resize(static_cast<std::size_t>(graph_.numNodes()));
+    zz.resize(graph_.edges().size());
+    psi.zAndZzExpectations(edgePairs_, z, zz);
     double e = 0.0;
-    for (const Edge &edge : graph_.edges()) {
+    for (std::size_t ei = 0; ei < graph_.edges().size(); ++ei) {
+        const Edge &edge = graph_.edges()[ei];
         // Asymmetric readout folded analytically: a qubit in state
         // s flips with prob q0 (s = +1) or q1 (s = -1), giving
         //   E[s^m] = a s + b,  a = 1 - q0 - q1,  b = q1 - q0.
@@ -263,10 +315,9 @@ TrajectorySimulator::trajectoryEnergy(const QaoaParams &params,
         double bu = readoutFlip1_[ui] - readoutFlip0_[ui];
         double av = 1.0 - readoutFlip0_[vi] - readoutFlip1_[vi];
         double bv = readoutFlip1_[vi] - readoutFlip0_[vi];
-        double zz = au * av * psi.zzExpectation(edge.u, edge.v) +
-                    au * bv * psi.zExpectation(edge.u) +
-                    bu * av * psi.zExpectation(edge.v) + bu * bv;
-        e += 0.5 * (1.0 - zz);
+        double zze = au * av * zz[ei] + au * bv * z[ui] +
+                     bu * av * z[vi] + bu * bv;
+        e += 0.5 * (1.0 - zze);
     }
     return e;
 }
@@ -275,21 +326,30 @@ double
 TrajectorySimulator::sampledTrajectoryTotal(const QaoaParams &params,
                                             Rng &rng, int shots) const
 {
-    Statevector psi = runTrajectory(params, rng);
-    auto outcomes = psi.sample(shots, rng);
+    Statevector &psi = runTrajectory(params, rng);
+    thread_local std::vector<std::uint64_t> outcomes;
+    psi.sampleInto(shots, rng, outcomes);
     double total = 0.0;
     for (std::uint64_t z : outcomes) {
-        // State-dependent readout flips (|1> misreads more often).
+        // State-dependent readout flips (|1> misreads more often),
+        // decided in pure integer arithmetic — same draws, same
+        // outcomes as rng.bernoulli(flip_p) on the double thresholds.
         std::uint64_t flipped = z;
         for (int q = 0; q < graph_.numNodes(); ++q) {
             bool is_one = (z >> q) & 1u;
-            double flip_p =
-                is_one ? readoutFlip1_[static_cast<std::size_t>(q)]
-                       : readoutFlip0_[static_cast<std::size_t>(q)];
-            if (rng.bernoulli(flip_p))
+            std::uint64_t thresh =
+                is_one ? flipThresh1_[static_cast<std::size_t>(q)]
+                       : flipThresh0_[static_cast<std::size_t>(q)];
+            if (rng.bits53() < thresh)
                 flipped ^= (static_cast<std::uint64_t>(1) << q);
         }
-        total += cutValue(graph_, flipped);
+        // Shift-xor parity cut value (identical to cutValue, two ops
+        // per edge per shot).
+        int cut = 0;
+        for (const auto &[u, v] : edgePairs_)
+            cut += static_cast<int>(((flipped >> u) ^ (flipped >> v)) &
+                                    1u);
+        total += cut;
     }
     return total;
 }

@@ -84,8 +84,12 @@ class TrajectorySimulator
     int numQubits() const { return graph_.numNodes(); }
 
   private:
-    /** One noisy trajectory; returns the final statevector. */
-    Statevector runTrajectory(const QaoaParams &params, Rng &rng) const;
+    /**
+     * One noisy trajectory into the calling thread's scratch
+     * statevector; the returned reference is valid until the next
+     * trajectory on the same thread.
+     */
+    Statevector &runTrajectory(const QaoaParams &params, Rng &rng) const;
 
     /** Trajectory energy with analytic readout folding. */
     double trajectoryEnergy(const QaoaParams &params, Rng &rng) const;
@@ -98,6 +102,13 @@ class TrajectorySimulator
     double expectationWithStreams(const QaoaParams &params,
                                   std::span<Rng> streams, int shots) const;
 
+    /** A deferred Pauli application (1 = X, 2 = Y, 3 = Z). */
+    struct PauliOp
+    {
+        int qubit;
+        int pauli;
+    };
+
     /**
      * @param duration pulse-duration factor in (0, 1]; error
      *        probabilities scale with it when the model enables
@@ -105,8 +116,15 @@ class TrajectorySimulator
      */
     void applyPauliError(Statevector &psi, int q, Rng &rng,
                          double duration) const;
-    void applyTwoQubitError(Statevector &psi, std::size_t edge_index,
-                            Rng &rng, double duration) const;
+
+    /**
+     * Draw the stochastic errors after edge @p edge_index's RZZ
+     * (identical RNG consumption to applying them immediately) into
+     * @p ops (room for 4) and return how many fired. Deferring the
+     * application lets the cost layer batch its commuting RZZs.
+     */
+    int collectTwoQubitError(std::size_t edge_index, Rng &rng,
+                             double duration, PauliOp *ops) const;
 
     /** Angle-to-duration factor (see NoiseModel::durationScaledNoise). */
     double durationFactor(double angle) const;
@@ -134,6 +152,13 @@ class TrajectorySimulator
     /** Static per-qubit readout flip probabilities for |0> / |1>. */
     std::vector<double> readoutFlip0_;
     std::vector<double> readoutFlip1_;
+    /** ceil(flip_p * 2^53): integer thresholds for bits53() draws. */
+    std::vector<std::uint64_t> flipThresh0_;
+    std::vector<std::uint64_t> flipThresh1_;
+    /** Twirled per-2q-gate damping channel, precomputed once. */
+    PauliChannel dampPerGate_;
+    /** Edge endpoint pairs in edge order (fused kernels, cut values). */
+    std::vector<std::pair<int, int>> edgePairs_;
     /**
      * Twirled idle-decoherence channel applied to every qubit once per
      * cost layer: the m edge pulses execute with parallelism ~ n/2, so
