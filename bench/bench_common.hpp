@@ -22,6 +22,7 @@
 
 #include "bench/harness/figure.hpp"
 #include "common/thread_pool.hpp"
+#include "engine/backend_registry.hpp"
 #include "landscape/landscape.hpp"
 #include "quantum/evaluator.hpp"
 
@@ -56,11 +57,19 @@ noisyVsIdealMse(const Graph &circuit_graph, const Graph &reference_graph,
                 const NoiseModel &nm, int width, int trajectories,
                 std::uint64_t seed, int shots = 2048)
 {
-    ExactEvaluator ideal(reference_graph);
-    Landscape ideal_ls = Landscape::evaluate(ideal, width);
+    // Both evaluators come from the backend registry (the ideal one
+    // pinned to the statevector backend, matching the protocol).
+    EvalSpec ideal_spec = EvalSpec::ideal(1);
+    ideal_spec.backend = EvalBackend::Statevector;
+    auto ideal = makeEvaluator(reference_graph, ideal_spec);
+    Landscape ideal_ls = Landscape::evaluate(*ideal, width);
     NoiseModel device = noise::transpiled(nm, circuit_graph.numNodes());
-    NoisyEvaluator noisy(circuit_graph, device, trajectories, seed, shots);
-    Landscape noisy_ls = Landscape::evaluate(noisy, width);
+    // EvalSpec::noisy pins Trajectory: shot sampling must happen even
+    // under a noise model whose channels are all trivial.
+    auto noisy = makeEvaluator(
+        circuit_graph,
+        EvalSpec::noisy(device, 1, trajectories, seed, shots));
+    Landscape noisy_ls = Landscape::evaluate(*noisy, width);
     return landscapeMse(ideal_ls.values(), noisy_ls.values());
 }
 
@@ -74,8 +83,8 @@ idealMseAtDepth(const Graph &a, const Graph &b, int p, int points,
 {
     Rng rng(seed);
     auto sets = randomParameterSets(p, points, rng);
-    auto ea = makeIdealEvaluator(a, p);
-    auto eb = makeIdealEvaluator(b, p);
+    auto ea = makeEvaluator(a, EvalSpec::ideal(p));
+    auto eb = makeEvaluator(b, EvalSpec::ideal(p));
     auto va = evaluateAt(*ea, sets);
     auto vb = evaluateAt(*eb, sets);
     return landscapeMse(va, vb);

@@ -12,6 +12,7 @@
  */
 
 #include "bench/bench_common.hpp"
+#include "engine/backend_registry.hpp"
 #include "graph/generators.hpp"
 #include "opt/cobyla_lite.hpp"
 
@@ -54,12 +55,15 @@ optimize(CutEvaluator &eval, int p, int restarts, int evals,
     return score;
 }
 
+/**
+ * Registry Auto spec with a 14-qubit cutoff: the closed form at p = 1
+ * and 14-qubit-capped light cones above, on every graph in the figure
+ * (both the 30-node originals and their reductions exceed the cutoff).
+ */
 std::unique_ptr<CutEvaluator>
 evaluatorFor(const Graph &g, int p)
 {
-    if (p == 1)
-        return std::make_unique<AnalyticEvaluator>(g);
-    return std::make_unique<LightconeCutEvaluator>(g, p, 14);
+    return makeEvaluator(g, EvalSpec::ideal(p, /*exact_qubit_limit=*/14));
 }
 
 } // namespace

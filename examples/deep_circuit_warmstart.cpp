@@ -34,17 +34,24 @@ main()
     opts.targetLayers = 3;
     opts.evaluationsPerDepth = 70;
 
-    // Plan A: grow the schedule on the distilled graph, transfer, score.
-    ExactEvaluator red_eval(red.reduced.graph);
+    // One engine serves both growth runs and the scoring evaluation;
+    // the Auto spec resolves to the exact statevector at this size.
+    EvalEngine engine;
+    EvalSpec spec = EvalSpec::ideal(1);
+
+    // Plan A: grow the schedule on the distilled graph, transfer, score
+    // (scoring resolves the backend for the FINAL depth, not p = 1).
     Rng r1(7);
-    LayerwiseResult on_reduced = optimizeLayerwise(red_eval, opts, r1);
-    ExactEvaluator full_eval(g);
-    double transferred = full_eval.expectation(on_reduced.params);
+    LayerwiseResult on_reduced =
+        optimizeLayerwise(engine, red.reduced.graph, spec, opts, r1);
+    double transferred =
+        engine.evaluator(g, spec.withLayers(opts.targetLayers))
+            ->expectation(on_reduced.params);
 
     // Plan B: grow directly on the original graph (the expensive path).
-    ExactEvaluator full_eval2(g);
     Rng r2(7);
-    LayerwiseResult on_original = optimizeLayerwise(full_eval2, opts, r2);
+    LayerwiseResult on_original =
+        optimizeLayerwise(engine, g, spec, opts, r2);
 
     Rng cut_rng(9);
     double maxcut = maxCutBest(g, cut_rng);

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "core/red_qaoa.hpp"
+#include "engine/eval_engine.hpp"
 #include "graph/generators.hpp"
 #include "landscape/landscape.hpp"
 
@@ -23,13 +24,13 @@ namespace {
 
 /** Noisy-vs-ideal MSE for one graph on one backend, 16x16 p=1 grid. */
 double
-noisyMse(const Graph &g, const Landscape &ideal_base,
+noisyMse(EvalEngine &engine, const Graph &g, const Landscape &ideal_base,
          const NoiseModel &nm)
 {
-    NoisyEvaluator noisy(g, noise::transpiled(nm, g.numNodes()),
-                         /*trajectories=*/8, /*seed=*/31,
-                         /*shots=*/2048);
-    Landscape noisy_ls = Landscape::evaluate(noisy, 16);
+    EvalSpec spec =
+        EvalSpec::noisy(noise::transpiled(nm, g.numNodes()), /*p=*/1,
+                        /*trajectories=*/8, /*seed=*/31, /*shots=*/2048);
+    Landscape noisy_ls = Landscape::evaluate(engine, g, spec, 16);
     return landscapeMse(ideal_base.values(), noisy_ls.values());
 }
 
@@ -46,17 +47,18 @@ main()
     ReductionResult red = reducer.reduce(g, rng);
     std::printf("Distilled:  %s\n\n", red.reduced.graph.summary().c_str());
 
-    // Ideal reference landscape of the ORIGINAL graph (16x16 grid).
-    ExactEvaluator ideal_eval(g);
-    Landscape ideal = Landscape::evaluate(ideal_eval, 16);
+    // One engine serves every landscape below; the ideal reference of
+    // the ORIGINAL graph (16x16 grid) comes from its Auto backend.
+    EvalEngine engine;
+    Landscape ideal = Landscape::evaluate(engine, g, EvalSpec::ideal(1), 16);
 
     std::printf("%-18s %-16s %-16s %-10s\n", "backend",
                 "baseline MSE", "Red-QAOA MSE", "better?");
     for (const NoiseModel &nm :
          {noise::ibmKolkata(), noise::ibmCairo(), noise::ibmToronto(),
           noise::ibmMelbourne(), noise::rigettiAspenM3()}) {
-        double base_mse = noisyMse(g, ideal, nm);
-        double red_mse = noisyMse(red.reduced.graph, ideal, nm);
+        double base_mse = noisyMse(engine, g, ideal, nm);
+        double red_mse = noisyMse(engine, red.reduced.graph, ideal, nm);
         std::printf("%-18s %-16.4f %-16.4f %s\n", nm.name.c_str(),
                     base_mse, red_mse, red_mse < base_mse ? "yes" : "no");
     }

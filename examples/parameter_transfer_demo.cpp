@@ -14,6 +14,7 @@
 
 #include "core/red_qaoa.hpp"
 #include "core/transfer.hpp"
+#include "engine/eval_engine.hpp"
 #include "graph/generators.hpp"
 #include "landscape/landscape.hpp"
 
@@ -23,6 +24,8 @@ int
 main()
 {
     Rng rng(23);
+    EvalEngine engine;
+    const EvalSpec spec = EvalSpec::ideal(1);
 
     std::printf("%-26s %-12s %-14s %-12s\n", "graph",
                 "transfer MSE", "Red-QAOA MSE", "winner");
@@ -42,12 +45,10 @@ main()
                                     base.averageDegree(), rng);
 
         // Compare both surrogate landscapes to the irregular original.
-        ExactEvaluator orig_eval(irregular);
-        ExactEvaluator red_eval(red.reduced.graph);
-        ExactEvaluator donor_eval(donor);
-        Landscape orig = Landscape::evaluate(orig_eval, 20);
-        Landscape red_ls = Landscape::evaluate(red_eval, 20);
-        Landscape donor_ls = Landscape::evaluate(donor_eval, 20);
+        Landscape orig = Landscape::evaluate(engine, irregular, spec, 20);
+        Landscape red_ls =
+            Landscape::evaluate(engine, red.reduced.graph, spec, 20);
+        Landscape donor_ls = Landscape::evaluate(engine, donor, spec, 20);
 
         double mse_transfer = landscapeMse(orig, donor_ls);
         double mse_red = landscapeMse(orig, red_ls);

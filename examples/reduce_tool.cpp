@@ -15,6 +15,7 @@
 #include <cstdlib>
 
 #include "core/red_qaoa.hpp"
+#include "engine/eval_engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "landscape/landscape.hpp"
@@ -65,15 +66,18 @@ main(int argc, char **argv)
         std::printf(" %d", v);
     std::printf("\n");
 
-    // Landscape fidelity report when the instance is small enough for
-    // an exact check.
-    if (g.numNodes() <= 16) {
-        ExactEvaluator base(g);
-        ExactEvaluator red(res.reduced.graph);
-        Landscape lb = Landscape::evaluate(base, 16);
-        Landscape lr = Landscape::evaluate(red, 16);
-        std::printf("landscape : p=1 normalized MSE %.4f (target <= 0.02)\n",
-                    landscapeMse(lb, lr));
+    // Landscape fidelity report. The engine's Auto spec picks the
+    // exact statevector on small inputs and the closed form above the
+    // cutoff, so the check works at any instance size.
+    {
+        EvalEngine eng;
+        EvalSpec spec = EvalSpec::ideal(1);
+        Landscape lb = Landscape::evaluate(eng, g, spec, 16);
+        Landscape lr = Landscape::evaluate(eng, res.reduced.graph, spec, 16);
+        std::printf("landscape : p=1 normalized MSE %.4f (target <= 0.02,"
+                    " %s backend)\n",
+                    landscapeMse(lb, lr),
+                    eng.evaluator(g, spec)->describe().c_str());
     }
 
     if (argc > 2) {

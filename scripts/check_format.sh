@@ -5,11 +5,11 @@
 # trailing whitespace, newline at EOF — the tree is clean on these and
 # stays clean.
 #
-# clang-format (against the repo .clang-format) runs in advisory mode
-# by default: it prints the diff it would apply but does not fail the
-# build, because the pre-existing tree has never been normalized with
-# clang-format. Set STRICT_CLANG_FORMAT=1 to make it a hard failure
-# once a normalization pass has landed.
+# clang-format (against the repo .clang-format) prints the files it
+# would change; STRICT_CLANG_FORMAT=1 — what CI sets — makes any diff
+# a hard failure. Point CLANG_FORMAT at a specific binary to match
+# CI's pinned version (clang-format-15); the first of $CLANG_FORMAT,
+# clang-format-15, clang-format found on PATH is used.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -36,13 +36,21 @@ for f in $files; do
     fi
 done
 
-if command -v clang-format >/dev/null 2>&1; then
+cf=""
+for candidate in "${CLANG_FORMAT:-}" clang-format-15 clang-format; do
+    if [ -n "$candidate" ] && command -v "$candidate" >/dev/null 2>&1; then
+        cf="$candidate"
+        break
+    fi
+done
+
+if [ -n "$cf" ]; then
     strict="${STRICT_CLANG_FORMAT:-0}"
     diff_seen=0
     for f in $files; do
-        if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+        if ! "$cf" --dry-run -Werror "$f" >/dev/null 2>&1; then
             if [ "$diff_seen" -eq 0 ]; then
-                echo "clang-format differences (advisory unless STRICT_CLANG_FORMAT=1):"
+                echo "$cf differences (advisory unless STRICT_CLANG_FORMAT=1):"
                 diff_seen=1
             fi
             echo "  $f"
@@ -51,7 +59,7 @@ if command -v clang-format >/dev/null 2>&1; then
             fi
         fi
     done
-    [ "$diff_seen" -eq 0 ] && echo "clang-format: clean"
+    [ "$diff_seen" -eq 0 ] && echo "clang-format ($cf): clean"
 else
     echo "clang-format not found; skipped style diff (mechanical checks ran)"
 fi

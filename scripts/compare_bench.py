@@ -8,9 +8,9 @@ Usage:
 
 Compares every figure present in both documents:
   * scalar metrics: relative delta beyond --tolerance is flagged;
-    metrics whose name ends in `_seconds` are timings and compared
-    against the looser --time-tolerance instead (reported as drift,
-    not value deltas);
+    metrics whose name ends in `_seconds` (timings) or `_per_second`
+    (throughput rates) are compared against the looser
+    --time-tolerance instead (reported as drift, not value deltas);
   * series: length changes are flagged, element values are compared at
     the same tolerance and the worst relative delta is reported
     (`_seconds` series are timings, compared at --time-tolerance);
@@ -22,7 +22,9 @@ removed (informational, never a failure).
 --kernel-figures REGEX enables the kernel regression check: for
 figures matching the regex, `_seconds` metrics and wall_seconds are
 additionally compared against --kernel-time-tolerance (default 0.25)
-and regressions (slowdowns only) are reported in a dedicated section;
+and regressions (slowdowns only) are reported in a dedicated section
+(`_per_second` metrics are checked the same way with the direction
+inverted: only throughput DROPS are regressions);
 with --annotate they are also emitted as GitHub `::warning` workflow
 annotations. Kernel regressions never affect the exit status — the
 check is loud, not blocking.
@@ -77,8 +79,9 @@ def compare_metrics(name, base_fig, new_fig, tolerance, time_tolerance,
             if b != n:
                 flags.append(f"{name}.{key}: {b} -> {n} (non-finite)")
             continue
-        if key.endswith("_seconds"):
-            # Timing metric: noisy by nature, report as drift only.
+        if key.endswith("_seconds") or key.endswith("_per_second"):
+            # Timing / throughput metric: noisy by nature, report as
+            # drift only.
             if rel_delta(b, n) > time_tolerance:
                 time_drift.append(f"{name}.{key}: {fmt_delta(b, n)}")
             continue
@@ -89,8 +92,11 @@ def compare_metrics(name, base_fig, new_fig, tolerance, time_tolerance,
 def check_kernel_regressions(pattern, base_figs, new_figs, tolerance,
                              min_seconds):
     """Slowdowns beyond tolerance in `_seconds` metrics / wall_seconds
-    of figures matching the kernel regex. Timings under @p min_seconds
-    are below the scheduling-noise floor and skipped."""
+    of figures matching the kernel regex, and throughput drops beyond
+    tolerance in their `_per_second` metrics (the EvalEngine figure
+    reports rates). Timings under @p min_seconds are below the
+    scheduling-noise floor and skipped, as are rates whose implied
+    per-unit time is under the floor."""
     regressions = []
     matcher = re.compile(pattern)
     for name in sorted(set(base_figs) & set(new_figs)):
@@ -99,9 +105,9 @@ def check_kernel_regressions(pattern, base_figs, new_figs, tolerance,
         bf, nf = base_figs[name], new_figs[name]
         base_metrics = bf.get("metrics", {})
         new_metrics = nf.get("metrics", {})
+        common = sorted(set(base_metrics) & set(new_metrics))
         timed = [(f"{name}.{k}", base_metrics[k], new_metrics[k])
-                 for k in sorted(set(base_metrics) & set(new_metrics))
-                 if k.endswith("_seconds")]
+                 for k in common if k.endswith("_seconds")]
         timed.append((f"{name}.wall_seconds", bf.get("wall_seconds"),
                       nf.get("wall_seconds")))
         for label, b, n in timed:
@@ -112,6 +118,18 @@ def check_kernel_regressions(pattern, base_figs, new_figs, tolerance,
                 regressions.append(
                     f"{label}: {fmt_value(b)}s -> {fmt_value(n)}s"
                     f" (+{100.0 * slowdown:.0f}% slower)")
+        rates = [(f"{name}.{k}", base_metrics[k], new_metrics[k])
+                 for k in common if k.endswith("_per_second")]
+        for label, b, n in rates:
+            if b is None or n is None or b <= 0 or n <= 0:
+                continue
+            if 1.0 / b <= min_seconds:
+                continue
+            drop = (b - n) / b
+            if drop > tolerance:
+                regressions.append(
+                    f"{label}: {fmt_value(b)}/s -> {fmt_value(n)}/s"
+                    f" (-{100.0 * drop:.0f}% throughput)")
     return regressions
 
 
@@ -133,7 +151,7 @@ def compare_series(name, base_fig, new_fig, tolerance, time_tolerance,
             continue
         # Timing series (e.g. fig18 preprocess_seconds) drift like
         # wall-clock, not like measurements.
-        is_timing = key.endswith("_seconds")
+        is_timing = key.endswith("_seconds") or key.endswith("_per_second")
         out = time_drift if is_timing else flags
         limit = time_tolerance if is_timing else tolerance
         worst = 0.0

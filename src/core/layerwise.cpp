@@ -30,22 +30,26 @@ interpExtend(const QaoaParams &params)
     return out;
 }
 
+namespace {
+
+/**
+ * Shared driver: @p objective_at yields the depth-d minimization
+ * objective (-<H_c>); the direct overload returns the same objective
+ * at every depth, the engine overload re-resolves the backend.
+ */
 LayerwiseResult
-optimizeLayerwise(CutEvaluator &eval, const LayerwiseOptions &opts,
-                  Rng &rng)
+optimizeLayerwiseImpl(const std::function<Objective(int)> &objective_at,
+                      const LayerwiseOptions &opts, Rng &rng)
 {
     assert(opts.targetLayers >= 1);
     LayerwiseResult res;
-
-    Objective objective = [&eval](const std::vector<double> &x) {
-        return -eval.expectation(QaoaParams::unflatten(x));
-    };
 
     OptOptions opt_opts;
     opt_opts.maxEvaluations = opts.evaluationsPerDepth;
     CobylaLite optimizer(opt_opts);
 
     // Depth 1: global-ish search via restarts.
+    Objective objective = objective_at(1);
     auto runs = multiRestart(
         optimizer, objective, opts.firstDepthRestarts,
         [](Rng &r) { return QaoaParams::random(1, r).flatten(); }, rng);
@@ -58,6 +62,7 @@ optimizeLayerwise(CutEvaluator &eval, const LayerwiseOptions &opts,
 
     // Deeper layers: INTERP seed + local refinement.
     for (int depth = 2; depth <= opts.targetLayers; ++depth) {
+        objective = objective_at(depth);
         QaoaParams seed = interpExtend(current);
         OptOptions local = opt_opts;
         local.initialStep = 0.2; // Stay near the interpolated schedule.
@@ -72,6 +77,30 @@ optimizeLayerwise(CutEvaluator &eval, const LayerwiseOptions &opts,
     res.params = std::move(current);
     res.energy = best_energy;
     return res;
+}
+
+} // namespace
+
+LayerwiseResult
+optimizeLayerwise(CutEvaluator &eval, const LayerwiseOptions &opts,
+                  Rng &rng)
+{
+    Objective objective = [&eval](const std::vector<double> &x) {
+        return -eval.expectation(QaoaParams::unflatten(x));
+    };
+    return optimizeLayerwiseImpl([&objective](int) { return objective; },
+                                 opts, rng);
+}
+
+LayerwiseResult
+optimizeLayerwise(EvalEngine &engine, const Graph &g, const EvalSpec &spec,
+                  const LayerwiseOptions &opts, Rng &rng)
+{
+    return optimizeLayerwiseImpl(
+        [&](int depth) {
+            return engine.objective(g, spec.withLayers(depth));
+        },
+        opts, rng);
 }
 
 } // namespace redqaoa

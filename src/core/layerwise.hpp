@@ -13,6 +13,7 @@
 
 #include <functional>
 
+#include "engine/eval_engine.hpp"
 #include "opt/optimizer.hpp"
 #include "quantum/evaluator.hpp"
 
@@ -48,6 +49,22 @@ struct LayerwiseResult
  * to the target depth.
  */
 LayerwiseResult optimizeLayerwise(CutEvaluator &eval,
+                                  const LayerwiseOptions &opts, Rng &rng);
+
+/**
+ * Engine-routed variant: each depth d asks the engine for the
+ * (graph, spec.withLayers(d)) evaluator, so Auto specs can switch
+ * backend as the circuit deepens (closed form at p = 1, light cones
+ * above the statevector cutoff) while every instance shares the
+ * engine's cached artifacts. For DETERMINISTIC resolved backends that
+ * don't change with depth this matches the direct overload
+ * bit-for-bit. Trajectory specs differ by design: the engine hands
+ * each depth a fresh spec-seeded evaluator (each depth independently
+ * reproducible), while the direct overload threads one evaluator's
+ * advancing RNG stream through every depth.
+ */
+LayerwiseResult optimizeLayerwise(EvalEngine &engine, const Graph &g,
+                                  const EvalSpec &spec,
                                   const LayerwiseOptions &opts, Rng &rng);
 
 } // namespace redqaoa

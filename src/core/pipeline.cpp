@@ -25,13 +25,12 @@ RedQaoaPipeline::runWithSearchGraph(const Graph &g,
     out.reduction = std::move(reduction);
 
     // Stage 2: noisy parameter search on the (possibly reduced) graph.
-    auto noisy_search = makeNoisyEvaluator(
-        search_graph, noise::transpiled(opts_.noise,
-                                        search_graph.numNodes()),
-        opts_.trajectories, opts_.seed, opts_.shots);
-    Objective search_obj = [&](const std::vector<double> &x) {
-        return -noisy_search->expectation(QaoaParams::unflatten(x));
-    };
+    Objective search_obj = engine_->objective(
+        search_graph,
+        EvalSpec::noisy(noise::transpiled(opts_.noise,
+                                          search_graph.numNodes()),
+                        opts_.layers, opts_.trajectories, opts_.seed,
+                        opts_.shots));
     OptOptions search_opts;
     search_opts.maxEvaluations = opts_.searchEvaluations;
     CobylaLite optimizer(search_opts);
@@ -42,12 +41,10 @@ RedQaoaPipeline::runWithSearchGraph(const Graph &g,
     std::vector<double> x = out.searchRuns[best].x;
 
     // Stage 3 + 4: transfer to the original graph and refine briefly.
-    auto noisy_full = makeNoisyEvaluator(
-        g, noise::transpiled(opts_.noise, g.numNodes()),
-        opts_.trajectories, opts_.seed + 1, opts_.shots);
-    Objective refine_obj = [&](const std::vector<double> &xx) {
-        return -noisy_full->expectation(QaoaParams::unflatten(xx));
-    };
+    Objective refine_obj = engine_->objective(
+        g, EvalSpec::noisy(noise::transpiled(opts_.noise, g.numNodes()),
+                           opts_.layers, opts_.trajectories,
+                           opts_.seed + 1, opts_.shots));
     OptOptions refine_opts;
     refine_opts.maxEvaluations = opts_.refineEvaluations;
     refine_opts.initialStep = 0.15; // Fine-tuning radius after transfer.
@@ -55,8 +52,11 @@ RedQaoaPipeline::runWithSearchGraph(const Graph &g,
     out.refineRun = refiner.minimize(refine_obj, x);
     out.params = QaoaParams::unflatten(out.refineRun.x);
 
-    // Scoring: ideal energy of the final parameters on the original graph.
-    auto ideal = makeIdealEvaluator(g, opts_.layers, opts_.exactQubitLimit);
+    // Scoring: ideal energy of the final parameters on the original
+    // graph. The evaluator comes from the engine's shared cache, so a
+    // fleet of runs over the same graph builds its tables once.
+    auto ideal = engine_->evaluator(
+        g, EvalSpec::ideal(opts_.layers, opts_.exactQubitLimit));
     out.idealEnergy = ideal->expectation(out.params);
     Rng cut_rng = rng.split();
     out.maxCut = maxCutBest(g, cut_rng);

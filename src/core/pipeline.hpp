@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "core/red_qaoa.hpp"
+#include "engine/eval_engine.hpp"
 #include "opt/cobyla_lite.hpp"
 #include "opt/optimizer.hpp"
 #include "quantum/evaluator.hpp"
@@ -54,11 +55,25 @@ struct PipelineResult
     OptResult refineRun;         //!< Trace of the refine stage on G.
 };
 
-/** The Red-QAOA optimization pipeline and its plain-QAOA baseline. */
+/**
+ * The Red-QAOA optimization pipeline and its plain-QAOA baseline.
+ *
+ * Every evaluator the stages need (noisy search, noisy refine, ideal
+ * scoring) is requested from an EvalEngine: pass a shared engine so
+ * concurrent runs (the PipelineFleet) reuse one artifact cache and
+ * evaluator set, or default-construct to get a private engine. Either
+ * way the results are bit-identical to the historical direct
+ * construction — the engine resolves to the same backends with the
+ * same seeds.
+ */
 class RedQaoaPipeline
 {
   public:
-    explicit RedQaoaPipeline(PipelineOptions opts = {}) : opts_(opts) {}
+    explicit RedQaoaPipeline(PipelineOptions opts = {},
+                             std::shared_ptr<EvalEngine> engine = nullptr)
+        : opts_(opts), engine_(engine ? std::move(engine)
+                                      : std::make_shared<EvalEngine>())
+    {}
 
     /** Full Red-QAOA flow on @p g. */
     PipelineResult run(const Graph &g, Rng &rng) const;
@@ -71,12 +86,16 @@ class RedQaoaPipeline
 
     const PipelineOptions &options() const { return opts_; }
 
+    /** The engine serving this pipeline's evaluations. */
+    EvalEngine &engine() const { return *engine_; }
+
   private:
     PipelineResult runWithSearchGraph(const Graph &g,
                                       ReductionResult reduction,
                                       Rng &rng) const;
 
     PipelineOptions opts_;
+    std::shared_ptr<EvalEngine> engine_;
 };
 
 } // namespace redqaoa

@@ -1,0 +1,114 @@
+#include "engine/artifact_cache.hpp"
+
+namespace redqaoa {
+
+std::uint64_t
+graphStructureHash(const Graph &g)
+{
+    // FNV-1a over the node count and the normalized edge list (edges
+    // are stored u < v in insertion order; insertion order is part of
+    // the structure because it fixes the Hamiltonian term order).
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    mix(static_cast<std::uint64_t>(g.numNodes()));
+    for (const Edge &e : g.edges()) {
+        mix(static_cast<std::uint64_t>(e.u));
+        mix(static_cast<std::uint64_t>(e.v));
+    }
+    return h;
+}
+
+bool
+graphStructureEqual(const Graph &a, const Graph &b)
+{
+    if (a.numNodes() != b.numNodes() || a.numEdges() != b.numEdges())
+        return false;
+    const auto &ea = a.edges();
+    const auto &eb = b.edges();
+    for (std::size_t i = 0; i < ea.size(); ++i)
+        if (!(ea[i] == eb[i]))
+            return false;
+    return true;
+}
+
+ArtifactCache::Entry &
+ArtifactCache::entryFor(const Graph &g)
+{
+    std::uint64_t h = graphStructureHash(g);
+    auto &bucket = byHash_[h];
+    for (std::size_t idx : bucket)
+        if (graphStructureEqual(entries_[idx].graph, g))
+            return entries_[idx];
+    Entry entry;
+    entry.id = static_cast<std::uint64_t>(entries_.size());
+    entry.graph = g;
+    bucket.push_back(entries_.size());
+    entries_.push_back(std::move(entry));
+    ++stats_.graphs;
+    return entries_.back();
+}
+
+std::uint64_t
+ArtifactCache::graphId(const Graph &g)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entryFor(g).id;
+}
+
+std::shared_ptr<const CutTable>
+ArtifactCache::cutTable(const Graph &g)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &entry = entryFor(g);
+    if (entry.cutTable) {
+        ++stats_.hits;
+    } else {
+        ++stats_.misses;
+        entry.cutTable =
+            std::make_shared<const CutTable>(makeCutTable(entry.graph));
+    }
+    return entry.cutTable;
+}
+
+std::shared_ptr<const AnalyticP1Evaluator>
+ArtifactCache::analytic(const Graph &g)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &entry = entryFor(g);
+    if (entry.analytic) {
+        ++stats_.hits;
+    } else {
+        ++stats_.misses;
+        entry.analytic =
+            std::make_shared<const AnalyticP1Evaluator>(entry.graph);
+    }
+    return entry.analytic;
+}
+
+std::shared_ptr<const LightconeEvaluator>
+ArtifactCache::lightcone(const Graph &g, int p, int max_cone_qubits)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &entry = entryFor(g);
+    auto &slot = entry.lightcones[{p, max_cone_qubits}];
+    if (slot) {
+        ++stats_.hits;
+    } else {
+        ++stats_.misses;
+        slot = std::make_shared<const LightconeEvaluator>(entry.graph, p,
+                                                          max_cone_qubits);
+    }
+    return slot;
+}
+
+ArtifactCache::Stats
+ArtifactCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace redqaoa

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Graph-keyed cache of the per-graph artifacts every evaluator needs:
+ * the 2^n integer cut table, the closed-form p=1 edge table, and
+ * light-cone decompositions (keyed additionally by depth and cone
+ * cap). Building these dominates evaluator construction — a 20-qubit
+ * cut table alone is 4 MiB of single-pass work — so the engine builds
+ * each artifact once per distinct graph and shares it, immutable,
+ * across every evaluator and concurrent job that needs it.
+ *
+ * Graphs are identified structurally: a 64-bit FNV hash over the node
+ * count and edge list buckets candidates, and an exact edge-list
+ * comparison inside the bucket rules out collisions. All lookups are
+ * mutex-guarded; the returned artifacts are const and safe to read
+ * from any thread.
+ */
+
+#ifndef REDQAOA_ENGINE_ARTIFACT_CACHE_HPP
+#define REDQAOA_ENGINE_ARTIFACT_CACHE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "quantum/analytic_p1.hpp"
+#include "quantum/lightcone.hpp"
+#include "quantum/maxcut.hpp"
+
+namespace redqaoa {
+
+/** Structural 64-bit hash of (node count, edge list). */
+std::uint64_t graphStructureHash(const Graph &g);
+
+/** Exact structural equality (node count and edge lists match). */
+bool graphStructureEqual(const Graph &a, const Graph &b);
+
+class ArtifactCache
+{
+  public:
+    /** Cache traffic counters (engine stats / bench metrics). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;   //!< Artifact requests served cached.
+        std::uint64_t misses = 0; //!< Artifact requests that built.
+        std::uint64_t graphs = 0; //!< Distinct graphs seen.
+    };
+
+    /**
+     * Stable id of @p g's structure class, assigned on first sight.
+     * The engine uses it as the graph component of memo keys.
+     */
+    std::uint64_t graphId(const Graph &g);
+
+    /** Shared integer cut table (makeCutTable) of @p g. */
+    std::shared_ptr<const CutTable> cutTable(const Graph &g);
+
+    /** Shared closed-form p=1 edge table of @p g. */
+    std::shared_ptr<const AnalyticP1Evaluator> analytic(const Graph &g);
+
+    /** Shared cone decomposition of @p g at (@p p, @p max_cone_qubits). */
+    std::shared_ptr<const LightconeEvaluator>
+    lightcone(const Graph &g, int p, int max_cone_qubits);
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t id = 0;
+        Graph graph; //!< Exact-compare copy backing the hash bucket.
+        std::shared_ptr<const CutTable> cutTable;
+        std::shared_ptr<const AnalyticP1Evaluator> analytic;
+        /** Keyed by (depth, cone cap). */
+        std::map<std::pair<int, int>,
+                 std::shared_ptr<const LightconeEvaluator>>
+            lightcones;
+    };
+
+    /** Entry for @p g, inserted if new. Callers hold mutex_. */
+    Entry &entryFor(const Graph &g);
+
+    mutable std::mutex mutex_;
+    std::deque<Entry> entries_; //!< Deque: growth keeps refs stable.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> byHash_;
+    Stats stats_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_ENGINE_ARTIFACT_CACHE_HPP

@@ -1,0 +1,285 @@
+#include "engine/eval_engine.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace redqaoa {
+
+namespace {
+
+/**
+ * Exact-bits encoding of one parameter point (memo keys must treat
+ * 0.1 + 0.2 and 0.3 as different points, so no rounding anywhere).
+ */
+std::vector<std::uint64_t>
+paramBits(const QaoaParams &p)
+{
+    std::vector<std::uint64_t> bits;
+    bits.reserve(p.gamma.size() + p.beta.size() + 1);
+    bits.push_back(static_cast<std::uint64_t>(p.gamma.size()));
+    for (double g : p.gamma)
+        bits.push_back(std::bit_cast<std::uint64_t>(g));
+    for (double b : p.beta)
+        bits.push_back(std::bit_cast<std::uint64_t>(b));
+    return bits;
+}
+
+/** Exact-bits encoding of a whole batch (trajectory batch memo). */
+std::vector<std::uint64_t>
+batchBits(const std::vector<QaoaParams> &params)
+{
+    std::vector<std::uint64_t> bits;
+    bits.push_back(params.size());
+    for (const QaoaParams &p : params) {
+        auto one = paramBits(p);
+        bits.insert(bits.end(), one.begin(), one.end());
+    }
+    return bits;
+}
+
+} // namespace
+
+const std::vector<double> &
+EvalJobTicket::get()
+{
+    if (!state_)
+        throw std::logic_error("EvalJobTicket::get: empty ticket");
+    if (state_->ready.load())
+        return state_->results;
+    state_->engine->drain();
+    if (state_->ready.load())
+        return state_->results;
+    // Another thread's drain took the job; wait for its publication.
+    EvalEngine &engine = *state_->engine;
+    std::unique_lock<std::mutex> lock(engine.mutex_);
+    engine.jobDone_.wait(lock, [&] { return state_->ready.load(); });
+    return state_->results;
+}
+
+std::shared_ptr<CutEvaluator>
+EvalEngine::evaluator(const Graph &g, const EvalSpec &spec)
+{
+    EvalBackend kind = resolveBackend(spec, g);
+    if (!deterministicBackend(kind))
+        return makeEvaluator(g, spec, &cache_);
+    return cachedEvaluator(g, spec, kind);
+}
+
+std::shared_ptr<CutEvaluator>
+EvalEngine::cachedEvaluator(const Graph &g, const EvalSpec &spec,
+                            EvalBackend kind)
+{
+    std::uint64_t gid = cache_.graphId(g);
+    std::pair<std::uint64_t, std::string> key{gid,
+                                              backendCacheKey(spec, kind)};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = evaluators_.find(key);
+        if (it != evaluators_.end()) {
+            ++stats_.evaluatorHits;
+            return it->second;
+        }
+    }
+    // Construct outside the engine mutex (artifact builds are heavy);
+    // losers of a construction race share the winner's artifacts via
+    // the cache, so discarding their instance changes nothing.
+    std::shared_ptr<CutEvaluator> built = makeEvaluator(g, spec, &cache_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = evaluators_.emplace(std::move(key), built);
+    (void)inserted;
+    return it->second;
+}
+
+Objective
+EvalEngine::objective(const Graph &g, const EvalSpec &spec)
+{
+    std::shared_ptr<CutEvaluator> ev = evaluator(g, spec);
+    return [ev](const std::vector<double> &x) {
+        return -ev->expectation(QaoaParams::unflatten(x));
+    };
+}
+
+EvalJobTicket
+EvalEngine::submit(const Graph &g, const EvalSpec &spec,
+                   std::vector<QaoaParams> params)
+{
+    auto state = std::make_shared<detail::EngineJobState>();
+    state->engine = this;
+    state->graph = g;
+    state->spec = spec;
+    state->params = std::move(params);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.jobs;
+    stats_.points += state->params.size();
+    pending_.push_back(state);
+    return EvalJobTicket(state);
+}
+
+void
+EvalEngine::drain()
+{
+    std::vector<JobPtr> jobs;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs.swap(pending_);
+    }
+    if (jobs.empty())
+        return;
+
+    /** One deterministic point pending computation. */
+    struct WorkItem
+    {
+        CutEvaluator *eval;
+        const QaoaParams *params;
+        double *slot;
+    };
+    std::vector<WorkItem> items;
+    std::vector<MemoKey> itemKeys; //!< Memo inserts after the fan-out.
+    /** Intra-drain duplicates: (slot, computed-item index) to copy. */
+    std::vector<std::pair<double *, std::size_t>> aliases;
+    std::vector<JobPtr> deterministicJobs;
+    std::vector<JobPtr> trajectoryJobs;
+    /** Keeps the shared evaluators alive across the fan-out. */
+    std::vector<std::shared_ptr<CutEvaluator>> held;
+    std::map<MemoKey, std::size_t> firstItem;
+    std::uint64_t memoHits = 0;
+
+    for (const JobPtr &job : jobs) {
+        EvalBackend kind = resolveBackend(job->spec, job->graph);
+        if (!deterministicBackend(kind)) {
+            trajectoryJobs.push_back(job);
+            continue;
+        }
+        deterministicJobs.push_back(job);
+        std::shared_ptr<CutEvaluator> ev =
+            cachedEvaluator(job->graph, job->spec, kind);
+        std::uint64_t gid = cache_.graphId(job->graph);
+        std::string specKey = backendCacheKey(job->spec, kind);
+        job->results.resize(job->params.size());
+        // One lock per job, not per point: memo entries are only ever
+        // inserted (never mutated), so holding the mutex across the
+        // whole lookup loop is semantically identical and keeps a
+        // large batch from hammering the lock.
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < job->params.size(); ++i) {
+            MemoKey key{gid, specKey, paramBits(job->params[i])};
+            double *slot = &job->results[i];
+            auto hit = pointMemo_.find(key);
+            if (hit != pointMemo_.end()) {
+                *slot = hit->second;
+                ++memoHits;
+                continue;
+            }
+            auto [fit, inserted] =
+                firstItem.emplace(std::move(key), items.size());
+            if (!inserted) {
+                // Same point twice in this drain: compute once, copy.
+                aliases.emplace_back(slot, fit->second);
+                ++memoHits;
+                continue;
+            }
+            items.push_back({ev.get(), &job->params[i], slot});
+            itemKeys.push_back(fit->first);
+        }
+        held.push_back(std::move(ev));
+    }
+
+    // The cross-job fan-out: every pending point from every job in one
+    // parallelFor. Each point is a pure function written to its own
+    // slot, so values are independent of the thread count, and a
+    // 1-thread pool runs them serially in submission order.
+    parallelFor(items.size(), [&](std::size_t i) {
+        *items[i].slot = items[i].eval->expectation(*items[i].params);
+    });
+
+    for (const auto &[slot, idx] : aliases)
+        *slot = *items[idx].slot;
+    // Publish the deterministic jobs before the (potentially long)
+    // noisy batches below, so their waiters wake as soon as the
+    // fan-out lands.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.evaluated += items.size();
+        stats_.memoHits += memoHits;
+        for (std::size_t i = 0; i < items.size(); ++i)
+            pointMemo_.emplace(std::move(itemKeys[i]), *items[i].slot);
+        for (const JobPtr &job : deterministicJobs)
+            job->ready.store(true);
+    }
+    jobDone_.notify_all();
+
+    // Trajectory jobs keep whole-batch semantics, in submission order,
+    // each published as soon as it completes.
+    for (const JobPtr &job : trajectoryJobs) {
+        runTrajectoryJob(*job);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job->ready.store(true);
+        }
+        jobDone_.notify_all();
+    }
+}
+
+void
+EvalEngine::runTrajectoryJob(detail::EngineJobState &job)
+{
+    MemoKey key{cache_.graphId(job.graph),
+                backendCacheKey(job.spec, EvalBackend::Trajectory),
+                batchBits(job.params)};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.trajectoryJobs;
+        auto hit = batchMemo_.find(key);
+        if (hit != batchMemo_.end()) {
+            job.results = *hit->second;
+            stats_.memoHits += job.params.size();
+            return;
+        }
+    }
+    // Fresh evaluator seeded from the spec: bit-identical to a direct
+    // NoisyEvaluator batch call with the same arguments (the simulator
+    // presplits the per-(point, trajectory) RNG streams serially, so
+    // the batch itself is thread-count invariant). Point-level memo is
+    // deliberately NOT applied here: a point's value depends on its
+    // position in the batch's stream order.
+    std::unique_ptr<CutEvaluator> ev =
+        makeEvaluator(job.graph, job.spec, &cache_);
+    job.results = ev->batchExpectation(job.params);
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.evaluated += job.params.size();
+    batchMemo_.emplace(
+        std::move(key),
+        std::make_shared<const std::vector<double>>(job.results));
+}
+
+std::vector<double>
+EvalEngine::evaluate(const Graph &g, const EvalSpec &spec,
+                     std::vector<QaoaParams> params)
+{
+    EvalJobTicket ticket = submit(g, spec, std::move(params));
+    return ticket.get();
+}
+
+void
+EvalEngine::clearMemos()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pointMemo_.clear();
+    batchMemo_.clear();
+}
+
+EngineStats
+EvalEngine::stats() const
+{
+    EngineStats out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = stats_;
+    }
+    out.artifacts = cache_.stats();
+    return out;
+}
+
+} // namespace redqaoa

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * EvalEngine: the shared evaluation service between the kernels and
+ * the pipelines. One engine owns
+ *
+ *  - an ArtifactCache (per-graph cut tables, analytic edge tables,
+ *    cone decompositions, built once and shared across evaluators),
+ *  - an evaluator cache for deterministic backends (one shared
+ *    instance per (graph, resolved spec)),
+ *  - a point memo: identical (graph, spec, params) evaluations are
+ *    served from the memo instead of recomputed, and
+ *  - a job queue: callers submit batches of parameter points and get
+ *    tickets; drain() shards every pending deterministic point from
+ *    EVERY job across the global thread pool in one fan-out, instead
+ *    of parallelizing only within a single batch.
+ *
+ * Determinism contracts (pinned by tests/test_engine.cpp):
+ *  - engine-routed values are bit-identical to constructing the same
+ *    evaluator directly, at any thread count (deterministic backends
+ *    are pure functions of (graph, spec, params); a memoized value is
+ *    the value a fresh computation would produce);
+ *  - trajectory jobs run as whole batches on a fresh evaluator seeded
+ *    from the spec, exactly like a direct NoisyEvaluator batch call,
+ *    so they inherit the simulator's serial-stream-presplit guarantee;
+ *  - a 1-thread pool executes the same work as a serial loop, in job
+ *    submission order.
+ *
+ * The engine is thread-safe: pipeline-fleet scenarios running on pool
+ * workers share one engine (nested parallel sections run inline), and
+ * workers may submit jobs and get() their own tickets — that drain
+ * runs inline on the worker. One composition is unsupported: an
+ * EXTERNAL thread draining the engine while a pool fan-out that also
+ * drives it is in flight. The external drain can claim a worker's
+ * queued job and then block behind the pool's in-flight fan-out while
+ * the worker waits on the claim — a deadlock. Keep cross-thread
+ * traffic to evaluator()/objective() handles, or drain from one side
+ * at a time.
+ */
+
+#ifndef REDQAOA_ENGINE_EVAL_ENGINE_HPP
+#define REDQAOA_ENGINE_EVAL_ENGINE_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "engine/artifact_cache.hpp"
+#include "engine/backend_registry.hpp"
+#include "engine/eval_spec.hpp"
+#include "opt/optimizer.hpp"
+#include "quantum/evaluator.hpp"
+
+namespace redqaoa {
+
+class EvalEngine;
+
+namespace detail {
+
+/** Shared state behind one submitted job. */
+struct EngineJobState
+{
+    EvalEngine *engine = nullptr;
+    Graph graph;
+    EvalSpec spec;
+    std::vector<QaoaParams> params;
+    std::vector<double> results;
+    std::atomic<bool> ready{false};
+};
+
+} // namespace detail
+
+/**
+ * Handle to a submitted job. get() triggers a drain when the job is
+ * still pending and blocks if another thread is already executing it.
+ * The engine must outlive every ticket it issued.
+ */
+class EvalJobTicket
+{
+  public:
+    EvalJobTicket() = default;
+
+    /** The job's expectation values, in point order (drains if needed). */
+    const std::vector<double> &get();
+
+    bool ready() const { return state_ && state_->ready.load(); }
+
+  private:
+    friend class EvalEngine;
+    explicit EvalJobTicket(std::shared_ptr<detail::EngineJobState> state)
+        : state_(std::move(state))
+    {}
+
+    std::shared_ptr<detail::EngineJobState> state_;
+};
+
+/** Engine traffic counters (tests, bench metrics, logs). */
+struct EngineStats
+{
+    std::uint64_t jobs = 0;     //!< Jobs submitted.
+    std::uint64_t points = 0;   //!< Parameter points across all jobs.
+    std::uint64_t evaluated = 0; //!< Points actually computed.
+    std::uint64_t memoHits = 0; //!< Points served from the memo.
+    std::uint64_t trajectoryJobs = 0; //!< Jobs on the noisy backend.
+    std::uint64_t evaluatorHits = 0; //!< evaluator() served from cache.
+    ArtifactCache::Stats artifacts; //!< Cache traffic.
+
+    /** memoHits / points (0 when no points were submitted). */
+    double memoHitRate() const
+    {
+        return points == 0 ? 0.0
+                           : static_cast<double>(memoHits) /
+                                 static_cast<double>(points);
+    }
+};
+
+class EvalEngine
+{
+  public:
+    EvalEngine() = default;
+    EvalEngine(const EvalEngine &) = delete;
+    EvalEngine &operator=(const EvalEngine &) = delete;
+
+    /**
+     * Evaluator for (graph, spec). Deterministic backends come from
+     * the evaluator cache — one shared, artifact-backed instance per
+     * (graph, resolved spec), safe for concurrent expectation() calls.
+     * Trajectory specs get a fresh instance per call (stateful RNG;
+     * sharing would tie results to global call order), identical to
+     * direct construction with the same arguments.
+     */
+    std::shared_ptr<CutEvaluator> evaluator(const Graph &g,
+                                            const EvalSpec &spec);
+
+    /**
+     * Minimization objective -<H_c>(unflatten(x)) over an evaluator()
+     * handle — the one adapter pipeline stages and optimizers use.
+     */
+    Objective objective(const Graph &g, const EvalSpec &spec);
+
+    /** Queue a batch-evaluation job; runs at the next drain()/get(). */
+    EvalJobTicket submit(const Graph &g, const EvalSpec &spec,
+                         std::vector<QaoaParams> params);
+
+    /**
+     * Execute every pending job: deterministic points from all jobs
+     * (minus memo hits) fan out over the global pool in one shot;
+     * trajectory jobs then run as whole batches in submission order.
+     */
+    void drain();
+
+    /** Submit + drain + get in one call (synchronous convenience). */
+    std::vector<double> evaluate(const Graph &g, const EvalSpec &spec,
+                                 std::vector<QaoaParams> params);
+
+    ArtifactCache &artifacts() { return cache_; }
+
+    /**
+     * Caches grow monotonically with distinct traffic (one memo entry
+     * per distinct point, one artifact set per distinct graph); a
+     * bounded sweep fits comfortably, but a service looping over
+     * ever-fresh graphs/points should clear between phases. Drops the
+     * point and batch memos (values are pure, so later recomputation
+     * is identical); shared evaluators and artifacts stay.
+     */
+    void clearMemos();
+
+    EngineStats stats() const;
+
+  private:
+    friend class EvalJobTicket;
+
+    using JobPtr = std::shared_ptr<detail::EngineJobState>;
+    /** (graph id, resolved spec key, param doubles as exact bits). */
+    using MemoKey = std::tuple<std::uint64_t, std::string,
+                               std::vector<std::uint64_t>>;
+
+    /** Evaluator-cache lookup/fill; requires a deterministic kind. */
+    std::shared_ptr<CutEvaluator> cachedEvaluator(const Graph &g,
+                                                  const EvalSpec &spec,
+                                                  EvalBackend kind);
+
+    /** Run one trajectory job (fresh evaluator or whole-batch memo). */
+    void runTrajectoryJob(detail::EngineJobState &job);
+
+    ArtifactCache cache_;
+
+    mutable std::mutex mutex_; //!< Queue, memo, evaluator cache, stats.
+    std::condition_variable jobDone_; //!< get() waits on foreign drains.
+    std::vector<JobPtr> pending_;
+    std::map<std::pair<std::uint64_t, std::string>,
+             std::shared_ptr<CutEvaluator>>
+        evaluators_;
+    std::map<MemoKey, double> pointMemo_;
+    /** Whole-batch memo for the trajectory backend (see drain()). */
+    std::map<MemoKey, std::shared_ptr<const std::vector<double>>>
+        batchMemo_;
+    EngineStats stats_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_ENGINE_EVAL_ENGINE_HPP

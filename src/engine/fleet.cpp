@@ -1,0 +1,136 @@
+#include "engine/fleet.hpp"
+
+#include <chrono>
+
+#include "common/thread_pool.hpp"
+
+namespace redqaoa {
+
+json::Value
+FleetReport::runsJson() const
+{
+    json::Value arr = json::Value::array();
+    for (const FleetRunSummary &run : runs) {
+        json::Value row = json::Value::object();
+        row["name"] = run.name;
+        row["flow"] = run.baseline ? "baseline" : "red-qaoa";
+        row["seed"] = static_cast<std::size_t>(run.seed);
+        row["layers"] = run.layers;
+        row["noise"] = run.noiseName;
+        row["nodes"] = run.nodes;
+        row["edges"] = run.edges;
+        row["reduced_nodes"] = run.reducedNodes;
+        row["and_ratio"] = run.andRatio;
+        row["ideal_energy"] = run.idealEnergy;
+        row["approx_ratio"] = run.approxRatio;
+        row["max_cut"] = run.maxCut;
+        arr.push(std::move(row));
+    }
+    return arr;
+}
+
+json::Value
+FleetReport::toJson() const
+{
+    json::Value doc = json::Value::object();
+    doc["schema_version"] = 1;
+    doc["tool"] = "redqaoa_fleet";
+    json::Value meta = json::Value::object();
+    meta["scenario_count"] = runs.size();
+    meta["threads"] = threads;
+    meta["total_wall_seconds"] = wallSeconds;
+    json::Value eng = json::Value::object();
+    eng["jobs"] = static_cast<std::size_t>(engineStats.jobs);
+    eng["points"] = static_cast<std::size_t>(engineStats.points);
+    eng["evaluated"] = static_cast<std::size_t>(engineStats.evaluated);
+    eng["memo_hits"] = static_cast<std::size_t>(engineStats.memoHits);
+    eng["trajectory_jobs"] =
+        static_cast<std::size_t>(engineStats.trajectoryJobs);
+    eng["evaluator_hits"] =
+        static_cast<std::size_t>(engineStats.evaluatorHits);
+    eng["artifact_hits"] =
+        static_cast<std::size_t>(engineStats.artifacts.hits);
+    eng["artifact_misses"] =
+        static_cast<std::size_t>(engineStats.artifacts.misses);
+    eng["graphs"] = static_cast<std::size_t>(engineStats.artifacts.graphs);
+    meta["engine"] = std::move(eng);
+    doc["metadata"] = std::move(meta);
+    doc["runs"] = runsJson();
+    return doc;
+}
+
+FleetReport
+PipelineFleet::run(const std::vector<FleetScenario> &scenarios) const
+{
+    FleetReport report;
+    report.runs.resize(scenarios.size());
+    report.threads = ThreadPool::globalThreadCount();
+    auto start = std::chrono::steady_clock::now();
+
+    // One slot per scenario; pipelines run concurrently on the global
+    // pool and their internal parallel sections nest inline. Every
+    // scenario is deterministic given its own seed, so the filled rows
+    // do not depend on scheduling.
+    parallelFor(scenarios.size(), [&](std::size_t i) {
+        const FleetScenario &sc = scenarios[i];
+        RedQaoaPipeline pipeline(sc.options, engine_);
+        Rng rng(sc.seed);
+        PipelineResult res = sc.baseline
+                                 ? pipeline.runBaseline(sc.graph, rng)
+                                 : pipeline.run(sc.graph, rng);
+        FleetRunSummary &row = report.runs[i];
+        row.name = sc.name;
+        row.baseline = sc.baseline;
+        row.seed = sc.seed;
+        row.layers = sc.options.layers;
+        row.noiseName = sc.options.noise.name;
+        row.nodes = sc.graph.numNodes();
+        row.edges = sc.graph.numEdges();
+        row.reducedNodes = res.reduction.reduced.graph.numNodes();
+        row.andRatio = res.reduction.andRatio;
+        row.idealEnergy = res.idealEnergy;
+        row.approxRatio = res.approxRatio;
+        row.maxCut = res.maxCut;
+    });
+
+    std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    report.wallSeconds = dt.count();
+    report.engineStats = engine_->stats();
+    return report;
+}
+
+std::vector<FleetScenario>
+PipelineFleet::grid(
+    const std::vector<std::pair<std::string, Graph>> &graphs,
+    const std::vector<NoiseModel> &noises, const std::vector<int> &depths,
+    const PipelineOptions &base, std::uint64_t seed0,
+    bool include_baseline)
+{
+    std::vector<FleetScenario> out;
+    std::uint64_t seed = seed0;
+    for (const auto &[gname, graph] : graphs) {
+        for (const NoiseModel &nm : noises) {
+            for (int p : depths) {
+                FleetScenario sc;
+                sc.graph = graph;
+                sc.options = base;
+                sc.options.noise = nm;
+                sc.options.layers = p;
+                sc.name = gname + "/" + nm.name + "/p" + std::to_string(p);
+                sc.seed = seed++;
+                out.push_back(sc);
+                if (include_baseline) {
+                    FleetScenario bl = sc;
+                    bl.baseline = true;
+                    bl.name += "/baseline";
+                    bl.seed = seed++;
+                    out.push_back(std::move(bl));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace redqaoa

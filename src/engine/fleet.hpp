@@ -1,0 +1,123 @@
+/**
+ * @file
+ * PipelineFleet: the "heavy traffic" serving path. A fleet takes a
+ * list of scenarios — (graph, pipeline options, seed, red-qaoa vs
+ * baseline flow) rows, typically a graphs x noise x depth sweep built
+ * with grid() — and runs every pipeline concurrently on ONE shared
+ * EvalEngine, so the whole sweep amortizes cut tables, cone
+ * decompositions, and scoring evaluators instead of rebuilding them
+ * per run. The result is a schema-versioned JSON report
+ * (src/common/json) of per-run summaries plus engine traffic.
+ *
+ * Determinism: each scenario owns a fixed seed and the pipeline's
+ * evaluations are thread-count invariant, so the per-run summaries —
+ * and the runsJson() document — are identical at any pool size and
+ * across repeated runs (pinned by tests/test_engine.cpp).
+ */
+
+#ifndef REDQAOA_ENGINE_FLEET_HPP
+#define REDQAOA_ENGINE_FLEET_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/pipeline.hpp"
+#include "engine/eval_engine.hpp"
+
+namespace redqaoa {
+
+/** One pipeline run the fleet should execute. */
+struct FleetScenario
+{
+    std::string name;       //!< Report row label.
+    Graph graph;            //!< MaxCut instance.
+    PipelineOptions options; //!< Depth, noise, budgets, seeds.
+    bool baseline = false;  //!< Plain-QAOA baseline instead of Red-QAOA.
+    std::uint64_t seed = 1; //!< Driver Rng seed for this run.
+};
+
+/** Per-run outcome row of the report. */
+struct FleetRunSummary
+{
+    std::string name;
+    bool baseline = false;
+    std::uint64_t seed = 0;
+    int layers = 0;
+    std::string noiseName;
+    int nodes = 0;
+    int edges = 0;
+    int reducedNodes = 0;
+    double andRatio = 0.0;
+    double idealEnergy = 0.0;
+    double approxRatio = 0.0;
+    int maxCut = 0;
+};
+
+/** Everything a fleet run produces. */
+struct FleetReport
+{
+    std::vector<FleetRunSummary> runs; //!< Scenario order.
+    double wallSeconds = 0.0;
+    int threads = 0;
+    EngineStats engineStats; //!< Engine traffic over the fleet run.
+
+    /**
+     * The deterministic portion: the runs array only. Identical
+     * across repeats and thread counts for a fixed scenario list.
+     */
+    json::Value runsJson() const;
+
+    /**
+     * Full report document (fleet schema_version 1):
+     *   {"schema_version": 1, "tool": "redqaoa_fleet",
+     *    "metadata": {scenario_count, threads, total_wall_seconds,
+     *                 engine: {jobs, points, evaluated, memo_hits,
+     *                          trajectory_jobs, artifact_hits,
+     *                          artifact_misses, graphs}},
+     *    "runs": [...]}   // see runsJson()
+     */
+    json::Value toJson() const;
+};
+
+class PipelineFleet
+{
+  public:
+    /** Fleet on @p engine (a private engine when null). */
+    explicit PipelineFleet(std::shared_ptr<EvalEngine> engine = nullptr)
+        : engine_(engine ? std::move(engine)
+                         : std::make_shared<EvalEngine>())
+    {}
+
+    /**
+     * Run every scenario, concurrently over the global thread pool
+     * (each pipeline's own parallel sections nest inline). Summaries
+     * land in scenario order regardless of scheduling.
+     */
+    FleetReport run(const std::vector<FleetScenario> &scenarios) const;
+
+    EvalEngine &engine() const { return *engine_; }
+
+    /**
+     * Scenario grid builder: every (graph, noise, depth) combination
+     * under @p base options, plus a paired plain-QAOA baseline row per
+     * combination when @p include_baseline is set. Seeds are assigned
+     * sequentially from @p seed0 in row order, so a grid is one
+     * deterministic seed set.
+     */
+    static std::vector<FleetScenario>
+    grid(const std::vector<std::pair<std::string, Graph>> &graphs,
+         const std::vector<NoiseModel> &noises,
+         const std::vector<int> &depths, const PipelineOptions &base,
+         std::uint64_t seed0 = 1, bool include_baseline = false);
+
+  private:
+    std::shared_ptr<EvalEngine> engine_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_ENGINE_FLEET_HPP

@@ -7,15 +7,16 @@
 
 namespace redqaoa {
 
-Landscape
-Landscape::evaluate(CutEvaluator &eval, int width)
+namespace {
+
+/**
+ * The p=1 grid in row-major order (beta rows, gamma cols) — the one
+ * construction both evaluate() overloads share, so their landscapes
+ * can never drift apart.
+ */
+std::vector<QaoaParams>
+p1Grid(int width)
 {
-    assert(width >= 2);
-    Landscape ls;
-    ls.width_ = width;
-    // Materialize the grid in row-major order and hand it to the
-    // backend's batch path, which fans the cells out over the thread
-    // pool while preserving the serial evaluation order's results.
     std::vector<QaoaParams> grid;
     grid.reserve(static_cast<std::size_t>(width) * width);
     for (int bi = 0; bi < width; ++bi) {
@@ -26,7 +27,32 @@ Landscape::evaluate(CutEvaluator &eval, int width)
                               std::vector<double>{beta});
         }
     }
-    ls.values_ = eval.batchExpectation(grid);
+    return grid;
+}
+
+} // namespace
+
+Landscape
+Landscape::evaluate(CutEvaluator &eval, int width)
+{
+    assert(width >= 2);
+    Landscape ls;
+    ls.width_ = width;
+    // Materialize the grid and hand it to the backend's batch path,
+    // which fans the cells out over the thread pool while preserving
+    // the serial evaluation order's results.
+    ls.values_ = eval.batchExpectation(p1Grid(width));
+    return ls;
+}
+
+Landscape
+Landscape::evaluate(EvalEngine &engine, const Graph &g,
+                    const EvalSpec &spec, int width)
+{
+    assert(width >= 2);
+    Landscape ls;
+    ls.width_ = width;
+    ls.values_ = engine.evaluate(g, spec, p1Grid(width));
     return ls;
 }
 
@@ -164,6 +190,13 @@ std::vector<double>
 evaluateAt(CutEvaluator &eval, const std::vector<QaoaParams> &params)
 {
     return eval.batchExpectation(params);
+}
+
+std::vector<double>
+evaluateAt(EvalEngine &engine, const Graph &g, const EvalSpec &spec,
+           const std::vector<QaoaParams> &params)
+{
+    return engine.evaluate(g, spec, params);
 }
 
 } // namespace redqaoa

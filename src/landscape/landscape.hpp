@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "engine/eval_engine.hpp"
 #include "quantum/evaluator.hpp"
 #include "quantum/maxcut.hpp"
 
@@ -39,6 +40,15 @@ class Landscape
 
     /** Evaluate @p eval over the grid (row-major: beta rows, gamma cols). */
     static Landscape evaluate(CutEvaluator &eval, int width);
+
+    /**
+     * Engine-routed variant: the grid is submitted as one EvalEngine
+     * job, so repeated landscapes of the same (graph, spec) hit the
+     * point memo and share cached artifacts. Values are identical to
+     * the direct overload with the same backend.
+     */
+    static Landscape evaluate(EvalEngine &engine, const Graph &g,
+                              const EvalSpec &spec, int width);
 
     int width() const { return width_; }
 
@@ -97,6 +107,11 @@ std::vector<QaoaParams> randomParameterSets(int p, int count, Rng &rng);
 
 /** Evaluate @p eval at every parameter set. */
 std::vector<double> evaluateAt(CutEvaluator &eval,
+                               const std::vector<QaoaParams> &params);
+
+/** Engine-routed variant (one job; memo + artifact sharing). */
+std::vector<double> evaluateAt(EvalEngine &engine, const Graph &g,
+                               const EvalSpec &spec,
                                const std::vector<QaoaParams> &params);
 
 } // namespace redqaoa

@@ -1,6 +1,8 @@
 #include "quantum/evaluator.hpp"
 
 #include "common/thread_pool.hpp"
+#include "engine/backend_registry.hpp"
+#include "engine/eval_spec.hpp"
 
 namespace redqaoa {
 
@@ -21,19 +23,19 @@ CutEvaluator::batchExpectation(std::span<const QaoaParams> params)
 std::unique_ptr<CutEvaluator>
 makeIdealEvaluator(const Graph &g, int p, int exact_qubit_limit)
 {
-    if (g.numNodes() <= exact_qubit_limit)
-        return std::make_unique<ExactEvaluator>(g);
-    if (p == 1)
-        return std::make_unique<AnalyticEvaluator>(g);
-    return std::make_unique<LightconeCutEvaluator>(g, p, exact_qubit_limit);
+    // Thin wrapper over the backend registry: the selection policy
+    // itself lives in resolveBackend() (engine/eval_spec.hpp).
+    return makeEvaluator(g, EvalSpec::ideal(p, exact_qubit_limit));
 }
 
 std::unique_ptr<CutEvaluator>
 makeNoisyEvaluator(const Graph &g, const NoiseModel &nm, int trajectories,
                    std::uint64_t seed, int shots)
 {
-    return std::make_unique<NoisyEvaluator>(g, nm, trajectories, seed,
-                                            shots);
+    // EvalSpec::noisy pins the Trajectory backend even under a noise
+    // model whose channels are all trivial.
+    return makeEvaluator(g,
+                         EvalSpec::noisy(nm, 1, trajectories, seed, shots));
 }
 
 } // namespace redqaoa

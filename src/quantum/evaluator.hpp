@@ -64,12 +64,20 @@ class ExactEvaluator : public CutEvaluator
   public:
     explicit ExactEvaluator(const Graph &g) : sim_(g) {}
 
+    /** Shared-artifact variant: reuse a cached cut table for @p g. */
+    ExactEvaluator(const Graph &g, std::shared_ptr<const CutTable> table)
+        : sim_(g, std::move(table))
+    {}
+
     double expectation(const QaoaParams &params) override
     {
         return sim_.expectation(params);
     }
     int numQubits() const override { return sim_.numQubits(); }
     std::string describe() const override { return "statevector"; }
+
+    /** The underlying simulator (artifact-cache identity checks). */
+    const QaoaSimulator &simulator() const { return sim_; }
 
   protected:
     bool concurrentSafe() const override { return true; }
@@ -128,20 +136,34 @@ class NoisyEvaluator : public CutEvaluator
 class AnalyticEvaluator : public CutEvaluator
 {
   public:
-    explicit AnalyticEvaluator(const Graph &g) : eval_(g) {}
+    explicit AnalyticEvaluator(const Graph &g)
+        : eval_(std::make_shared<const AnalyticP1Evaluator>(g))
+    {}
+
+    /** Shared-artifact variant: reuse a cached edge-table evaluator. */
+    explicit AnalyticEvaluator(
+        std::shared_ptr<const AnalyticP1Evaluator> shared)
+        : eval_(std::move(shared))
+    {}
 
     double expectation(const QaoaParams &params) override
     {
-        return eval_.expectation(params);
+        return eval_->expectation(params);
     }
-    int numQubits() const override { return eval_.numQubits(); }
+    int numQubits() const override { return eval_->numQubits(); }
     std::string describe() const override { return "analytic-p1"; }
+
+    /** The shared edge table (artifact-cache identity checks). */
+    const std::shared_ptr<const AnalyticP1Evaluator> &shared() const
+    {
+        return eval_;
+    }
 
   protected:
     bool concurrentSafe() const override { return true; }
 
   private:
-    AnalyticP1Evaluator eval_;
+    std::shared_ptr<const AnalyticP1Evaluator> eval_;
 };
 
 /** Per-edge light-cone backend for large graphs at p >= 1. */
@@ -149,15 +171,28 @@ class LightconeCutEvaluator : public CutEvaluator
 {
   public:
     LightconeCutEvaluator(const Graph &g, int p, int max_cone_qubits = 20)
-        : eval_(g, p, max_cone_qubits)
+        : eval_(std::make_shared<const LightconeEvaluator>(
+              g, p, max_cone_qubits))
+    {}
+
+    /** Shared-artifact variant: reuse a cached cone decomposition. */
+    explicit LightconeCutEvaluator(
+        std::shared_ptr<const LightconeEvaluator> shared)
+        : eval_(std::move(shared))
     {}
 
     double expectation(const QaoaParams &params) override
     {
-        return eval_.expectation(params);
+        return eval_->expectation(params);
     }
-    int numQubits() const override { return eval_.numQubits(); }
+    int numQubits() const override { return eval_->numQubits(); }
     std::string describe() const override { return "lightcone"; }
+
+    /** The shared decomposition (artifact-cache identity checks). */
+    const std::shared_ptr<const LightconeEvaluator> &shared() const
+    {
+        return eval_;
+    }
 
   protected:
     /**
@@ -168,13 +203,15 @@ class LightconeCutEvaluator : public CutEvaluator
     bool concurrentSafe() const override { return true; }
 
   private:
-    LightconeEvaluator eval_;
+    std::shared_ptr<const LightconeEvaluator> eval_;
 };
 
 /**
  * Pick the cheapest exact(ish) ideal evaluator for (graph, depth):
  * statevector below @p exact_qubit_limit qubits, the closed form at
- * p = 1, the light-cone evaluator otherwise.
+ * p = 1, the light-cone evaluator otherwise. Thin wrapper over the
+ * backend registry's Auto policy (engine/eval_spec.hpp) — prefer
+ * makeEvaluator / EvalEngine::evaluator in new code.
  */
 std::unique_ptr<CutEvaluator> makeIdealEvaluator(const Graph &g, int p,
                                                  int exact_qubit_limit = 16);

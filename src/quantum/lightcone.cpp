@@ -81,7 +81,7 @@ LightconeEvaluator::groupEnergy(const ConeGroup &grp,
 }
 
 double
-LightconeEvaluator::expectation(const QaoaParams &params)
+LightconeEvaluator::expectation(const QaoaParams &params) const
 {
     assert(params.layers() == depth_);
     if (ThreadPool::globalThreadCount() == 1 || groups_.size() < 2) {

@@ -44,9 +44,11 @@ class LightconeEvaluator
      * reduced in a fixed group order (thread-count independent); with
      * one thread the same group energies accumulate serially on the
      * calling thread. Cone statevectors live in per-thread scratch, so
-     * sweeps do not allocate per evaluation.
+     * sweeps do not allocate per evaluation. Const (the decomposition
+     * is read-only after construction), so one instance can be shared
+     * across evaluators and concurrent engine jobs.
      */
-    double expectation(const QaoaParams &params);
+    double expectation(const QaoaParams &params) const;
 
     /** Largest cone size encountered (diagnostics). */
     int maxConeSize() const { return maxConeSize_; }

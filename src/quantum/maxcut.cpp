@@ -173,7 +173,12 @@ maxCutBest(const Graph &g, Rng &rng)
 }
 
 QaoaSimulator::QaoaSimulator(const Graph &g)
-    : graph_(g), table_(makeCutTable(g))
+    : QaoaSimulator(g, std::make_shared<const CutTable>(makeCutTable(g)))
+{}
+
+QaoaSimulator::QaoaSimulator(const Graph &g,
+                             std::shared_ptr<const CutTable> table)
+    : graph_(g), table_(std::move(table))
 {}
 
 double
@@ -181,15 +186,15 @@ QaoaSimulator::expectation(const QaoaParams &params) const
 {
     Statevector &psi = scratchUniformState(StateScratch::kEvaluator,
                                            graph_.numNodes());
-    applyQaoaLayers(psi, table_, params);
-    return psi.expectationFromCodes(table_.codes);
+    applyQaoaLayers(psi, *table_, params);
+    return psi.expectationFromCodes(table_->codes);
 }
 
 Statevector
 QaoaSimulator::state(const QaoaParams &params) const
 {
     Statevector psi = Statevector::uniform(graph_.numNodes());
-    applyQaoaLayers(psi, table_, params);
+    applyQaoaLayers(psi, *table_, params);
     return psi;
 }
 

@@ -15,6 +15,7 @@
 #define REDQAOA_QUANTUM_MAXCUT_HPP
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -103,6 +104,13 @@ class QaoaSimulator
   public:
     explicit QaoaSimulator(const Graph &g);
 
+    /**
+     * Share a prebuilt cut table (it must be makeCutTable(g)). The
+     * engine's artifact cache uses this so every evaluator of the same
+     * graph reuses one 2^n table instead of rebuilding it.
+     */
+    QaoaSimulator(const Graph &g, std::shared_ptr<const CutTable> table);
+
     /** <H_c> for the trial state |psi(gamma, beta)> (Eq. 3). */
     double expectation(const QaoaParams &params) const;
 
@@ -112,7 +120,13 @@ class QaoaSimulator
     /** The graph's cut table (integer codes, ground truth per state). */
     const std::vector<std::int32_t> &costTable() const
     {
-        return table_.codes;
+        return table_->codes;
+    }
+
+    /** The shared table handle (artifact-cache identity checks). */
+    const std::shared_ptr<const CutTable> &sharedTable() const
+    {
+        return table_;
     }
 
     int numQubits() const { return graph_.numNodes(); }
@@ -120,7 +134,8 @@ class QaoaSimulator
 
   private:
     Graph graph_;
-    CutTable table_; //!< Integer codes: phase lookup + expectation.
+    /** Integer codes: phase lookup + expectation (possibly shared). */
+    std::shared_ptr<const CutTable> table_;
 };
 
 } // namespace redqaoa
