@@ -9,6 +9,7 @@
  *   redqaoa_bench --filter '^fig1[0-9]$'      regex name selection
  *   redqaoa_bench --json out.json             aggregate JSON document
  *   redqaoa_bench --json out.json --text      JSON plus live text
+ *   redqaoa_bench --threads 4                 pin the pool size
  *
  * Text output (the historical per-binary printf output, ASCII
  * landscapes included) is on by default and suppressed when --json is
@@ -17,6 +18,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <regex>
@@ -24,6 +26,7 @@
 #include <string>
 
 #include "bench/harness/bench_runner.hpp"
+#include "common/thread_pool.hpp"
 
 using namespace redqaoa;
 
@@ -35,7 +38,8 @@ usage(std::FILE *to)
     std::fprintf(
         to,
         "usage: redqaoa_bench [--list] [--filter <regex>] [--quick]\n"
-        "                     [--json <path>] [--text] [--help]\n"
+        "                     [--json <path>] [--text] [--threads <n>]\n"
+        "                     [--help]\n"
         "\n"
         "  --list           list registered figures and exit\n"
         "  --filter <re>    run only figures whose name matches <re>\n"
@@ -44,7 +48,11 @@ usage(std::FILE *to)
         "  --json <path>    write the aggregate JSON document to"
         " <path>\n"
         "  --text           human-readable output (default unless"
-        " --json is given)\n");
+        " --json is given)\n"
+        "  --threads <n>    thread-pool size (overrides the"
+        " REDQAOA_THREADS env var;\n"
+        "                   the effective value is stamped into the"
+        " JSON metadata)\n");
 }
 
 } // namespace
@@ -82,6 +90,25 @@ main(int argc, char **argv)
                 return 2;
             }
             json_path = argv[i];
+        } else if (arg == "--threads") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "error: --threads needs a value\n");
+                usage(stderr);
+                return 2;
+            }
+            char *end = nullptr;
+            long threads = std::strtol(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || threads < 1) {
+                std::fprintf(stderr,
+                             "error: --threads needs an integer >= 1,"
+                             " got '%s'\n",
+                             argv[i]);
+                usage(stderr);
+                return 2;
+            }
+            // Resize the global pool before any figure runs; the
+            // metadata.threads stamp reads back the effective value.
+            ThreadPool::setGlobalThreads(static_cast<int>(threads));
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             return 0;

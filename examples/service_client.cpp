@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Service-client tour: drives every method of a running redqaoa_serve
+ * TCP endpoint through the C++ ServiceClient — evaluate a small
+ * landscape batch, distill a graph, optimize parameters, run one full
+ * pipeline, launch a miniature fleet, read the traffic counters, and
+ * (optionally) ask the server to shut down.
+ *
+ * Usage: ./example_service_client <port> [--shutdown]
+ *
+ * Start the server first:   ./redqaoa_serve --tcp --port-file port.txt
+ * then:                     ./example_service_client "$(cat port.txt)"
+ *
+ * Exit codes: 0 when every call round-trips, 1 on any failure (CI's
+ * service smoke job gates on this).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "landscape/landscape.hpp"
+#include "service/client.hpp"
+
+using namespace redqaoa;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: example_service_client <port> [--shutdown]\n");
+        return 1;
+    }
+    int port = std::atoi(argv[1]);
+    bool shutdown = argc > 2 && std::string(argv[2]) == "--shutdown";
+
+    try {
+        service::ServiceClient client = service::ServiceClient::connect(port);
+        std::printf("Connected to redqaoa_serve on 127.0.0.1:%d\n", port);
+
+        // A shared problem instance for every call below.
+        Rng rng(2024);
+        Graph g = gen::connectedGnp(10, 0.4, rng);
+        json::Value graph_json = service::graphToJson(g);
+        std::printf("Problem graph: %s\n", g.summary().c_str());
+
+        // 1. evaluate — a batch of landscape points in one request.
+        std::vector<QaoaParams> points = randomParameterSets(1, 8, rng);
+        std::vector<double> values = client.evaluate(g, points);
+        double best = values[0];
+        for (double v : values)
+            best = std::max(best, v);
+        std::printf("evaluate : %zu points, best <H_c> %.4f\n",
+                    values.size(), best);
+
+        // 2. reduce — SA distillation with a pinned seed.
+        json::Value reduce_params = json::Value::object();
+        reduce_params["graph"] = graph_json;
+        reduce_params["seed"] = 7;
+        json::Value red = client.call("reduce", std::move(reduce_params));
+        std::printf("reduce   : %d -> %.0f nodes (AND ratio %.3f)\n",
+                    g.numNodes(),
+                    red.find("graph")->find("nodes")->asNumber(),
+                    red.find("and_ratio")->asNumber());
+
+        // 3. optimize — multi-restart search on the ideal backend.
+        json::Value opt_params = json::Value::object();
+        opt_params["graph"] = graph_json;
+        opt_params["restarts"] = 2;
+        opt_params["max_evaluations"] = 40;
+        opt_params["seed"] = 3;
+        json::Value opt = client.call("optimize", std::move(opt_params));
+        std::printf("optimize : <H_c> %.4f after %.0f evaluations (%s)\n",
+                    opt.find("energy")->asNumber(),
+                    opt.find("evaluations")->asNumber(),
+                    opt.find("backend")->asString().c_str());
+
+        // 4. pipeline — one full Red-QAOA run under device noise.
+        json::Value pipe_params = json::Value::object();
+        pipe_params["graph"] = graph_json;
+        json::Value pipe_opts = json::Value::object();
+        pipe_opts["noise"] = "ibmq_kolkata";
+        pipe_opts["restarts"] = 2;
+        pipe_opts["search_evaluations"] = 20;
+        pipe_opts["refine_evaluations"] = 8;
+        pipe_opts["trajectories"] = 4;
+        pipe_params["options"] = std::move(pipe_opts);
+        pipe_params["rng_seed"] = 7;
+        json::Value pipe = client.call("pipeline", std::move(pipe_params));
+        std::printf("pipeline : approx ratio %.4f (searched on %.0f"
+                    " qubits)\n",
+                    pipe.find("approx_ratio")->asNumber(),
+                    pipe.find("reduced_nodes")->asNumber());
+
+        // 5. fleet — a miniature graphs x noise x depth grid.
+        json::Value fleet_params = json::Value::object();
+        json::Value graphs = json::Value::array();
+        for (int i = 0; i < 2; ++i) {
+            json::Value entry = json::Value::object();
+            char gname[8];
+            std::snprintf(gname, sizeof gname, "g%d", i);
+            entry["name"] = gname;
+            entry["graph"] =
+                service::graphToJson(gen::connectedGnp(8, 0.4, rng));
+            graphs.push(std::move(entry));
+        }
+        fleet_params["graphs"] = std::move(graphs);
+        json::Value noises = json::Value::array();
+        noises.push(json::Value("ibmq_kolkata"));
+        fleet_params["noises"] = std::move(noises);
+        json::Value depths = json::Value::array();
+        depths.push(json::Value(1));
+        fleet_params["depths"] = std::move(depths);
+        json::Value fleet_opts = json::Value::object();
+        fleet_opts["restarts"] = 1;
+        fleet_opts["search_evaluations"] = 8;
+        fleet_opts["refine_evaluations"] = 4;
+        fleet_opts["trajectories"] = 2;
+        fleet_params["options"] = std::move(fleet_opts);
+        json::Value fleet = client.call("fleet", std::move(fleet_params));
+        std::printf("fleet    : %zu runs, schema v%.0f\n",
+                    fleet.find("runs")->size(),
+                    fleet.find("schema_version")->asNumber());
+
+        // 6. stats — engine and server traffic share the wire.
+        json::Value stats = client.stats();
+        const json::Value *engine = stats.find("engine");
+        const json::Value *server = stats.find("server");
+        std::printf("stats    : %.0f requests served, %.0f graphs"
+                    " cached, memo hit rate %.3f, p99 %.2f ms\n",
+                    server->find("served")->asNumber(),
+                    engine->find("graphs")->asNumber(),
+                    engine->find("memo_hit_rate")->asNumber(),
+                    server->find("latency")->find("p99_ms")->asNumber());
+
+        if (shutdown) {
+            client.shutdown();
+            std::printf("shutdown : acknowledged\n");
+        }
+        std::printf("All service calls round-tripped.\n");
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "service client failed: %s\n", e.what());
+        return 1;
+    }
+}

@@ -14,7 +14,7 @@ set -u
 
 cd "$(dirname "$0")/.."
 
-files=$(find src tests bench examples -name '*.cpp' -o -name '*.hpp')
+files=$(find src tests bench examples tools -name '*.cpp' -o -name '*.hpp')
 fail=0
 
 for f in $files; do

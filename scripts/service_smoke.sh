@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the request service, exercising both transports
+# with the real binaries (no gtest): CI's service job and the
+# `service_smoke` ctest both run exactly this.
+#
+#   usage: service_smoke.sh <redqaoa_serve> <example_service_client>
+#
+# Part 1 pipes a fixed NDJSON request script through the stdio
+# transport and validates every response line (ids echo back, ok
+# flags, typed error codes) with a stdlib-only python check.
+# Part 2 starts a TCP instance on an ephemeral port, runs the example
+# client against it (all six methods), asks for shutdown, and requires
+# a clean exit from both processes.
+set -euo pipefail
+
+SERVE=${1:?usage: service_smoke.sh <redqaoa_serve> <example_service_client>}
+CLIENT=${2:?usage: service_smoke.sh <redqaoa_serve> <example_service_client>}
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== service smoke: stdio transport =="
+cat > "$workdir/requests.ndjson" <<'EOF'
+{"id": 1, "method": "stats"}
+{"id": 2, "method": "evaluate", "params": {"graph": {"nodes": 4, "edges": [[0,1],[1,2],[2,3],[3,0]]}, "points": [[0.5, 0.3], [1.0, 0.2]]}}
+{"id": "str-id", "method": "reduce", "params": {"graph": {"nodes": 6, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,0],[0,3]]}, "seed": 7}}
+{"id": 4, "method": "nope"}
+{"id": 5, "method": "evaluate", "params": {"graph": {"nodes": 2, "edges": [[0,1]]}}}
+this is not json
+{"id": 7, "method": "optimize", "params": {"graph": {"nodes": 4, "edges": [[0,1],[1,2],[2,3],[3,0]]}, "restarts": 1, "max_evaluations": 10, "seed": 1}}
+{"id": 8, "method": "pipeline", "params": {"graph": {"nodes": 6, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,0],[0,3]]}, "options": {"restarts": 1, "search_evaluations": 6, "refine_evaluations": 3, "trajectories": 2, "noise": "ibmq_kolkata"}, "rng_seed": 2}}
+{"id": 9, "method": "fleet", "params": {"graphs": [{"name": "ring", "graph": {"nodes": 5, "edges": [[0,1],[1,2],[2,3],[3,4],[4,0]]}}], "depths": [1], "options": {"restarts": 1, "search_evaluations": 4, "refine_evaluations": 2}, "seed0": 3}}
+EOF
+"$SERVE" --stdio < "$workdir/requests.ndjson" > "$workdir/responses.ndjson"
+
+python3 - "$workdir/responses.ndjson" <<'EOF'
+import json, sys
+
+lines = [l for l in open(sys.argv[1]).read().splitlines() if l.strip()]
+assert len(lines) == 9, f"expected 9 response lines, got {len(lines)}"
+docs = [json.loads(l) for l in lines]
+for doc in docs:
+    assert doc["schema_version"] == 1, doc
+    assert "id" in doc and "ok" in doc, doc
+
+by_id = {doc["id"]: doc for doc in docs}
+assert by_id[1]["ok"] and "engine" in by_id[1]["result"] \
+    and "server" in by_id[1]["result"], by_id[1]
+ev = by_id[2]
+assert ev["ok"] and ev["result"]["backend"] == "statevector" \
+    and len(ev["result"]["values"]) == 2, ev
+red = by_id["str-id"]
+assert red["ok"] and red["result"]["graph"]["nodes"] >= 2, red
+assert not by_id[4]["ok"] \
+    and by_id[4]["error"]["code"] == "unknown_method", by_id[4]
+assert not by_id[5]["ok"] \
+    and by_id[5]["error"]["code"] == "invalid_params", by_id[5]
+assert not by_id[None]["ok"] \
+    and by_id[None]["error"]["code"] == "parse_error", by_id[None]
+opt = by_id[7]
+assert opt["ok"] and "energy" in opt["result"], opt
+pipe = by_id[8]
+assert pipe["ok"] and pipe["result"]["flow"] == "red-qaoa" \
+    and "approx_ratio" in pipe["result"], pipe
+fleet = by_id[9]
+assert fleet["ok"] and fleet["result"]["tool"] == "redqaoa_fleet" \
+    and len(fleet["result"]["runs"]) == 1, fleet
+print(f"stdio transport OK: {len(docs)} well-formed responses,"
+      " all six methods answered")
+EOF
+
+echo "== service smoke: TCP transport + example client =="
+rm -f "$workdir/port.txt"
+"$SERVE" --tcp --port-file "$workdir/port.txt" 2> "$workdir/server.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$workdir/port.txt" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "server died before binding:" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -s "$workdir/port.txt" ] || { echo "no port file" >&2; exit 1; }
+port=$(cat "$workdir/port.txt")
+
+"$CLIENT" "$port" --shutdown
+
+# wait returns the server's status; don't let errexit skip the
+# diagnostics below on a non-zero exit.
+server_status=0
+wait "$server_pid" || server_status=$?
+server_pid=""
+if [ "$server_status" -ne 0 ]; then
+    echo "server exited with status $server_status" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+fi
+grep -q "clean shutdown" "$workdir/server.log" || {
+    echo "server log missing clean-shutdown marker" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+}
+echo "TCP transport OK: client round-tripped all methods, server shut down cleanly"
+echo "service smoke PASSED"

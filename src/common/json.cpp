@@ -244,7 +244,9 @@ namespace {
 class Parser
 {
   public:
-    explicit Parser(const std::string &text) : text_(text) {}
+    Parser(const std::string &text, std::size_t max_depth)
+        : text_(text), maxDepth_(max_depth)
+    {}
 
     Value parseDocument()
     {
@@ -298,6 +300,23 @@ class Parser
         return true;
     }
 
+    /** RAII depth guard: containers past maxDepth_ are rejected. */
+    class DepthGuard
+    {
+      public:
+        explicit DepthGuard(Parser &p) : parser_(p)
+        {
+            if (++parser_.depth_ > parser_.maxDepth_)
+                parser_.fail("nesting deeper than " +
+                             std::to_string(parser_.maxDepth_) +
+                             " levels");
+        }
+        ~DepthGuard() { --parser_.depth_; }
+
+      private:
+        Parser &parser_;
+    };
+
     Value parseValue()
     {
         skipWhitespace();
@@ -328,6 +347,7 @@ class Parser
 
     Value parseObject()
     {
+        DepthGuard depth(*this);
         expect('{');
         Value obj = Value::object();
         skipWhitespace();
@@ -337,6 +357,8 @@ class Parser
         }
         for (;;) {
             skipWhitespace();
+            if (peek() != '"')
+                fail("expected string key in object");
             std::string key = parseString();
             skipWhitespace();
             expect(':');
@@ -357,6 +379,7 @@ class Parser
 
     Value parseArray()
     {
+        DepthGuard depth(*this);
         expect('[');
         Value arr = Value::array();
         skipWhitespace();
@@ -461,37 +484,63 @@ class Parser
 
     Value parseNumber()
     {
+        // Strict RFC 8259 grammar — strtod alone would also accept
+        // "+1", "01", ".5", "inf", hex floats, ... which must stay
+        // errors on untrusted input.
         std::size_t start = pos_;
-        if (peek() == '-')
-            ++pos_;
-        while (pos_ < text_.size()) {
-            char c = text_[pos_];
-            if ((c >= '0' && c <= '9') || c == '+' || c == '-' ||
-                c == '.' || c == 'e' || c == 'E')
+        auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
                 ++pos_;
-            else
-                break;
-        }
-        if (pos_ == start)
+                ++n;
+            }
+            return n;
+        };
+        auto bad = [&] {
+            pos_ = start; // Report the offset where the token begins.
             fail("invalid number");
+        };
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+            bad();
+        if (text_[pos_] == '0')
+            ++pos_; // A leading zero must stand alone ("01" is invalid).
+        else
+            digits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0)
+                bad();
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0)
+                bad();
+        }
         std::string tok = text_.substr(start, pos_ - start);
-        char *end = nullptr;
-        double d = std::strtod(tok.c_str(), &end);
-        if (end == tok.c_str() || *end != '\0')
-            fail("invalid number '" + tok + "'");
-        return Value(d);
+        // The grammar guarantees strtod consumes the whole token; huge
+        // magnitudes round to +-inf, which dump() re-emits as null.
+        return Value(std::strtod(tok.c_str(), nullptr));
     }
 
     const std::string &text_;
+    const std::size_t maxDepth_;
+    std::size_t depth_ = 0;
     std::size_t pos_ = 0;
 };
 
 } // namespace
 
 Value
-Value::parse(const std::string &text)
+Value::parse(const std::string &text, std::size_t max_depth)
 {
-    Parser p(text);
+    Parser p(text, max_depth);
     return p.parseDocument();
 }
 

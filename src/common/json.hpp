@@ -1,10 +1,17 @@
 /**
  * @file
- * Minimal JSON document model used by the benchmark harness: an ordered
- * value type (objects keep insertion order so emitted documents are
- * stable across runs), a writer with full string escaping, and a strict
- * recursive-descent parser so results files can be read back (tests,
- * tooling). No external dependencies.
+ * Minimal JSON document model used by the benchmark harness and the
+ * request service: an ordered value type (objects keep insertion order
+ * so emitted documents are stable across runs), a writer with full
+ * string escaping, and a strict recursive-descent parser so results
+ * files can be read back (tests, tooling). No external dependencies.
+ *
+ * The parser is safe on untrusted input (the service feeds it raw
+ * network bytes): nesting depth is capped (stack overflow on
+ * `[[[[...` becomes a clean throw), every failure is a
+ * std::runtime_error whose message names the byte offset, and
+ * truncated or garbage documents can never crash or read out of
+ * bounds (tests/test_json.cpp fuzzes both).
  */
 
 #ifndef REDQAOA_COMMON_JSON_HPP
@@ -104,11 +111,21 @@ class Value
     std::string dump(int indent = -1) const;
 
     /**
+     * Containers nested deeper than this many levels are rejected by
+     * parse(): recursion depth stays bounded on hostile input while
+     * every document the repo legitimately emits (bench results, fleet
+     * reports, service requests) nests a handful of levels at most.
+     */
+    static constexpr std::size_t kMaxParseDepth = 96;
+
+    /**
      * Parse a complete JSON document (trailing garbage is an error).
      * Throws std::runtime_error with an offset-annotated message on
-     * malformed input.
+     * malformed input — including documents nested deeper than
+     * @p max_depth; it never crashes on truncated or garbage bytes.
      */
-    static Value parse(const std::string &text);
+    static Value parse(const std::string &text,
+                       std::size_t max_depth = kMaxParseDepth);
 
   private:
     void dumpTo(std::string &out, int indent, int depth) const;

@@ -81,6 +81,7 @@ EvalEngine::cachedEvaluator(const Graph &g, const EvalSpec &spec,
             ++stats_.evaluatorHits;
             return it->second;
         }
+        ++stats_.evaluatorMisses;
     }
     // Construct outside the engine mutex (artifact builds are heavy);
     // losers of a construction race share the winner's artifacts via
@@ -124,6 +125,10 @@ EvalEngine::drain()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         jobs.swap(pending_);
+        if (!jobs.empty()) {
+            ++stats_.drains;
+            stats_.jobsDrained += jobs.size();
+        }
     }
     if (jobs.empty())
         return;
@@ -268,6 +273,29 @@ EvalEngine::clearMemos()
     std::lock_guard<std::mutex> lock(mutex_);
     pointMemo_.clear();
     batchMemo_.clear();
+}
+
+json::Value
+EngineStats::toJson() const
+{
+    auto u64 = [](std::uint64_t v) {
+        return json::Value(static_cast<std::size_t>(v));
+    };
+    json::Value doc = json::Value::object();
+    doc["jobs"] = u64(jobs);
+    doc["jobs_drained"] = u64(jobsDrained);
+    doc["drains"] = u64(drains);
+    doc["points"] = u64(points);
+    doc["evaluated"] = u64(evaluated);
+    doc["memo_hits"] = u64(memoHits);
+    doc["memo_hit_rate"] = memoHitRate();
+    doc["trajectory_jobs"] = u64(trajectoryJobs);
+    doc["evaluator_hits"] = u64(evaluatorHits);
+    doc["evaluator_misses"] = u64(evaluatorMisses);
+    doc["artifact_hits"] = u64(artifacts.hits);
+    doc["artifact_misses"] = u64(artifacts.misses);
+    doc["graphs"] = u64(artifacts.graphs);
+    return doc;
 }
 
 EngineStats

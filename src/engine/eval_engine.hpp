@@ -50,6 +50,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/json.hpp"
 #include "engine/artifact_cache.hpp"
 #include "engine/backend_registry.hpp"
 #include "engine/eval_spec.hpp"
@@ -99,15 +100,24 @@ class EvalJobTicket
     std::shared_ptr<detail::EngineJobState> state_;
 };
 
-/** Engine traffic counters (tests, bench metrics, logs). */
+/**
+ * Engine traffic counters (tests, bench metrics, service stats, fleet
+ * reports). toJson() is THE serialization — every surface that reports
+ * engine traffic (the fleet report's metadata.engine, the service
+ * layer's `stats` method) emits this one document, so field sets can
+ * never drift apart.
+ */
 struct EngineStats
 {
     std::uint64_t jobs = 0;     //!< Jobs submitted.
+    std::uint64_t jobsDrained = 0; //!< Jobs executed by drains.
+    std::uint64_t drains = 0;   //!< drain() calls that found work.
     std::uint64_t points = 0;   //!< Parameter points across all jobs.
-    std::uint64_t evaluated = 0; //!< Points actually computed.
+    std::uint64_t evaluated = 0; //!< Points actually computed (memo misses).
     std::uint64_t memoHits = 0; //!< Points served from the memo.
     std::uint64_t trajectoryJobs = 0; //!< Jobs on the noisy backend.
     std::uint64_t evaluatorHits = 0; //!< evaluator() served from cache.
+    std::uint64_t evaluatorMisses = 0; //!< evaluator() cache fills.
     ArtifactCache::Stats artifacts; //!< Cache traffic.
 
     /** memoHits / points (0 when no points were submitted). */
@@ -117,6 +127,23 @@ struct EngineStats
                            : static_cast<double>(memoHits) /
                                  static_cast<double>(points);
     }
+
+    /** evaluatorHits / (hits + misses) (0 without traffic). */
+    double evaluatorHitRate() const
+    {
+        std::uint64_t total = evaluatorHits + evaluatorMisses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(evaluatorHits) /
+                                static_cast<double>(total);
+    }
+
+    /**
+     * The shared traffic document:
+     *   {jobs, jobs_drained, drains, points, evaluated, memo_hits,
+     *    memo_hit_rate, trajectory_jobs, evaluator_hits,
+     *    evaluator_misses, artifact_hits, artifact_misses, graphs}
+     */
+    json::Value toJson() const;
 };
 
 class EvalEngine

@@ -39,21 +39,10 @@ FleetReport::toJson() const
     meta["scenario_count"] = runs.size();
     meta["threads"] = threads;
     meta["total_wall_seconds"] = wallSeconds;
-    json::Value eng = json::Value::object();
-    eng["jobs"] = static_cast<std::size_t>(engineStats.jobs);
-    eng["points"] = static_cast<std::size_t>(engineStats.points);
-    eng["evaluated"] = static_cast<std::size_t>(engineStats.evaluated);
-    eng["memo_hits"] = static_cast<std::size_t>(engineStats.memoHits);
-    eng["trajectory_jobs"] =
-        static_cast<std::size_t>(engineStats.trajectoryJobs);
-    eng["evaluator_hits"] =
-        static_cast<std::size_t>(engineStats.evaluatorHits);
-    eng["artifact_hits"] =
-        static_cast<std::size_t>(engineStats.artifacts.hits);
-    eng["artifact_misses"] =
-        static_cast<std::size_t>(engineStats.artifacts.misses);
-    eng["graphs"] = static_cast<std::size_t>(engineStats.artifacts.graphs);
-    meta["engine"] = std::move(eng);
+    // One source of truth: the engine-traffic block is EngineStats'
+    // own serialization, shared verbatim with the service `stats`
+    // method.
+    meta["engine"] = engineStats.toJson();
     doc["metadata"] = std::move(meta);
     doc["runs"] = runsJson();
     return doc;

@@ -75,9 +75,7 @@ struct FleetReport
      * Full report document (fleet schema_version 1):
      *   {"schema_version": 1, "tool": "redqaoa_fleet",
      *    "metadata": {scenario_count, threads, total_wall_seconds,
-     *                 engine: {jobs, points, evaluated, memo_hits,
-     *                          trajectory_jobs, artifact_hits,
-     *                          artifact_misses, graphs}},
+     *                 engine: EngineStats::toJson()},
      *    "runs": [...]}   // see runsJson()
      */
     json::Value toJson() const;

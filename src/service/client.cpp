@@ -1,0 +1,113 @@
+#include "service/client.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/socket_util.hpp"
+
+namespace redqaoa {
+namespace service {
+
+struct ServiceClient::Io
+{
+    int fd;
+    detail::FdLineReader reader;
+
+    explicit Io(int fd_in) : fd(fd_in), reader(fd_in) {}
+    ~Io() { ::close(fd); }
+};
+
+ServiceClient::ServiceClient(int fd) : io_(std::make_unique<Io>(fd)) {}
+ServiceClient::ServiceClient(ServiceClient &&) noexcept = default;
+ServiceClient &ServiceClient::operator=(ServiceClient &&) noexcept =
+    default;
+ServiceClient::~ServiceClient() = default;
+
+ServiceClient
+ServiceClient::connect(int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error("ServiceClient: socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        throw std::runtime_error(
+            "ServiceClient: cannot connect to 127.0.0.1:" +
+            std::to_string(port));
+    }
+    // One small request line per round trip: never batch behind Nagle.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return ServiceClient(fd);
+}
+
+std::string
+ServiceClient::rawExchange(const std::string &line)
+{
+    if (!detail::writeLine(io_->fd, line))
+        throw std::runtime_error("ServiceClient: connection lost on send");
+    std::string response;
+    if (!io_->reader.readLine(response))
+        throw std::runtime_error(
+            "ServiceClient: connection closed before a response");
+    return response;
+}
+
+json::Value
+ServiceClient::call(const std::string &method, json::Value params,
+                    double deadline_ms)
+{
+    std::uint64_t id = nextId_++;
+    json::Value doc = json::Value::object();
+    doc["id"] = static_cast<std::size_t>(id);
+    doc["method"] = method;
+    doc["params"] = std::move(params);
+    if (deadline_ms > 0.0)
+        doc["deadline_ms"] = deadline_ms;
+
+    Response response = parseResponse(rawExchange(doc.dump()));
+    if (!response.id.isNumber() ||
+        response.id.asNumber() != static_cast<double>(id))
+        throw std::runtime_error(
+            "ServiceClient: response id does not match request " +
+            std::to_string(id));
+    if (!response.ok)
+        throw ServiceError(response.errorCode, response.errorMessage);
+    return response.result;
+}
+
+std::vector<double>
+ServiceClient::evaluate(const Graph &g,
+                        const std::vector<QaoaParams> &points,
+                        json::Value spec)
+{
+    json::Value params = json::Value::object();
+    params["graph"] = graphToJson(g);
+    if (!spec.isNull())
+        params["spec"] = std::move(spec);
+    params["points"] = pointsToJson(points);
+    json::Value result = call("evaluate", std::move(params));
+    const json::Value *values = result.find("values");
+    if (!values || !values->isArray())
+        throw std::runtime_error(
+            "ServiceClient: evaluate result without 'values'");
+    std::vector<double> out;
+    out.reserve(values->size());
+    for (const json::Value &v : values->asArray())
+        out.push_back(v.asNumber());
+    return out;
+}
+
+} // namespace service
+} // namespace redqaoa

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * ServiceClient: the C++ side of the wire. Connects to a redqaoa_serve
+ * TCP endpoint, frames requests as protocol lines, matches responses
+ * by id, and re-throws typed error responses as ServiceError — so a
+ * caller sees exactly the taxonomy the server emitted, and success
+ * payloads arrive as json::Value result documents.
+ *
+ * One client is one connection with requests answered in order; it is
+ * intentionally not thread-safe (a connection is cheap — concurrent
+ * callers should each hold their own, which is also what the
+ * throughput bench measures).
+ */
+
+#ifndef REDQAOA_SERVICE_CLIENT_HPP
+#define REDQAOA_SERVICE_CLIENT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace redqaoa {
+namespace service {
+
+class ServiceClient
+{
+  public:
+    /**
+     * Connect to 127.0.0.1:@p port ("localhost" is the only host the
+     * service binds). Throws std::runtime_error when the connection
+     * is refused.
+     */
+    static ServiceClient connect(int port);
+
+    ServiceClient(ServiceClient &&) noexcept;
+    ServiceClient &operator=(ServiceClient &&) noexcept;
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+    ~ServiceClient();
+
+    /**
+     * Issue one request and wait for its response. Returns the result
+     * payload on ok; throws ServiceError carrying the server's typed
+     * code on an error response, std::runtime_error on transport
+     * failures (connection dropped, malformed response, id mismatch).
+     * @p deadline_ms > 0 attaches a per-request deadline.
+     */
+    json::Value call(const std::string &method, json::Value params,
+                     double deadline_ms = 0.0);
+
+    /** call() with no params (stats, shutdown). */
+    json::Value call(const std::string &method)
+    {
+        return call(method, json::Value::object());
+    }
+
+    /**
+     * Send a raw, possibly malformed line and return the raw response
+     * line (protocol tests drive error paths through this).
+     */
+    std::string rawExchange(const std::string &line);
+
+    // --- Typed conveniences over call() ------------------------------
+
+    /** evaluate: <H_c> at every point. */
+    std::vector<double> evaluate(const Graph &g,
+                                 const std::vector<QaoaParams> &points,
+                                 json::Value spec = json::Value());
+
+    /** stats: {"engine": {...}, "server": {...}}. */
+    json::Value stats() { return call("stats"); }
+
+    /** shutdown: ask the server to stop (returns its ack). */
+    json::Value shutdown() { return call("shutdown"); }
+
+  private:
+    explicit ServiceClient(int fd);
+
+    struct Io; //!< fd + buffered line reader.
+    std::unique_ptr<Io> io_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace service
+} // namespace redqaoa
+
+#endif // REDQAOA_SERVICE_CLIENT_HPP

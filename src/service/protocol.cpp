@@ -1,0 +1,411 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "quantum/noise.hpp"
+
+namespace redqaoa {
+namespace service {
+
+namespace {
+
+[[noreturn]] void
+invalidParams(const std::string &why)
+{
+    throw ServiceError(ServiceErrorCode::InvalidParams, why);
+}
+
+/**
+ * Member lookup requiring an object @p v; nullptr when absent OR
+ * explicitly null (the documented "null means default" contract —
+ * clients serializing Option/None as null get the default, not an
+ * error).
+ */
+const json::Value *
+member(const json::Value &v, const char *key)
+{
+    const json::Value *found = v.isObject() ? v.find(key) : nullptr;
+    return (found && found->isNull()) ? nullptr : found;
+}
+
+/** Integer-valued number in [lo, hi]; throws InvalidParams otherwise. */
+int
+asBoundedInt(const json::Value &v, const char *what, int lo, int hi)
+{
+    if (!v.isNumber())
+        invalidParams(std::string(what) + " must be a number");
+    double d = v.asNumber();
+    if (!std::isfinite(d) || d != std::floor(d))
+        invalidParams(std::string(what) + " must be an integer");
+    if (d < lo || d > hi)
+        invalidParams(std::string(what) + " out of range [" +
+                      std::to_string(lo) + ", " + std::to_string(hi) +
+                      "]");
+    return static_cast<int>(d);
+}
+
+} // namespace
+
+const char *
+errorCodeName(ServiceErrorCode code)
+{
+    switch (code) {
+    case ServiceErrorCode::ParseError:
+        return "parse_error";
+    case ServiceErrorCode::InvalidRequest:
+        return "invalid_request";
+    case ServiceErrorCode::UnknownMethod:
+        return "unknown_method";
+    case ServiceErrorCode::InvalidParams:
+        return "invalid_params";
+    case ServiceErrorCode::DeadlineExceeded:
+        return "deadline_exceeded";
+    case ServiceErrorCode::Overloaded:
+        return "overloaded";
+    case ServiceErrorCode::ShuttingDown:
+        return "shutting_down";
+    case ServiceErrorCode::Internal:
+        return "internal_error";
+    }
+    return "internal_error";
+}
+
+ServiceErrorCode
+errorCodeFromName(const std::string &name)
+{
+    for (ServiceErrorCode code :
+         {ServiceErrorCode::ParseError, ServiceErrorCode::InvalidRequest,
+          ServiceErrorCode::UnknownMethod, ServiceErrorCode::InvalidParams,
+          ServiceErrorCode::DeadlineExceeded, ServiceErrorCode::Overloaded,
+          ServiceErrorCode::ShuttingDown, ServiceErrorCode::Internal})
+        if (name == errorCodeName(code))
+            return code;
+    throw std::invalid_argument("unknown service error code: " + name);
+}
+
+Request
+parseRequest(const std::string &line)
+{
+    json::Value doc;
+    try {
+        doc = json::Value::parse(line);
+    } catch (const std::exception &e) {
+        throw ServiceError(ServiceErrorCode::ParseError, e.what());
+    }
+    if (!doc.isObject())
+        throw ServiceError(ServiceErrorCode::InvalidRequest,
+                           "request must be a JSON object");
+
+    Request req;
+    const json::Value *id = doc.find("id");
+    if (!id || !(id->isNumber() || id->isString()))
+        throw ServiceError(ServiceErrorCode::InvalidRequest,
+                           "request needs a number or string 'id'");
+    req.id = *id;
+
+    const json::Value *method = doc.find("method");
+    if (!method || !method->isString() || method->asString().empty())
+        throw ServiceError(ServiceErrorCode::InvalidRequest,
+                           "request needs a non-empty string 'method'");
+    req.method = method->asString();
+
+    if (const json::Value *params = doc.find("params")) {
+        if (!params->isObject())
+            throw ServiceError(ServiceErrorCode::InvalidRequest,
+                               "'params' must be an object");
+        req.params = *params;
+    } else {
+        req.params = json::Value::object();
+    }
+
+    if (const json::Value *deadline = doc.find("deadline_ms")) {
+        if (!deadline->isNumber() || !(deadline->asNumber() > 0.0))
+            throw ServiceError(ServiceErrorCode::InvalidRequest,
+                               "'deadline_ms' must be a positive number");
+        req.deadlineMs = deadline->asNumber();
+    }
+    return req;
+}
+
+json::Value
+salvageRequestId(const std::string &line)
+{
+    try {
+        json::Value doc = json::Value::parse(line);
+        const json::Value *id = doc.find("id");
+        if (id && (id->isNumber() || id->isString()))
+            return *id;
+    } catch (const std::exception &) {
+        // Not JSON at all; null is the only honest id.
+    }
+    return json::Value();
+}
+
+std::string
+makeResultLine(const json::Value &id, json::Value result)
+{
+    json::Value doc = json::Value::object();
+    doc["schema_version"] = kSchemaVersion;
+    doc["id"] = id;
+    doc["ok"] = true;
+    doc["result"] = std::move(result);
+    return doc.dump();
+}
+
+std::string
+makeErrorLine(const json::Value &id, ServiceErrorCode code,
+              const std::string &message)
+{
+    json::Value doc = json::Value::object();
+    doc["schema_version"] = kSchemaVersion;
+    doc["id"] = id;
+    doc["ok"] = false;
+    json::Value err = json::Value::object();
+    err["code"] = errorCodeName(code);
+    err["message"] = message;
+    doc["error"] = std::move(err);
+    return doc.dump();
+}
+
+Response
+parseResponse(const std::string &line)
+{
+    json::Value doc;
+    try {
+        doc = json::Value::parse(line);
+    } catch (const std::exception &e) {
+        throw ServiceError(ServiceErrorCode::ParseError, e.what());
+    }
+    const json::Value *version = doc.find("schema_version");
+    if (!version || !version->isNumber() ||
+        version->asNumber() != kSchemaVersion)
+        throw ServiceError(ServiceErrorCode::InvalidRequest,
+                           "response schema_version mismatch");
+    const json::Value *ok = doc.find("ok");
+    const json::Value *id = doc.find("id");
+    if (!ok || !ok->isBool() || !id)
+        throw ServiceError(ServiceErrorCode::InvalidRequest,
+                           "response needs 'ok' and 'id'");
+    Response out;
+    out.id = *id;
+    out.ok = ok->asBool();
+    if (out.ok) {
+        const json::Value *result = doc.find("result");
+        if (!result)
+            throw ServiceError(ServiceErrorCode::InvalidRequest,
+                               "ok response without 'result'");
+        out.result = *result;
+        return out;
+    }
+    const json::Value *err = doc.find("error");
+    const json::Value *code = err ? err->find("code") : nullptr;
+    const json::Value *message = err ? err->find("message") : nullptr;
+    if (!code || !code->isString() || !message || !message->isString())
+        throw ServiceError(ServiceErrorCode::InvalidRequest,
+                           "error response without code/message");
+    try {
+        out.errorCode = errorCodeFromName(code->asString());
+    } catch (const std::invalid_argument &) {
+        throw ServiceError(ServiceErrorCode::InvalidRequest,
+                           "unknown error code: " + code->asString());
+    }
+    out.errorMessage = message->asString();
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Domain codecs
+// ---------------------------------------------------------------------
+
+json::Value
+graphToJson(const Graph &g)
+{
+    json::Value doc = json::Value::object();
+    doc["nodes"] = g.numNodes();
+    json::Value edges = json::Value::array();
+    for (const Edge &e : g.edges()) {
+        json::Value pair = json::Value::array();
+        pair.push(json::Value(e.u));
+        pair.push(json::Value(e.v));
+        edges.push(std::move(pair));
+    }
+    doc["edges"] = std::move(edges);
+    return doc;
+}
+
+Graph
+graphFromJson(const json::Value &v, int max_nodes)
+{
+    if (!v.isObject())
+        invalidParams("'graph' must be an object");
+    const json::Value *nodes = v.find("nodes");
+    if (!nodes)
+        invalidParams("graph needs 'nodes'");
+    int n = asBoundedInt(*nodes, "graph.nodes", 1, max_nodes);
+    const json::Value *edges = v.find("edges");
+    if (!edges || !edges->isArray())
+        invalidParams("graph needs an 'edges' array");
+
+    Graph g(n);
+    for (const json::Value &pair : edges->asArray()) {
+        if (!pair.isArray() || pair.size() != 2)
+            invalidParams("each edge must be a [u, v] pair");
+        int u = asBoundedInt(pair.asArray()[0], "edge endpoint", 0, n - 1);
+        int w = asBoundedInt(pair.asArray()[1], "edge endpoint", 0, n - 1);
+        if (u == w)
+            invalidParams("self-loop edge [" + std::to_string(u) + ", " +
+                          std::to_string(w) + "]");
+        g.addEdge(u, w); // Duplicate edges are ignored, as in Graph.
+    }
+    return g;
+}
+
+NoiseModel
+noiseFromJson(const json::Value &v)
+{
+    if (v.isString()) {
+        const std::string &name = v.asString();
+        for (const NoiseModel &preset :
+             {noise::ideal(), noise::ibmKolkata(), noise::ibmAuckland(),
+              noise::ibmCairo(), noise::ibmMumbai(), noise::ibmGuadalupe(),
+              noise::ibmMelbourne(), noise::ibmToronto(),
+              noise::rigettiAspenM3()})
+            if (name == preset.name)
+                return preset;
+        invalidParams("unknown noise preset '" + name + "'");
+    }
+    if (v.isObject()) {
+        const json::Value *scale = v.find("scaled");
+        if (scale && scale->isNumber() && scale->asNumber() >= 0.0)
+            return noise::scaled(scale->asNumber());
+        invalidParams("noise object must be {\"scaled\": s >= 0}");
+    }
+    invalidParams("'noise' must be a preset name or {\"scaled\": s}");
+}
+
+std::vector<std::string>
+noisePresetNames()
+{
+    std::vector<std::string> names;
+    for (const NoiseModel &preset :
+         {noise::ideal(), noise::ibmKolkata(), noise::ibmAuckland(),
+          noise::ibmCairo(), noise::ibmMumbai(), noise::ibmGuadalupe(),
+          noise::ibmMelbourne(), noise::ibmToronto(),
+          noise::rigettiAspenM3()})
+        names.push_back(preset.name);
+    return names;
+}
+
+EvalSpec
+specFromJson(const json::Value *v)
+{
+    EvalSpec spec;
+    if (!v || v->isNull())
+        return spec;
+    if (!v->isObject())
+        invalidParams("'spec' must be an object");
+
+    if (const json::Value *backend = member(*v, "backend")) {
+        if (!backend->isString())
+            invalidParams("spec.backend must be a string");
+        const std::string &name = backend->asString();
+        bool found = false;
+        for (EvalBackend kind :
+             {EvalBackend::Auto, EvalBackend::Statevector,
+              EvalBackend::AnalyticP1, EvalBackend::Lightcone,
+              EvalBackend::Trajectory})
+            if (name == backendName(kind)) {
+                spec.backend = kind;
+                found = true;
+                break;
+            }
+        if (!found)
+            invalidParams("unknown backend '" + name + "'");
+    }
+    if (const json::Value *layers = member(*v, "layers"))
+        spec.layers = asBoundedInt(*layers, "spec.layers", 1, 64);
+    if (const json::Value *limit = member(*v, "exact_qubit_limit"))
+        spec.exactQubitLimit =
+            asBoundedInt(*limit, "spec.exact_qubit_limit", 1, 26);
+    if (const json::Value *nm = member(*v, "noise"))
+        spec.noise = noiseFromJson(*nm);
+    if (const json::Value *traj = member(*v, "trajectories"))
+        spec.trajectories =
+            asBoundedInt(*traj, "spec.trajectories", 1, 100000);
+    if (const json::Value *seed = member(*v, "seed")) {
+        if (!seed->isNumber() || seed->asNumber() < 0 ||
+            seed->asNumber() != std::floor(seed->asNumber()))
+            invalidParams("spec.seed must be a non-negative integer");
+        spec.seed = static_cast<std::uint64_t>(seed->asNumber());
+    }
+    if (const json::Value *shots = member(*v, "shots"))
+        spec.shots = asBoundedInt(*shots, "spec.shots", 0, 100000000);
+    return spec;
+}
+
+std::vector<QaoaParams>
+pointsFromJson(const json::Value &v)
+{
+    if (!v.isArray() || v.size() == 0)
+        invalidParams("'points' must be a non-empty array");
+    std::vector<QaoaParams> out;
+    std::size_t width = 0;
+    for (const json::Value &point : v.asArray()) {
+        if (!point.isArray())
+            invalidParams("each point must be an array of numbers");
+        std::vector<double> flat;
+        flat.reserve(point.size());
+        for (const json::Value &x : point.asArray()) {
+            if (!x.isNumber())
+                invalidParams("point coordinates must be numbers");
+            flat.push_back(x.asNumber());
+        }
+        if (flat.empty() || flat.size() % 2 != 0)
+            invalidParams("each point needs an even, positive number of"
+                          " coordinates [gamma..., beta...]");
+        // Depth cap matches spec.layers' bound: without it, one huge
+        // point would smuggle an unbounded-depth circuit past every
+        // other size check and wedge the executor.
+        if (flat.size() > 2 * 64)
+            invalidParams("points are limited to depth 64 (got " +
+                          std::to_string(flat.size() / 2) + ")");
+        if (width == 0)
+            width = flat.size();
+        else if (flat.size() != width)
+            invalidParams("all points must share one depth");
+        out.push_back(QaoaParams::unflatten(flat));
+    }
+    return out;
+}
+
+json::Value
+pointsToJson(const std::vector<QaoaParams> &points)
+{
+    json::Value arr = json::Value::array();
+    for (const QaoaParams &p : points) {
+        json::Value flat = json::Value::array();
+        for (double x : p.flatten())
+            flat.push(json::Value(x));
+        arr.push(std::move(flat));
+    }
+    return arr;
+}
+
+json::Value
+qaoaParamsToJson(const QaoaParams &p)
+{
+    json::Value doc = json::Value::object();
+    json::Value gamma = json::Value::array();
+    for (double g : p.gamma)
+        gamma.push(json::Value(g));
+    json::Value beta = json::Value::array();
+    for (double b : p.beta)
+        beta.push(json::Value(b));
+    doc["gamma"] = std::move(gamma);
+    doc["beta"] = std::move(beta);
+    return doc;
+}
+
+} // namespace service
+} // namespace redqaoa

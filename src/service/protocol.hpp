@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Wire schema of the Red-QAOA request service (service schema_version
+ * 1, versioned like the fleet report). The protocol is newline-
+ * delimited JSON: one request object per line in, one response object
+ * per line out, over any byte-stream transport (stdin/stdout pipes,
+ * localhost TCP).
+ *
+ * Request line:
+ *   {"id": 7, "method": "evaluate", "params": {...},
+ *    "deadline_ms": 250}
+ *   - id: number or string, echoed verbatim in the response (clients
+ *     match responses by id); requests without one are rejected.
+ *   - method: reduce | evaluate | optimize | pipeline | fleet | stats
+ *     (plus the administrative shutdown; see router.hpp).
+ *   - params: object, method-specific (optional for stats/shutdown).
+ *   - deadline_ms: optional per-request deadline, measured from
+ *     admission; a request still queued when it expires is answered
+ *     with deadline_exceeded instead of being executed.
+ *
+ * Response line:
+ *   {"schema_version": 1, "id": 7, "ok": true, "result": {...}}
+ *   {"schema_version": 1, "id": 7, "ok": false,
+ *    "error": {"code": "invalid_params", "message": "..."}}
+ *
+ * Error codes are closed and typed (ServiceErrorCode): clients branch
+ * on `code`, `message` is for humans. This header also carries the
+ * JSON <-> domain-type codecs (graphs, eval specs, parameter points,
+ * noise models) shared by the router, the client library, the bench
+ * harness, and the tests, so both sides of the wire agree by
+ * construction.
+ */
+
+#ifndef REDQAOA_SERVICE_PROTOCOL_HPP
+#define REDQAOA_SERVICE_PROTOCOL_HPP
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "engine/eval_spec.hpp"
+#include "graph/graph.hpp"
+#include "quantum/maxcut.hpp"
+
+namespace redqaoa {
+namespace service {
+
+/** Wire schema version stamped into every response line. */
+inline constexpr int kSchemaVersion = 1;
+
+/** Typed error taxonomy of the wire protocol (closed set). */
+enum class ServiceErrorCode
+{
+    ParseError,       //!< Request line is not a JSON document.
+    InvalidRequest,   //!< Valid JSON, invalid envelope (id/method/...).
+    UnknownMethod,    //!< Method name outside the dispatch table.
+    InvalidParams,    //!< Method params missing/ill-typed/out of range.
+    DeadlineExceeded, //!< deadline_ms expired before execution began.
+    Overloaded,       //!< Admission queue full (backpressure signal).
+    ShuttingDown,     //!< Server is stopping; request not executed.
+    Internal,         //!< Unexpected failure while executing.
+};
+
+/** Wire name of @p code ("parse_error", "overloaded", ...). */
+const char *errorCodeName(ServiceErrorCode code);
+
+/** errorCodeName's inverse; throws std::invalid_argument on others. */
+ServiceErrorCode errorCodeFromName(const std::string &name);
+
+/**
+ * The one exception type of the service layer. Handlers and codecs
+ * throw it; the server catches it and renders the typed error line.
+ * The client re-throws it for error responses, so callers see the
+ * same taxonomy on both sides of the wire.
+ */
+class ServiceError : public std::runtime_error
+{
+  public:
+    ServiceError(ServiceErrorCode code, const std::string &message)
+        : std::runtime_error(message), code_(code)
+    {}
+
+    ServiceErrorCode code() const { return code_; }
+
+  private:
+    ServiceErrorCode code_;
+};
+
+/** One parsed request envelope. */
+struct Request
+{
+    json::Value id;     //!< Number or string, echoed in the response.
+    std::string method; //!< Dispatch key.
+    json::Value params; //!< Method params (object; may be empty).
+    double deadlineMs = 0.0; //!< 0 = no deadline.
+};
+
+/**
+ * Parse and validate one request line. Throws ServiceError with
+ * ParseError (not JSON) or InvalidRequest (bad envelope: missing or
+ * non-scalar id, missing method, non-object params, bad deadline).
+ */
+Request parseRequest(const std::string &line);
+
+/**
+ * Best-effort id of a line parseRequest rejected, so envelope-error
+ * responses still correlate: the id when the line is valid JSON with
+ * a scalar id member, null otherwise.
+ */
+json::Value salvageRequestId(const std::string &line);
+
+/** Success response line (no trailing newline). */
+std::string makeResultLine(const json::Value &id, json::Value result);
+
+/** Error response line (no trailing newline). @p id may be null. */
+std::string makeErrorLine(const json::Value &id, ServiceErrorCode code,
+                          const std::string &message);
+
+/**
+ * Parsed response envelope (client side). ok == false carries the
+ * error pair instead of a result.
+ */
+struct Response
+{
+    json::Value id;
+    bool ok = false;
+    json::Value result; //!< Valid when ok.
+    ServiceErrorCode errorCode = ServiceErrorCode::Internal;
+    std::string errorMessage;
+};
+
+/**
+ * Parse one response line (schema_version checked). Throws
+ * ServiceError(ParseError/InvalidRequest) when the line is not a
+ * well-formed response envelope.
+ */
+Response parseResponse(const std::string &line);
+
+// ---------------------------------------------------------------------
+// Domain codecs (shared by router, client, bench, tests)
+// ---------------------------------------------------------------------
+
+/** {"nodes": n, "edges": [[u, v], ...]}. */
+json::Value graphToJson(const Graph &g);
+
+/**
+ * Inverse of graphToJson. Throws ServiceError(InvalidParams) on
+ * missing members, non-integer endpoints, out-of-range nodes,
+ * self-loops, or a node count above @p max_nodes (the service refuses
+ * instances too big for any backend before touching the engine).
+ */
+Graph graphFromJson(const json::Value &v, int max_nodes = 512);
+
+/**
+ * Spec object -> EvalSpec. Every member is optional and defaults to
+ * the EvalSpec defaults: {"backend": "auto"|"statevector"|
+ * "analytic-p1"|"lightcone"|"trajectory", "layers": p,
+ * "exact_qubit_limit": n, "noise": <see noiseFromJson>,
+ * "trajectories": t, "seed": s, "shots": k}. A null/absent value
+ * means "default".
+ */
+EvalSpec specFromJson(const json::Value *v);
+
+/**
+ * Noise member -> NoiseModel. Accepts a preset name string ("ideal",
+ * "ibmq_kolkata", "ibm_auckland", "ibm_cairo", "ibmq_mumbai",
+ * "ibmq_guadalupe", "ibmq_16_melbourne", "ibmq_toronto", "aspen_m3" —
+ * the models' own .name tags) or {"scaled": s} for the uniform-scale
+ * sweep model. Throws ServiceError(InvalidParams) on unknown names.
+ */
+NoiseModel noiseFromJson(const json::Value &v);
+
+/** The preset table behind noiseFromJson (README/docs source). */
+std::vector<std::string> noisePresetNames();
+
+/**
+ * Parameter points member -> QaoaParams list. Wire form is one array
+ * of flattened points: [[g1..gp, b1..bp], ...]; every point must have
+ * the same positive even length. Throws ServiceError(InvalidParams).
+ */
+std::vector<QaoaParams> pointsFromJson(const json::Value &v);
+
+/** Inverse of pointsFromJson (client convenience). */
+json::Value pointsToJson(const std::vector<QaoaParams> &points);
+
+/** {"gamma": [...], "beta": [...]} (optimize/pipeline results). */
+json::Value qaoaParamsToJson(const QaoaParams &p);
+
+} // namespace service
+} // namespace redqaoa
+
+#endif // REDQAOA_SERVICE_PROTOCOL_HPP

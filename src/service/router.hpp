@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Method dispatch of the request service: one ServiceRouter owns (or
+ * shares) an EvalEngine and maps the wire methods onto it —
+ *
+ *   reduce    SA graph distillation (RedQaoaReducer) with a request
+ *             seed; returns the reduced graph + node map + ratios.
+ *   evaluate  batch <H_c> evaluation of parameter points under an
+ *             EvalSpec, served through the engine (artifact cache +
+ *             point memo shared across requests).
+ *   optimize  multi-restart derivative-free search (COBYLA-lite) over
+ *             an engine objective; returns the best parameters.
+ *   pipeline  one full Red-QAOA pipeline run (or its plain-QAOA
+ *             baseline) on the shared engine.
+ *   fleet     a graphs x noise x depth PipelineFleet grid; returns the
+ *             schema-versioned fleet report document.
+ *   stats     engine traffic counters (EngineStats::toJson).
+ *
+ * Every handler is a pure function of its request params (fixed seeds
+ * in, deterministic evaluation underneath), so identical requests get
+ * byte-identical result payloads regardless of client count, request
+ * interleaving, or thread pool size — the property the service tests
+ * and the throughput bench pin.
+ *
+ * The router is deliberately transport-free (and thread-agnostic: one
+ * dispatch at a time per router; the server's executor guarantees
+ * that). Admission control, deadlines, and traffic accounting live in
+ * server.hpp.
+ */
+
+#ifndef REDQAOA_SERVICE_ROUTER_HPP
+#define REDQAOA_SERVICE_ROUTER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/eval_engine.hpp"
+#include "service/protocol.hpp"
+
+namespace redqaoa {
+namespace service {
+
+class ServiceRouter
+{
+  public:
+    /** Router on @p engine (a private engine when null). */
+    explicit ServiceRouter(std::shared_ptr<EvalEngine> engine = nullptr)
+        : engine_(engine ? std::move(engine)
+                         : std::make_shared<EvalEngine>())
+    {}
+
+    /**
+     * Execute @p req and return its result payload. Throws
+     * ServiceError (UnknownMethod, InvalidParams) for protocol-level
+     * failures; anything else escaping a handler is a bug surfaced to
+     * the client as internal_error by the server.
+     */
+    json::Value dispatch(const Request &req);
+
+    /** The method names dispatch accepts, sorted. */
+    static std::vector<std::string> methodNames();
+
+    EvalEngine &engine() { return *engine_; }
+    std::shared_ptr<EvalEngine> sharedEngine() const { return engine_; }
+
+  private:
+    json::Value handleReduce(const json::Value &params);
+    json::Value handleEvaluate(const json::Value &params);
+    json::Value handleOptimize(const json::Value &params);
+    json::Value handlePipeline(const json::Value &params);
+    json::Value handleFleet(const json::Value &params);
+    json::Value handleStats(const json::Value &params);
+
+    std::shared_ptr<EvalEngine> engine_;
+};
+
+} // namespace service
+} // namespace redqaoa
+
+#endif // REDQAOA_SERVICE_ROUTER_HPP

@@ -1,0 +1,594 @@
+#include "service/server.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/socket_util.hpp"
+
+namespace redqaoa {
+namespace service {
+
+// ---------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------
+
+void
+LatencyHistogram::record(double seconds)
+{
+    ++count_;
+    sumSeconds_ += seconds;
+    if (seconds > maxSeconds_)
+        maxSeconds_ = seconds;
+    int idx = 0;
+    if (seconds > 1e-6)
+        idx = static_cast<int>(std::floor(std::log2(seconds / 1e-6) * 2.0));
+    if (idx < 0)
+        idx = 0;
+    if (idx >= kBuckets)
+        idx = kBuckets - 1;
+    ++buckets_[static_cast<std::size_t>(idx)];
+}
+
+double
+LatencyHistogram::percentileMs(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    double want = q * static_cast<double>(count_);
+    std::uint64_t target = static_cast<std::uint64_t>(std::ceil(want));
+    if (target < 1)
+        target = 1;
+    if (target > count_)
+        target = count_;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[static_cast<std::size_t>(i)];
+        if (seen >= target) {
+            double upper_seconds =
+                1e-6 * std::pow(2.0, (i + 1) / 2.0);
+            return 1e3 * std::min(upper_seconds, maxSeconds_);
+        }
+    }
+    return 1e3 * maxSeconds_;
+}
+
+// ---------------------------------------------------------------------
+// ServerStats
+// ---------------------------------------------------------------------
+
+json::Value
+ServerStats::toJson() const
+{
+    auto u64 = [](std::uint64_t v) {
+        return json::Value(static_cast<std::size_t>(v));
+    };
+    json::Value doc = json::Value::object();
+    doc["received"] = u64(received);
+    doc["admitted"] = u64(admitted);
+    doc["dequeued"] = u64(dequeued);
+    doc["served"] = u64(served);
+    doc["ok"] = u64(okCount);
+    doc["errors"] = u64(errorCount);
+    doc["rejected_parse"] = u64(rejectedParse);
+    doc["rejected_overload"] = u64(rejectedOverload);
+    doc["expired_deadline"] = u64(expiredDeadline);
+    doc["shed_shutdown"] = u64(shedShutdown);
+    json::Value methods = json::Value::object();
+    for (const auto &[name, count] : methodCounts)
+        methods[name] = u64(count);
+    doc["methods"] = std::move(methods);
+    json::Value lat = json::Value::object();
+    lat["count"] = u64(latency.count());
+    lat["mean_ms"] = latency.meanMs();
+    lat["p50_ms"] = latency.percentileMs(0.50);
+    lat["p99_ms"] = latency.percentileMs(0.99);
+    lat["max_ms"] = latency.maxMs();
+    doc["latency"] = std::move(lat);
+    return doc;
+}
+
+// ---------------------------------------------------------------------
+// ServiceServer
+// ---------------------------------------------------------------------
+
+ServiceServer::ServiceServer(ServerOptions opts,
+                             std::shared_ptr<EvalEngine> engine)
+    : router_(std::move(engine)), opts_(opts)
+{
+    if (opts_.queueCapacity < 1)
+        throw std::invalid_argument(
+            "ServiceServer: queueCapacity must be >= 1");
+    executor_ = std::thread([this] { executorLoop(); });
+}
+
+ServiceServer::~ServiceServer()
+{
+    stop();
+}
+
+std::future<std::string>
+ServiceServer::submitLine(std::string line)
+{
+    std::promise<std::string> promise;
+    std::future<std::string> future = promise.get_future();
+
+    Request req;
+    try {
+        req = parseRequest(line);
+    } catch (const ServiceError &e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.received;
+        ++stats_.rejectedParse;
+        ++stats_.served;
+        ++stats_.errorCount;
+        // Envelope rejections still echo a determinable id, so
+        // pipelined clients can correlate the error.
+        promise.set_value(
+            makeErrorLine(salvageRequestId(line), e.code(), e.what()));
+        return future;
+    }
+
+    PendingRequest pending;
+    pending.arrival = Clock::now();
+    if (req.deadlineMs > 0.0) {
+        pending.hasDeadline = true;
+        pending.deadline =
+            pending.arrival +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(req.deadlineMs));
+    }
+    json::Value id = req.id; // Kept for immediate rejections.
+    pending.request = std::move(req);
+    pending.promise = std::move(promise);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.received;
+        if (stopping_) {
+            ++stats_.shedShutdown;
+            ++stats_.served;
+            ++stats_.errorCount;
+            pending.promise.set_value(
+                makeErrorLine(id, ServiceErrorCode::ShuttingDown,
+                              "server is shutting down"));
+            return future;
+        }
+        if (queue_.size() >= opts_.queueCapacity) {
+            ++stats_.rejectedOverload;
+            ++stats_.served;
+            ++stats_.errorCount;
+            pending.promise.set_value(makeErrorLine(
+                id, ServiceErrorCode::Overloaded,
+                "admission queue full (" +
+                    std::to_string(opts_.queueCapacity) +
+                    " pending requests); retry later"));
+            return future;
+        }
+        ++stats_.admitted;
+        queue_.push_back(std::move(pending));
+    }
+    wake_.notify_one();
+    return future;
+}
+
+std::string
+ServiceServer::handleLine(std::string line)
+{
+    return submitLine(std::move(line)).get();
+}
+
+bool
+ServiceServer::shutdownRequested() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopping_;
+}
+
+bool
+ServiceServer::waitShutdownFor(double seconds)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (seconds <= 0.0)
+        return stopping_;
+    return stopped_.wait_for(
+        lock, std::chrono::duration<double>(seconds),
+        [&] { return stopping_; });
+}
+
+void
+ServiceServer::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    stopped_.notify_all();
+    // stop() races only with itself via the destructor; tests and the
+    // serve binary call it from one thread, so a joinable check keeps
+    // the second call a no-op.
+    if (executor_.joinable())
+        executor_.join();
+}
+
+ServerStats
+ServiceServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ServiceServer::respond(PendingRequest &pending, std::string line,
+                       bool ok, bool recordLatency)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.served;
+        if (ok)
+            ++stats_.okCount;
+        else
+            ++stats_.errorCount;
+        if (recordLatency) {
+            std::chrono::duration<double> dt =
+                Clock::now() - pending.arrival;
+            stats_.latency.record(dt.count());
+        }
+    }
+    pending.promise.set_value(std::move(line));
+}
+
+void
+ServiceServer::executorLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        PendingRequest pending = std::move(queue_.front());
+        queue_.pop_front();
+        ++stats_.dequeued;
+        const bool draining = stopping_;
+        lock.unlock();
+
+        const Request &req = pending.request;
+        if (draining) {
+            {
+                std::lock_guard<std::mutex> inner(mutex_);
+                ++stats_.shedShutdown;
+            }
+            respond(pending,
+                    makeErrorLine(req.id, ServiceErrorCode::ShuttingDown,
+                                  "server is shutting down"),
+                    false, false);
+            lock.lock();
+            continue;
+        }
+
+        if (pending.hasDeadline && Clock::now() > pending.deadline) {
+            {
+                std::lock_guard<std::mutex> inner(mutex_);
+                ++stats_.expiredDeadline;
+            }
+            // Not recorded in the latency histogram: it tracks
+            // executed requests only (see ServerStats), and a lapsed
+            // queue wait would skew the p99 operators act on.
+            respond(pending,
+                    makeErrorLine(
+                        req.id, ServiceErrorCode::DeadlineExceeded,
+                        "deadline of " + std::to_string(req.deadlineMs) +
+                            " ms expired before execution"),
+                    false, false);
+            lock.lock();
+            continue;
+        }
+
+        {
+            std::lock_guard<std::mutex> inner(mutex_);
+            ++stats_.methodCounts[req.method];
+        }
+
+        if (req.method == "shutdown") {
+            {
+                std::lock_guard<std::mutex> inner(mutex_);
+                stopping_ = true;
+            }
+            stopped_.notify_all();
+            wake_.notify_all();
+            json::Value result = json::Value::object();
+            result["stopping"] = true;
+            respond(pending, makeResultLine(req.id, std::move(result)),
+                    true, true);
+            lock.lock();
+            continue; // Next iteration drains the queue, then exits.
+        }
+
+        std::string line;
+        bool ok = false;
+        try {
+            json::Value result = router_.dispatch(req);
+            if (req.method == "stats")
+                result["server"] = stats().toJson();
+            line = makeResultLine(req.id, std::move(result));
+            ok = true;
+        } catch (const ServiceError &e) {
+            line = makeErrorLine(req.id, e.code(), e.what());
+        } catch (const std::exception &e) {
+            line = makeErrorLine(req.id, ServiceErrorCode::Internal,
+                                 e.what());
+        } catch (...) {
+            line = makeErrorLine(req.id, ServiceErrorCode::Internal,
+                                 "unknown failure");
+        }
+        respond(pending, std::move(line), ok, true);
+        lock.lock();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stdio transport
+// ---------------------------------------------------------------------
+
+std::size_t
+serveStream(ServiceServer &server, std::istream &in, std::ostream &out)
+{
+    std::mutex mutex;
+    std::condition_variable wake;
+    std::deque<std::future<std::string>> pending;
+    bool done = false;
+    std::size_t written = 0;
+
+    // Writer thread: responses leave in request order, flushed per
+    // line, while the reader keeps admitting (pipelining through the
+    // admission queue instead of one request in flight at a time).
+    std::thread writer([&] {
+        for (;;) {
+            std::future<std::string> next;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                wake.wait(lock,
+                          [&] { return done || !pending.empty(); });
+                if (pending.empty())
+                    return;
+                next = std::move(pending.front());
+                pending.pop_front();
+            }
+            out << next.get() << '\n' << std::flush;
+            ++written;
+        }
+    });
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue; // Blank lines are keep-alive no-ops.
+        std::future<std::string> future = server.submitLine(line);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            pending.push_back(std::move(future));
+        }
+        wake.notify_one();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        done = true;
+    }
+    wake.notify_one();
+    writer.join();
+    return written;
+}
+
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+struct TcpServiceListener::Connection
+{
+    int fd = -1;
+    ServiceServer *server = nullptr;
+
+    std::mutex mutex;
+    std::condition_variable wake;
+    std::deque<std::future<std::string>> responses;
+    bool readerDone = false;
+    std::atomic<bool> readerExited{false};
+    std::atomic<bool> writerExited{false};
+
+    std::thread reader;
+    std::thread writer;
+
+    void start()
+    {
+        reader = std::thread([this] { readerLoop(); });
+        writer = std::thread([this] { writerLoop(); });
+    }
+
+    /** Both threads ran to completion: joins are instant. */
+    bool finished() const
+    {
+        return readerExited.load() && writerExited.load();
+    }
+
+    void readerLoop()
+    {
+        detail::FdLineReader lines(fd);
+        std::string line;
+        while (lines.readLine(line)) {
+            if (line.empty())
+                continue;
+            std::future<std::string> future = server->submitLine(line);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                responses.push_back(std::move(future));
+            }
+            wake.notify_one();
+        }
+        if (lines.oversized()) {
+            // The stream cannot be resynchronized after an unframed
+            // blob; answer once, then drop the connection.
+            std::promise<std::string> refusal;
+            refusal.set_value(makeErrorLine(
+                json::Value(), ServiceErrorCode::InvalidRequest,
+                "request line exceeds the maximum length"));
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                responses.push_back(refusal.get_future());
+            }
+            wake.notify_one();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            readerDone = true;
+        }
+        wake.notify_one();
+        readerExited.store(true);
+    }
+
+    void writerLoop()
+    {
+        for (;;) {
+            std::future<std::string> next;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                wake.wait(lock, [&] {
+                    return readerDone || !responses.empty();
+                });
+                if (responses.empty())
+                    break;
+                next = std::move(responses.front());
+                responses.pop_front();
+            }
+            if (!detail::writeLine(fd, next.get()))
+                break; // Peer gone; undelivered responses are dropped.
+        }
+        // A peer that half-closed its receive side could keep the
+        // reader alive (and admitting work nobody will read) forever;
+        // once nothing can be written back, kick the reader too.
+        ::shutdown(fd, SHUT_RDWR);
+        writerExited.store(true);
+    }
+};
+
+TcpServiceListener::TcpServiceListener(ServiceServer &server, int port)
+    : server_(server)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error("TcpServiceListener: socket() failed");
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // Localhost only.
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        ::close(listenFd_);
+        throw std::runtime_error(
+            "TcpServiceListener: cannot bind 127.0.0.1:" +
+            std::to_string(port));
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+TcpServiceListener::~TcpServiceListener()
+{
+    stop();
+}
+
+void
+TcpServiceListener::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // Listener closed by stop().
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            ::close(fd);
+            return;
+        }
+        reapFinished();
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conn->server = &server_;
+        conn->start();
+        connections_.push_back(std::move(conn));
+    }
+}
+
+void
+TcpServiceListener::reapFinished()
+{
+    // Caller holds mutex_. Joining a finished connection is instant;
+    // long-lived servers shed per-connection threads this way.
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+        Connection &conn = **it;
+        if (!conn.finished()) {
+            ++it;
+            continue;
+        }
+        conn.reader.join();
+        conn.writer.join();
+        ::close(conn.fd);
+        it = connections_.erase(it);
+    }
+}
+
+void
+TcpServiceListener::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    // Unblock accept(); the acceptor exits on the failing call.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+
+    // SHUT_RD stops the readers; writers drain the responses already
+    // admitted (their promises resolve as the executor finishes — or
+    // immediately, as shutting_down, once the server stops), flush
+    // them to the peer, and exit. Only then do the sockets close.
+    for (auto &conn : connections_)
+        ::shutdown(conn->fd, SHUT_RD);
+    for (auto &conn : connections_) {
+        conn->reader.join();
+        conn->writer.join();
+        ::close(conn->fd);
+    }
+    connections_.clear();
+}
+
+} // namespace service
+} // namespace redqaoa

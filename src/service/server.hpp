@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The request server: admission control, execution, accounting, and
+ * the pluggable transports.
+ *
+ * A ServiceServer owns a bounded admission queue and ONE executor
+ * thread draining it in FIFO order. Admission (submitLine) is cheap
+ * and non-blocking: the line is parsed, envelope errors are answered
+ * immediately, and a full queue is answered with the typed
+ * `overloaded` error — the protocol's backpressure signal — instead
+ * of buffering without bound. Each admitted request carries an
+ * optional deadline measured from admission; a request whose deadline
+ * lapses while it waits is answered `deadline_exceeded` without being
+ * executed.
+ *
+ * Single executor, deliberately: every handler already fans out over
+ * the process-wide thread pool through the EvalEngine (a drain shards
+ * every pending point across all cores), so executing requests one at
+ * a time loses no parallelism on the compute-bound methods — and it
+ * buys the service's strongest property for free: responses are a
+ * pure function of request content, independent of client count,
+ * connection interleaving, and REDQAOA_THREADS (pinned by
+ * tests/test_service.cpp). It also sidesteps the engine's one
+ * unsupported composition (several external threads draining
+ * concurrently with pool-driven drains).
+ *
+ * Transports frame the same NDJSON protocol over different byte
+ * streams:
+ *  - serveStream: stdin/stdout (or any iostream pair) for shell
+ *    pipes; responses come back in request order.
+ *  - TcpServiceListener: localhost TCP; each connection gets a reader
+ *    (submits lines, pipelined) and a writer (emits responses in that
+ *    connection's request order).
+ *
+ * Traffic accounting: cumulative counters (received / admitted /
+ * served / per-method / rejection reasons) plus a log-bucketed
+ * latency histogram reporting p50/p99/mean/max — ServerStats::toJson
+ * is what the `stats` method returns under "server", next to the
+ * engine's own counters.
+ */
+
+#ifndef REDQAOA_SERVICE_SERVER_HPP
+#define REDQAOA_SERVICE_SERVER_HPP
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/router.hpp"
+
+namespace redqaoa {
+namespace service {
+
+/**
+ * Log-bucketed latency histogram: fixed memory, cumulative, quantiles
+ * by bucket interpolation (buckets are sqrt(2)-spaced from 1 us, so a
+ * reported quantile is within ~20% of the true value — plenty for a
+ * p99 signal).
+ */
+class LatencyHistogram
+{
+  public:
+    void record(double seconds);
+
+    std::uint64_t count() const { return count_; }
+    double meanMs() const
+    {
+        return count_ == 0 ? 0.0
+                           : 1e3 * sumSeconds_ /
+                                 static_cast<double>(count_);
+    }
+    double maxMs() const { return 1e3 * maxSeconds_; }
+
+    /** Upper edge of the bucket holding quantile @p q (ms). */
+    double percentileMs(double q) const;
+
+  private:
+    static constexpr int kBuckets = 80; //!< 1 us .. ~1.8e6 s.
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sumSeconds_ = 0.0;
+    double maxSeconds_ = 0.0;
+};
+
+/** Snapshot of the server's cumulative traffic counters. */
+struct ServerStats
+{
+    std::uint64_t received = 0;  //!< Lines handed to submitLine.
+    std::uint64_t admitted = 0;  //!< Entered the queue.
+    std::uint64_t dequeued = 0;  //!< Picked up by the executor.
+    std::uint64_t served = 0;    //!< Responses produced (every path).
+    std::uint64_t okCount = 0;   //!< ok: true responses.
+    std::uint64_t errorCount = 0; //!< ok: false responses.
+    std::uint64_t rejectedParse = 0;    //!< parse/invalid envelope.
+    std::uint64_t rejectedOverload = 0; //!< Backpressure rejections.
+    std::uint64_t expiredDeadline = 0;  //!< Lapsed in the queue.
+    std::uint64_t shedShutdown = 0;     //!< Answered shutting_down.
+    std::map<std::string, std::uint64_t> methodCounts; //!< Executed.
+    LatencyHistogram latency; //!< Admission -> response, executed only.
+
+    /**
+     * {"received", "admitted", "dequeued", "served", "ok", "errors",
+     *  "rejected_parse", "rejected_overload", "expired_deadline",
+     *  "shed_shutdown", "methods": {...},
+     *  "latency": {"count", "mean_ms", "p50_ms", "p99_ms", "max_ms"}}
+     */
+    json::Value toJson() const;
+};
+
+struct ServerOptions
+{
+    /** Queued (admitted, not yet executing) request cap. */
+    std::size_t queueCapacity = 64;
+};
+
+class ServiceServer
+{
+  public:
+    explicit ServiceServer(ServerOptions opts = {},
+                           std::shared_ptr<EvalEngine> engine = nullptr);
+    ~ServiceServer();
+
+    ServiceServer(const ServiceServer &) = delete;
+    ServiceServer &operator=(const ServiceServer &) = delete;
+
+    /**
+     * Admit one raw request line. Returns a future resolving to the
+     * response line; it NEVER throws and never blocks on execution —
+     * envelope errors, a full queue (`overloaded`), and a stopping
+     * server (`shutting_down`) resolve the future immediately.
+     */
+    std::future<std::string> submitLine(std::string line);
+
+    /** submitLine + wait (tests and simple callers). */
+    std::string handleLine(std::string line);
+
+    /**
+     * True once a `shutdown` request was executed or stop() was
+     * called; new submissions are answered shutting_down.
+     */
+    bool shutdownRequested() const;
+
+    /** Block until shutdownRequested(), at most @p seconds (0 = poll). */
+    bool waitShutdownFor(double seconds);
+
+    /**
+     * Stop accepting work, answer every queued request with
+     * shutting_down, and join the executor. Idempotent; the
+     * destructor calls it.
+     */
+    void stop();
+
+    ServerStats stats() const;
+
+    ServiceRouter &router() { return router_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct PendingRequest
+    {
+        Request request;
+        std::promise<std::string> promise;
+        Clock::time_point arrival;
+        Clock::time_point deadline;  //!< Valid when hasDeadline.
+        bool hasDeadline = false;
+    };
+
+    void executorLoop();
+    /** Resolve @p pending with @p line, maintaining served counters. */
+    void respond(PendingRequest &pending, std::string line, bool ok,
+                 bool recordLatency);
+
+    ServiceRouter router_;
+    ServerOptions opts_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;     //!< Executor waits for work.
+    std::condition_variable stopped_;  //!< waitShutdownFor waiters.
+    std::deque<PendingRequest> queue_;
+    ServerStats stats_;
+    bool stopping_ = false;
+    std::thread executor_;
+};
+
+/**
+ * Serve newline-delimited requests from @p in to @p out (the stdio
+ * transport). Responses are written in request order, flushed per
+ * line, from a dedicated writer thread so slow requests pipeline
+ * behind fast reads. Returns the count of responses written, when
+ * @p in hits EOF. A `shutdown` request stops admission (later lines
+ * are answered shutting_down) but the read loop itself only ends at
+ * EOF — the stream cannot be abandoned mid-read — so a shutdown
+ * sender should close its pipe after the ack.
+ */
+std::size_t serveStream(ServiceServer &server, std::istream &in,
+                        std::ostream &out);
+
+/**
+ * Localhost TCP transport. Binds 127.0.0.1:@p port (0 = ephemeral;
+ * port() reports the bound port), accepts connections on a background
+ * thread, and serves each with a reader/writer thread pair. stop()
+ * (or destruction) shuts the listener and every connection down and
+ * joins all threads; it does NOT stop the ServiceServer — stop the
+ * listener first, then the server.
+ */
+class TcpServiceListener
+{
+  public:
+    /** Throws std::runtime_error when the socket cannot be bound. */
+    TcpServiceListener(ServiceServer &server, int port = 0);
+    ~TcpServiceListener();
+
+    TcpServiceListener(const TcpServiceListener &) = delete;
+    TcpServiceListener &operator=(const TcpServiceListener &) = delete;
+
+    int port() const { return port_; }
+
+    void stop();
+
+  private:
+    struct Connection;
+
+    void acceptLoop();
+    void reapFinished(); //!< Join and drop connections that ended.
+
+    ServiceServer &server_;
+    int listenFd_ = -1;
+    int port_ = 0;
+
+    std::mutex mutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+    bool stopping_ = false;
+    std::thread acceptor_;
+};
+
+} // namespace service
+} // namespace redqaoa
+
+#endif // REDQAOA_SERVICE_SERVER_HPP

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tiny POSIX socket helpers shared by the TCP transport (server.cpp)
+ * and the client library (client.cpp): full-buffer writes that survive
+ * partial send() returns, and a buffered newline-delimited reader. No
+ * public API surface — the service protocol is line-based, and these
+ * are the only two operations it needs from a byte stream.
+ */
+
+#ifndef REDQAOA_SERVICE_SOCKET_UTIL_HPP
+#define REDQAOA_SERVICE_SOCKET_UTIL_HPP
+
+#include <cerrno>
+#include <cstddef>
+#include <string>
+
+#include <unistd.h>
+
+namespace redqaoa {
+namespace service {
+namespace detail {
+
+/** write() the whole buffer; false on error/peer close. */
+inline bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** writeAll of @p line plus the protocol's terminating newline. */
+inline bool
+writeLine(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    return writeAll(fd, framed.data(), framed.size());
+}
+
+/**
+ * Buffered line reader over one fd. readLine() strips the trailing
+ * newline (and a CR, for telnet-style clients) and returns false on
+ * EOF/error with no complete line pending. Lines longer than
+ * @p max_line bytes poison the stream (oversized() turns true): the
+ * reader refuses to buffer unbounded garbage from a client that never
+ * sends a newline.
+ */
+class FdLineReader
+{
+  public:
+    explicit FdLineReader(int fd, std::size_t max_line = 8u << 20)
+        : fd_(fd), maxLine_(max_line)
+    {}
+
+    bool readLine(std::string &out)
+    {
+        while (true) {
+            std::size_t nl = buffer_.find('\n');
+            if (nl != std::string::npos) {
+                out.assign(buffer_, 0, nl);
+                buffer_.erase(0, nl + 1);
+                if (!out.empty() && out.back() == '\r')
+                    out.pop_back();
+                return true;
+            }
+            if (buffer_.size() > maxLine_) {
+                oversized_ = true;
+                return false;
+            }
+            char chunk[4096];
+            ssize_t n = ::read(fd_, chunk, sizeof chunk);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            if (n == 0)
+                return false; // EOF; a partial trailing line is dropped.
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    bool oversized() const { return oversized_; }
+
+  private:
+    int fd_;
+    std::size_t maxLine_;
+    std::string buffer_;
+    bool oversized_ = false;
+};
+
+} // namespace detail
+} // namespace service
+} // namespace redqaoa
+
+#endif // REDQAOA_SERVICE_SOCKET_UTIL_HPP

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * src/common/json tests, with the emphasis on untrusted input: the
+ * service layer feeds the parser raw network bytes, so beyond the
+ * round-trip contracts the suite asserts that malformed documents —
+ * truncations, random garbage, hostile nesting — always surface as a
+ * clean std::runtime_error with a byte offset in the message, never a
+ * crash, hang, or out-of-bounds read (run under ASan in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+
+namespace redqaoa {
+namespace {
+
+using json::Value;
+
+/** A representative document exercising every value type. */
+std::string
+sampleDocument()
+{
+    Value doc = Value::object();
+    doc["schema_version"] = 1;
+    doc["name"] = "red-qaoa \"service\"\n\t";
+    doc["ok"] = true;
+    doc["missing"] = Value();
+    Value arr = Value::array();
+    arr.push(Value(1.5));
+    arr.push(Value(-3));
+    arr.push(Value(2.2250738585072014e-308));
+    arr.push(Value(std::string("nested\\path")));
+    doc["values"] = std::move(arr);
+    Value inner = Value::object();
+    inner["unicode"] = "\u00e9\u20ac";
+    inner["empty_obj"] = Value::object();
+    inner["empty_arr"] = Value::array();
+    doc["inner"] = std::move(inner);
+    return doc.dump(2);
+}
+
+/** Expect a parse failure whose message carries an "offset" marker. */
+void
+expectCleanFailure(const std::string &text)
+{
+    try {
+        Value::parse(text);
+        FAIL() << "expected parse failure for: " << text.substr(0, 64);
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos)
+            << "no offset in: " << e.what();
+    }
+}
+
+TEST(Json, RoundTripPreservesStructureAndValues)
+{
+    std::string text = sampleDocument();
+    Value parsed = Value::parse(text);
+    EXPECT_EQ(parsed.dump(2), text);
+    // Compact form reparses to the same document too.
+    EXPECT_EQ(Value::parse(parsed.dump()).dump(2), text);
+    EXPECT_EQ(parsed.find("name")->asString(), "red-qaoa \"service\"\n\t");
+    EXPECT_TRUE(parsed.find("missing")->isNull());
+    EXPECT_EQ(parsed.find("values")->asArray()[1].asNumber(), -3.0);
+}
+
+TEST(Json, NumbersRoundTripExactly)
+{
+    for (double v :
+         {0.0, -0.0, 1.0, -1.0, 0.1, 1e-15, 9.007199254740991e15,
+          2.2250738585072014e-308, 1.7976931348623157e308, 3.141592653589793,
+          -123456789.123456789}) {
+        Value parsed = Value::parse(Value(v).dump());
+        // Bit-exact round trip is what lets the service promise
+        // responses identical to direct EvalEngine calls.
+        EXPECT_EQ(parsed.asNumber(), v) << v;
+    }
+}
+
+TEST(Json, MalformedDocumentsFailWithOffsets)
+{
+    const char *bad[] = {
+        "",
+        "   ",
+        "{",
+        "}",
+        "[",
+        "]",
+        "{]",
+        "[}",
+        "{\"a\"}",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "{a:1}",
+        "{1:2}",
+        "[1,]",
+        "[1 2]",
+        "\"unterminated",
+        "\"bad escape \\q\"",
+        "\"trunc \\u12",
+        "\"bad hex \\u12zz\"",
+        "tru",
+        "truex",
+        "nul",
+        "falsy",
+        "-",
+        "+1",
+        "01",
+        ".5",
+        "1.",
+        "1e",
+        "1.2.3",
+        "--4",
+        "0x10",
+        "inf",
+        "nan",
+        "@",
+        "{\"a\":1} trailing",
+        "[1][2]",
+        "\x01",
+        "{\"\xff\xfe\":", // Raw high bytes inside an unterminated doc.
+    };
+    for (const char *text : bad)
+        expectCleanFailure(text);
+}
+
+TEST(Json, ErrorMessagesPointAtTheFailingOffset)
+{
+    auto offsetOf = [](const std::string &text) -> std::string {
+        try {
+            Value::parse(text);
+        } catch (const std::runtime_error &e) {
+            std::string what = e.what();
+            auto at = what.rfind("offset ");
+            return what.substr(at + 7);
+        }
+        return "no-error";
+    };
+    EXPECT_EQ(offsetOf("[1, 2, x]"), "7");     // The bad token itself.
+    EXPECT_EQ(offsetOf("{\"a\": 1 \"b\"}"), "8"); // Missing comma.
+    EXPECT_EQ(offsetOf("[1, --4]"), "4");      // Bad number start.
+    EXPECT_EQ(offsetOf("nulx"), "0");          // Bad literal start.
+}
+
+TEST(Json, DepthLimitRejectsHostileNesting)
+{
+    // One level under the cap parses; past the cap throws cleanly
+    // instead of overflowing the parse stack.
+    std::string deep_ok(Value::kMaxParseDepth, '[');
+    deep_ok += "1";
+    deep_ok.append(Value::kMaxParseDepth, ']');
+    EXPECT_NO_THROW(Value::parse(deep_ok));
+
+    std::string too_deep(Value::kMaxParseDepth + 1, '[');
+    too_deep += "1";
+    too_deep.append(Value::kMaxParseDepth + 1, ']');
+    expectCleanFailure(too_deep);
+
+    // Far past the cap — the classic stack-smash input, 100k levels.
+    expectCleanFailure(std::string(100000, '['));
+    std::string obj_bomb;
+    for (int i = 0; i < 100000; ++i)
+        obj_bomb += "{\"a\":";
+    expectCleanFailure(obj_bomb);
+
+    // The cap is a parameter: a tight caller can tighten it.
+    EXPECT_NO_THROW(Value::parse("[[1]]", 2));
+    EXPECT_THROW(Value::parse("[[1]]", 1), std::runtime_error);
+}
+
+TEST(Json, EveryTruncationOfAValidDocumentFailsCleanly)
+{
+    std::string text = sampleDocument();
+    for (std::size_t n = 0; n < text.size(); ++n) {
+        std::string prefix = text.substr(0, n);
+        // A strict prefix of a multi-container document can never be a
+        // complete document itself; it must throw, not crash.
+        EXPECT_THROW(Value::parse(prefix), std::runtime_error)
+            << "prefix length " << n;
+    }
+    EXPECT_NO_THROW(Value::parse(text));
+}
+
+TEST(Json, RandomGarbageNeverCrashesTheParser)
+{
+    Rng rng(4242);
+    // Full byte range, including NUL and high bytes.
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::size_t len = rng.index(64);
+        std::string text;
+        for (std::size_t i = 0; i < len; ++i)
+            text += static_cast<char>(rng.index(256));
+        try {
+            Value::parse(text);
+        } catch (const std::runtime_error &) {
+            // Expected for almost every draw.
+        }
+    }
+    // Structural soup: JSON punctuation only, which digs deeper into
+    // the container state machine than raw bytes do.
+    const char soup[] = "{}[]\",:0123456789.eE+-truefalsenull \t\n";
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::size_t len = rng.index(96);
+        std::string text;
+        for (std::size_t i = 0; i < len; ++i)
+            text += soup[rng.index(sizeof soup - 1)];
+        try {
+            Value::parse(text);
+        } catch (const std::runtime_error &) {
+        }
+    }
+}
+
+TEST(Json, MutatedValidDocumentsFailCleanlyOrReparse)
+{
+    // Single-byte corruptions of a valid document: each either parses
+    // (the corruption landed in a string / stayed valid) or throws the
+    // annotated error. Either way: no crash, no hang.
+    std::string base = sampleDocument();
+    Rng rng(99);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::string text = base;
+        std::size_t at = rng.index(text.size());
+        text[at] = static_cast<char>(rng.index(256));
+        try {
+            Value parsed = Value::parse(text);
+            (void)parsed.dump();
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find("offset"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull)
+{
+    Value v(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(v.dump(), "null");
+    Value n(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(n.dump(), "null");
+}
+
+TEST(Json, TypedAccessorMismatchesThrow)
+{
+    Value num(1.0);
+    EXPECT_THROW(num.asString(), std::runtime_error);
+    EXPECT_THROW(num.asArray(), std::runtime_error);
+    Value str("x");
+    EXPECT_THROW(str.asNumber(), std::runtime_error);
+    EXPECT_THROW(str.push(Value(1)), std::runtime_error);
+    Value obj = Value::object();
+    EXPECT_THROW(obj.asBool(), std::runtime_error);
+    EXPECT_EQ(obj.find("absent"), nullptr);
+    EXPECT_EQ(num.find("absent"), nullptr);
+}
+
+} // namespace
+} // namespace redqaoa

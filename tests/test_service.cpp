@@ -1,0 +1,806 @@
+/**
+ * @file
+ * Service-layer tests. The load-bearing contracts:
+ *  - the protocol layer parses/serializes the request and response
+ *    envelopes with the typed error taxonomy;
+ *  - every method round-trips through the server with results
+ *    IDENTICAL to computing the same thing directly on the library
+ *    types (the service adds transport, never values);
+ *  - malformed input maps onto the right error codes;
+ *  - a queued request whose deadline lapses is answered
+ *    deadline_exceeded without executing;
+ *  - a full admission queue answers `overloaded` (backpressure)
+ *    instead of buffering or blocking;
+ *  - response payloads are deterministic: the same request set yields
+ *    byte-identical response lines at 1 and 8 evaluation threads,
+ *    under concurrent multi-client submission, in any interleaving;
+ *  - the TCP transport serves concurrent clients and shuts down
+ *    cleanly on the `shutdown` method.
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/pipeline.hpp"
+#include "engine/fleet.hpp"
+#include "graph/generators.hpp"
+#include "landscape/landscape.hpp"
+#include "opt/cobyla_lite.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace redqaoa {
+namespace {
+
+using service::Request;
+using service::Response;
+using service::ServiceClient;
+using service::ServiceError;
+using service::ServiceErrorCode;
+using service::ServiceServer;
+using service::TcpServiceListener;
+
+/** Restore the default global pool when a test returns. */
+class PoolGuard
+{
+  public:
+    ~PoolGuard() { ThreadPool::setGlobalThreads(ThreadPool::defaultThreads()); }
+};
+
+Graph
+smallGraph(std::uint64_t seed = 5)
+{
+    Rng rng(seed);
+    return gen::connectedGnp(9, 0.4, rng);
+}
+
+/** Error code of a response line (expects ok == false). */
+ServiceErrorCode
+errorCodeOf(const std::string &line)
+{
+    Response response = service::parseResponse(line);
+    EXPECT_FALSE(response.ok) << line;
+    return response.errorCode;
+}
+
+/** Result payload of a response line (expects ok == true). */
+json::Value
+resultOf(const std::string &line)
+{
+    Response response = service::parseResponse(line);
+    EXPECT_TRUE(response.ok) << line;
+    return response.result;
+}
+
+std::string
+evaluateRequest(int id, const Graph &g,
+                const std::vector<QaoaParams> &points,
+                json::Value spec = json::Value())
+{
+    json::Value doc = json::Value::object();
+    doc["id"] = id;
+    doc["method"] = "evaluate";
+    json::Value params = json::Value::object();
+    params["graph"] = service::graphToJson(g);
+    if (!spec.isNull())
+        params["spec"] = std::move(spec);
+    params["points"] = service::pointsToJson(points);
+    doc["params"] = std::move(params);
+    return doc.dump();
+}
+
+// ---------------------------------------------------------------------
+// Protocol layer
+// ---------------------------------------------------------------------
+
+TEST(ServiceProtocol, ParseRequestAcceptsTheFullEnvelope)
+{
+    Request req = service::parseRequest(
+        R"({"id": 7, "method": "stats", "params": {}, "deadline_ms": 12.5})");
+    EXPECT_EQ(req.id.asNumber(), 7.0);
+    EXPECT_EQ(req.method, "stats");
+    EXPECT_TRUE(req.params.isObject());
+    EXPECT_EQ(req.deadlineMs, 12.5);
+
+    // String ids and omitted params/deadline are fine.
+    Request minimal =
+        service::parseRequest(R"({"id": "abc", "method": "stats"})");
+    EXPECT_EQ(minimal.id.asString(), "abc");
+    EXPECT_TRUE(minimal.params.isObject());
+    EXPECT_EQ(minimal.deadlineMs, 0.0);
+}
+
+TEST(ServiceProtocol, ParseRequestRejectsBadEnvelopes)
+{
+    auto codeOf = [](const std::string &line) {
+        try {
+            service::parseRequest(line);
+        } catch (const ServiceError &e) {
+            return e.code();
+        }
+        ADD_FAILURE() << "no throw for: " << line;
+        return ServiceErrorCode::Internal;
+    };
+    EXPECT_EQ(codeOf("not json"), ServiceErrorCode::ParseError);
+    EXPECT_EQ(codeOf("[1, 2]"), ServiceErrorCode::InvalidRequest);
+    EXPECT_EQ(codeOf(R"({"method": "stats"})"),
+              ServiceErrorCode::InvalidRequest); // Missing id.
+    EXPECT_EQ(codeOf(R"({"id": [1], "method": "stats"})"),
+              ServiceErrorCode::InvalidRequest); // Non-scalar id.
+    EXPECT_EQ(codeOf(R"({"id": 1})"), ServiceErrorCode::InvalidRequest);
+    EXPECT_EQ(codeOf(R"({"id": 1, "method": ""})"),
+              ServiceErrorCode::InvalidRequest);
+    EXPECT_EQ(codeOf(R"({"id": 1, "method": "stats", "params": 3})"),
+              ServiceErrorCode::InvalidRequest);
+    EXPECT_EQ(
+        codeOf(R"({"id": 1, "method": "stats", "deadline_ms": -5})"),
+        ServiceErrorCode::InvalidRequest);
+}
+
+TEST(ServiceProtocol, ErrorCodeNamesRoundTrip)
+{
+    for (ServiceErrorCode code :
+         {ServiceErrorCode::ParseError, ServiceErrorCode::InvalidRequest,
+          ServiceErrorCode::UnknownMethod,
+          ServiceErrorCode::InvalidParams,
+          ServiceErrorCode::DeadlineExceeded,
+          ServiceErrorCode::Overloaded, ServiceErrorCode::ShuttingDown,
+          ServiceErrorCode::Internal})
+        EXPECT_EQ(service::errorCodeFromName(service::errorCodeName(code)),
+                  code);
+    EXPECT_THROW(service::errorCodeFromName("nope"),
+                 std::invalid_argument);
+}
+
+TEST(ServiceProtocol, ResponseLinesRoundTrip)
+{
+    json::Value result = json::Value::object();
+    result["x"] = 1.5;
+    Response ok = service::parseResponse(
+        service::makeResultLine(json::Value(3), result));
+    EXPECT_TRUE(ok.ok);
+    EXPECT_EQ(ok.id.asNumber(), 3.0);
+    EXPECT_EQ(ok.result.find("x")->asNumber(), 1.5);
+
+    Response err = service::parseResponse(service::makeErrorLine(
+        json::Value("rid"), ServiceErrorCode::Overloaded, "busy"));
+    EXPECT_FALSE(err.ok);
+    EXPECT_EQ(err.id.asString(), "rid");
+    EXPECT_EQ(err.errorCode, ServiceErrorCode::Overloaded);
+    EXPECT_EQ(err.errorMessage, "busy");
+
+    EXPECT_THROW(service::parseResponse("{}"), ServiceError);
+    EXPECT_THROW(service::parseResponse("garbage"), ServiceError);
+}
+
+TEST(ServiceProtocol, GraphCodecRoundTripsAndValidates)
+{
+    Graph g = smallGraph();
+    Graph back = service::graphFromJson(service::graphToJson(g));
+    EXPECT_EQ(back.numNodes(), g.numNodes());
+    EXPECT_TRUE(back.edges() == g.edges());
+
+    auto reject = [](const std::string &json_text) {
+        try {
+            service::graphFromJson(json::Value::parse(json_text));
+            ADD_FAILURE() << "accepted: " << json_text;
+        } catch (const ServiceError &e) {
+            EXPECT_EQ(e.code(), ServiceErrorCode::InvalidParams);
+        }
+    };
+    reject("{\"edges\": []}");                        // Missing nodes.
+    reject("{\"nodes\": 0, \"edges\": []}");          // Empty graph.
+    reject("{\"nodes\": 3}");                         // Missing edges.
+    reject("{\"nodes\": 3, \"edges\": [[0]]}");       // Not a pair.
+    reject("{\"nodes\": 3, \"edges\": [[0, 3]]}");    // Out of range.
+    reject("{\"nodes\": 3, \"edges\": [[1, 1]]}");    // Self-loop.
+    reject("{\"nodes\": 3, \"edges\": [[0, 1.5]]}");  // Non-integer.
+    reject("{\"nodes\": 100000, \"edges\": []}");     // Above the cap.
+}
+
+TEST(ServiceProtocol, PointsCodecRoundTripsAndValidates)
+{
+    Rng rng(3);
+    std::vector<QaoaParams> points = randomParameterSets(2, 5, rng);
+    std::vector<QaoaParams> back =
+        service::pointsFromJson(service::pointsToJson(points));
+    ASSERT_EQ(back.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(back[i].gamma, points[i].gamma);
+        EXPECT_EQ(back[i].beta, points[i].beta);
+    }
+
+    auto reject = [](const std::string &json_text) {
+        try {
+            service::pointsFromJson(json::Value::parse(json_text));
+            ADD_FAILURE() << "accepted: " << json_text;
+        } catch (const ServiceError &e) {
+            EXPECT_EQ(e.code(), ServiceErrorCode::InvalidParams);
+        }
+    };
+    reject("[]");                       // Empty batch.
+    reject("[[0.5]]");                  // Odd length.
+    reject("[[0.5, 0.2], [0.1]]");      // Ragged depths.
+    reject("[[0.5, \"x\"]]");           // Non-numeric.
+    reject("[0.5, 0.2]");               // Not nested.
+    {
+        // One huge point must not smuggle an unbounded depth past the
+        // size checks (the executor would wedge on a 500k-layer sim).
+        std::string huge = "[[0.1";
+        for (int i = 1; i < 2 * 65; ++i)
+            huge += ", 0.1";
+        huge += "]]";
+        reject(huge);
+    }
+}
+
+TEST(ServiceProtocol, NullSpecMembersMeanDefault)
+{
+    json::Value spec = json::Value::object();
+    spec["noise"] = json::Value();  // Explicit null: use the default.
+    spec["layers"] = json::Value();
+    EvalSpec parsed = service::specFromJson(&spec);
+    EXPECT_TRUE(parsed.noise.isIdeal());
+    EXPECT_EQ(parsed.layers, 1);
+}
+
+TEST(ServiceProtocol, NoisePresetsResolve)
+{
+    EXPECT_EQ(service::noiseFromJson(json::Value("ibmq_kolkata")).name,
+              "ibmq_kolkata");
+    EXPECT_TRUE(service::noiseFromJson(json::Value("ideal")).isIdeal());
+    json::Value scaled = json::Value::object();
+    scaled["scaled"] = 2.0;
+    EXPECT_EQ(service::noiseFromJson(scaled).name, "scaled");
+    EXPECT_THROW(service::noiseFromJson(json::Value("fake_device")),
+                 ServiceError);
+    EXPECT_GE(service::noisePresetNames().size(), 9u);
+}
+
+// ---------------------------------------------------------------------
+// Method round-trips: the service result equals the direct computation
+// ---------------------------------------------------------------------
+
+TEST(ServiceRoundTrip, EvaluateMatchesDirectEngineBitForBit)
+{
+    Graph g = smallGraph();
+    Rng rng(11);
+    std::vector<QaoaParams> points = randomParameterSets(2, 8, rng);
+
+    ServiceServer server;
+    json::Value result =
+        resultOf(server.handleLine(evaluateRequest(1, g, points)));
+    EXPECT_EQ(result.find("backend")->asString(), "statevector");
+
+    std::vector<double> direct =
+        EvalEngine().evaluate(g, EvalSpec::ideal(2), points);
+    const json::Value &values = *result.find("values");
+    ASSERT_EQ(values.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_EQ(values.asArray()[i].asNumber(), direct[i]) << i;
+}
+
+TEST(ServiceRoundTrip, EvaluateTrajectoryBackendMatchesDirect)
+{
+    Graph g = smallGraph();
+    Rng rng(12);
+    std::vector<QaoaParams> points = randomParameterSets(1, 6, rng);
+    json::Value spec = json::Value::object();
+    spec["backend"] = "trajectory";
+    spec["noise"] = "ibmq_toronto";
+    spec["trajectories"] = 5;
+    spec["seed"] = 13;
+    spec["shots"] = 64;
+
+    ServiceServer server;
+    json::Value result = resultOf(
+        server.handleLine(evaluateRequest(1, g, points, std::move(spec))));
+    EXPECT_EQ(result.find("backend")->asString(), "trajectory");
+
+    NoisyEvaluator direct(g, noise::ibmToronto(), 5, 13, 64);
+    std::vector<double> want = direct.batchExpectation(points);
+    const json::Value &values = *result.find("values");
+    ASSERT_EQ(values.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(values.asArray()[i].asNumber(), want[i]) << i;
+}
+
+TEST(ServiceRoundTrip, ReduceMatchesDirectReducer)
+{
+    Rng grng(21);
+    Graph g = gen::connectedGnp(12, 0.4, grng);
+    json::Value doc = json::Value::object();
+    doc["id"] = 1;
+    doc["method"] = "reduce";
+    json::Value params = json::Value::object();
+    params["graph"] = service::graphToJson(g);
+    params["seed"] = 9;
+    doc["params"] = std::move(params);
+
+    ServiceServer server;
+    json::Value result = resultOf(server.handleLine(doc.dump()));
+
+    Rng direct_rng(9);
+    ReductionResult direct = RedQaoaReducer().reduce(g, direct_rng);
+    EXPECT_EQ(result.find("graph")->find("nodes")->asNumber(),
+              direct.reduced.graph.numNodes());
+    EXPECT_EQ(result.find("and_ratio")->asNumber(), direct.andRatio);
+    EXPECT_EQ(result.find("annealer_runs")->asNumber(),
+              direct.annealerRuns);
+    const json::Value &to_original = *result.find("to_original");
+    ASSERT_EQ(static_cast<int>(to_original.size()),
+              direct.reduced.graph.numNodes());
+    for (std::size_t i = 0; i < to_original.size(); ++i)
+        EXPECT_EQ(to_original.asArray()[i].asNumber(),
+                  direct.reduced.toOriginal[i]);
+}
+
+TEST(ServiceRoundTrip, OptimizeMatchesDirectMultiRestart)
+{
+    Graph g = smallGraph();
+    json::Value doc = json::Value::object();
+    doc["id"] = 1;
+    doc["method"] = "optimize";
+    json::Value params = json::Value::object();
+    params["graph"] = service::graphToJson(g);
+    params["restarts"] = 2;
+    params["max_evaluations"] = 25;
+    params["seed"] = 4;
+    doc["params"] = std::move(params);
+
+    ServiceServer server;
+    json::Value result = resultOf(server.handleLine(doc.dump()));
+
+    // The handler's exact recipe, run directly.
+    EvalEngine engine;
+    Objective obj = engine.objective(g, EvalSpec::ideal(1));
+    OptOptions opts;
+    opts.maxEvaluations = 25;
+    Rng rng(4);
+    auto runs = multiRestart(
+        CobylaLite(opts), obj, 2,
+        [](Rng &r) { return QaoaParams::random(1, r).flatten(); }, rng);
+    std::size_t best = bestRun(runs);
+    EXPECT_EQ(result.find("energy")->asNumber(), -runs[best].value);
+    const json::Value &gamma = *result.find("params")->find("gamma");
+    EXPECT_EQ(gamma.asArray()[0].asNumber(),
+              QaoaParams::unflatten(runs[best].x).gamma[0]);
+}
+
+TEST(ServiceRoundTrip, PipelineMatchesDirectPipeline)
+{
+    Graph g = smallGraph(31);
+    json::Value doc = json::Value::object();
+    doc["id"] = 1;
+    doc["method"] = "pipeline";
+    json::Value params = json::Value::object();
+    params["graph"] = service::graphToJson(g);
+    json::Value options = json::Value::object();
+    options["noise"] = "ibmq_kolkata";
+    options["restarts"] = 2;
+    options["search_evaluations"] = 12;
+    options["refine_evaluations"] = 6;
+    options["trajectories"] = 3;
+    params["options"] = std::move(options);
+    params["rng_seed"] = 6;
+    doc["params"] = std::move(params);
+
+    ServiceServer server;
+    json::Value result = resultOf(server.handleLine(doc.dump()));
+
+    PipelineOptions direct_opts;
+    direct_opts.noise = noise::ibmKolkata();
+    direct_opts.restarts = 2;
+    direct_opts.searchEvaluations = 12;
+    direct_opts.refineEvaluations = 6;
+    direct_opts.trajectories = 3;
+    Rng rng(6);
+    PipelineResult direct = RedQaoaPipeline(direct_opts).run(g, rng);
+    EXPECT_EQ(result.find("ideal_energy")->asNumber(),
+              direct.idealEnergy);
+    EXPECT_EQ(result.find("approx_ratio")->asNumber(),
+              direct.approxRatio);
+    EXPECT_EQ(result.find("max_cut")->asNumber(), direct.maxCut);
+    EXPECT_EQ(result.find("reduced_nodes")->asNumber(),
+              direct.reduction.reduced.graph.numNodes());
+    EXPECT_EQ(result.find("flow")->asString(), "red-qaoa");
+}
+
+TEST(ServiceRoundTrip, FleetMatchesDirectFleetRuns)
+{
+    std::vector<std::pair<std::string, Graph>> graphs{
+        {"a", smallGraph(41)}, {"b", smallGraph(42)}};
+    json::Value doc = json::Value::object();
+    doc["id"] = 1;
+    doc["method"] = "fleet";
+    json::Value params = json::Value::object();
+    json::Value jgraphs = json::Value::array();
+    for (const auto &[name, graph] : graphs) {
+        json::Value entry = json::Value::object();
+        entry["name"] = name;
+        entry["graph"] = service::graphToJson(graph);
+        jgraphs.push(std::move(entry));
+    }
+    params["graphs"] = std::move(jgraphs);
+    json::Value noises = json::Value::array();
+    noises.push(json::Value("ibmq_kolkata"));
+    params["noises"] = std::move(noises);
+    json::Value depths = json::Value::array();
+    depths.push(json::Value(1));
+    params["depths"] = std::move(depths);
+    json::Value options = json::Value::object();
+    options["restarts"] = 1;
+    options["search_evaluations"] = 6;
+    options["refine_evaluations"] = 3;
+    options["trajectories"] = 2;
+    params["options"] = std::move(options);
+    params["seed0"] = 17;
+    params["include_baseline"] = true;
+    doc["params"] = std::move(params);
+
+    ServiceServer server;
+    json::Value result = resultOf(server.handleLine(doc.dump()));
+    EXPECT_EQ(result.find("schema_version")->asNumber(), 1.0);
+    EXPECT_EQ(result.find("tool")->asString(), "redqaoa_fleet");
+
+    PipelineOptions base;
+    base.noise = noise::ibmKolkata();
+    base.restarts = 1;
+    base.searchEvaluations = 6;
+    base.refineEvaluations = 3;
+    base.trajectories = 2;
+    auto scenarios = PipelineFleet::grid(graphs, {noise::ibmKolkata()},
+                                         {1}, base, 17, true);
+    FleetReport direct = PipelineFleet().run(scenarios);
+    // The deterministic portion of the report is byte-identical.
+    EXPECT_EQ(result.find("runs")->dump(), direct.runsJson().dump());
+}
+
+TEST(ServiceRoundTrip, StatsSharesTheFleetReportEngineSchema)
+{
+    Graph g = smallGraph();
+    Rng rng(2);
+    ServiceServer server;
+    resultOf(server.handleLine(
+        evaluateRequest(1, g, randomParameterSets(1, 4, rng))));
+
+    json::Value stats = resultOf(
+        server.handleLine(R"({"id": 2, "method": "stats"})"));
+    const json::Value *engine = stats.find("engine");
+    ASSERT_NE(engine, nullptr);
+
+    // One source of truth: the stats method's engine block and the
+    // fleet report's metadata.engine expose the same key set.
+    FleetReport empty_report;
+    json::Value fleet_doc = empty_report.toJson();
+    const json::Value &fleet_engine =
+        *fleet_doc.find("metadata")->find("engine");
+    ASSERT_EQ(engine->size(), fleet_engine.size());
+    for (std::size_t i = 0; i < fleet_engine.asObject().size(); ++i)
+        EXPECT_EQ(engine->asObject()[i].first,
+                  fleet_engine.asObject()[i].first);
+
+    EXPECT_EQ(engine->find("points")->asNumber(), 4.0);
+    EXPECT_EQ(engine->find("jobs_drained")->asNumber(), 1.0);
+    EXPECT_EQ(engine->find("drains")->asNumber(), 1.0);
+
+    const json::Value *srv = stats.find("server");
+    ASSERT_NE(srv, nullptr);
+    EXPECT_EQ(srv->find("methods")->find("evaluate")->asNumber(), 1.0);
+    EXPECT_GE(srv->find("latency")->find("p99_ms")->asNumber(),
+              srv->find("latency")->find("p50_ms")->asNumber());
+}
+
+// ---------------------------------------------------------------------
+// Error codes, deadlines, backpressure
+// ---------------------------------------------------------------------
+
+TEST(ServiceServerTest, MalformedRequestsGetTypedCodes)
+{
+    ServiceServer server;
+    EXPECT_EQ(errorCodeOf(server.handleLine("{{{{")),
+              ServiceErrorCode::ParseError);
+    EXPECT_EQ(errorCodeOf(server.handleLine(R"({"method": "stats"})")),
+              ServiceErrorCode::InvalidRequest);
+    // An envelope rejection with a determinable id still echoes it.
+    {
+        Response bad_deadline = service::parseResponse(server.handleLine(
+            R"({"id": 42, "method": "stats", "deadline_ms": -5})"));
+        EXPECT_FALSE(bad_deadline.ok);
+        EXPECT_EQ(bad_deadline.errorCode,
+                  ServiceErrorCode::InvalidRequest);
+        EXPECT_EQ(bad_deadline.id.asNumber(), 42.0);
+    }
+    EXPECT_EQ(errorCodeOf(server.handleLine(
+                  R"({"id": 1, "method": "frobnicate"})")),
+              ServiceErrorCode::UnknownMethod);
+    EXPECT_EQ(errorCodeOf(server.handleLine(
+                  R"({"id": 1, "method": "evaluate", "params": {}})")),
+              ServiceErrorCode::InvalidParams);
+    EXPECT_EQ(
+        errorCodeOf(server.handleLine(
+            R"({"id": 1, "method": "evaluate", "params": {"graph": {"nodes": 2, "edges": [[0,1]]}, "points": [[0.1]]}})")),
+        ServiceErrorCode::InvalidParams);
+    // A statevector request far beyond any backend's range.
+    EXPECT_EQ(
+        errorCodeOf(server.handleLine(
+            R"({"id": 1, "method": "evaluate", "params": {"graph": {"nodes": 40, "edges": [[0,1]]}, "points": [[0.1, 0.2]], "spec": {"backend": "statevector"}}})")),
+        ServiceErrorCode::InvalidParams);
+    // Every response above was counted, none executed except by code.
+    service::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.served, 7u);
+    EXPECT_EQ(stats.errorCount, 7u);
+    EXPECT_EQ(stats.rejectedParse, 3u);
+}
+
+TEST(ServiceServerTest, PinnedLayersMustMatchPointDepth)
+{
+    ServiceServer server;
+    Graph g = smallGraph();
+    Rng rng(61);
+    json::Value spec = json::Value::object();
+    spec["layers"] = 1;
+    EXPECT_EQ(errorCodeOf(server.handleLine(evaluateRequest(
+                  1, g, randomParameterSets(2, 3, rng), std::move(spec)))),
+              ServiceErrorCode::InvalidParams);
+}
+
+/** A request that keeps the executor busy for a while (~seconds). */
+std::string
+slowRequest(int id)
+{
+    Rng rng(55);
+    Graph g = gen::connectedGnp(16, 0.3, rng);
+    return evaluateRequest(id, g, randomParameterSets(3, 96, rng));
+}
+
+TEST(ServiceServerTest, QueuedDeadlineExpiryIsReported)
+{
+    ServiceServer server;
+    // The slow request occupies the executor; the dated request sits
+    // behind it in the queue until far past its 1 ms deadline.
+    std::future<std::string> slow = server.submitLine(slowRequest(1));
+    json::Value doc = json::Value::object();
+    doc["id"] = 2;
+    doc["method"] = "stats";
+    doc["deadline_ms"] = 0.001;
+    std::future<std::string> dated = server.submitLine(doc.dump());
+
+    EXPECT_EQ(errorCodeOf(dated.get()),
+              ServiceErrorCode::DeadlineExceeded);
+    resultOf(slow.get()); // The slow request itself succeeded.
+    EXPECT_EQ(server.stats().expiredDeadline, 1u);
+
+    // Without pressure ahead of it, the same deadline passes easily.
+    json::Value relaxed = json::Value::object();
+    relaxed["id"] = 3;
+    relaxed["method"] = "stats";
+    relaxed["deadline_ms"] = 60000.0;
+    resultOf(server.handleLine(relaxed.dump()));
+}
+
+TEST(ServiceServerTest, FullAdmissionQueueAnswersOverloaded)
+{
+    service::ServerOptions opts;
+    opts.queueCapacity = 1;
+    ServiceServer server(opts);
+
+    // Occupy the executor, then wait until it actually picked the job
+    // up (dequeued == 1) so the queue state below is deterministic.
+    std::future<std::string> slow = server.submitLine(slowRequest(1));
+    for (int i = 0; i < 5000 && server.stats().dequeued < 1; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(server.stats().dequeued, 1u);
+
+    // One request fills the capacity-1 queue; the next must bounce.
+    std::future<std::string> queued =
+        server.submitLine(R"({"id": 2, "method": "stats"})");
+    std::future<std::string> bounced =
+        server.submitLine(R"({"id": 3, "method": "stats"})");
+    EXPECT_EQ(errorCodeOf(bounced.get()), ServiceErrorCode::Overloaded);
+
+    resultOf(slow.get());
+    resultOf(queued.get());
+    service::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.rejectedOverload, 1u);
+    EXPECT_EQ(stats.okCount, 2u);
+}
+
+TEST(ServiceServerTest, ShutdownMethodStopsAdmission)
+{
+    ServiceServer server;
+    json::Value ack = resultOf(
+        server.handleLine(R"({"id": 1, "method": "shutdown"})"));
+    EXPECT_TRUE(ack.find("stopping")->asBool());
+    EXPECT_TRUE(server.shutdownRequested());
+    EXPECT_EQ(errorCodeOf(server.handleLine(
+                  R"({"id": 2, "method": "stats"})")),
+              ServiceErrorCode::ShuttingDown);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Determinism: same requests -> same payloads, any threads, any clients
+// ---------------------------------------------------------------------
+
+/** A mixed request set covering the deterministic methods. */
+std::vector<std::string>
+determinismRequests()
+{
+    std::vector<std::string> requests;
+    Rng rng(314);
+    std::vector<Graph> graphs{smallGraph(1), smallGraph(2),
+                              smallGraph(3)};
+    std::vector<std::vector<QaoaParams>> batches{
+        randomParameterSets(1, 6, rng), randomParameterSets(2, 6, rng)};
+    int id = 1;
+    for (int round = 0; round < 2; ++round)
+        for (std::size_t gi = 0; gi < graphs.size(); ++gi)
+            for (std::size_t bi = 0; bi < batches.size(); ++bi)
+                requests.push_back(
+                    evaluateRequest(id++, graphs[gi], batches[bi]));
+    // Noisy evaluation (whole-batch semantics).
+    json::Value noisy_spec = json::Value::object();
+    noisy_spec["noise"] = "ibmq_kolkata";
+    noisy_spec["trajectories"] = 4;
+    noisy_spec["seed"] = 5;
+    requests.push_back(
+        evaluateRequest(id++, graphs[0], batches[0], std::move(noisy_spec)));
+    // Reduction and optimization.
+    for (std::uint64_t seed : {3u, 4u}) {
+        json::Value doc = json::Value::object();
+        doc["id"] = id++;
+        doc["method"] = "reduce";
+        json::Value params = json::Value::object();
+        params["graph"] = service::graphToJson(graphs[1]);
+        params["seed"] = static_cast<std::size_t>(seed);
+        doc["params"] = std::move(params);
+        requests.push_back(doc.dump());
+    }
+    {
+        json::Value doc = json::Value::object();
+        doc["id"] = id++;
+        doc["method"] = "optimize";
+        json::Value params = json::Value::object();
+        params["graph"] = service::graphToJson(graphs[2]);
+        params["restarts"] = 2;
+        params["max_evaluations"] = 15;
+        params["seed"] = 8;
+        doc["params"] = std::move(params);
+        requests.push_back(doc.dump());
+    }
+    return requests;
+}
+
+/**
+ * Submit @p requests from @p client_threads concurrent submitters
+ * against a fresh server and return id -> response line.
+ */
+std::map<double, std::string>
+runConcurrently(const std::vector<std::string> &requests,
+                int client_threads)
+{
+    ServiceServer server;
+    std::vector<std::vector<std::future<std::string>>> futures(
+        static_cast<std::size_t>(client_threads));
+    std::vector<std::thread> submitters;
+    for (int c = 0; c < client_threads; ++c)
+        submitters.emplace_back([&, c] {
+            // Round-robin slices interleave admissions across threads.
+            for (std::size_t i = static_cast<std::size_t>(c);
+                 i < requests.size();
+                 i += static_cast<std::size_t>(client_threads))
+                futures[static_cast<std::size_t>(c)].push_back(
+                    server.submitLine(requests[i]));
+        });
+    for (std::thread &t : submitters)
+        t.join();
+
+    std::map<double, std::string> by_id;
+    for (auto &slice : futures)
+        for (std::future<std::string> &future : slice) {
+            std::string line = future.get();
+            Response response = service::parseResponse(line);
+            EXPECT_TRUE(response.ok) << line;
+            by_id[response.id.asNumber()] = line;
+        }
+    return by_id;
+}
+
+TEST(ServiceDeterminism, SameRequestsSamePayloadsAtOneAndEightThreads)
+{
+    PoolGuard guard;
+    std::vector<std::string> requests = determinismRequests();
+
+    ThreadPool::setGlobalThreads(1);
+    std::map<double, std::string> serial = runConcurrently(requests, 4);
+    ASSERT_EQ(serial.size(), requests.size());
+
+    ThreadPool::setGlobalThreads(8);
+    std::map<double, std::string> parallel =
+        runConcurrently(requests, 4);
+    std::map<double, std::string> parallel_again =
+        runConcurrently(requests, 2);
+
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(parallel, parallel_again);
+}
+
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+TEST(ServiceTcp, ConcurrentClientsGetDirectEngineValues)
+{
+    Graph g = smallGraph();
+    Rng rng(19);
+    std::vector<QaoaParams> points = randomParameterSets(1, 8, rng);
+    std::vector<double> want =
+        EvalEngine().evaluate(g, EvalSpec::ideal(1), points);
+
+    ServiceServer server;
+    TcpServiceListener listener(server, 0);
+    ASSERT_GT(listener.port(), 0);
+
+    std::vector<std::vector<double>> got(3);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c)
+        clients.emplace_back([&, c] {
+            ServiceClient client =
+                ServiceClient::connect(listener.port());
+            for (int repeat = 0; repeat < 3; ++repeat)
+                got[static_cast<std::size_t>(c)] =
+                    client.evaluate(g, points);
+        });
+    for (std::thread &t : clients)
+        t.join();
+    for (const std::vector<double> &values : got)
+        EXPECT_EQ(values, want);
+
+    // Typed errors cross the wire as the same taxonomy.
+    ServiceClient client = ServiceClient::connect(listener.port());
+    try {
+        client.call("frobnicate");
+        FAIL() << "unknown method did not throw";
+    } catch (const ServiceError &e) {
+        EXPECT_EQ(e.code(), ServiceErrorCode::UnknownMethod);
+    }
+
+    json::Value stats = client.stats();
+    EXPECT_GE(stats.find("server")->find("served")->asNumber(), 10.0);
+
+    client.shutdown();
+    EXPECT_TRUE(server.waitShutdownFor(10.0));
+    listener.stop();
+    server.stop();
+    EXPECT_GE(server.stats().served, 12u);
+}
+
+TEST(ServiceTcp, OversizedRequestLineIsRefused)
+{
+    ServiceServer server;
+    TcpServiceListener listener(server, 0);
+    ServiceClient client = ServiceClient::connect(listener.port());
+
+    // A single line just past the 8 MiB cap can never frame: the
+    // server answers once with invalid_request and drops the
+    // connection. (Only slightly past the cap, so the client's write
+    // completes into kernel buffers even though the server stops
+    // reading at the cap.)
+    std::string huge((8u << 20) + 4096, 'x');
+    std::string line = client.rawExchange(huge);
+    EXPECT_EQ(errorCodeOf(line), ServiceErrorCode::InvalidRequest);
+
+    listener.stop();
+    server.stop();
+}
+
+} // namespace
+} // namespace redqaoa

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * redqaoa_serve — the Red-QAOA request server binary.
+ *
+ *   redqaoa_serve                       serve stdin/stdout (pipes)
+ *   redqaoa_serve --tcp                 serve 127.0.0.1:<ephemeral>
+ *   redqaoa_serve --tcp --port 7777     serve a fixed port
+ *   redqaoa_serve --tcp --port-file p   write the bound port to p
+ *   redqaoa_serve --threads 4           pin the evaluation pool size
+ *   redqaoa_serve --queue 128           admission-queue capacity
+ *
+ * The protocol is newline-delimited JSON (see src/service/protocol.hpp
+ * and the README "Service" section). Stdio mode serves until EOF; TCP
+ * mode serves until a `shutdown` request or SIGINT/SIGTERM. On exit
+ * the cumulative traffic counters are printed to stderr. Exit codes:
+ * 0 clean shutdown, 2 usage error.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "service/server.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: redqaoa_serve [--stdio | --tcp] [--port N]\n"
+        "                     [--port-file PATH] [--threads N]\n"
+        "                     [--queue N] [--help]\n"
+        "\n"
+        "  --stdio          serve stdin/stdout (default)\n"
+        "  --tcp            serve a localhost TCP socket\n"
+        "  --port N         TCP port (default 0 = ephemeral)\n"
+        "  --port-file P    write the bound TCP port to file P\n"
+        "  --threads N      evaluation thread-pool size (default:\n"
+        "                   REDQAOA_THREADS, else hardware threads)\n"
+        "  --queue N        admission queue capacity (default 64)\n");
+}
+
+void
+printTraffic(const service::ServerStats &stats)
+{
+    std::fprintf(stderr,
+                 "redqaoa_serve: served %llu responses (%llu ok, %llu"
+                 " errors; %llu overloaded, %llu expired), p50 %.2f ms,"
+                 " p99 %.2f ms\n",
+                 static_cast<unsigned long long>(stats.served),
+                 static_cast<unsigned long long>(stats.okCount),
+                 static_cast<unsigned long long>(stats.errorCount),
+                 static_cast<unsigned long long>(stats.rejectedOverload),
+                 static_cast<unsigned long long>(stats.expiredDeadline),
+                 stats.latency.percentileMs(0.50),
+                 stats.latency.percentileMs(0.99));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool tcp = false;
+    bool stdio_flag = false;
+    int port = 0;
+    std::string port_file;
+    service::ServerOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intValue = [&](const char *flag) -> long {
+            if (++i >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n", flag);
+                std::exit(2);
+            }
+            char *end = nullptr;
+            long v = std::strtol(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "error: bad %s value '%s'\n", flag,
+                             argv[i]);
+                std::exit(2);
+            }
+            return v;
+        };
+        if (arg == "--tcp") {
+            tcp = true;
+        } else if (arg == "--stdio") {
+            stdio_flag = true;
+        } else if (arg == "--port") {
+            port = static_cast<int>(intValue("--port"));
+            if (port < 0 || port > 65535) {
+                std::fprintf(stderr, "error: --port out of range\n");
+                return 2;
+            }
+        } else if (arg == "--port-file") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "error: --port-file needs a path\n");
+                return 2;
+            }
+            port_file = argv[i];
+        } else if (arg == "--threads") {
+            long threads = intValue("--threads");
+            if (threads < 1) {
+                std::fprintf(stderr, "error: --threads must be >= 1\n");
+                return 2;
+            }
+            ThreadPool::setGlobalThreads(static_cast<int>(threads));
+        } else if (arg == "--queue") {
+            long queue = intValue("--queue");
+            if (queue < 1) {
+                std::fprintf(stderr, "error: --queue must be >= 1\n");
+                return 2;
+            }
+            opts.queueCapacity = static_cast<std::size_t>(queue);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "error: unknown argument '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+    if (tcp && stdio_flag) {
+        std::fprintf(stderr, "error: pick one of --stdio / --tcp\n");
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN); // Dropped clients are not fatal.
+
+    service::ServiceServer server(opts);
+    std::fprintf(stderr, "redqaoa_serve: threads=%d queue=%zu\n",
+                 ThreadPool::globalThreadCount(), opts.queueCapacity);
+
+    if (!tcp) {
+        serveStream(server, std::cin, std::cout);
+        server.stop();
+        printTraffic(server.stats());
+        return 0;
+    }
+
+    service::TcpServiceListener listener(server, port);
+    std::fprintf(stderr, "redqaoa_serve: listening on 127.0.0.1:%d\n",
+                 listener.port());
+    if (!port_file.empty()) {
+        std::ofstream out(port_file);
+        out << listener.port() << "\n";
+        if (!out.good()) {
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         port_file.c_str());
+            listener.stop();
+            server.stop();
+            return 2;
+        }
+    }
+
+    // Serve until a shutdown request lands or a signal arrives.
+    while (!server.waitShutdownFor(0.2)) {
+        if (g_signal != 0)
+            break;
+    }
+    // Transport down first (flushing in-flight responses), then the
+    // server (see TcpServiceListener::stop).
+    listener.stop();
+    server.stop();
+    printTraffic(server.stats());
+    std::fprintf(stderr, "redqaoa_serve: clean shutdown\n");
+    return 0;
+}
