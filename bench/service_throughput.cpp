@@ -1,19 +1,27 @@
 /**
  * @file
  * Service-layer figure: end-to-end request throughput of the NDJSON
- * server over its TCP transport, driven by N concurrent clients.
+ * server over its epoll TCP transport, in two phases.
  *
- * Each client holds its own connection and issues a stream of
- * `evaluate` requests over a shared pool of graphs with deliberately
- * overlapping parameter batches, so the serving path exercises every
- * layer at once: socket framing, request parsing, admission, the
- * engine's artifact cache and point memo, and response serialization.
- * Reported metrics are `request_seconds` / `requests_per_second`
- * (CI-compared at the kernel time tolerance) plus the deterministic
- * `responses_identical` gate: every value that came back over the
- * wire must be BIT-identical to a direct EvalEngine evaluation of the
- * same batch — the protocol's number round-trip is exact, so any
- * mismatch is a real serving bug, not float noise.
+ * Phase 1 is the bit-identity gate across shard counts: the same
+ * (graph, batch) pool is evaluated through servers running 1, 2 and 4
+ * engine shards, and every value that comes back over the wire must
+ * be BIT-identical to a direct EvalEngine evaluation of the same
+ * batch. The protocol's number round-trip is exact and routing is by
+ * canonical graph hash, so any mismatch is a real serving bug, not
+ * float noise — `responses_identical` must stay 1 at every shard
+ * count.
+ *
+ * Phase 2 is the saturation curve: client counts sweep into the
+ * hundreds (>= 256 concurrent connections at full scale), each client
+ * holding its own connection and issuing a stream of `evaluate`
+ * requests over the shared pool with deliberately overlapping
+ * parameter batches, so the serving path exercises every layer at
+ * once: the event loop, non-blocking framing, admission, shard
+ * routing, the engine's artifact cache and point memo, and response
+ * serialization. Per-count requests/sec plus server-side p50/p99 are
+ * emitted as series (`sweep_*`), giving the requests-per-second vs
+ * concurrency saturation shape.
  */
 
 #include <chrono>
@@ -32,128 +40,238 @@
 
 using namespace redqaoa;
 
-REDQAOA_REGISTER_FIGURE(service_throughput, "Service",
-                        "NDJSON server requests/sec under N concurrent"
-                        " TCP clients, responses gated bit-identical"
-                        " to direct EvalEngine calls")
+namespace {
+
+/** The shared problem pool every phase draws from. */
+struct RequestPool
 {
-    const int kClients = ctx.scale(2, 4);
-    const int kRequestsPerClient = ctx.scale(12, 60);
-    const int kPoints = ctx.scale(12, 32);
+    std::vector<Graph> graphs;
+    std::vector<std::vector<QaoaParams>> batches;
+    /** direct[gi * batches + bi]: ground truth from a private engine. */
+    std::vector<std::vector<double>> direct;
+
+    int combos() const
+    {
+        return static_cast<int>(graphs.size() * batches.size());
+    }
+    int graphOf(int combo) const
+    {
+        return combo / static_cast<int>(batches.size());
+    }
+    int batchOf(int combo) const
+    {
+        return combo % static_cast<int>(batches.size());
+    }
+};
+
+RequestPool
+buildPool(int points)
+{
     const int kGraphs = 3;
     const int kDistinctBatches = 4; //!< Overlap feeds the point memo.
-
+    RequestPool pool;
     Rng rng(777);
-    std::vector<Graph> graphs;
     for (int i = 0; i < kGraphs; ++i)
-        graphs.push_back(gen::connectedGnp(11, 0.35, rng));
-    std::vector<std::vector<QaoaParams>> batches;
+        pool.graphs.push_back(gen::connectedGnp(11, 0.35, rng));
     for (int i = 0; i < kDistinctBatches; ++i)
-        batches.push_back(randomParameterSets(1, kPoints, rng));
+        pool.batches.push_back(randomParameterSets(1, points, rng));
 
-    // The ground truth: the same batches evaluated directly on a
-    // private engine. The service must reproduce these bit-for-bit.
-    std::vector<std::vector<double>> direct(
-        static_cast<std::size_t>(kGraphs * kDistinctBatches));
-    {
-        EvalEngine reference;
-        for (int gi = 0; gi < kGraphs; ++gi)
-            for (int bi = 0; bi < kDistinctBatches; ++bi)
-                direct[static_cast<std::size_t>(gi * kDistinctBatches +
-                                                bi)] =
-                    reference.evaluate(graphs[static_cast<std::size_t>(gi)],
-                                       EvalSpec::ideal(1),
-                                       batches[static_cast<std::size_t>(
-                                           bi)]);
-    }
+    EvalEngine reference;
+    for (int gi = 0; gi < kGraphs; ++gi)
+        for (int bi = 0; bi < kDistinctBatches; ++bi)
+            pool.direct.push_back(reference.evaluate(
+                pool.graphs[static_cast<std::size_t>(gi)],
+                EvalSpec::ideal(1),
+                pool.batches[static_cast<std::size_t>(bi)]));
+    return pool;
+}
 
-    service::ServiceServer server;
-    service::TcpServiceListener listener(server, 0);
-
-    const int total_requests = kClients * kRequestsPerClient;
+/** Verdict shared by every client thread of one run. */
+struct Verdict
+{
     bool identical = true;
-    std::string first_mismatch;
-    std::mutex verdict_mutex;
+    std::string firstMismatch;
+    std::mutex mutex;
 
+    void fail(const std::string &what)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        identical = false;
+        if (firstMismatch.empty())
+            firstMismatch = what;
+    }
+};
+
+/**
+ * Drive @p clients concurrent connections, each issuing
+ * @p requests_per_client typed v2 evaluate calls over the pool, every
+ * response compared bit-for-bit against the direct values. Returns the
+ * wall-clock seconds of the whole run.
+ */
+double
+driveClients(const RequestPool &pool, int port, int clients,
+             int requests_per_client, Verdict &verdict)
+{
     auto start = std::chrono::steady_clock::now();
-    std::vector<std::thread> clients;
-    for (int c = 0; c < kClients; ++c) {
-        clients.emplace_back([&, c] {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
             try {
+                service::ConnectOptions copts;
+                copts.port = port;
+                copts.maxAttempts = 5;
                 service::ServiceClient client =
-                    service::ServiceClient::connect(listener.port());
-                for (int r = 0; r < kRequestsPerClient; ++r) {
+                    service::ServiceClient::connect(copts);
+                for (int r = 0; r < requests_per_client; ++r) {
                     // Deterministic per-client stream over the shared
                     // (graph, batch) pool.
-                    int gi = (c + r) % kGraphs;
-                    int bi = r % kDistinctBatches;
-                    std::vector<double> values = client.evaluate(
-                        graphs[static_cast<std::size_t>(gi)],
-                        batches[static_cast<std::size_t>(bi)]);
-                    const std::vector<double> &want =
-                        direct[static_cast<std::size_t>(
-                            gi * kDistinctBatches + bi)];
-                    if (values != want) {
-                        std::lock_guard<std::mutex> lock(verdict_mutex);
-                        identical = false;
-                        if (first_mismatch.empty())
-                            first_mismatch =
-                                "client " + std::to_string(c) +
-                                " request " + std::to_string(r);
-                    }
+                    int combo = (c + r) % pool.combos();
+                    int gi = pool.graphOf(combo);
+                    int bi = pool.batchOf(combo);
+                    service::EvaluateRequest req;
+                    req.graph =
+                        pool.graphs[static_cast<std::size_t>(gi)];
+                    req.points =
+                        pool.batches[static_cast<std::size_t>(bi)];
+                    service::EvaluateResult got = client.evaluate(req);
+                    if (got.values !=
+                        pool.direct[static_cast<std::size_t>(combo)])
+                        verdict.fail("client " + std::to_string(c) +
+                                     " request " + std::to_string(r));
                 }
             } catch (const std::exception &e) {
-                std::lock_guard<std::mutex> lock(verdict_mutex);
-                identical = false;
-                if (first_mismatch.empty())
-                    first_mismatch = e.what();
+                verdict.fail(e.what());
             }
         });
     }
-    for (std::thread &t : clients)
+    for (std::thread &t : threads)
         t.join();
     std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - start;
-    double elapsed = dt.count();
+    return dt.count();
+}
 
-    service::ServerStats stats = server.stats();
-    listener.stop();
-    server.stop();
+} // namespace
 
-    ctx.out("service    : %d clients x %d requests (%d points each) in"
-            " %.3fs -> %.0f requests/s\n",
-            kClients, kRequestsPerClient, kPoints, elapsed,
-            total_requests / elapsed);
-    ctx.out("latency    : p50 %.2f ms, p99 %.2f ms, max %.2f ms\n",
-            stats.latency.percentileMs(0.50),
-            stats.latency.percentileMs(0.99), stats.latency.maxMs());
-    EngineStats engine = server.router().engine().stats();
-    ctx.out("engine     : %llu/%llu points served from the memo"
-            " (hit rate %.3f)\n",
-            static_cast<unsigned long long>(engine.memoHits),
-            static_cast<unsigned long long>(engine.points),
-            engine.memoHitRate());
+REDQAOA_REGISTER_FIGURE(service_throughput, "Service",
+                        "NDJSON server saturation curve under up to"
+                        " 256 concurrent TCP clients, responses gated"
+                        " bit-identical to direct EvalEngine calls at"
+                        " shard counts 1/2/4")
+{
+    const int kPoints = ctx.scale(8, 16);
+    RequestPool pool = buildPool(kPoints);
+
+    bool identical = true;
+    std::string first_mismatch;
+
+    // --- Phase 1: bit-identity across shard counts -------------------
+    const std::vector<int> shard_counts = {1, 2, 4};
+    const int kGateClients = ctx.scale(2, 4);
+    const int kGateRequests = ctx.scale(12, 24);
+    for (int shards : shard_counts) {
+        service::ServerOptions opts;
+        opts.shards = shards;
+        opts.queueCapacity = 1024;
+        service::ServiceServer server(opts);
+        service::TcpServiceListener listener(server, 0);
+
+        Verdict verdict;
+        driveClients(pool, listener.port(), kGateClients,
+                     kGateRequests, verdict);
+        listener.stop();
+        server.stop();
+
+        ctx.out("identity   : %d shard(s) -> %s\n", shards,
+                verdict.identical ? "bit-identical" : "MISMATCH");
+        ctx.sink.seriesPoint("shard_counts", shards);
+        ctx.sink.seriesPoint("shard_identical",
+                             verdict.identical ? 1.0 : 0.0);
+        if (!verdict.identical && identical) {
+            identical = false;
+            first_mismatch = std::to_string(shards) + " shard(s): " +
+                             verdict.firstMismatch;
+        }
+    }
+
+    // --- Phase 2: saturation sweep -----------------------------------
+    const std::vector<int> client_counts =
+        ctx.quick ? std::vector<int>{2, 8}
+                  : std::vector<int>{16, 64, 128, 256};
+    const int kRequestsPerClient = ctx.scale(6, 8);
+    const int kSweepShards = ctx.scale(2, 4);
+
+    double peak_rps = 0.0;
+    double last_rps = 0.0;
+    std::uint64_t served_total = 0;
+    double memo_hit_rate = 0.0;
+    for (int clients : client_counts) {
+        // A fresh server per point: the latency histogram and the
+        // engine counters then describe exactly this concurrency.
+        service::ServerOptions opts;
+        opts.shards = kSweepShards;
+        opts.queueCapacity = 1024;
+        opts.maxConnections = 512;
+        service::ServiceServer server(opts);
+        service::TcpServiceListener listener(server, 0);
+
+        Verdict verdict;
+        double elapsed = driveClients(pool, listener.port(), clients,
+                                      kRequestsPerClient, verdict);
+        service::ServerStats stats = server.stats();
+        EngineStats engine = server.engines().aggregateStats();
+        listener.stop();
+        server.stop();
+
+        const int total = clients * kRequestsPerClient;
+        double rps = total / elapsed;
+        double p50 = stats.latency.percentileMs(0.50);
+        double p99 = stats.latency.percentileMs(0.99);
+        ctx.out("sweep      : %3d clients x %d requests in %.3fs ->"
+                " %7.0f req/s (p50 %.2f ms, p99 %.2f ms)\n",
+                clients, kRequestsPerClient, elapsed, rps, p50, p99);
+        ctx.sink.seriesPoint("sweep_clients", clients);
+        ctx.sink.seriesPoint("sweep_requests_per_second", rps);
+        ctx.sink.seriesPoint("sweep_p50_ms", p50);
+        ctx.sink.seriesPoint("sweep_p99_ms", p99);
+
+        if (!verdict.identical && identical) {
+            identical = false;
+            first_mismatch = std::to_string(clients) + " clients: " +
+                             verdict.firstMismatch;
+        }
+        if (rps > peak_rps)
+            peak_rps = rps;
+        last_rps = rps;
+        served_total += stats.served;
+        memo_hit_rate = engine.memoHitRate();
+        if (stats.served < static_cast<std::uint64_t>(total))
+            throw std::runtime_error(
+                "server served fewer responses than clients sent at " +
+                std::to_string(clients) + " clients");
+    }
     if (!identical)
         ctx.out("MISMATCH   : %s\n", first_mismatch.c_str());
 
-    ctx.sink.metric("clients", kClients);
-    ctx.sink.metric("requests", total_requests);
-    ctx.sink.metric("request_seconds", elapsed / total_requests);
-    ctx.sink.metric("requests_per_second", total_requests / elapsed);
+    const int max_clients = client_counts.back();
+    ctx.sink.metric("clients", max_clients);
+    ctx.sink.metric("requests", max_clients * kRequestsPerClient);
+    ctx.sink.metric("request_seconds", 1.0 / last_rps);
+    ctx.sink.metric("requests_per_second", last_rps);
+    ctx.sink.metric("peak_requests_per_second", peak_rps);
     ctx.sink.metric("responses_identical", identical ? 1.0 : 0.0);
-    ctx.sink.metric("memo_hit_rate", engine.memoHitRate());
-    ctx.sink.metric("served", static_cast<double>(stats.served));
+    ctx.sink.metric("memo_hit_rate", memo_hit_rate);
+    ctx.sink.metric("served", static_cast<double>(served_total));
     ctx.note("every response crossed the wire as NDJSON and still"
-             " matches the direct EvalEngine values bit-for-bit: the"
-             " protocol's number formatting round-trips exactly and"
-             " the single-executor server keeps evaluation order"
-             " client-invariant.");
+             " matches the direct EvalEngine values bit-for-bit at"
+             " shard counts 1, 2 and 4: routing by canonical graph"
+             " hash pins each graph to one shard whose single"
+             " executor preserves the engine's evaluation order, and"
+             " the protocol's number formatting round-trips exactly.");
 
     if (!identical)
         throw std::runtime_error(
             "service responses diverged from direct engine values: " +
             first_mismatch);
-    if (stats.served < static_cast<std::uint64_t>(total_requests))
-        throw std::runtime_error("server served fewer responses than"
-                                 " clients sent");
 }

@@ -1,10 +1,11 @@
 /**
  * @file
  * Service-client tour: drives every method of a running redqaoa_serve
- * TCP endpoint through the C++ ServiceClient — evaluate a small
- * landscape batch, distill a graph, optimize parameters, run one full
- * pipeline, launch a miniature fleet, read the traffic counters, and
- * (optionally) ask the server to shut down.
+ * TCP endpoint through the typed C++ ServiceClient — probe the
+ * server's capabilities with hello, evaluate a small landscape batch,
+ * distill a graph, optimize parameters, run one full pipeline, launch
+ * a miniature fleet, read the traffic counters, and (optionally) ask
+ * the server to shut down.
  *
  * Usage: ./example_service_client <port> [--shutdown]
  *
@@ -38,8 +39,20 @@ main(int argc, char **argv)
     bool shutdown = argc > 2 && std::string(argv[2]) == "--shutdown";
 
     try {
-        service::ServiceClient client = service::ServiceClient::connect(port);
+        service::ConnectOptions copts;
+        copts.port = port;
+        copts.maxAttempts = 5; // Ride out a server still binding.
+        service::ServiceClient client =
+            service::ServiceClient::connect(copts);
         std::printf("Connected to redqaoa_serve on 127.0.0.1:%d\n", port);
+
+        // 0. hello — the capability handshake.
+        service::ServerInfo info = client.hello();
+        std::printf("hello    : %s, %d shard(s), queue %zu,"
+                    " max conns %zu, %zu methods\n",
+                    info.server.c_str(), info.shards,
+                    info.queueCapacity, info.maxConnections,
+                    info.methods.size());
 
         // A shared problem instance for every call below.
         Rng rng(2024);
@@ -48,48 +61,53 @@ main(int argc, char **argv)
         std::printf("Problem graph: %s\n", g.summary().c_str());
 
         // 1. evaluate — a batch of landscape points in one request.
-        std::vector<QaoaParams> points = randomParameterSets(1, 8, rng);
-        std::vector<double> values = client.evaluate(g, points);
-        double best = values[0];
-        for (double v : values)
+        service::EvaluateRequest eval_req;
+        eval_req.graph = g;
+        eval_req.points = randomParameterSets(1, 8, rng);
+        service::EvaluateResult eval = client.evaluate(eval_req);
+        double best = eval.values[0];
+        for (double v : eval.values)
             best = std::max(best, v);
-        std::printf("evaluate : %zu points, best <H_c> %.4f\n",
-                    values.size(), best);
+        service::RouteInfo route;
+        if (client.lastRoute(route))
+            std::printf("evaluate : %zu points, best <H_c> %.4f"
+                        " (shard %d, queued %.2f ms)\n",
+                        eval.values.size(), best, route.shard,
+                        route.queueMs);
+        else
+            std::printf("evaluate : %zu points, best <H_c> %.4f\n",
+                        eval.values.size(), best);
 
         // 2. reduce — SA distillation with a pinned seed.
-        json::Value reduce_params = json::Value::object();
-        reduce_params["graph"] = graph_json;
-        reduce_params["seed"] = 7;
-        json::Value red = client.call("reduce", std::move(reduce_params));
-        std::printf("reduce   : %d -> %.0f nodes (AND ratio %.3f)\n",
-                    g.numNodes(),
-                    red.find("graph")->find("nodes")->asNumber(),
-                    red.find("and_ratio")->asNumber());
+        service::ReduceRequest red_req;
+        red_req.graph = g;
+        red_req.seed = 7;
+        service::ReduceResult red = client.reduce(red_req);
+        std::printf("reduce   : %d -> %d nodes (AND ratio %.3f)\n",
+                    g.numNodes(), red.graph.numNodes(), red.andRatio);
 
         // 3. optimize — multi-restart search on the ideal backend.
-        json::Value opt_params = json::Value::object();
-        opt_params["graph"] = graph_json;
-        opt_params["restarts"] = 2;
-        opt_params["max_evaluations"] = 40;
-        opt_params["seed"] = 3;
-        json::Value opt = client.call("optimize", std::move(opt_params));
-        std::printf("optimize : <H_c> %.4f after %.0f evaluations (%s)\n",
-                    opt.find("energy")->asNumber(),
-                    opt.find("evaluations")->asNumber(),
-                    opt.find("backend")->asString().c_str());
+        service::OptimizeRequest opt_req;
+        opt_req.graph = g;
+        opt_req.restarts = 2;
+        opt_req.maxEvaluations = 40;
+        opt_req.seed = 3;
+        service::OptimizeResult opt = client.optimize(opt_req);
+        std::printf("optimize : <H_c> %.4f after %d evaluations (%s)\n",
+                    opt.energy, opt.evaluations, opt.backend.c_str());
 
         // 4. pipeline — one full Red-QAOA run under device noise.
-        json::Value pipe_params = json::Value::object();
-        pipe_params["graph"] = graph_json;
+        service::PipelineRequest pipe_req;
+        pipe_req.graph = g;
         json::Value pipe_opts = json::Value::object();
         pipe_opts["noise"] = "ibmq_kolkata";
         pipe_opts["restarts"] = 2;
         pipe_opts["search_evaluations"] = 20;
         pipe_opts["refine_evaluations"] = 8;
         pipe_opts["trajectories"] = 4;
-        pipe_params["options"] = std::move(pipe_opts);
-        pipe_params["rng_seed"] = 7;
-        json::Value pipe = client.call("pipeline", std::move(pipe_params));
+        pipe_req.options = std::move(pipe_opts);
+        pipe_req.rngSeed = 7;
+        json::Value pipe = client.pipeline(pipe_req);
         std::printf("pipeline : approx ratio %.4f (searched on %.0f"
                     " qubits)\n",
                     pipe.find("approx_ratio")->asNumber(),
@@ -125,13 +143,17 @@ main(int argc, char **argv)
                     fleet.find("runs")->size(),
                     fleet.find("schema_version")->asNumber());
 
-        // 6. stats — engine and server traffic share the wire.
+        // 6. stats — aggregate engine, per-shard engines, and server
+        // traffic share the wire.
         json::Value stats = client.stats();
         const json::Value *engine = stats.find("engine");
         const json::Value *server = stats.find("server");
-        std::printf("stats    : %.0f requests served, %.0f graphs"
-                    " cached, memo hit rate %.3f, p99 %.2f ms\n",
+        const json::Value *shards = stats.find("shards");
+        std::printf("stats    : %.0f requests served across %zu"
+                    " shard(s), %.0f graphs cached, memo hit rate"
+                    " %.3f, p99 %.2f ms\n",
                     server->find("served")->asNumber(),
+                    shards ? shards->size() : 1,
                     engine->find("graphs")->asNumber(),
                     engine->find("memo_hit_rate")->asNumber(),
                     server->find("latency")->find("p99_ms")->asNumber());

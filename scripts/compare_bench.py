@@ -8,12 +8,13 @@ Usage:
 
 Compares every figure present in both documents:
   * scalar metrics: relative delta beyond --tolerance is flagged;
-    metrics whose name ends in `_seconds` (timings) or `_per_second`
-    (throughput rates) are compared against the looser
+    metrics whose name ends in `_seconds` / `_ms` (timings) or
+    `_per_second` (throughput rates) are compared against the looser
     --time-tolerance instead (reported as drift, not value deltas);
   * series: length changes are flagged, element values are compared at
     the same tolerance and the worst relative delta is reported
-    (`_seconds` series are timings, compared at --time-tolerance);
+    (`_seconds` / `_ms` series are timings, compared at
+    --time-tolerance);
   * wall_seconds / total_wall_seconds: compared against
     --time-tolerance (timings are noisy on shared CI runners).
 Figures or metrics present on only one side are reported as added /
@@ -79,7 +80,8 @@ def compare_metrics(name, base_fig, new_fig, tolerance, time_tolerance,
             if b != n:
                 flags.append(f"{name}.{key}: {b} -> {n} (non-finite)")
             continue
-        if key.endswith("_seconds") or key.endswith("_per_second"):
+        if key.endswith("_seconds") or key.endswith("_ms") \
+                or key.endswith("_per_second"):
             # Timing / throughput metric: noisy by nature, report as
             # drift only.
             if rel_delta(b, n) > time_tolerance:
@@ -149,9 +151,11 @@ def compare_series(name, base_fig, new_fig, tolerance, time_tolerance,
             flags.append(
                 f"{name}.series.{key}: length {len(b)} -> {len(n)}")
             continue
-        # Timing series (e.g. fig18 preprocess_seconds) drift like
-        # wall-clock, not like measurements.
-        is_timing = key.endswith("_seconds") or key.endswith("_per_second")
+        # Timing series (e.g. fig18 preprocess_seconds, the service
+        # sweep's p50/p99 latencies) drift like wall-clock, not like
+        # measurements.
+        is_timing = key.endswith("_seconds") or key.endswith("_ms") \
+            or key.endswith("_per_second")
         out = time_drift if is_timing else flags
         limit = time_tolerance if is_timing else tolerance
         worst = 0.0

@@ -11,6 +11,11 @@
 # Part 2 starts a TCP instance on an ephemeral port, runs the example
 # client against it (all six methods), asks for shutdown, and requires
 # a clean exit from both processes.
+# Part 3 starts a sharded TCP instance (--shards 4 --max-conns 64) and
+# drives the schema_version 2 protocol with a stdlib-only python
+# client: the hello handshake must advertise the configured bounds,
+# v2 responses must carry routing metadata, and stats must report one
+# block per shard with the aggregate's exact key set.
 set -euo pipefail
 
 SERVE=${1:?usage: service_smoke.sh <redqaoa_serve> <example_service_client>}
@@ -111,4 +116,89 @@ grep -q "clean shutdown" "$workdir/server.log" || {
     exit 1
 }
 echo "TCP transport OK: client round-tripped all methods, server shut down cleanly"
+
+echo "== service smoke: sharded TCP + protocol v2 =="
+rm -f "$workdir/port.txt"
+"$SERVE" --tcp --shards 4 --max-conns 64 --port-file "$workdir/port.txt" \
+    2> "$workdir/server2.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$workdir/port.txt" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "sharded server died before binding:" >&2
+        cat "$workdir/server2.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -s "$workdir/port.txt" ] || { echo "no port file" >&2; exit 1; }
+port=$(cat "$workdir/port.txt")
+
+python3 - "$port" <<'EOF'
+import json, socket, sys
+
+sock = socket.create_connection(("127.0.0.1", int(sys.argv[1])))
+reader = sock.makefile("r")
+
+def call(doc):
+    sock.sendall((json.dumps(doc) + "\n").encode())
+    return json.loads(reader.readline())
+
+hello = call({"id": 1, "method": "hello", "schema_version": 2})
+assert hello["schema_version"] == 2, hello
+assert hello["ok"], hello
+info = hello["result"]
+assert info["server"] == "redqaoa_serve", info
+assert info["schema_versions"] == [1, 2], info
+assert info["shards"] == 4, info
+assert info["max_connections"] == 64, info
+assert info["max_line_bytes"] == 8 << 20, info
+assert "evaluate" in info["methods"] and "hello" in info["methods"], info
+
+ev = call({"id": 2, "method": "evaluate", "schema_version": 2,
+           "params": {"graph": {"nodes": 4,
+                                "edges": [[0, 1], [1, 2], [2, 3], [3, 0]]},
+                      "points": [[0.5, 0.3]]}})
+assert ev["ok"], ev
+assert 0 <= ev["route"]["shard"] < 4, ev
+assert ev["route"]["queue_ms"] >= 0, ev
+
+stats = call({"id": 3, "method": "stats", "schema_version": 2})
+assert stats["ok"], stats
+engine = stats["result"]["engine"]
+shards = stats["result"]["shards"]
+assert len(shards) == 4, stats
+for shard in shards:
+    assert set(shard) == set(engine), (shard, engine)
+assert sum(s["points"] for s in shards) == engine["points"], stats
+
+# A v1 request on the same connection still answers in the v1 shape.
+v1 = call({"id": 4, "method": "stats"})
+assert v1["schema_version"] == 1 and "route" not in v1, v1
+assert "shards" not in v1["result"], v1
+
+bye = call({"id": 5, "method": "shutdown", "schema_version": 2})
+assert bye["ok"] and bye["result"]["stopping"], bye
+print("sharded v2 OK: hello advertises 4 shards / 64 conns, routing"
+      " metadata present, per-shard stats match the aggregate key set")
+EOF
+
+server_status=0
+wait "$server_pid" || server_status=$?
+server_pid=""
+if [ "$server_status" -ne 0 ]; then
+    echo "sharded server exited with status $server_status" >&2
+    cat "$workdir/server2.log" >&2
+    exit 1
+fi
+grep -q "clean shutdown" "$workdir/server2.log" || {
+    echo "sharded server log missing clean-shutdown marker" >&2
+    cat "$workdir/server2.log" >&2
+    exit 1
+}
+grep -q "shards=4" "$workdir/server2.log" || {
+    echo "sharded server log missing shards=4 banner" >&2
+    cat "$workdir/server2.log" >&2
+    exit 1
+}
 echo "service smoke PASSED"

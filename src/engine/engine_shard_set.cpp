@@ -1,0 +1,45 @@
+#include "engine/engine_shard_set.hpp"
+
+#include <stdexcept>
+
+namespace redqaoa {
+
+EngineShardSet::EngineShardSet(int shards)
+{
+    if (shards < 1)
+        shards = 1;
+    shards_.reserve(static_cast<std::size_t>(shards));
+    for (int i = 0; i < shards; ++i)
+        shards_.push_back(std::make_shared<EvalEngine>());
+}
+
+const std::shared_ptr<EvalEngine> &
+EngineShardSet::shard(std::size_t index) const
+{
+    if (index >= shards_.size())
+        throw std::out_of_range("EngineShardSet: shard index " +
+                                std::to_string(index) + " out of " +
+                                std::to_string(shards_.size()));
+    return shards_[index];
+}
+
+EngineStats
+EngineShardSet::aggregateStats() const
+{
+    EngineStats total;
+    for (const auto &engine : shards_)
+        total += engine->stats();
+    return total;
+}
+
+std::vector<EngineStats>
+EngineShardSet::shardStats() const
+{
+    std::vector<EngineStats> out;
+    out.reserve(shards_.size());
+    for (const auto &engine : shards_)
+        out.push_back(engine->stats());
+    return out;
+}
+
+} // namespace redqaoa

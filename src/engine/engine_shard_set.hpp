@@ -1,0 +1,81 @@
+/**
+ * @file
+ * EngineShardSet: N independent EvalEngine instances with a pure,
+ * structure-hash based placement function. The serving layer routes
+ * every request that names a graph through shardFor(), so a given
+ * graph always lands on the same engine — its ArtifactCache entries
+ * (cut tables, analytic artifacts, lightcones) and point memo stay
+ * hot on one shard instead of being rebuilt on all of them.
+ *
+ * Placement is graphStructureHash(g) % shardCount(): a pure function
+ * of the graph's structure, independent of arrival order, process
+ * lifetime, and client identity — the same graph maps to the same
+ * shard across server restarts. For shard counts where one divides
+ * the other (1, 2, 4, ...: the counts the service deploys), placement
+ * is also *nested*: the shard at count n determines the residue at
+ * every divisor m of n (h % n ≡ h % m (mod m)), so scaling the shard
+ * count redistributes graphs without scrambling the mapping —
+ * pinned by tests/test_engine.cpp.
+ *
+ * Each shard is drained by exactly one server executor thread, which
+ * preserves the EvalEngine composition rule (never several external
+ * threads draining one engine concurrently with pool-driven drains)
+ * and therefore the service's bit-identity contract: same graph →
+ * same shard → same artifacts → byte-identical responses at any
+ * client or shard count.
+ */
+
+#ifndef REDQAOA_ENGINE_ENGINE_SHARD_SET_HPP
+#define REDQAOA_ENGINE_ENGINE_SHARD_SET_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/artifact_cache.hpp"
+#include "engine/eval_engine.hpp"
+
+namespace redqaoa {
+
+class EngineShardSet
+{
+  public:
+    /** @p shards private engines (clamped to >= 1). */
+    explicit EngineShardSet(int shards = 1);
+
+    int shardCount() const
+    {
+        return static_cast<int>(shards_.size());
+    }
+
+    /** Stable home shard of @p g (graphStructureHash % shardCount). */
+    std::size_t shardFor(const Graph &g) const
+    {
+        return shardForHash(graphStructureHash(g));
+    }
+
+    /** Placement by precomputed structure hash. */
+    std::size_t shardForHash(std::uint64_t hash) const
+    {
+        return static_cast<std::size_t>(hash % shards_.size());
+    }
+
+    const std::shared_ptr<EvalEngine> &shard(std::size_t index) const;
+
+    /**
+     * Counter-sum of every shard's EngineStats. Exact for the graph
+     * count too: a graph lives on exactly one shard, so the sum of
+     * per-shard distinct graphs is the fleet-wide distinct count.
+     */
+    EngineStats aggregateStats() const;
+
+    /** Per-shard snapshots, indexed like shard(). */
+    std::vector<EngineStats> shardStats() const;
+
+  private:
+    std::vector<std::shared_ptr<EvalEngine>> shards_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_ENGINE_ENGINE_SHARD_SET_HPP

@@ -298,6 +298,24 @@ EngineStats::toJson() const
     return doc;
 }
 
+EngineStats &
+EngineStats::operator+=(const EngineStats &rhs)
+{
+    jobs += rhs.jobs;
+    jobsDrained += rhs.jobsDrained;
+    drains += rhs.drains;
+    points += rhs.points;
+    evaluated += rhs.evaluated;
+    memoHits += rhs.memoHits;
+    trajectoryJobs += rhs.trajectoryJobs;
+    evaluatorHits += rhs.evaluatorHits;
+    evaluatorMisses += rhs.evaluatorMisses;
+    artifacts.hits += rhs.artifacts.hits;
+    artifacts.misses += rhs.artifacts.misses;
+    artifacts.graphs += rhs.artifacts.graphs;
+    return *this;
+}
+
 EngineStats
 EvalEngine::stats() const
 {

@@ -144,6 +144,12 @@ struct EngineStats
      *    evaluator_misses, artifact_hits, artifact_misses, graphs}
      */
     json::Value toJson() const;
+
+    /**
+     * Counter-wise sum (EngineShardSet aggregation; the derived rates
+     * recompute from the summed counters).
+     */
+    EngineStats &operator+=(const EngineStats &rhs);
 };
 
 class EvalEngine

@@ -1,6 +1,9 @@
 #include "service/client.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include <arpa/inet.h>
@@ -13,6 +16,64 @@
 
 namespace redqaoa {
 namespace service {
+
+// ---------------------------------------------------------------------
+// Typed request serialization
+// ---------------------------------------------------------------------
+
+json::Value
+EvaluateRequest::toParams() const
+{
+    json::Value params = json::Value::object();
+    params["graph"] = graphToJson(graph);
+    if (!spec.isNull())
+        params["spec"] = spec;
+    params["points"] = pointsToJson(points);
+    return params;
+}
+
+json::Value
+ReduceRequest::toParams() const
+{
+    json::Value params = json::Value::object();
+    params["graph"] = graphToJson(graph);
+    params["seed"] = static_cast<std::size_t>(seed);
+    if (!reducer.isNull())
+        params["reducer"] = reducer;
+    return params;
+}
+
+json::Value
+OptimizeRequest::toParams() const
+{
+    json::Value params = json::Value::object();
+    params["graph"] = graphToJson(graph);
+    if (!spec.isNull())
+        params["spec"] = spec;
+    params["restarts"] = restarts;
+    params["max_evaluations"] = maxEvaluations;
+    if (initialStep > 0.0)
+        params["initial_step"] = initialStep;
+    params["seed"] = static_cast<std::size_t>(seed);
+    return params;
+}
+
+json::Value
+PipelineRequest::toParams() const
+{
+    json::Value params = json::Value::object();
+    params["graph"] = graphToJson(graph);
+    if (!options.isNull())
+        params["options"] = options;
+    if (baseline)
+        params["baseline"] = true;
+    params["rng_seed"] = static_cast<std::size_t>(rngSeed);
+    return params;
+}
+
+// ---------------------------------------------------------------------
+// ServiceClient
+// ---------------------------------------------------------------------
 
 struct ServiceClient::Io
 {
@@ -29,8 +90,11 @@ ServiceClient &ServiceClient::operator=(ServiceClient &&) noexcept =
     default;
 ServiceClient::~ServiceClient() = default;
 
-ServiceClient
-ServiceClient::connect(int port)
+namespace {
+
+/** One connect(2) attempt; -1 with errno set on failure. */
+int
+connectOnce(int port)
 {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
@@ -42,14 +106,74 @@ ServiceClient::connect(int port)
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof addr) != 0) {
         ::close(fd);
-        throw std::runtime_error(
-            "ServiceClient: cannot connect to 127.0.0.1:" +
-            std::to_string(port));
+        return -1;
     }
     // One small request line per round trip: never batch behind Nagle.
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    return ServiceClient(fd);
+    return fd;
+}
+
+} // namespace
+
+ServiceClient
+ServiceClient::connect(const ConnectOptions &opts)
+{
+    if (opts.schemaVersion != kSchemaVersion &&
+        opts.schemaVersion != kSchemaVersionV2)
+        throw std::runtime_error(
+            "ServiceClient: unsupported schema version " +
+            std::to_string(opts.schemaVersion));
+    const int attempts = opts.maxAttempts < 1 ? 1 : opts.maxAttempts;
+    double backoff_ms = opts.backoffInitialMs;
+    for (int attempt = 0;; ++attempt) {
+        int fd = connectOnce(opts.port);
+        if (fd >= 0) {
+            ServiceClient client(fd);
+            client.schemaVersion_ = opts.schemaVersion;
+            return client;
+        }
+        if (attempt + 1 >= attempts)
+            break;
+        if (backoff_ms > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2.0, opts.backoffMaxMs);
+    }
+    throw std::runtime_error(
+        "ServiceClient: cannot connect to 127.0.0.1:" +
+        std::to_string(opts.port) + " after " +
+        std::to_string(attempts) + " attempt(s)");
+}
+
+ServiceClient
+ServiceClient::connect(int port)
+{
+    int fd = connectOnce(port);
+    if (fd < 0)
+        throw std::runtime_error(
+            "ServiceClient: cannot connect to 127.0.0.1:" +
+            std::to_string(port));
+    return ServiceClient(fd); // schemaVersion_ stays 1 (PR 5 bytes).
+}
+
+void
+ServiceClient::setSchemaVersion(int version)
+{
+    if (version != kSchemaVersion && version != kSchemaVersionV2)
+        throw std::runtime_error(
+            "ServiceClient: unsupported schema version " +
+            std::to_string(version));
+    schemaVersion_ = version;
+}
+
+bool
+ServiceClient::lastRoute(RouteInfo &out) const
+{
+    if (!hasLastRoute_)
+        return false;
+    out = lastRoute_;
+    return true;
 }
 
 std::string
@@ -75,8 +199,13 @@ ServiceClient::call(const std::string &method, json::Value params,
     doc["params"] = std::move(params);
     if (deadline_ms > 0.0)
         doc["deadline_ms"] = deadline_ms;
+    if (schemaVersion_ != kSchemaVersion)
+        doc["schema_version"] = schemaVersion_;
 
     Response response = parseResponse(rawExchange(doc.dump()));
+    hasLastRoute_ = response.hasRoute;
+    if (response.hasRoute)
+        lastRoute_ = response.route;
     if (!response.id.isNumber() ||
         response.id.asNumber() != static_cast<double>(id))
         throw std::runtime_error(
@@ -87,26 +216,135 @@ ServiceClient::call(const std::string &method, json::Value params,
     return response.result;
 }
 
+// ---------------------------------------------------------------------
+// Typed calls
+// ---------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void
+badResult(const std::string &what)
+{
+    throw std::runtime_error("ServiceClient: " + what);
+}
+
+const json::Value &
+resultMember(const json::Value &doc, const char *key)
+{
+    const json::Value *found = doc.isObject() ? doc.find(key) : nullptr;
+    if (!found)
+        badResult(std::string("result without '") + key + "'");
+    return *found;
+}
+
+std::vector<double>
+numberArray(const json::Value &v, const char *what)
+{
+    if (!v.isArray())
+        badResult(std::string(what) + " is not an array");
+    std::vector<double> out;
+    out.reserve(v.size());
+    for (const json::Value &item : v.asArray())
+        out.push_back(item.asNumber());
+    return out;
+}
+
+} // namespace
+
+ServerInfo
+ServiceClient::hello()
+{
+    json::Value doc = call("hello");
+    ServerInfo info;
+    info.server = resultMember(doc, "server").asString();
+    for (const json::Value &v :
+         resultMember(doc, "schema_versions").asArray())
+        info.schemaVersions.push_back(static_cast<int>(v.asNumber()));
+    info.shards =
+        static_cast<int>(resultMember(doc, "shards").asNumber());
+    info.queueCapacity = static_cast<std::size_t>(
+        resultMember(doc, "queue_capacity").asNumber());
+    info.maxConnections = static_cast<std::size_t>(
+        resultMember(doc, "max_connections").asNumber());
+    info.idleTimeoutMs =
+        resultMember(doc, "idle_timeout_ms").asNumber();
+    info.maxLineBytes = static_cast<std::size_t>(
+        resultMember(doc, "max_line_bytes").asNumber());
+    for (const json::Value &v : resultMember(doc, "methods").asArray())
+        info.methods.push_back(v.asString());
+    return info;
+}
+
+EvaluateResult
+ServiceClient::evaluate(const EvaluateRequest &req)
+{
+    json::Value doc =
+        call("evaluate", req.toParams(), req.deadlineMs);
+    EvaluateResult out;
+    out.backend = resultMember(doc, "backend").asString();
+    out.values = numberArray(resultMember(doc, "values"), "'values'");
+    return out;
+}
+
+ReduceResult
+ServiceClient::reduce(const ReduceRequest &req)
+{
+    json::Value doc = call("reduce", req.toParams(), req.deadlineMs);
+    ReduceResult out;
+    out.graph = graphFromJson(resultMember(doc, "graph"));
+    for (const json::Value &v :
+         resultMember(doc, "to_original").asArray())
+        out.toOriginal.push_back(static_cast<Node>(v.asNumber()));
+    out.andRatio = resultMember(doc, "and_ratio").asNumber();
+    out.nodeReduction = resultMember(doc, "node_reduction").asNumber();
+    out.edgeReduction = resultMember(doc, "edge_reduction").asNumber();
+    out.annealerRuns = static_cast<int>(
+        resultMember(doc, "annealer_runs").asNumber());
+    return out;
+}
+
+OptimizeResult
+ServiceClient::optimize(const OptimizeRequest &req)
+{
+    json::Value doc = call("optimize", req.toParams(), req.deadlineMs);
+    OptimizeResult out;
+    out.backend = resultMember(doc, "backend").asString();
+    const json::Value &params = resultMember(doc, "params");
+    std::vector<double> gamma =
+        numberArray(resultMember(params, "gamma"), "'gamma'");
+    std::vector<double> beta =
+        numberArray(resultMember(params, "beta"), "'beta'");
+    if (gamma.size() != beta.size() || gamma.empty())
+        badResult("optimize result with mismatched gamma/beta");
+    out.params = QaoaParams(std::move(gamma), std::move(beta));
+    out.energy = resultMember(doc, "energy").asNumber();
+    out.evaluations = static_cast<int>(
+        resultMember(doc, "evaluations").asNumber());
+    out.restarts =
+        static_cast<int>(resultMember(doc, "restarts").asNumber());
+    return out;
+}
+
+json::Value
+ServiceClient::pipeline(const PipelineRequest &req)
+{
+    return call("pipeline", req.toParams(), req.deadlineMs);
+}
+
+// ---------------------------------------------------------------------
+// Deprecated wrappers
+// ---------------------------------------------------------------------
+
 std::vector<double>
 ServiceClient::evaluate(const Graph &g,
                         const std::vector<QaoaParams> &points,
                         json::Value spec)
 {
-    json::Value params = json::Value::object();
-    params["graph"] = graphToJson(g);
-    if (!spec.isNull())
-        params["spec"] = std::move(spec);
-    params["points"] = pointsToJson(points);
-    json::Value result = call("evaluate", std::move(params));
-    const json::Value *values = result.find("values");
-    if (!values || !values->isArray())
-        throw std::runtime_error(
-            "ServiceClient: evaluate result without 'values'");
-    std::vector<double> out;
-    out.reserve(values->size());
-    for (const json::Value &v : values->asArray())
-        out.push_back(v.asNumber());
-    return out;
+    EvaluateRequest req;
+    req.graph = g;
+    req.points = points;
+    req.spec = std::move(spec);
+    return evaluate(req).values;
 }
 
 } // namespace service

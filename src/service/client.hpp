@@ -1,15 +1,27 @@
 /**
  * @file
  * ServiceClient: the C++ side of the wire. Connects to a redqaoa_serve
- * TCP endpoint, frames requests as protocol lines, matches responses
- * by id, and re-throws typed error responses as ServiceError — so a
- * caller sees exactly the taxonomy the server emitted, and success
- * payloads arrive as json::Value result documents.
+ * TCP endpoint (with optional bounded-backoff retry), frames requests
+ * as protocol lines, matches responses by id, and re-throws typed
+ * error responses as ServiceError — so a caller sees exactly the
+ * taxonomy the server emitted.
  *
- * One client is one connection with requests answered in order; it is
- * intentionally not thread-safe (a connection is cheap — concurrent
- * callers should each hold their own, which is also what the
- * throughput bench measures).
+ * The primary API is typed: per-method request structs (EvaluateRequest,
+ * ReduceRequest, OptimizeRequest, PipelineRequest) carry domain types
+ * and serialize themselves, per-method result structs decode the
+ * payloads, and hello() probes the server's capabilities (protocol
+ * versions, shard count, queue/connection bounds). The raw call() /
+ * rawExchange() escape hatches remain for protocol tests and methods
+ * without a typed wrapper. The PR 5 call signatures survive as thin
+ * deprecated wrappers for one release.
+ *
+ * A client created with ConnectOptions speaks schema_version 2 by
+ * default (responses carry routing metadata, exposed via lastRoute());
+ * the legacy connect(port) speaks v1, preserving the old wire bytes
+ * exactly. One client is one connection with requests answered in
+ * order; it is intentionally not thread-safe (a connection is cheap —
+ * concurrent callers should each hold their own, which is also what
+ * the throughput bench measures).
  */
 
 #ifndef REDQAOA_SERVICE_CLIENT_HPP
@@ -25,13 +37,120 @@
 namespace redqaoa {
 namespace service {
 
+/** Connection parameters for ServiceClient::connect. */
+struct ConnectOptions
+{
+    int port = 0;
+    /** Total connect() attempts (>= 1). */
+    int maxAttempts = 1;
+    /** Sleep before the 2nd attempt; doubles per retry. */
+    double backoffInitialMs = 10.0;
+    /** Backoff ceiling. */
+    double backoffMaxMs = 500.0;
+    /** Protocol version stamped on requests (1 or 2). */
+    int schemaVersion = kSchemaVersionV2;
+};
+
+/** The server's `hello` capability document, decoded. */
+struct ServerInfo
+{
+    std::string server;
+    std::vector<int> schemaVersions;
+    int shards = 1;
+    std::size_t queueCapacity = 0;
+    std::size_t maxConnections = 0;
+    double idleTimeoutMs = 0.0;
+    std::size_t maxLineBytes = 0;
+    std::vector<std::string> methods;
+};
+
+/** evaluate: batch <H_c> evaluation of parameter points. */
+struct EvaluateRequest
+{
+    Graph graph;
+    std::vector<QaoaParams> points;
+    json::Value spec;        //!< Optional EvalSpec document (null = defaults).
+    double deadlineMs = 0.0; //!< 0 = no per-request deadline.
+
+    json::Value toParams() const;
+};
+
+struct EvaluateResult
+{
+    std::string backend;
+    std::vector<double> values;
+};
+
+/** reduce: SA graph distillation with a request seed. */
+struct ReduceRequest
+{
+    Graph graph;
+    std::uint64_t seed = 1;
+    json::Value reducer;     //!< Optional reducer knobs (null = defaults).
+    double deadlineMs = 0.0;
+
+    json::Value toParams() const;
+};
+
+struct ReduceResult
+{
+    Graph graph;             //!< The reduced graph.
+    std::vector<Node> toOriginal;
+    double andRatio = 0.0;
+    double nodeReduction = 0.0;
+    double edgeReduction = 0.0;
+    int annealerRuns = 0;
+};
+
+/** optimize: multi-restart derivative-free parameter search. */
+struct OptimizeRequest
+{
+    Graph graph;
+    json::Value spec;        //!< Optional EvalSpec document.
+    int restarts = 3;
+    int maxEvaluations = 60;
+    double initialStep = 0.0; //!< <= 0: server default.
+    std::uint64_t seed = 1;
+    double deadlineMs = 0.0;
+
+    json::Value toParams() const;
+};
+
+struct OptimizeResult
+{
+    std::string backend;
+    QaoaParams params;
+    double energy = 0.0;
+    int evaluations = 0;
+    int restarts = 0;
+};
+
+/** pipeline: one full Red-QAOA run (or its plain-QAOA baseline). */
+struct PipelineRequest
+{
+    Graph graph;
+    json::Value options;     //!< Optional PipelineOptions document.
+    bool baseline = false;
+    std::uint64_t rngSeed = 1;
+    double deadlineMs = 0.0;
+
+    json::Value toParams() const;
+};
+
 class ServiceClient
 {
   public:
     /**
-     * Connect to 127.0.0.1:@p port ("localhost" is the only host the
-     * service binds). Throws std::runtime_error when the connection
-     * is refused.
+     * Connect to 127.0.0.1:opts.port, retrying up to opts.maxAttempts
+     * times with bounded exponential backoff (for servers still
+     * binding their port). Throws std::runtime_error when every
+     * attempt is refused.
+     */
+    static ServiceClient connect(const ConnectOptions &opts);
+
+    /**
+     * Legacy single-attempt connect speaking schema_version 1 — the
+     * exact PR 5 wire bytes. Throws std::runtime_error when refused.
      */
     static ServiceClient connect(int port);
 
@@ -51,7 +170,7 @@ class ServiceClient
     json::Value call(const std::string &method, json::Value params,
                      double deadline_ms = 0.0);
 
-    /** call() with no params (stats, shutdown). */
+    /** call() with no params (hello, stats, shutdown). */
     json::Value call(const std::string &method)
     {
         return call(method, json::Value::object());
@@ -63,18 +182,40 @@ class ServiceClient
      */
     std::string rawExchange(const std::string &line);
 
-    // --- Typed conveniences over call() ------------------------------
+    // --- Typed request API -------------------------------------------
 
-    /** evaluate: <H_c> at every point. */
-    std::vector<double> evaluate(const Graph &g,
-                                 const std::vector<QaoaParams> &points,
-                                 json::Value spec = json::Value());
+    /** hello: probe the server's capabilities. */
+    ServerInfo hello();
 
-    /** stats: {"engine": {...}, "server": {...}}. */
+    EvaluateResult evaluate(const EvaluateRequest &req);
+    ReduceResult reduce(const ReduceRequest &req);
+    OptimizeResult optimize(const OptimizeRequest &req);
+    /** pipeline rows stay schema-versioned documents; returned raw. */
+    json::Value pipeline(const PipelineRequest &req);
+
+    /** stats: {"engine": {...}, ["shards": [...],] "server": {...}}. */
     json::Value stats() { return call("stats"); }
 
     /** shutdown: ask the server to stop (returns its ack). */
     json::Value shutdown() { return call("shutdown"); }
+
+    /** Protocol version stamped on outgoing requests (1 or 2). */
+    int schemaVersion() const { return schemaVersion_; }
+    void setSchemaVersion(int version);
+
+    /**
+     * Routing metadata of the most recent response (v2 servers only);
+     * false when the last response carried none.
+     */
+    bool lastRoute(RouteInfo &out) const;
+
+    // --- Deprecated PR 5 call signatures (thin wrappers) -------------
+
+    /** evaluate: <H_c> at every point. */
+    [[deprecated("use evaluate(const EvaluateRequest &)")]]
+    std::vector<double> evaluate(const Graph &g,
+                                 const std::vector<QaoaParams> &points,
+                                 json::Value spec = json::Value());
 
   private:
     explicit ServiceClient(int fd);
@@ -82,6 +223,9 @@ class ServiceClient
     struct Io; //!< fd + buffered line reader.
     std::unique_ptr<Io> io_;
     std::uint64_t nextId_ = 1;
+    int schemaVersion_ = kSchemaVersion;
+    bool hasLastRoute_ = false;
+    RouteInfo lastRoute_;
 };
 
 } // namespace service

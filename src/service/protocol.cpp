@@ -125,6 +125,18 @@ parseRequest(const std::string &line)
                                "'deadline_ms' must be a positive number");
         req.deadlineMs = deadline->asNumber();
     }
+
+    if (const json::Value *version = doc.find("schema_version")) {
+        if (!version->isNumber() ||
+            (version->asNumber() != kSchemaVersion &&
+             version->asNumber() != kSchemaVersionV2))
+            throw ServiceError(
+                ServiceErrorCode::InvalidRequest,
+                "'schema_version' must be " +
+                    std::to_string(kSchemaVersion) + " or " +
+                    std::to_string(kSchemaVersionV2));
+        req.schemaVersion = static_cast<int>(version->asNumber());
+    }
     return req;
 }
 
@@ -142,29 +154,62 @@ salvageRequestId(const std::string &line)
     return json::Value();
 }
 
+namespace {
+
+json::Value
+routeToJson(const RouteInfo &route)
+{
+    json::Value doc = json::Value::object();
+    doc["shard"] = route.shard;
+    doc["queue_ms"] = route.queueMs;
+    return doc;
+}
+
+} // namespace
+
 std::string
 makeResultLine(const json::Value &id, json::Value result)
 {
-    json::Value doc = json::Value::object();
-    doc["schema_version"] = kSchemaVersion;
-    doc["id"] = id;
-    doc["ok"] = true;
-    doc["result"] = std::move(result);
-    return doc.dump();
+    return makeResultLine(id, std::move(result), kSchemaVersion,
+                          nullptr);
 }
 
 std::string
 makeErrorLine(const json::Value &id, ServiceErrorCode code,
               const std::string &message)
 {
+    return makeErrorLine(id, code, message, kSchemaVersion, nullptr);
+}
+
+std::string
+makeResultLine(const json::Value &id, json::Value result,
+               int schema_version, const RouteInfo *route)
+{
     json::Value doc = json::Value::object();
-    doc["schema_version"] = kSchemaVersion;
+    doc["schema_version"] = schema_version;
+    doc["id"] = id;
+    doc["ok"] = true;
+    doc["result"] = std::move(result);
+    if (schema_version >= kSchemaVersionV2 && route)
+        doc["route"] = routeToJson(*route);
+    return doc.dump();
+}
+
+std::string
+makeErrorLine(const json::Value &id, ServiceErrorCode code,
+              const std::string &message, int schema_version,
+              const RouteInfo *route)
+{
+    json::Value doc = json::Value::object();
+    doc["schema_version"] = schema_version;
     doc["id"] = id;
     doc["ok"] = false;
     json::Value err = json::Value::object();
     err["code"] = errorCodeName(code);
     err["message"] = message;
     doc["error"] = std::move(err);
+    if (schema_version >= kSchemaVersionV2 && route)
+        doc["route"] = routeToJson(*route);
     return doc.dump();
 }
 
@@ -179,7 +224,8 @@ parseResponse(const std::string &line)
     }
     const json::Value *version = doc.find("schema_version");
     if (!version || !version->isNumber() ||
-        version->asNumber() != kSchemaVersion)
+        (version->asNumber() != kSchemaVersion &&
+         version->asNumber() != kSchemaVersionV2))
         throw ServiceError(ServiceErrorCode::InvalidRequest,
                            "response schema_version mismatch");
     const json::Value *ok = doc.find("ok");
@@ -188,6 +234,20 @@ parseResponse(const std::string &line)
         throw ServiceError(ServiceErrorCode::InvalidRequest,
                            "response needs 'ok' and 'id'");
     Response out;
+    out.schemaVersion = static_cast<int>(version->asNumber());
+    if (const json::Value *route = doc.find("route")) {
+        if (!route->isObject())
+            throw ServiceError(ServiceErrorCode::InvalidRequest,
+                               "'route' must be an object");
+        const json::Value *shard = route->find("shard");
+        const json::Value *queue = route->find("queue_ms");
+        if (!shard || !shard->isNumber() || !queue || !queue->isNumber())
+            throw ServiceError(ServiceErrorCode::InvalidRequest,
+                               "'route' needs numeric shard/queue_ms");
+        out.hasRoute = true;
+        out.route.shard = static_cast<int>(shard->asNumber());
+        out.route.queueMs = queue->asNumber();
+    }
     out.id = *id;
     out.ok = ok->asBool();
     if (out.ok) {

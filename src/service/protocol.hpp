@@ -1,27 +1,43 @@
 /**
  * @file
- * Wire schema of the Red-QAOA request service (service schema_version
- * 1, versioned like the fleet report). The protocol is newline-
+ * Wire schema of the Red-QAOA request service (schema_version 1 and
+ * 2, versioned like the fleet report). The protocol is newline-
  * delimited JSON: one request object per line in, one response object
  * per line out, over any byte-stream transport (stdin/stdout pipes,
  * localhost TCP).
  *
  * Request line:
  *   {"id": 7, "method": "evaluate", "params": {...},
- *    "deadline_ms": 250}
+ *    "deadline_ms": 250, "schema_version": 2}
  *   - id: number or string, echoed verbatim in the response (clients
  *     match responses by id); requests without one are rejected.
  *   - method: reduce | evaluate | optimize | pipeline | fleet | stats
- *     (plus the administrative shutdown; see router.hpp).
- *   - params: object, method-specific (optional for stats/shutdown).
+ *     (plus hello and the administrative shutdown; see router.hpp and
+ *     server.hpp).
+ *   - params: object, method-specific (optional for hello / stats /
+ *     shutdown).
  *   - deadline_ms: optional per-request deadline, measured from
  *     admission; a request still queued when it expires is answered
  *     with deadline_exceeded instead of being executed.
+ *   - schema_version: optional, 1 (default — the PR 5 wire shape) or
+ *     2. The response is rendered in the SAME version the request
+ *     asked for: v1 requests against a v2 server get byte-identical
+ *     v1 responses.
  *
- * Response line:
+ * Response line (v1):
  *   {"schema_version": 1, "id": 7, "ok": true, "result": {...}}
  *   {"schema_version": 1, "id": 7, "ok": false,
  *    "error": {"code": "invalid_params", "message": "..."}}
+ *
+ * Response line (v2) adds per-request routing metadata:
+ *   {"schema_version": 2, "id": 7, "ok": true, "result": {...},
+ *    "route": {"shard": 3, "queue_ms": 0.41}}
+ *   - route.shard: the engine shard that executed the request (a pure
+ *     function of the request's graph structure; see
+ *     engine/engine_shard_set.hpp).
+ *   - route.queue_ms: admission-to-dequeue wait. The `result` payload
+ *     itself stays a pure function of the request content — only the
+ *     route envelope member carries timing.
  *
  * Error codes are closed and typed (ServiceErrorCode): clients branch
  * on `code`, `message` is for humans. This header also carries the
@@ -34,6 +50,7 @@
 #ifndef REDQAOA_SERVICE_PROTOCOL_HPP
 #define REDQAOA_SERVICE_PROTOCOL_HPP
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -46,8 +63,18 @@
 namespace redqaoa {
 namespace service {
 
-/** Wire schema version stamped into every response line. */
+/** Baseline wire schema version (the default when a request names none). */
 inline constexpr int kSchemaVersion = 1;
+
+/** Current wire schema version (routing metadata, hello, shard stats). */
+inline constexpr int kSchemaVersionV2 = 2;
+
+/**
+ * Maximum accepted request-line length in bytes, shared by every
+ * transport (FdLineReader's default cap and the event loop's input
+ * buffer bound) and reported by the `hello` handshake.
+ */
+inline constexpr std::size_t kMaxLineBytes = 8u << 20;
 
 /** Typed error taxonomy of the wire protocol (closed set). */
 enum class ServiceErrorCode
@@ -94,6 +121,7 @@ struct Request
     std::string method; //!< Dispatch key.
     json::Value params; //!< Method params (object; may be empty).
     double deadlineMs = 0.0; //!< 0 = no deadline.
+    int schemaVersion = kSchemaVersion; //!< Response shape to render.
 };
 
 /**
@@ -110,12 +138,36 @@ Request parseRequest(const std::string &line);
  */
 json::Value salvageRequestId(const std::string &line);
 
-/** Success response line (no trailing newline). */
+/**
+ * Per-request routing metadata echoed in v2 responses: which engine
+ * shard executed the request and how long it waited in the admission
+ * queue.
+ */
+struct RouteInfo
+{
+    int shard = 0;
+    double queueMs = 0.0;
+};
+
+/** v1 success response line (no trailing newline). */
 std::string makeResultLine(const json::Value &id, json::Value result);
 
-/** Error response line (no trailing newline). @p id may be null. */
+/** v1 error response line (no trailing newline). @p id may be null. */
 std::string makeErrorLine(const json::Value &id, ServiceErrorCode code,
                           const std::string &message);
+
+/**
+ * Success response line in @p schema_version (1 or 2). @p route is
+ * rendered only for v2; v1 output is byte-identical to the two-arg
+ * overload.
+ */
+std::string makeResultLine(const json::Value &id, json::Value result,
+                           int schema_version, const RouteInfo *route);
+
+/** Error counterpart of the versioned makeResultLine. */
+std::string makeErrorLine(const json::Value &id, ServiceErrorCode code,
+                          const std::string &message, int schema_version,
+                          const RouteInfo *route);
 
 /**
  * Parsed response envelope (client side). ok == false carries the
@@ -128,10 +180,13 @@ struct Response
     json::Value result; //!< Valid when ok.
     ServiceErrorCode errorCode = ServiceErrorCode::Internal;
     std::string errorMessage;
+    int schemaVersion = kSchemaVersion; //!< Version the server rendered.
+    bool hasRoute = false; //!< v2 responses carry routing metadata.
+    RouteInfo route;       //!< Valid when hasRoute.
 };
 
 /**
- * Parse one response line (schema_version checked). Throws
+ * Parse one response line (schema_version 1 or 2 accepted). Throws
  * ServiceError(ParseError/InvalidRequest) when the line is not a
  * well-formed response envelope.
  */

@@ -1,6 +1,6 @@
 #include "service/server.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -8,7 +8,11 @@
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -101,13 +105,22 @@ ServerStats::toJson() const
 // ---------------------------------------------------------------------
 
 ServiceServer::ServiceServer(ServerOptions opts,
-                             std::shared_ptr<EvalEngine> engine)
-    : router_(std::move(engine)), opts_(opts)
+                             std::shared_ptr<EngineShardSet> engines)
+    : opts_(opts),
+      engines_(engines ? std::move(engines)
+                       : std::make_shared<EngineShardSet>(opts.shards))
 {
     if (opts_.queueCapacity < 1)
         throw std::invalid_argument(
             "ServiceServer: queueCapacity must be >= 1");
-    executor_ = std::thread([this] { executorLoop(); });
+    opts_.shards = engines_->shardCount();
+    shards_.reserve(static_cast<std::size_t>(opts_.shards));
+    for (int i = 0; i < opts_.shards; ++i)
+        shards_.push_back(std::make_unique<Shard>(
+            engines_->shard(static_cast<std::size_t>(i))));
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        shards_[i]->executor =
+            std::thread([this, i] { executorLoop(i); });
 }
 
 ServiceServer::~ServiceServer()
@@ -115,26 +128,62 @@ ServiceServer::~ServiceServer()
     stop();
 }
 
-std::future<std::string>
-ServiceServer::submitLine(std::string line)
+ServiceRouter &
+ServiceServer::router(std::size_t shard)
 {
-    std::promise<std::string> promise;
-    std::future<std::string> future = promise.get_future();
+    if (shard >= shards_.size())
+        throw std::out_of_range("ServiceServer: shard index out of range");
+    return shards_[shard]->router;
+}
 
+int
+ServiceServer::routeShard(const Request &req) const
+{
+    if (engines_->shardCount() == 1)
+        return 0;
+    // evaluate/reduce/optimize/pipeline name one graph; fleet names a
+    // list (the first entry anchors the whole request so its rows stay
+    // a pure function of the request content on one shard).
+    const json::Value *graph =
+        req.params.isObject() ? req.params.find("graph") : nullptr;
+    if (!graph) {
+        const json::Value *graphs =
+            req.params.isObject() ? req.params.find("graphs") : nullptr;
+        if (graphs && graphs->isArray() && graphs->size() > 0) {
+            const json::Value &first = graphs->asArray().front();
+            if (first.isObject())
+                graph = first.find("graph");
+        }
+    }
+    if (!graph)
+        return 0; // Graph-free methods (stats, hello, ...) home on 0.
+    try {
+        return static_cast<int>(
+            engines_->shardFor(graphFromJson(*graph)));
+    } catch (...) {
+        return 0; // Invalid graphs are the handler's error to report.
+    }
+}
+
+void
+ServiceServer::submitLine(std::string line, ResponseCallback done)
+{
     Request req;
     try {
         req = parseRequest(line);
     } catch (const ServiceError &e) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.received;
-        ++stats_.rejectedParse;
-        ++stats_.served;
-        ++stats_.errorCount;
+        std::string response;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.received;
+            ++stats_.rejectedParse;
+            ++stats_.served;
+            ++stats_.errorCount;
+        }
         // Envelope rejections still echo a determinable id, so
         // pipelined clients can correlate the error.
-        promise.set_value(
-            makeErrorLine(salvageRequestId(line), e.code(), e.what()));
-        return future;
+        done(makeErrorLine(salvageRequestId(line), e.code(), e.what()));
+        return;
     }
 
     PendingRequest pending;
@@ -146,10 +195,15 @@ ServiceServer::submitLine(std::string line)
             std::chrono::duration_cast<Clock::duration>(
                 std::chrono::duration<double, std::milli>(req.deadlineMs));
     }
+    pending.shard = routeShard(req);
+    const int shard_index = pending.shard;
+    const int version = req.schemaVersion;
+    const RouteInfo route{shard_index, 0.0};
     json::Value id = req.id; // Kept for immediate rejections.
     pending.request = std::move(req);
-    pending.promise = std::move(promise);
+    pending.done = std::move(done);
 
+    std::string rejection;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.received;
@@ -157,26 +211,43 @@ ServiceServer::submitLine(std::string line)
             ++stats_.shedShutdown;
             ++stats_.served;
             ++stats_.errorCount;
-            pending.promise.set_value(
-                makeErrorLine(id, ServiceErrorCode::ShuttingDown,
-                              "server is shutting down"));
-            return future;
+            rejection = makeErrorLine(id, ServiceErrorCode::ShuttingDown,
+                                      "server is shutting down", version,
+                                      &route);
+        } else {
+            Shard &shard = *shards_[static_cast<std::size_t>(shard_index)];
+            if (shard.queue.size() >= opts_.queueCapacity) {
+                ++stats_.rejectedOverload;
+                ++stats_.served;
+                ++stats_.errorCount;
+                rejection = makeErrorLine(
+                    id, ServiceErrorCode::Overloaded,
+                    "admission queue of shard " +
+                        std::to_string(shard_index) + " full (" +
+                        std::to_string(opts_.queueCapacity) +
+                        " pending requests); retry later",
+                    version, &route);
+            } else {
+                ++stats_.admitted;
+                shard.queue.push_back(std::move(pending));
+            }
         }
-        if (queue_.size() >= opts_.queueCapacity) {
-            ++stats_.rejectedOverload;
-            ++stats_.served;
-            ++stats_.errorCount;
-            pending.promise.set_value(makeErrorLine(
-                id, ServiceErrorCode::Overloaded,
-                "admission queue full (" +
-                    std::to_string(opts_.queueCapacity) +
-                    " pending requests); retry later"));
-            return future;
-        }
-        ++stats_.admitted;
-        queue_.push_back(std::move(pending));
     }
-    wake_.notify_one();
+    if (!rejection.empty()) {
+        pending.done(std::move(rejection));
+        return;
+    }
+    shards_[static_cast<std::size_t>(shard_index)]->wake.notify_one();
+}
+
+std::future<std::string>
+ServiceServer::submitLine(std::string line)
+{
+    auto promise = std::make_shared<std::promise<std::string>>();
+    std::future<std::string> future = promise->get_future();
+    submitLine(std::move(line), [promise](std::string response) {
+        promise->set_value(std::move(response));
+    });
     return future;
 }
 
@@ -211,13 +282,15 @@ ServiceServer::stop()
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
     }
-    wake_.notify_all();
     stopped_.notify_all();
+    for (auto &shard : shards_)
+        shard->wake.notify_all();
     // stop() races only with itself via the destructor; tests and the
     // serve binary call it from one thread, so a joinable check keeps
     // the second call a no-op.
-    if (executor_.joinable())
-        executor_.join();
+    for (auto &shard : shards_)
+        if (shard->executor.joinable())
+            shard->executor.join();
 }
 
 ServerStats
@@ -225,6 +298,48 @@ ServiceServer::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+json::Value
+ServiceServer::helloResult() const
+{
+    json::Value doc = json::Value::object();
+    doc["server"] = "redqaoa_serve";
+    json::Value versions = json::Value::array();
+    versions.push(json::Value(kSchemaVersion));
+    versions.push(json::Value(kSchemaVersionV2));
+    doc["schema_versions"] = std::move(versions);
+    doc["shards"] = engines_->shardCount();
+    doc["queue_capacity"] = opts_.queueCapacity;
+    doc["max_connections"] = opts_.maxConnections;
+    doc["idle_timeout_ms"] = opts_.idleTimeoutMs;
+    doc["max_line_bytes"] = kMaxLineBytes;
+    std::vector<std::string> methods = ServiceRouter::methodNames();
+    methods.push_back("hello");
+    methods.push_back("shutdown");
+    std::sort(methods.begin(), methods.end());
+    json::Value names = json::Value::array();
+    for (const std::string &name : methods)
+        names.push(json::Value(name));
+    doc["methods"] = std::move(names);
+    return doc;
+}
+
+json::Value
+ServiceServer::statsResult(int schema_version) const
+{
+    json::Value doc = json::Value::object();
+    doc["engine"] = engines_->aggregateStats().toJson();
+    if (schema_version >= kSchemaVersionV2) {
+        // Per-shard blocks share the aggregate's exact key-set
+        // (EngineStats::toJson is THE engine traffic document).
+        json::Value shards = json::Value::array();
+        for (const EngineStats &stats : engines_->shardStats())
+            shards.push(stats.toJson());
+        doc["shards"] = std::move(shards);
+    }
+    doc["server"] = stats().toJson();
+    return doc;
 }
 
 void
@@ -244,27 +359,36 @@ ServiceServer::respond(PendingRequest &pending, std::string line,
             stats_.latency.record(dt.count());
         }
     }
-    pending.promise.set_value(std::move(line));
+    pending.done(std::move(line));
 }
 
 void
-ServiceServer::executorLoop()
+ServiceServer::executorLoop(std::size_t shard_index)
 {
+    Shard &shard = *shards_[shard_index];
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        wake_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty()) {
+        shard.wake.wait(
+            lock, [&] { return stopping_ || !shard.queue.empty(); });
+        if (shard.queue.empty()) {
             if (stopping_)
                 return;
             continue;
         }
-        PendingRequest pending = std::move(queue_.front());
-        queue_.pop_front();
+        PendingRequest pending = std::move(shard.queue.front());
+        shard.queue.pop_front();
         ++stats_.dequeued;
         const bool draining = stopping_;
         lock.unlock();
 
         const Request &req = pending.request;
+        RouteInfo route;
+        route.shard = pending.shard;
+        route.queueMs =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      pending.arrival)
+                .count();
+
         if (draining) {
             {
                 std::lock_guard<std::mutex> inner(mutex_);
@@ -272,7 +396,8 @@ ServiceServer::executorLoop()
             }
             respond(pending,
                     makeErrorLine(req.id, ServiceErrorCode::ShuttingDown,
-                                  "server is shutting down"),
+                                  "server is shutting down",
+                                  req.schemaVersion, &route),
                     false, false);
             lock.lock();
             continue;
@@ -290,7 +415,8 @@ ServiceServer::executorLoop()
                     makeErrorLine(
                         req.id, ServiceErrorCode::DeadlineExceeded,
                         "deadline of " + std::to_string(req.deadlineMs) +
-                            " ms expired before execution"),
+                            " ms expired before execution",
+                        req.schemaVersion, &route),
                     false, false);
             lock.lock();
             continue;
@@ -307,10 +433,13 @@ ServiceServer::executorLoop()
                 stopping_ = true;
             }
             stopped_.notify_all();
-            wake_.notify_all();
+            for (auto &other : shards_)
+                other->wake.notify_all();
             json::Value result = json::Value::object();
             result["stopping"] = true;
-            respond(pending, makeResultLine(req.id, std::move(result)),
+            respond(pending,
+                    makeResultLine(req.id, std::move(result),
+                                   req.schemaVersion, &route),
                     true, true);
             lock.lock();
             continue; // Next iteration drains the queue, then exits.
@@ -319,19 +448,26 @@ ServiceServer::executorLoop()
         std::string line;
         bool ok = false;
         try {
-            json::Value result = router_.dispatch(req);
-            if (req.method == "stats")
-                result["server"] = stats().toJson();
-            line = makeResultLine(req.id, std::move(result));
+            json::Value result;
+            if (req.method == "hello")
+                result = helloResult();
+            else if (req.method == "stats")
+                result = statsResult(req.schemaVersion);
+            else
+                result = shard.router.dispatch(req);
+            line = makeResultLine(req.id, std::move(result),
+                                  req.schemaVersion, &route);
             ok = true;
         } catch (const ServiceError &e) {
-            line = makeErrorLine(req.id, e.code(), e.what());
+            line = makeErrorLine(req.id, e.code(), e.what(),
+                                 req.schemaVersion, &route);
         } catch (const std::exception &e) {
             line = makeErrorLine(req.id, ServiceErrorCode::Internal,
-                                 e.what());
+                                 e.what(), req.schemaVersion, &route);
         } catch (...) {
             line = makeErrorLine(req.id, ServiceErrorCode::Internal,
-                                 "unknown failure");
+                                 "unknown failure", req.schemaVersion,
+                                 &route);
         }
         respond(pending, std::move(line), ok, true);
         lock.lock();
@@ -394,100 +530,32 @@ serveStream(ServiceServer &server, std::istream &in, std::ostream &out)
 }
 
 // ---------------------------------------------------------------------
-// TCP transport
+// TCP transport: one epoll event loop
 // ---------------------------------------------------------------------
 
-struct TcpServiceListener::Connection
+namespace {
+
+/** epoll user-data tags for the two non-connection fds. */
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+
+/** Grace period for flushing in-flight responses during drain. */
+constexpr std::chrono::milliseconds kDrainGrace(5000);
+
+double
+millisSince(std::chrono::steady_clock::time_point then,
+            std::chrono::steady_clock::time_point now)
 {
-    int fd = -1;
-    ServiceServer *server = nullptr;
+    return std::chrono::duration<double, std::milli>(now - then).count();
+}
 
-    std::mutex mutex;
-    std::condition_variable wake;
-    std::deque<std::future<std::string>> responses;
-    bool readerDone = false;
-    std::atomic<bool> readerExited{false};
-    std::atomic<bool> writerExited{false};
-
-    std::thread reader;
-    std::thread writer;
-
-    void start()
-    {
-        reader = std::thread([this] { readerLoop(); });
-        writer = std::thread([this] { writerLoop(); });
-    }
-
-    /** Both threads ran to completion: joins are instant. */
-    bool finished() const
-    {
-        return readerExited.load() && writerExited.load();
-    }
-
-    void readerLoop()
-    {
-        detail::FdLineReader lines(fd);
-        std::string line;
-        while (lines.readLine(line)) {
-            if (line.empty())
-                continue;
-            std::future<std::string> future = server->submitLine(line);
-            {
-                std::lock_guard<std::mutex> lock(mutex);
-                responses.push_back(std::move(future));
-            }
-            wake.notify_one();
-        }
-        if (lines.oversized()) {
-            // The stream cannot be resynchronized after an unframed
-            // blob; answer once, then drop the connection.
-            std::promise<std::string> refusal;
-            refusal.set_value(makeErrorLine(
-                json::Value(), ServiceErrorCode::InvalidRequest,
-                "request line exceeds the maximum length"));
-            {
-                std::lock_guard<std::mutex> lock(mutex);
-                responses.push_back(refusal.get_future());
-            }
-            wake.notify_one();
-        }
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            readerDone = true;
-        }
-        wake.notify_one();
-        readerExited.store(true);
-    }
-
-    void writerLoop()
-    {
-        for (;;) {
-            std::future<std::string> next;
-            {
-                std::unique_lock<std::mutex> lock(mutex);
-                wake.wait(lock, [&] {
-                    return readerDone || !responses.empty();
-                });
-                if (responses.empty())
-                    break;
-                next = std::move(responses.front());
-                responses.pop_front();
-            }
-            if (!detail::writeLine(fd, next.get()))
-                break; // Peer gone; undelivered responses are dropped.
-        }
-        // A peer that half-closed its receive side could keep the
-        // reader alive (and admitting work nobody will read) forever;
-        // once nothing can be written back, kick the reader too.
-        ::shutdown(fd, SHUT_RDWR);
-        writerExited.store(true);
-    }
-};
+} // namespace
 
 TcpServiceListener::TcpServiceListener(ServiceServer &server, int port)
-    : server_(server)
+    : server_(server), channel_(std::make_shared<ResponseChannel>())
 {
-    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    listenFd_ = ::socket(AF_INET,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
     if (listenFd_ < 0)
         throw std::runtime_error("TcpServiceListener: socket() failed");
     int one = 1;
@@ -499,7 +567,7 @@ TcpServiceListener::TcpServiceListener(ServiceServer &server, int port)
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
     if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
                sizeof addr) != 0 ||
-        ::listen(listenFd_, 64) != 0) {
+        ::listen(listenFd_, 256) != 0) {
         ::close(listenFd_);
         throw std::runtime_error(
             "TcpServiceListener: cannot bind 127.0.0.1:" +
@@ -509,7 +577,27 @@ TcpServiceListener::TcpServiceListener(ServiceServer &server, int port)
     ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
     port_ = static_cast<int>(ntohs(addr.sin_port));
 
-    acceptor_ = std::thread([this] { acceptLoop(); });
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wakeFd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (epollFd_ < 0 || wakeFd_ < 0) {
+        if (epollFd_ >= 0)
+            ::close(epollFd_);
+        if (wakeFd_ >= 0)
+            ::close(wakeFd_);
+        ::close(listenFd_);
+        throw std::runtime_error(
+            "TcpServiceListener: epoll/eventfd setup failed");
+    }
+    channel_->wakeFd = wakeFd_;
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenTag;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev);
+    ev.data.u64 = kWakeTag;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev);
+
+    loop_ = std::thread([this] { loopThread(); });
 }
 
 TcpServiceListener::~TcpServiceListener()
@@ -517,77 +605,386 @@ TcpServiceListener::~TcpServiceListener()
     stop();
 }
 
-void
-TcpServiceListener::acceptLoop()
+std::uint64_t
+TcpServiceListener::bouncedConnections() const
 {
+    return bounced_.load();
+}
+
+void
+TcpServiceListener::loopThread()
+{
+    std::array<epoll_event, 64> events;
     for (;;) {
-        int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0) {
+        int timeout = -1;
+        const double idle_ms = server_.options().idleTimeoutMs;
+        if (draining_)
+            timeout = 10;
+        else if (idle_ms > 0.0)
+            timeout = std::clamp(static_cast<int>(idle_ms / 4.0), 5, 1000);
+        int n = ::epoll_wait(epollFd_, events.data(),
+                             static_cast<int>(events.size()), timeout);
+        if (n < 0) {
             if (errno == EINTR)
                 continue;
-            return; // Listener closed by stop().
+            break; // epoll fd gone; only stop() does that.
         }
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping_) {
-            ::close(fd);
-            return;
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t tag = events[i].data.u64;
+            if (tag == kListenTag) {
+                acceptReady();
+                continue;
+            }
+            if (tag == kWakeTag) {
+                std::uint64_t drained;
+                while (::read(wakeFd_, &drained, sizeof drained) > 0) {
+                }
+                continue;
+            }
+            auto it = conns_.find(tag);
+            if (it == conns_.end())
+                continue; // Torn down earlier this pass.
+            Conn &conn = it->second;
+            const std::uint32_t ev = events[i].events;
+            if (ev & (EPOLLHUP | EPOLLERR)) {
+                // RST or both directions gone: whatever is in flight
+                // can never be delivered — clean teardown, not a
+                // blocked writer (the PR 5 failure mode).
+                closeConn(conn);
+                continue;
+            }
+            bool alive = true;
+            if (ev & EPOLLIN)
+                alive = handleReadable(conn);
+            if (alive && (ev & EPOLLOUT))
+                flushConn(conn);
         }
-        reapFinished();
-        auto conn = std::make_unique<Connection>();
-        conn->fd = fd;
-        conn->server = &server_;
-        conn->start();
-        connections_.push_back(std::move(conn));
+
+        // Responses published by the executors since the last pass.
+        std::vector<std::uint64_t> ready;
+        {
+            std::lock_guard<std::mutex> lock(channel_->mutex);
+            ready.swap(channel_->ready);
+        }
+        for (std::uint64_t id : ready) {
+            auto it = conns_.find(id);
+            if (it != conns_.end())
+                flushConn(it->second);
+        }
+
+        if (stopping_.load() && !draining_)
+            beginDrain();
+        if (draining_) {
+            if (conns_.empty())
+                break;
+            if (Clock::now() >= drainDeadline_) {
+                // A peer that stopped reading cannot hold shutdown
+                // hostage: force-close whatever remains.
+                std::vector<std::uint64_t> remaining;
+                remaining.reserve(conns_.size());
+                for (const auto &[id, conn] : conns_)
+                    remaining.push_back(id);
+                for (std::uint64_t id : remaining) {
+                    auto it = conns_.find(id);
+                    if (it != conns_.end())
+                        closeConn(it->second);
+                }
+                break;
+            }
+            continue; // Skip the idle sweep while draining.
+        }
+        sweepIdle();
     }
 }
 
 void
-TcpServiceListener::reapFinished()
+TcpServiceListener::acceptReady()
 {
-    // Caller holds mutex_. Joining a finished connection is instant;
-    // long-lived servers shed per-connection threads this way.
-    auto it = connections_.begin();
-    while (it != connections_.end()) {
-        Connection &conn = **it;
-        if (!conn.finished()) {
-            ++it;
+    for (;;) {
+        int fd = ::accept4(listenFd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN (drained) or the listener is closing.
+        }
+        if (stopping_.load()) {
+            ::close(fd);
             continue;
         }
-        conn.reader.join();
-        conn.writer.join();
-        ::close(conn.fd);
-        it = connections_.erase(it);
+        const ServerOptions &opts = server_.options();
+        if (conns_.size() >= opts.maxConnections) {
+            // Bounce with the protocol's typed backpressure signal —
+            // one best-effort line (a fresh socket's send buffer
+            // always holds it), then close.
+            std::string line = makeErrorLine(
+                json::Value(), ServiceErrorCode::Overloaded,
+                "connection limit reached (" +
+                    std::to_string(opts.maxConnections) +
+                    " connections); retry later");
+            line += '\n';
+            ssize_t sent =
+                ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+            (void)sent;
+            ::close(fd);
+            ++bounced_;
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        const std::uint64_t id = nextConnId_++;
+        Conn &conn = conns_[id];
+        conn.fd = fd;
+        conn.id = id;
+        conn.lastActivity = Clock::now();
+        conn.registeredEvents = EPOLLIN;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = id;
+        ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev);
+    }
+}
+
+void
+TcpServiceListener::submitOn(Conn &conn, std::string line)
+{
+    auto slot = std::make_shared<Slot>();
+    slot->conn = conn.id;
+    conn.slots.push_back(slot);
+    std::shared_ptr<ResponseChannel> channel = channel_;
+    server_.submitLine(
+        std::move(line), [channel, slot](std::string response) {
+            slot->line = std::move(response);
+            slot->ready.store(true, std::memory_order_release);
+            std::lock_guard<std::mutex> lock(channel->mutex);
+            channel->ready.push_back(slot->conn);
+            if (channel->wakeFd >= 0) {
+                const std::uint64_t one = 1;
+                ssize_t n =
+                    ::write(channel->wakeFd, &one, sizeof one);
+                (void)n;
+            }
+        });
+}
+
+bool
+TcpServiceListener::handleReadable(Conn &conn)
+{
+    char chunk[16384];
+    for (;;) {
+        ssize_t r = ::recv(conn.fd, chunk, sizeof chunk, 0);
+        if (r > 0) {
+            conn.lastActivity = Clock::now();
+            if (conn.discardInput)
+                continue; // Poisoned stream: bytes drain to nowhere.
+            conn.inBuf.append(chunk, static_cast<std::size_t>(r));
+            bool oversize = false;
+            std::size_t pos = 0;
+            for (;;) {
+                std::size_t nl = conn.inBuf.find('\n', pos);
+                if (nl == std::string::npos) {
+                    // A partial line can only grow; refuse before
+                    // buffering unbounded garbage.
+                    oversize = conn.inBuf.size() - pos > kMaxLineBytes;
+                    break;
+                }
+                if (nl - pos > kMaxLineBytes) {
+                    // One read chunk can straddle the cap AND the
+                    // newline; an over-long line is refused even when
+                    // it technically framed.
+                    oversize = true;
+                    break;
+                }
+                std::string line = conn.inBuf.substr(pos, nl - pos);
+                pos = nl + 1;
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                if (line.empty())
+                    continue; // Blank lines are keep-alive no-ops.
+                submitOn(conn, std::move(line));
+            }
+            if (oversize) {
+                // The stream cannot be resynchronized after an
+                // unframed blob; answer once, then drop the
+                // connection (once the refusal is flushed).
+                auto refusal = std::make_shared<Slot>();
+                refusal->conn = conn.id;
+                refusal->line = makeErrorLine(
+                    json::Value(), ServiceErrorCode::InvalidRequest,
+                    "request line exceeds the maximum length");
+                refusal->ready.store(true, std::memory_order_release);
+                conn.slots.push_back(std::move(refusal));
+                conn.discardInput = true;
+                conn.inBuf.clear();
+                conn.inBuf.shrink_to_fit();
+            } else if (pos > 0) {
+                conn.inBuf.erase(0, pos);
+            }
+            continue;
+        }
+        if (r == 0) {
+            // EOF: the peer finished sending; flush responses for
+            // what it already submitted, then close.
+            conn.peerClosed = true;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        closeConn(conn); // ECONNRESET and friends: clean teardown.
+        return false;
+    }
+    return flushConn(conn);
+}
+
+bool
+TcpServiceListener::flushConn(Conn &conn)
+{
+    while (!conn.slots.empty() &&
+           conn.slots.front()->ready.load(std::memory_order_acquire)) {
+        conn.outBuf += conn.slots.front()->line;
+        conn.outBuf += '\n';
+        conn.slots.pop_front();
+    }
+    while (conn.outPos < conn.outBuf.size()) {
+        ssize_t n = ::send(conn.fd, conn.outBuf.data() + conn.outPos,
+                           conn.outBuf.size() - conn.outPos,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.outPos += static_cast<std::size_t>(n);
+            conn.lastActivity = Clock::now();
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        // EPIPE/ECONNRESET mid-response: the peer is gone. Undelivered
+        // responses are dropped; nothing blocks, nothing leaks.
+        closeConn(conn);
+        return false;
+    }
+    if (conn.outPos >= conn.outBuf.size()) {
+        conn.outBuf.clear();
+        conn.outPos = 0;
+    } else if (conn.outPos > (64u << 10)) {
+        conn.outBuf.erase(0, conn.outPos); // Compact a long tail once.
+        conn.outPos = 0;
+    }
+    if ((conn.peerClosed || conn.discardInput || draining_) &&
+        conn.slots.empty() && conn.outPos >= conn.outBuf.size()) {
+        closeConn(conn);
+        return false;
+    }
+    updateEvents(conn);
+    return true;
+}
+
+void
+TcpServiceListener::updateEvents(Conn &conn)
+{
+    // After EOF a level-triggered EPOLLIN would fire forever while
+    // responses are still in flight; drop read interest once the peer
+    // finished sending.
+    std::uint32_t want = conn.peerClosed ? 0u : EPOLLIN;
+    if (conn.outPos < conn.outBuf.size())
+        want |= EPOLLOUT;
+    if (want == conn.registeredEvents)
+        return;
+    conn.registeredEvents = want;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.u64 = conn.id;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void
+TcpServiceListener::closeConn(Conn &conn)
+{
+    // Pending slots stay alive through their shared_ptrs: an executor
+    // finishing later publishes into a slot nobody will flush, and the
+    // ready-list lookup simply misses. That is the whole teardown
+    // contract — no joins, no blocking.
+    const int fd = conn.fd;
+    const std::uint64_t id = conn.id;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns_.erase(id);
+}
+
+void
+TcpServiceListener::sweepIdle()
+{
+    const double idle_ms = server_.options().idleTimeoutMs;
+    if (idle_ms <= 0.0)
+        return;
+    const Clock::time_point now = Clock::now();
+    std::vector<std::uint64_t> evict;
+    for (const auto &[id, conn] : conns_)
+        if (conn.slots.empty() && conn.outPos >= conn.outBuf.size() &&
+            millisSince(conn.lastActivity, now) >= idle_ms)
+            evict.push_back(id);
+    for (std::uint64_t id : evict) {
+        auto it = conns_.find(id);
+        if (it != conns_.end())
+            closeConn(it->second);
+    }
+}
+
+void
+TcpServiceListener::beginDrain()
+{
+    draining_ = true;
+    drainDeadline_ = Clock::now() + kDrainGrace;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
+    // Half-close every connection: no new requests, but in-flight
+    // responses still flush. The executors answer everything admitted
+    // (shutting_down once the server stops), so every slot resolves.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto &[id, conn] : conns_)
+        ids.push_back(id);
+    for (std::uint64_t id : ids) {
+        auto it = conns_.find(id);
+        if (it == conns_.end())
+            continue;
+        it->second.discardInput = true;
+        ::shutdown(it->second.fd, SHUT_RD);
+        flushConn(it->second);
     }
 }
 
 void
 TcpServiceListener::stop()
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping_)
-            return;
-        stopping_ = true;
-    }
-    // Unblock accept(); the acceptor exits on the failing call.
-    ::shutdown(listenFd_, SHUT_RDWR);
-    if (acceptor_.joinable())
-        acceptor_.join();
-    ::close(listenFd_);
-    listenFd_ = -1;
+    std::lock_guard<std::mutex> stop_lock(stopMutex_);
+    if (stoppedDone_)
+        return;
+    stoppedDone_ = true;
 
-    // SHUT_RD stops the readers; writers drain the responses already
-    // admitted (their promises resolve as the executor finishes — or
-    // immediately, as shutting_down, once the server stops), flush
-    // them to the peer, and exit. Only then do the sockets close.
-    for (auto &conn : connections_)
-        ::shutdown(conn->fd, SHUT_RD);
-    for (auto &conn : connections_) {
-        conn->reader.join();
-        conn->writer.join();
-        ::close(conn->fd);
+    stopping_.store(true);
+    {
+        std::lock_guard<std::mutex> lock(channel_->mutex);
+        if (channel_->wakeFd >= 0) {
+            const std::uint64_t one = 1;
+            ssize_t n = ::write(channel_->wakeFd, &one, sizeof one);
+            (void)n;
+        }
     }
-    connections_.clear();
+    if (loop_.joinable())
+        loop_.join();
+
+    // Disarm the channel BEFORE closing the eventfd: a straggling
+    // response callback must find wakeFd == -1, never a recycled fd.
+    {
+        std::lock_guard<std::mutex> lock(channel_->mutex);
+        channel_->wakeFd = -1;
+    }
+    ::close(wakeFd_);
+    ::close(epollFd_);
+    ::close(listenFd_);
+    wakeFd_ = epollFd_ = listenFd_ = -1;
 }
 
 } // namespace service

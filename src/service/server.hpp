@@ -1,36 +1,48 @@
 /**
  * @file
- * The request server: admission control, execution, accounting, and
- * the pluggable transports.
+ * The request server: admission control, graph-sharded execution,
+ * accounting, and the pluggable transports.
  *
- * A ServiceServer owns a bounded admission queue and ONE executor
- * thread draining it in FIFO order. Admission (submitLine) is cheap
+ * A ServiceServer owns an EngineShardSet and one bounded admission
+ * queue + executor thread PER SHARD. Admission (submitLine) is cheap
  * and non-blocking: the line is parsed, envelope errors are answered
- * immediately, and a full queue is answered with the typed
- * `overloaded` error — the protocol's backpressure signal — instead
- * of buffering without bound. Each admitted request carries an
- * optional deadline measured from admission; a request whose deadline
- * lapses while it waits is answered `deadline_exceeded` without being
- * executed.
+ * immediately, the request is routed to its graph's home shard
+ * (EngineShardSet::shardFor — a pure function of graph structure),
+ * and a full shard queue is answered with the typed `overloaded`
+ * error — the protocol's backpressure signal — instead of buffering
+ * without bound. Each admitted request carries an optional deadline
+ * measured from admission; a request whose deadline lapses while it
+ * waits is answered `deadline_exceeded` without being executed.
  *
- * Single executor, deliberately: every handler already fans out over
- * the process-wide thread pool through the EvalEngine (a drain shards
- * every pending point across all cores), so executing requests one at
- * a time loses no parallelism on the compute-bound methods — and it
- * buys the service's strongest property for free: responses are a
- * pure function of request content, independent of client count,
- * connection interleaving, and REDQAOA_THREADS (pinned by
- * tests/test_service.cpp). It also sidesteps the engine's one
- * unsupported composition (several external threads draining
- * concurrently with pool-driven drains).
+ * One executor per shard, deliberately: every handler already fans
+ * out over the process-wide thread pool through its EvalEngine (a
+ * drain shards every pending point across all cores), so executing
+ * one request at a time per shard loses no parallelism on the
+ * compute-bound methods — and it buys the service's strongest
+ * property for free: responses are a pure function of request
+ * content, independent of client count, connection interleaving,
+ * shard count, and REDQAOA_THREADS (pinned by tests/test_service.cpp).
+ * It also preserves the engine's one unsupported composition rule
+ * (several external threads draining ONE engine concurrently with
+ * pool-driven drains): each engine has exactly one drainer.
+ *
+ * The server intercepts three methods before router dispatch:
+ * `hello` (capability handshake: schema versions, shard count, queue
+ * bounds, connection bounds, max line length), `stats` (aggregate
+ * engine counters + per-shard blocks in v2 + server traffic), and
+ * `shutdown`.
  *
  * Transports frame the same NDJSON protocol over different byte
  * streams:
  *  - serveStream: stdin/stdout (or any iostream pair) for shell
  *    pipes; responses come back in request order.
- *  - TcpServiceListener: localhost TCP; each connection gets a reader
- *    (submits lines, pipelined) and a writer (emits responses in that
- *    connection's request order).
+ *  - TcpServiceListener: localhost TCP via ONE epoll event-loop
+ *    thread — non-blocking accept/read/write, per-connection response
+ *    ordering, bounded connection count (excess accepts are answered
+ *    with `overloaded` and closed), optional idle-timeout eviction,
+ *    and graceful drain on stop(). A peer that disappears mid-
+ *    response (EPIPE/ECONNRESET) is clean teardown, never a stuck
+ *    thread.
  *
  * Traffic accounting: cumulative counters (received / admitted /
  * served / per-method / rejection reasons) plus a log-bucketed
@@ -43,10 +55,12 @@
 #define REDQAOA_SERVICE_SERVER_HPP
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <iosfwd>
 #include <map>
@@ -54,8 +68,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "engine/engine_shard_set.hpp"
 #include "service/router.hpp"
 
 namespace redqaoa {
@@ -96,8 +112,8 @@ class LatencyHistogram
 struct ServerStats
 {
     std::uint64_t received = 0;  //!< Lines handed to submitLine.
-    std::uint64_t admitted = 0;  //!< Entered the queue.
-    std::uint64_t dequeued = 0;  //!< Picked up by the executor.
+    std::uint64_t admitted = 0;  //!< Entered a shard queue.
+    std::uint64_t dequeued = 0;  //!< Picked up by an executor.
     std::uint64_t served = 0;    //!< Responses produced (every path).
     std::uint64_t okCount = 0;   //!< ok: true responses.
     std::uint64_t errorCount = 0; //!< ok: false responses.
@@ -119,26 +135,48 @@ struct ServerStats
 
 struct ServerOptions
 {
-    /** Queued (admitted, not yet executing) request cap. */
+    /** Queued (admitted, not yet executing) request cap PER SHARD. */
     std::size_t queueCapacity = 64;
+    /** Engine shard count (>= 1); ignored when a shard set is given. */
+    int shards = 1;
+    /** Concurrent TCP connection cap (excess accepts are bounced). */
+    std::size_t maxConnections = 256;
+    /** Evict idle TCP connections after this long (0 = never). */
+    double idleTimeoutMs = 0.0;
 };
+
+/**
+ * Receives exactly one response line per submitted request. Invoked
+ * from an executor thread (or inline from submitLine for immediate
+ * rejections); must not block and must not call back into the server.
+ */
+using ResponseCallback = std::function<void(std::string)>;
 
 class ServiceServer
 {
   public:
-    explicit ServiceServer(ServerOptions opts = {},
-                           std::shared_ptr<EvalEngine> engine = nullptr);
+    /**
+     * Serve @p engines (a fresh EngineShardSet of opts.shards engines
+     * when null). Throws std::invalid_argument on a zero queue
+     * capacity.
+     */
+    explicit ServiceServer(
+        ServerOptions opts = {},
+        std::shared_ptr<EngineShardSet> engines = nullptr);
     ~ServiceServer();
 
     ServiceServer(const ServiceServer &) = delete;
     ServiceServer &operator=(const ServiceServer &) = delete;
 
     /**
-     * Admit one raw request line. Returns a future resolving to the
-     * response line; it NEVER throws and never blocks on execution —
-     * envelope errors, a full queue (`overloaded`), and a stopping
-     * server (`shutting_down`) resolve the future immediately.
+     * Admit one raw request line; @p done receives the response line.
+     * NEVER throws and never blocks on execution — envelope errors, a
+     * full shard queue (`overloaded`), and a stopping server
+     * (`shutting_down`) invoke @p done inline before returning.
      */
+    void submitLine(std::string line, ResponseCallback done);
+
+    /** submitLine returning a future (stdio transport, simple callers). */
     std::future<std::string> submitLine(std::string line);
 
     /** submitLine + wait (tests and simple callers). */
@@ -155,14 +193,23 @@ class ServiceServer
 
     /**
      * Stop accepting work, answer every queued request with
-     * shutting_down, and join the executor. Idempotent; the
+     * shutting_down, and join the executors. Idempotent; the
      * destructor calls it.
      */
     void stop();
 
     ServerStats stats() const;
 
-    ServiceRouter &router() { return router_; }
+    /** Effective options (shards reflects the actual shard set). */
+    const ServerOptions &options() const { return opts_; }
+
+    EngineShardSet &engines() { return *engines_; }
+
+    /** The router serving @p shard (tests; direct in-process calls). */
+    ServiceRouter &router(std::size_t shard = 0);
+
+    /** The `hello` capability document (also served on the wire). */
+    json::Value helloResult() const;
 
   private:
     using Clock = std::chrono::steady_clock;
@@ -170,27 +217,43 @@ class ServiceServer
     struct PendingRequest
     {
         Request request;
-        std::promise<std::string> promise;
+        ResponseCallback done;
         Clock::time_point arrival;
         Clock::time_point deadline;  //!< Valid when hasDeadline.
         bool hasDeadline = false;
+        int shard = 0;
     };
 
-    void executorLoop();
-    /** Resolve @p pending with @p line, maintaining served counters. */
+    /** One engine shard: its router, queue, and executor thread. */
+    struct Shard
+    {
+        explicit Shard(std::shared_ptr<EvalEngine> engine)
+            : router(std::move(engine))
+        {}
+
+        ServiceRouter router;
+        std::condition_variable wake; //!< Waits on ServiceServer::mutex_.
+        std::deque<PendingRequest> queue;
+        std::thread executor;
+    };
+
+    void executorLoop(std::size_t shard_index);
+    /** Invoke @p pending.done with @p line, maintaining served counters. */
     void respond(PendingRequest &pending, std::string line, bool ok,
                  bool recordLatency);
+    /** Home shard of @p req (0 when no graph can be extracted). */
+    int routeShard(const Request &req) const;
+    /** The `stats` result: engine aggregate (+ shards in v2) + server. */
+    json::Value statsResult(int schema_version) const;
 
-    ServiceRouter router_;
     ServerOptions opts_;
+    std::shared_ptr<EngineShardSet> engines_;
+    std::vector<std::unique_ptr<Shard>> shards_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable wake_;     //!< Executor waits for work.
+    mutable std::mutex mutex_; //!< Guards stats_, stopping_, queues.
     std::condition_variable stopped_;  //!< waitShutdownFor waiters.
-    std::deque<PendingRequest> queue_;
     ServerStats stats_;
     bool stopping_ = false;
-    std::thread executor_;
 };
 
 /**
@@ -207,12 +270,20 @@ std::size_t serveStream(ServiceServer &server, std::istream &in,
                         std::ostream &out);
 
 /**
- * Localhost TCP transport. Binds 127.0.0.1:@p port (0 = ephemeral;
- * port() reports the bound port), accepts connections on a background
- * thread, and serves each with a reader/writer thread pair. stop()
- * (or destruction) shuts the listener and every connection down and
- * joins all threads; it does NOT stop the ServiceServer — stop the
- * listener first, then the server.
+ * Localhost TCP transport: ONE event-loop thread multiplexing every
+ * connection through epoll. Binds 127.0.0.1:@p port (0 = ephemeral;
+ * port() reports the bound port). Reads are non-blocking and framed
+ * into NDJSON lines; responses are queued per connection in request
+ * order (pipelining across shards preserves each connection's
+ * ordering) and flushed with non-blocking writes. Connections beyond
+ * the server's maxConnections are answered with one `overloaded`
+ * error line and closed; connections idle longer than idleTimeoutMs
+ * (with nothing in flight) are evicted. A peer that vanishes
+ * (EPIPE/ECONNRESET/EOF) is torn down cleanly — no thread can block
+ * on a dead socket. stop() (or destruction) drains: accepting ends,
+ * in-flight responses are flushed (bounded by a drain grace period),
+ * then every connection closes and the loop joins. It does NOT stop
+ * the ServiceServer — stop the listener first, then the server.
  */
 class TcpServiceListener
 {
@@ -228,20 +299,81 @@ class TcpServiceListener
 
     void stop();
 
-  private:
-    struct Connection;
+    /** Accepts bounced for the connection cap (observability/tests). */
+    std::uint64_t bouncedConnections() const;
 
-    void acceptLoop();
-    void reapFinished(); //!< Join and drop connections that ended.
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * One in-flight response: the executor fills line and flips ready;
+     * the loop flushes each connection's ready prefix, preserving
+     * request order per connection.
+     */
+    struct Slot
+    {
+        std::atomic<bool> ready{false};
+        std::string line;
+        std::uint64_t conn = 0;
+    };
+
+    /**
+     * Executor-to-loop handoff that outlives the listener: response
+     * callbacks hold it by shared_ptr, so a callback firing after
+     * stop() hits a disarmed channel instead of freed memory.
+     */
+    struct ResponseChannel
+    {
+        std::mutex mutex;
+        std::vector<std::uint64_t> ready; //!< Conn ids with responses.
+        int wakeFd = -1; //!< eventfd; -1 once the loop is gone.
+    };
+
+    struct Conn
+    {
+        int fd = -1;
+        std::uint64_t id = 0;
+        std::string inBuf;
+        std::string outBuf;
+        std::size_t outPos = 0; //!< Flushed prefix of outBuf.
+        std::deque<std::shared_ptr<Slot>> slots; //!< Request order.
+        Clock::time_point lastActivity;
+        bool discardInput = false; //!< Oversize/drain: stop submitting.
+        bool peerClosed = false;   //!< EOF seen; close once drained.
+        std::uint32_t registeredEvents = 0; //!< Current epoll interest.
+    };
+
+    void loopThread();
+    void acceptReady();
+    /** Drain readable bytes; false when the connection was torn down. */
+    bool handleReadable(Conn &conn);
+    /** Flush ready slots + outBuf; false when torn down. */
+    bool flushConn(Conn &conn);
+    void submitOn(Conn &conn, std::string line);
+    void updateEvents(Conn &conn);
+    void closeConn(Conn &conn);
+    void sweepIdle();
+    void beginDrain();
 
     ServiceServer &server_;
     int listenFd_ = -1;
+    int epollFd_ = -1;
+    int wakeFd_ = -1;
     int port_ = 0;
 
-    std::mutex mutex_;
-    std::vector<std::unique_ptr<Connection>> connections_;
-    bool stopping_ = false;
-    std::thread acceptor_;
+    std::thread loop_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> bounced_{0};
+    std::shared_ptr<ResponseChannel> channel_;
+
+    // Loop-thread-only state.
+    std::unordered_map<std::uint64_t, Conn> conns_;
+    std::uint64_t nextConnId_ = 2; //!< 0/1 tag the listen/wake fds.
+    bool draining_ = false;
+    Clock::time_point drainDeadline_;
+
+    std::mutex stopMutex_; //!< Serializes stop() callers.
+    bool stoppedDone_ = false;
 };
 
 } // namespace service

@@ -16,6 +16,8 @@
 
 #include <unistd.h>
 
+#include "service/protocol.hpp" // kMaxLineBytes
+
 namespace redqaoa {
 namespace service {
 namespace detail {
@@ -59,7 +61,7 @@ writeLine(int fd, const std::string &line)
 class FdLineReader
 {
   public:
-    explicit FdLineReader(int fd, std::size_t max_line = 8u << 20)
+    explicit FdLineReader(int fd, std::size_t max_line = kMaxLineBytes)
         : fd_(fd), maxLine_(max_line)
     {}
 

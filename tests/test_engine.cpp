@@ -21,6 +21,7 @@
 
 #include "common/thread_pool.hpp"
 #include "engine/backend_registry.hpp"
+#include "engine/engine_shard_set.hpp"
 #include "engine/eval_engine.hpp"
 #include "engine/fleet.hpp"
 #include "graph/generators.hpp"
@@ -415,6 +416,76 @@ TEST(PipelineFleet, GridBuildsEveryCombination)
         EXPECT_EQ(with_base[i].seed, 10u + i);
     EXPECT_TRUE(with_base[1].baseline);
     EXPECT_EQ(with_base[1].name, "a/ibmq_kolkata/p1/baseline");
+}
+
+TEST(EngineShardSet, RoutingIsDeterministicAcrossRestarts)
+{
+    // Placement is a pure function of graph structure and shard count:
+    // two independently constructed shard sets (a "restart") must
+    // route every graph the same way.
+    std::vector<Graph> graphs;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed)
+        graphs.push_back(smallGraph(seed));
+
+    EngineShardSet first(4);
+    EngineShardSet second(4);
+    ASSERT_EQ(first.shardCount(), 4);
+    for (const Graph &g : graphs) {
+        std::size_t shard = first.shardFor(g);
+        EXPECT_LT(shard, 4u);
+        EXPECT_EQ(shard, second.shardFor(g));
+        // Repeated lookups of the same graph never move.
+        EXPECT_EQ(shard, first.shardFor(g));
+    }
+}
+
+TEST(EngineShardSet, NestedCongruenceWhenShardCountsDivideEvenly)
+{
+    // hash % 2 == (hash % 4) % 2: when one shard count divides the
+    // other, a graph's 2-shard placement is derivable from its 4-shard
+    // placement. Growing a deployment 2 -> 4 therefore splits each
+    // shard's population in two instead of reshuffling everything.
+    EngineShardSet two(2);
+    EngineShardSet four(4);
+    EngineShardSet eight(8);
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+        Graph g = smallGraph(seed);
+        EXPECT_EQ(four.shardFor(g) % 2, two.shardFor(g));
+        EXPECT_EQ(eight.shardFor(g) % 4, four.shardFor(g));
+        EXPECT_EQ(eight.shardFor(g) % 2, two.shardFor(g));
+    }
+}
+
+TEST(EngineShardSet, AggregateStatsSumsShardCounters)
+{
+    EngineShardSet set(3);
+    Graph g = smallGraph();
+    Rng rng(11);
+    std::vector<QaoaParams> points = randomParameterSets(1, 6, rng);
+
+    // Evaluate on two different shards; the third stays idle.
+    set.shard(0)->evaluate(g, EvalSpec::ideal(1), points);
+    set.shard(1)->evaluate(g, EvalSpec::ideal(1), points);
+    set.shard(1)->evaluate(g, EvalSpec::ideal(1), points); // memo hits
+
+    EngineStats total = set.aggregateStats();
+    std::vector<EngineStats> per = set.shardStats();
+    ASSERT_EQ(per.size(), 3u);
+    std::uint64_t points_sum = 0;
+    std::uint64_t memo_sum = 0;
+    std::uint64_t graphs_sum = 0;
+    for (const EngineStats &s : per) {
+        points_sum += s.points;
+        memo_sum += s.memoHits;
+        graphs_sum += s.artifacts.graphs;
+    }
+    EXPECT_EQ(total.points, points_sum);
+    EXPECT_EQ(total.memoHits, memo_sum);
+    EXPECT_EQ(total.artifacts.graphs, graphs_sum);
+    EXPECT_EQ(total.points, 18u);
+    EXPECT_EQ(total.memoHits, 6u);   // The repeated shard-1 batch.
+    EXPECT_EQ(total.artifacts.graphs, 2u);
+    EXPECT_EQ(per[2].points, 0u);    // The idle shard contributes zeros.
 }
 
 TEST(RedQaoaPipeline, SharedEngineMatchesPrivateEngine)

@@ -20,12 +20,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "common/thread_pool.hpp"
 #include "core/pipeline.hpp"
@@ -35,6 +42,7 @@
 #include "opt/cobyla_lite.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
+#include "service/socket_util.hpp"
 
 namespace redqaoa {
 namespace {
@@ -755,9 +763,12 @@ TEST(ServiceTcp, ConcurrentClientsGetDirectEngineValues)
         clients.emplace_back([&, c] {
             ServiceClient client =
                 ServiceClient::connect(listener.port());
+            service::EvaluateRequest req;
+            req.graph = g;
+            req.points = points;
             for (int repeat = 0; repeat < 3; ++repeat)
                 got[static_cast<std::size_t>(c)] =
-                    client.evaluate(g, points);
+                    client.evaluate(req).values;
         });
     for (std::thread &t : clients)
         t.join();
@@ -800,6 +811,317 @@ TEST(ServiceTcp, OversizedRequestLineIsRefused)
 
     listener.stop();
     server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Protocol v2: handshake, compat, sharding
+// ---------------------------------------------------------------------
+
+TEST(ServiceV2, HelloReportsServerCapabilities)
+{
+    service::ServerOptions opts;
+    opts.shards = 3;
+    opts.queueCapacity = 17;
+    opts.maxConnections = 9;
+    opts.idleTimeoutMs = 1234.0;
+    ServiceServer server(opts);
+    TcpServiceListener listener(server, 0);
+
+    service::ConnectOptions copts;
+    copts.port = listener.port();
+    ServiceClient client = ServiceClient::connect(copts);
+    EXPECT_EQ(client.schemaVersion(), service::kSchemaVersionV2);
+
+    service::ServerInfo info = client.hello();
+    EXPECT_EQ(info.server, "redqaoa_serve");
+    EXPECT_EQ(info.schemaVersions, (std::vector<int>{1, 2}));
+    EXPECT_EQ(info.shards, 3);
+    EXPECT_EQ(info.queueCapacity, 17u);
+    EXPECT_EQ(info.maxConnections, 9u);
+    EXPECT_EQ(info.idleTimeoutMs, 1234.0);
+    EXPECT_EQ(info.maxLineBytes, service::kMaxLineBytes);
+    for (const char *method :
+         {"evaluate", "hello", "pipeline", "shutdown", "stats"})
+        EXPECT_NE(std::find(info.methods.begin(), info.methods.end(),
+                            method),
+                  info.methods.end())
+            << "hello is missing method " << method;
+
+    // The v2 response carried routing metadata.
+    service::RouteInfo route;
+    EXPECT_TRUE(client.lastRoute(route));
+    EXPECT_GE(route.shard, 0);
+    EXPECT_LT(route.shard, 3);
+
+    listener.stop();
+    server.stop();
+}
+
+TEST(ServiceV2, V1RequestsKeepTheV1ShapeOnAShardedServer)
+{
+    service::ServerOptions opts;
+    opts.shards = 2;
+    ServiceServer server(opts);
+
+    Graph g = smallGraph();
+    Rng rng(23);
+    std::vector<QaoaParams> points = randomParameterSets(1, 5, rng);
+    std::string v1_line = evaluateRequest(1, g, points);
+
+    // A v1 request (no schema_version member) answers in the v1
+    // shape: version 1 echoed, no route block.
+    std::string v1_response = server.submitLine(v1_line).get();
+    Response v1 = service::parseResponse(v1_response);
+    EXPECT_TRUE(v1.ok);
+    EXPECT_EQ(v1.schemaVersion, service::kSchemaVersion);
+    EXPECT_FALSE(v1.hasRoute);
+    EXPECT_EQ(v1_response.find("\"route\""), std::string::npos);
+
+    // The same request stamped v2 gains routing metadata but the
+    // result payload stays byte-identical.
+    json::Value doc = json::Value::parse(v1_line);
+    doc["schema_version"] = service::kSchemaVersionV2;
+    Response v2 = service::parseResponse(server.submitLine(doc.dump()).get());
+    EXPECT_TRUE(v2.ok);
+    EXPECT_EQ(v2.schemaVersion, service::kSchemaVersionV2);
+    EXPECT_TRUE(v2.hasRoute);
+    EXPECT_GE(v2.route.shard, 0);
+    EXPECT_LT(v2.route.shard, 2);
+    EXPECT_GE(v2.route.queueMs, 0.0);
+    EXPECT_EQ(v1.result.dump(), v2.result.dump());
+
+    server.stop();
+}
+
+TEST(ServiceV2, ShardCountNeverChangesResponsePayloads)
+{
+    std::vector<Graph> graphs;
+    for (std::uint64_t seed = 31; seed <= 36; ++seed)
+        graphs.push_back(smallGraph(seed));
+    Rng rng(29);
+    std::vector<QaoaParams> points = randomParameterSets(1, 6, rng);
+
+    std::vector<std::string> requests;
+    for (std::size_t i = 0; i < graphs.size(); ++i)
+        requests.push_back(
+            evaluateRequest(static_cast<int>(i), graphs[i], points));
+
+    // v1 requests produce fully byte-identical response lines at every
+    // shard count: same results, same envelope, no routing metadata.
+    std::vector<std::vector<std::string>> responses;
+    for (int shards : {1, 2, 4}) {
+        service::ServerOptions opts;
+        opts.shards = shards;
+        ServiceServer server(opts);
+        std::vector<std::string> lines;
+        for (const std::string &request : requests)
+            lines.push_back(server.submitLine(request).get());
+        responses.push_back(std::move(lines));
+        server.stop();
+    }
+    EXPECT_EQ(responses[0], responses[1]);
+    EXPECT_EQ(responses[0], responses[2]);
+}
+
+TEST(ServiceV2, StatsShardsShareTheAggregateKeySet)
+{
+    auto keysOf = [](const json::Value &doc) {
+        std::vector<std::string> keys;
+        for (const auto &member : doc.asObject())
+            keys.push_back(member.first);
+        return keys;
+    };
+
+    service::ServerOptions opts;
+    opts.shards = 2;
+    ServiceServer server(opts);
+    TcpServiceListener listener(server, 0);
+    service::ConnectOptions copts;
+    copts.port = listener.port();
+    ServiceClient client = ServiceClient::connect(copts);
+
+    Graph g = smallGraph();
+    Rng rng(41);
+    service::EvaluateRequest eval;
+    eval.graph = g;
+    eval.points = randomParameterSets(1, 4, rng);
+    client.evaluate(eval);
+
+    // One stats shape everywhere: the aggregate engine block and every
+    // per-shard block expose exactly the same key set.
+    json::Value stats = client.stats();
+    const json::Value *engine = stats.find("engine");
+    const json::Value *shards = stats.find("shards");
+    ASSERT_NE(engine, nullptr);
+    ASSERT_NE(shards, nullptr);
+    ASSERT_EQ(shards->size(), 2u);
+    std::vector<std::string> want = keysOf(*engine);
+    EXPECT_FALSE(want.empty());
+    for (const json::Value &shard : shards->asArray())
+        EXPECT_EQ(keysOf(shard), want);
+
+    // The fleet report's metadata.engine block reuses the same shape.
+    json::Value fleet_params = json::Value::object();
+    json::Value fleet_graphs = json::Value::array();
+    json::Value entry = json::Value::object();
+    entry["name"] = "g0";
+    entry["graph"] = service::graphToJson(smallGraph(43));
+    fleet_graphs.push(std::move(entry));
+    fleet_params["graphs"] = std::move(fleet_graphs);
+    json::Value fleet_opts = json::Value::object();
+    fleet_opts["restarts"] = 1;
+    fleet_opts["search_evaluations"] = 6;
+    fleet_opts["refine_evaluations"] = 2;
+    fleet_params["options"] = std::move(fleet_opts);
+    json::Value fleet = client.call("fleet", std::move(fleet_params));
+    const json::Value *meta_engine =
+        fleet.find("metadata")->find("engine");
+    ASSERT_NE(meta_engine, nullptr);
+    EXPECT_EQ(keysOf(*meta_engine), want);
+
+    // A v1 client sees no shards block (v1 shape preserved).
+    ServiceClient v1 = ServiceClient::connect(listener.port());
+    json::Value v1_stats = v1.stats();
+    EXPECT_NE(v1_stats.find("engine"), nullptr);
+    EXPECT_EQ(v1_stats.find("shards"), nullptr);
+
+    listener.stop();
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Transport hardening
+// ---------------------------------------------------------------------
+
+TEST(ServiceTcp, IdleConnectionsAreEvicted)
+{
+    service::ServerOptions opts;
+    opts.idleTimeoutMs = 50.0;
+    ServiceServer server(opts);
+    TcpServiceListener listener(server, 0);
+
+    service::ConnectOptions copts;
+    copts.port = listener.port();
+    ServiceClient client = ServiceClient::connect(copts);
+    client.hello(); // The connection works while active.
+
+    // Go idle past the timeout: the server closes the connection, so
+    // the next exchange fails at the transport layer.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    EXPECT_THROW(client.hello(), std::runtime_error);
+
+    listener.stop();
+    server.stop();
+}
+
+TEST(ServiceTcp, ConnectionLimitBouncesWithTypedOverloaded)
+{
+    service::ServerOptions opts;
+    opts.maxConnections = 1;
+    ServiceServer server(opts);
+    TcpServiceListener listener(server, 0);
+
+    service::ConnectOptions copts;
+    copts.port = listener.port();
+    ServiceClient first = ServiceClient::connect(copts);
+    first.hello(); // Occupies the single slot.
+
+    // The next connection is accepted just long enough to answer one
+    // typed `overloaded` error line, then closed.
+    ServiceClient second = ServiceClient::connect(copts);
+    std::string line = second.rawExchange("ping");
+    EXPECT_EQ(errorCodeOf(line), ServiceErrorCode::Overloaded);
+    EXPECT_GE(listener.bouncedConnections(), 1u);
+
+    // The admitted connection keeps working.
+    first.hello();
+
+    listener.stop();
+    server.stop();
+}
+
+TEST(ServiceTcp, DisconnectMidResponseDoesNotWedgeTheServer)
+{
+    ServiceServer server;
+    TcpServiceListener listener(server, 0);
+
+    Graph g = smallGraph();
+    Rng rng(47);
+    std::vector<QaoaParams> points = randomParameterSets(1, 16, rng);
+    std::string request = evaluateRequest(1, g, points);
+
+    // Clients that send a request and vanish before reading the
+    // response: the write side hits EPIPE/ECONNRESET, which must tear
+    // the connection down cleanly instead of wedging the server.
+    for (int round = 0; round < 8; ++round) {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(listener.port()));
+        ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof addr),
+                  0);
+        ASSERT_TRUE(service::detail::writeLine(fd, request));
+        ::close(fd); // Gone before the response exists.
+    }
+
+    // The server still serves fresh connections afterwards...
+    ServiceClient client = ServiceClient::connect(listener.port());
+    std::vector<double> want =
+        EvalEngine().evaluate(g, EvalSpec::ideal(1), points);
+    EXPECT_EQ(resultOf(client.rawExchange(request))
+                  .find("values")
+                  ->size(),
+              want.size());
+
+    // ...and shutdown completes promptly (a wedged writer would hang
+    // here until the test times out).
+    client.shutdown();
+    EXPECT_TRUE(server.waitShutdownFor(10.0));
+    listener.stop();
+    server.stop();
+}
+
+TEST(ServiceTcp, ConnectRetriesWithBoundedBackoff)
+{
+    // Reserve a port with no listener behind it.
+    int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(probe, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof addr),
+              0);
+    socklen_t len = sizeof addr;
+    ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr *>(&addr),
+                            &len),
+              0);
+    int dead_port = ntohs(addr.sin_port);
+    ::close(probe);
+
+    service::ConnectOptions copts;
+    copts.port = dead_port;
+    copts.maxAttempts = 3;
+    copts.backoffInitialMs = 5.0;
+    copts.backoffMaxMs = 20.0;
+    auto start = std::chrono::steady_clock::now();
+    try {
+        ServiceClient::connect(copts);
+        FAIL() << "connect to a dead port did not throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("3 attempt(s)"),
+                  std::string::npos)
+            << e.what();
+    }
+    std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    // Two sleeps happened between the three attempts: 5 ms then 10 ms.
+    EXPECT_GE(elapsed.count(), 10.0);
 }
 
 } // namespace

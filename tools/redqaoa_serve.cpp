@@ -7,7 +7,10 @@
  *   redqaoa_serve --tcp --port 7777     serve a fixed port
  *   redqaoa_serve --tcp --port-file p   write the bound port to p
  *   redqaoa_serve --threads 4           pin the evaluation pool size
- *   redqaoa_serve --queue 128           admission-queue capacity
+ *   redqaoa_serve --queue 128           per-shard admission capacity
+ *   redqaoa_serve --shards 4            engine shard count
+ *   redqaoa_serve --max-conns 64        concurrent TCP connection cap
+ *   redqaoa_serve --idle-timeout-ms 30000   evict idle connections
  *
  * The protocol is newline-delimited JSON (see src/service/protocol.hpp
  * and the README "Service" section). Stdio mode serves until EOF; TCP
@@ -45,15 +48,24 @@ usage(std::FILE *to)
         to,
         "usage: redqaoa_serve [--stdio | --tcp] [--port N]\n"
         "                     [--port-file PATH] [--threads N]\n"
-        "                     [--queue N] [--help]\n"
+        "                     [--queue N] [--shards N]\n"
+        "                     [--max-conns N] [--idle-timeout-ms N]\n"
+        "                     [--help]\n"
         "\n"
-        "  --stdio          serve stdin/stdout (default)\n"
-        "  --tcp            serve a localhost TCP socket\n"
-        "  --port N         TCP port (default 0 = ephemeral)\n"
-        "  --port-file P    write the bound TCP port to file P\n"
-        "  --threads N      evaluation thread-pool size (default:\n"
-        "                   REDQAOA_THREADS, else hardware threads)\n"
-        "  --queue N        admission queue capacity (default 64)\n");
+        "  --stdio            serve stdin/stdout (default)\n"
+        "  --tcp              serve a localhost TCP socket\n"
+        "  --port N           TCP port (default 0 = ephemeral)\n"
+        "  --port-file P      write the bound TCP port to file P\n"
+        "  --threads N        evaluation thread-pool size (default:\n"
+        "                     REDQAOA_THREADS, else hardware threads)\n"
+        "  --queue N          per-shard admission capacity (default 64)\n"
+        "  --shards N         engine shards; a graph always lands on\n"
+        "                     the same shard (default 1)\n"
+        "  --max-conns N      concurrent TCP connection cap; excess\n"
+        "                     accepts are bounced with `overloaded`\n"
+        "                     (default 256)\n"
+        "  --idle-timeout-ms N  evict connections idle that long with\n"
+        "                     nothing in flight (default 0 = never)\n");
 }
 
 void
@@ -129,6 +141,30 @@ main(int argc, char **argv)
                 return 2;
             }
             opts.queueCapacity = static_cast<std::size_t>(queue);
+        } else if (arg == "--shards") {
+            long shards = intValue("--shards");
+            if (shards < 1 || shards > 64) {
+                std::fprintf(stderr,
+                             "error: --shards must be in [1, 64]\n");
+                return 2;
+            }
+            opts.shards = static_cast<int>(shards);
+        } else if (arg == "--max-conns") {
+            long conns = intValue("--max-conns");
+            if (conns < 1) {
+                std::fprintf(stderr,
+                             "error: --max-conns must be >= 1\n");
+                return 2;
+            }
+            opts.maxConnections = static_cast<std::size_t>(conns);
+        } else if (arg == "--idle-timeout-ms") {
+            long idle = intValue("--idle-timeout-ms");
+            if (idle < 0) {
+                std::fprintf(stderr,
+                             "error: --idle-timeout-ms must be >= 0\n");
+                return 2;
+            }
+            opts.idleTimeoutMs = static_cast<double>(idle);
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             return 0;
@@ -149,8 +185,12 @@ main(int argc, char **argv)
     std::signal(SIGPIPE, SIG_IGN); // Dropped clients are not fatal.
 
     service::ServiceServer server(opts);
-    std::fprintf(stderr, "redqaoa_serve: threads=%d queue=%zu\n",
-                 ThreadPool::globalThreadCount(), opts.queueCapacity);
+    std::fprintf(stderr,
+                 "redqaoa_serve: threads=%d queue=%zu shards=%d"
+                 " max-conns=%zu idle-timeout-ms=%.0f\n",
+                 ThreadPool::globalThreadCount(), opts.queueCapacity,
+                 server.options().shards, opts.maxConnections,
+                 opts.idleTimeoutMs);
 
     if (!tcp) {
         serveStream(server, std::cin, std::cout);
