@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Batched-point sweep figure: the win from advancing kBatchLanes
+ * statevectors through each phase/mixer/expectation pass together
+ * (BatchedStateSet) instead of evaluating parameter points one at a
+ * time. Reports points/sec for both paths at n = 12 and 16 qubits,
+ * the speedup, and — the CI gate — `batched_identical`, which is 1
+ * only when every batched value is byte-identical to the
+ * point-at-a-time value for every kernel implementation available on
+ * the machine (scalar always; AVX2 when compiled in and supported).
+ * The `_per_second` metrics are compared against BENCH_baseline.json
+ * by scripts/compare_bench.py, where a drop is a regression.
+ */
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "graph/generators.hpp"
+#include "quantum/batched_state.hpp"
+#include "quantum/maxcut.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    return dt.count();
+}
+
+/** Best-of-@p trials wall seconds of fn() (micro_kernels convention). */
+template <typename F>
+double
+bestSeconds(F &&fn, int trials)
+{
+    double best = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        double dt = secondsSince(start);
+        if (t == 0 || dt < best)
+            best = dt;
+    }
+    return best;
+}
+
+} // namespace
+
+REDQAOA_REGISTER_FIGURE(batched_points, "Micro",
+                        "batched multi-point statevector sweeps vs"
+                        " point-at-a-time evaluation")
+{
+    const int kPoints = ctx.scale(32, 64);
+    const int kTrials = 3;
+    bool identical = true;
+
+    ctx.out("%-8s %-10s %-14s %-14s %-10s\n", "qubits", "kernel",
+            "serial pts/s", "batched pts/s", "speedup");
+    for (int n : {12, 16}) {
+        Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+        Graph g = gen::connectedGnp(n, std::min(0.9, 6.0 / (n - 1)), rng);
+        CutTable table = makeCutTable(g);
+        auto points = randomParameterSets(1, kPoints, rng);
+        std::vector<const QaoaParams *> ptrs;
+        for (const QaoaParams &p : points)
+            ptrs.push_back(&p);
+
+        // Point-at-a-time reference (and the identity oracle).
+        QaoaSimulator sim(g);
+        std::vector<double> want(points.size());
+        double t_serial = bestSeconds(
+            [&] {
+                for (std::size_t i = 0; i < points.size(); ++i)
+                    want[i] = sim.expectation(points[i]);
+            },
+            kTrials);
+        const double serial_pps = points.size() / t_serial;
+        const std::string suffix = "_n" + std::to_string(n);
+        ctx.sink.metric("serial_points_per_second" + suffix, serial_pps);
+
+        // Batched sweep per available kernel implementation. The
+        // machine-selected one (activeKernels) provides THE tracked
+        // speedup metric; pinned runs gate identity for both paths.
+        for (const batched::KernelOps *ops :
+             {&batched::scalarKernels(), batched::avx2Kernels()}) {
+            if (!ops)
+                continue;
+            batched::forceKernels(ops);
+            std::vector<double> got(points.size());
+            double t_batched = bestSeconds(
+                [&] {
+                    batchedCutExpectations(table.codes, table.maxCode, n,
+                                           ptrs, got);
+                },
+                kTrials);
+            batched::forceKernels(nullptr);
+            for (std::size_t i = 0; i < got.size(); ++i)
+                if (got[i] != want[i])
+                    identical = false;
+
+            const double batched_pps = points.size() / t_batched;
+            ctx.out("%-8d %-10s %-14.3e %-14.3e %-10.2f\n", n, ops->name,
+                    serial_pps, batched_pps, batched_pps / serial_pps);
+            if (ops == &batched::activeKernels()) {
+                ctx.sink.metric("batched_points_per_second" + suffix,
+                                batched_pps);
+                ctx.sink.metric("batched_speedup" + suffix,
+                                batched_pps / serial_pps);
+            }
+        }
+    }
+    ctx.sink.metric("batched_identical", identical ? 1.0 : 0.0);
+    ctx.note("one pass over the cut table advances kBatchLanes"
+             " statevectors (SoA planes, SIMD across lanes), so table"
+             " and mixer traffic is amortized over the batch while"
+             " every lane rounds exactly like the scalar path —"
+             " batched_identical gates byte-identity in CI.");
+}

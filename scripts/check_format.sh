@@ -10,14 +10,19 @@
 # a hard failure. Point CLANG_FORMAT at a specific binary to match
 # CI's pinned version (clang-format-15); the first of $CLANG_FORMAT,
 # clang-format-15, clang-format found on PATH is used.
+#
+# scripts/*.py get the mechanical checks too, plus a pyflakes pass when
+# the tool is installed (CI runners have it; local machines without it
+# just skip the lint, never fail on the missing tool).
 set -u
 
 cd "$(dirname "$0")/.."
 
 files=$(find src tests bench examples tools -name '*.cpp' -o -name '*.hpp')
+py_files=$(find scripts -name '*.py')
 fail=0
 
-for f in $files; do
+for f in $files $py_files; do
     if grep -qP '\t' "$f"; then
         echo "error: tab character in $f"
         fail=1
@@ -62,6 +67,26 @@ if [ -n "$cf" ]; then
     [ "$diff_seen" -eq 0 ] && echo "clang-format ($cf): clean"
 else
     echo "clang-format not found; skipped style diff (mechanical checks ran)"
+fi
+
+if [ -n "$py_files" ]; then
+    if command -v pyflakes >/dev/null 2>&1; then
+        if ! pyflakes $py_files; then
+            echo "error: pyflakes found problems"
+            fail=1
+        else
+            echo "pyflakes: clean"
+        fi
+    elif python3 -c 'import pyflakes' >/dev/null 2>&1; then
+        if ! python3 -m pyflakes $py_files; then
+            echo "error: pyflakes found problems"
+            fail=1
+        else
+            echo "pyflakes: clean"
+        fi
+    else
+        echo "pyflakes not found; skipped python lint"
+    fi
 fi
 
 if [ "$fail" -ne 0 ]; then

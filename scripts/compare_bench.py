@@ -26,13 +26,15 @@ additionally compared against --kernel-time-tolerance (default 0.25)
 and regressions (slowdowns only) are reported in a dedicated section
 (`_per_second` metrics are checked the same way with the direction
 inverted: only throughput DROPS are regressions);
-with --annotate they are also emitted as GitHub `::warning` workflow
-annotations. Kernel regressions never affect the exit status — the
-check is loud, not blocking.
+with --annotate they are also emitted as GitHub workflow annotations
+(`::error` when they gate the exit status, `::warning` otherwise).
 
-Exit status is 0 unless --strict is given, in which case flagged
-value deltas (not timing drift) exit 1. CI runs this as a non-blocking
-report step; stdlib only, no third-party imports.
+Exit status: --fail-on-kernel-regression exits 1 when the kernel
+check found regressions (CI's blocking perf gate; the
+`override-perf-regression` PR label skips the gate step entirely),
+and --strict exits 1 on flagged value deltas (not timing drift).
+Without either flag the report is informational only. Stdlib only, no
+third-party imports.
 """
 
 import argparse
@@ -176,7 +178,7 @@ def compare_series(name, base_fig, new_fig, tolerance, time_tolerance,
                 f"{fmt_delta(b[worst_i], n[worst_i])}")
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -203,10 +205,14 @@ def main():
                              " (default 2e-5)")
     parser.add_argument("--annotate", action="store_true",
                         help="emit kernel regressions as GitHub"
-                             " ::warning annotations")
+                             " workflow annotations")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when value deltas are flagged")
-    args = parser.parse_args()
+    parser.add_argument("--fail-on-kernel-regression",
+                        action="store_true",
+                        help="exit 1 when the kernel regression check"
+                             " flagged anything (the CI blocking gate)")
+    args = parser.parse_args(argv)
 
     with open(args.base) as fh:
         base = json.load(fh)
@@ -279,9 +285,12 @@ def main():
         print("no differences beyond tolerance")
 
     if args.annotate:
+        level = "error" if args.fail_on_kernel_regression else "warning"
         for e in kernel_regressions:
-            print(f"::warning title=bench kernel regression::{e}")
+            print(f"::{level} title=bench kernel regression::{e}")
 
+    if args.fail_on_kernel_regression and kernel_regressions:
+        return 1
     if args.strict and flags:
         return 1
     return 0

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/compare_bench.py (stdlib only, registered as
+the `compare_bench_py` ctest). Pins the contracts CI's perf gate leans
+on: rate metrics regress on DROPS (not rises), `_seconds` metrics
+regress on slowdowns (not speedups), `_ms` metrics are timing drift
+rather than value deltas, timings under the noise floor are skipped,
+added/removed figures are informational, and
+--fail-on-kernel-regression turns kernel regressions into exit 1."""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import compare_bench
+
+
+def doc(figures, quick=True):
+    return {
+        "schema_version": 1,
+        "metadata": {"quick": quick, "total_wall_seconds": 1.0},
+        "figures": figures,
+    }
+
+
+def fig(name, metrics, wall_seconds=0.5, series=None):
+    out = {"name": name, "wall_seconds": wall_seconds,
+           "metrics": metrics}
+    if series is not None:
+        out["series"] = series
+    return out
+
+
+class CompareBenchTest(unittest.TestCase):
+    def run_main(self, base, new, extra_args=()):
+        """Run compare_bench.main on two docs; (exit code, stdout)."""
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            new_path = os.path.join(tmp, "new.json")
+            with open(base_path, "w") as fh:
+                json.dump(base, fh)
+            with open(new_path, "w") as fh:
+                json.dump(new, fh)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                code = compare_bench.main(
+                    [base_path, new_path, *extra_args])
+            return code, out.getvalue()
+
+    # -- check_kernel_regressions directionality ----------------------
+
+    def kernel_regressions(self, base_metrics, new_metrics,
+                           min_seconds=2e-5):
+        base_figs = {"micro_kernels": fig("micro_kernels", base_metrics)}
+        new_figs = {"micro_kernels": fig("micro_kernels", new_metrics)}
+        return compare_bench.check_kernel_regressions(
+            "^micro_kernels$", base_figs, new_figs, 0.25, min_seconds)
+
+    def test_seconds_slowdown_is_a_regression(self):
+        got = self.kernel_regressions({"phase_seconds": 1e-3},
+                                      {"phase_seconds": 2e-3})
+        self.assertEqual(len(got), 1)
+        self.assertIn("phase_seconds", got[0])
+
+    def test_seconds_speedup_is_not_a_regression(self):
+        got = self.kernel_regressions({"phase_seconds": 2e-3},
+                                      {"phase_seconds": 1e-3})
+        self.assertEqual(got, [])
+
+    def test_rate_drop_is_a_regression(self):
+        got = self.kernel_regressions({"jobs_per_second": 100.0},
+                                      {"jobs_per_second": 50.0})
+        self.assertEqual(len(got), 1)
+        self.assertIn("jobs_per_second", got[0])
+        self.assertIn("throughput", got[0])
+
+    def test_rate_rise_is_not_a_regression(self):
+        got = self.kernel_regressions({"jobs_per_second": 50.0},
+                                      {"jobs_per_second": 100.0})
+        self.assertEqual(got, [])
+
+    def test_noise_floor_skips_tiny_timings_and_fast_rates(self):
+        # 1 microsecond per op is under the 2e-5 s floor either way it
+        # is expressed, so neither entry may fire however bad the delta.
+        got = self.kernel_regressions(
+            {"spin_seconds": 1e-6, "spins_per_second": 1e6},
+            {"spin_seconds": 9e-6, "spins_per_second": 1e5})
+        self.assertEqual(got, [])
+
+    def test_only_matching_figures_are_checked(self):
+        base_figs = {"fig18": fig("fig18", {"slow_seconds": 1e-3})}
+        new_figs = {"fig18": fig("fig18", {"slow_seconds": 9e-3})}
+        got = compare_bench.check_kernel_regressions(
+            "^micro_kernels$", base_figs, new_figs, 0.25, 2e-5)
+        self.assertEqual(got, [])
+
+    # -- metric classification in the general comparison --------------
+
+    def test_ms_drift_is_timing_not_value_delta(self):
+        flags, time_drift, infos = [], [], []
+        compare_bench.compare_metrics(
+            "svc", fig("svc", {"p99_ms": 10.0}),
+            fig("svc", {"p99_ms": 100.0}), 0.25, 0.5,
+            flags, time_drift, infos)
+        self.assertEqual(flags, [])
+        self.assertEqual(len(time_drift), 1)
+        self.assertIn("p99_ms", time_drift[0])
+
+    def test_value_delta_beyond_tolerance_is_flagged(self):
+        flags, time_drift, infos = [], [], []
+        compare_bench.compare_metrics(
+            "f", fig("f", {"mse": 1.0}), fig("f", {"mse": 2.0}),
+            0.25, 1.0, flags, time_drift, infos)
+        self.assertEqual(len(flags), 1)
+        self.assertEqual(time_drift, [])
+
+    def test_added_and_removed_metrics_are_informational(self):
+        flags, time_drift, infos = [], [], []
+        compare_bench.compare_metrics(
+            "f", fig("f", {"old": 1.0}), fig("f", {"new": 1.0}),
+            0.25, 1.0, flags, time_drift, infos)
+        self.assertEqual(flags, [])
+        self.assertEqual(len(infos), 2)
+
+    # -- end-to-end exit-status contracts ------------------------------
+
+    def base_and_regressed(self):
+        base = doc([fig("micro_kernels", {"phase_seconds": 1e-3})])
+        new = doc([fig("micro_kernels", {"phase_seconds": 2e-3})])
+        return base, new
+
+    def test_default_run_never_fails_on_kernel_regressions(self):
+        base, new = self.base_and_regressed()
+        code, out = self.run_main(
+            base, new, ["--kernel-figures", "^micro_kernels$"])
+        self.assertEqual(code, 0)
+        self.assertIn("kernel regressions", out)
+
+    def test_fail_flag_turns_kernel_regressions_into_exit_1(self):
+        base, new = self.base_and_regressed()
+        code, out = self.run_main(
+            base, new, ["--kernel-figures", "^micro_kernels$",
+                        "--fail-on-kernel-regression", "--annotate"])
+        self.assertEqual(code, 1)
+        self.assertIn("::error title=bench kernel regression::", out)
+
+    def test_fail_flag_passes_without_regressions(self):
+        base, _ = self.base_and_regressed()
+        code, _ = self.run_main(
+            base, base, ["--kernel-figures", "^micro_kernels$",
+                         "--fail-on-kernel-regression"])
+        self.assertEqual(code, 0)
+
+    def test_annotations_stay_warnings_when_not_gating(self):
+        base, new = self.base_and_regressed()
+        code, out = self.run_main(
+            base, new,
+            ["--kernel-figures", "^micro_kernels$", "--annotate"])
+        self.assertEqual(code, 0)
+        self.assertIn("::warning title=bench kernel regression::", out)
+
+    def test_missing_figure_on_either_side_is_informational(self):
+        base = doc([fig("a", {"x": 1.0}), fig("gone", {"x": 1.0})])
+        new = doc([fig("a", {"x": 1.0}), fig("fresh", {"x": 1.0})])
+        code, out = self.run_main(
+            base, new, ["--kernel-figures", ".*", "--strict",
+                        "--fail-on-kernel-regression"])
+        self.assertEqual(code, 0)
+        self.assertIn("gone: figure removed", out)
+        self.assertIn("fresh: figure added", out)
+
+    def test_strict_flags_value_deltas(self):
+        base = doc([fig("f", {"mse": 1.0})])
+        new = doc([fig("f", {"mse": 2.0})])
+        code, _ = self.run_main(base, new, ["--strict"])
+        self.assertEqual(code, 1)
+        code, _ = self.run_main(base, new)
+        self.assertEqual(code, 0)
+
+    def test_series_timing_vs_value_classification(self):
+        base = doc([fig("f", {}, series={"lat_ms": [1.0, 2.0],
+                                         "vals": [1.0, 1.0]})])
+        new = doc([fig("f", {}, series={"lat_ms": [10.0, 20.0],
+                                        "vals": [1.0, 2.0]})])
+        code, out = self.run_main(
+            base, new, ["--strict", "--time-tolerance", "0.5"])
+        self.assertEqual(code, 1)  # vals drifted: a value delta.
+        self.assertIn("lat_ms", out)
+        self.assertIn("vals", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -140,19 +140,34 @@ EvalEngine::drain()
         const QaoaParams *params;
         double *slot;
     };
+    /**
+     * One job's pending points routed through the batched statevector
+     * sweep (point-aware resolution); executed as a single lane-group
+     * batch inside the fan-out.
+     */
+    struct BatchTask
+    {
+        const ExactEvaluator *eval;
+        std::vector<const QaoaParams *> points;
+        std::vector<double *> slots;
+        std::vector<MemoKey> keys;
+        std::vector<double> values; //!< Filled by the fan-out.
+    };
     std::vector<WorkItem> items;
     std::vector<MemoKey> itemKeys; //!< Memo inserts after the fan-out.
-    /** Intra-drain duplicates: (slot, computed-item index) to copy. */
-    std::vector<std::pair<double *, std::size_t>> aliases;
+    std::vector<std::unique_ptr<BatchTask>> batchTasks;
+    /** Intra-drain duplicates: (copy destination, computed slot). */
+    std::vector<std::pair<double *, const double *>> aliases;
     std::vector<JobPtr> deterministicJobs;
     std::vector<JobPtr> trajectoryJobs;
     /** Keeps the shared evaluators alive across the fan-out. */
     std::vector<std::shared_ptr<CutEvaluator>> held;
-    std::map<MemoKey, std::size_t> firstItem;
+    std::map<MemoKey, double *> firstSlot;
     std::uint64_t memoHits = 0;
 
     for (const JobPtr &job : jobs) {
-        EvalBackend kind = resolveBackend(job->spec, job->graph);
+        EvalBackend kind =
+            resolveBackend(job->spec, job->graph, job->params.size());
         if (!deterministicBackend(kind)) {
             trajectoryJobs.push_back(job);
             continue;
@@ -160,6 +175,18 @@ EvalEngine::drain()
         deterministicJobs.push_back(job);
         std::shared_ptr<CutEvaluator> ev =
             cachedEvaluator(job->graph, job->spec, kind);
+        // The batched sweep needs the cut-table access only the exact
+        // evaluator has; a foreign registration falls back to the
+        // per-point path (values are identical either way).
+        const ExactEvaluator *batchedEval =
+            kind == EvalBackend::StatevectorBatched
+                ? dynamic_cast<const ExactEvaluator *>(ev.get())
+                : nullptr;
+        std::unique_ptr<BatchTask> task;
+        if (batchedEval) {
+            task = std::make_unique<BatchTask>();
+            task->eval = batchedEval;
+        }
         std::uint64_t gid = cache_.graphId(job->graph);
         std::string specKey = backendCacheKey(job->spec, kind);
         job->results.resize(job->params.size());
@@ -177,30 +204,47 @@ EvalEngine::drain()
                 ++memoHits;
                 continue;
             }
-            auto [fit, inserted] =
-                firstItem.emplace(std::move(key), items.size());
+            auto [fit, inserted] = firstSlot.emplace(std::move(key), slot);
             if (!inserted) {
                 // Same point twice in this drain: compute once, copy.
                 aliases.emplace_back(slot, fit->second);
                 ++memoHits;
                 continue;
             }
-            items.push_back({ev.get(), &job->params[i], slot});
-            itemKeys.push_back(fit->first);
+            if (task) {
+                task->points.push_back(&job->params[i]);
+                task->slots.push_back(slot);
+                task->keys.push_back(fit->first);
+            } else {
+                items.push_back({ev.get(), &job->params[i], slot});
+                itemKeys.push_back(fit->first);
+            }
         }
+        if (task && !task->points.empty())
+            batchTasks.push_back(std::move(task));
         held.push_back(std::move(ev));
     }
 
     // The cross-job fan-out: every pending point from every job in one
-    // parallelFor. Each point is a pure function written to its own
-    // slot, so values are independent of the thread count, and a
-    // 1-thread pool runs them serially in submission order.
-    parallelFor(items.size(), [&](std::size_t i) {
-        *items[i].slot = items[i].eval->expectation(*items[i].params);
+    // parallelFor — scalar points first, then one index per batched
+    // job, whose lane groups fan out further on the inline nested
+    // pool. Each point is a pure function written to its own slot, so
+    // values are independent of the thread count, and a 1-thread pool
+    // runs them serially in submission order.
+    parallelFor(items.size() + batchTasks.size(), [&](std::size_t i) {
+        if (i < items.size()) {
+            *items[i].slot = items[i].eval->expectation(*items[i].params);
+            return;
+        }
+        BatchTask &task = *batchTasks[i - items.size()];
+        task.values.resize(task.points.size());
+        task.eval->batchExpectationInto(task.points, task.values);
+        for (std::size_t k = 0; k < task.slots.size(); ++k)
+            *task.slots[k] = task.values[k];
     });
 
-    for (const auto &[slot, idx] : aliases)
-        *slot = *items[idx].slot;
+    for (const auto &[dst, src] : aliases)
+        *dst = *src;
     // Publish the deterministic jobs before the (potentially long)
     // noisy batches below, so their waiters wake as soon as the
     // fan-out lands.
@@ -210,6 +254,12 @@ EvalEngine::drain()
         stats_.memoHits += memoHits;
         for (std::size_t i = 0; i < items.size(); ++i)
             pointMemo_.emplace(std::move(itemKeys[i]), *items[i].slot);
+        for (const auto &task : batchTasks) {
+            stats_.evaluated += task->points.size();
+            for (std::size_t k = 0; k < task->keys.size(); ++k)
+                pointMemo_.emplace(std::move(task->keys[k]),
+                                   task->values[k]);
+        }
         for (const JobPtr &job : deterministicJobs)
             job->ready.store(true);
     }

@@ -184,6 +184,11 @@ class EvalEngine
      * Execute every pending job: deterministic points from all jobs
      * (minus memo hits) fan out over the global pool in one shot;
      * trajectory jobs then run as whole batches in submission order.
+     * Jobs the point-aware resolveBackend overload promotes to the
+     * batched statevector backend (Auto specs carrying >=
+     * kBatchedPointsThreshold points on an exact-sized graph) sweep
+     * their points through BatchedStateSet lane groups instead of
+     * per-point tasks — byte-identical values, fewer table passes.
      */
     void drain();
 

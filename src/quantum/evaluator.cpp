@@ -3,6 +3,7 @@
 #include "common/thread_pool.hpp"
 #include "engine/backend_registry.hpp"
 #include "engine/eval_spec.hpp"
+#include "quantum/batched_state.hpp"
 
 namespace redqaoa {
 
@@ -18,6 +19,28 @@ CutEvaluator::batchExpectation(std::span<const QaoaParams> params)
             out[i] = expectation(params[i]);
     }
     return out;
+}
+
+std::vector<double>
+ExactEvaluator::batchExpectation(std::span<const QaoaParams> params)
+{
+    if (params.size() < kBatchedPointsThreshold)
+        return CutEvaluator::batchExpectation(params);
+    std::vector<const QaoaParams *> pts(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i)
+        pts[i] = &params[i];
+    std::vector<double> out(params.size());
+    batchExpectationInto(pts, out);
+    return out;
+}
+
+void
+ExactEvaluator::batchExpectationInto(
+    std::span<const QaoaParams *const> points, std::span<double> out) const
+{
+    const CutTable &table = *sim_.sharedTable();
+    batchedCutExpectations(table.codes, table.maxCode, sim_.numQubits(),
+                           points, out);
 }
 
 std::unique_ptr<CutEvaluator>

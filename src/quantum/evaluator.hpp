@@ -76,6 +76,25 @@ class ExactEvaluator : public CutEvaluator
     int numQubits() const override { return sim_.numQubits(); }
     std::string describe() const override { return "statevector"; }
 
+    /**
+     * Multi-point fast path: at or above kBatchedPointsThreshold
+     * points the batch is swept through BatchedStateSet lane groups
+     * (one pass over the cut table advances kBatchLanes points),
+     * byte-identical to the per-point default at every thread count.
+     * Landscape grids route through here automatically.
+     */
+    std::vector<double>
+    batchExpectation(std::span<const QaoaParams> params) override;
+
+    /**
+     * The batched sweep over non-contiguous points (the engine's
+     * drain holds points scattered across job states). Always takes
+     * the batched path regardless of count; @p out has points.size()
+     * slots. Values are byte-identical to expectation() per point.
+     */
+    void batchExpectationInto(std::span<const QaoaParams *const> points,
+                              std::span<double> out) const;
+
     /** The underlying simulator (artifact-cache identity checks). */
     const QaoaSimulator &simulator() const { return sim_; }
 
@@ -84,6 +103,25 @@ class ExactEvaluator : public CutEvaluator
 
   private:
     QaoaSimulator sim_;
+};
+
+/**
+ * The `statevector_batched` registry backend: an ExactEvaluator whose
+ * construction pins the batched sweep explicitly (the point-aware
+ * resolveBackend overload prefers it for multi-point jobs; see
+ * EvalBackend::StatevectorBatched). Single-point expectation() is the
+ * plain scalar path — the two backends differ only in how batches are
+ * swept, never in values.
+ */
+class BatchedExactEvaluator : public ExactEvaluator
+{
+  public:
+    using ExactEvaluator::ExactEvaluator;
+
+    std::string describe() const override
+    {
+        return "statevector_batched";
+    }
 };
 
 /** Pauli-trajectory noisy backend. */

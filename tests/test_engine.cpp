@@ -102,6 +102,77 @@ TEST(BackendRegistry, DuplicateRegistrationThrows)
                  std::invalid_argument);
 }
 
+TEST(BackendRegistry, PointAwareResolutionPromotesMultiPointJobs)
+{
+    Graph small = smallGraph();
+    Graph large = largeGraph();
+    std::vector<QaoaParams> pts; // Only the count matters here.
+
+    // Auto specs that resolve to the statevector backend promote to
+    // the batched sweep at kBatchedPointsThreshold points, not before.
+    EXPECT_EQ(resolveBackend(EvalSpec::ideal(2), small,
+                             kBatchedPointsThreshold - 1),
+              EvalBackend::Statevector);
+    EXPECT_EQ(resolveBackend(EvalSpec::ideal(2), small,
+                             kBatchedPointsThreshold),
+              EvalBackend::StatevectorBatched);
+    EXPECT_EQ(resolveBackend(EvalSpec::ideal(2), small, 100),
+              EvalBackend::StatevectorBatched);
+
+    // Non-statevector resolutions never promote, whatever the count.
+    EXPECT_EQ(resolveBackend(EvalSpec::ideal(1), large, 100),
+              EvalBackend::AnalyticP1);
+    EXPECT_EQ(resolveBackend(EvalSpec::ideal(2), large, 100),
+              EvalBackend::Lightcone);
+
+    // A pinned backend is a caller decision; the point count cannot
+    // override it.
+    EvalSpec pinned = EvalSpec::ideal(2);
+    pinned.backend = EvalBackend::Statevector;
+    EXPECT_EQ(resolveBackend(pinned, small, 100),
+              EvalBackend::Statevector);
+
+    // The pinned batched backend constructs and labels itself.
+    EvalSpec batched_spec = EvalSpec::ideal(2);
+    batched_spec.backend = EvalBackend::StatevectorBatched;
+    EXPECT_EQ(makeEvaluator(small, batched_spec)->describe(),
+              "statevector_batched");
+    EXPECT_EQ(backendName(EvalBackend::StatevectorBatched),
+              std::string("statevector_batched"));
+}
+
+TEST(EvalEngine, BatchedJobsBitIdenticalToDirectEvaluator)
+{
+    // Multi-point statevector jobs route through the batched sweep in
+    // drain(); values must stay bit-identical to a direct per-point
+    // evaluator at 1 thread AND across pools, memo included.
+    PoolGuard guard;
+    Graph g = smallGraph();
+    Rng prng(88);
+    auto pts = randomParameterSets(2, 12, prng);
+    ASSERT_GE(pts.size(), kBatchedPointsThreshold);
+
+    ExactEvaluator direct(g);
+    std::vector<std::vector<double>> runs;
+    for (int threads : {1, 2, 8}) {
+        ThreadPool::setGlobalThreads(threads);
+        EvalEngine engine;
+        auto got = engine.evaluate(g, EvalSpec::ideal(2), pts);
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            EXPECT_EQ(got[i], direct.expectation(pts[i]))
+                << "threads=" << threads << " i=" << i;
+        // The batched path feeds the same memo: duplicates are served
+        // with identical values and no recomputation.
+        auto again = engine.evaluate(g, EvalSpec::ideal(2), pts);
+        EXPECT_EQ(got, again);
+        EXPECT_EQ(engine.stats().memoHits, pts.size());
+        EXPECT_EQ(engine.stats().evaluated, pts.size());
+        runs.push_back(std::move(got));
+    }
+    for (std::size_t r = 1; r < runs.size(); ++r)
+        EXPECT_EQ(runs[0], runs[r]) << "run " << r;
+}
+
 TEST(EvalEngine, BitIdenticalToDirectAtOneThread)
 {
     PoolGuard guard;

@@ -18,7 +18,9 @@
 #include <cmath>
 
 #include "common/thread_pool.hpp"
+#include "engine/eval_spec.hpp"
 #include "graph/generators.hpp"
+#include "quantum/batched_state.hpp"
 #include "quantum/evaluator.hpp"
 
 namespace redqaoa {
@@ -325,6 +327,150 @@ TEST(KernelThreads, ElementwiseKernelsBitIdenticalAcrossPools)
     }
     EXPECT_EQ(amps[0], amps[1]);
     EXPECT_EQ(amps[1], amps[2]);
+}
+
+// ---------------------------------------------------------------------
+// Batched-point sweeps (BatchedStateSet lane groups). The contract is
+// byte-identity with the point-at-a-time path AT EACH thread count:
+// per lane the batched kernels perform the scalar arithmetic sequence
+// exactly, including the chunked-reduction shape above the parallel
+// threshold.
+// ---------------------------------------------------------------------
+
+/** Restore automatic kernel selection when a test returns. */
+class KernelGuard
+{
+  public:
+    ~KernelGuard() { batched::forceKernels(nullptr); }
+};
+
+std::vector<double>
+batchedValues(const Graph &g, const std::vector<QaoaParams> &pts)
+{
+    CutTable table = makeCutTable(g);
+    std::vector<const QaoaParams *> ptrs;
+    ptrs.reserve(pts.size());
+    for (const QaoaParams &p : pts)
+        ptrs.push_back(&p);
+    std::vector<double> out(pts.size());
+    batchedCutExpectations(table.codes, table.maxCode, g.numNodes(),
+                           ptrs, out);
+    return out;
+}
+
+/** Mixed-depth point set: full lane groups plus a padded partial one. */
+std::vector<QaoaParams>
+mixedDepthPoints(Rng &rng, std::size_t p1_count, std::size_t p3_count)
+{
+    std::vector<QaoaParams> pts;
+    for (std::size_t i = 0; i < p1_count; ++i)
+        pts.emplace_back(std::vector<double>{rng.uniform(-1.5, 1.5)},
+                         std::vector<double>{rng.uniform(-1.5, 1.5)});
+    for (std::size_t i = 0; i < p3_count; ++i)
+        pts.emplace_back(std::vector<double>{rng.uniform(-1.5, 1.5),
+                                             rng.uniform(-1.5, 1.5),
+                                             rng.uniform(-1.5, 1.5)},
+                         std::vector<double>{rng.uniform(-1.5, 1.5),
+                                             rng.uniform(-1.5, 1.5),
+                                             rng.uniform(-1.5, 1.5)});
+    return pts;
+}
+
+TEST(BatchedKernels, GoldenAndBitIdenticalToScalarPath)
+{
+    ThreadGuard guard;
+    KernelGuard kernels;
+    ThreadPool::setGlobalThreads(1);
+    Rng rng(3);
+    Graph g = gen::connectedGnp(10, 0.4, rng);
+    ASSERT_EQ(g.numEdges(), 18);
+
+    // The golden points lead the batch; the rest fill out full and
+    // partial lane groups at both depths.
+    Rng prng(123);
+    std::vector<QaoaParams> pts = mixedDepthPoints(prng, 9, 4);
+    pts[0] = QaoaParams({0.8}, {0.4});
+    pts[9] = QaoaParams({0.8, 0.5, 0.3}, {0.4, 0.2, 0.1});
+
+    ExactEvaluator direct(g);
+    for (const batched::KernelOps *ops :
+         {&batched::scalarKernels(), batched::avx2Kernels()}) {
+        if (!ops)
+            GTEST_SKIP() << "AVX2 kernels unavailable on this build/CPU";
+        batched::forceKernels(ops);
+        std::vector<double> got = batchedValues(g, pts);
+        EXPECT_NEAR(got[0], 10.986896769608293, kGolden) << ops->name;
+        EXPECT_NEAR(got[9], 11.243914612497715, kGolden) << ops->name;
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            EXPECT_EQ(got[i], direct.expectation(pts[i]))
+                << ops->name << " point " << i;
+    }
+}
+
+TEST(BatchedKernels, ByteIdenticalAcrossPoolsOnLargeState)
+{
+    // n = 16 crosses the intra-state parallel threshold, so the batched
+    // sweep must mirror the chunked reduction: at EVERY thread count
+    // the batched value equals the point-at-a-time value computed at
+    // that same thread count, bit for bit.
+    ThreadGuard guard;
+    Rng rng(77);
+    Graph g = gen::connectedGnp(16, 0.25, rng);
+    Rng prng(321);
+    std::vector<QaoaParams> pts = mixedDepthPoints(prng, 6, 5);
+
+    std::vector<std::vector<double>> multi;
+    for (int threads : {1, 2, 8}) {
+        ThreadPool::setGlobalThreads(threads);
+        std::vector<double> got = batchedValues(g, pts);
+        QaoaSimulator sim(g);
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            EXPECT_EQ(got[i], sim.expectation(pts[i]))
+                << "threads=" << threads << " point " << i;
+        if (threads >= 2)
+            multi.push_back(std::move(got));
+    }
+    // And the multi-thread pools agree among themselves exactly.
+    EXPECT_EQ(multi[0], multi[1]);
+}
+
+TEST(BatchedKernels, EvaluatorBatchRoutesThroughLanes)
+{
+    ThreadGuard guard;
+    ThreadPool::setGlobalThreads(1);
+    Rng rng(21);
+    Graph g = gen::connectedGnp(9, 0.4, rng);
+    Rng prng(555);
+
+    ExactEvaluator eval(g);
+    ExactEvaluator direct(g);
+    // At or above the threshold the batch sweeps through lane groups;
+    // below it the per-point default runs. Both are bit-identical to
+    // point-at-a-time expectation, so the switch is invisible.
+    for (std::size_t count : {kBatchedPointsThreshold - 1,
+                              kBatchedPointsThreshold,
+                              kBatchedPointsThreshold + 5}) {
+        std::vector<QaoaParams> pts = mixedDepthPoints(prng, count, 0);
+        std::vector<double> got = eval.batchExpectation(pts);
+        ASSERT_EQ(got.size(), pts.size());
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            EXPECT_EQ(got[i], direct.expectation(pts[i]))
+                << "count=" << count << " point " << i;
+    }
+}
+
+TEST(BatchedKernels, EnvOverrideAndForcePinSelection)
+{
+    KernelGuard kernels;
+    // forceKernels pins; nullptr restores the automatic policy.
+    batched::forceKernels(&batched::scalarKernels());
+    EXPECT_STREQ(batched::activeKernels().name, "scalar");
+    batched::forceKernels(nullptr);
+    const batched::KernelOps &active = batched::activeKernels();
+    if (batched::avx2Kernels())
+        EXPECT_STREQ(active.name, "avx2");
+    else
+        EXPECT_STREQ(active.name, "scalar");
 }
 
 } // namespace
