@@ -4,8 +4,8 @@
  * TCP endpoint through the typed C++ ServiceClient — probe the
  * server's capabilities with hello, evaluate a small landscape batch,
  * distill a graph, optimize parameters, run one full pipeline, launch
- * a miniature fleet, read the traffic counters, and (optionally) ask
- * the server to shut down.
+ * a miniature fleet, read the traffic counters, probe liveness with
+ * health, and (optionally) ask the server to shut down.
  *
  * Usage: ./example_service_client <port> [--shutdown]
  *
@@ -157,6 +157,16 @@ main(int argc, char **argv)
                     engine->find("graphs")->asNumber(),
                     engine->find("memo_hit_rate")->asNumber(),
                     server->find("latency")->find("p99_ms")->asNumber());
+
+        // 7. health — the inline liveness probe (works even when the
+        // admission queues are full, which is the whole point).
+        json::Value health = client.call("health");
+        std::printf("health   : %s, pid %.0f, %.0f in flight, up"
+                    " %.1f s\n",
+                    health.find("status")->asString().c_str(),
+                    health.find("pid")->asNumber(),
+                    health.find("in_flight")->asNumber(),
+                    health.find("uptime_seconds")->asNumber());
 
         if (shutdown) {
             client.shutdown();

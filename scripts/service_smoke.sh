@@ -43,6 +43,7 @@ this is not json
 {"id": 7, "method": "optimize", "params": {"graph": {"nodes": 4, "edges": [[0,1],[1,2],[2,3],[3,0]]}, "restarts": 1, "max_evaluations": 10, "seed": 1}}
 {"id": 8, "method": "pipeline", "params": {"graph": {"nodes": 6, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,0],[0,3]]}, "options": {"restarts": 1, "search_evaluations": 6, "refine_evaluations": 3, "trajectories": 2, "noise": "ibmq_kolkata"}, "rng_seed": 2}}
 {"id": 9, "method": "fleet", "params": {"graphs": [{"name": "ring", "graph": {"nodes": 5, "edges": [[0,1],[1,2],[2,3],[3,4],[4,0]]}}], "depths": [1], "options": {"restarts": 1, "search_evaluations": 4, "refine_evaluations": 2}, "seed0": 3}}
+{"id": 10, "method": "health"}
 EOF
 "$SERVE" --stdio < "$workdir/requests.ndjson" > "$workdir/responses.ndjson"
 
@@ -50,7 +51,7 @@ python3 - "$workdir/responses.ndjson" <<'EOF'
 import json, sys
 
 lines = [l for l in open(sys.argv[1]).read().splitlines() if l.strip()]
-assert len(lines) == 9, f"expected 9 response lines, got {len(lines)}"
+assert len(lines) == 10, f"expected 10 response lines, got {len(lines)}"
 docs = [json.loads(l) for l in lines]
 for doc in docs:
     assert doc["schema_version"] == 1, doc
@@ -78,8 +79,15 @@ assert pipe["ok"] and pipe["result"]["flow"] == "red-qaoa" \
 fleet = by_id[9]
 assert fleet["ok"] and fleet["result"]["tool"] == "redqaoa_fleet" \
     and len(fleet["result"]["runs"]) == 1, fleet
+# Health is answered inline at admission time, while earlier stdio
+# requests are still in flight — so only shape and status are stable.
+health = by_id[10]
+assert health["ok"] and health["result"]["status"] == "ok" \
+    and health["result"]["pid"] > 0 \
+    and health["result"]["in_flight"] >= 0 \
+    and len(health["result"]["queue_depths"]) == 1, health
 print(f"stdio transport OK: {len(docs)} well-formed responses,"
-      " all six methods answered")
+      " all seven methods answered")
 EOF
 
 echo "== service smoke: TCP transport + example client =="
@@ -176,6 +184,15 @@ assert sum(s["points"] for s in shards) == engine["points"], stats
 v1 = call({"id": 4, "method": "stats"})
 assert v1["schema_version"] == 1 and "route" not in v1, v1
 assert "shards" not in v1["result"], v1
+
+# The liveness probe: answered inline, one queue depth per shard, and
+# nothing in flight on a synchronous connection.
+health = call({"id": 6, "method": "health", "schema_version": 2})
+assert health["ok"], health
+h = health["result"]
+assert h["status"] == "ok" and h["pid"] > 0, h
+assert h["shards"] == 4 and len(h["queue_depths"]) == 4, h
+assert h["in_flight"] == 0 and h["uptime_seconds"] >= 0, h
 
 bye = call({"id": 5, "method": "shutdown", "schema_version": 2})
 assert bye["ok"] and bye["result"]["stopping"], bye

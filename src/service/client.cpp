@@ -2,14 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <random>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include "service/socket_util.hpp"
@@ -92,29 +89,95 @@ ServiceClient::~ServiceClient() = default;
 
 namespace {
 
-/** One connect(2) attempt; -1 with errno set on failure. */
-int
-connectOnce(int port)
+/**
+ * Transport-level failure (connection lost, torn response): distinct
+ * from ServiceError so call()'s retry loop knows a reconnect must
+ * precede the replay. Still a std::runtime_error, so callers outside
+ * the retry loop see the documented exception type.
+ */
+class TransportError : public std::runtime_error
 {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0)
-        throw std::runtime_error("ServiceClient: socket() failed");
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof addr) != 0) {
-        ::close(fd);
-        return -1;
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The jitter RNG seed opts pins (nonzero) or a fresh random one. */
+std::uint64_t
+resolveBackoffSeed(const ConnectOptions &opts)
+{
+    if (opts.backoffSeed != 0)
+        return opts.backoffSeed;
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+}
+
+/** One backoff sleep duration: @p base_ms scaled into [0.5, 1.5). */
+double
+jitteredMs(double base_ms, bool jitter, Rng &rng)
+{
+    if (base_ms <= 0.0)
+        return 0.0;
+    // The uniform() draw happens even when jitter is off, so a pinned
+    // seed yields the same downstream sequence either way.
+    const double factor = 0.5 + rng.uniform();
+    return jitter ? base_ms * factor : base_ms;
+}
+
+/**
+ * Dial 127.0.0.1:opts.port with up to opts.maxAttempts jittered
+ * bounded-backoff attempts (drawing sleeps from @p rng). Throws
+ * std::runtime_error when every attempt fails.
+ */
+int
+dial(const ConnectOptions &opts, Rng &rng)
+{
+    const int attempts = opts.maxAttempts < 1 ? 1 : opts.maxAttempts;
+    double backoff_ms = opts.backoffInitialMs;
+    for (int attempt = 0;; ++attempt) {
+        int fd = detail::connectLoopback(opts.port);
+        if (fd >= 0)
+            return fd;
+        if (attempt + 1 >= attempts)
+            break;
+        const double sleep_ms =
+            jitteredMs(backoff_ms, opts.backoffJitter, rng);
+        if (sleep_ms > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(sleep_ms));
+        backoff_ms = std::min(backoff_ms * 2.0, opts.backoffMaxMs);
     }
-    // One small request line per round trip: never batch behind Nagle.
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    return fd;
+    throw std::runtime_error(
+        "ServiceClient: cannot connect to 127.0.0.1:" +
+        std::to_string(opts.port) + " after " +
+        std::to_string(attempts) + " attempt(s)");
 }
 
 } // namespace
+
+bool
+ServiceClient::retryableCode(ServiceErrorCode code)
+{
+    // Overloaded is the protocol's explicit "try again later";
+    // WorkerFailed is the lb reporting a dead backend whose request is
+    // safe to replay. Everything else (invalid params, deadline,
+    // shutting_down, internal) will fail identically on a retry.
+    return code == ServiceErrorCode::Overloaded ||
+           code == ServiceErrorCode::WorkerFailed;
+}
+
+std::vector<double>
+ServiceClient::connectBackoffSchedule(const ConnectOptions &opts,
+                                      int count)
+{
+    std::vector<double> out;
+    Rng rng(resolveBackoffSeed(opts));
+    double backoff_ms = opts.backoffInitialMs;
+    for (int i = 0; i < count; ++i) {
+        out.push_back(jitteredMs(backoff_ms, opts.backoffJitter, rng));
+        backoff_ms = std::min(backoff_ms * 2.0, opts.backoffMaxMs);
+    }
+    return out;
+}
 
 ServiceClient
 ServiceClient::connect(const ConnectOptions &opts)
@@ -124,37 +187,34 @@ ServiceClient::connect(const ConnectOptions &opts)
         throw std::runtime_error(
             "ServiceClient: unsupported schema version " +
             std::to_string(opts.schemaVersion));
-    const int attempts = opts.maxAttempts < 1 ? 1 : opts.maxAttempts;
-    double backoff_ms = opts.backoffInitialMs;
-    for (int attempt = 0;; ++attempt) {
-        int fd = connectOnce(opts.port);
-        if (fd >= 0) {
-            ServiceClient client(fd);
-            client.schemaVersion_ = opts.schemaVersion;
-            return client;
-        }
-        if (attempt + 1 >= attempts)
-            break;
-        if (backoff_ms > 0.0)
-            std::this_thread::sleep_for(
-                std::chrono::duration<double, std::milli>(backoff_ms));
-        backoff_ms = std::min(backoff_ms * 2.0, opts.backoffMaxMs);
-    }
-    throw std::runtime_error(
-        "ServiceClient: cannot connect to 127.0.0.1:" +
-        std::to_string(opts.port) + " after " +
-        std::to_string(attempts) + " attempt(s)");
+    detail::ignoreSigpipe();
+    Rng rng(resolveBackoffSeed(opts));
+    ServiceClient client(dial(opts, rng));
+    client.schemaVersion_ = opts.schemaVersion;
+    client.opts_ = opts;
+    client.canReconnect_ = true;
+    client.rng_ = rng;
+    return client;
 }
 
 ServiceClient
 ServiceClient::connect(int port)
 {
-    int fd = connectOnce(port);
+    detail::ignoreSigpipe();
+    int fd = detail::connectLoopback(port);
     if (fd < 0)
         throw std::runtime_error(
             "ServiceClient: cannot connect to 127.0.0.1:" +
             std::to_string(port));
     return ServiceClient(fd); // schemaVersion_ stays 1 (PR 5 bytes).
+}
+
+void
+ServiceClient::reconnect()
+{
+    io_.reset(); // Close the dead fd before dialing a fresh one.
+    io_ = std::make_unique<Io>(dial(opts_, rng_));
+    ++reconnects_;
 }
 
 void
@@ -180,23 +240,23 @@ std::string
 ServiceClient::rawExchange(const std::string &line)
 {
     if (!detail::writeLine(io_->fd, line))
-        throw std::runtime_error("ServiceClient: connection lost on send");
+        throw TransportError("ServiceClient: connection lost on send");
     std::string response;
     if (!io_->reader.readLine(response))
-        throw std::runtime_error(
+        throw TransportError(
             "ServiceClient: connection closed before a response");
     return response;
 }
 
 json::Value
-ServiceClient::call(const std::string &method, json::Value params,
-                    double deadline_ms)
+ServiceClient::callOnce(const std::string &method,
+                        const json::Value &params, double deadline_ms)
 {
     std::uint64_t id = nextId_++;
     json::Value doc = json::Value::object();
     doc["id"] = static_cast<std::size_t>(id);
     doc["method"] = method;
-    doc["params"] = std::move(params);
+    doc["params"] = params;
     if (deadline_ms > 0.0)
         doc["deadline_ms"] = deadline_ms;
     if (schemaVersion_ != kSchemaVersion)
@@ -214,6 +274,51 @@ ServiceClient::call(const std::string &method, json::Value params,
     if (!response.ok)
         throw ServiceError(response.errorCode, response.errorMessage);
     return response.result;
+}
+
+json::Value
+ServiceClient::call(const std::string &method, json::Value params,
+                    double deadline_ms)
+{
+    using ClockMs = std::chrono::duration<double, std::milli>;
+    const auto start = std::chrono::steady_clock::now();
+    const int max_retries =
+        canReconnect_ && opts_.maxRetries > 0 ? opts_.maxRetries : 0;
+    double backoff_ms = opts_.retryBackoffInitialMs;
+
+    for (int attempt = 0;; ++attempt) {
+        // Budget check shared by both failure kinds: when the elapsed
+        // time plus the pending sleep would exceed the budget, the
+        // caught failure is rethrown instead of retried.
+        auto withinBudget = [&] {
+            if (opts_.retryBudgetMs <= 0.0)
+                return true;
+            const double elapsed_ms =
+                ClockMs(std::chrono::steady_clock::now() - start)
+                    .count();
+            return elapsed_ms + backoff_ms <= opts_.retryBudgetMs;
+        };
+        bool needReconnect = false;
+        try {
+            return callOnce(method, params, deadline_ms);
+        } catch (const ServiceError &e) {
+            if (attempt >= max_retries || !retryableCode(e.code()) ||
+                !withinBudget())
+                throw;
+        } catch (const TransportError &) {
+            if (attempt >= max_retries || !withinBudget())
+                throw;
+            needReconnect = true;
+        }
+        ++retriesIssued_;
+        const double sleep_ms =
+            jitteredMs(backoff_ms, opts_.backoffJitter, rng_);
+        if (sleep_ms > 0.0)
+            std::this_thread::sleep_for(ClockMs(sleep_ms));
+        backoff_ms = std::min(backoff_ms * 2.0, opts_.retryBackoffMaxMs);
+        if (needReconnect)
+            reconnect(); // Throws when redialing fails: unrecoverable.
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -1,10 +1,15 @@
 /**
  * @file
  * ServiceClient: the C++ side of the wire. Connects to a redqaoa_serve
- * TCP endpoint (with optional bounded-backoff retry), frames requests
- * as protocol lines, matches responses by id, and re-throws typed
- * error responses as ServiceError — so a caller sees exactly the
- * taxonomy the server emitted.
+ * or redqaoa_lb TCP endpoint (with jittered bounded-backoff connect
+ * retry), frames requests as protocol lines, matches responses by id,
+ * and re-throws typed error responses as ServiceError — so a caller
+ * sees exactly the taxonomy the server emitted. With maxRetries > 0,
+ * call() additionally retries RETRYABLE failures — `overloaded`,
+ * `worker_failed`, and transport resets (after a reconnect) — under a
+ * jittered exponential backoff and an optional wall-clock budget;
+ * retrying is safe because responses are pure functions of request
+ * content (see README "Fault tolerance" for the full contract).
  *
  * The primary API is typed: per-method request structs (EvaluateRequest,
  * ReduceRequest, OptimizeRequest, PipelineRequest) carry domain types
@@ -32,12 +37,13 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "service/protocol.hpp"
 
 namespace redqaoa {
 namespace service {
 
-/** Connection parameters for ServiceClient::connect. */
+/** Connection + retry parameters for ServiceClient::connect. */
 struct ConnectOptions
 {
     int port = 0;
@@ -47,8 +53,44 @@ struct ConnectOptions
     double backoffInitialMs = 10.0;
     /** Backoff ceiling. */
     double backoffMaxMs = 500.0;
+    /**
+     * Multiply every backoff sleep (connect AND per-call retry) by a
+     * uniform factor in [0.5, 1.5), so a fleet of clients bounced at
+     * the same instant fans back out instead of stampeding in phase.
+     */
+    bool backoffJitter = true;
+    /**
+     * Jitter RNG seed. 0 (the default) draws a fresh seed per
+     * connect; any other value pins the whole backoff schedule —
+     * connectBackoffSchedule() then predicts every sleep, which is
+     * how tests assert the jitter without measuring wall clock.
+     */
+    std::uint64_t backoffSeed = 0;
     /** Protocol version stamped on requests (1 or 2). */
     int schemaVersion = kSchemaVersionV2;
+
+    // --- Per-call retry policy (call() and every typed wrapper) ------
+    /**
+     * Extra attempts after the first on RETRYABLE failures: the typed
+     * `overloaded` and `worker_failed` errors (same connection), and
+     * transport failures — connection reset, torn response frame —
+     * which reconnect first. 0 = fail fast (the pre-fault-tolerance
+     * behavior). Retrying is safe BECAUSE the protocol's responses
+     * are pure functions of request content (the bit-identity
+     * contract): replaying a request that may or may not have
+     * executed cannot change any observable result.
+     */
+    int maxRetries = 0;
+    /** Sleep before the 2nd attempt; doubles per retry, jittered. */
+    double retryBackoffInitialMs = 20.0;
+    /** Per-call retry backoff ceiling. */
+    double retryBackoffMaxMs = 1000.0;
+    /**
+     * Wall-clock budget across ONE call's attempts (ms; 0 = none):
+     * when the elapsed time plus the pending backoff would exceed it,
+     * the last failure is rethrown instead of retried.
+     */
+    double retryBudgetMs = 0.0;
 };
 
 /** The server's `hello` capability document, decoded. */
@@ -161,11 +203,15 @@ class ServiceClient
     ~ServiceClient();
 
     /**
-     * Issue one request and wait for its response. Returns the result
-     * payload on ok; throws ServiceError carrying the server's typed
-     * code on an error response, std::runtime_error on transport
-     * failures (connection dropped, malformed response, id mismatch).
-     * @p deadline_ms > 0 attaches a per-request deadline.
+     * Issue one request and wait for its response, retrying per the
+     * ConnectOptions retry policy (maxRetries > 0): `overloaded` /
+     * `worker_failed` responses are retried on the same connection,
+     * transport failures reconnect first, every retry sends a FRESH
+     * request id after a jittered exponential backoff. Returns the
+     * result payload on ok; throws ServiceError carrying the server's
+     * typed code on a non-retryable (or budget-exhausted) error
+     * response, std::runtime_error on unrecoverable transport
+     * failures. @p deadline_ms > 0 attaches a per-request deadline.
      */
     json::Value call(const std::string &method, json::Value params,
                      double deadline_ms = 0.0);
@@ -209,6 +255,24 @@ class ServiceClient
      */
     bool lastRoute(RouteInfo &out) const;
 
+    /** True for the codes call() retries (overloaded, worker_failed). */
+    static bool retryableCode(ServiceErrorCode code);
+
+    /**
+     * The first @p count backoff sleeps (ms) connect() will use for
+     * @p opts — the jittered schedule, deterministic for a nonzero
+     * backoffSeed. Tests pin the jitter through this instead of
+     * timing sleeps.
+     */
+    static std::vector<double>
+    connectBackoffSchedule(const ConnectOptions &opts, int count);
+
+    /** Cumulative retry attempts call() has issued (observability). */
+    std::uint64_t retriesIssued() const { return retriesIssued_; }
+
+    /** Cumulative reconnects after transport failures. */
+    std::uint64_t reconnects() const { return reconnects_; }
+
     // --- Deprecated PR 5 call signatures (thin wrappers) -------------
 
     /** evaluate: <H_c> at every point. */
@@ -220,12 +284,23 @@ class ServiceClient
   private:
     explicit ServiceClient(int fd);
 
+    /** One attempt: send, await, decode; throws on any failure. */
+    json::Value callOnce(const std::string &method,
+                         const json::Value &params, double deadline_ms);
+    /** Tear down io_ and redial per opts_ (transport-failure path). */
+    void reconnect();
+
     struct Io; //!< fd + buffered line reader.
     std::unique_ptr<Io> io_;
     std::uint64_t nextId_ = 1;
     int schemaVersion_ = kSchemaVersion;
     bool hasLastRoute_ = false;
     RouteInfo lastRoute_;
+    ConnectOptions opts_;       //!< Valid when canReconnect_.
+    bool canReconnect_ = false; //!< connect(ConnectOptions) clients.
+    Rng rng_{1};                //!< Backoff jitter stream.
+    std::uint64_t retriesIssued_ = 0;
+    std::uint64_t reconnects_ = 0;
 };
 
 } // namespace service

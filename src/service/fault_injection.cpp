@@ -1,0 +1,271 @@
+#include "service/fault_injection.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace redqaoa {
+namespace service {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::None:
+        return "none";
+    case FaultKind::Reset:
+        return "reset";
+    case FaultKind::Delay:
+        return "delay";
+    case FaultKind::Truncate:
+        return "truncate";
+    case FaultKind::Abort:
+        return "abort";
+    case FaultKind::Overload:
+        return "overload";
+    }
+    return "none";
+}
+
+namespace {
+
+[[noreturn]] void
+badSpec(const std::string &entry, const std::string &why)
+{
+    throw std::invalid_argument("REDQAOA_FAULTS entry '" + entry +
+                                "': " + why);
+}
+
+std::string
+stripSpace(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            out += c;
+    return out;
+}
+
+std::uint64_t
+parseCount(const std::string &entry, const std::string &text)
+{
+    if (text.empty())
+        badSpec(entry, "missing request count");
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || v < 1)
+        badSpec(entry, "request count must be a positive integer");
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+parseNumber(const std::string &entry, const std::string &text,
+            const char *what)
+{
+    if (text.empty())
+        badSpec(entry, std::string("missing ") + what);
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        badSpec(entry, std::string("bad ") + what + " '" + text + "'");
+    return v;
+}
+
+/** "reset" / "delay:50" -> kind + delay argument. */
+void
+parseKind(const std::string &entry, const std::string &text,
+          FaultKind &kind, double &delay_ms)
+{
+    std::string name = text;
+    std::string arg;
+    std::size_t colon = text.find(':');
+    if (colon != std::string::npos) {
+        name = text.substr(0, colon);
+        arg = text.substr(colon + 1);
+    }
+    if (name == "reset")
+        kind = FaultKind::Reset;
+    else if (name == "delay")
+        kind = FaultKind::Delay;
+    else if (name == "truncate")
+        kind = FaultKind::Truncate;
+    else if (name == "abort")
+        kind = FaultKind::Abort;
+    else if (name == "overload")
+        kind = FaultKind::Overload;
+    else
+        badSpec(entry, "unknown fault kind '" + name + "'");
+    if (kind == FaultKind::Delay) {
+        delay_ms = parseNumber(entry, arg, "delay milliseconds");
+        if (!(delay_ms >= 0.0))
+            badSpec(entry, "delay milliseconds must be >= 0");
+    } else if (!arg.empty()) {
+        badSpec(entry, "only delay takes a ':<ms>' argument");
+    }
+}
+
+} // namespace
+
+void
+FaultPlane::configure(const std::string &spec)
+{
+    const std::string clean = stripSpace(spec);
+    std::vector<Rule> rules;
+    std::uint64_t seed = 1;
+
+    std::size_t pos = 0;
+    while (pos <= clean.size()) {
+        std::size_t semi = clean.find(';', pos);
+        if (semi == std::string::npos)
+            semi = clean.size();
+        std::string entry = clean.substr(pos, semi - pos);
+        pos = semi + 1;
+        if (entry.empty())
+            continue;
+
+        if (entry.rfind("seed=", 0) == 0) {
+            std::string text = entry.substr(5);
+            char *end = nullptr;
+            unsigned long long v =
+                std::strtoull(text.c_str(), &end, 10);
+            if (text.empty() || end != text.c_str() + text.size())
+                badSpec(entry, "seed must be an unsigned integer");
+            seed = static_cast<std::uint64_t>(v);
+            continue;
+        }
+
+        Rule rule;
+        std::size_t at = entry.find('@');
+        std::size_t tilde = entry.find('~');
+        if (at != std::string::npos) {
+            parseKind(entry, entry.substr(0, at), rule.kind,
+                      rule.delayMs);
+            std::string trigger = entry.substr(at + 1);
+            std::size_t slash = trigger.find('/');
+            if (slash != std::string::npos) {
+                rule.countPeriod =
+                    parseCount(entry, trigger.substr(slash + 1));
+                trigger = trigger.substr(0, slash);
+            }
+            rule.countAt = parseCount(entry, trigger);
+        } else if (tilde != std::string::npos) {
+            parseKind(entry, entry.substr(0, tilde), rule.kind,
+                      rule.delayMs);
+            rule.probability =
+                parseNumber(entry, entry.substr(tilde + 1),
+                            "probability");
+            if (!(rule.probability > 0.0 && rule.probability <= 1.0))
+                badSpec(entry, "probability must be in (0, 1]");
+        } else {
+            badSpec(entry,
+                    "expected '<kind>@<count>[/<period>]' or"
+                    " '<kind>~<probability>'");
+        }
+        rules.push_back(rule);
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_ = std::move(rules);
+    spec_ = clean;
+    rng_.reseed(seed);
+    requests_ = 0;
+    injectedTotal_ = 0;
+    for (std::uint64_t &count : injectedByKind_)
+        count = 0;
+    enabled_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+bool
+FaultPlane::methodEligible(const std::string &method)
+{
+    return method != "health" && method != "hello" &&
+           method != "shutdown";
+}
+
+FaultAction
+FaultPlane::onRequest()
+{
+    if (!enabled())
+        return {};
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t seq = ++requests_;
+    for (const Rule &rule : rules_) {
+        bool fire = false;
+        if (rule.countAt > 0) {
+            if (rule.countPeriod > 0)
+                fire = seq >= rule.countAt &&
+                       (seq - rule.countAt) % rule.countPeriod == 0;
+            else
+                fire = seq == rule.countAt;
+        } else {
+            fire = rng_.uniform() < rule.probability;
+        }
+        if (fire) {
+            ++injectedTotal_;
+            ++injectedByKind_[static_cast<int>(rule.kind)];
+            return {rule.kind, rule.delayMs};
+        }
+    }
+    return {};
+}
+
+std::uint64_t
+FaultPlane::requestCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return requests_;
+}
+
+std::uint64_t
+FaultPlane::injectedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return injectedTotal_;
+}
+
+std::uint64_t
+FaultPlane::injectedCount(FaultKind kind) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return injectedByKind_[static_cast<int>(kind)];
+}
+
+json::Value
+FaultPlane::statsJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value doc = json::Value::object();
+    doc["enabled"] = !rules_.empty();
+    doc["spec"] = spec_;
+    doc["requests"] = static_cast<std::size_t>(requests_);
+    json::Value injected = json::Value::object();
+    injected["total"] = static_cast<std::size_t>(injectedTotal_);
+    for (FaultKind kind :
+         {FaultKind::Reset, FaultKind::Delay, FaultKind::Truncate,
+          FaultKind::Abort, FaultKind::Overload})
+        injected[faultKindName(kind)] = static_cast<std::size_t>(
+            injectedByKind_[static_cast<int>(kind)]);
+    doc["injected"] = std::move(injected);
+    return doc;
+}
+
+FaultPlane &
+FaultPlane::global()
+{
+    // Leaked on purpose: transports may consult the plane from
+    // threads that outlive main(), so it must never be destroyed.
+    static FaultPlane *plane = [] {
+        auto *p = new FaultPlane();
+        // A bad env spec must fail loudly at startup (configure
+        // throws), not be silently ignored while "chaos" runs clean.
+        const char *env = std::getenv("REDQAOA_FAULTS");
+        if (env && *env)
+            p->configure(env);
+        return p;
+    }();
+    return *plane;
+}
+
+} // namespace service
+} // namespace redqaoa

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the service stack. A
+ * FaultPlane holds a parsed schedule of faults to inject at specific
+ * request counts (or with a seeded per-request probability) and is
+ * consulted by the TCP transport once per eligible request. Every
+ * chaos test — the gtest chaos sections and scripts/chaos_smoke.sh —
+ * drives its failures through this one mechanism, so the failure
+ * modes the fleet must survive are reproduced deterministically in CI
+ * instead of discovered in production.
+ *
+ * Schedule grammar (env REDQAOA_FAULTS or --faults; entries separated
+ * by ';', whitespace ignored):
+ *
+ *   seed=<u64>            RNG seed for probabilistic rules (default 1)
+ *   <kind>@<n>            fire once, at the n-th eligible request
+ *   <kind>@<n>/<period>   fire at n, n+period, n+2*period, ...
+ *   <kind>~<p>            fire with probability p per request (seeded)
+ *
+ * with <kind> one of
+ *
+ *   reset       close the connection with a pending RST (SO_LINGER 0)
+ *   delay:<ms>  hold the response back for <ms> milliseconds
+ *   truncate    write half of the response bytes, then reset-close
+ *   abort       _Exit(kFaultAbortExitStatus) — a crashed worker
+ *   overload    answer the typed `overloaded` bounce without executing
+ *
+ * Example: "seed=7;overload@3;reset@10/40;delay:50@25;abort@100"
+ *
+ * Eligibility: the transport consults the plane once per parsed
+ * request whose method is NOT health / hello / shutdown — liveness
+ * probes must never perturb the schedule (worker kill counts would
+ * otherwise depend on supervisor probe timing) and must keep working
+ * under chaos. Rules are checked in schedule order; the first match
+ * wins.
+ *
+ * Determinism contract (pinned by tests/test_fault_injection.cpp):
+ * two planes configured with the same spec return the same action
+ * sequence for the same request sequence, and a disabled plane is
+ * bitwise inert — enabled() is one relaxed atomic load and no other
+ * state is touched.
+ */
+
+#ifndef REDQAOA_SERVICE_FAULT_INJECTION_HPP
+#define REDQAOA_SERVICE_FAULT_INJECTION_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+
+namespace redqaoa {
+namespace service {
+
+/** Exit status of a fault-injected worker abort (chaos scripts match it). */
+inline constexpr int kFaultAbortExitStatus = 70;
+
+enum class FaultKind
+{
+    None,     //!< No fault for this request.
+    Reset,    //!< Hard-close the connection (RST).
+    Delay,    //!< Hold the response back for delayMs.
+    Truncate, //!< Emit a truncated response frame, then reset.
+    Abort,    //!< Kill the process (crashed-worker simulation).
+    Overload, //!< Answer the typed `overloaded` bounce.
+};
+
+/** Wire/debug name of @p kind ("reset", "delay", ...). */
+const char *faultKindName(FaultKind kind);
+
+struct FaultAction
+{
+    FaultKind kind = FaultKind::None;
+    double delayMs = 0.0; //!< Valid for FaultKind::Delay.
+};
+
+class FaultPlane
+{
+  public:
+    /** A disabled plane: every onRequest() is None, zero overhead. */
+    FaultPlane() = default;
+
+    /** configure(@p spec) immediately. */
+    explicit FaultPlane(const std::string &spec) { configure(spec); }
+
+    FaultPlane(const FaultPlane &) = delete;
+    FaultPlane &operator=(const FaultPlane &) = delete;
+
+    /**
+     * Parse @p spec and arm the plane (an empty spec disarms it).
+     * Throws std::invalid_argument on grammar errors; the plane is
+     * unchanged when the spec does not parse. Resets the request
+     * counter and reseeds the probabilistic stream, so re-configuring
+     * with the same spec replays the same schedule.
+     */
+    void configure(const std::string &spec);
+
+    /** True when a non-empty schedule is armed (one relaxed load). */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Account one eligible request and return the fault to inject for
+     * it (None almost always). Thread-safe; the caller sequences
+     * requests (one transport loop per listener), so the count order —
+     * and with it the whole schedule — is deterministic for a
+     * deterministic request order.
+     */
+    FaultAction onRequest();
+
+    /** True when @p method may have faults injected (not a probe). */
+    static bool methodEligible(const std::string &method);
+
+    /** Eligible requests seen since configure(). */
+    std::uint64_t requestCount() const;
+
+    /** Faults injected since configure(), total and per kind. */
+    std::uint64_t injectedCount() const;
+    std::uint64_t injectedCount(FaultKind kind) const;
+
+    /**
+     * {"enabled": ..., "spec": ..., "requests": N, "injected":
+     *  {"total": N, "reset": N, ...}} — surfaced by the lb health
+     * document so chaos runs can assert injection actually happened.
+     */
+    json::Value statsJson() const;
+
+    /**
+     * The process-wide plane, configured once from REDQAOA_FAULTS on
+     * first use (empty/absent = disabled). The serve/lb binaries pass
+     * it to their listeners; a --faults flag reconfigures it.
+     */
+    static FaultPlane &global();
+
+  private:
+    struct Rule
+    {
+        FaultKind kind = FaultKind::None;
+        double delayMs = 0.0;
+        // Count trigger: at countAt, then every countPeriod (0 = once).
+        std::uint64_t countAt = 0;
+        std::uint64_t countPeriod = 0;
+        // Probability trigger (countAt == 0 marks a ~p rule).
+        double probability = 0.0;
+    };
+
+    mutable std::mutex mutex_;
+    std::atomic<bool> enabled_{false};
+    std::string spec_;
+    std::vector<Rule> rules_;
+    Rng rng_{1};
+    std::uint64_t requests_ = 0;
+    std::uint64_t injectedTotal_ = 0;
+    std::uint64_t injectedByKind_[6] = {};
+};
+
+} // namespace service
+} // namespace redqaoa
+
+#endif // REDQAOA_SERVICE_FAULT_INJECTION_HPP

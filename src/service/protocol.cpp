@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "engine/artifact_cache.hpp"
 #include "quantum/noise.hpp"
 
 namespace redqaoa {
@@ -65,6 +66,8 @@ errorCodeName(ServiceErrorCode code)
         return "overloaded";
     case ServiceErrorCode::ShuttingDown:
         return "shutting_down";
+    case ServiceErrorCode::WorkerFailed:
+        return "worker_failed";
     case ServiceErrorCode::Internal:
         return "internal_error";
     }
@@ -78,7 +81,8 @@ errorCodeFromName(const std::string &name)
          {ServiceErrorCode::ParseError, ServiceErrorCode::InvalidRequest,
           ServiceErrorCode::UnknownMethod, ServiceErrorCode::InvalidParams,
           ServiceErrorCode::DeadlineExceeded, ServiceErrorCode::Overloaded,
-          ServiceErrorCode::ShuttingDown, ServiceErrorCode::Internal})
+          ServiceErrorCode::ShuttingDown, ServiceErrorCode::WorkerFailed,
+          ServiceErrorCode::Internal})
         if (name == errorCodeName(code))
             return code;
     throw std::invalid_argument("unknown service error code: " + name);
@@ -138,6 +142,33 @@ parseRequest(const std::string &line)
         req.schemaVersion = static_cast<int>(version->asNumber());
     }
     return req;
+}
+
+bool
+requestRouteHash(const Request &req, std::uint64_t &hash)
+{
+    const json::Value *graph =
+        req.params.isObject() ? req.params.find("graph") : nullptr;
+    if (!graph) {
+        // fleet requests name a list; the first entry anchors the
+        // whole request so its rows stay a pure function of the
+        // request content on one worker/shard.
+        const json::Value *graphs =
+            req.params.isObject() ? req.params.find("graphs") : nullptr;
+        if (graphs && graphs->isArray() && graphs->size() > 0) {
+            const json::Value &first = graphs->asArray().front();
+            if (first.isObject())
+                graph = first.find("graph");
+        }
+    }
+    if (!graph)
+        return false;
+    try {
+        hash = graphStructureHash(graphFromJson(*graph));
+        return true;
+    } catch (...) {
+        return false; // Invalid graphs are the handler's error to report.
+    }
 }
 
 json::Value

@@ -51,6 +51,7 @@
 #define REDQAOA_SERVICE_PROTOCOL_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -86,6 +87,8 @@ enum class ServiceErrorCode
     DeadlineExceeded, //!< deadline_ms expired before execution began.
     Overloaded,       //!< Admission queue full (backpressure signal).
     ShuttingDown,     //!< Server is stopping; request not executed.
+    WorkerFailed,     //!< A backend worker died and the request could
+                      //!< not be replayed (lb front; retry is safe).
     Internal,         //!< Unexpected failure while executing.
 };
 
@@ -137,6 +140,16 @@ Request parseRequest(const std::string &line);
  * a scalar id member, null otherwise.
  */
 json::Value salvageRequestId(const std::string &line);
+
+/**
+ * Structure hash of the graph @p req names (graphStructureHash of
+ * params.graph, or of the first params.graphs[] entry for fleet
+ * requests), written to @p hash. False when the request names no
+ * parseable graph. THE routing key of both the server's shard
+ * placement and the lb front's worker placement — one implementation
+ * so a graph's lb worker and its in-worker shard stay consistent.
+ */
+bool requestRouteHash(const Request &req, std::uint64_t &hash);
 
 /**
  * Per-request routing metadata echoed in v2 responses: which engine

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -141,28 +143,12 @@ ServiceServer::routeShard(const Request &req) const
 {
     if (engines_->shardCount() == 1)
         return 0;
-    // evaluate/reduce/optimize/pipeline name one graph; fleet names a
-    // list (the first entry anchors the whole request so its rows stay
-    // a pure function of the request content on one shard).
-    const json::Value *graph =
-        req.params.isObject() ? req.params.find("graph") : nullptr;
-    if (!graph) {
-        const json::Value *graphs =
-            req.params.isObject() ? req.params.find("graphs") : nullptr;
-        if (graphs && graphs->isArray() && graphs->size() > 0) {
-            const json::Value &first = graphs->asArray().front();
-            if (first.isObject())
-                graph = first.find("graph");
-        }
-    }
-    if (!graph)
-        return 0; // Graph-free methods (stats, hello, ...) home on 0.
-    try {
-        return static_cast<int>(
-            engines_->shardFor(graphFromJson(*graph)));
-    } catch (...) {
-        return 0; // Invalid graphs are the handler's error to report.
-    }
+    // requestRouteHash is THE routing key, shared with the lb front:
+    // graph-free methods (stats, hello, ...) home on shard 0.
+    std::uint64_t hash = 0;
+    if (!requestRouteHash(req, hash))
+        return 0;
+    return static_cast<int>(engines_->shardForHash(hash));
 }
 
 void
@@ -183,6 +169,23 @@ ServiceServer::submitLine(std::string line, ResponseCallback done)
         // Envelope rejections still echo a determinable id, so
         // pipelined clients can correlate the error.
         done(makeErrorLine(salvageRequestId(line), e.code(), e.what()));
+        return;
+    }
+
+    if (req.method == "health") {
+        // Answered inline, before admission: `health` is a liveness
+        // probe of the process and transport, and must keep working
+        // when every shard queue is full or the server is draining.
+        const RouteInfo route{0, 0.0};
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.received;
+            ++stats_.served;
+            ++stats_.okCount;
+            ++stats_.methodCounts["health"];
+        }
+        done(makeResultLine(req.id, healthResult(), req.schemaVersion,
+                            &route));
         return;
     }
 
@@ -316,12 +319,33 @@ ServiceServer::helloResult() const
     doc["max_line_bytes"] = kMaxLineBytes;
     std::vector<std::string> methods = ServiceRouter::methodNames();
     methods.push_back("hello");
+    methods.push_back("health");
     methods.push_back("shutdown");
     std::sort(methods.begin(), methods.end());
     json::Value names = json::Value::array();
     for (const std::string &name : methods)
         names.push(json::Value(name));
     doc["methods"] = std::move(names);
+    return doc;
+}
+
+json::Value
+ServiceServer::healthResult() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value doc = json::Value::object();
+    doc["status"] = stopping_ ? "stopping" : "ok";
+    doc["uptime_seconds"] =
+        std::chrono::duration<double>(Clock::now() - startTime_).count();
+    doc["pid"] = static_cast<std::size_t>(::getpid());
+    doc["shards"] = engines_->shardCount();
+    json::Value depths = json::Value::array();
+    for (const auto &shard : shards_)
+        depths.push(json::Value(shard->queue.size()));
+    doc["queue_depths"] = std::move(depths);
+    doc["in_flight"] =
+        static_cast<std::size_t>(stats_.admitted - completedAdmitted_);
+    doc["served"] = static_cast<std::size_t>(stats_.served);
     return doc;
 }
 
@@ -349,6 +373,7 @@ ServiceServer::respond(PendingRequest &pending, std::string line,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.served;
+        ++completedAdmitted_; // respond() answers admitted work only.
         if (ok)
             ++stats_.okCount;
         else
@@ -551,9 +576,14 @@ millisSince(std::chrono::steady_clock::time_point then,
 
 } // namespace
 
-TcpServiceListener::TcpServiceListener(ServiceServer &server, int port)
-    : server_(server), channel_(std::make_shared<ResponseChannel>())
+TcpServiceListener::TcpServiceListener(LineService &service, int port,
+                                       FaultPlane *faults)
+    : server_(service), faults_(faults),
+      channel_(std::make_shared<ResponseChannel>())
 {
+    // Fault injection (linger-0 resets, truncated frames) and vanishing
+    // peers both make EPIPE an expected condition on every write path.
+    detail::ignoreSigpipe();
     listenFd_ = ::socket(AF_INET,
                          SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
     if (listenFd_ < 0)
@@ -748,12 +778,61 @@ TcpServiceListener::acceptReady()
 void
 TcpServiceListener::submitOn(Conn &conn, std::string line)
 {
+    FaultAction fault;
+    if (faults_ != nullptr && faults_->enabled()) {
+        // Armed plane only: the line is parsed here solely to keep
+        // supervision probes (health/hello/shutdown) from advancing
+        // the deterministic fault schedule.
+        std::string method;
+        json::Value id;
+        try {
+            Request req = parseRequest(line);
+            method = req.method;
+            id = req.id;
+        } catch (...) {
+            // Unparseable lines are eligible (empty method).
+        }
+        if (FaultPlane::methodEligible(method))
+            fault = faults_->onRequest();
+        switch (fault.kind) {
+        case FaultKind::Abort:
+            // A worker crash, faithfully: no flush, no destructors —
+            // just a nonzero wait status for the supervisor.
+            std::_Exit(kFaultAbortExitStatus);
+        case FaultKind::Reset:
+            // Never admitted: a reset peer cannot know whether the
+            // server saw the request, which is exactly the ambiguity
+            // the client's idempotent retry must absorb.
+            conn.resetPending = true;
+            conn.discardInput = true;
+            return;
+        case FaultKind::Overload: {
+            auto bounce = std::make_shared<Slot>();
+            bounce->conn = conn.id;
+            bounce->line = makeErrorLine(
+                id, ServiceErrorCode::Overloaded,
+                "injected overload (fault plane); retry later");
+            bounce->ready.store(true, std::memory_order_release);
+            conn.slots.push_back(std::move(bounce));
+            return;
+        }
+        default:
+            break; // Delay/Truncate ride along with the real response.
+        }
+    }
+
     auto slot = std::make_shared<Slot>();
     slot->conn = conn.id;
+    slot->truncate = fault.kind == FaultKind::Truncate;
     conn.slots.push_back(slot);
     std::shared_ptr<ResponseChannel> channel = channel_;
+    const int delay_ms = fault.kind == FaultKind::Delay ? fault.delayMs : 0;
     server_.submitLine(
-        std::move(line), [channel, slot](std::string response) {
+        std::move(line),
+        [channel, slot, delay_ms](std::string response) {
+            if (delay_ms > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay_ms));
             slot->line = std::move(response);
             slot->ready.store(true, std::memory_order_release);
             std::lock_guard<std::mutex> lock(channel->mutex);
@@ -802,6 +881,13 @@ TcpServiceListener::handleReadable(Conn &conn)
                 if (line.empty())
                     continue; // Blank lines are keep-alive no-ops.
                 submitOn(conn, std::move(line));
+                if (conn.discardInput || conn.resetPending) {
+                    // An injected reset poisons the stream mid-chunk;
+                    // later lines on this connection are never seen.
+                    conn.inBuf.clear();
+                    pos = 0;
+                    break;
+                }
             }
             if (oversize) {
                 // The stream cannot be resynchronized after an
@@ -841,11 +927,21 @@ TcpServiceListener::handleReadable(Conn &conn)
 bool
 TcpServiceListener::flushConn(Conn &conn)
 {
-    while (!conn.slots.empty() &&
+    while (!conn.resetPending && !conn.slots.empty() &&
            conn.slots.front()->ready.load(std::memory_order_acquire)) {
-        conn.outBuf += conn.slots.front()->line;
-        conn.outBuf += '\n';
+        std::shared_ptr<Slot> slot = std::move(conn.slots.front());
         conn.slots.pop_front();
+        if (slot->truncate) {
+            // Injected torn frame: half the line, no newline, then a
+            // linger-0 close once those bytes hit the wire. The client
+            // sees a partial response followed by ECONNRESET.
+            conn.outBuf.append(slot->line, 0, slot->line.size() / 2);
+            conn.resetPending = true;
+            conn.discardInput = true;
+            break;
+        }
+        conn.outBuf += slot->line;
+        conn.outBuf += '\n';
     }
     while (conn.outPos < conn.outBuf.size()) {
         ssize_t n = ::send(conn.fd, conn.outBuf.data() + conn.outPos,
@@ -871,6 +967,10 @@ TcpServiceListener::flushConn(Conn &conn)
     } else if (conn.outPos > (64u << 10)) {
         conn.outBuf.erase(0, conn.outPos); // Compact a long tail once.
         conn.outPos = 0;
+    }
+    if (conn.resetPending && conn.outPos >= conn.outBuf.size()) {
+        resetConn(conn);
+        return false;
     }
     if ((conn.peerClosed || conn.discardInput || draining_) &&
         conn.slots.empty() && conn.outPos >= conn.outBuf.size()) {
@@ -911,6 +1011,19 @@ TcpServiceListener::closeConn(Conn &conn)
     ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
     ::close(fd);
     conns_.erase(id);
+}
+
+void
+TcpServiceListener::resetConn(Conn &conn)
+{
+    // SO_LINGER {on, 0}: close() sends RST instead of FIN, so the peer
+    // observes ECONNRESET — the real failure shape of a dead worker,
+    // not a polite shutdown.
+    struct linger lg;
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(conn.fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    closeConn(conn);
 }
 
 void

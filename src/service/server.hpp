@@ -30,7 +30,14 @@
  * `hello` (capability handshake: schema versions, shard count, queue
  * bounds, connection bounds, max line length), `stats` (aggregate
  * engine counters + per-shard blocks in v2 + server traffic), and
- * `shutdown`.
+ * `shutdown`. A fourth, `health`, is answered INLINE from submitLine
+ * — before admission, never queued — so it stays a true liveness
+ * probe of the process and transport even when every shard queue is
+ * full: a worker that cannot answer `health` promptly is dead or
+ * wedged, not busy. Its document (uptime, per-shard queue depths,
+ * in-flight count) is built from the same counters the `stats` path
+ * reports, so redqaoa_lb's supervisor and external probes share one
+ * implementation.
  *
  * Transports frame the same NDJSON protocol over different byte
  * streams:
@@ -72,6 +79,7 @@
 #include <vector>
 
 #include "engine/engine_shard_set.hpp"
+#include "service/fault_injection.hpp"
 #include "service/router.hpp"
 
 namespace redqaoa {
@@ -152,7 +160,31 @@ struct ServerOptions
  */
 using ResponseCallback = std::function<void(std::string)>;
 
-class ServiceServer
+/**
+ * What a transport needs from whatever answers request lines: exactly
+ * one response line per submitted line, plus the connection-policy
+ * options. ServiceServer implements it over local engine shards;
+ * WorkerFleetService (supervisor.hpp) implements it by proxying to a
+ * supervised redqaoa_serve fleet — both front the SAME epoll
+ * TcpServiceListener.
+ */
+class LineService
+{
+  public:
+    virtual ~LineService() = default;
+
+    /**
+     * Admit one raw request line; @p done receives exactly one
+     * response line. Must never throw; immediate rejections invoke
+     * @p done inline before returning.
+     */
+    virtual void submitLine(std::string line, ResponseCallback done) = 0;
+
+    /** Connection policy (maxConnections, idleTimeoutMs). */
+    virtual const ServerOptions &options() const = 0;
+};
+
+class ServiceServer : public LineService
 {
   public:
     /**
@@ -171,10 +203,11 @@ class ServiceServer
     /**
      * Admit one raw request line; @p done receives the response line.
      * NEVER throws and never blocks on execution — envelope errors, a
-     * full shard queue (`overloaded`), and a stopping server
-     * (`shutting_down`) invoke @p done inline before returning.
+     * full shard queue (`overloaded`), a stopping server
+     * (`shutting_down`), and `health` probes invoke @p done inline
+     * before returning.
      */
-    void submitLine(std::string line, ResponseCallback done);
+    void submitLine(std::string line, ResponseCallback done) override;
 
     /** submitLine returning a future (stdio transport, simple callers). */
     std::future<std::string> submitLine(std::string line);
@@ -201,7 +234,7 @@ class ServiceServer
     ServerStats stats() const;
 
     /** Effective options (shards reflects the actual shard set). */
-    const ServerOptions &options() const { return opts_; }
+    const ServerOptions &options() const override { return opts_; }
 
     EngineShardSet &engines() { return *engines_; }
 
@@ -210,6 +243,14 @@ class ServiceServer
 
     /** The `hello` capability document (also served on the wire). */
     json::Value helloResult() const;
+
+    /**
+     * The `health` liveness document, built from the same counters the
+     * stats path reports: {"status": "ok"|"stopping",
+     * "uptime_seconds", "pid", "shards", "queue_depths": [per shard],
+     * "in_flight" (admitted, not yet answered), "served"}.
+     */
+    json::Value healthResult() const;
 
   private:
     using Clock = std::chrono::steady_clock;
@@ -253,6 +294,10 @@ class ServiceServer
     mutable std::mutex mutex_; //!< Guards stats_, stopping_, queues.
     std::condition_variable stopped_;  //!< waitShutdownFor waiters.
     ServerStats stats_;
+    /** Admitted requests answered (executed/expired/shed); the health
+     *  in-flight count is admitted minus this. */
+    std::uint64_t completedAdmitted_ = 0;
+    Clock::time_point startTime_ = Clock::now();
     bool stopping_ = false;
 };
 
@@ -284,12 +329,22 @@ std::size_t serveStream(ServiceServer &server, std::istream &in,
  * in-flight responses are flushed (bounded by a drain grace period),
  * then every connection closes and the loop joins. It does NOT stop
  * the ServiceServer — stop the listener first, then the server.
+ *
+ * The listener fronts any LineService: a local ServiceServer
+ * (redqaoa_serve) or the supervised worker fleet (redqaoa_lb). When a
+ * FaultPlane is attached and armed, each parsed, fault-eligible
+ * request consults it and the scheduled faults are injected AT THE
+ * TRANSPORT: `overloaded` bounces, response delays, linger-0
+ * connection resets, truncated response frames, and process aborts —
+ * exactly the failures the retry/failover machinery must survive.
+ * With no plane (or a disarmed one) the request path is unchanged.
  */
 class TcpServiceListener
 {
   public:
     /** Throws std::runtime_error when the socket cannot be bound. */
-    TcpServiceListener(ServiceServer &server, int port = 0);
+    TcpServiceListener(LineService &service, int port = 0,
+                       FaultPlane *faults = nullptr);
     ~TcpServiceListener();
 
     TcpServiceListener(const TcpServiceListener &) = delete;
@@ -315,6 +370,7 @@ class TcpServiceListener
         std::atomic<bool> ready{false};
         std::string line;
         std::uint64_t conn = 0;
+        bool truncate = false; //!< Fault: emit half the line, reset.
     };
 
     /**
@@ -340,6 +396,8 @@ class TcpServiceListener
         Clock::time_point lastActivity;
         bool discardInput = false; //!< Oversize/drain: stop submitting.
         bool peerClosed = false;   //!< EOF seen; close once drained.
+        bool resetPending = false; //!< Fault: linger-0 close once the
+                                   //!< flushed prefix is on the wire.
         std::uint32_t registeredEvents = 0; //!< Current epoll interest.
     };
 
@@ -352,10 +410,13 @@ class TcpServiceListener
     void submitOn(Conn &conn, std::string line);
     void updateEvents(Conn &conn);
     void closeConn(Conn &conn);
+    /** closeConn with SO_LINGER 0: the peer sees ECONNRESET. */
+    void resetConn(Conn &conn);
     void sweepIdle();
     void beginDrain();
 
-    ServiceServer &server_;
+    LineService &server_;
+    FaultPlane *faults_ = nullptr;
     int listenFd_ = -1;
     int epollFd_ = -1;
     int wakeFd_ = -1;

@@ -1,19 +1,36 @@
 /**
  * @file
- * Tiny POSIX socket helpers shared by the TCP transport (server.cpp)
- * and the client library (client.cpp): full-buffer writes that survive
- * partial send() returns, and a buffered newline-delimited reader. No
- * public API surface — the service protocol is line-based, and these
- * are the only two operations it needs from a byte stream.
+ * Tiny POSIX socket helpers shared by the TCP transport (server.cpp),
+ * the client library (client.cpp), and the worker supervisor
+ * (supervisor.cpp): full-buffer writes that survive partial send()
+ * returns and EINTR, a buffered newline-delimited reader, an
+ * EINTR-correct loopback connect (with optional timeout), and a
+ * process-wide SIGPIPE ignore. No public API surface — the service
+ * protocol is line-based, and these are the only operations it needs
+ * from a byte stream.
+ *
+ * Every syscall site here retries EINTR (including connect(2), whose
+ * EINTR semantics are the subtle one: the connection completes
+ * asynchronously and must be awaited with poll + SO_ERROR, not
+ * re-issued), and every writer assumes SIGPIPE is ignored — call
+ * ignoreSigpipe() before the first send so a vanished peer surfaces
+ * as EPIPE instead of killing the process.
  */
 
 #ifndef REDQAOA_SERVICE_SOCKET_UTIL_HPP
 #define REDQAOA_SERVICE_SOCKET_UTIL_HPP
 
 #include <cerrno>
+#include <csignal>
 #include <cstddef>
 #include <string>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "service/protocol.hpp" // kMaxLineBytes
@@ -21,6 +38,24 @@
 namespace redqaoa {
 namespace service {
 namespace detail {
+
+/**
+ * Ignore SIGPIPE process-wide (idempotent, thread-safe since C++11
+ * static init). Both binaries call it at startup; the client library
+ * and the TCP listener call it too, so a program that only links the
+ * library never relies on MSG_NOSIGNAL-style luck on its write paths.
+ */
+inline void
+ignoreSigpipe()
+{
+    static const bool done = [] {
+        struct sigaction sa = {};
+        sa.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &sa, nullptr);
+        return true;
+    }();
+    (void)done;
+}
 
 /** write() the whole buffer; false on error/peer close. */
 inline bool
@@ -39,6 +74,77 @@ writeAll(int fd, const char *data, std::size_t size)
         size -= static_cast<std::size_t>(n);
     }
     return true;
+}
+
+/**
+ * Blocking connect to 127.0.0.1:@p port; -1 with errno set on
+ * failure. @p timeout_ms >= 0 bounds the attempt (ETIMEDOUT on
+ * expiry); -1 waits indefinitely. EINTR-correct: an interrupted
+ * connect is awaited via poll + SO_ERROR (re-issuing connect after
+ * EINTR is EADDRINUSE/EALREADY roulette). The returned fd is
+ * blocking, close-on-exec, and TCP_NODELAY (one request line per
+ * round trip must never batch behind Nagle).
+ */
+inline int
+connectLoopback(int port, int timeout_ms = -1)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (timeout_ms >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+    int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    if (rc != 0 && errno != EINTR && errno != EINPROGRESS) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+    if (rc != 0) {
+        // EINTR or EINPROGRESS: the handshake continues in the
+        // background; completion (or failure) is a POLLOUT event.
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        for (;;) {
+            int p = ::poll(&pfd, 1, timeout_ms);
+            if (p < 0 && errno == EINTR)
+                continue;
+            if (p == 0) {
+                ::close(fd);
+                errno = ETIMEDOUT;
+                return -1;
+            }
+            if (p < 0) {
+                int saved = errno;
+                ::close(fd);
+                errno = saved;
+                return -1;
+            }
+            break;
+        }
+        int err = 0;
+        socklen_t len = sizeof err;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+            err != 0) {
+            ::close(fd);
+            errno = err != 0 ? err : EIO;
+            return -1;
+        }
+    }
+    if (timeout_ms >= 0)
+        ::fcntl(fd, F_SETFL, flags);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
 }
 
 /** writeAll of @p line plus the protocol's terminating newline. */

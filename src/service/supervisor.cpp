@@ -1,0 +1,862 @@
+#include "service/supervisor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char **environ;
+
+namespace redqaoa {
+namespace service {
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point then,
+            std::chrono::steady_clock::time_point now)
+{
+    return std::chrono::duration<double, std::milli>(now - then).count();
+}
+
+/** Human-readable waitpid status ("exit 70", "signal 9"). */
+std::string
+describeExit(int status)
+{
+    if (WIFEXITED(status))
+        return "exit " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return "signal " + std::to_string(WTERMSIG(status));
+    return "status " + std::to_string(status);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// WorkerSupervisor
+// ---------------------------------------------------------------------
+
+WorkerSupervisor::WorkerSupervisor(SupervisorOptions opts)
+    : opts_(std::move(opts))
+{
+    if (opts_.workers < 1)
+        throw std::invalid_argument(
+            "WorkerSupervisor: workers must be >= 1");
+    if (opts_.serveBinary.empty())
+        throw std::invalid_argument(
+            "WorkerSupervisor: serveBinary is required");
+    detail::ignoreSigpipe();
+
+    if (opts_.portFileDir.empty()) {
+        char tmpl[] = "/tmp/redqaoa_lb.XXXXXX";
+        if (::mkdtemp(tmpl) == nullptr)
+            throw std::runtime_error(
+                "WorkerSupervisor: mkdtemp failed");
+        portDir_ = tmpl;
+        ownsPortDir_ = true;
+    } else {
+        portDir_ = opts_.portFileDir;
+    }
+
+    workers_.resize(opts_.workers);
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+        workers_[i].portFile =
+            portDir_ + "/worker" + std::to_string(i) + ".port";
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    bool all_up = true;
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+        if (!spawnLocked(lock, i)) {
+            all_up = false;
+            break;
+        }
+    lock.unlock();
+    if (!all_up) {
+        stop();
+        throw std::runtime_error(
+            "WorkerSupervisor: a worker failed to start (binary: " +
+            opts_.serveBinary + ")");
+    }
+    monitor_ = std::thread([this] { monitorLoop(); });
+}
+
+WorkerSupervisor::~WorkerSupervisor()
+{
+    stop();
+}
+
+bool
+WorkerSupervisor::spawnLocked(std::unique_lock<std::mutex> &lock,
+                              std::size_t index)
+{
+    Worker &w = workers_[index];
+    ::unlink(w.portFile.c_str());
+
+    // argv: serveBinary --tcp --port 0 --port-file F [workerArgs...]
+    //       [--faults SPEC]
+    std::vector<std::string> args;
+    args.push_back(opts_.serveBinary);
+    args.push_back("--tcp");
+    args.push_back("--port");
+    args.push_back("0");
+    args.push_back("--port-file");
+    args.push_back(w.portFile);
+    for (const std::string &extra : opts_.workerArgs)
+        args.push_back(extra);
+    if (!opts_.workerFaults.empty()) {
+        args.push_back("--faults");
+        args.push_back(opts_.workerFaults);
+    }
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &arg : args)
+        argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    // Scrubbed environment: the lb's own fault schedule must not leak
+    // into children (worker faults arrive explicitly via --faults).
+    std::vector<std::string> env;
+    for (char **e = environ; e != nullptr && *e != nullptr; ++e)
+        if (std::strncmp(*e, "REDQAOA_FAULTS=", 15) != 0)
+            env.emplace_back(*e);
+    std::vector<char *> envp;
+    envp.reserve(env.size() + 1);
+    for (std::string &e : env)
+        envp.push_back(e.data());
+    envp.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        return false;
+    if (pid == 0) {
+        // Child: only async-signal-safe calls between fork and exec.
+        ::execve(argv[0], argv.data(), envp.data());
+        std::_Exit(127); // exec failed; the parent sees exit 127.
+    }
+
+    w.pid = pid;
+    w.up = false;
+    w.misses = 0;
+    w.suspect = false;
+    ++w.generation;
+
+    // Await the port-file handshake without holding the lock (other
+    // lanes keep serving while this one boots).
+    const std::string port_file = w.portFile;
+    const double timeout_ms = opts_.startTimeoutMs;
+    lock.unlock();
+    int port = 0;
+    const Clock::time_point started = Clock::now();
+    for (;;) {
+        {
+            std::ifstream in(port_file);
+            if (in.good() && (in >> port) && port > 0)
+                break;
+        }
+        port = 0;
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid) {
+            std::fprintf(stderr,
+                         "redqaoa_lb: worker %zu died during startup"
+                         " (%s)\n",
+                         index, describeExit(status).c_str());
+            lock.lock();
+            w.pid = -1;
+            return false;
+        }
+        if (millisSince(started, Clock::now()) > timeout_ms) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, nullptr, 0);
+            lock.lock();
+            w.pid = -1;
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    lock.lock();
+    w.port = port;
+    w.up = true;
+    w.backoffMs = 0.0;
+    std::fprintf(stderr,
+                 "redqaoa_lb: worker %zu up (pid %d, port %d,"
+                 " generation %llu)\n",
+                 index, static_cast<int>(pid), port,
+                 static_cast<unsigned long long>(w.generation));
+    return true;
+}
+
+bool
+WorkerSupervisor::probeHealth(int port) const
+{
+    const int timeout_ms =
+        std::max(1, static_cast<int>(opts_.probeTimeoutMs));
+    int fd = detail::connectLoopback(port, timeout_ms);
+    if (fd < 0)
+        return false;
+    timeval tv;
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    bool ok = false;
+    if (detail::writeLine(fd,
+                          "{\"id\": 0, \"method\": \"health\"}")) {
+        detail::FdLineReader reader(fd);
+        std::string line;
+        if (reader.readLine(line)) {
+            try {
+                Response resp = parseResponse(line);
+                ok = resp.ok;
+            } catch (...) {
+                ok = false;
+            }
+        }
+    }
+    ::close(fd);
+    return ok;
+}
+
+void
+WorkerSupervisor::markDownLocked(Worker &w, int exit_status)
+{
+    w.up = false;
+    w.pid = -1;
+    w.misses = 0;
+    w.suspect = false;
+    w.lastExitStatus = exit_status;
+    ++w.restarts;
+    ++totalRestarts_;
+    if (w.restarts > opts_.maxRestarts) {
+        w.failed = true;
+        std::fprintf(stderr,
+                     "redqaoa_lb: worker lane permanently failed after"
+                     " %d restarts\n",
+                     w.restarts - 1);
+        return;
+    }
+    w.backoffMs = w.backoffMs <= 0.0
+                      ? opts_.restartBackoffInitialMs
+                      : std::min(w.backoffMs * 2.0,
+                                 opts_.restartBackoffMaxMs);
+    w.restartAt = Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          w.backoffMs));
+}
+
+void
+WorkerSupervisor::monitorLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        wake_.wait_for(lock,
+                       std::chrono::duration<double, std::milli>(
+                           opts_.probeIntervalMs),
+                       [&] {
+                           if (stopping_)
+                               return true;
+                           for (const Worker &w : workers_)
+                               if (w.suspect)
+                                   return true;
+                           return false;
+                       });
+        if (stopping_)
+            return;
+
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            Worker &w = workers_[i];
+            if (w.failed)
+                continue;
+
+            if (w.up) {
+                // Exit/crash detection first: waitpid is cheap and
+                // authoritative.
+                int status = 0;
+                pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+                if (r == w.pid) {
+                    std::fprintf(
+                        stderr,
+                        "redqaoa_lb: worker %zu died (%s);"
+                        " restarting\n",
+                        i, describeExit(status).c_str());
+                    markDownLocked(w, status);
+                    continue;
+                }
+
+                // Wedge detection: probe without the lock (a probe
+                // can take probeTimeoutMs).
+                const bool was_suspect = w.suspect;
+                w.suspect = false;
+                const int port = w.port;
+                const std::uint64_t generation = w.generation;
+                lock.unlock();
+                const bool healthy = probeHealth(port);
+                lock.lock();
+                if (w.generation != generation || !w.up)
+                    continue; // Lane changed underneath the probe.
+                if (healthy) {
+                    w.misses = 0;
+                    continue;
+                }
+                ++w.misses;
+                if (w.misses < opts_.probeMisses && !was_suspect)
+                    continue;
+                // Wedged (or a fleet-reported failure confirmed by a
+                // failing probe): kill and reap, then restart.
+                std::fprintf(stderr,
+                             "redqaoa_lb: worker %zu unresponsive"
+                             " (%d missed probes); killing\n",
+                             i, w.misses);
+                ::kill(w.pid, SIGKILL);
+                int kill_status = 0;
+                ::waitpid(w.pid, &kill_status, 0);
+                markDownLocked(w, kill_status);
+                continue;
+            }
+
+            // Down: restart once the backoff lapses.
+            if (Clock::now() < w.restartAt)
+                continue;
+            if (!spawnLocked(lock, i)) {
+                markDownLocked(w, 0);
+                continue;
+            }
+        }
+    }
+}
+
+void
+WorkerSupervisor::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            // Second caller: workers are already reaped below.
+        }
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    if (monitor_.joinable())
+        monitor_.join();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Polite first: SIGTERM, a short grace, then SIGKILL stragglers.
+    for (Worker &w : workers_)
+        if (w.pid > 0)
+            ::kill(w.pid, SIGTERM);
+    const Clock::time_point grace_end =
+        Clock::now() + std::chrono::milliseconds(2000);
+    for (Worker &w : workers_) {
+        if (w.pid <= 0)
+            continue;
+        for (;;) {
+            int status = 0;
+            pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+            if (r == w.pid)
+                break;
+            if (Clock::now() >= grace_end) {
+                ::kill(w.pid, SIGKILL);
+                ::waitpid(w.pid, nullptr, 0);
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        w.pid = -1;
+        w.up = false;
+    }
+    if (ownsPortDir_) {
+        for (const Worker &w : workers_)
+            ::unlink(w.portFile.c_str());
+        ::rmdir(portDir_.c_str());
+        ownsPortDir_ = false;
+    }
+}
+
+std::size_t
+WorkerSupervisor::workerCount() const
+{
+    return workers_.size(); // Immutable after construction.
+}
+
+LaneState
+WorkerSupervisor::endpoint(std::size_t index, WorkerEndpoint &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Worker &w = workers_.at(index);
+    if (w.failed)
+        return LaneState::Failed;
+    if (!w.up)
+        return LaneState::Restarting;
+    out.port = w.port;
+    out.generation = w.generation;
+    return LaneState::Up;
+}
+
+void
+WorkerSupervisor::reportFailure(std::size_t index,
+                                std::uint64_t generation)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Worker &w = workers_.at(index);
+        if (!w.up || w.generation != generation)
+            return; // Stale report: that generation is already gone.
+        w.suspect = true;
+    }
+    wake_.notify_all();
+}
+
+json::Value
+WorkerSupervisor::statusJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value out = json::Value::array();
+    for (const Worker &w : workers_) {
+        json::Value doc = json::Value::object();
+        doc["state"] = w.failed ? "failed"
+                       : w.up   ? "up"
+                                : "restarting";
+        doc["pid"] = w.pid > 0 ? static_cast<double>(w.pid) : -1.0;
+        doc["port"] = w.up ? w.port : 0;
+        doc["generation"] = static_cast<std::size_t>(w.generation);
+        doc["restarts"] = w.restarts;
+        out.push(std::move(doc));
+    }
+    return out;
+}
+
+std::uint64_t
+WorkerSupervisor::totalRestarts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalRestarts_;
+}
+
+// ---------------------------------------------------------------------
+// WorkerFleetService
+// ---------------------------------------------------------------------
+
+WorkerFleetService::WorkerFleetService(WorkerDirectory &workers,
+                                       FleetOptions opts)
+    : workers_(workers), opts_(opts)
+{
+    if (workers_.workerCount() < 1)
+        throw std::invalid_argument(
+            "WorkerFleetService: directory has no workers");
+    if (opts_.server.queueCapacity < 1)
+        throw std::invalid_argument(
+            "WorkerFleetService: queueCapacity must be >= 1");
+    if (opts_.replayBudget < 1)
+        throw std::invalid_argument(
+            "WorkerFleetService: replayBudget must be >= 1");
+    lanes_.reserve(workers_.workerCount());
+    for (std::size_t i = 0; i < workers_.workerCount(); ++i)
+        lanes_.push_back(std::make_unique<Lane>());
+    for (std::size_t i = 0; i < lanes_.size(); ++i)
+        lanes_[i]->forwarder =
+            std::thread([this, i] { forwarderLoop(i); });
+}
+
+WorkerFleetService::~WorkerFleetService()
+{
+    stop();
+}
+
+json::Value
+WorkerFleetService::helloDoc() const
+{
+    json::Value doc = json::Value::object();
+    doc["server"] = "redqaoa_lb";
+    json::Value versions = json::Value::array();
+    versions.push(json::Value(kSchemaVersion));
+    versions.push(json::Value(kSchemaVersionV2));
+    doc["schema_versions"] = std::move(versions);
+    doc["workers"] = lanes_.size();
+    doc["queue_capacity"] = opts_.server.queueCapacity;
+    doc["max_connections"] = opts_.server.maxConnections;
+    doc["idle_timeout_ms"] = opts_.server.idleTimeoutMs;
+    doc["max_line_bytes"] = kMaxLineBytes;
+    std::vector<std::string> methods = ServiceRouter::methodNames();
+    methods.push_back("hello");
+    methods.push_back("health");
+    methods.push_back("shutdown");
+    std::sort(methods.begin(), methods.end());
+    json::Value names = json::Value::array();
+    for (const std::string &name : methods)
+        names.push(json::Value(name));
+    doc["methods"] = std::move(names);
+    return doc;
+}
+
+json::Value
+WorkerFleetService::healthResult() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value doc = json::Value::object();
+    doc["status"] = stopping_ ? "stopping" : "ok";
+    doc["role"] = "lb";
+    doc["uptime_seconds"] =
+        std::chrono::duration<double>(Clock::now() - startTime_).count();
+    doc["pid"] = static_cast<std::size_t>(::getpid());
+    doc["workers"] = workers_.statusJson();
+    json::Value depths = json::Value::array();
+    for (const auto &lane : lanes_)
+        depths.push(json::Value(lane->queue.size()));
+    doc["queue_depths"] = std::move(depths);
+    doc["in_flight"] = static_cast<std::size_t>(inFlight_);
+    doc["served"] = static_cast<std::size_t>(served_);
+    doc["forwarded"] = static_cast<std::size_t>(forwarded_);
+    doc["replays"] = static_cast<std::size_t>(replays_);
+    doc["worker_failures"] = static_cast<std::size_t>(workerFailures_);
+    if (faults_ != nullptr)
+        doc["faults"] = faults_->statsJson();
+    return doc;
+}
+
+void
+WorkerFleetService::submitLine(std::string line, ResponseCallback done)
+{
+    Request req;
+    try {
+        req = parseRequest(line);
+    } catch (const ServiceError &e) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++received_;
+            ++served_;
+        }
+        done(makeErrorLine(salvageRequestId(line), e.code(), e.what()));
+        return;
+    }
+
+    const RouteInfo route{0, 0.0};
+    // The lb answers the control plane itself: hello/health describe
+    // the lb, shutdown stops the lb (its workers are its own
+    // business), and only data-plane methods cross to the fleet.
+    if (req.method == "health" || req.method == "hello") {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++received_;
+            ++served_;
+        }
+        json::Value result =
+            req.method == "health" ? healthResult() : helloDoc();
+        done(makeResultLine(req.id, std::move(result),
+                            req.schemaVersion, &route));
+        return;
+    }
+    if (req.method == "shutdown") {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++received_;
+            ++served_;
+            stopping_ = true;
+        }
+        stopped_.notify_all();
+        for (auto &lane : lanes_)
+            lane->wake.notify_all();
+        json::Value result = json::Value::object();
+        result["stopping"] = true;
+        done(makeResultLine(req.id, std::move(result),
+                            req.schemaVersion, &route));
+        return;
+    }
+
+    Pending pending;
+    pending.arrival = Clock::now();
+    if (req.deadlineMs > 0.0) {
+        pending.hasDeadline = true;
+        pending.deadline =
+            pending.arrival +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    req.deadlineMs));
+    }
+    pending.id = req.id;
+    pending.schemaVersion = req.schemaVersion;
+    pending.line = std::move(line);
+    pending.done = std::move(done);
+
+    std::uint64_t hash = 0;
+    const std::size_t lane_index =
+        requestRouteHash(req, hash)
+            ? static_cast<std::size_t>(hash % lanes_.size())
+            : 0; // Graph-free methods (stats, ...) home on lane 0.
+
+    std::string rejection;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++received_;
+        if (stopping_) {
+            ++served_;
+            rejection = makeErrorLine(
+                pending.id, ServiceErrorCode::ShuttingDown,
+                "load balancer is shutting down",
+                pending.schemaVersion, &route);
+        } else {
+            Lane &lane = *lanes_[lane_index];
+            if (lane.queue.size() >= opts_.server.queueCapacity) {
+                ++served_;
+                rejection = makeErrorLine(
+                    pending.id, ServiceErrorCode::Overloaded,
+                    "lb queue of worker lane " +
+                        std::to_string(lane_index) + " full (" +
+                        std::to_string(opts_.server.queueCapacity) +
+                        " pending requests); retry later",
+                    pending.schemaVersion, &route);
+            } else {
+                ++inFlight_;
+                lane.queue.push_back(std::move(pending));
+            }
+        }
+    }
+    if (!rejection.empty()) {
+        pending.done(std::move(rejection));
+        return;
+    }
+    lanes_[lane_index]->wake.notify_one();
+}
+
+LaneState
+WorkerFleetService::ensureConnected(std::size_t index, Lane &lane,
+                                    std::uint64_t &generation_out)
+{
+    WorkerEndpoint ep;
+    const LaneState state = workers_.endpoint(index, ep);
+    if (state != LaneState::Up) {
+        dropConnection(lane);
+        return state;
+    }
+    generation_out = ep.generation;
+    if (lane.fd >= 0 && lane.generation == ep.generation)
+        return LaneState::Up;
+    dropConnection(lane);
+    int fd = detail::connectLoopback(ep.port, 2000);
+    if (fd < 0) {
+        // The endpoint claims Up but refuses: that generation is on
+        // its way out; report and let the caller back off.
+        workers_.reportFailure(index, ep.generation);
+        return LaneState::Restarting;
+    }
+    lane.fd = fd;
+    lane.generation = ep.generation;
+    lane.reader = std::make_unique<detail::FdLineReader>(fd);
+    return LaneState::Up;
+}
+
+void
+WorkerFleetService::dropConnection(Lane &lane)
+{
+    if (lane.fd >= 0)
+        ::close(lane.fd);
+    lane.fd = -1;
+    lane.reader.reset();
+}
+
+void
+WorkerFleetService::forwardWithFailover(std::size_t index, Pending &p)
+{
+    Lane &lane = *lanes_[index];
+    const RouteInfo route{0, 0.0};
+    const Clock::time_point failover_deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               opts_.failoverTimeoutMs));
+    int attempts = 0;
+
+    auto answer = [&](std::string line) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++served_;
+            --inFlight_;
+        }
+        p.done(std::move(line));
+    };
+    auto expired = [&] {
+        return p.hasDeadline && Clock::now() > p.deadline;
+    };
+
+    for (;;) {
+        if (expired()) {
+            answer(makeErrorLine(
+                p.id, ServiceErrorCode::DeadlineExceeded,
+                "deadline expired before a worker answered",
+                p.schemaVersion, &route));
+            return;
+        }
+        if (attempts >= opts_.replayBudget ||
+            Clock::now() > failover_deadline) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++workerFailures_;
+            }
+            answer(makeErrorLine(
+                p.id, ServiceErrorCode::WorkerFailed,
+                "worker lane " + std::to_string(index) +
+                    " failed mid-request and the replay budget (" +
+                    std::to_string(opts_.replayBudget) +
+                    " attempts) is exhausted; safe to retry",
+                p.schemaVersion, &route));
+            return;
+        }
+
+        std::uint64_t generation = 0;
+        const LaneState state =
+            ensureConnected(index, lane, generation);
+        if (state == LaneState::Failed) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++workerFailures_;
+            }
+            answer(makeErrorLine(
+                p.id, ServiceErrorCode::WorkerFailed,
+                "worker lane " + std::to_string(index) +
+                    " is permanently failed; safe to retry elsewhere",
+                p.schemaVersion, &route));
+            return;
+        }
+        if (state == LaneState::Restarting) {
+            // Wait out the restart (bounded by the failover deadline
+            // checked above); stop() interrupts via stopping_.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (stopping_) {
+                    ++served_;
+                    --inFlight_;
+                    p.done(makeErrorLine(
+                        p.id, ServiceErrorCode::ShuttingDown,
+                        "load balancer is shutting down",
+                        p.schemaVersion, &route));
+                    return;
+                }
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+            continue;
+        }
+
+        ++attempts;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++forwarded_;
+            if (attempts > 1)
+                ++replays_;
+        }
+        std::string response;
+        const bool sent = detail::writeLine(lane.fd, p.line);
+        const bool got =
+            sent && lane.reader && lane.reader->readLine(response);
+        if (!got) {
+            // Reset / torn frame / worker death mid-exchange: report,
+            // drop the connection, replay against the next
+            // generation. Safe because routed methods are pure.
+            workers_.reportFailure(index, generation);
+            dropConnection(lane);
+            continue;
+        }
+
+        // A worker draining before restart answers shutting_down;
+        // that is fleet-internal — replay, never a client answer.
+        try {
+            Response parsed = parseResponse(response);
+            if (!parsed.ok &&
+                parsed.errorCode == ServiceErrorCode::ShuttingDown) {
+                workers_.reportFailure(index, generation);
+                dropConnection(lane);
+                continue;
+            }
+        } catch (...) {
+            // Unparseable response line: treat as a torn frame.
+            workers_.reportFailure(index, generation);
+            dropConnection(lane);
+            continue;
+        }
+        answer(std::move(response));
+        return;
+    }
+}
+
+void
+WorkerFleetService::forwarderLoop(std::size_t index)
+{
+    Lane &lane = *lanes_[index];
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        lane.wake.wait(
+            lock, [&] { return stopping_ || !lane.queue.empty(); });
+        if (lane.queue.empty()) {
+            if (stopping_)
+                break;
+            continue;
+        }
+        Pending pending = std::move(lane.queue.front());
+        lane.queue.pop_front();
+        const bool draining = stopping_;
+        lock.unlock();
+
+        if (draining) {
+            const RouteInfo route{0, 0.0};
+            {
+                std::lock_guard<std::mutex> inner(mutex_);
+                ++served_;
+                --inFlight_;
+            }
+            pending.done(makeErrorLine(
+                pending.id, ServiceErrorCode::ShuttingDown,
+                "load balancer is shutting down",
+                pending.schemaVersion, &route));
+        } else {
+            forwardWithFailover(index, pending);
+        }
+        lock.lock();
+    }
+    lock.unlock();
+    dropConnection(lane); // Forwarder-thread-only state; safe here.
+}
+
+bool
+WorkerFleetService::shutdownRequested() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopping_;
+}
+
+bool
+WorkerFleetService::waitShutdownFor(double seconds)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (seconds <= 0.0)
+        return stopping_;
+    return stopped_.wait_for(lock,
+                             std::chrono::duration<double>(seconds),
+                             [&] { return stopping_; });
+}
+
+void
+WorkerFleetService::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    stopped_.notify_all();
+    for (auto &lane : lanes_)
+        lane->wake.notify_all();
+    for (auto &lane : lanes_)
+        if (lane->forwarder.joinable())
+            lane->forwarder.join();
+}
+
+} // namespace service
+} // namespace redqaoa

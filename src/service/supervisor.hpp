@@ -1,0 +1,337 @@
+/**
+ * @file
+ * The fault-tolerant serving front (redqaoa_lb): a supervised fleet of
+ * redqaoa_serve worker processes behind one LineService facade.
+ *
+ * Two collaborating pieces:
+ *
+ *  - WorkerSupervisor spawns N workers (fork/exec of the redqaoa_serve
+ *    binary with --tcp --port 0 --port-file, so each worker reports
+ *    its ephemeral port through the filesystem handshake), then
+ *    watches them from a monitor thread: waitpid(WNOHANG) catches
+ *    exits and crashes, periodic `health` probes over a short-timeout
+ *    connection catch wedges (a worker that cannot answer `health` —
+ *    which ServiceServer answers inline, before admission — within
+ *    the timeout, several times in a row, is dead weight and gets
+ *    SIGKILLed). A down worker is restarted under capped exponential
+ *    backoff with a fresh GENERATION number; after maxRestarts
+ *    consecutive failed generations the lane is marked permanently
+ *    failed. Workers inherit a scrubbed environment — REDQAOA_FAULTS
+ *    is removed, so an lb-level fault schedule never leaks into
+ *    children; worker-level faults are passed explicitly via
+ *    --faults (workerFaults).
+ *
+ *  - WorkerFleetService implements LineService by proxying request
+ *    lines to the fleet: requests are routed by requestRouteHash % N
+ *    (the SAME key the workers use for shard placement, so the
+ *    same-graph -> same-worker -> same-shard bit-identity contract
+ *    holds end to end), queued per lane (bounded; a full lane answers
+ *    the typed `overloaded` bounce), and forwarded by one forwarder
+ *    thread per lane, serialized one-in-flight — which preserves
+ *    per-graph response purity and keeps each worker's admission
+ *    queue from ever filling from the lb. hello / health / shutdown
+ *    are answered by the lb itself (graph-free methods like stats
+ *    home on lane 0); everything else is forwarded verbatim and the
+ *    worker's response line is relayed untouched (byte-identical to
+ *    talking to the worker directly).
+ *
+ * Failover: when a forward attempt dies mid-flight (connection reset,
+ * torn frame, worker exit) or the worker answers `shutting_down`
+ * (draining before a restart), the failure is reported to the
+ * directory (accelerating wedge detection) and the request is
+ * REPLAYED — against the restarted generation when it comes up. This
+ * is safe because every routed method is a pure function of request
+ * content (the protocol's determinism contract): replaying a request
+ * that may or may not have executed cannot change any observable
+ * result. A request whose replay budget runs out, or whose lane is
+ * permanently failed, is answered with the typed `worker_failed`
+ * error — which clients treat as retryable. The chaos gate
+ * (scripts/chaos_smoke.sh) pins the end-to-end consequence: under
+ * injected worker kills and connection resets, every request is
+ * answered exactly once, byte-identical to a fault-free run.
+ *
+ * The supervisor/fleet split is also the test seam: WorkerDirectory
+ * abstracts "where are my workers", so tests/test_service.cpp drives
+ * WorkerFleetService against in-process ServiceServer-backed fake
+ * workers (killing them by stopping listeners), while redqaoa_lb
+ * wires it to the real fork/exec supervisor.
+ */
+
+#ifndef REDQAOA_SERVICE_SUPERVISOR_HPP
+#define REDQAOA_SERVICE_SUPERVISOR_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "service/server.hpp"
+#include "service/socket_util.hpp"
+
+namespace redqaoa {
+namespace service {
+
+/** Where one worker lane currently listens. */
+struct WorkerEndpoint
+{
+    int port = 0;
+    /** Monotonic per-lane restart counter; a reconnect is required
+     *  (and pending failure reports are stale) when it changes. */
+    std::uint64_t generation = 0;
+};
+
+/** Lane lifecycle, as seen by the fleet's forwarders. */
+enum class LaneState
+{
+    Up,         //!< endpoint() is valid; forward away.
+    Restarting, //!< Temporarily down; a new generation is coming.
+    Failed,     //!< Permanently failed (restart budget exhausted).
+};
+
+/**
+ * The fleet's view of its backends. WorkerSupervisor implements it
+ * over real child processes; tests implement it over in-process
+ * servers.
+ */
+class WorkerDirectory
+{
+  public:
+    virtual ~WorkerDirectory() = default;
+
+    virtual std::size_t workerCount() const = 0;
+
+    /** Lane @p index's state; fills @p out only when Up. */
+    virtual LaneState endpoint(std::size_t index, WorkerEndpoint &out) = 0;
+
+    /**
+     * A forwarder observed generation @p generation of lane @p index
+     * failing mid-request (reset / torn frame / refused). Stale
+     * generations are ignored; a current one makes the supervisor
+     * probe (and, when the probe fails, restart) without waiting for
+     * the next monitor tick.
+     */
+    virtual void reportFailure(std::size_t index,
+                               std::uint64_t generation) = 0;
+
+    /** Per-lane status array for the lb `health` document. */
+    virtual json::Value statusJson() const = 0;
+};
+
+/** Knobs of the fork/exec supervisor. */
+struct SupervisorOptions
+{
+    /** Path to the redqaoa_serve binary (argv[0] of every worker). */
+    std::string serveBinary;
+    /** Worker process count (>= 1). */
+    std::size_t workers = 2;
+    /** Extra argv entries appended to every worker command line. */
+    std::vector<std::string> workerArgs;
+    /** --faults spec handed to every worker ("" = none). */
+    std::string workerFaults;
+    /** Directory for port files ("" = a fresh mkdtemp directory). */
+    std::string portFileDir;
+    /** How long a spawned worker may take to write its port file. */
+    double startTimeoutMs = 15000.0;
+    /** Monitor tick: waitpid sweep + health probes. */
+    double probeIntervalMs = 200.0;
+    /** Per-probe connect/response timeout. */
+    double probeTimeoutMs = 1000.0;
+    /** Consecutive probe misses before a worker counts as wedged. */
+    int probeMisses = 3;
+    /** Restart budget per lane; beyond it the lane is Failed. */
+    int maxRestarts = 8;
+    /** First restart delay; doubles per consecutive failure. */
+    double restartBackoffInitialMs = 50.0;
+    /** Restart delay ceiling. */
+    double restartBackoffMaxMs = 2000.0;
+};
+
+class WorkerSupervisor : public WorkerDirectory
+{
+  public:
+    /**
+     * Spawn opts.workers workers and wait until every one has
+     * published its port (or throw std::runtime_error, reaping
+     * whatever started). The monitor thread runs until stop().
+     */
+    explicit WorkerSupervisor(SupervisorOptions opts);
+    ~WorkerSupervisor();
+
+    WorkerSupervisor(const WorkerSupervisor &) = delete;
+    WorkerSupervisor &operator=(const WorkerSupervisor &) = delete;
+
+    /** SIGTERM every worker, give them a grace period, SIGKILL the
+     *  stragglers, reap, and join the monitor. Idempotent. */
+    void stop();
+
+    // --- WorkerDirectory ---------------------------------------------
+    std::size_t workerCount() const override;
+    LaneState endpoint(std::size_t index, WorkerEndpoint &out) override;
+    void reportFailure(std::size_t index,
+                       std::uint64_t generation) override;
+    json::Value statusJson() const override;
+
+    /** Total restarts across all lanes (observability/tests). */
+    std::uint64_t totalRestarts() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Worker
+    {
+        pid_t pid = -1;
+        int port = 0;
+        std::uint64_t generation = 0;
+        bool up = false;
+        bool failed = false; //!< Permanent (restart budget exhausted).
+        bool suspect = false; //!< Fleet reported a mid-request failure.
+        int restarts = 0;
+        int misses = 0; //!< Consecutive failed health probes.
+        double backoffMs = 0.0;
+        Clock::time_point restartAt{}; //!< Earliest next spawn.
+        std::string portFile;
+        int lastExitStatus = 0; //!< Raw waitpid status of the last death.
+    };
+
+    void monitorLoop();
+    /** Fork/exec lane @p index (mutex held by caller, released while
+     *  waiting for the port file). True when the worker came up. */
+    bool spawnLocked(std::unique_lock<std::mutex> &lock,
+                     std::size_t index);
+    /** One health round trip to @p port; false on timeout/error. */
+    bool probeHealth(int port) const;
+    /** Note lane @p index's current process as dead; schedule restart
+     *  or mark Failed (mutex held). */
+    void markDownLocked(Worker &w, int exit_status);
+
+    SupervisorOptions opts_;
+    std::string portDir_;
+    bool ownsPortDir_ = false;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_; //!< Monitor tick / stop / suspect.
+    std::vector<Worker> workers_;
+    std::uint64_t totalRestarts_ = 0;
+    bool stopping_ = false;
+    std::thread monitor_;
+};
+
+/** Knobs of the fleet proxy. */
+struct FleetOptions
+{
+    /** Transport policy + per-lane queue bound (queueCapacity). */
+    ServerOptions server;
+    /** Forward attempts per request before `worker_failed`. */
+    int replayBudget = 4;
+    /** How long a replay may wait for a lane to come back up before
+     *  answering `worker_failed` (also bounded by the request's own
+     *  deadline_ms, when present). */
+    double failoverTimeoutMs = 20000.0;
+};
+
+class WorkerFleetService : public LineService
+{
+  public:
+    /** @p workers must outlive this service. */
+    explicit WorkerFleetService(WorkerDirectory &workers,
+                                FleetOptions opts = {});
+    ~WorkerFleetService();
+
+    WorkerFleetService(const WorkerFleetService &) = delete;
+    WorkerFleetService &operator=(const WorkerFleetService &) = delete;
+
+    void submitLine(std::string line, ResponseCallback done) override;
+    const ServerOptions &options() const override { return opts_.server; }
+
+    /**
+     * Stop admitting (new lines are answered shutting_down), answer
+     * every queued request with shutting_down, finish the in-flight
+     * forwards, and join the forwarders. Idempotent.
+     */
+    void stop();
+
+    /** True once a `shutdown` request was answered or stop() began. */
+    bool shutdownRequested() const;
+
+    /** Block until shutdownRequested(), at most @p seconds. */
+    bool waitShutdownFor(double seconds);
+
+    /** Include @p plane's injection counters in health (may be null). */
+    void attachFaultStats(const FaultPlane *plane) { faults_ = plane; }
+
+    /**
+     * The lb `health` document: {"status", "role": "lb",
+     * "uptime_seconds", "pid", "workers": [per-lane status],
+     * "queue_depths": [per lane], "in_flight", "served", "forwarded",
+     * "replays", "worker_failures"[, "faults": plane stats]}.
+     */
+    json::Value healthResult() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending
+    {
+        std::string line;   //!< Raw request line, forwarded verbatim.
+        json::Value id;     //!< For typed error answers from the lb.
+        int schemaVersion = kSchemaVersion;
+        ResponseCallback done;
+        Clock::time_point arrival;
+        Clock::time_point deadline{}; //!< Valid when hasDeadline.
+        bool hasDeadline = false;
+    };
+
+    /** One worker lane: its queue, forwarder, and cached connection. */
+    struct Lane
+    {
+        std::deque<Pending> queue;
+        std::condition_variable wake;
+        std::thread forwarder;
+        // Forwarder-thread-only connection cache.
+        int fd = -1;
+        std::uint64_t generation = 0;
+        std::unique_ptr<detail::FdLineReader> reader;
+    };
+
+    void forwarderLoop(std::size_t index);
+    /** Forward @p p to lane @p index with failover; the response line
+     *  (or a typed lb error) is handed to p.done. */
+    void forwardWithFailover(std::size_t index, Pending &p);
+    /** Ensure lane's cached connection targets the current generation;
+     *  returns the state seen (Up means fd is valid). */
+    LaneState ensureConnected(std::size_t index, Lane &lane,
+                              std::uint64_t &generation_out);
+    void dropConnection(Lane &lane);
+    json::Value helloDoc() const;
+
+    WorkerDirectory &workers_;
+    FleetOptions opts_;
+    const FaultPlane *faults_ = nullptr;
+
+    mutable std::mutex mutex_; //!< Guards queues, counters, stopping_.
+    std::condition_variable stopped_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    bool stopping_ = false;
+
+    // Counters (guarded by mutex_).
+    std::uint64_t received_ = 0;
+    std::uint64_t served_ = 0;
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t replays_ = 0;
+    std::uint64_t workerFailures_ = 0; //!< worker_failed answers.
+    std::uint64_t inFlight_ = 0;
+    Clock::time_point startTime_ = Clock::now();
+};
+
+} // namespace service
+} // namespace redqaoa
+
+#endif // REDQAOA_SERVICE_SUPERVISOR_HPP

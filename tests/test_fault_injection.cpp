@@ -1,0 +1,207 @@
+/**
+ * @file
+ * FaultPlane contracts: schedule grammar, deterministic replay, rule
+ * ordering, probe ineligibility, and the disabled plane's inertness.
+ * The transport-level consequences of each FaultKind (resets, torn
+ * frames, bounces, aborts) are pinned end-to-end by the chaos
+ * sections of tests/test_service.cpp and scripts/chaos_smoke.sh; this
+ * suite pins the plane itself, so a chaos failure always bisects to
+ * either the schedule or the transport.
+ */
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/fault_injection.hpp"
+
+using namespace redqaoa;
+using namespace redqaoa::service;
+
+namespace {
+
+/** The first @p count actions of a plane configured with @p spec. */
+std::vector<FaultKind>
+schedule(const std::string &spec, int count)
+{
+    FaultPlane plane(spec);
+    std::vector<FaultKind> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        out.push_back(plane.onRequest().kind);
+    return out;
+}
+
+} // namespace
+
+TEST(FaultPlaneTest, DisabledPlaneIsInert)
+{
+    FaultPlane plane;
+    EXPECT_FALSE(plane.enabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(plane.onRequest().kind, FaultKind::None);
+    // A disabled plane must not even account requests: enabled() is
+    // the only state it touches, so the fault-free request path is
+    // bitwise identical to a build without the plane.
+    EXPECT_EQ(plane.requestCount(), 0u);
+    EXPECT_EQ(plane.injectedCount(), 0u);
+}
+
+TEST(FaultPlaneTest, EmptySpecDisarms)
+{
+    FaultPlane plane("overload@1");
+    EXPECT_TRUE(plane.enabled());
+    plane.configure("");
+    EXPECT_FALSE(plane.enabled());
+    EXPECT_EQ(plane.onRequest().kind, FaultKind::None);
+}
+
+TEST(FaultPlaneTest, CountRuleFiresExactlyOnce)
+{
+    FaultPlane plane("overload@3");
+    std::vector<FaultKind> kinds;
+    for (int i = 0; i < 6; ++i)
+        kinds.push_back(plane.onRequest().kind);
+    const std::vector<FaultKind> want = {
+        FaultKind::None,     FaultKind::None, FaultKind::Overload,
+        FaultKind::None,     FaultKind::None, FaultKind::None,
+    };
+    EXPECT_EQ(kinds, want);
+    EXPECT_EQ(plane.requestCount(), 6u);
+    EXPECT_EQ(plane.injectedCount(), 1u);
+    EXPECT_EQ(plane.injectedCount(FaultKind::Overload), 1u);
+}
+
+TEST(FaultPlaneTest, PeriodicRuleFiresAtPhaseAndPeriod)
+{
+    FaultPlane plane("reset@2/3");
+    std::vector<int> fired;
+    for (int i = 1; i <= 10; ++i)
+        if (plane.onRequest().kind == FaultKind::Reset)
+            fired.push_back(i);
+    EXPECT_EQ(fired, (std::vector<int>{2, 5, 8}));
+}
+
+TEST(FaultPlaneTest, DelayCarriesItsMilliseconds)
+{
+    FaultPlane plane("delay:75@2");
+    EXPECT_EQ(plane.onRequest().kind, FaultKind::None);
+    FaultAction action = plane.onRequest();
+    EXPECT_EQ(action.kind, FaultKind::Delay);
+    EXPECT_DOUBLE_EQ(action.delayMs, 75.0);
+}
+
+TEST(FaultPlaneTest, FirstMatchingRuleWins)
+{
+    // Both rules trigger at request 2; schedule order decides.
+    FaultPlane plane("overload@2;reset@2");
+    plane.onRequest();
+    EXPECT_EQ(plane.onRequest().kind, FaultKind::Overload);
+    EXPECT_EQ(plane.injectedCount(FaultKind::Reset), 0u);
+}
+
+TEST(FaultPlaneTest, ProbabilisticScheduleIsSeedDeterministic)
+{
+    const std::string spec = "seed=42;overload~0.25";
+    const std::vector<FaultKind> a = schedule(spec, 1000);
+    const std::vector<FaultKind> b = schedule(spec, 1000);
+    EXPECT_EQ(a, b); // Same seed, same spec -> same schedule.
+
+    int fired = 0;
+    for (FaultKind kind : a)
+        fired += kind == FaultKind::Overload ? 1 : 0;
+    EXPECT_GT(fired, 150); // ~250 expected; loose statistical bounds.
+    EXPECT_LT(fired, 350);
+
+    const std::vector<FaultKind> c =
+        schedule("seed=43;overload~0.25", 1000);
+    EXPECT_NE(a, c); // Different seed, different schedule.
+}
+
+TEST(FaultPlaneTest, ReconfigureReplaysTheSchedule)
+{
+    FaultPlane plane("seed=7;reset~0.5;overload@4");
+    std::vector<FaultKind> first;
+    for (int i = 0; i < 50; ++i)
+        first.push_back(plane.onRequest().kind);
+    plane.configure("seed=7;reset~0.5;overload@4");
+    std::vector<FaultKind> second;
+    for (int i = 0; i < 50; ++i)
+        second.push_back(plane.onRequest().kind);
+    EXPECT_EQ(first, second);
+}
+
+TEST(FaultPlaneTest, WhitespaceIsIgnored)
+{
+    FaultPlane plane(" overload @ 2 ;  reset @ 4 ");
+    EXPECT_EQ(plane.onRequest().kind, FaultKind::None);
+    EXPECT_EQ(plane.onRequest().kind, FaultKind::Overload);
+    EXPECT_EQ(plane.onRequest().kind, FaultKind::None);
+    EXPECT_EQ(plane.onRequest().kind, FaultKind::Reset);
+}
+
+TEST(FaultPlaneTest, BadSpecsThrowAndLeaveThePlaneUnchanged)
+{
+    const char *bad[] = {
+        "explode@3",       // Unknown kind.
+        "reset",           // No trigger.
+        "reset@0",         // Count must be >= 1.
+        "reset@x",         // Count must be an integer.
+        "reset@3/0",       // Period must be >= 1.
+        "overload~0",      // Probability in (0, 1].
+        "overload~1.5",    // Probability in (0, 1].
+        "reset:10@3",      // Only delay takes an argument.
+        "delay@3",         // Delay needs its argument.
+        "seed=abc;reset@1" // Seed must be an unsigned integer.
+    };
+    FaultPlane plane("overload@1");
+    for (const char *spec : bad) {
+        EXPECT_THROW(plane.configure(spec), std::invalid_argument)
+            << "spec: " << spec;
+    }
+    // The failed configures left the original schedule armed.
+    EXPECT_TRUE(plane.enabled());
+    EXPECT_EQ(plane.onRequest().kind, FaultKind::Overload);
+}
+
+TEST(FaultPlaneTest, ProbesAreNeverEligible)
+{
+    // Liveness probes must not perturb deterministic schedules: a
+    // worker kill count that depended on supervisor probe timing
+    // would make chaos runs unreproducible.
+    EXPECT_FALSE(FaultPlane::methodEligible("health"));
+    EXPECT_FALSE(FaultPlane::methodEligible("hello"));
+    EXPECT_FALSE(FaultPlane::methodEligible("shutdown"));
+    EXPECT_TRUE(FaultPlane::methodEligible("evaluate"));
+    EXPECT_TRUE(FaultPlane::methodEligible("stats"));
+    EXPECT_TRUE(FaultPlane::methodEligible("")); // Unparseable lines.
+}
+
+TEST(FaultPlaneTest, StatsJsonReportsInjections)
+{
+    FaultPlane plane("overload@1;reset@2");
+    plane.onRequest();
+    plane.onRequest();
+    plane.onRequest();
+    json::Value doc = plane.statsJson();
+    EXPECT_TRUE(doc.find("enabled")->asBool());
+    EXPECT_EQ(doc.find("requests")->asNumber(), 3.0);
+    const json::Value &injected = *doc.find("injected");
+    EXPECT_EQ(injected.find("total")->asNumber(), 2.0);
+    EXPECT_EQ(injected.find("overload")->asNumber(), 1.0);
+    EXPECT_EQ(injected.find("reset")->asNumber(), 1.0);
+    EXPECT_EQ(injected.find("abort")->asNumber(), 0.0);
+}
+
+TEST(FaultPlaneTest, KindNamesAreStable)
+{
+    // chaos_smoke.sh greps these names out of health documents.
+    EXPECT_STREQ(faultKindName(FaultKind::Reset), "reset");
+    EXPECT_STREQ(faultKindName(FaultKind::Delay), "delay");
+    EXPECT_STREQ(faultKindName(FaultKind::Truncate), "truncate");
+    EXPECT_STREQ(faultKindName(FaultKind::Abort), "abort");
+    EXPECT_STREQ(faultKindName(FaultKind::Overload), "overload");
+    EXPECT_EQ(kFaultAbortExitStatus, 70);
+}

@@ -15,7 +15,18 @@
  *    byte-identical response lines at 1 and 8 evaluation threads,
  *    under concurrent multi-client submission, in any interleaving;
  *  - the TCP transport serves concurrent clients and shuts down
- *    cleanly on the `shutdown` method.
+ *    cleanly on the `shutdown` method;
+ *  - `health` answers inline (before admission), so liveness probes
+ *    work under full queues and while draining;
+ *  - chaos: against a fault-injecting transport the retrying client
+ *    absorbs injected overloads, connection resets, and torn frames
+ *    and still receives payloads byte-identical to a fault-free run;
+ *  - the lb fleet (WorkerFleetService over a fake WorkerDirectory)
+ *    relays worker responses verbatim, replays interrupted requests
+ *    byte-identically across worker restarts, bounces full lanes
+ *    `overloaded`, answers `worker_failed` when the replay budget or
+ *    the lane's restart budget is exhausted, and drains every queued
+ *    request with exactly one typed answer on stop().
  */
 
 #include <gtest/gtest.h>
@@ -41,8 +52,10 @@
 #include "landscape/landscape.hpp"
 #include "opt/cobyla_lite.hpp"
 #include "service/client.hpp"
+#include "service/fault_injection.hpp"
 #include "service/server.hpp"
 #include "service/socket_util.hpp"
+#include "service/supervisor.hpp"
 
 namespace redqaoa {
 namespace {
@@ -160,7 +173,7 @@ TEST(ServiceProtocol, ErrorCodeNamesRoundTrip)
           ServiceErrorCode::InvalidParams,
           ServiceErrorCode::DeadlineExceeded,
           ServiceErrorCode::Overloaded, ServiceErrorCode::ShuttingDown,
-          ServiceErrorCode::Internal})
+          ServiceErrorCode::WorkerFailed, ServiceErrorCode::Internal})
         EXPECT_EQ(service::errorCodeFromName(service::errorCodeName(code)),
                   code);
     EXPECT_THROW(service::errorCodeFromName("nope"),
@@ -1122,6 +1135,604 @@ TEST(ServiceTcp, ConnectRetriesWithBoundedBackoff)
         std::chrono::steady_clock::now() - start;
     // Two sleeps happened between the three attempts: 5 ms then 10 ms.
     EXPECT_GE(elapsed.count(), 10.0);
+}
+
+// ---------------------------------------------------------------------
+// Health: the inline liveness probe
+// ---------------------------------------------------------------------
+
+TEST(ServiceHealth, HealthAnswersInlineUnderAFullQueue)
+{
+    service::ServerOptions opts;
+    opts.queueCapacity = 1;
+    ServiceServer server(opts);
+
+    // Occupy the executor and fill the capacity-1 queue: a queued
+    // probe would now sit behind seconds of work, so only an inline
+    // answer can double as a liveness signal.
+    std::future<std::string> slow = server.submitLine(slowRequest(1));
+    for (int i = 0; i < 5000 && server.stats().dequeued < 1; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(server.stats().dequeued, 1u);
+    std::future<std::string> queued =
+        server.submitLine(R"({"id": 2, "method": "stats"})");
+
+    auto start = std::chrono::steady_clock::now();
+    json::Value health = resultOf(
+        server.handleLine(R"({"id": 3, "method": "health"})"));
+    std::chrono::duration<double, std::milli> probe_ms =
+        std::chrono::steady_clock::now() - start;
+    EXPECT_LT(probe_ms.count(), 1000.0); // Did not wait for the queue.
+
+    EXPECT_EQ(health.find("status")->asString(), "ok");
+    EXPECT_GE(health.find("uptime_seconds")->asNumber(), 0.0);
+    EXPECT_EQ(health.find("pid")->asNumber(),
+              static_cast<double>(::getpid()));
+    EXPECT_EQ(health.find("shards")->asNumber(), 1.0);
+    ASSERT_EQ(health.find("queue_depths")->size(), 1u);
+    EXPECT_GE(health.find("in_flight")->asNumber(), 1.0);
+
+    resultOf(slow.get());
+    resultOf(queued.get());
+    // With the pipeline drained, in-flight returns to zero.
+    json::Value after = resultOf(
+        server.handleLine(R"({"id": 4, "method": "health"})"));
+    EXPECT_EQ(after.find("in_flight")->asNumber(), 0.0);
+    server.stop();
+}
+
+TEST(ServiceHealth, HealthReportsStoppingWhileDraining)
+{
+    ServiceServer server;
+    resultOf(server.handleLine(R"({"id": 1, "method": "shutdown"})"));
+    // Regular admission is closed, but the probe still answers — a
+    // supervisor must be able to watch a worker drain.
+    json::Value health = resultOf(
+        server.handleLine(R"({"id": 2, "method": "health"})"));
+    EXPECT_EQ(health.find("status")->asString(), "stopping");
+    server.stop();
+}
+
+TEST(ServiceHealth, HelloAdvertisesTheHealthMethod)
+{
+    ServiceServer server;
+    TcpServiceListener listener(server, 0);
+    service::ConnectOptions copts;
+    copts.port = listener.port();
+    ServiceClient client = ServiceClient::connect(copts);
+    service::ServerInfo info = client.hello();
+    EXPECT_NE(std::find(info.methods.begin(), info.methods.end(),
+                        "health"),
+              info.methods.end());
+    listener.stop();
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Client retry semantics
+// ---------------------------------------------------------------------
+
+TEST(ServiceRetry, RetryableCodesAreExactlyOverloadedAndWorkerFailed)
+{
+    // The retry whitelist is a contract, not a heuristic: only errors
+    // the server emits BEFORE executing (overloaded bounce) or that
+    // the lb emits for maybe-executed-but-pure requests (worker_failed)
+    // are safe to resend blindly.
+    for (ServiceErrorCode code :
+         {ServiceErrorCode::ParseError, ServiceErrorCode::InvalidRequest,
+          ServiceErrorCode::UnknownMethod,
+          ServiceErrorCode::InvalidParams,
+          ServiceErrorCode::DeadlineExceeded,
+          ServiceErrorCode::ShuttingDown, ServiceErrorCode::Internal})
+        EXPECT_FALSE(ServiceClient::retryableCode(code))
+            << service::errorCodeName(code);
+    EXPECT_TRUE(ServiceClient::retryableCode(ServiceErrorCode::Overloaded));
+    EXPECT_TRUE(
+        ServiceClient::retryableCode(ServiceErrorCode::WorkerFailed));
+}
+
+TEST(ServiceRetry, ConnectBackoffScheduleIsSeededAndJittered)
+{
+    service::ConnectOptions copts;
+    copts.maxAttempts = 5;
+    copts.backoffInitialMs = 8.0;
+    copts.backoffMaxMs = 20.0;
+    copts.backoffSeed = 99;
+
+    // Same seed -> same schedule (tests can pin chaos timing).
+    std::vector<double> a = ServiceClient::connectBackoffSchedule(copts, 4);
+    std::vector<double> b = ServiceClient::connectBackoffSchedule(copts, 4);
+    EXPECT_EQ(a, b);
+    // Jitter stays within [0.5, 1.5) of the doubling, capped base.
+    const double bases[] = {8.0, 16.0, 20.0, 20.0};
+    ASSERT_EQ(a.size(), 4u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_GE(a[i], 0.5 * bases[i]) << i;
+        EXPECT_LT(a[i], 1.5 * bases[i]) << i;
+    }
+
+    // A different seed jitters differently; no jitter means the exact
+    // base schedule (and full determinism without pinning a seed).
+    copts.backoffSeed = 100;
+    EXPECT_NE(ServiceClient::connectBackoffSchedule(copts, 4), a);
+    copts.backoffJitter = false;
+    std::vector<double> flat =
+        ServiceClient::connectBackoffSchedule(copts, 4);
+    EXPECT_EQ(flat, std::vector<double>(bases, bases + 4));
+}
+
+/** Evaluate params for client.call (same content as evaluateRequest). */
+json::Value
+evaluateParams(const Graph &g, const std::vector<QaoaParams> &points)
+{
+    json::Value params = json::Value::object();
+    params["graph"] = service::graphToJson(g);
+    params["points"] = service::pointsToJson(points);
+    return params;
+}
+
+/**
+ * The payload a retrying client obtains from a server whose transport
+ * injects @p fault_spec, which must be byte-identical to the fault-free
+ * payload for the same request. Exercises the full client retry loop:
+ * typed `overloaded` bounces retry on the same connection, resets and
+ * torn frames reconnect first.
+ */
+std::string
+chaosPayload(const std::string &fault_spec, const Graph &g,
+             const std::vector<QaoaParams> &points)
+{
+    service::FaultPlane faults(fault_spec);
+    ServiceServer server;
+    TcpServiceListener listener(server, 0, &faults);
+
+    service::ConnectOptions copts;
+    copts.port = listener.port();
+    copts.maxRetries = 3;
+    copts.retryBackoffInitialMs = 1.0;
+    copts.retryBackoffMaxMs = 5.0;
+    copts.backoffSeed = 7;
+    ServiceClient client = ServiceClient::connect(copts);
+    json::Value result = client.call("evaluate", evaluateParams(g, points));
+    std::string payload = result.dump();
+    EXPECT_GT(faults.injectedCount(), 0u) << fault_spec;
+    listener.stop();
+    server.stop();
+    return payload;
+}
+
+TEST(ServiceRetry, InjectedFaultsAreAbsorbedWithByteIdenticalPayloads)
+{
+    Graph g = smallGraph(71);
+    Rng rng(72);
+    std::vector<QaoaParams> points = randomParameterSets(1, 6, rng);
+
+    // Fault-free baseline through the same code path.
+    std::string baseline;
+    {
+        ServiceServer server;
+        TcpServiceListener listener(server, 0);
+        service::ConnectOptions copts;
+        copts.port = listener.port();
+        ServiceClient client = ServiceClient::connect(copts);
+        baseline =
+            client.call("evaluate", evaluateParams(g, points)).dump();
+        listener.stop();
+        server.stop();
+    }
+
+    // overload@1: the first eligible request bounces with the typed
+    // `overloaded` error; the retry succeeds on the same connection.
+    EXPECT_EQ(chaosPayload("overload@1", g, points), baseline);
+    // reset@1: the connection dies before any response; the client
+    // reconnects and resends (the request was never admitted).
+    EXPECT_EQ(chaosPayload("reset@1", g, points), baseline);
+    // truncate@1: half a response line, then a reset — the torn frame
+    // must be thrown away, never parsed.
+    EXPECT_EQ(chaosPayload("truncate@1", g, points), baseline);
+}
+
+TEST(ServiceRetry, RetryCountersAndNonRetryableErrorsAreHonest)
+{
+    Graph g = smallGraph(73);
+    Rng rng(74);
+    std::vector<QaoaParams> points = randomParameterSets(1, 4, rng);
+
+    service::FaultPlane faults("overload@1;reset@2");
+    ServiceServer server;
+    TcpServiceListener listener(server, 0, &faults);
+    service::ConnectOptions copts;
+    copts.port = listener.port();
+    copts.maxRetries = 4;
+    copts.retryBackoffInitialMs = 1.0;
+    copts.backoffSeed = 11;
+    ServiceClient client = ServiceClient::connect(copts);
+
+    // Attempt 1 bounces (overload@1), attempt 2 is reset mid-flight
+    // (reset@2), attempt 3 succeeds after a reconnect.
+    json::Value result =
+        client.call("evaluate", evaluateParams(g, points));
+    EXPECT_NE(result.find("values"), nullptr);
+    EXPECT_EQ(client.retriesIssued(), 2u);
+    EXPECT_EQ(client.reconnects(), 1u);
+
+    // Non-retryable errors surface immediately, despite the budget.
+    try {
+        client.call("frobnicate");
+        FAIL() << "unknown method did not throw";
+    } catch (const ServiceError &e) {
+        EXPECT_EQ(e.code(), ServiceErrorCode::UnknownMethod);
+    }
+    EXPECT_EQ(client.retriesIssued(), 2u); // No retry was spent on it.
+
+    listener.stop();
+    server.stop();
+}
+
+TEST(ServiceRetry, ZeroMaxRetriesSurfacesRetryableErrors)
+{
+    service::FaultPlane faults("overload@1");
+    ServiceServer server;
+    TcpServiceListener listener(server, 0, &faults);
+    ServiceClient client = ServiceClient::connect(listener.port());
+    try {
+        client.call("stats");
+        FAIL() << "injected overload did not throw without a budget";
+    } catch (const ServiceError &e) {
+        EXPECT_EQ(e.code(), ServiceErrorCode::Overloaded);
+    }
+    listener.stop();
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// The lb fleet proxy, driven against in-process fake workers
+// ---------------------------------------------------------------------
+
+/**
+ * WorkerDirectory over in-process ServiceServer-backed lanes: killing
+ * a lane stops its listener (from the fleet's side this is
+ * indistinguishable from a dead process), reviving it brings up a
+ * fresh server on a fresh port with a bumped generation. An optional
+ * per-lane fault plane chaoses the worker transport; the plane
+ * persists across revives, so one-shot schedules fire once per test.
+ */
+class TestWorkerDirectory : public service::WorkerDirectory
+{
+  public:
+    explicit TestWorkerDirectory(std::size_t lanes,
+                                 const std::string &fault_spec = "")
+    {
+        for (std::size_t i = 0; i < lanes; ++i) {
+            auto lane = std::make_unique<Lane>();
+            if (!fault_spec.empty())
+                lane->faults.configure(fault_spec);
+            startLane(*lane);
+            lanes_.push_back(std::move(lane));
+        }
+    }
+
+    ~TestWorkerDirectory() override
+    {
+        for (auto &lane : lanes_)
+            stopLane(*lane);
+    }
+
+    std::size_t workerCount() const override { return lanes_.size(); }
+
+    service::LaneState endpoint(std::size_t index,
+                                service::WorkerEndpoint &out) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Lane &lane = *lanes_[index];
+        if (lane.state == service::LaneState::Up) {
+            out.port = lane.listener->port();
+            out.generation = lane.generation;
+        }
+        return lane.state;
+    }
+
+    void reportFailure(std::size_t index,
+                       std::uint64_t generation) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (generation == lanes_[index]->generation)
+            ++failureReports_;
+    }
+
+    json::Value statusJson() const override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        json::Value arr = json::Value::array();
+        for (const auto &lane : lanes_) {
+            json::Value entry = json::Value::object();
+            entry["state"] =
+                lane->state == service::LaneState::Up
+                    ? "up"
+                    : lane->state == service::LaneState::Failed
+                          ? "failed"
+                          : "restarting";
+            entry["generation"] =
+                static_cast<std::size_t>(lane->generation);
+            arr.push(std::move(entry));
+        }
+        return arr;
+    }
+
+    void kill(std::size_t index)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopLane(*lanes_[index]);
+        lanes_[index]->state = service::LaneState::Restarting;
+    }
+
+    void revive(std::size_t index)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Lane &lane = *lanes_[index];
+        startLane(lane);
+        ++lane.generation;
+        lane.state = service::LaneState::Up;
+    }
+
+    void failPermanently(std::size_t index)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopLane(*lanes_[index]);
+        lanes_[index]->state = service::LaneState::Failed;
+    }
+
+    std::uint64_t failureReports() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return failureReports_;
+    }
+
+  private:
+    struct Lane
+    {
+        std::unique_ptr<ServiceServer> server;
+        std::unique_ptr<TcpServiceListener> listener;
+        service::FaultPlane faults;
+        std::uint64_t generation = 1;
+        service::LaneState state = service::LaneState::Up;
+    };
+
+    void startLane(Lane &lane)
+    {
+        lane.server = std::make_unique<ServiceServer>();
+        lane.listener = std::make_unique<TcpServiceListener>(
+            *lane.server, 0, &lane.faults);
+    }
+
+    void stopLane(Lane &lane)
+    {
+        if (lane.listener)
+            lane.listener->stop();
+        if (lane.server)
+            lane.server->stop();
+    }
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    std::uint64_t failureReports_ = 0;
+};
+
+/** submitLine returning a future (the fleet's callback adapted). */
+std::future<std::string>
+submitTo(service::WorkerFleetService &fleet, std::string line)
+{
+    auto promise = std::make_shared<std::promise<std::string>>();
+    std::future<std::string> future = promise->get_future();
+    fleet.submitLine(std::move(line), [promise](std::string response) {
+        promise->set_value(std::move(response));
+    });
+    return future;
+}
+
+double
+laneQueueDepth(const service::WorkerFleetService &fleet)
+{
+    return fleet.healthResult()
+        .find("queue_depths")
+        ->asArray()[0]
+        .asNumber();
+}
+
+TEST(ServiceFleet, RelaysWorkerResponsesVerbatim)
+{
+    Graph g = smallGraph(81);
+    Rng rng(82);
+    std::string request =
+        evaluateRequest(1, g, randomParameterSets(1, 5, rng));
+    std::string direct = ServiceServer().handleLine(request);
+
+    TestWorkerDirectory workers(2);
+    service::WorkerFleetService fleet(workers);
+    EXPECT_EQ(submitTo(fleet, request).get(), direct);
+    // Same request again: same lane, same bytes (routing is by graph
+    // hash, so placement is a pure function of the request too).
+    EXPECT_EQ(submitTo(fleet, request).get(), direct);
+    fleet.stop();
+}
+
+TEST(ServiceFleet, AnswersTheControlPlaneItself)
+{
+    TestWorkerDirectory workers(2);
+    service::WorkerFleetService fleet(workers);
+
+    json::Value hello = resultOf(
+        submitTo(fleet, R"({"id": 1, "method": "hello"})").get());
+    EXPECT_EQ(hello.find("server")->asString(), "redqaoa_lb");
+    EXPECT_EQ(hello.find("workers")->asNumber(), 2.0);
+
+    json::Value health = resultOf(
+        submitTo(fleet, R"({"id": 2, "method": "health"})").get());
+    EXPECT_EQ(health.find("status")->asString(), "ok");
+    EXPECT_EQ(health.find("role")->asString(), "lb");
+    EXPECT_EQ(health.find("workers")->size(), 2u);
+    EXPECT_EQ(health.find("queue_depths")->size(), 2u);
+
+    // Protocol shutdown stops the lb, not just a worker.
+    json::Value ack = resultOf(
+        submitTo(fleet, R"({"id": 3, "method": "shutdown"})").get());
+    EXPECT_TRUE(ack.find("stopping")->asBool());
+    EXPECT_TRUE(fleet.waitShutdownFor(5.0));
+    fleet.stop();
+}
+
+TEST(ServiceFleet, ReplaysAcrossATornForwardByteIdentically)
+{
+    Graph g = smallGraph(83);
+    Rng rng(84);
+    std::string request =
+        evaluateRequest(1, g, randomParameterSets(1, 5, rng));
+    std::string direct = ServiceServer().handleLine(request);
+
+    // The lane's worker transport resets the first forwarded request:
+    // the forwarder must report the failure, reconnect, and replay —
+    // and the client-visible line must not change by a byte.
+    TestWorkerDirectory workers(1, "reset@1");
+    service::WorkerFleetService fleet(workers);
+    EXPECT_EQ(submitTo(fleet, request).get(), direct);
+    EXPECT_GE(workers.failureReports(), 1u);
+    json::Value health = fleet.healthResult();
+    EXPECT_GE(health.find("replays")->asNumber(), 1.0);
+    EXPECT_EQ(health.find("worker_failures")->asNumber(), 0.0);
+    fleet.stop();
+}
+
+TEST(ServiceFleet, ReplaysAcrossAWorkerRestartByteIdentically)
+{
+    Graph g = smallGraph(85);
+    Rng rng(86);
+    std::string request =
+        evaluateRequest(1, g, randomParameterSets(1, 5, rng));
+    std::string direct = ServiceServer().handleLine(request);
+
+    TestWorkerDirectory workers(1);
+    service::WorkerFleetService fleet(workers);
+    // Warm the lane, then kill the worker under the fleet's feet.
+    EXPECT_EQ(submitTo(fleet, request).get(), direct);
+    workers.kill(0);
+    std::future<std::string> held = submitTo(fleet, request);
+    // The forwarder is now waiting out the "restart"; the response
+    // must not exist yet.
+    EXPECT_EQ(held.wait_for(std::chrono::milliseconds(100)),
+              std::future_status::timeout);
+    workers.revive(0);
+    // A new generation on a new port — and the same bytes.
+    EXPECT_EQ(held.get(), direct);
+    fleet.stop();
+}
+
+TEST(ServiceFleet, ExhaustedReplayBudgetAnswersWorkerFailed)
+{
+    Graph g = smallGraph(87);
+    Rng rng(88);
+    std::string request =
+        evaluateRequest(1, g, randomParameterSets(1, 4, rng));
+
+    // Every forwarded request is reset (reset@1/1): with a budget of
+    // 2 attempts the fleet must give up with the typed retryable
+    // error instead of spinning forever.
+    TestWorkerDirectory workers(1, "reset@1/1");
+    service::FleetOptions opts;
+    opts.replayBudget = 2;
+    service::WorkerFleetService fleet(workers, opts);
+    std::string line = submitTo(fleet, request).get();
+    EXPECT_EQ(errorCodeOf(line), ServiceErrorCode::WorkerFailed);
+    EXPECT_EQ(fleet.healthResult().find("worker_failures")->asNumber(),
+              1.0);
+    fleet.stop();
+}
+
+TEST(ServiceFleet, PermanentlyFailedLaneAnswersWorkerFailed)
+{
+    Graph g = smallGraph(89);
+    Rng rng(90);
+    std::string request =
+        evaluateRequest(1, g, randomParameterSets(1, 4, rng));
+
+    TestWorkerDirectory workers(1);
+    workers.failPermanently(0);
+    service::WorkerFleetService fleet(workers);
+    EXPECT_EQ(errorCodeOf(submitTo(fleet, request).get()),
+              ServiceErrorCode::WorkerFailed);
+    fleet.stop();
+}
+
+TEST(ServiceFleet, FullLaneQueueBouncesOverloaded)
+{
+    Graph g = smallGraph(91);
+    Rng rng(92);
+    std::vector<QaoaParams> points = randomParameterSets(1, 4, rng);
+
+    TestWorkerDirectory workers(1);
+    service::FleetOptions opts;
+    opts.server.queueCapacity = 1;
+    service::WorkerFleetService fleet(workers, opts);
+
+    // With the lane down, the first request is picked up by the
+    // forwarder (in flight, waiting), the second fills the
+    // capacity-1 queue, and the third must bounce immediately.
+    workers.kill(0);
+    std::future<std::string> first =
+        submitTo(fleet, evaluateRequest(1, g, points));
+    for (int i = 0; i < 5000 && laneQueueDepth(fleet) > 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(laneQueueDepth(fleet), 0.0);
+    std::future<std::string> second =
+        submitTo(fleet, evaluateRequest(2, g, points));
+    std::future<std::string> third =
+        submitTo(fleet, evaluateRequest(3, g, points));
+    EXPECT_EQ(errorCodeOf(third.get()), ServiceErrorCode::Overloaded);
+
+    // Revival drains the backlog: exactly one ok answer each.
+    workers.revive(0);
+    resultOf(first.get());
+    resultOf(second.get());
+    fleet.stop();
+}
+
+TEST(ServiceFleet, StopDrainsEveryQueuedRequestWithATypedAnswer)
+{
+    Graph g = smallGraph(93);
+    Rng rng(94);
+    std::vector<QaoaParams> points = randomParameterSets(1, 4, rng);
+
+    TestWorkerDirectory workers(1);
+    service::WorkerFleetService fleet(workers);
+    workers.kill(0); // Everything below queues or waits.
+    std::vector<std::future<std::string>> futures;
+    for (int id = 1; id <= 3; ++id)
+        futures.push_back(
+            submitTo(fleet, evaluateRequest(id, g, points)));
+    fleet.stop();
+    // No request is dropped on the floor: the in-flight one and every
+    // queued one get exactly one typed shutting_down answer (the
+    // future would throw broken_promise if the callback never ran).
+    for (std::future<std::string> &future : futures)
+        EXPECT_EQ(errorCodeOf(future.get()),
+                  ServiceErrorCode::ShuttingDown);
+}
+
+TEST(ServiceFleet, DeadlinedRequestsExpireWhileWaitingOutARestart)
+{
+    Graph g = smallGraph(95);
+    Rng rng(96);
+    json::Value doc =
+        json::Value::parse(evaluateRequest(1, g, randomParameterSets(1, 4, rng)));
+    doc["deadline_ms"] = 50.0;
+
+    TestWorkerDirectory workers(1);
+    service::WorkerFleetService fleet(workers);
+    workers.kill(0);
+    // The lane never comes back within the deadline: the fleet must
+    // answer deadline_exceeded instead of holding the request.
+    EXPECT_EQ(errorCodeOf(submitTo(fleet, doc.dump()).get()),
+              ServiceErrorCode::DeadlineExceeded);
+    fleet.stop();
 }
 
 } // namespace

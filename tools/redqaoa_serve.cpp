@@ -11,6 +11,9 @@
  *   redqaoa_serve --shards 4            engine shard count
  *   redqaoa_serve --max-conns 64        concurrent TCP connection cap
  *   redqaoa_serve --idle-timeout-ms 30000   evict idle connections
+ *   redqaoa_serve --faults "abort@40"   arm deterministic fault injection
+ *                                       (grammar: fault_injection.hpp;
+ *                                       also env REDQAOA_FAULTS)
  *
  * The protocol is newline-delimited JSON (see src/service/protocol.hpp
  * and the README "Service" section). Stdio mode serves until EOF; TCP
@@ -65,7 +68,10 @@ usage(std::FILE *to)
         "                     accepts are bounced with `overloaded`\n"
         "                     (default 256)\n"
         "  --idle-timeout-ms N  evict connections idle that long with\n"
-        "                     nothing in flight (default 0 = never)\n");
+        "                     nothing in flight (default 0 = never)\n"
+        "  --faults SPEC      arm the deterministic fault plane (TCP\n"
+        "                     mode; overrides REDQAOA_FAULTS; grammar\n"
+        "                     in src/service/fault_injection.hpp)\n");
 }
 
 void
@@ -165,6 +171,18 @@ main(int argc, char **argv)
                 return 2;
             }
             opts.idleTimeoutMs = static_cast<double>(idle);
+        } else if (arg == "--faults") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "error: --faults needs a spec\n");
+                return 2;
+            }
+            try {
+                service::FaultPlane::global().configure(argv[i]);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "error: bad --faults spec: %s\n",
+                             e.what());
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             return 0;
@@ -199,7 +217,10 @@ main(int argc, char **argv)
         return 0;
     }
 
-    service::TcpServiceListener listener(server, port);
+    service::FaultPlane &faults = service::FaultPlane::global();
+    if (faults.enabled())
+        std::fprintf(stderr, "redqaoa_serve: FAULT INJECTION ARMED\n");
+    service::TcpServiceListener listener(server, port, &faults);
     std::fprintf(stderr, "redqaoa_serve: listening on 127.0.0.1:%d\n",
                  listener.port());
     if (!port_file.empty()) {
