@@ -1,0 +1,195 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the persistent warm-start store with the real
+# binaries (no gtest): CI's warm-restart job and the
+# `warm_restart_smoke` ctest both run exactly this.
+#
+#   usage: warm_restart_smoke.sh <redqaoa_serve> <redqaoa_lb>
+#
+# Part 1 runs the SAME optimize/evaluate trace through two stdio
+# server lifetimes sharing one --store-dir and requires (a) the second
+# lifetime's data-plane responses byte-identical to the first — the
+# store's determinism contract — and (b) its stats to report
+# store_warm_hits > 0 with zero points evaluated, proving the answers
+# came from disk, across a real process boundary.
+# Part 2 tears bytes off the log's tail (a crash mid-append) and
+# requires a third lifetime to still answer the full trace correctly
+# (recomputed cold, identical bytes) instead of crashing.
+# Part 3 fronts the store with redqaoa_lb: per-lane store directories
+# must appear, a repeated request through a RESTARTED lb must come
+# back byte-identical, and the lb health document must aggregate the
+# workers' store counters into its "engine" block.
+set -euo pipefail
+
+SERVE=${1:?usage: warm_restart_smoke.sh <redqaoa_serve> <redqaoa_lb>}
+LB=${2:?usage: warm_restart_smoke.sh <redqaoa_serve> <redqaoa_lb>}
+
+workdir=$(mktemp -d)
+lb_pid=""
+cleanup() {
+    if [ -n "$lb_pid" ] && kill -0 "$lb_pid" 2>/dev/null; then
+        kill "$lb_pid" 2>/dev/null || true
+        wait "$lb_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+store="$workdir/store"
+
+cat > "$workdir/requests.ndjson" <<'EOF'
+{"id": 1, "method": "optimize", "params": {"graph": {"nodes": 8, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,0],[0,4],[1,5]]}, "spec": {"layers": 1}, "seed": 7}}
+{"id": 2, "method": "evaluate", "params": {"graph": {"nodes": 8, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,0],[0,4],[1,5]]}, "points": [[0.3, 0.2], [0.1, 0.4], [1.25, -0.5]]}}
+{"id": 3, "method": "optimize", "params": {"graph": {"nodes": 6, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,0],[0,3]]}, "spec": {"layers": 1}, "seed": 21, "restarts": 2, "max_evaluations": 30}}
+{"id": 4, "method": "stats"}
+EOF
+
+run_trace() { # run_trace <outfile>
+    "$SERVE" --stdio --store-dir "$store" \
+        < "$workdir/requests.ndjson" > "$1" 2>> "$workdir/serve.log"
+}
+
+echo "== warm-restart smoke: cold lifetime, warm lifetime =="
+run_trace "$workdir/run1.ndjson"
+run_trace "$workdir/run2.ndjson"
+[ -s "$store/shard0/results.log" ] || {
+    echo "store log was not created" >&2
+    exit 1
+}
+
+python3 - "$workdir/run1.ndjson" "$workdir/run2.ndjson" warm <<'EOF'
+import json, sys
+
+run1 = open(sys.argv[1]).read().splitlines()
+run2 = open(sys.argv[2]).read().splitlines()
+assert len(run1) == len(run2) == 4, (len(run1), len(run2))
+
+# Data plane (everything but the stats line): byte-identical across
+# the restart — the store replays recorded bit patterns.
+for i, (a, b) in enumerate(zip(run1[:3], run2[:3])):
+    assert json.loads(a)["ok"], a
+    assert a == b, f"line {i + 1} differs across restart:\n{a}\n{b}"
+
+e1 = json.loads(run1[3])["result"]["engine"]
+e2 = json.loads(run2[3])["result"]["engine"]
+assert e1["store_warm_hits"] == 0, e1
+assert e1["store_appends"] > 0 and e1["store_records"] > 0, e1
+if sys.argv[3] == "warm":
+    # Every answer came from disk: warm hits, nothing evaluated.
+    assert e2["store_warm_hits"] > 0, e2
+    assert e2["evaluated"] == 0, e2
+    print(f"warm restart OK: {e2['store_warm_hits']} store hits,"
+          " 0 points evaluated, byte-identical responses")
+else:
+    print("recovered run OK: byte-identical responses after corruption")
+EOF
+
+echo "== warm-restart smoke: torn tail record recovers cold =="
+log="$store/shard0/results.log"
+size=$(wc -c < "$log")
+truncate -s $((size - 3)) "$log"
+run_trace "$workdir/run3.ndjson"
+python3 - "$workdir/run1.ndjson" "$workdir/run3.ndjson" recovered <<'EOF'
+import json, sys
+
+run1 = open(sys.argv[1]).read().splitlines()
+run3 = open(sys.argv[2]).read().splitlines()
+for i, (a, b) in enumerate(zip(run1[:3], run3[:3])):
+    assert b and json.loads(b)["ok"], b
+    assert a == b, f"line {i + 1} differs after corruption:\n{a}\n{b}"
+e3 = json.loads(run3[3])["result"]["engine"]
+assert e3["store_recovered_drops"] > 0, e3
+print(f"corruption OK: {e3['store_recovered_drops']} damaged segment"
+      " dropped, full trace still byte-identical")
+EOF
+
+echo "== warm-restart smoke: store handoff through redqaoa_lb =="
+lb_store="$workdir/lb_store"
+
+start_lb() {
+    rm -f "$workdir/lb.port"
+    "$LB" --serve-bin "$SERVE" --workers 2 --store-dir "$lb_store" \
+        --port-file "$workdir/lb.port" 2>> "$workdir/lb.log" &
+    lb_pid=$!
+    for _ in $(seq 1 150); do
+        [ -s "$workdir/lb.port" ] && break
+        if ! kill -0 "$lb_pid" 2>/dev/null; then
+            echo "lb died before binding:" >&2
+            cat "$workdir/lb.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    [ -s "$workdir/lb.port" ] || { echo "no lb port file" >&2; exit 1; }
+}
+
+stop_lb() {
+    kill "$lb_pid" 2>/dev/null || true
+    wait "$lb_pid" 2>/dev/null || true
+    lb_pid=""
+}
+
+drive_lb() { # drive_lb <outfile>
+    python3 - "$(cat "$workdir/lb.port")" "$1" <<'EOF'
+import json, socket, sys, time
+
+sock = socket.create_connection(("127.0.0.1", int(sys.argv[1])))
+reader = sock.makefile("r")
+
+def call(line):
+    sock.sendall((line + "\n").encode())
+    return reader.readline().rstrip("\n")
+
+req = json.dumps({"id": 1, "method": "optimize", "params": {
+    "graph": {"nodes": 8, "edges": [[0, 1], [1, 2], [2, 3], [3, 4],
+                                    [4, 5], [5, 6], [6, 7], [7, 0],
+                                    [0, 4], [1, 5]]},
+    "spec": {"layers": 1}, "seed": 7}})
+answer = call(req)
+assert json.loads(answer)["ok"], answer
+open(sys.argv[2], "w").write(answer + "\n")
+
+# The lb health document must aggregate the workers' engine blocks
+# (collected by its liveness probes — poll until one lands).
+for _ in range(100):
+    health = json.loads(call(json.dumps({"id": 2, "method": "health"})))
+    assert health["ok"], health
+    engine = health["result"].get("engine")
+    assert engine is not None, health
+    assert "store_warm_hits" in engine, engine
+    if engine["store_records"] > 0:
+        break
+    time.sleep(0.1)
+else:
+    raise AssertionError(f"lb health never aggregated store counters: {engine}")
+print(f"lb health OK: engine block aggregated"
+      f" ({engine['store_records']} records,"
+      f" {engine['store_warm_hits']} warm hits)")
+EOF
+}
+
+start_lb
+drive_lb "$workdir/lb_run1.ndjson"
+[ -d "$lb_store/worker0" ] || {
+    echo "per-lane store directory missing" >&2
+    ls -R "$lb_store" >&2 || true
+    exit 1
+}
+stop_lb
+
+# A RESTARTED lb (fresh worker processes, same store root) must answer
+# the same request byte-identically from the warm store.
+start_lb
+drive_lb "$workdir/lb_run2.ndjson"
+stop_lb
+cmp "$workdir/lb_run1.ndjson" "$workdir/lb_run2.ndjson" || {
+    echo "lb responses differ across restart" >&2
+    diff "$workdir/lb_run1.ndjson" "$workdir/lb_run2.ndjson" >&2 || true
+    exit 1
+}
+grep -q "clean shutdown" "$workdir/lb.log" || {
+    echo "lb log missing clean-shutdown marker" >&2
+    cat "$workdir/lb.log" >&2
+    exit 1
+}
+echo "lb handoff OK: per-lane stores created, restarted fleet answered byte-identically"
+echo "warm restart smoke PASSED"

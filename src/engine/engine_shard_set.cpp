@@ -4,13 +4,18 @@
 
 namespace redqaoa {
 
-EngineShardSet::EngineShardSet(int shards)
+EngineShardSet::EngineShardSet(int shards, const std::string &storeDir)
 {
     if (shards < 1)
         shards = 1;
     shards_.reserve(static_cast<std::size_t>(shards));
-    for (int i = 0; i < shards; ++i)
-        shards_.push_back(std::make_shared<EvalEngine>());
+    for (int i = 0; i < shards; ++i) {
+        auto engine = std::make_shared<EvalEngine>();
+        if (!storeDir.empty())
+            engine->attachStore(std::make_shared<ResultStore>(
+                storeDir + "/shard" + std::to_string(i)));
+        shards_.push_back(std::move(engine));
+    }
 }
 
 const std::shared_ptr<EvalEngine> &

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "engine/artifact_cache.hpp"
@@ -40,8 +41,16 @@ namespace redqaoa {
 class EngineShardSet
 {
   public:
-    /** @p shards private engines (clamped to >= 1). */
-    explicit EngineShardSet(int shards = 1);
+    /**
+     * @p shards private engines (clamped to >= 1). A non-empty
+     * @p storeDir attaches a persistent warm-start ResultStore to each
+     * shard at `<storeDir>/shard<i>` — one directory per shard, so the
+     * store's single-writer invariant follows from shard placement
+     * (and from graphStructureHash placement being restart-stable, a
+     * graph reopens the same shard store it warmed).
+     */
+    explicit EngineShardSet(int shards = 1,
+                            const std::string &storeDir = "");
 
     int shardCount() const
     {

@@ -153,9 +153,19 @@ EvalEngine::drain()
         std::vector<MemoKey> keys;
         std::vector<double> values; //!< Filled by the fan-out.
     };
+    /** One job's freshly computed points, persisted after the fan-out. */
+    struct StoreAppend
+    {
+        std::string graphKey;
+        std::string specKey;
+        std::uint64_t presentation = 0;
+        std::vector<std::pair<std::vector<std::uint64_t>, double *>>
+            points;
+    };
     std::vector<WorkItem> items;
     std::vector<MemoKey> itemKeys; //!< Memo inserts after the fan-out.
     std::vector<std::unique_ptr<BatchTask>> batchTasks;
+    std::vector<StoreAppend> storeAppends;
     /** Intra-drain duplicates: (copy destination, computed slot). */
     std::vector<std::pair<double *, const double *>> aliases;
     std::vector<JobPtr> deterministicJobs;
@@ -189,6 +199,14 @@ EvalEngine::drain()
         }
         std::uint64_t gid = cache_.graphId(job->graph);
         std::string specKey = backendCacheKey(job->spec, kind);
+        // Store key + presentation hash come before the memo lock: the
+        // canonical certificate behind the key is heavy.
+        ResultStore *rs = store_.get();
+        const std::string storeKey =
+            rs ? storeKeyFor(job->graph) : std::string();
+        const std::uint64_t presentation =
+            rs ? graphStructureHash(job->graph) : 0;
+        StoreAppend append;
         job->results.resize(job->params.size());
         // One lock per job, not per point: memo entries are only ever
         // inserted (never mutated), so holding the mutex across the
@@ -204,13 +222,30 @@ EvalEngine::drain()
                 ++memoHits;
                 continue;
             }
-            auto [fit, inserted] = firstSlot.emplace(std::move(key), slot);
-            if (!inserted) {
+            auto seen = firstSlot.find(key);
+            if (seen != firstSlot.end()) {
                 // Same point twice in this drain: compute once, copy.
-                aliases.emplace_back(slot, fit->second);
+                aliases.emplace_back(slot, seen->second);
                 ++memoHits;
                 continue;
             }
+            if (rs) {
+                // RAM-memo miss: the disk tier may have the value from
+                // a previous process lifetime (same presentation only;
+                // see result_store.hpp on ULP purity). A hit enters
+                // the RAM memo so later drains stay memo-fast.
+                double warm = 0.0;
+                if (rs->lookupPoint(storeKey, specKey, presentation,
+                                    std::get<2>(key), warm)) {
+                    *slot = warm;
+                    pointMemo_.emplace(std::move(key), warm);
+                    continue;
+                }
+            }
+            auto [fit, inserted] = firstSlot.emplace(std::move(key), slot);
+            (void)inserted;
+            if (rs)
+                append.points.emplace_back(std::get<2>(fit->first), slot);
             if (task) {
                 task->points.push_back(&job->params[i]);
                 task->slots.push_back(slot);
@@ -219,6 +254,12 @@ EvalEngine::drain()
                 items.push_back({ev.get(), &job->params[i], slot});
                 itemKeys.push_back(fit->first);
             }
+        }
+        if (rs && !append.points.empty()) {
+            append.graphKey = storeKey;
+            append.specKey = specKey;
+            append.presentation = presentation;
+            storeAppends.push_back(std::move(append));
         }
         if (task && !task->points.empty())
             batchTasks.push_back(std::move(task));
@@ -264,6 +305,18 @@ EvalEngine::drain()
             job->ready.store(true);
     }
     jobDone_.notify_all();
+
+    // Persist the freshly computed deterministic values AFTER waking
+    // the waiters: disk latency never sits between a computed value and
+    // its consumer. Slots are stable (job states are shared_ptr-held).
+    for (const StoreAppend &ap : storeAppends) {
+        std::vector<std::pair<std::vector<std::uint64_t>, double>> pts;
+        pts.reserve(ap.points.size());
+        for (const auto &[bits, slot] : ap.points)
+            pts.emplace_back(bits, *slot);
+        store_->appendPoints(ap.graphKey, ap.specKey, ap.presentation,
+                             pts);
+    }
 
     // Trajectory jobs keep whole-batch semantics, in submission order,
     // each published as soon as it completes.
@@ -317,6 +370,23 @@ EvalEngine::evaluate(const Graph &g, const EvalSpec &spec,
     return ticket.get();
 }
 
+std::string
+EvalEngine::storeKeyFor(const Graph &g)
+{
+    std::uint64_t gid = cache_.graphId(g);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = storeKeys_.find(gid);
+        if (it != storeKeys_.end())
+            return it->second;
+    }
+    // The certificate search runs outside the engine mutex (it can be
+    // expensive); a compute race just inserts the same string twice.
+    std::string key = ResultStore::graphKey(g);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return storeKeys_.emplace(gid, std::move(key)).first->second;
+}
+
 void
 EvalEngine::clearMemos()
 {
@@ -345,6 +415,11 @@ EngineStats::toJson() const
     doc["artifact_hits"] = u64(artifacts.hits);
     doc["artifact_misses"] = u64(artifacts.misses);
     doc["graphs"] = u64(artifacts.graphs);
+    doc["store_warm_hits"] = u64(store.warmHits);
+    doc["store_cold_misses"] = u64(store.coldMisses);
+    doc["store_records"] = u64(store.records);
+    doc["store_appends"] = u64(store.appends);
+    doc["store_recovered_drops"] = u64(store.recoveredDrops);
     return doc;
 }
 
@@ -363,7 +438,40 @@ EngineStats::operator+=(const EngineStats &rhs)
     artifacts.hits += rhs.artifacts.hits;
     artifacts.misses += rhs.artifacts.misses;
     artifacts.graphs += rhs.artifacts.graphs;
+    store += rhs.store;
     return *this;
+}
+
+EngineStats
+engineStatsFromJson(const json::Value &doc)
+{
+    EngineStats out;
+    if (!doc.isObject())
+        return out;
+    auto u64 = [&](const char *key) -> std::uint64_t {
+        const json::Value *v = doc.find(key);
+        if (v == nullptr || !v->isNumber() || v->asNumber() <= 0)
+            return 0;
+        return static_cast<std::uint64_t>(v->asNumber());
+    };
+    out.jobs = u64("jobs");
+    out.jobsDrained = u64("jobs_drained");
+    out.drains = u64("drains");
+    out.points = u64("points");
+    out.evaluated = u64("evaluated");
+    out.memoHits = u64("memo_hits");
+    out.trajectoryJobs = u64("trajectory_jobs");
+    out.evaluatorHits = u64("evaluator_hits");
+    out.evaluatorMisses = u64("evaluator_misses");
+    out.artifacts.hits = u64("artifact_hits");
+    out.artifacts.misses = u64("artifact_misses");
+    out.artifacts.graphs = u64("graphs");
+    out.store.warmHits = u64("store_warm_hits");
+    out.store.coldMisses = u64("store_cold_misses");
+    out.store.records = u64("store_records");
+    out.store.appends = u64("store_appends");
+    out.store.recoveredDrops = u64("store_recovered_drops");
+    return out;
 }
 
 EngineStats
@@ -375,6 +483,8 @@ EvalEngine::stats() const
         out = stats_;
     }
     out.artifacts = cache_.stats();
+    if (store_)
+        out.store = store_->stats();
     return out;
 }
 

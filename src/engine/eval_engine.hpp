@@ -54,6 +54,7 @@
 #include "engine/artifact_cache.hpp"
 #include "engine/backend_registry.hpp"
 #include "engine/eval_spec.hpp"
+#include "engine/result_store.hpp"
 #include "opt/optimizer.hpp"
 #include "quantum/evaluator.hpp"
 
@@ -119,6 +120,7 @@ struct EngineStats
     std::uint64_t evaluatorHits = 0; //!< evaluator() served from cache.
     std::uint64_t evaluatorMisses = 0; //!< evaluator() cache fills.
     ArtifactCache::Stats artifacts; //!< Cache traffic.
+    ResultStore::Stats store; //!< Warm-start store traffic (0s when none).
 
     /** memoHits / points (0 when no points were submitted). */
     double memoHitRate() const
@@ -141,7 +143,12 @@ struct EngineStats
      * The shared traffic document:
      *   {jobs, jobs_drained, drains, points, evaluated, memo_hits,
      *    memo_hit_rate, trajectory_jobs, evaluator_hits,
-     *    evaluator_misses, artifact_hits, artifact_misses, graphs}
+     *    evaluator_misses, artifact_hits, artifact_misses, graphs,
+     *    store_warm_hits, store_cold_misses, store_records,
+     *    store_appends, store_recovered_drops}
+     * The store_* counters are present (zero) even without an attached
+     * store — the key set never varies, which is the single-shape rule
+     * the service's per-shard/aggregate key-set-equality test pins.
      */
     json::Value toJson() const;
 
@@ -151,6 +158,14 @@ struct EngineStats
      */
     EngineStats &operator+=(const EngineStats &rhs);
 };
+
+/**
+ * Inverse of EngineStats::toJson for the raw counters (derived rates
+ * recompute). Missing keys read as zero, so documents from older
+ * workers still aggregate — redqaoa_lb uses this to sum the engine
+ * blocks its health probes collect from the fleet.
+ */
+EngineStats engineStatsFromJson(const json::Value &doc);
 
 class EvalEngine
 {
@@ -199,6 +214,27 @@ class EvalEngine
     ArtifactCache &artifacts() { return cache_; }
 
     /**
+     * Attach the disk-backed warm-start tier: drains consult it on
+     * point-memo misses and append newly computed deterministic values
+     * (trajectory batches stay process-local — their values depend on
+     * batch stream order). Attach before traffic: the pointer itself
+     * is unsynchronized by design, like the constructor.
+     */
+    void attachStore(std::shared_ptr<ResultStore> store)
+    {
+        store_ = std::move(store);
+    }
+
+    const std::shared_ptr<ResultStore> &store() const { return store_; }
+
+    /**
+     * The store key of @p g (ResultStore::graphKey), computed once per
+     * distinct structure and cached by graph id — the canonical
+     * certificate behind it is far too heavy for per-request work.
+     */
+    std::string storeKeyFor(const Graph &g);
+
+    /**
      * Caches grow monotonically with distinct traffic (one memo entry
      * per distinct point, one artifact set per distinct graph); a
      * bounded sweep fits comfortably, but a service looping over
@@ -238,6 +274,8 @@ class EvalEngine
     /** Whole-batch memo for the trajectory backend (see drain()). */
     std::map<MemoKey, std::shared_ptr<const std::vector<double>>>
         batchMemo_;
+    std::shared_ptr<ResultStore> store_; //!< Null without --store-dir.
+    std::map<std::uint64_t, std::string> storeKeys_; //!< By graph id.
     EngineStats stats_;
 };
 

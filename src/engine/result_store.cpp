@@ -1,0 +1,696 @@
+#include "engine/result_store.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <map>
+
+#include "graph/isomorphism.hpp"
+
+namespace redqaoa {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'Q', 'R', 'S'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint8_t kRecordOptimize = 1;
+constexpr std::uint8_t kRecordPoints = 2;
+constexpr std::size_t kMaxPayload = 1u << 26;
+constexpr std::size_t kMaxString = 1u << 20;
+/** Above this WL-bound the canonical search may blow up; key exactly. */
+constexpr double kCanonicalBudget = 1e6;
+
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::uint32_t
+crc32(const std::string &data)
+{
+    const auto &table = crcTable();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (unsigned char byte : data)
+        c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+// Little-endian, explicitly byte-serialized: the log must parse the
+// same regardless of host endianness or struct layout.
+void
+put8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+put32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void
+put64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    put32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+/** Bounds-checked little-endian payload reader; ok() gates results. */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &data) : data_(data) {}
+
+    bool ok() const { return ok_; }
+
+    std::uint8_t u8()
+    {
+        if (!need(1))
+            return 0;
+        return static_cast<std::uint8_t>(data_[off_++]);
+    }
+
+    std::uint32_t u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(data_[off_ + i]))
+                 << (8 * i);
+        off_ += 4;
+        return v;
+    }
+
+    std::uint64_t u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(data_[off_ + i]))
+                 << (8 * i);
+        off_ += 8;
+        return v;
+    }
+
+    std::string str()
+    {
+        std::uint32_t len = u32();
+        if (len > kMaxString || !need(len)) {
+            ok_ = false;
+            return {};
+        }
+        std::string s = data_.substr(off_, len);
+        off_ += len;
+        return s;
+    }
+
+    bool atEnd() const { return ok_ && off_ == data_.size(); }
+
+  private:
+    bool need(std::size_t n)
+    {
+        if (!ok_ || off_ + n > data_.size()) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::string &data_;
+    std::size_t off_ = 0;
+    bool ok_ = true;
+};
+
+std::string
+composeKey(const std::string &graph_key, const std::string &spec_key,
+           const std::string &opt_key)
+{
+    std::string k;
+    k.reserve(graph_key.size() + spec_key.size() + opt_key.size() + 2);
+    k += graph_key;
+    k += '\x1f';
+    k += spec_key;
+    k += '\x1f';
+    k += opt_key;
+    return k;
+}
+
+std::string
+composePointKey(const std::string &graph_key, const std::string &spec_key,
+                std::uint64_t presentation,
+                const std::vector<std::uint64_t> &bits)
+{
+    std::string k;
+    k.reserve(graph_key.size() + spec_key.size() + 10 + 8 * bits.size());
+    k += graph_key;
+    k += '\x1f';
+    k += spec_key;
+    k += '\x1f';
+    put64(k, presentation);
+    for (std::uint64_t w : bits)
+        put64(k, w);
+    return k;
+}
+
+std::vector<std::uint32_t>
+sortedDegrees(const Graph &g)
+{
+    std::vector<std::uint32_t> deg;
+    deg.reserve(static_cast<std::size_t>(g.numNodes()));
+    for (Node v = 0; v < g.numNodes(); ++v)
+        deg.push_back(static_cast<std::uint32_t>(g.degree(v)));
+    std::sort(deg.begin(), deg.end());
+    return deg;
+}
+
+/** degree -> fraction-of-nodes histogram (profile distance). */
+std::map<std::uint32_t, double>
+degreeProfile(const std::vector<std::uint32_t> &degrees)
+{
+    std::map<std::uint32_t, double> profile;
+    if (degrees.empty())
+        return profile;
+    const double w = 1.0 / static_cast<double>(degrees.size());
+    for (std::uint32_t d : degrees)
+        profile[d] += w;
+    return profile;
+}
+
+double
+profileDistance(const std::map<std::uint32_t, double> &a,
+                const std::map<std::uint32_t, double> &b)
+{
+    double dist = 0.0;
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() || ib != b.end()) {
+        if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+            dist += ia->second;
+            ++ia;
+        } else if (ia == a.end() || ib->first < ia->first) {
+            dist += ib->second;
+            ++ib;
+        } else {
+            dist += std::abs(ia->second - ib->second);
+            ++ia;
+            ++ib;
+        }
+    }
+    return dist;
+}
+
+std::string
+fileHeader()
+{
+    std::string h(kMagic, sizeof kMagic);
+    put32(h, kVersion);
+    return h;
+}
+
+} // namespace
+
+std::string
+ResultStore::graphKey(const Graph &g)
+{
+    if (g.numNodes() <= 64 && canonicalSearchBound(g) <= kCanonicalBudget)
+        return "c:" + canonicalCertificate(g);
+    std::string key = "x:" + std::to_string(g.numNodes()) + ":";
+    for (const Edge &e : g.edges()) {
+        key += std::to_string(e.u);
+        key += '-';
+        key += std::to_string(e.v);
+        key += ',';
+    }
+    return key;
+}
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    load();
+}
+
+ResultStore::~ResultStore()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (out_ != nullptr) {
+        std::fclose(out_);
+        out_ = nullptr;
+    }
+}
+
+void
+ResultStore::load()
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        disabled_ = true;
+        return;
+    }
+    logPath_ = dir_ + "/results.log";
+
+    std::FILE *in = std::fopen(logPath_.c_str(), "rb");
+    if (in == nullptr)
+        return; // Fresh store.
+    std::string data;
+    char buf[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, in)) > 0)
+        data.append(buf, got);
+    std::fclose(in);
+
+    if (data.empty())
+        return;
+    if (data.size() < 8 ||
+        std::memcmp(data.data(), kMagic, sizeof kMagic) != 0 ||
+        data.compare(0, 8, fileHeader()) != 0) {
+        // Bad magic or foreign schema version: the whole file is cold.
+        dirty_ = true;
+        ++stats_.recoveredDrops;
+        return;
+    }
+
+    std::size_t off = 8;
+    while (off < data.size()) {
+        if (off + 8 > data.size())
+            break; // Truncated length/crc prefix.
+        std::string lenCrc = data.substr(off, 8);
+        Reader prefix(lenCrc);
+        std::uint32_t len = prefix.u32();
+        std::uint32_t crc = prefix.u32();
+        if (len == 0 || len > kMaxPayload || off + 8 + len > data.size())
+            break; // Truncated or absurd record.
+        std::string payload = data.substr(off + 8, len);
+        if (crc32(payload) != crc)
+            break; // Flipped bits; everything after is untrusted.
+        if (!indexPayload(payload))
+            break; // CRC-valid but unparseable: schema confusion.
+        off += 8 + len;
+    }
+    if (off != data.size()) {
+        dirty_ = true;
+        ++stats_.recoveredDrops;
+    }
+}
+
+bool
+ResultStore::indexPayload(const std::string &payload)
+{
+    Reader r(payload);
+    std::uint8_t type = r.u8();
+    if (type == kRecordOptimize) {
+        OptEntry entry;
+        entry.graphKey = r.str();
+        entry.specKey = r.str();
+        entry.optKey = r.str();
+        entry.layers = r.u32();
+        entry.nodes = r.u32();
+        entry.edges = r.u32();
+        std::uint32_t deg_count = r.u32();
+        if (!r.ok() || deg_count > (1u << 20))
+            return false;
+        entry.degrees.reserve(deg_count);
+        for (std::uint32_t i = 0; i < deg_count; ++i)
+            entry.degrees.push_back(r.u32());
+        std::uint32_t x_count = r.u32();
+        if (!r.ok() || x_count > (1u << 16))
+            return false;
+        entry.rec.xBits.reserve(x_count);
+        for (std::uint32_t i = 0; i < x_count; ++i)
+            entry.rec.xBits.push_back(r.u64());
+        entry.rec.valueBits = r.u64();
+        entry.rec.evaluations = r.u32();
+        entry.rec.restarts = r.u32();
+        entry.rec.seeded = r.u8();
+        if (!r.atEnd())
+            return false;
+        indexOptimize(std::move(entry));
+        return true;
+    }
+    if (type == kRecordPoints) {
+        std::string graph_key = r.str();
+        std::string spec_key = r.str();
+        std::uint64_t presentation = r.u64();
+        std::uint32_t count = r.u32();
+        if (!r.ok() || count > (1u << 20))
+            return false;
+        std::vector<PointEntry> batch;
+        batch.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            PointEntry entry;
+            entry.graphKey = graph_key;
+            entry.specKey = spec_key;
+            entry.presentation = presentation;
+            std::uint32_t words = r.u32();
+            if (!r.ok() || words > (1u << 12))
+                return false;
+            entry.paramBits.reserve(words);
+            for (std::uint32_t w = 0; w < words; ++w)
+                entry.paramBits.push_back(r.u64());
+            entry.valueBits = r.u64();
+            batch.push_back(std::move(entry));
+        }
+        if (!r.atEnd())
+            return false;
+        for (PointEntry &entry : batch)
+            indexPoint(std::move(entry));
+        return true;
+    }
+    return false;
+}
+
+bool
+ResultStore::indexOptimize(OptEntry entry)
+{
+    std::string key =
+        composeKey(entry.graphKey, entry.specKey, entry.optKey);
+    auto [it, inserted] = optIndex_.emplace(std::move(key), opts_.size());
+    (void)it;
+    if (!inserted)
+        return false; // First record per key wins (replay pinning).
+    opts_.push_back(std::move(entry));
+    ++stats_.records;
+    return true;
+}
+
+bool
+ResultStore::indexPoint(PointEntry entry)
+{
+    std::string key = composePointKey(entry.graphKey, entry.specKey,
+                                      entry.presentation, entry.paramBits);
+    auto [it, inserted] =
+        pointIndex_.emplace(std::move(key), points_.size());
+    (void)it;
+    if (!inserted)
+        return false;
+    points_.push_back(std::move(entry));
+    ++stats_.records;
+    return true;
+}
+
+bool
+ResultStore::rewriteLocked()
+{
+    if (out_ != nullptr) {
+        std::fclose(out_);
+        out_ = nullptr;
+    }
+    const std::string tmp = logPath_ + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+
+    auto writeRecord = [&](const std::string &payload) {
+        std::string frame;
+        put32(frame, static_cast<std::uint32_t>(payload.size()));
+        put32(frame, crc32(payload));
+        frame += payload;
+        return std::fwrite(frame.data(), 1, frame.size(), f) ==
+               frame.size();
+    };
+
+    const std::string header = fileHeader();
+    bool ok =
+        std::fwrite(header.data(), 1, header.size(), f) == header.size();
+    for (const OptEntry &entry : opts_) {
+        if (!ok)
+            break;
+        std::string payload;
+        put8(payload, kRecordOptimize);
+        putString(payload, entry.graphKey);
+        putString(payload, entry.specKey);
+        putString(payload, entry.optKey);
+        put32(payload, entry.layers);
+        put32(payload, entry.nodes);
+        put32(payload, entry.edges);
+        put32(payload, static_cast<std::uint32_t>(entry.degrees.size()));
+        for (std::uint32_t d : entry.degrees)
+            put32(payload, d);
+        put32(payload, static_cast<std::uint32_t>(entry.rec.xBits.size()));
+        for (std::uint64_t w : entry.rec.xBits)
+            put64(payload, w);
+        put64(payload, entry.rec.valueBits);
+        put32(payload, entry.rec.evaluations);
+        put32(payload, entry.rec.restarts);
+        put8(payload, entry.rec.seeded);
+        ok = writeRecord(payload);
+    }
+    for (const PointEntry &entry : points_) {
+        if (!ok)
+            break;
+        std::string payload;
+        put8(payload, kRecordPoints);
+        putString(payload, entry.graphKey);
+        putString(payload, entry.specKey);
+        put64(payload, entry.presentation);
+        put32(payload, 1);
+        put32(payload, static_cast<std::uint32_t>(entry.paramBits.size()));
+        for (std::uint64_t w : entry.paramBits)
+            put64(payload, w);
+        put64(payload, entry.valueBits);
+        ok = writeRecord(payload);
+    }
+    ok = (std::fflush(f) == 0) && ok;
+    std::fclose(f);
+    if (!ok || std::rename(tmp.c_str(), logPath_.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    out_ = std::fopen(logPath_.c_str(), "ab");
+    return out_ != nullptr;
+}
+
+void
+ResultStore::appendRecordLocked(const std::string &payload)
+{
+    if (disabled_)
+        return;
+    ++stats_.appends;
+    if (dirty_) {
+        // The index already holds the new entries; one rewrite flushes
+        // a clean log containing them (truncate-and-rebuild).
+        if (rewriteLocked())
+            dirty_ = false;
+        else
+            disabled_ = true;
+        return;
+    }
+    if (out_ == nullptr) {
+        out_ = std::fopen(logPath_.c_str(), "ab");
+        if (out_ == nullptr) {
+            disabled_ = true;
+            return;
+        }
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(logPath_, ec);
+        if (!ec && size == 0) {
+            const std::string header = fileHeader();
+            std::fwrite(header.data(), 1, header.size(), out_);
+        }
+    }
+    std::string frame;
+    put32(frame, static_cast<std::uint32_t>(payload.size()));
+    put32(frame, crc32(payload));
+    frame += payload;
+    if (std::fwrite(frame.data(), 1, frame.size(), out_) !=
+            frame.size() ||
+        std::fflush(out_) != 0) {
+        std::fclose(out_);
+        out_ = nullptr;
+        disabled_ = true; // Disk gone: keep serving from memory.
+    }
+}
+
+bool
+ResultStore::lookupOptimize(const std::string &graph_key,
+                            const std::string &spec_key,
+                            const std::string &opt_key,
+                            OptimizeRecord &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = optIndex_.find(composeKey(graph_key, spec_key, opt_key));
+    if (it == optIndex_.end()) {
+        ++stats_.coldMisses;
+        return false;
+    }
+    ++stats_.warmHits;
+    out = opts_[it->second].rec;
+    return true;
+}
+
+void
+ResultStore::recordOptimize(const std::string &graph_key,
+                            const std::string &spec_key,
+                            const std::string &opt_key, const Graph &g,
+                            int layers, const OptimizeRecord &rec)
+{
+    OptEntry entry;
+    entry.graphKey = graph_key;
+    entry.specKey = spec_key;
+    entry.optKey = opt_key;
+    entry.layers = static_cast<std::uint32_t>(layers);
+    entry.nodes = static_cast<std::uint32_t>(g.numNodes());
+    entry.edges = static_cast<std::uint32_t>(g.numEdges());
+    entry.degrees = sortedDegrees(g);
+    entry.rec = rec;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!indexOptimize(entry))
+        return;
+    std::string payload;
+    put8(payload, kRecordOptimize);
+    putString(payload, entry.graphKey);
+    putString(payload, entry.specKey);
+    putString(payload, entry.optKey);
+    put32(payload, entry.layers);
+    put32(payload, entry.nodes);
+    put32(payload, entry.edges);
+    put32(payload, static_cast<std::uint32_t>(entry.degrees.size()));
+    for (std::uint32_t d : entry.degrees)
+        put32(payload, d);
+    put32(payload, static_cast<std::uint32_t>(entry.rec.xBits.size()));
+    for (std::uint64_t w : entry.rec.xBits)
+        put64(payload, w);
+    put64(payload, entry.rec.valueBits);
+    put32(payload, entry.rec.evaluations);
+    put32(payload, entry.rec.restarts);
+    put8(payload, entry.rec.seeded);
+    appendRecordLocked(payload);
+}
+
+bool
+ResultStore::lookupPoint(const std::string &graph_key,
+                         const std::string &spec_key,
+                         std::uint64_t presentation,
+                         const std::vector<std::uint64_t> &param_bits,
+                         double &value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pointIndex_.find(
+        composePointKey(graph_key, spec_key, presentation, param_bits));
+    if (it == pointIndex_.end()) {
+        ++stats_.coldMisses;
+        return false;
+    }
+    ++stats_.warmHits;
+    value = std::bit_cast<double>(points_[it->second].valueBits);
+    return true;
+}
+
+void
+ResultStore::appendPoints(
+    const std::string &graph_key, const std::string &spec_key,
+    std::uint64_t presentation,
+    const std::vector<std::pair<std::vector<std::uint64_t>, double>>
+        &points)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::size_t> fresh;
+    fresh.reserve(points.size());
+    for (const auto &[bits, value] : points) {
+        PointEntry entry;
+        entry.graphKey = graph_key;
+        entry.specKey = spec_key;
+        entry.presentation = presentation;
+        entry.paramBits = bits;
+        entry.valueBits = std::bit_cast<std::uint64_t>(value);
+        std::size_t slot = points_.size();
+        if (indexPoint(std::move(entry)))
+            fresh.push_back(slot);
+    }
+    if (fresh.empty())
+        return;
+    std::string payload;
+    put8(payload, kRecordPoints);
+    putString(payload, graph_key);
+    putString(payload, spec_key);
+    put64(payload, presentation);
+    put32(payload, static_cast<std::uint32_t>(fresh.size()));
+    for (std::size_t slot : fresh) {
+        const PointEntry &entry = points_[slot];
+        put32(payload, static_cast<std::uint32_t>(entry.paramBits.size()));
+        for (std::uint64_t w : entry.paramBits)
+            put64(payload, w);
+        put64(payload, entry.valueBits);
+    }
+    appendRecordLocked(payload);
+}
+
+bool
+ResultStore::findDonor(const std::string &graph_key,
+                       const std::string &spec_key, int layers,
+                       const Graph &g, TransferDonor &out)
+{
+    const std::map<std::uint32_t, double> profile =
+        degreeProfile(sortedDegrees(g));
+    const auto want_layers = static_cast<std::uint32_t>(layers);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const OptEntry *best = nullptr;
+    double best_dist = 0.0;
+    for (const OptEntry &entry : opts_) {
+        if (entry.specKey != spec_key || entry.layers != want_layers ||
+            entry.graphKey == graph_key)
+            continue;
+        double dist =
+            std::abs(static_cast<double>(entry.nodes) -
+                     static_cast<double>(g.numNodes())) +
+            profileDistance(profile, degreeProfile(entry.degrees));
+        if (best == nullptr || dist < best_dist) {
+            best = &entry;
+            best_dist = dist;
+        }
+    }
+    if (best == nullptr)
+        return false;
+    out.x.clear();
+    out.x.reserve(best->rec.xBits.size());
+    for (std::uint64_t w : best->rec.xBits)
+        out.x.push_back(std::bit_cast<double>(w));
+    out.nodes = static_cast<int>(best->nodes);
+    out.distance = best_dist;
+    return true;
+}
+
+ResultStore::Stats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+bool
+ResultStore::persistent() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !disabled_;
+}
+
+} // namespace redqaoa

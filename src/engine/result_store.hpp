@@ -1,0 +1,222 @@
+/**
+ * @file
+ * ResultStore: the disk-backed warm-start tier under the engine. All
+ * other caching (ArtifactCache, the engine point memo) dies with the
+ * process; the store persists the two things worth keeping across
+ * restarts — optimization results and deterministic point values —
+ * plus a parameter-transfer index that seeds fresh optimizations from
+ * the best parameters of structurally similar graphs (the paper's
+ * fig 21 parameter-transfer result, industrialized).
+ *
+ * Keying is iso-canonical: graphKey() is "c:" + canonicalCertificate
+ * when the certificate search is tractable, so isomorphic duplicates
+ * of a graph hit ONE store entry. Tractability is gated on
+ * canonicalSearchBound (an isomorphism-invariant estimate), because
+ * the canonical search degenerates to n! on highly symmetric graphs
+ * WL cannot split (large cliques/cycles); those fall back to an
+ * exact-structure key "x:..." — no iso-dedup, still warm on repeats.
+ * Both sides of an isomorphic pair always take the same branch.
+ *
+ * Determinism contract. Values are stored as exact double bit
+ * patterns, so replaying a record reproduces the recorded response
+ * byte for byte: within one store lifetime, identical requests get
+ * byte-identical answers (the first answer wins and is pinned).
+ * Point values additionally carry the recording graph's exact
+ * presentation hash and only serve the SAME presentation — isomorphic
+ * relabelings evaluate in a different summation order and may differ
+ * in final-ULP rounding, so cross-iso sharing is confined to the
+ * optimize/transfer level where parameters are relabeling-invariant.
+ * Trajectory (noisy) batches are never persisted: their values depend
+ * on batch stream order, not just the point.
+ *
+ * On-disk format (results.log in the store directory):
+ *   header:  "RQRS" magic + u32 LE schema version (1)
+ *   record:  u32 LE payload length, u32 LE CRC-32 of the payload,
+ *            payload (first byte = record type; doubles as u64 bits)
+ * Append-only; loads build the in-memory index in one pass. Any
+ * damage — truncated tail, CRC mismatch, bad length — keeps the valid
+ * prefix and drops the rest; a bad header (magic/version) loads as
+ * fully cold. Loading NEVER throws and never crashes the server: the
+ * worst corruption costs recomputation, not availability. A damaged
+ * file is rewritten from the index via tmp-file + atomic rename on
+ * the next append, so one flush restores a clean log.
+ *
+ * Concurrency: one ResultStore owns one directory (per-shard under
+ * EngineShardSet, per-worker-lane under redqaoa_lb — the supervisor
+ * reaps a dead worker before respawning its lane, so the single-writer
+ * invariant holds across restarts). All methods are mutex-guarded.
+ */
+
+#ifndef REDQAOA_ENGINE_RESULT_STORE_HPP
+#define REDQAOA_ENGINE_RESULT_STORE_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace redqaoa {
+
+class ResultStore
+{
+  public:
+    /** Warm/cold traffic + record accounting (EngineStats embeds it). */
+    struct Stats
+    {
+        std::uint64_t warmHits = 0;   //!< Lookups served from the store.
+        std::uint64_t coldMisses = 0; //!< Lookups that found nothing.
+        std::uint64_t records = 0;    //!< Live records in the index.
+        std::uint64_t appends = 0;    //!< Records appended this process.
+        std::uint64_t recoveredDrops = 0; //!< Damaged log segments dropped.
+
+        Stats &operator+=(const Stats &rhs)
+        {
+            warmHits += rhs.warmHits;
+            coldMisses += rhs.coldMisses;
+            records += rhs.records;
+            appends += rhs.appends;
+            recoveredDrops += rhs.recoveredDrops;
+            return *this;
+        }
+    };
+
+    /** One persisted optimize outcome, exact to the bit. */
+    struct OptimizeRecord
+    {
+        std::vector<std::uint64_t> xBits; //!< Best flattened params.
+        std::uint64_t valueBits = 0; //!< Minimized objective (-<H_c>).
+        std::uint32_t evaluations = 0; //!< Objective calls consumed.
+        std::uint32_t restarts = 0;
+        std::uint8_t seeded = 0; //!< Produced under transfer seeding.
+    };
+
+    /** Nearest structurally-similar prior optimum (transfer index). */
+    struct TransferDonor
+    {
+        std::vector<double> x; //!< Donor's best flattened parameters.
+        int nodes = 0;         //!< Donor graph's node count.
+        double distance = 0.0; //!< |dn| + degree-profile L1 distance.
+    };
+
+    /**
+     * Open (or create) the store rooted at @p dir. Never throws: an
+     * unwritable/corrupt directory degrades to a memory-only store
+     * (persistent() == false) that still warms within the process.
+     */
+    explicit ResultStore(std::string dir);
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /**
+     * The store key of @p g: "c:" + canonicalCertificate when the
+     * certificate search bound fits the budget (isomorphic duplicates
+     * share the entry), else the exact-structure fallback "x:...".
+     */
+    static std::string graphKey(const Graph &g);
+
+    /** Exact record replay for (graphKey, specKey, optKey). */
+    bool lookupOptimize(const std::string &graph_key,
+                        const std::string &spec_key,
+                        const std::string &opt_key, OptimizeRecord &out);
+
+    /**
+     * Persist an optimize outcome (also feeds the transfer index with
+     * @p g's node count / degree profile at @p layers). First record
+     * per key wins; duplicates are dropped, not rewritten.
+     */
+    void recordOptimize(const std::string &graph_key,
+                        const std::string &spec_key,
+                        const std::string &opt_key, const Graph &g,
+                        int layers, const OptimizeRecord &rec);
+
+    /**
+     * Deterministic point value for exact @p param_bits recorded by
+     * the same presentation (see the header comment: ULP purity).
+     */
+    bool lookupPoint(const std::string &graph_key,
+                     const std::string &spec_key,
+                     std::uint64_t presentation,
+                     const std::vector<std::uint64_t> &param_bits,
+                     double &value);
+
+    /** Persist a batch of computed deterministic point values. */
+    void appendPoints(
+        const std::string &graph_key, const std::string &spec_key,
+        std::uint64_t presentation,
+        const std::vector<std::pair<std::vector<std::uint64_t>, double>>
+            &points);
+
+    /**
+     * Best transfer donor for a FRESH graph: nearest prior optimize
+     * record with the same spec key and layer count but a different
+     * iso-class, by |node count delta| + degree-profile L1 distance.
+     * Deterministic: ties keep the earliest record.
+     */
+    bool findDonor(const std::string &graph_key,
+                   const std::string &spec_key, int layers,
+                   const Graph &g, TransferDonor &out);
+
+    Stats stats() const;
+
+    const std::string &dir() const { return dir_; }
+
+    /** False when the directory could not be opened for writing. */
+    bool persistent() const;
+
+  private:
+    struct OptEntry
+    {
+        std::string graphKey;
+        std::string specKey;
+        std::string optKey;
+        std::uint32_t layers = 0;
+        std::uint32_t nodes = 0;
+        std::uint32_t edges = 0;
+        std::vector<std::uint32_t> degrees; //!< Sorted ascending.
+        OptimizeRecord rec;
+    };
+
+    struct PointEntry
+    {
+        std::string graphKey;
+        std::string specKey;
+        std::uint64_t presentation = 0;
+        std::vector<std::uint64_t> paramBits;
+        std::uint64_t valueBits = 0;
+    };
+
+    /** Parse + index the existing log (ctor; never throws). */
+    void load();
+    /** Index one record payload; false on a malformed payload. */
+    bool indexPayload(const std::string &payload);
+    /** Append one serialized record, rewriting first when dirty. */
+    void appendRecordLocked(const std::string &payload);
+    /** Rewrite the whole log from the index (tmp + atomic rename). */
+    bool rewriteLocked();
+    bool indexOptimize(OptEntry entry);
+    bool indexPoint(PointEntry entry);
+
+    std::string dir_;
+    std::string logPath_;
+    mutable std::mutex mutex_;
+    std::FILE *out_ = nullptr; //!< Append stream (null until needed).
+    bool dirty_ = false; //!< Damage seen on load; rewrite on append.
+    bool disabled_ = false; //!< Directory unusable; memory-only mode.
+    Stats stats_;
+
+    std::vector<OptEntry> opts_; //!< Insertion order (donor ties).
+    std::unordered_map<std::string, std::size_t> optIndex_;
+    std::vector<PointEntry> points_;
+    std::unordered_map<std::string, std::size_t> pointIndex_;
+};
+
+} // namespace redqaoa
+
+#endif // REDQAOA_ENGINE_RESULT_STORE_HPP

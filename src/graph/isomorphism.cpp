@@ -161,6 +161,24 @@ canonicalCertificate(const Graph &g)
     return os.str();
 }
 
+double
+canonicalSearchBound(const Graph &g)
+{
+    std::map<int, int> class_sizes;
+    for (int c : wlColors(g))
+        ++class_sizes[c];
+    double bound = 1.0;
+    for (const auto &[color, size] : class_sizes) {
+        (void)color;
+        for (int k = 2; k <= size; ++k) {
+            bound *= static_cast<double>(k);
+            if (bound >= 1e18)
+                return 1e18;
+        }
+    }
+    return bound;
+}
+
 bool
 isIsomorphic(const Graph &a, const Graph &b)
 {

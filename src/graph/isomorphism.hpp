@@ -31,6 +31,19 @@ std::string canonicalCertificate(const Graph &g);
 bool isIsomorphic(const Graph &a, const Graph &b);
 
 /**
+ * Conservative cost bound of canonicalCertificate's backtracking
+ * search: the product of factorials of the Weisfeiler-Leman color
+ * class sizes (the search only permutes within classes), saturated at
+ * 1e18. Isomorphism-invariant — two isomorphic graphs get the same
+ * bound — so callers can gate certificate use on it and isomorphic
+ * inputs consistently take the same branch (ResultStore keying does
+ * exactly this: highly symmetric graphs like large cliques or cycles,
+ * where WL cannot split the one color class and the search degenerates
+ * to n!, fall back to exact-structure keys).
+ */
+double canonicalSearchBound(const Graph &g);
+
+/**
  * Deduplicate a family of graphs up to isomorphism, preserving first
  * occurrence order. @return indices of the survivors in @p graphs.
  */

@@ -110,7 +110,8 @@ ServiceServer::ServiceServer(ServerOptions opts,
                              std::shared_ptr<EngineShardSet> engines)
     : opts_(opts),
       engines_(engines ? std::move(engines)
-                       : std::make_shared<EngineShardSet>(opts.shards))
+                       : std::make_shared<EngineShardSet>(
+                             opts.shards, opts.storeDir))
 {
     if (opts_.queueCapacity < 1)
         throw std::invalid_argument(
@@ -346,6 +347,10 @@ ServiceServer::healthResult() const
     doc["in_flight"] =
         static_cast<std::size_t>(stats_.admitted - completedAdmitted_);
     doc["served"] = static_cast<std::size_t>(stats_.served);
+    // The engine traffic document rides on health so the supervisor's
+    // liveness probes double as stat collection (aggregateStats takes
+    // per-engine locks only; engines never call back into the server).
+    doc["engine"] = engines_->aggregateStats().toJson();
     return doc;
 }
 

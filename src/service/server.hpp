@@ -151,6 +151,12 @@ struct ServerOptions
     std::size_t maxConnections = 256;
     /** Evict idle TCP connections after this long (0 = never). */
     double idleTimeoutMs = 0.0;
+    /**
+     * Root of the persistent warm-start store (empty = disabled).
+     * Each engine shard opens `<storeDir>/shard<i>`; ignored when a
+     * prebuilt shard set is given.
+     */
+    std::string storeDir;
 };
 
 /**
@@ -248,7 +254,9 @@ class ServiceServer : public LineService
      * The `health` liveness document, built from the same counters the
      * stats path reports: {"status": "ok"|"stopping",
      * "uptime_seconds", "pid", "shards", "queue_depths": [per shard],
-     * "in_flight" (admitted, not yet answered), "served"}.
+     * "in_flight" (admitted, not yet answered), "served", "engine"
+     * (the aggregate EngineStats::toJson document — redqaoa_lb's
+     * supervisor reads the store_* warm-start counters from here)}.
      */
     json::Value healthResult() const;
 

@@ -112,6 +112,13 @@ WorkerSupervisor::spawnLocked(std::unique_lock<std::mutex> &lock,
     args.push_back("0");
     args.push_back("--port-file");
     args.push_back(w.portFile);
+    if (!opts_.storeDir.empty()) {
+        // Per-lane store directory: the single-writer invariant holds
+        // because a dead worker is reaped before its lane respawns.
+        args.push_back("--store-dir");
+        args.push_back(opts_.storeDir + "/worker" +
+                       std::to_string(index));
+    }
     for (const std::string &extra : opts_.workerArgs)
         args.push_back(extra);
     if (!opts_.workerFaults.empty()) {
@@ -197,7 +204,7 @@ WorkerSupervisor::spawnLocked(std::unique_lock<std::mutex> &lock,
 }
 
 bool
-WorkerSupervisor::probeHealth(int port) const
+WorkerSupervisor::probeHealth(int port, EngineStats &engine_out) const
 {
     const int timeout_ms =
         std::max(1, static_cast<int>(opts_.probeTimeoutMs));
@@ -217,6 +224,15 @@ WorkerSupervisor::probeHealth(int port) const
             try {
                 Response resp = parseResponse(line);
                 ok = resp.ok;
+                // Liveness probes double as stat collection: the
+                // worker's engine counters ride on its health document
+                // (missing on older workers -> zeros).
+                if (ok) {
+                    const json::Value *engine =
+                        resp.result.find("engine");
+                    engine_out = engine ? engineStatsFromJson(*engine)
+                                        : EngineStats{};
+                }
             } catch (...) {
                 ok = false;
             }
@@ -300,12 +316,14 @@ WorkerSupervisor::monitorLoop()
                 const int port = w.port;
                 const std::uint64_t generation = w.generation;
                 lock.unlock();
-                const bool healthy = probeHealth(port);
+                EngineStats probedStats;
+                const bool healthy = probeHealth(port, probedStats);
                 lock.lock();
                 if (w.generation != generation || !w.up)
                     continue; // Lane changed underneath the probe.
                 if (healthy) {
                     w.misses = 0;
+                    w.engineStats = probedStats;
                     continue;
                 }
                 ++w.misses;
@@ -436,6 +454,16 @@ WorkerSupervisor::statusJson() const
     return out;
 }
 
+EngineStats
+WorkerSupervisor::engineStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    EngineStats total;
+    for (const Worker &w : workers_)
+        total += w.engineStats;
+    return total;
+}
+
 std::uint64_t
 WorkerSupervisor::totalRestarts() const
 {
@@ -510,6 +538,9 @@ WorkerFleetService::healthResult() const
         std::chrono::duration<double>(Clock::now() - startTime_).count();
     doc["pid"] = static_cast<std::size_t>(::getpid());
     doc["workers"] = workers_.statusJson();
+    // Fleet-summed engine counters (same single-shape document the
+    // workers emit), so the lb surfaces the warm-start store traffic.
+    doc["engine"] = workers_.engineStats().toJson();
     json::Value depths = json::Value::array();
     for (const auto &lane : lanes_)
         depths.push(json::Value(lane->queue.size()));

@@ -123,6 +123,15 @@ class WorkerDirectory
 
     /** Per-lane status array for the lb `health` document. */
     virtual json::Value statusJson() const = 0;
+
+    /**
+     * Counter-sum of the fleet's engine traffic documents (the lb
+     * `health` "engine" block — includes the store_* warm-start
+     * counters). Defaults to zeros for directories that do not
+     * collect engine stats; WorkerSupervisor sums what its health
+     * probes last observed per lane.
+     */
+    virtual EngineStats engineStats() const { return {}; }
 };
 
 /** Knobs of the fork/exec supervisor. */
@@ -136,6 +145,13 @@ struct SupervisorOptions
     std::vector<std::string> workerArgs;
     /** --faults spec handed to every worker ("" = none). */
     std::string workerFaults;
+    /**
+     * Root of the persistent warm-start store ("" = none). Lane i gets
+     * `--store-dir <storeDir>/worker<i>` — one directory per lane, and
+     * the supervisor reaps a dead worker before respawning its lane,
+     * so the store's single-writer invariant survives restarts.
+     */
+    std::string storeDir;
     /** Directory for port files ("" = a fresh mkdtemp directory). */
     std::string portFileDir;
     /** How long a spawned worker may take to write its port file. */
@@ -178,6 +194,7 @@ class WorkerSupervisor : public WorkerDirectory
     void reportFailure(std::size_t index,
                        std::uint64_t generation) override;
     json::Value statusJson() const override;
+    EngineStats engineStats() const override;
 
     /** Total restarts across all lanes (observability/tests). */
     std::uint64_t totalRestarts() const;
@@ -199,6 +216,9 @@ class WorkerSupervisor : public WorkerDirectory
         Clock::time_point restartAt{}; //!< Earliest next spawn.
         std::string portFile;
         int lastExitStatus = 0; //!< Raw waitpid status of the last death.
+        /** Engine counters from the last successful health probe (the
+         *  worker's own aggregate; zeros until the first probe). */
+        EngineStats engineStats;
     };
 
     void monitorLoop();
@@ -206,8 +226,10 @@ class WorkerSupervisor : public WorkerDirectory
      *  waiting for the port file). True when the worker came up. */
     bool spawnLocked(std::unique_lock<std::mutex> &lock,
                      std::size_t index);
-    /** One health round trip to @p port; false on timeout/error. */
-    bool probeHealth(int port) const;
+    /** One health round trip to @p port; false on timeout/error. On
+     *  success fills @p engine_out from the response's "engine" block
+     *  (zeros when an older worker omits it). */
+    bool probeHealth(int port, EngineStats &engine_out) const;
     /** Note lane @p index's current process as dead; schedule restart
      *  or mark Failed (mutex held). */
     void markDownLocked(Worker &w, int exit_status);
@@ -270,8 +292,10 @@ class WorkerFleetService : public LineService
     /**
      * The lb `health` document: {"status", "role": "lb",
      * "uptime_seconds", "pid", "workers": [per-lane status],
-     * "queue_depths": [per lane], "in_flight", "served", "forwarded",
-     * "replays", "worker_failures"[, "faults": plane stats]}.
+     * "engine" (fleet-summed EngineStats::toJson, incl. the store_*
+     * warm-start counters), "queue_depths": [per lane], "in_flight",
+     * "served", "forwarded", "replays", "worker_failures"[, "faults":
+     * plane stats]}.
      */
     json::Value healthResult() const;
 

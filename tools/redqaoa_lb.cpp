@@ -9,6 +9,8 @@
  *   redqaoa_lb --worker-arg --threads --worker-arg 2    pass-through args
  *   redqaoa_lb --worker-faults "abort@40"               chaos the workers
  *   redqaoa_lb --faults "reset@10/40"                   chaos the front
+ *   redqaoa_lb --store-dir DIR          per-lane persistent warm-start
+ *                                       stores (survive restarts)
  *
  * Requests are routed by graph-structure hash (same graph -> same
  * worker -> same shard: the bit-identity contract holds through the
@@ -50,8 +52,9 @@ usage(std::FILE *to)
         "                  [--port-file PATH] [--queue N]\n"
         "                  [--max-conns N] [--idle-timeout-ms N]\n"
         "                  [--replay-budget N] [--max-restarts N]\n"
-        "                  [--worker-arg ARG]... [--worker-faults SPEC]\n"
-        "                  [--faults SPEC] [--help]\n"
+        "                  [--store-dir DIR] [--worker-arg ARG]...\n"
+        "                  [--worker-faults SPEC] [--faults SPEC]\n"
+        "                  [--help]\n"
         "\n"
         "  --serve-bin P      path to the redqaoa_serve binary\n"
         "                     (required)\n"
@@ -68,6 +71,10 @@ usage(std::FILE *to)
         "                     typed `worker_failed` answer (default 4)\n"
         "  --max-restarts N   restarts per worker lane before it is\n"
         "                     permanently failed (default 8)\n"
+        "  --store-dir DIR    persistent warm-start store root; lane i\n"
+        "                     gets DIR/worker<i> (a restarted worker\n"
+        "                     reopens its lane's store and answers\n"
+        "                     repeat requests warm, byte-identically)\n"
         "  --worker-arg A     extra argv entry for every worker\n"
         "                     (repeatable; e.g. --worker-arg --threads\n"
         "                     --worker-arg 2)\n"
@@ -166,6 +173,8 @@ main(int argc, char **argv)
                 return 2;
             }
             sup.maxRestarts = static_cast<int>(n);
+        } else if (arg == "--store-dir") {
+            sup.storeDir = value("--store-dir");
         } else if (arg == "--worker-arg") {
             sup.workerArgs.push_back(value("--worker-arg"));
         } else if (arg == "--worker-faults") {

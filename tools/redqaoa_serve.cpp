@@ -11,6 +11,9 @@
  *   redqaoa_serve --shards 4            engine shard count
  *   redqaoa_serve --max-conns 64        concurrent TCP connection cap
  *   redqaoa_serve --idle-timeout-ms 30000   evict idle connections
+ *   redqaoa_serve --store-dir DIR       persistent warm-start store
+ *                                       (survives restarts; README
+ *                                       "Persistent warm-start")
  *   redqaoa_serve --faults "abort@40"   arm deterministic fault injection
  *                                       (grammar: fault_injection.hpp;
  *                                       also env REDQAOA_FAULTS)
@@ -53,7 +56,7 @@ usage(std::FILE *to)
         "                     [--port-file PATH] [--threads N]\n"
         "                     [--queue N] [--shards N]\n"
         "                     [--max-conns N] [--idle-timeout-ms N]\n"
-        "                     [--help]\n"
+        "                     [--store-dir DIR] [--help]\n"
         "\n"
         "  --stdio            serve stdin/stdout (default)\n"
         "  --tcp              serve a localhost TCP socket\n"
@@ -69,6 +72,9 @@ usage(std::FILE *to)
         "                     (default 256)\n"
         "  --idle-timeout-ms N  evict connections idle that long with\n"
         "                     nothing in flight (default 0 = never)\n"
+        "  --store-dir DIR    persist optimize/point results under DIR\n"
+        "                     (one subdir per shard); restarts replay\n"
+        "                     warm, byte-identical answers\n"
         "  --faults SPEC      arm the deterministic fault plane (TCP\n"
         "                     mode; overrides REDQAOA_FAULTS; grammar\n"
         "                     in src/service/fault_injection.hpp)\n");
@@ -171,6 +177,13 @@ main(int argc, char **argv)
                 return 2;
             }
             opts.idleTimeoutMs = static_cast<double>(idle);
+        } else if (arg == "--store-dir") {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "error: --store-dir needs a path\n");
+                return 2;
+            }
+            opts.storeDir = argv[i];
         } else if (arg == "--faults") {
             if (++i >= argc) {
                 std::fprintf(stderr, "error: --faults needs a spec\n");
@@ -205,10 +218,12 @@ main(int argc, char **argv)
     service::ServiceServer server(opts);
     std::fprintf(stderr,
                  "redqaoa_serve: threads=%d queue=%zu shards=%d"
-                 " max-conns=%zu idle-timeout-ms=%.0f\n",
+                 " max-conns=%zu idle-timeout-ms=%.0f store-dir=%s\n",
                  ThreadPool::globalThreadCount(), opts.queueCapacity,
                  server.options().shards, opts.maxConnections,
-                 opts.idleTimeoutMs);
+                 opts.idleTimeoutMs,
+                 opts.storeDir.empty() ? "(none)"
+                                       : opts.storeDir.c_str());
 
     if (!tcp) {
         serveStream(server, std::cin, std::cout);
