@@ -3,7 +3,7 @@
 # with the real binaries (no gtest): CI's service job and the
 # `service_smoke` ctest both run exactly this.
 #
-#   usage: service_smoke.sh <redqaoa_serve> <example_service_client>
+#   usage: service_smoke.sh <redqaoa_serve> <example_service_client> [redqaoa_top] [redqaoa_lb]
 #
 # Part 1 pipes a fixed NDJSON request script through the stdio
 # transport and validates every response line (ids echo back, ok
@@ -16,10 +16,17 @@
 # client: the hello handshake must advertise the configured bounds,
 # v2 responses must carry routing metadata, and stats must report one
 # block per shard with the aggregate's exact key set.
+# Part 4 starts an instance with --metrics-port, runs a traced
+# optimize, scrapes GET /metrics (stdlib-only HTTP), validates the
+# Prometheus exposition, and renders one redqaoa_top frame. When the
+# lb binary is given, the same scrape runs against redqaoa_lb so both
+# binaries' metrics endpoints are exercised.
 set -euo pipefail
 
-SERVE=${1:?usage: service_smoke.sh <redqaoa_serve> <example_service_client>}
-CLIENT=${2:?usage: service_smoke.sh <redqaoa_serve> <example_service_client>}
+SERVE=${1:?usage: service_smoke.sh <redqaoa_serve> <example_service_client> [redqaoa_top] [redqaoa_lb]}
+CLIENT=${2:?usage: service_smoke.sh <redqaoa_serve> <example_service_client> [redqaoa_top] [redqaoa_lb]}
+TOP=${3:-}
+LB=${4:-}
 
 workdir=$(mktemp -d)
 server_pid=""
@@ -218,4 +225,199 @@ grep -q "shards=4" "$workdir/server2.log" || {
     cat "$workdir/server2.log" >&2
     exit 1
 }
+
+echo "== service smoke: metrics plane =="
+# Shared scrape-and-validate: a traced optimize over NDJSON, then a
+# raw-socket GET of the Prometheus endpoint. Role "worker" expects the
+# execution-stage spans and per-process families; role "lb" expects
+# the fleet hop spans and the lb aggregation families.
+cat > "$workdir/metrics_check.py" <<'EOF'
+import json, socket, sys
+
+role, port, mport = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+sock = socket.create_connection(("127.0.0.1", port))
+reader = sock.makefile("r")
+
+def call(doc):
+    sock.sendall((json.dumps(doc) + "\n").encode())
+    return json.loads(reader.readline())
+
+# A traced request, so the scrape below sees real traffic and the
+# trace plane is exercised through the real TCP transport.
+opt = call({"id": 1, "method": "optimize", "schema_version": 2,
+            "trace": True,
+            "params": {"graph": {"nodes": 4,
+                                 "edges": [[0, 1], [1, 2], [2, 3], [3, 0]]},
+                       "restarts": 1, "max_evaluations": 10, "seed": 1}})
+assert opt["ok"], opt
+spans = {s["name"] for s in opt["trace"]["spans"]}
+if role == "lb":
+    want_spans = {"lb.queue", "lb.forward", "worker.admission",
+                  "shard.queue", "backend.evaluate"}
+else:
+    want_spans = {"worker.admission", "shard.queue", "backend.evaluate"}
+assert want_spans <= spans, opt
+
+def http_get(target):
+    s = socket.create_connection(("127.0.0.1", mport))
+    s.sendall(f"GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+              .encode())
+    data = b""
+    while chunk := s.recv(65536):
+        data += chunk
+    s.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    return head.decode(), body.decode()
+
+head, body = http_get("/metrics")
+assert "200" in head.splitlines()[0], head
+assert "text/plain; version=0.0.4" in head, head
+
+# Exposition validity: every line is a comment or `name value`, every
+# sample family has HELP and TYPE, histogram buckets are cumulative.
+helped, typed, seen = set(), set(), set()
+bucket_last = {}
+for line in body.splitlines():
+    assert line.strip(), "blank line in exposition"
+    if line.startswith("# HELP "):
+        helped.add(line.split()[2]); continue
+    if line.startswith("# TYPE "):
+        typed.add(line.split()[2]); continue
+    name_labels, _, value = line.rpartition(" ")
+    float(value)  # must parse
+    fam = name_labels.split("{")[0]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if fam.endswith(suffix) and fam.removesuffix(suffix) in typed:
+            base = fam.removesuffix(suffix)
+            if suffix == "_bucket":
+                prev = bucket_last.get(name_labels.split('le="')[0], -1)
+                assert float(value) >= prev, line
+                bucket_last[name_labels.split('le="')[0]] = float(value)
+            fam = base
+            break
+    seen.add(fam)
+missing = {f for f in seen if f not in helped or f not in typed}
+assert not missing, f"families without HELP/TYPE: {missing}"
+
+if role == "lb":
+    required = {"redqaoa_uptime_seconds", "redqaoa_process_pid",
+                "redqaoa_lb_requests_received_total",
+                "redqaoa_lb_responses_total", "redqaoa_lb_forwards_total",
+                "redqaoa_lb_worker_failures_total", "redqaoa_lb_worker_up",
+                "redqaoa_in_flight", "redqaoa_queue_depth",
+                "redqaoa_engine_jobs_total"}
+else:
+    required = {"redqaoa_uptime_seconds", "redqaoa_process_pid",
+                "redqaoa_requests_received_total",
+                "redqaoa_requests_admitted_total",
+                "redqaoa_responses_total", "redqaoa_requests_rejected_total",
+                "redqaoa_in_flight", "redqaoa_queue_depth",
+                "redqaoa_request_latency_seconds",
+                "redqaoa_engine_jobs_total", "redqaoa_store_events_total",
+                "redqaoa_stage_seconds"}
+assert required <= seen, f"missing families: {required - seen}"
+
+head404, _ = http_get("/nope")
+assert "404" in head404.splitlines()[0], head404
+
+bye = call({"id": 2, "method": "shutdown", "schema_version": 2})
+assert bye["ok"], bye
+print(f"{role} metrics OK: traced optimize spans present, /metrics"
+      f" serves valid exposition with {len(seen)} families")
+EOF
+
+rm -f "$workdir/port.txt" "$workdir/mport.txt"
+"$SERVE" --tcp --shards 2 --port-file "$workdir/port.txt" \
+    --metrics-port 0 --metrics-port-file "$workdir/mport.txt" \
+    2> "$workdir/server3.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$workdir/port.txt" ] && [ -s "$workdir/mport.txt" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "metrics server died before binding:" >&2
+        cat "$workdir/server3.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -s "$workdir/port.txt" ] || { echo "no port file" >&2; exit 1; }
+[ -s "$workdir/mport.txt" ] || { echo "no metrics port file" >&2; exit 1; }
+port=$(cat "$workdir/port.txt")
+mport=$(cat "$workdir/mport.txt")
+
+python3 "$workdir/metrics_check.py" worker "$port" "$mport"
+
+server_status=0
+wait "$server_pid" || server_status=$?
+server_pid=""
+if [ "$server_status" -ne 0 ]; then
+    echo "metrics server exited with status $server_status" >&2
+    cat "$workdir/server3.log" >&2
+    exit 1
+fi
+
+if [ -n "$LB" ]; then
+    echo "== service smoke: lb metrics plane =="
+    rm -f "$workdir/port.txt" "$workdir/mport.txt"
+    "$LB" --serve-bin "$SERVE" --workers 2 \
+        --port-file "$workdir/port.txt" \
+        --metrics-port 0 --metrics-port-file "$workdir/mport.txt" \
+        2> "$workdir/lb.log" &
+    server_pid=$!
+    for _ in $(seq 1 150); do
+        [ -s "$workdir/port.txt" ] && [ -s "$workdir/mport.txt" ] && break
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "lb died before binding:" >&2
+            cat "$workdir/lb.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    [ -s "$workdir/port.txt" ] || { echo "no lb port file" >&2; exit 1; }
+    [ -s "$workdir/mport.txt" ] || {
+        echo "no lb metrics port file" >&2
+        exit 1
+    }
+    port=$(cat "$workdir/port.txt")
+    mport=$(cat "$workdir/mport.txt")
+
+    python3 "$workdir/metrics_check.py" lb "$port" "$mport"
+
+    server_status=0
+    wait "$server_pid" || server_status=$?
+    server_pid=""
+    if [ "$server_status" -ne 0 ]; then
+        echo "lb exited with status $server_status" >&2
+        cat "$workdir/lb.log" >&2
+        exit 1
+    fi
+fi
+
+if [ -n "$TOP" ]; then
+    echo "== service smoke: redqaoa_top dashboard =="
+    rm -f "$workdir/port.txt"
+    "$SERVE" --tcp --port-file "$workdir/port.txt" \
+        2> "$workdir/server4.log" &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$workdir/port.txt" ] && break
+        sleep 0.1
+    done
+    port=$(cat "$workdir/port.txt")
+    "$TOP" --port "$port" --once > "$workdir/top.txt"
+    grep -q "redqaoa_top" "$workdir/top.txt" || {
+        echo "dashboard missing header" >&2
+        cat "$workdir/top.txt" >&2
+        exit 1
+    }
+    grep -q "redqaoa_uptime_seconds" "$workdir/top.txt" || {
+        echo "dashboard missing metric families" >&2
+        cat "$workdir/top.txt" >&2
+        exit 1
+    }
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    server_pid=""
+    echo "dashboard OK: one frame rendered with health + metrics"
+fi
 echo "service smoke PASSED"

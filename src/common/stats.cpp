@@ -150,5 +150,65 @@ histogram(const std::vector<double> &xs, std::size_t bins)
     return h;
 }
 
+// ---------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------
+
+void
+LatencyHistogram::record(double seconds)
+{
+    ++count_;
+    sumSeconds_ += seconds;
+    if (seconds > maxSeconds_)
+        maxSeconds_ = seconds;
+    int idx = 0;
+    if (seconds > 1e-6)
+        idx = static_cast<int>(std::floor(std::log2(seconds / 1e-6) * 2.0));
+    if (idx < 0)
+        idx = 0;
+    if (idx >= kBuckets)
+        idx = kBuckets - 1;
+    ++buckets_[static_cast<std::size_t>(idx)];
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &rhs)
+{
+    for (int i = 0; i < kBuckets; ++i)
+        buckets_[static_cast<std::size_t>(i)] +=
+            rhs.buckets_[static_cast<std::size_t>(i)];
+    count_ += rhs.count_;
+    sumSeconds_ += rhs.sumSeconds_;
+    if (rhs.maxSeconds_ > maxSeconds_)
+        maxSeconds_ = rhs.maxSeconds_;
+}
+
+double
+LatencyHistogram::bucketUpperSeconds(int index)
+{
+    return 1e-6 * std::pow(2.0, (index + 1) / 2.0);
+}
+
+double
+LatencyHistogram::percentileMs(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    double want = q * static_cast<double>(count_);
+    std::uint64_t target = static_cast<std::uint64_t>(std::ceil(want));
+    if (target < 1)
+        target = 1;
+    if (target > count_)
+        target = count_;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[static_cast<std::size_t>(i)];
+        if (seen >= target)
+            return 1e3 *
+                   std::min(bucketUpperSeconds(i), maxSeconds_);
+    }
+    return 1e3 * maxSeconds_;
+}
+
 } // namespace stats
 } // namespace redqaoa

@@ -8,7 +8,9 @@
 #ifndef REDQAOA_COMMON_STATS_HPP
 #define REDQAOA_COMMON_STATS_HPP
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace redqaoa {
@@ -72,6 +74,53 @@ struct Histogram
 
 /** Build a histogram of @p xs; the range defaults to [min, max]. */
 Histogram histogram(const std::vector<double> &xs, std::size_t bins);
+
+/**
+ * Log-bucketed latency histogram: fixed memory, cumulative, quantiles
+ * by bucket interpolation (buckets are sqrt(2)-spaced from 1 us, so a
+ * reported quantile is within ~20% of the true value — plenty for a
+ * p99 signal). Shared by the server's traffic counters, the per-stage
+ * profiler, the metrics exposition, and the bench figures, and
+ * mergeable so the lb front can aggregate worker histograms.
+ */
+class LatencyHistogram
+{
+  public:
+    void record(double seconds);
+
+    /** Counter-sum @p rhs into this histogram (lb aggregation). */
+    void merge(const LatencyHistogram &rhs);
+
+    std::uint64_t count() const { return count_; }
+    double sumSeconds() const { return sumSeconds_; }
+    double meanMs() const
+    {
+        return count_ == 0 ? 0.0
+                           : 1e3 * sumSeconds_ /
+                                 static_cast<double>(count_);
+    }
+    double maxMs() const { return 1e3 * maxSeconds_; }
+
+    /** Upper edge of the bucket holding quantile @p q (ms). */
+    double percentileMs(double q) const;
+
+    static constexpr int kBuckets = 80; //!< 1 us .. ~1.8e6 s.
+
+    /** Count in bucket @p index (Prometheus exposition walks these). */
+    std::uint64_t bucketCount(int index) const
+    {
+        return buckets_[static_cast<std::size_t>(index)];
+    }
+
+    /** Upper edge of bucket @p index in seconds (sqrt(2)-spaced). */
+    static double bucketUpperSeconds(int index);
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sumSeconds_ = 0.0;
+    double maxSeconds_ = 0.0;
+};
 
 } // namespace stats
 } // namespace redqaoa

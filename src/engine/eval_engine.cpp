@@ -1,9 +1,11 @@
 #include "engine/eval_engine.hpp"
 
 #include <bit>
+#include <optional>
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "obs/profiler.hpp"
 
 namespace redqaoa {
 
@@ -175,9 +177,17 @@ EvalEngine::drain()
     std::map<MemoKey, double *> firstSlot;
     std::uint64_t memoHits = 0;
 
+    // Classification + memo/alias/store-lookup pass ("memo" stage of
+    // the drain split; the compute fan-out and the store writeback
+    // time separately below).
+    std::optional<obs::StageTimer> memoStage;
+    memoStage.emplace("engine.drain.memo", "worker.execute");
+    obs::Profiler &profiler = obs::Profiler::global();
     for (const JobPtr &job : jobs) {
         EvalBackend kind =
             resolveBackend(job->spec, job->graph, job->params.size());
+        if (profiler.enabled())
+            profiler.count(std::string("backend.") + backendName(kind));
         if (!deterministicBackend(kind)) {
             trajectoryJobs.push_back(job);
             continue;
@@ -265,6 +275,7 @@ EvalEngine::drain()
             batchTasks.push_back(std::move(task));
         held.push_back(std::move(ev));
     }
+    memoStage.reset();
 
     // The cross-job fan-out: every pending point from every job in one
     // parallelFor — scalar points first, then one index per batched
@@ -272,17 +283,21 @@ EvalEngine::drain()
     // pool. Each point is a pure function written to its own slot, so
     // values are independent of the thread count, and a 1-thread pool
     // runs them serially in submission order.
-    parallelFor(items.size() + batchTasks.size(), [&](std::size_t i) {
-        if (i < items.size()) {
-            *items[i].slot = items[i].eval->expectation(*items[i].params);
-            return;
-        }
-        BatchTask &task = *batchTasks[i - items.size()];
-        task.values.resize(task.points.size());
-        task.eval->batchExpectationInto(task.points, task.values);
-        for (std::size_t k = 0; k < task.slots.size(); ++k)
-            *task.slots[k] = task.values[k];
-    });
+    {
+        obs::StageTimer evaluate("backend.evaluate", "worker.execute");
+        parallelFor(items.size() + batchTasks.size(), [&](std::size_t i) {
+            if (i < items.size()) {
+                *items[i].slot =
+                    items[i].eval->expectation(*items[i].params);
+                return;
+            }
+            BatchTask &task = *batchTasks[i - items.size()];
+            task.values.resize(task.points.size());
+            task.eval->batchExpectationInto(task.points, task.values);
+            for (std::size_t k = 0; k < task.slots.size(); ++k)
+                *task.slots[k] = task.values[k];
+        });
+    }
 
     for (const auto &[dst, src] : aliases)
         *dst = *src;
@@ -309,24 +324,33 @@ EvalEngine::drain()
     // Persist the freshly computed deterministic values AFTER waking
     // the waiters: disk latency never sits between a computed value and
     // its consumer. Slots are stable (job states are shared_ptr-held).
-    for (const StoreAppend &ap : storeAppends) {
-        std::vector<std::pair<std::vector<std::uint64_t>, double>> pts;
-        pts.reserve(ap.points.size());
-        for (const auto &[bits, slot] : ap.points)
-            pts.emplace_back(bits, *slot);
-        store_->appendPoints(ap.graphKey, ap.specKey, ap.presentation,
-                             pts);
+    if (!storeAppends.empty()) {
+        obs::StageTimer storeStage("engine.drain.store",
+                                   "worker.execute");
+        for (const StoreAppend &ap : storeAppends) {
+            std::vector<std::pair<std::vector<std::uint64_t>, double>>
+                pts;
+            pts.reserve(ap.points.size());
+            for (const auto &[bits, slot] : ap.points)
+                pts.emplace_back(bits, *slot);
+            store_->appendPoints(ap.graphKey, ap.specKey,
+                                 ap.presentation, pts);
+        }
     }
 
     // Trajectory jobs keep whole-batch semantics, in submission order,
     // each published as soon as it completes.
-    for (const JobPtr &job : trajectoryJobs) {
-        runTrajectoryJob(*job);
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            job->ready.store(true);
+    if (!trajectoryJobs.empty()) {
+        obs::StageTimer trajectoryStage("engine.drain.trajectory",
+                                        "worker.execute");
+        for (const JobPtr &job : trajectoryJobs) {
+            runTrajectoryJob(*job);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                job->ready.store(true);
+            }
+            jobDone_.notify_all();
         }
-        jobDone_.notify_all();
     }
 }
 

@@ -9,6 +9,7 @@
 #include <map>
 
 #include "graph/isomorphism.hpp"
+#include "obs/log.hpp"
 
 namespace redqaoa {
 
@@ -294,6 +295,10 @@ ResultStore::load()
         // Bad magic or foreign schema version: the whole file is cold.
         dirty_ = true;
         ++stats_.recoveredDrops;
+        obs::logWarn("result_store", "store log dropped on recovery")
+            .field("path", logPath_)
+            .field("reason", "bad header")
+            .field("bytes", static_cast<unsigned long long>(data.size()));
         return;
     }
 
@@ -317,6 +322,12 @@ ResultStore::load()
     if (off != data.size()) {
         dirty_ = true;
         ++stats_.recoveredDrops;
+        obs::logWarn("result_store", "store log tail dropped on recovery")
+            .field("path", logPath_)
+            .field("reason", "torn or corrupt record")
+            .field("kept_bytes", static_cast<unsigned long long>(off))
+            .field("dropped_bytes",
+                   static_cast<unsigned long long>(data.size() - off));
     }
 }
 

@@ -1,0 +1,354 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace redqaoa {
+namespace obs {
+
+namespace {
+
+struct LogConfig
+{
+    std::atomic<int> threshold{static_cast<int>(LogLevel::Info)};
+    std::atomic<bool> json{false};
+    std::mutex sinkMutex;
+    std::function<void(const std::string &)> sink;
+};
+
+LogConfig &
+config()
+{
+    static LogConfig cfg;
+    return cfg;
+}
+
+std::once_flag g_envOnce;
+
+/** Monotonic origin shared by all events in this process. */
+std::chrono::steady_clock::time_point
+monoOrigin()
+{
+    static const auto origin = std::chrono::steady_clock::now();
+    return origin;
+}
+
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+std::string
+wallTimestamp()
+{
+    auto now = std::chrono::system_clock::now();
+    auto secs = std::chrono::time_point_cast<std::chrono::seconds>(now);
+    auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now - secs)
+                      .count();
+    std::time_t t = std::chrono::system_clock::to_time_t(now);
+    std::tm tm{};
+    gmtime_r(&t, &tm);
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+    return buf;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+void
+emitLine(const std::string &line)
+{
+    LogConfig &cfg = config();
+    std::lock_guard<std::mutex> lock(cfg.sinkMutex);
+    if (cfg.sink) {
+        cfg.sink(line);
+        return;
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug:
+        return "debug";
+    case LogLevel::Info:
+        return "info";
+    case LogLevel::Warn:
+        return "warn";
+    case LogLevel::Error:
+        return "error";
+    }
+    return "info";
+}
+
+namespace {
+
+/** Parse REDQAOA_LOG / REDQAOA_LOG_FORMAT into settings. */
+void
+envLogSettings(LogLevel &threshold, bool &json)
+{
+    threshold = LogLevel::Info;
+    if (const char *env = std::getenv("REDQAOA_LOG")) {
+        if (std::strcmp(env, "debug") == 0)
+            threshold = LogLevel::Debug;
+        else if (std::strcmp(env, "info") == 0)
+            threshold = LogLevel::Info;
+        else if (std::strcmp(env, "warn") == 0)
+            threshold = LogLevel::Warn;
+        else if (std::strcmp(env, "error") == 0)
+            threshold = LogLevel::Error;
+    }
+    json = false;
+    if (const char *env = std::getenv("REDQAOA_LOG_FORMAT"))
+        json = std::strcmp(env, "json") == 0;
+}
+
+/** Store settings; never touches g_envOnce (callable from inside it). */
+void
+applyLogSettings(LogLevel threshold, bool json)
+{
+    config().threshold.store(static_cast<int>(threshold),
+                             std::memory_order_relaxed);
+    config().json.store(json, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+configureLogFromEnv()
+{
+    LogLevel threshold;
+    bool json;
+    envLogSettings(threshold, json);
+    configureLog(threshold, json);
+}
+
+void
+configureLog(LogLevel threshold, bool json)
+{
+    // Make sure a later first-use doesn't clobber an explicit override.
+    std::call_once(g_envOnce, [] {});
+    applyLogSettings(threshold, json);
+}
+
+LogLevel
+logThreshold()
+{
+    // The once-callable must NOT route through configureLog: that
+    // would re-enter call_once on g_envOnce and self-deadlock the
+    // first unconfigured logger.
+    std::call_once(g_envOnce, [] {
+        LogLevel threshold;
+        bool json;
+        envLogSettings(threshold, json);
+        applyLogSettings(threshold, json);
+    });
+    return static_cast<LogLevel>(
+        config().threshold.load(std::memory_order_relaxed));
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(logThreshold());
+}
+
+void
+setLogSink(std::function<void(const std::string &)> sink)
+{
+    LogConfig &cfg = config();
+    std::lock_guard<std::mutex> lock(cfg.sinkMutex);
+    cfg.sink = std::move(sink);
+}
+
+LogEvent::LogEvent(LogLevel level, const char *component, std::string event)
+    : enabled_(logEnabled(level)), level_(level), component_(component),
+      event_(std::move(event))
+{
+}
+
+LogEvent::~LogEvent()
+{
+    if (!enabled_)
+        return;
+    emitLine(render());
+}
+
+LogEvent &
+LogEvent::field(const char *key, const std::string &value)
+{
+    if (enabled_)
+        fields_.push_back({key, value, true});
+    return *this;
+}
+
+LogEvent &
+LogEvent::field(const char *key, const char *value)
+{
+    if (enabled_)
+        fields_.push_back({key, value ? value : "", true});
+    return *this;
+}
+
+LogEvent &
+LogEvent::field(const char *key, double value)
+{
+    if (enabled_)
+        fields_.push_back({key, formatDouble(value), false});
+    return *this;
+}
+
+LogEvent &
+LogEvent::field(const char *key, long long value)
+{
+    if (enabled_)
+        fields_.push_back({key, std::to_string(value), false});
+    return *this;
+}
+
+LogEvent &
+LogEvent::field(const char *key, unsigned long long value)
+{
+    if (enabled_)
+        fields_.push_back({key, std::to_string(value), false});
+    return *this;
+}
+
+LogEvent &
+LogEvent::field(const char *key, bool value)
+{
+    if (enabled_)
+        fields_.push_back({key, value ? "true" : "false", false});
+    return *this;
+}
+
+std::string
+LogEvent::render() const
+{
+    double mono = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - monoOrigin())
+                      .count();
+    std::string out;
+    if (config().json.load(std::memory_order_relaxed)) {
+        out += "{\"ts\": \"";
+        out += wallTimestamp();
+        out += "\", \"mono_s\": ";
+        out += formatDouble(mono);
+        out += ", \"level\": \"";
+        out += logLevelName(level_);
+        out += "\", \"component\": \"";
+        appendJsonEscaped(out, component_);
+        out += "\", \"event\": \"";
+        appendJsonEscaped(out, event_);
+        out += "\"";
+        for (const Field &f : fields_) {
+            out += ", \"";
+            appendJsonEscaped(out, f.key);
+            out += "\": ";
+            if (f.quoted) {
+                out += '"';
+                appendJsonEscaped(out, f.value);
+                out += '"';
+            } else {
+                out += f.value;
+            }
+        }
+        out += "}";
+        return out;
+    }
+    out += wallTimestamp();
+    out += ' ';
+    out += formatDouble(mono);
+    out += ' ';
+    const char *name = logLevelName(level_);
+    for (const char *p = name; *p; ++p)
+        out += static_cast<char>(std::toupper(
+            static_cast<unsigned char>(*p)));
+    out += ' ';
+    out += component_;
+    out += ": ";
+    out += event_;
+    for (const Field &f : fields_) {
+        out += ' ';
+        out += f.key;
+        out += '=';
+        out += f.value;
+    }
+    return out;
+}
+
+LogEvent
+logDebug(const char *component, std::string event)
+{
+    return {LogLevel::Debug, component, std::move(event)};
+}
+
+LogEvent
+logInfo(const char *component, std::string event)
+{
+    return {LogLevel::Info, component, std::move(event)};
+}
+
+LogEvent
+logWarn(const char *component, std::string event)
+{
+    return {LogLevel::Warn, component, std::move(event)};
+}
+
+LogEvent
+logError(const char *component, std::string event)
+{
+    return {LogLevel::Error, component, std::move(event)};
+}
+
+} // namespace obs
+} // namespace redqaoa

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Leveled structured logging for the serving binaries (satellite of
+ * the observability layer): one line per event on stderr, either
+ * plain text or single-line JSON, with both a wall-clock timestamp
+ * (correlating across processes) and a monotonic one (immune to NTP
+ * steps). Replaces the ad-hoc fprintf(stderr, ...) calls that
+ * redqaoa_serve / redqaoa_lb / the supervisor grew organically.
+ *
+ *   obs::logInfo("redqaoa_serve", "listening")
+ *       .field("port", port)
+ *       .field("shards", shards);
+ *
+ * renders (text format, the default):
+ *
+ *   2026-08-08T12:00:00.123Z 12.345 INFO redqaoa_serve: listening port=7777 shards=4
+ *
+ * or (REDQAOA_LOG_FORMAT=json):
+ *
+ *   {"ts": "2026-...Z", "mono_s": 12.345, "level": "info",
+ *    "component": "redqaoa_serve", "event": "listening",
+ *    "port": 7777, "shards": 4}
+ *
+ * The event text and fields render verbatim in both formats, so shell
+ * checks that grep for markers ("clean shutdown", "shards=4") keep
+ * working against the text format.
+ *
+ * Environment:
+ *   REDQAOA_LOG        = debug | info | warn | error  (default info)
+ *   REDQAOA_LOG_FORMAT = text | json                  (default text)
+ *
+ * Emission is deferred to the LogEvent destructor; an event below the
+ * threshold costs one branch and records nothing. The sink is
+ * replaceable for tests (setLogSink).
+ */
+
+#ifndef REDQAOA_OBS_LOG_HPP
+#define REDQAOA_OBS_LOG_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace redqaoa {
+namespace obs {
+
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/** Wire/text name of @p level ("debug", "info", "warn", "error"). */
+const char *logLevelName(LogLevel level);
+
+/** Current threshold (parsed from REDQAOA_LOG once, overridable). */
+LogLevel logThreshold();
+
+/** True when events at @p level are emitted. */
+bool logEnabled(LogLevel level);
+
+/** Override threshold + format (tests; normally env-driven). */
+void configureLog(LogLevel threshold, bool json);
+
+/** Re-read REDQAOA_LOG / REDQAOA_LOG_FORMAT (tests). */
+void configureLogFromEnv();
+
+/**
+ * Replace the line sink (default: stderr). Pass nullptr to restore
+ * the default. The sink receives the fully rendered line WITHOUT a
+ * trailing newline. Test hook; not thread-registered, so install it
+ * before spawning logging threads.
+ */
+void setLogSink(std::function<void(const std::string &)> sink);
+
+/**
+ * One structured log event, emitted on destruction. Fields are
+ * rendered in insertion order after the event text.
+ */
+class LogEvent
+{
+  public:
+    LogEvent(LogLevel level, const char *component, std::string event);
+    ~LogEvent();
+
+    LogEvent(const LogEvent &) = delete;
+    LogEvent &operator=(const LogEvent &) = delete;
+
+    LogEvent &field(const char *key, const std::string &value);
+    LogEvent &field(const char *key, const char *value);
+    LogEvent &field(const char *key, double value);
+    LogEvent &field(const char *key, long long value);
+    LogEvent &field(const char *key, unsigned long long value);
+    LogEvent &field(const char *key, int value)
+    {
+        return field(key, static_cast<long long>(value));
+    }
+    LogEvent &field(const char *key, unsigned value)
+    {
+        return field(key, static_cast<unsigned long long>(value));
+    }
+    LogEvent &field(const char *key, long value)
+    {
+        return field(key, static_cast<long long>(value));
+    }
+    LogEvent &field(const char *key, unsigned long value)
+    {
+        return field(key, static_cast<unsigned long long>(value));
+    }
+    LogEvent &field(const char *key, bool value);
+
+    /** Rendered line (what the sink would receive); for tests. */
+    std::string render() const;
+
+  private:
+    struct Field
+    {
+        std::string key;
+        std::string value;
+        bool quoted = false; //!< JSON: emit as string, not literal.
+    };
+
+    bool enabled_;
+    LogLevel level_;
+    const char *component_;
+    std::string event_;
+    std::vector<Field> fields_;
+};
+
+/** Convenience constructors, one per level. */
+LogEvent logDebug(const char *component, std::string event);
+LogEvent logInfo(const char *component, std::string event);
+LogEvent logWarn(const char *component, std::string event);
+LogEvent logError(const char *component, std::string event);
+
+} // namespace obs
+} // namespace redqaoa
+
+#endif // REDQAOA_OBS_LOG_HPP

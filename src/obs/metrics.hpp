@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Metrics plane: a snapshot model the server and the lb fill from
+ * their counters, rendered two ways from the same data — Prometheus
+ * text exposition (format 0.0.4) for the --metrics-port HTTP
+ * endpoint, and a JSON document for the "metrics" service method.
+ * One builder per source (process identity, engine stats, profiler
+ * stages/counters) keeps the name/label vocabulary in one file, so
+ * the worker and the lb emit the same families and the lb's
+ * aggregated fleet metrics line up with each worker's own.
+ *
+ * Stable family names (pinned by tests/test_obs.cpp):
+ *   redqaoa_uptime_seconds, redqaoa_process_pid,
+ *   redqaoa_engine_jobs_total, redqaoa_engine_points_total,
+ *   redqaoa_engine_evaluated_total, redqaoa_engine_memo_hits_total,
+ *   redqaoa_store_events_total{outcome}, redqaoa_stage_seconds{stage},
+ *   redqaoa_backend_resolutions_total{backend}, ...
+ * plus the per-binary request families the servers add directly.
+ */
+
+#ifndef REDQAOA_OBS_METRICS_HPP
+#define REDQAOA_OBS_METRICS_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/stats.hpp"
+#include "engine/eval_engine.hpp"
+
+namespace redqaoa {
+namespace obs {
+
+/** One label pair; rendered `{key="value"}` in exposition order. */
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * A point-in-time collection of metric samples. Families keep the
+ * order they were added in; samples within a family keep insertion
+ * order. Adding a sample to an existing family name reuses the
+ * family (the help/type of the first add win), so callers can emit
+ * the same family once per shard/lane.
+ */
+class MetricsSnapshot
+{
+  public:
+    /** Monotonically increasing event count. */
+    void counter(const std::string &name, const std::string &help,
+                 double value, MetricLabels labels = {});
+
+    /** Point-in-time level. */
+    void gauge(const std::string &name, const std::string &help,
+               double value, MetricLabels labels = {});
+
+    /** Latency distribution (log buckets → cumulative le series). */
+    void histogram(const std::string &name, const std::string &help,
+                   const stats::LatencyHistogram &hist,
+                   MetricLabels labels = {});
+
+    /**
+     * Prometheus text exposition 0.0.4: # HELP / # TYPE headers,
+     * one sample per line, histogram as cumulative `le` buckets plus
+     * _sum and _count. Ends with a newline.
+     */
+    std::string prometheusText() const;
+
+    /**
+     * JSON mirror for the "metrics" service method:
+     *   {"families": [{"name", "type", "help", "samples": [
+     *       {"labels": {...}, "value"} |
+     *       {"labels": {...}, "count", "sum_seconds",
+     *        "p50_ms", "p99_ms", "max_ms"}]}]}
+     */
+    json::Value toJson() const;
+
+    /** Family names in emission order (tests pin the required set). */
+    std::vector<std::string> familyNames() const;
+
+  private:
+    struct Sample
+    {
+        MetricLabels labels;
+        double value = 0.0;                //!< counter / gauge
+        stats::LatencyHistogram hist;      //!< histogram
+    };
+
+    struct Family
+    {
+        std::string name;
+        std::string help;
+        const char *type; //!< "counter" | "gauge" | "histogram"
+        std::vector<Sample> samples;
+    };
+
+    Family &family(const std::string &name, const std::string &help,
+                   const char *type);
+
+    std::vector<Family> families_;
+};
+
+/**
+ * Append the engine traffic families for one stats block. @p labels
+ * (e.g. {{"shard", "0"}}) tags every sample, so callers emit one
+ * aggregate block (no labels) or one block per shard.
+ */
+void addEngineStatsMetrics(MetricsSnapshot &snapshot,
+                           const EngineStats &stats,
+                           const MetricLabels &labels = {});
+
+/** Append redqaoa_stage_seconds / profiler counter families. */
+void addProfilerMetrics(MetricsSnapshot &snapshot);
+
+/** Append redqaoa_uptime_seconds + redqaoa_process_pid gauges. */
+void addProcessMetrics(MetricsSnapshot &snapshot, double uptime_seconds,
+                       int pid);
+
+/**
+ * The shared process-identity JSON block — {"uptime_seconds", "pid"}
+ * — used by BOTH the health result and the metrics result so the two
+ * key sets cannot drift (pinned by a key-set-equality test).
+ */
+json::Value processInfoJson(double uptime_seconds, int pid);
+
+/**
+ * The shared latency summary block — {"count", "mean_ms", "p50_ms",
+ * "p99_ms", "max_ms"} — used by the server traffic stats and the
+ * metrics JSON (de-dups the p50/p99 math formerly copied around).
+ */
+json::Value latencySummaryJson(const stats::LatencyHistogram &hist);
+
+} // namespace obs
+} // namespace redqaoa
+
+#endif // REDQAOA_OBS_METRICS_HPP

@@ -1,0 +1,163 @@
+#include "obs/metrics_http.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/socket_util.hpp"
+
+namespace redqaoa {
+namespace obs {
+
+MetricsHttpServer::MetricsHttpServer(int port,
+                                     std::function<std::string()> render)
+    : render_(std::move(render))
+{
+    service::detail::ignoreSigpipe();
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error("metrics: socket() failed");
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd_, 16) != 0) {
+        int saved = errno;
+        ::close(listenFd_);
+        throw std::runtime_error(
+            std::string("metrics: cannot listen on port ") +
+            std::to_string(port) + ": " + std::strerror(saved));
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    if (::pipe2(wakeFds_, O_CLOEXEC) != 0) {
+        ::close(listenFd_);
+        throw std::runtime_error("metrics: pipe2() failed");
+    }
+    thread_ = std::thread([this] { serveLoop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer()
+{
+    stop();
+}
+
+void
+MetricsHttpServer::stop()
+{
+    if (stopped_)
+        return;
+    stopped_ = true;
+    char byte = 0;
+    (void)!::write(wakeFds_[1], &byte, 1);
+    if (thread_.joinable())
+        thread_.join();
+    ::close(wakeFds_[0]);
+    ::close(wakeFds_[1]);
+    ::close(listenFd_);
+}
+
+void
+MetricsHttpServer::serveLoop()
+{
+    for (;;) {
+        pollfd pfds[2];
+        pfds[0].fd = listenFd_;
+        pfds[0].events = POLLIN;
+        pfds[1].fd = wakeFds_[0];
+        pfds[1].events = POLLIN;
+        int rc = ::poll(pfds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (pfds[1].revents & POLLIN)
+            return; // stop() woke us.
+        if (!(pfds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0)
+            continue;
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+MetricsHttpServer::handleConnection(int fd)
+{
+    // Read until the end of the request head (or a bounded amount —
+    // scrapers send a few hundred bytes; a client that streams junk
+    // gets cut off). 2 s cap keeps a stalled peer from wedging the
+    // accept loop; this endpoint is single-threaded on purpose.
+    std::string head;
+    const std::size_t kMaxHead = 8192;
+    for (;;) {
+        if (head.find("\r\n\r\n") != std::string::npos ||
+            head.find("\n\n") != std::string::npos)
+            break;
+        if (head.size() >= kMaxHead)
+            return;
+        pollfd pfd{fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, 2000);
+        if (rc <= 0)
+            return;
+        char chunk[1024];
+        ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return;
+        }
+        head.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    std::size_t eol = head.find_first_of("\r\n");
+    std::string request_line =
+        eol == std::string::npos ? head : head.substr(0, eol);
+    std::size_t sp1 = request_line.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+    std::string method =
+        sp1 == std::string::npos ? "" : request_line.substr(0, sp1);
+    std::string target = sp2 == std::string::npos
+                             ? ""
+                             : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    std::string body;
+    const char *status = "404 Not Found";
+    const char *content_type = "text/plain; charset=utf-8";
+    if (method == "GET" && (target == "/metrics" || target == "/")) {
+        status = "200 OK";
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+        body = render_();
+    } else {
+        body = "not found; try GET /metrics\n";
+    }
+
+    std::string response = "HTTP/1.1 ";
+    response += status;
+    response += "\r\nContent-Type: ";
+    response += content_type;
+    response += "\r\nContent-Length: ";
+    response += std::to_string(body.size());
+    response += "\r\nConnection: close\r\n\r\n";
+    response += body;
+    service::detail::writeAll(fd, response.data(), response.size());
+}
+
+} // namespace obs
+} // namespace redqaoa

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal HTTP GET endpoint for the metrics plane: both serving
+ * binaries grow a --metrics-port flag that starts one of these next
+ * to the NDJSON listener, so `curl 127.0.0.1:PORT/metrics` scrapes
+ * Prometheus text exposition without speaking the service protocol.
+ *
+ * Deliberately tiny: loopback only, one accept thread, one request
+ * per connection (Connection: close), GET /metrics (and / as an
+ * alias) answered from a caller-supplied render callback, anything
+ * else 404. Not a general HTTP server — just enough for curl and a
+ * Prometheus scraper, and small enough to audit. Port 0 binds an
+ * ephemeral port (smoke tests read it back via port()).
+ */
+
+#ifndef REDQAOA_OBS_METRICS_HTTP_HPP
+#define REDQAOA_OBS_METRICS_HTTP_HPP
+
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace redqaoa {
+namespace obs {
+
+class MetricsHttpServer
+{
+  public:
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral) and serve @p render
+     * under GET /metrics. Throws std::runtime_error when the bind
+     * fails (port already taken).
+     */
+    MetricsHttpServer(int port, std::function<std::string()> render);
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /** The bound port (useful with port 0). */
+    int port() const { return port_; }
+
+    /** Stop accepting and join the serve thread (idempotent). */
+    void stop();
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    std::function<std::string()> render_;
+    int listenFd_ = -1;
+    int wakeFds_[2] = {-1, -1}; //!< Pipe to interrupt the accept poll.
+    int port_ = 0;
+    bool stopped_ = false;
+    std::thread thread_;
+};
+
+} // namespace obs
+} // namespace redqaoa
+
+#endif // REDQAOA_OBS_METRICS_HTTP_HPP

@@ -1,0 +1,127 @@
+#include "obs/profiler.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace redqaoa {
+namespace obs {
+
+Profiler &
+Profiler::global()
+{
+    static Profiler instance;
+    return instance;
+}
+
+Profiler::Profiler()
+{
+    if (const char *env = std::getenv("REDQAOA_PROFILE"))
+        if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0)
+            enabled_.store(false, std::memory_order_relaxed);
+}
+
+Profiler::Shard &
+Profiler::localShard()
+{
+    // Cached per thread: after the first record this is one TLS load.
+    // Shards stay in the registry past thread exit, so late snapshots
+    // keep every sample; the leak is bounded by peak thread count.
+    thread_local Shard *cached = nullptr;
+    if (!cached) {
+        auto shard = std::make_unique<Shard>();
+        std::lock_guard<std::mutex> lock(registryMutex_);
+        shards_.push_back(std::move(shard));
+        cached = shards_.back().get();
+    }
+    return *cached;
+}
+
+void
+Profiler::recordStage(std::string_view stage, double seconds)
+{
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.stages.find(stage);
+    if (it == shard.stages.end())
+        it = shard.stages
+                 .emplace(std::string(stage), stats::LatencyHistogram{})
+                 .first;
+    it->second.record(seconds);
+}
+
+void
+Profiler::count(std::string_view name, std::uint64_t delta)
+{
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.counters.find(name);
+    if (it == shard.counters.end())
+        it = shard.counters.emplace(std::string(name), 0).first;
+    it->second += delta;
+}
+
+std::vector<std::pair<std::string, stats::LatencyHistogram>>
+Profiler::stageSnapshot() const
+{
+    std::map<std::string, stats::LatencyHistogram> merged;
+    std::lock_guard<std::mutex> registry(registryMutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const auto &[name, hist] : shard->stages)
+            merged[name].merge(hist);
+    }
+    return {merged.begin(), merged.end()};
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Profiler::counterSnapshot() const
+{
+    std::map<std::string, std::uint64_t> merged;
+    std::lock_guard<std::mutex> registry(registryMutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const auto &[name, value] : shard->counters)
+            merged[name] += value;
+    }
+    return {merged.begin(), merged.end()};
+}
+
+void
+Profiler::reset()
+{
+    std::lock_guard<std::mutex> registry(registryMutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->stages.clear();
+        shard->counters.clear();
+    }
+}
+
+StageTimer::StageTimer(const char *stage, const char *parent)
+    : stage_(stage), parent_(parent),
+      profiling_(Profiler::global().enabled()), trace_(activeTrace())
+{
+    if (!profiling_ && !trace_)
+        return;
+    start_ = std::chrono::steady_clock::now();
+    if (trace_)
+        traceStartUs_ = trace_->sinceStartUs();
+}
+
+StageTimer::~StageTimer()
+{
+    if (!profiling_ && !trace_)
+        return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    if (profiling_)
+        Profiler::global().recordStage(
+            stage_, std::chrono::duration<double>(elapsed).count());
+    if (trace_)
+        trace_->accumulate(
+            stage_, parent_, traceStartUs_,
+            std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count());
+}
+
+} // namespace obs
+} // namespace redqaoa

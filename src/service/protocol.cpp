@@ -141,6 +141,29 @@ parseRequest(const std::string &line)
                     std::to_string(kSchemaVersionV2));
         req.schemaVersion = static_cast<int>(version->asNumber());
     }
+
+    if (const json::Value *trace = doc.find("trace")) {
+        // "trace": true opts in with a server-minted id;
+        // "trace": "<id>" opts in propagating the caller's id (the lb
+        // uses this form when forwarding). false / null opt out.
+        if (trace->isBool()) {
+            req.trace = trace->asBool();
+        } else if (trace->isString()) {
+            if (trace->asString().empty())
+                throw ServiceError(ServiceErrorCode::InvalidRequest,
+                                   "'trace' id must be non-empty");
+            req.trace = true;
+            req.traceId = trace->asString();
+        } else if (!trace->isNull()) {
+            throw ServiceError(ServiceErrorCode::InvalidRequest,
+                               "'trace' must be a bool or a string id");
+        }
+        if (req.trace && req.schemaVersion < kSchemaVersionV2)
+            throw ServiceError(
+                ServiceErrorCode::InvalidRequest,
+                "'trace' requires schema_version >= " +
+                    std::to_string(kSchemaVersionV2));
+    }
     return req;
 }
 
@@ -214,7 +237,8 @@ makeErrorLine(const json::Value &id, ServiceErrorCode code,
 
 std::string
 makeResultLine(const json::Value &id, json::Value result,
-               int schema_version, const RouteInfo *route)
+               int schema_version, const RouteInfo *route,
+               const json::Value *trace)
 {
     json::Value doc = json::Value::object();
     doc["schema_version"] = schema_version;
@@ -223,13 +247,15 @@ makeResultLine(const json::Value &id, json::Value result,
     doc["result"] = std::move(result);
     if (schema_version >= kSchemaVersionV2 && route)
         doc["route"] = routeToJson(*route);
+    if (schema_version >= kSchemaVersionV2 && trace)
+        doc["trace"] = *trace;
     return doc.dump();
 }
 
 std::string
 makeErrorLine(const json::Value &id, ServiceErrorCode code,
               const std::string &message, int schema_version,
-              const RouteInfo *route)
+              const RouteInfo *route, const json::Value *trace)
 {
     json::Value doc = json::Value::object();
     doc["schema_version"] = schema_version;
@@ -241,6 +267,8 @@ makeErrorLine(const json::Value &id, ServiceErrorCode code,
     doc["error"] = std::move(err);
     if (schema_version >= kSchemaVersionV2 && route)
         doc["route"] = routeToJson(*route);
+    if (schema_version >= kSchemaVersionV2 && trace)
+        doc["trace"] = *trace;
     return doc.dump();
 }
 
@@ -278,6 +306,13 @@ parseResponse(const std::string &line)
         out.hasRoute = true;
         out.route.shard = static_cast<int>(shard->asNumber());
         out.route.queueMs = queue->asNumber();
+    }
+    if (const json::Value *trace = doc.find("trace")) {
+        if (!trace->isObject())
+            throw ServiceError(ServiceErrorCode::InvalidRequest,
+                               "'trace' must be an object");
+        out.hasTrace = true;
+        out.trace = *trace;
     }
     out.id = *id;
     out.ok = ok->asBool();

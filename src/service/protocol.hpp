@@ -125,6 +125,8 @@ struct Request
     json::Value params; //!< Method params (object; may be empty).
     double deadlineMs = 0.0; //!< 0 = no deadline.
     int schemaVersion = kSchemaVersion; //!< Response shape to render.
+    bool trace = false;  //!< Request asked for a trace echo (v2 only).
+    std::string traceId; //!< Caller-supplied trace id ("" = mint one).
 };
 
 /**
@@ -170,17 +172,22 @@ std::string makeErrorLine(const json::Value &id, ServiceErrorCode code,
                           const std::string &message);
 
 /**
- * Success response line in @p schema_version (1 or 2). @p route is
- * rendered only for v2; v1 output is byte-identical to the two-arg
- * overload.
+ * Success response line in @p schema_version (1 or 2). @p route and
+ * @p trace are rendered only for v2 (trace after route, both outside
+ * "result" — the result payload stays a pure function of the request
+ * content); v1 output is byte-identical to the two-arg overload.
+ * @p trace, when non-null, is the trace document built by
+ * obs::TraceRecorder::toJson().
  */
 std::string makeResultLine(const json::Value &id, json::Value result,
-                           int schema_version, const RouteInfo *route);
+                           int schema_version, const RouteInfo *route,
+                           const json::Value *trace = nullptr);
 
 /** Error counterpart of the versioned makeResultLine. */
 std::string makeErrorLine(const json::Value &id, ServiceErrorCode code,
                           const std::string &message, int schema_version,
-                          const RouteInfo *route);
+                          const RouteInfo *route,
+                          const json::Value *trace = nullptr);
 
 /**
  * Parsed response envelope (client side). ok == false carries the
@@ -196,6 +203,8 @@ struct Response
     int schemaVersion = kSchemaVersion; //!< Version the server rendered.
     bool hasRoute = false; //!< v2 responses carry routing metadata.
     RouteInfo route;       //!< Valid when hasRoute.
+    bool hasTrace = false; //!< Response echoed a trace document.
+    json::Value trace;     //!< {"id", "total_us", "spans"}; see hasTrace.
 };
 
 /**

@@ -7,6 +7,7 @@
 
 #include "core/pipeline.hpp"
 #include "engine/fleet.hpp"
+#include "obs/profiler.hpp"
 #include "opt/cobyla_lite.hpp"
 
 namespace redqaoa {
@@ -18,6 +19,15 @@ namespace {
 invalidParams(const std::string &why)
 {
     throw ServiceError(ServiceErrorCode::InvalidParams, why);
+}
+
+/** Count one backend resolution for the metrics plane. */
+void
+countBackend(EvalBackend kind)
+{
+    obs::Profiler &profiler = obs::Profiler::global();
+    if (profiler.enabled())
+        profiler.count(std::string("backend.") + backendName(kind));
 }
 
 int
@@ -200,7 +210,10 @@ ServiceRouter::handleReduce(const json::Value &params)
     Graph g = requiredGraph(params);
     RedQaoaOptions opts = reducerOptionsFromJson(params.find("reducer"));
     Rng rng(seedFrom(params, "seed", 1));
-    ReductionResult red = RedQaoaReducer(opts).reduce(g, rng);
+    ReductionResult red = [&] {
+        obs::StageTimer reduce("sa.reduce", "worker.execute");
+        return RedQaoaReducer(opts).reduce(g, rng);
+    }();
 
     json::Value doc = json::Value::object();
     doc["graph"] = graphToJson(red.reduced.graph);
@@ -245,6 +258,7 @@ ServiceRouter::handleEvaluate(const json::Value &params)
 
     EvalBackend kind = resolveBackend(spec, g);
     checkBackendFitsGraph(kind, g);
+    countBackend(kind);
 
     std::vector<double> values =
         engine_->evaluate(g, spec, std::move(points));
@@ -264,6 +278,7 @@ ServiceRouter::handleOptimize(const json::Value &params)
     EvalSpec spec = specFromJson(params.find("spec"));
     EvalBackend kind = resolveBackend(spec, g);
     checkBackendFitsGraph(kind, g);
+    countBackend(kind);
 
     int restarts = 3;
     if (const json::Value *r = params.find("restarts"))
@@ -314,44 +329,62 @@ ServiceRouter::handleOptimize(const json::Value &params)
     std::string storeKey;
     std::string specKey;
     std::string optKey;
-    if (store) {
-        storeKey = engine_->storeKeyFor(g);
-        specKey = backendCacheKey(spec, kind);
-        char step[32];
-        std::snprintf(step, sizeof step, "%llx",
-                      static_cast<unsigned long long>(
-                          std::bit_cast<std::uint64_t>(
-                              opt_opts.initialStep)));
-        optKey = "p=" + std::to_string(layers) + ";r=" +
-                 std::to_string(restarts) + ";m=" +
-                 std::to_string(opt_opts.maxEvaluations) + ";s=" + step +
-                 ";seed=" + std::to_string(seed) +
-                 ";warm=" + (warm ? "1" : "0");
-        ResultStore::OptimizeRecord hit;
-        if (store->lookupOptimize(storeKey, specKey, optKey, hit))
-            return respond(hit);
+    ResultStore::TransferDonor donor;
+    bool seeded = false;
+    {
+        obs::StageTimer lookup("store.lookup", "worker.execute");
+        if (store) {
+            storeKey = engine_->storeKeyFor(g);
+            specKey = backendCacheKey(spec, kind);
+            char step[32];
+            std::snprintf(step, sizeof step, "%llx",
+                          static_cast<unsigned long long>(
+                              std::bit_cast<std::uint64_t>(
+                                  opt_opts.initialStep)));
+            optKey = "p=" + std::to_string(layers) + ";r=" +
+                     std::to_string(restarts) + ";m=" +
+                     std::to_string(opt_opts.maxEvaluations) + ";s=" +
+                     step + ";seed=" + std::to_string(seed) +
+                     ";warm=" + (warm ? "1" : "0");
+            ResultStore::OptimizeRecord hit;
+            if (store->lookupOptimize(storeKey, specKey, optKey, hit))
+                return respond(hit);
+        }
+
+        // Opt-in transfer seeding (paper fig 21): the first restart
+        // starts from the best parameters of the nearest structurally
+        // similar solved graph instead of a random point. Behind the
+        // `warm_start` flag because the answer then depends on store
+        // content — default requests keep the pure request -> response
+        // contract.
+        seeded = store && warm &&
+                 store->findDonor(storeKey, specKey, layers, g, donor);
     }
 
-    // Opt-in transfer seeding (paper fig 21): the first restart starts
-    // from the best parameters of the nearest structurally similar
-    // solved graph instead of a random point. Behind the `warm_start`
-    // flag because the answer then depends on store content — default
-    // requests keep the pure request -> response contract.
-    ResultStore::TransferDonor donor;
-    bool seeded = store && warm &&
-                  store->findDonor(storeKey, specKey, layers, g, donor);
-
-    Objective obj = engine_->objective(g, spec);
+    Objective raw = engine_->objective(g, spec);
+    // Every objective call is one backend evaluation; the stage timer
+    // folds them into a single backend.evaluate span whose `count` is
+    // the evaluation total. Untraced/unprofiled cost per call is two
+    // relaxed loads.
+    Objective obj = [&raw](const std::vector<double> &x) {
+        obs::StageTimer evaluate("backend.evaluate", "worker.execute");
+        return raw(x);
+    };
     CobylaLite optimizer(opt_opts);
     int calls = 0;
-    std::vector<OptResult> runs = multiRestart(
-        optimizer, obj, restarts,
-        [layers, seeded, &donor, &calls](Rng &r) {
-            if (seeded && calls++ == 0)
-                return donor.x;
-            return QaoaParams::random(layers, r).flatten();
-        },
-        rng);
+    std::vector<OptResult> runs;
+    {
+        obs::StageTimer restartsStage("optimize.restarts",
+                                      "worker.execute");
+        runs = multiRestart(
+            optimizer, obj, restarts,
+            [layers, seeded, &donor, &calls](Rng &r) {
+                if (seeded && calls++ == 0)
+                    return donor.x;
+                return QaoaParams::random(layers, r).flatten();
+            },
+            rng);
+    }
     std::size_t best = bestRun(runs);
 
     int evaluations = 0;

@@ -18,54 +18,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/profiler.hpp"
 #include "service/socket_util.hpp"
 
 namespace redqaoa {
 namespace service {
-
-// ---------------------------------------------------------------------
-// LatencyHistogram
-// ---------------------------------------------------------------------
-
-void
-LatencyHistogram::record(double seconds)
-{
-    ++count_;
-    sumSeconds_ += seconds;
-    if (seconds > maxSeconds_)
-        maxSeconds_ = seconds;
-    int idx = 0;
-    if (seconds > 1e-6)
-        idx = static_cast<int>(std::floor(std::log2(seconds / 1e-6) * 2.0));
-    if (idx < 0)
-        idx = 0;
-    if (idx >= kBuckets)
-        idx = kBuckets - 1;
-    ++buckets_[static_cast<std::size_t>(idx)];
-}
-
-double
-LatencyHistogram::percentileMs(double q) const
-{
-    if (count_ == 0)
-        return 0.0;
-    double want = q * static_cast<double>(count_);
-    std::uint64_t target = static_cast<std::uint64_t>(std::ceil(want));
-    if (target < 1)
-        target = 1;
-    if (target > count_)
-        target = count_;
-    std::uint64_t seen = 0;
-    for (int i = 0; i < kBuckets; ++i) {
-        seen += buckets_[static_cast<std::size_t>(i)];
-        if (seen >= target) {
-            double upper_seconds =
-                1e-6 * std::pow(2.0, (i + 1) / 2.0);
-            return 1e3 * std::min(upper_seconds, maxSeconds_);
-        }
-    }
-    return 1e3 * maxSeconds_;
-}
 
 // ---------------------------------------------------------------------
 // ServerStats
@@ -92,13 +49,7 @@ ServerStats::toJson() const
     for (const auto &[name, count] : methodCounts)
         methods[name] = u64(count);
     doc["methods"] = std::move(methods);
-    json::Value lat = json::Value::object();
-    lat["count"] = u64(latency.count());
-    lat["mean_ms"] = latency.meanMs();
-    lat["p50_ms"] = latency.percentileMs(0.50);
-    lat["p99_ms"] = latency.percentileMs(0.99);
-    lat["max_ms"] = latency.maxMs();
-    doc["latency"] = std::move(lat);
+    doc["latency"] = obs::latencySummaryJson(latency);
     return doc;
 }
 
@@ -173,25 +124,40 @@ ServiceServer::submitLine(std::string line, ResponseCallback done)
         return;
     }
 
-    if (req.method == "health") {
+    if (req.method == "health" || req.method == "metrics" ||
+        req.method == "slowlog") {
         // Answered inline, before admission: `health` is a liveness
         // probe of the process and transport, and must keep working
         // when every shard queue is full or the server is draining.
+        // `metrics` and `slowlog` follow the same rule — the moments
+        // the queues are full are exactly when an operator needs
+        // them.
         const RouteInfo route{0, 0.0};
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.received;
             ++stats_.served;
             ++stats_.okCount;
-            ++stats_.methodCounts["health"];
+            ++stats_.methodCounts[req.method];
         }
-        done(makeResultLine(req.id, healthResult(), req.schemaVersion,
+        json::Value result = req.method == "health" ? healthResult()
+                             : req.method == "metrics"
+                                 ? metricsResult()
+                                 : slowlogResult();
+        done(makeResultLine(req.id, std::move(result), req.schemaVersion,
                             &route));
         return;
     }
 
     PendingRequest pending;
     pending.arrival = Clock::now();
+    if (req.trace) {
+        // Traced request: the recorder starts ticking at admission
+        // (span offsets are relative to this moment) and rides the
+        // queue alongside the request.
+        pending.trace = std::make_shared<obs::TraceRecorder>(
+            req.traceId.empty() ? obs::mintTraceId() : req.traceId);
+    }
     if (req.deadlineMs > 0.0) {
         pending.hasDeadline = true;
         pending.deadline =
@@ -233,6 +199,11 @@ ServiceServer::submitLine(std::string line, ResponseCallback done)
                     version, &route);
             } else {
                 ++stats_.admitted;
+                if (pending.trace)
+                    // Root span: parse + route + admission work.
+                    pending.trace->addSpan(
+                        {"worker.admission", "", 0,
+                         pending.trace->sinceStartUs(), 1});
                 shard.queue.push_back(std::move(pending));
             }
         }
@@ -321,6 +292,8 @@ ServiceServer::helloResult() const
     std::vector<std::string> methods = ServiceRouter::methodNames();
     methods.push_back("hello");
     methods.push_back("health");
+    methods.push_back("metrics");
+    methods.push_back("slowlog");
     methods.push_back("shutdown");
     std::sort(methods.begin(), methods.end());
     json::Value names = json::Value::array();
@@ -336,9 +309,13 @@ ServiceServer::healthResult() const
     std::lock_guard<std::mutex> lock(mutex_);
     json::Value doc = json::Value::object();
     doc["status"] = stopping_ ? "stopping" : "ok";
-    doc["uptime_seconds"] =
-        std::chrono::duration<double>(Clock::now() - startTime_).count();
-    doc["pid"] = static_cast<std::size_t>(::getpid());
+    // Process identity comes from the SAME builder the metrics result
+    // uses (obs::processInfoJson), so the two key sets cannot drift.
+    json::Value process = obs::processInfoJson(
+        std::chrono::duration<double>(Clock::now() - startTime_).count(),
+        ::getpid());
+    for (const auto &[key, value] : process.asObject())
+        doc[key] = value;
     doc["shards"] = engines_->shardCount();
     json::Value depths = json::Value::array();
     for (const auto &shard : shards_)
@@ -371,6 +348,105 @@ ServiceServer::statsResult(int schema_version) const
     return doc;
 }
 
+obs::MetricsSnapshot
+ServiceServer::metricsSnapshot() const
+{
+    obs::MetricsSnapshot snapshot;
+    ServerStats server;
+    std::vector<std::size_t> depths;
+    std::uint64_t in_flight = 0;
+    double uptime = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        server = stats_;
+        for (const auto &shard : shards_)
+            depths.push_back(shard->queue.size());
+        in_flight = stats_.admitted - completedAdmitted_;
+        uptime = std::chrono::duration<double>(Clock::now() - startTime_)
+                     .count();
+    }
+    obs::addProcessMetrics(snapshot, uptime, ::getpid());
+
+    auto u64 = [](std::uint64_t v) { return static_cast<double>(v); };
+    snapshot.counter("redqaoa_requests_received_total",
+                     "Request lines handed to admission.",
+                     u64(server.received));
+    snapshot.counter("redqaoa_requests_admitted_total",
+                     "Requests that entered a shard queue.",
+                     u64(server.admitted));
+    snapshot.counter("redqaoa_responses_total",
+                     "Responses produced, by status.", u64(server.okCount),
+                     {{"status", "ok"}});
+    snapshot.counter("redqaoa_responses_total",
+                     "Responses produced, by status.",
+                     u64(server.errorCount), {{"status", "error"}});
+    struct Reject
+    {
+        const char *reason;
+        std::uint64_t value;
+    };
+    const Reject rejects[] = {
+        {"parse", server.rejectedParse},
+        {"overloaded", server.rejectedOverload},
+        {"deadline", server.expiredDeadline},
+        {"shutdown", server.shedShutdown},
+    };
+    for (const Reject &r : rejects)
+        snapshot.counter("redqaoa_requests_rejected_total",
+                         "Requests answered without execution, by reason.",
+                         u64(r.value), {{"reason", r.reason}});
+    for (const auto &[method, count] : server.methodCounts)
+        snapshot.counter("redqaoa_requests_by_method_total",
+                         "Executed requests by method.", u64(count),
+                         {{"method", method}});
+    snapshot.gauge("redqaoa_in_flight",
+                   "Admitted requests not yet answered.", u64(in_flight));
+    for (std::size_t i = 0; i < depths.size(); ++i)
+        snapshot.gauge("redqaoa_queue_depth",
+                       "Admission queue depth per shard.",
+                       static_cast<double>(depths[i]),
+                       {{"shard", std::to_string(i)}});
+    snapshot.histogram("redqaoa_request_latency_seconds",
+                       "Admission-to-response latency, executed requests.",
+                       server.latency);
+    for (const auto &[key, hist] : server.methodShardLatency)
+        snapshot.histogram(
+            "redqaoa_request_latency_seconds",
+            "Admission-to-response latency, executed requests.", hist,
+            {{"method", key.first}, {"shard", std::to_string(key.second)}});
+
+    obs::addEngineStatsMetrics(snapshot, engines_->aggregateStats());
+    const std::vector<EngineStats> shard_stats = engines_->shardStats();
+    for (std::size_t i = 0; i < shard_stats.size(); ++i)
+        obs::addEngineStatsMetrics(snapshot, shard_stats[i],
+                                   {{"shard", std::to_string(i)}});
+    obs::addProfilerMetrics(snapshot);
+    return snapshot;
+}
+
+json::Value
+ServiceServer::metricsResult() const
+{
+    double uptime;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        uptime = std::chrono::duration<double>(Clock::now() - startTime_)
+                     .count();
+    }
+    json::Value doc = json::Value::object();
+    doc["process"] = obs::processInfoJson(uptime, ::getpid());
+    doc["engine"] = engines_->aggregateStats().toJson();
+    json::Value families = metricsSnapshot().toJson();
+    doc["families"] = std::move(families["families"]);
+    return doc;
+}
+
+std::string
+ServiceServer::metricsText() const
+{
+    return metricsSnapshot().prometheusText();
+}
+
 void
 ServiceServer::respond(PendingRequest &pending, std::string line,
                        bool ok, bool recordLatency)
@@ -387,6 +463,10 @@ ServiceServer::respond(PendingRequest &pending, std::string line,
             std::chrono::duration<double> dt =
                 Clock::now() - pending.arrival;
             stats_.latency.record(dt.count());
+            stats_
+                .methodShardLatency[{pending.request.method,
+                                     pending.shard}]
+                .record(dt.count());
         }
     }
     pending.done(std::move(line));
@@ -418,6 +498,11 @@ ServiceServer::executorLoop(std::size_t shard_index)
             std::chrono::duration<double, std::milli>(Clock::now() -
                                                       pending.arrival)
                 .count();
+        if (pending.trace)
+            // Admission -> dequeue wait (start 0 = admission; the
+            // worker.admission span's tail overlaps its head).
+            pending.trace->addSpan({"shard.queue", "worker.admission", 0,
+                                    pending.trace->sinceStartUs(), 1});
 
         if (draining) {
             {
@@ -475,30 +560,48 @@ ServiceServer::executorLoop(std::size_t shard_index)
             continue; // Next iteration drains the queue, then exits.
         }
 
-        std::string line;
         bool ok = false;
-        try {
-            json::Value result;
-            if (req.method == "hello")
-                result = helloResult();
-            else if (req.method == "stats")
-                result = statsResult(req.schemaVersion);
-            else
-                result = shard.router.dispatch(req);
-            line = makeResultLine(req.id, std::move(result),
-                                  req.schemaVersion, &route);
-            ok = true;
-        } catch (const ServiceError &e) {
-            line = makeErrorLine(req.id, e.code(), e.what(),
-                                 req.schemaVersion, &route);
-        } catch (const std::exception &e) {
-            line = makeErrorLine(req.id, ServiceErrorCode::Internal,
-                                 e.what(), req.schemaVersion, &route);
-        } catch (...) {
-            line = makeErrorLine(req.id, ServiceErrorCode::Internal,
-                                 "unknown failure", req.schemaVersion,
-                                 &route);
+        json::Value result;
+        ServiceErrorCode errorCode = ServiceErrorCode::Internal;
+        std::string errorMessage;
+        {
+            // The recorder parks in TLS for the dispatch so deep
+            // stages (engine drain, store lookup, optimizer) can
+            // attribute spans; the execute StageTimer feeds both the
+            // stage histogram and the trace.
+            obs::TraceScope scope(pending.trace.get());
+            obs::StageTimer execute("worker.execute",
+                                    "worker.admission");
+            try {
+                if (req.method == "hello")
+                    result = helloResult();
+                else if (req.method == "stats")
+                    result = statsResult(req.schemaVersion);
+                else
+                    result = shard.router.dispatch(req);
+                ok = true;
+            } catch (const ServiceError &e) {
+                errorCode = e.code();
+                errorMessage = e.what();
+            } catch (const std::exception &e) {
+                errorMessage = e.what();
+            } catch (...) {
+                errorMessage = "unknown failure";
+            }
         }
+        json::Value traceDoc;
+        const json::Value *trace_ptr = nullptr;
+        if (pending.trace) {
+            pending.trace->finish();
+            traces_.add(*pending.trace);
+            traceDoc = pending.trace->toJson();
+            trace_ptr = &traceDoc;
+        }
+        std::string line =
+            ok ? makeResultLine(req.id, std::move(result),
+                                req.schemaVersion, &route, trace_ptr)
+               : makeErrorLine(req.id, errorCode, errorMessage,
+                               req.schemaVersion, &route, trace_ptr);
         respond(pending, std::move(line), ok, true);
         lock.lock();
     }

@@ -78,7 +78,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "engine/engine_shard_set.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/fault_injection.hpp"
 #include "service/router.hpp"
 
@@ -86,35 +89,12 @@ namespace redqaoa {
 namespace service {
 
 /**
- * Log-bucketed latency histogram: fixed memory, cumulative, quantiles
- * by bucket interpolation (buckets are sqrt(2)-spaced from 1 us, so a
- * reported quantile is within ~20% of the true value — plenty for a
- * p99 signal).
+ * The log-bucket latency histogram now lives in src/common/stats (one
+ * implementation behind the server's traffic counters, the per-stage
+ * profiler, the metrics plane, and the bench figures); the service
+ * name survives for its existing call sites.
  */
-class LatencyHistogram
-{
-  public:
-    void record(double seconds);
-
-    std::uint64_t count() const { return count_; }
-    double meanMs() const
-    {
-        return count_ == 0 ? 0.0
-                           : 1e3 * sumSeconds_ /
-                                 static_cast<double>(count_);
-    }
-    double maxMs() const { return 1e3 * maxSeconds_; }
-
-    /** Upper edge of the bucket holding quantile @p q (ms). */
-    double percentileMs(double q) const;
-
-  private:
-    static constexpr int kBuckets = 80; //!< 1 us .. ~1.8e6 s.
-    std::array<std::uint64_t, kBuckets> buckets_{};
-    std::uint64_t count_ = 0;
-    double sumSeconds_ = 0.0;
-    double maxSeconds_ = 0.0;
-};
+using LatencyHistogram = stats::LatencyHistogram;
 
 /** Snapshot of the server's cumulative traffic counters. */
 struct ServerStats
@@ -131,6 +111,10 @@ struct ServerStats
     std::uint64_t shedShutdown = 0;     //!< Answered shutting_down.
     std::map<std::string, std::uint64_t> methodCounts; //!< Executed.
     LatencyHistogram latency; //!< Admission -> response, executed only.
+    /** Same latency split per (method, shard) — the metrics plane
+     *  exposes these as labelled redqaoa_request_latency samples. */
+    std::map<std::pair<std::string, int>, LatencyHistogram>
+        methodShardLatency;
 
     /**
      * {"received", "admitted", "dequeued", "served", "ok", "errors",
@@ -260,6 +244,22 @@ class ServiceServer : public LineService
      */
     json::Value healthResult() const;
 
+    /**
+     * The `metrics` result (answered inline, like health):
+     * {"process": {uptime_seconds, pid} — the SAME block health
+     * embeds, "engine": aggregate EngineStats::toJson — the SAME
+     * document health embeds, "families": Prometheus-shaped samples}.
+     * One serialization path with health so the key sets cannot
+     * drift.
+     */
+    json::Value metricsResult() const;
+
+    /** Prometheus text exposition (the --metrics-port payload). */
+    std::string metricsText() const;
+
+    /** The `slowlog` result: worst traces captured by this process. */
+    json::Value slowlogResult() const { return traces_.slowlogJson(); }
+
   private:
     using Clock = std::chrono::steady_clock;
 
@@ -271,6 +271,9 @@ class ServiceServer : public LineService
         Clock::time_point deadline;  //!< Valid when hasDeadline.
         bool hasDeadline = false;
         int shard = 0;
+        /** Non-null for traced requests: created at admission, handed
+         *  through the queue with the request, finished at respond. */
+        std::shared_ptr<obs::TraceRecorder> trace;
     };
 
     /** One engine shard: its router, queue, and executor thread. */
@@ -294,6 +297,8 @@ class ServiceServer : public LineService
     int routeShard(const Request &req) const;
     /** The `stats` result: engine aggregate (+ shards in v2) + server. */
     json::Value statsResult(int schema_version) const;
+    /** Everything the metrics plane exposes, as one snapshot. */
+    obs::MetricsSnapshot metricsSnapshot() const;
 
     ServerOptions opts_;
     std::shared_ptr<EngineShardSet> engines_;
@@ -307,6 +312,7 @@ class ServiceServer : public LineService
     std::uint64_t completedAdmitted_ = 0;
     Clock::time_point startTime_ = Clock::now();
     bool stopping_ = false;
+    obs::TraceRing traces_; //!< Completed traces + slowlog (own lock).
 };
 
 /**

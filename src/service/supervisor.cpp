@@ -16,6 +16,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "obs/log.hpp"
+
 extern char **environ;
 
 namespace redqaoa {
@@ -174,10 +176,9 @@ WorkerSupervisor::spawnLocked(std::unique_lock<std::mutex> &lock,
         port = 0;
         int status = 0;
         if (::waitpid(pid, &status, WNOHANG) == pid) {
-            std::fprintf(stderr,
-                         "redqaoa_lb: worker %zu died during startup"
-                         " (%s)\n",
-                         index, describeExit(status).c_str());
+            obs::logError("redqaoa_lb", "worker died during startup")
+                .field("worker", index)
+                .field("exit", describeExit(status));
             lock.lock();
             w.pid = -1;
             return false;
@@ -195,11 +196,12 @@ WorkerSupervisor::spawnLocked(std::unique_lock<std::mutex> &lock,
     w.port = port;
     w.up = true;
     w.backoffMs = 0.0;
-    std::fprintf(stderr,
-                 "redqaoa_lb: worker %zu up (pid %d, port %d,"
-                 " generation %llu)\n",
-                 index, static_cast<int>(pid), port,
-                 static_cast<unsigned long long>(w.generation));
+    obs::logInfo("redqaoa_lb", "worker up")
+        .field("worker", index)
+        .field("pid", static_cast<int>(pid))
+        .field("port", port)
+        .field("generation",
+               static_cast<unsigned long long>(w.generation));
     return true;
 }
 
@@ -254,10 +256,8 @@ WorkerSupervisor::markDownLocked(Worker &w, int exit_status)
     ++totalRestarts_;
     if (w.restarts > opts_.maxRestarts) {
         w.failed = true;
-        std::fprintf(stderr,
-                     "redqaoa_lb: worker lane permanently failed after"
-                     " %d restarts\n",
-                     w.restarts - 1);
+        obs::logError("redqaoa_lb", "worker lane permanently failed")
+            .field("restarts", w.restarts - 1);
         return;
     }
     w.backoffMs = w.backoffMs <= 0.0
@@ -300,11 +300,9 @@ WorkerSupervisor::monitorLoop()
                 int status = 0;
                 pid_t r = ::waitpid(w.pid, &status, WNOHANG);
                 if (r == w.pid) {
-                    std::fprintf(
-                        stderr,
-                        "redqaoa_lb: worker %zu died (%s);"
-                        " restarting\n",
-                        i, describeExit(status).c_str());
+                    obs::logWarn("redqaoa_lb", "worker died; restarting")
+                        .field("worker", i)
+                        .field("exit", describeExit(status));
                     markDownLocked(w, status);
                     continue;
                 }
@@ -331,10 +329,9 @@ WorkerSupervisor::monitorLoop()
                     continue;
                 // Wedged (or a fleet-reported failure confirmed by a
                 // failing probe): kill and reap, then restart.
-                std::fprintf(stderr,
-                             "redqaoa_lb: worker %zu unresponsive"
-                             " (%d missed probes); killing\n",
-                             i, w.misses);
+                obs::logWarn("redqaoa_lb", "worker unresponsive; killing")
+                    .field("worker", i)
+                    .field("missed_probes", w.misses);
                 ::kill(w.pid, SIGKILL);
                 int kill_status = 0;
                 ::waitpid(w.pid, &kill_status, 0);
@@ -518,6 +515,8 @@ WorkerFleetService::helloDoc() const
     std::vector<std::string> methods = ServiceRouter::methodNames();
     methods.push_back("hello");
     methods.push_back("health");
+    methods.push_back("metrics");
+    methods.push_back("slowlog");
     methods.push_back("shutdown");
     std::sort(methods.begin(), methods.end());
     json::Value names = json::Value::array();
@@ -534,9 +533,13 @@ WorkerFleetService::healthResult() const
     json::Value doc = json::Value::object();
     doc["status"] = stopping_ ? "stopping" : "ok";
     doc["role"] = "lb";
-    doc["uptime_seconds"] =
-        std::chrono::duration<double>(Clock::now() - startTime_).count();
-    doc["pid"] = static_cast<std::size_t>(::getpid());
+    // Same builder as the metrics result, so the key sets cannot
+    // drift (see ServiceServer::healthResult).
+    json::Value process = obs::processInfoJson(
+        std::chrono::duration<double>(Clock::now() - startTime_).count(),
+        ::getpid());
+    for (const auto &[key, value] : process.asObject())
+        doc[key] = value;
     doc["workers"] = workers_.statusJson();
     // Fleet-summed engine counters (same single-shape document the
     // workers emit), so the lb surfaces the warm-start store traffic.
@@ -553,6 +556,106 @@ WorkerFleetService::healthResult() const
     if (faults_ != nullptr)
         doc["faults"] = faults_->statsJson();
     return doc;
+}
+
+obs::MetricsSnapshot
+WorkerFleetService::metricsSnapshot() const
+{
+    obs::MetricsSnapshot snapshot;
+    double uptime = 0.0;
+    std::uint64_t received = 0;
+    std::uint64_t served = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t replays = 0;
+    std::uint64_t worker_failures = 0;
+    std::uint64_t in_flight = 0;
+    std::vector<std::size_t> depths;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        uptime = std::chrono::duration<double>(Clock::now() - startTime_)
+                     .count();
+        received = received_;
+        served = served_;
+        forwarded = forwarded_;
+        replays = replays_;
+        worker_failures = workerFailures_;
+        in_flight = inFlight_;
+        depths.reserve(lanes_.size());
+        for (const auto &lane : lanes_)
+            depths.push_back(lane->queue.size());
+    }
+    obs::addProcessMetrics(snapshot, uptime, ::getpid());
+
+    auto u64 = [](std::uint64_t v) { return static_cast<double>(v); };
+    snapshot.counter("redqaoa_lb_requests_received_total",
+                     "Request lines handed to lb admission.",
+                     u64(received));
+    snapshot.counter("redqaoa_lb_responses_total",
+                     "Responses the lb produced (answered or relayed).",
+                     u64(served));
+    snapshot.counter("redqaoa_lb_forwards_total",
+                     "Request lines written to worker connections.",
+                     u64(forwarded));
+    snapshot.counter("redqaoa_lb_replays_total",
+                     "Forwards repeated after a mid-request worker loss.",
+                     u64(replays));
+    snapshot.counter(
+        "redqaoa_lb_worker_failures_total",
+        "Requests answered with worker_failed after exhausting replays.",
+        u64(worker_failures));
+    snapshot.gauge("redqaoa_in_flight",
+                   "Admitted requests not yet answered.", u64(in_flight));
+    for (std::size_t i = 0; i < depths.size(); ++i)
+        snapshot.gauge("redqaoa_queue_depth",
+                       "Forward queue depth per worker lane.",
+                       static_cast<double>(depths[i]),
+                       {{"lane", std::to_string(i)}});
+    const json::Value workers = workers_.statusJson();
+    double restarts = 0.0;
+    for (std::size_t i = 0; i < workers.asArray().size(); ++i) {
+        const json::Value &w = workers.asArray()[i];
+        const json::Value *state = w.find("state");
+        const bool up = state != nullptr && state->isString() &&
+                        state->asString() == "up";
+        snapshot.gauge("redqaoa_lb_worker_up",
+                       "1 when the worker lane is up, 0 otherwise.",
+                       up ? 1.0 : 0.0, {{"lane", std::to_string(i)}});
+        if (const json::Value *r = w.find("restarts");
+            r != nullptr && r->isNumber())
+            restarts += r->asNumber();
+    }
+    snapshot.counter("redqaoa_lb_worker_restarts_total",
+                     "Worker processes restarted by the supervisor.",
+                     restarts);
+
+    // Fleet-summed engine counters: the same families each worker
+    // exposes itself, aggregated from the health probes.
+    obs::addEngineStatsMetrics(snapshot, workers_.engineStats());
+    obs::addProfilerMetrics(snapshot);
+    return snapshot;
+}
+
+json::Value
+WorkerFleetService::metricsResult() const
+{
+    double uptime;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        uptime = std::chrono::duration<double>(Clock::now() - startTime_)
+                     .count();
+    }
+    json::Value doc = json::Value::object();
+    doc["process"] = obs::processInfoJson(uptime, ::getpid());
+    doc["engine"] = workers_.engineStats().toJson();
+    json::Value families = metricsSnapshot().toJson();
+    doc["families"] = std::move(families["families"]);
+    return doc;
+}
+
+std::string
+WorkerFleetService::metricsText() const
+{
+    return metricsSnapshot().prometheusText();
 }
 
 void
@@ -572,17 +675,21 @@ WorkerFleetService::submitLine(std::string line, ResponseCallback done)
     }
 
     const RouteInfo route{0, 0.0};
-    // The lb answers the control plane itself: hello/health describe
-    // the lb, shutdown stops the lb (its workers are its own
-    // business), and only data-plane methods cross to the fleet.
-    if (req.method == "health" || req.method == "hello") {
+    // The lb answers the control plane itself: hello/health/metrics/
+    // slowlog describe the lb, shutdown stops the lb (its workers are
+    // its own business), and only data-plane methods cross the fleet.
+    if (req.method == "health" || req.method == "hello" ||
+        req.method == "metrics" || req.method == "slowlog") {
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++received_;
             ++served_;
         }
-        json::Value result =
-            req.method == "health" ? healthResult() : helloDoc();
+        json::Value result = req.method == "health"  ? healthResult()
+                             : req.method == "hello" ? helloDoc()
+                             : req.method == "metrics"
+                                 ? metricsResult()
+                                 : slowlogResult();
         done(makeResultLine(req.id, std::move(result),
                             req.schemaVersion, &route));
         return;
@@ -618,6 +725,20 @@ WorkerFleetService::submitLine(std::string line, ResponseCallback done)
     pending.schemaVersion = req.schemaVersion;
     pending.line = std::move(line);
     pending.done = std::move(done);
+    if (req.trace) {
+        // Traced request: the lb recorder starts at admission. When
+        // the client sent `trace: true` without an id, mint one here
+        // and rewrite the forwarded line so the worker joins the SAME
+        // trace instead of minting its own.
+        const std::string trace_id =
+            req.traceId.empty() ? obs::mintTraceId() : req.traceId;
+        pending.trace = std::make_shared<obs::TraceRecorder>(trace_id);
+        if (req.traceId.empty()) {
+            json::Value doc = json::Value::parse(pending.line);
+            doc["trace"] = trace_id;
+            pending.line = doc.dump();
+        }
+    }
 
     std::uint64_t hash = 0;
     const std::size_t lane_index =
@@ -784,6 +905,8 @@ WorkerFleetService::forwardWithFailover(std::size_t index, Pending &p)
             if (attempts > 1)
                 ++replays_;
         }
+        const std::int64_t forward_start =
+            p.trace ? p.trace->sinceStartUs() : 0;
         std::string response;
         const bool sent = detail::writeLine(lane.fd, p.line);
         const bool got =
@@ -812,6 +935,30 @@ WorkerFleetService::forwardWithFailover(std::size_t index, Pending &p)
             workers_.reportFailure(index, generation);
             dropConnection(lane);
             continue;
+        }
+        if (p.trace) {
+            // The successful forward becomes the lb.forward span, the
+            // worker's echoed trace is folded in under it (offsets
+            // shifted onto the lb clock), and the response's trace
+            // member is replaced with the merged document. Untraced
+            // responses never reach this branch and are relayed
+            // verbatim, preserving the bit-identity contract.
+            p.trace->addSpan({"lb.forward", "", forward_start,
+                              p.trace->sinceStartUs() - forward_start,
+                              1});
+            try {
+                json::Value doc = json::Value::parse(response);
+                if (const json::Value *worker_trace = doc.find("trace"))
+                    obs::mergeWorkerTrace(*p.trace, *worker_trace,
+                                          forward_start);
+                p.trace->finish();
+                traces_.add(*p.trace);
+                doc["trace"] = p.trace->toJson();
+                response = doc.dump();
+            } catch (...) {
+                // Tracing is best-effort: a response we cannot
+                // re-render still reaches the client untouched.
+            }
         }
         answer(std::move(response));
         return;
@@ -848,6 +995,12 @@ WorkerFleetService::forwarderLoop(std::size_t index)
                 "load balancer is shutting down",
                 pending.schemaVersion, &route));
         } else {
+            if (pending.trace)
+                // Time from lb admission to a forwarder picking the
+                // request off its lane queue.
+                pending.trace->addSpan(
+                    {"lb.queue", "", 0,
+                     pending.trace->sinceStartUs(), 1});
             forwardWithFailover(index, pending);
         }
         lock.lock();

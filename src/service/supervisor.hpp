@@ -299,18 +299,37 @@ class WorkerFleetService : public LineService
      */
     json::Value healthResult() const;
 
+    /**
+     * The lb `metrics` result: same envelope the worker's metrics
+     * method returns ({"process", "engine", "families"}) with the
+     * engine block fleet-summed and redqaoa_lb_* families for the
+     * lb's own counters and lane states.
+     */
+    json::Value metricsResult() const;
+
+    /** Prometheus text exposition (the lb's --metrics-port payload). */
+    std::string metricsText() const;
+
+    /** The lb `slowlog` result (traces as merged at the lb). */
+    json::Value slowlogResult() const { return traces_.slowlogJson(); }
+
   private:
     using Clock = std::chrono::steady_clock;
 
     struct Pending
     {
-        std::string line;   //!< Raw request line, forwarded verbatim.
+        std::string line;   //!< Raw request line, forwarded verbatim
+                            //!< (rewritten once when the lb mints a
+                            //!< trace id to propagate).
         json::Value id;     //!< For typed error answers from the lb.
         int schemaVersion = kSchemaVersion;
         ResponseCallback done;
         Clock::time_point arrival;
         Clock::time_point deadline{}; //!< Valid when hasDeadline.
         bool hasDeadline = false;
+        /** Non-null for traced requests: lb spans + the worker's
+         *  echoed spans merge here before the response relays. */
+        std::shared_ptr<obs::TraceRecorder> trace;
     };
 
     /** One worker lane: its queue, forwarder, and cached connection. */
@@ -335,6 +354,7 @@ class WorkerFleetService : public LineService
                               std::uint64_t &generation_out);
     void dropConnection(Lane &lane);
     json::Value helloDoc() const;
+    obs::MetricsSnapshot metricsSnapshot() const;
 
     WorkerDirectory &workers_;
     FleetOptions opts_;
@@ -353,6 +373,7 @@ class WorkerFleetService : public LineService
     std::uint64_t workerFailures_ = 0; //!< worker_failed answers.
     std::uint64_t inFlight_ = 0;
     Clock::time_point startTime_ = Clock::now();
+    obs::TraceRing traces_; //!< Merged traces + slowlog (own lock).
 };
 
 } // namespace service

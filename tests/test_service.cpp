@@ -36,6 +36,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -1732,6 +1733,258 @@ TEST(ServiceFleet, DeadlinedRequestsExpireWhileWaitingOutARestart)
     // answer deadline_exceeded instead of holding the request.
     EXPECT_EQ(errorCodeOf(submitTo(fleet, doc.dump()).get()),
               ServiceErrorCode::DeadlineExceeded);
+    fleet.stop();
+}
+
+// ---------------------------------------------------------------------
+// Observability: request tracing + metrics plane
+// ---------------------------------------------------------------------
+
+std::string
+optimizeRequest(int id, const Graph &g, int schema_version,
+                const json::Value &trace = json::Value())
+{
+    json::Value doc = json::Value::object();
+    doc["id"] = id;
+    doc["method"] = "optimize";
+    doc["schema_version"] = schema_version;
+    if (!trace.isNull())
+        doc["trace"] = trace;
+    json::Value params = json::Value::object();
+    params["graph"] = service::graphToJson(g);
+    params["restarts"] = 2;
+    params["max_evaluations"] = 20;
+    params["seed"] = 4;
+    doc["params"] = std::move(params);
+    return doc.dump();
+}
+
+std::map<std::string, std::string>
+spanParents(const json::Value &trace)
+{
+    std::map<std::string, std::string> out;
+    for (const json::Value &span : trace.find("spans")->asArray())
+        out[span.find("name")->asString()] =
+            span.find("parent")->asString();
+    return out;
+}
+
+TEST(ServiceTracing, TraceRequiresSchemaV2)
+{
+    ServiceServer server;
+    json::Value doc = json::Value::parse(
+        optimizeRequest(1, smallGraph(), 1));
+    doc["trace"] = true;
+    EXPECT_EQ(errorCodeOf(server.handleLine(doc.dump())),
+              ServiceErrorCode::InvalidRequest);
+}
+
+TEST(ServiceTracing, WorkerTraceCoversTheExecutionStages)
+{
+    Graph g = smallGraph(101);
+    ServiceServer server;
+    const std::string untraced =
+        server.handleLine(optimizeRequest(1, g, 2));
+    EXPECT_EQ(untraced.find("\"trace\""), std::string::npos);
+
+    const std::string traced = server.handleLine(
+        optimizeRequest(1, g, 2, json::Value("my-trace-id")));
+    json::Value doc = json::Value::parse(traced);
+    const json::Value *trace = doc.find("trace");
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(trace->find("id")->asString(), "my-trace-id");
+    EXPECT_GT(trace->find("total_us")->asNumber(), 0.0);
+
+    auto parents = spanParents(*trace);
+    ASSERT_TRUE(parents.count("worker.admission"));
+    ASSERT_TRUE(parents.count("shard.queue"));
+    ASSERT_TRUE(parents.count("worker.execute"));
+    ASSERT_TRUE(parents.count("store.lookup"));
+    ASSERT_TRUE(parents.count("backend.evaluate"));
+    ASSERT_TRUE(parents.count("optimize.restarts"));
+    EXPECT_EQ(parents["worker.admission"], "");
+    EXPECT_EQ(parents["shard.queue"], "worker.admission");
+    EXPECT_EQ(parents["worker.execute"], "worker.admission");
+    EXPECT_EQ(parents["backend.evaluate"], "worker.execute");
+
+    // Tracing must never perturb the computation: the result member
+    // is byte-identical with tracing on and off.
+    EXPECT_EQ(resultOf(traced).dump(), resultOf(untraced).dump());
+
+    // A bare `trace: true` mints an id.
+    json::Value minted = json::Value::parse(server.handleLine(
+        optimizeRequest(1, g, 2, json::Value(true))));
+    EXPECT_FALSE(minted.find("trace")->find("id")->asString().empty());
+}
+
+TEST(ServiceTracing, SlowlogRetainsTracedRequests)
+{
+    ServiceServer server;
+    server.handleLine(
+        optimizeRequest(1, smallGraph(103), 2, json::Value("slow-1")));
+    json::Value slowlog = resultOf(server.handleLine(
+        R"({"id": 2, "method": "slowlog", "schema_version": 2})"));
+    EXPECT_EQ(slowlog.find("captured")->asNumber(), 1.0);
+    const auto &entries = slowlog.find("slowlog")->asArray();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].find("id")->asString(), "slow-1");
+}
+
+TEST(ServiceTracing, FleetTraceCoversEveryHop)
+{
+    Graph g = smallGraph(105);
+    const std::string direct =
+        ServiceServer().handleLine(optimizeRequest(1, g, 2));
+
+    TestWorkerDirectory workers(2);
+    service::WorkerFleetService fleet(workers);
+    const std::string traced =
+        submitTo(fleet, optimizeRequest(1, g, 2, json::Value(true)))
+            .get();
+    json::Value doc = json::Value::parse(traced);
+    const json::Value *trace = doc.find("trace");
+    ASSERT_NE(trace, nullptr);
+    EXPECT_FALSE(trace->find("id")->asString().empty());
+
+    // The acceptance contract: spans cover lb queue -> lane forward
+    // -> worker admission -> shard queue -> backend evaluate.
+    auto parents = spanParents(*trace);
+    ASSERT_TRUE(parents.count("lb.queue"));
+    ASSERT_TRUE(parents.count("lb.forward"));
+    ASSERT_TRUE(parents.count("worker.admission"));
+    ASSERT_TRUE(parents.count("shard.queue"));
+    ASSERT_TRUE(parents.count("backend.evaluate"));
+    EXPECT_EQ(parents["lb.queue"], "");
+    EXPECT_EQ(parents["lb.forward"], "");
+    // The worker's root is re-parented under the lb's forward span.
+    EXPECT_EQ(parents["worker.admission"], "lb.forward");
+    EXPECT_EQ(parents["shard.queue"], "worker.admission");
+    EXPECT_EQ(parents["backend.evaluate"], "worker.execute");
+
+    // The lb propagates ONE id: the worker joined the lb's trace
+    // instead of minting its own, and the result payload matches an
+    // untraced direct execution byte for byte.
+    EXPECT_EQ(resultOf(traced).dump(), resultOf(direct).dump());
+
+    // Untraced requests keep the verbatim relay (no trace member,
+    // result still byte-identical).
+    const std::string untraced =
+        submitTo(fleet, optimizeRequest(1, g, 2)).get();
+    EXPECT_EQ(untraced.find("\"trace\""), std::string::npos);
+    EXPECT_EQ(resultOf(untraced).dump(), resultOf(direct).dump());
+
+    json::Value slowlog = resultOf(submitTo(
+        fleet,
+        R"({"id": 9, "method": "slowlog", "schema_version": 2})")
+                                       .get());
+    EXPECT_EQ(slowlog.find("captured")->asNumber(), 1.0);
+    fleet.stop();
+}
+
+std::set<std::string>
+objectKeys(const json::Value &doc)
+{
+    std::set<std::string> keys;
+    for (const auto &[key, value] : doc.asObject())
+        keys.insert(key);
+    return keys;
+}
+
+TEST(ServiceMetrics, WorkerMetricsAndHealthShareOneSerialization)
+{
+    ServiceServer server;
+    server.handleLine(optimizeRequest(1, smallGraph(107), 2));
+
+    json::Value health = resultOf(
+        server.handleLine(R"({"id": 2, "method": "health"})"));
+    json::Value metrics = resultOf(
+        server.handleLine(R"({"id": 3, "method": "metrics"})"));
+
+    // Satellite contract: the engine block and the process identity
+    // flow through ONE builder each, so the key sets cannot drift.
+    EXPECT_EQ(objectKeys(*metrics.find("engine")),
+              objectKeys(*health.find("engine")));
+    for (const std::string &key : objectKeys(*metrics.find("process")))
+        EXPECT_TRUE(objectKeys(health).count(key))
+            << "metrics.process key missing from health: " << key;
+
+    std::set<std::string> families;
+    for (const json::Value &family : metrics.find("families")->asArray())
+        families.insert(family.find("name")->asString());
+    const char *required[] = {
+        "redqaoa_uptime_seconds",
+        "redqaoa_requests_received_total",
+        "redqaoa_requests_admitted_total",
+        "redqaoa_responses_total",
+        "redqaoa_requests_rejected_total",
+        "redqaoa_requests_by_method_total",
+        "redqaoa_in_flight",
+        "redqaoa_queue_depth",
+        "redqaoa_request_latency_seconds",
+        "redqaoa_engine_jobs_total",
+        "redqaoa_store_events_total",
+    };
+    for (const char *name : required)
+        EXPECT_TRUE(families.count(name)) << "missing family: " << name;
+
+    // hello advertises the new control-plane methods.
+    json::Value hello = resultOf(
+        server.handleLine(R"({"id": 4, "method": "hello"})"));
+    std::set<std::string> methods;
+    for (const json::Value &m : hello.find("methods")->asArray())
+        methods.insert(m.asString());
+    EXPECT_TRUE(methods.count("metrics"));
+    EXPECT_TRUE(methods.count("slowlog"));
+
+    // The Prometheus rendering exposes the same families.
+    const std::string text = server.metricsText();
+    EXPECT_NE(text.find("redqaoa_requests_received_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE redqaoa_request_latency_seconds"
+                        " histogram"),
+              std::string::npos);
+}
+
+TEST(ServiceMetrics, FleetMetricsAggregateTheFleet)
+{
+    Graph g = smallGraph(109);
+    Rng rng(110);
+    TestWorkerDirectory workers(2);
+    service::WorkerFleetService fleet(workers);
+    submitTo(fleet, evaluateRequest(1, g, randomParameterSets(1, 4, rng)))
+        .get();
+
+    json::Value health = fleet.healthResult();
+    json::Value metrics = resultOf(submitTo(
+        fleet, R"({"id": 2, "method": "metrics"})")
+                                       .get());
+    EXPECT_EQ(objectKeys(*metrics.find("engine")),
+              objectKeys(*health.find("engine")));
+    for (const std::string &key : objectKeys(*metrics.find("process")))
+        EXPECT_TRUE(objectKeys(health).count(key))
+            << "metrics.process key missing from health: " << key;
+
+    std::set<std::string> families;
+    for (const json::Value &family : metrics.find("families")->asArray())
+        families.insert(family.find("name")->asString());
+    const char *required[] = {
+        "redqaoa_lb_requests_received_total",
+        "redqaoa_lb_responses_total",
+        "redqaoa_lb_forwards_total",
+        "redqaoa_lb_replays_total",
+        "redqaoa_lb_worker_failures_total",
+        "redqaoa_lb_worker_restarts_total",
+        "redqaoa_lb_worker_up",
+        "redqaoa_queue_depth",
+        "redqaoa_in_flight",
+    };
+    for (const char *name : required)
+        EXPECT_TRUE(families.count(name)) << "missing family: " << name;
+
+    const std::string text = fleet.metricsText();
+    EXPECT_NE(text.find("redqaoa_lb_worker_up{lane=\"0\"} 1"),
+              std::string::npos)
+        << text;
     fleet.stop();
 }
 

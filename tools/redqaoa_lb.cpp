@@ -26,9 +26,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/log.hpp"
+#include "obs/metrics_http.hpp"
 #include "service/supervisor.hpp"
 
 using namespace redqaoa;
@@ -81,7 +84,15 @@ usage(std::FILE *to)
         "  --worker-faults S  --faults spec handed to every worker\n"
         "  --faults S         arm the lb front's own fault plane\n"
         "                     (never inherited by workers; grammar in\n"
-        "                     src/service/fault_injection.hpp)\n");
+        "                     src/service/fault_injection.hpp)\n"
+        "  --metrics-port N   serve Prometheus text exposition over\n"
+        "                     HTTP GET /metrics on 127.0.0.1:N\n"
+        "                     (0 = ephemeral)\n"
+        "  --metrics-port-file P  write the bound metrics port to P\n"
+        "\n"
+        "Logging: REDQAOA_LOG=debug|info|warn|error sets the stderr\n"
+        "level (default info); REDQAOA_LOG_FORMAT=json switches the\n"
+        "line format.\n");
 }
 
 } // namespace
@@ -93,6 +104,9 @@ main(int argc, char **argv)
     service::FleetOptions fleet_opts;
     int port = 0;
     std::string port_file;
+    int metrics_port = -1; // -1 = no metrics endpoint.
+    std::string metrics_port_file;
+    obs::configureLogFromEnv();
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -177,6 +191,15 @@ main(int argc, char **argv)
             sup.storeDir = value("--store-dir");
         } else if (arg == "--worker-arg") {
             sup.workerArgs.push_back(value("--worker-arg"));
+        } else if (arg == "--metrics-port") {
+            metrics_port = static_cast<int>(intValue("--metrics-port"));
+            if (metrics_port < 0 || metrics_port > 65535) {
+                std::fprintf(stderr,
+                             "error: --metrics-port out of range\n");
+                return 2;
+            }
+        } else if (arg == "--metrics-port-file") {
+            metrics_port_file = value("--metrics-port-file");
         } else if (arg == "--worker-faults") {
             sup.workerFaults = value("--worker-faults");
         } else if (arg == "--faults") {
@@ -210,16 +233,20 @@ main(int argc, char **argv)
 
     service::FaultPlane &faults = service::FaultPlane::global();
     if (faults.enabled())
-        std::fprintf(stderr, "redqaoa_lb: FAULT INJECTION ARMED\n");
+        // chaos_smoke.sh greps for this exact event name.
+        obs::logWarn("redqaoa_lb", "FAULT INJECTION ARMED");
 
     try {
         service::WorkerSupervisor supervisor(sup);
         service::WorkerFleetService fleet(supervisor, fleet_opts);
         fleet.attachFaultStats(&faults);
         service::TcpServiceListener listener(fleet, port, &faults);
-        std::fprintf(stderr,
-                     "redqaoa_lb: %zu workers behind 127.0.0.1:%d\n",
-                     supervisor.workerCount(), listener.port());
+        obs::logInfo("redqaoa_lb", "serving")
+            .field("workers",
+                   static_cast<unsigned long long>(
+                       supervisor.workerCount()))
+            .field("address", "127.0.0.1")
+            .field("port", listener.port());
         if (!port_file.empty()) {
             std::ofstream out(port_file);
             out << listener.port() << "\n";
@@ -230,20 +257,40 @@ main(int argc, char **argv)
             }
         }
 
+        std::unique_ptr<obs::MetricsHttpServer> metrics;
+        if (metrics_port >= 0) {
+            metrics = std::make_unique<obs::MetricsHttpServer>(
+                metrics_port, [&fleet] { return fleet.metricsText(); });
+            obs::logInfo("redqaoa_lb", "metrics endpoint up")
+                .field("port", metrics->port());
+            if (!metrics_port_file.empty()) {
+                std::ofstream out(metrics_port_file);
+                out << metrics->port() << "\n";
+                if (!out.good()) {
+                    std::fprintf(stderr, "error: cannot write '%s'\n",
+                                 metrics_port_file.c_str());
+                    return 1;
+                }
+            }
+        }
+
         while (!fleet.waitShutdownFor(0.2)) {
             if (g_signal != 0)
                 break;
         }
         // Ordered teardown: client transport first (flushing in-flight
-        // responses while the fleet still forwards), then the fleet,
-        // then the workers.
+        // responses while the fleet still forwards), then the metrics
+        // endpoint (its render callback walks the fleet), then the
+        // fleet, then the workers.
         listener.stop();
+        metrics.reset();
         fleet.stop();
         supervisor.stop();
-        std::fprintf(stderr,
-                     "redqaoa_lb: clean shutdown (%llu restarts)\n",
-                     static_cast<unsigned long long>(
-                         supervisor.totalRestarts()));
+        // Smoke scripts grep for this exact event name.
+        obs::logInfo("redqaoa_lb", "clean shutdown")
+            .field("restarts",
+                   static_cast<unsigned long long>(
+                       supervisor.totalRestarts()));
     } catch (const std::exception &e) {
         std::fprintf(stderr, "redqaoa_lb: fatal: %s\n", e.what());
         return 1;

@@ -30,9 +30,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/thread_pool.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics_http.hpp"
 #include "service/server.hpp"
 
 using namespace redqaoa;
@@ -77,23 +80,31 @@ usage(std::FILE *to)
         "                     warm, byte-identical answers\n"
         "  --faults SPEC      arm the deterministic fault plane (TCP\n"
         "                     mode; overrides REDQAOA_FAULTS; grammar\n"
-        "                     in src/service/fault_injection.hpp)\n");
+        "                     in src/service/fault_injection.hpp)\n"
+        "  --metrics-port N   serve Prometheus text exposition over\n"
+        "                     HTTP GET /metrics on 127.0.0.1:N\n"
+        "                     (0 = ephemeral)\n"
+        "  --metrics-port-file P  write the bound metrics port to P\n"
+        "\n"
+        "Logging: REDQAOA_LOG=debug|info|warn|error sets the stderr\n"
+        "level (default info); REDQAOA_LOG_FORMAT=json switches the\n"
+        "line format. REDQAOA_PROFILE=off disables stage profiling.\n");
 }
 
 void
 printTraffic(const service::ServerStats &stats)
 {
-    std::fprintf(stderr,
-                 "redqaoa_serve: served %llu responses (%llu ok, %llu"
-                 " errors; %llu overloaded, %llu expired), p50 %.2f ms,"
-                 " p99 %.2f ms\n",
-                 static_cast<unsigned long long>(stats.served),
-                 static_cast<unsigned long long>(stats.okCount),
-                 static_cast<unsigned long long>(stats.errorCount),
-                 static_cast<unsigned long long>(stats.rejectedOverload),
-                 static_cast<unsigned long long>(stats.expiredDeadline),
-                 stats.latency.percentileMs(0.50),
-                 stats.latency.percentileMs(0.99));
+    obs::logInfo("redqaoa_serve", "traffic summary")
+        .field("served", static_cast<unsigned long long>(stats.served))
+        .field("ok", static_cast<unsigned long long>(stats.okCount))
+        .field("errors",
+               static_cast<unsigned long long>(stats.errorCount))
+        .field("overloaded",
+               static_cast<unsigned long long>(stats.rejectedOverload))
+        .field("expired",
+               static_cast<unsigned long long>(stats.expiredDeadline))
+        .field("p50_ms", stats.latency.percentileMs(0.50))
+        .field("p99_ms", stats.latency.percentileMs(0.99));
 }
 
 } // namespace
@@ -105,7 +116,10 @@ main(int argc, char **argv)
     bool stdio_flag = false;
     int port = 0;
     std::string port_file;
+    int metrics_port = -1; // -1 = no metrics endpoint.
+    std::string metrics_port_file;
     service::ServerOptions opts;
+    obs::configureLogFromEnv();
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -184,6 +198,20 @@ main(int argc, char **argv)
                 return 2;
             }
             opts.storeDir = argv[i];
+        } else if (arg == "--metrics-port") {
+            metrics_port = static_cast<int>(intValue("--metrics-port"));
+            if (metrics_port < 0 || metrics_port > 65535) {
+                std::fprintf(stderr,
+                             "error: --metrics-port out of range\n");
+                return 2;
+            }
+        } else if (arg == "--metrics-port-file") {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "error: --metrics-port-file needs a path\n");
+                return 2;
+            }
+            metrics_port_file = argv[i];
         } else if (arg == "--faults") {
             if (++i >= argc) {
                 std::fprintf(stderr, "error: --faults needs a spec\n");
@@ -216,14 +244,41 @@ main(int argc, char **argv)
     std::signal(SIGPIPE, SIG_IGN); // Dropped clients are not fatal.
 
     service::ServiceServer server(opts);
-    std::fprintf(stderr,
-                 "redqaoa_serve: threads=%d queue=%zu shards=%d"
-                 " max-conns=%zu idle-timeout-ms=%.0f store-dir=%s\n",
-                 ThreadPool::globalThreadCount(), opts.queueCapacity,
-                 server.options().shards, opts.maxConnections,
-                 opts.idleTimeoutMs,
-                 opts.storeDir.empty() ? "(none)"
-                                       : opts.storeDir.c_str());
+    // NOTE: the smoke scripts grep the text rendering of this event
+    // for "shards=4"; keep the field name.
+    obs::logInfo("redqaoa_serve", "serving")
+        .field("threads", ThreadPool::globalThreadCount())
+        .field("queue",
+               static_cast<unsigned long long>(opts.queueCapacity))
+        .field("shards", server.options().shards)
+        .field("max_conns",
+               static_cast<unsigned long long>(opts.maxConnections))
+        .field("idle_timeout_ms", opts.idleTimeoutMs)
+        .field("store_dir",
+               opts.storeDir.empty() ? "(none)" : opts.storeDir);
+
+    std::unique_ptr<obs::MetricsHttpServer> metrics;
+    if (metrics_port >= 0) {
+        try {
+            metrics = std::make_unique<obs::MetricsHttpServer>(
+                metrics_port, [&server] { return server.metricsText(); });
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: metrics endpoint: %s\n",
+                         e.what());
+            return 2;
+        }
+        obs::logInfo("redqaoa_serve", "metrics endpoint up")
+            .field("port", metrics->port());
+        if (!metrics_port_file.empty()) {
+            std::ofstream out(metrics_port_file);
+            out << metrics->port() << "\n";
+            if (!out.good()) {
+                std::fprintf(stderr, "error: cannot write '%s'\n",
+                             metrics_port_file.c_str());
+                return 2;
+            }
+        }
+    }
 
     if (!tcp) {
         serveStream(server, std::cin, std::cout);
@@ -234,10 +289,12 @@ main(int argc, char **argv)
 
     service::FaultPlane &faults = service::FaultPlane::global();
     if (faults.enabled())
-        std::fprintf(stderr, "redqaoa_serve: FAULT INJECTION ARMED\n");
+        // chaos_smoke.sh greps for this exact event name.
+        obs::logWarn("redqaoa_serve", "FAULT INJECTION ARMED");
     service::TcpServiceListener listener(server, port, &faults);
-    std::fprintf(stderr, "redqaoa_serve: listening on 127.0.0.1:%d\n",
-                 listener.port());
+    obs::logInfo("redqaoa_serve", "listening")
+        .field("address", "127.0.0.1")
+        .field("port", listener.port());
     if (!port_file.empty()) {
         std::ofstream out(port_file);
         out << listener.port() << "\n";
@@ -260,6 +317,7 @@ main(int argc, char **argv)
     listener.stop();
     server.stop();
     printTraffic(server.stats());
-    std::fprintf(stderr, "redqaoa_serve: clean shutdown\n");
+    // Smoke scripts grep for this exact event name.
+    obs::logInfo("redqaoa_serve", "clean shutdown");
     return 0;
 }

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * redqaoa_top — a terminal dashboard over the service metrics plane.
+ *
+ *   redqaoa_top --port 7777              poll an lb or worker forever
+ *   redqaoa_top --port 7777 --once       one snapshot, then exit
+ *   redqaoa_top --interval-ms 500        refresh cadence
+ *   redqaoa_top --iterations 10          bounded run (0 = forever)
+ *   redqaoa_top --no-clear               append frames (log-friendly)
+ *
+ * Speaks the NDJSON service protocol directly: each frame issues a
+ * `health` and a `metrics` request (schema_version 2) on one TCP
+ * connection and renders the fleet/worker identity, the queue and
+ * traffic gauges, the engine counters, and every metric family the
+ * process exposes. Works identically against redqaoa_serve and
+ * redqaoa_lb since both answer the same control-plane methods with
+ * the same family vocabulary (src/obs/metrics.hpp). Exit codes:
+ * 0 ok, 1 connection failure, 2 usage error.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "service/socket_util.hpp"
+
+using namespace redqaoa;
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: redqaoa_top --port N [--interval-ms N] [--iterations N]\n"
+        "                   [--once] [--no-clear] [--help]\n"
+        "\n"
+        "  --port N         service port of a redqaoa_serve or\n"
+        "                   redqaoa_lb process (required)\n"
+        "  --interval-ms N  refresh interval (default 1000)\n"
+        "  --iterations N   frames before exiting (default 0 = forever)\n"
+        "  --once           shorthand for --iterations 1 --no-clear\n"
+        "  --no-clear       do not clear the screen between frames\n");
+}
+
+/** One request/response exchange; empty string on transport failure. */
+bool
+exchange(int fd, service::detail::FdLineReader &reader,
+         const std::string &method, long id, json::Value &result_out)
+{
+    std::string line = "{\"id\":" + std::to_string(id) +
+                       ",\"method\":\"" + method +
+                       "\",\"schema_version\":2}";
+    std::string response;
+    if (!service::detail::writeLine(fd, line) ||
+        !reader.readLine(response))
+        return false;
+    try {
+        json::Value doc = json::Value::parse(response);
+        const json::Value *result = doc.find("result");
+        if (result == nullptr)
+            return false;
+        result_out = *result;
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+std::string
+formatValue(double v)
+{
+    char buf[64];
+    if (v == static_cast<double>(static_cast<long long>(v)))
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+    else
+        std::snprintf(buf, sizeof buf, "%.3f", v);
+    return buf;
+}
+
+std::string
+sampleLabels(const json::Value &sample)
+{
+    const json::Value *labels = sample.find("labels");
+    if (labels == nullptr || !labels->isObject() ||
+        labels->asObject().empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : labels->asObject()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += key + "=" +
+               (value.isString() ? value.asString() : value.dump());
+    }
+    out += "}";
+    return out;
+}
+
+void
+renderHealth(const json::Value &health, int port)
+{
+    std::string role = "worker";
+    if (const json::Value *r = health.find("role");
+        r != nullptr && r->isString())
+        role = r->asString();
+    std::string status = "?";
+    if (const json::Value *s = health.find("status");
+        s != nullptr && s->isString())
+        status = s->asString();
+    double uptime = 0.0;
+    if (const json::Value *u = health.find("uptime_seconds");
+        u != nullptr && u->isNumber())
+        uptime = u->asNumber();
+    double pid = 0.0;
+    if (const json::Value *p = health.find("pid");
+        p != nullptr && p->isNumber())
+        pid = p->asNumber();
+    std::printf("redqaoa_top — 127.0.0.1:%d  role=%s status=%s"
+                "  up %.1fs  pid %lld\n",
+                port, role.c_str(), status.c_str(), uptime,
+                static_cast<long long>(pid));
+
+    if (const json::Value *workers = health.find("workers");
+        workers != nullptr && workers->isArray()) {
+        std::printf("workers:");
+        const auto &list = workers->asArray();
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            std::string state = "?";
+            double wpid = -1.0;
+            double restarts = 0.0;
+            if (const json::Value *s = list[i].find("state");
+                s != nullptr && s->isString())
+                state = s->asString();
+            if (const json::Value *p = list[i].find("pid");
+                p != nullptr && p->isNumber())
+                wpid = p->asNumber();
+            if (const json::Value *r = list[i].find("restarts");
+                r != nullptr && r->isNumber())
+                restarts = r->asNumber();
+            std::printf("  [%zu] %s pid=%lld restarts=%lld", i,
+                        state.c_str(), static_cast<long long>(wpid),
+                        static_cast<long long>(restarts));
+        }
+        std::printf("\n");
+    }
+    if (const json::Value *depths = health.find("queue_depths");
+        depths != nullptr && depths->isArray()) {
+        std::printf("queues:");
+        const auto &list = depths->asArray();
+        for (std::size_t i = 0; i < list.size(); ++i)
+            std::printf(" [%zu]=%lld", i,
+                        list[i].isNumber()
+                            ? static_cast<long long>(list[i].asNumber())
+                            : -1LL);
+        std::printf("\n");
+    }
+}
+
+void
+renderMetrics(const json::Value &metrics)
+{
+    if (const json::Value *engine = metrics.find("engine");
+        engine != nullptr && engine->isObject()) {
+        std::printf("engine:");
+        for (const auto &[key, value] : engine->asObject())
+            if (value.isNumber())
+                std::printf(" %s=%s", key.c_str(),
+                            formatValue(value.asNumber()).c_str());
+        std::printf("\n");
+    }
+    const json::Value *families = metrics.find("families");
+    if (families == nullptr || !families->isArray())
+        return;
+    std::printf("metrics:\n");
+    for (const json::Value &family : families->asArray()) {
+        const json::Value *name = family.find("name");
+        const json::Value *type = family.find("type");
+        const json::Value *samples = family.find("samples");
+        if (name == nullptr || !name->isString() || type == nullptr ||
+            !type->isString() || samples == nullptr ||
+            !samples->isArray())
+            continue;
+        const bool histogram = type->asString() == "histogram";
+        for (const json::Value &sample : samples->asArray()) {
+            const std::string labels = sampleLabels(sample);
+            if (histogram) {
+                auto num = [&](const char *key) {
+                    const json::Value *v = sample.find(key);
+                    return v != nullptr && v->isNumber() ? v->asNumber()
+                                                         : 0.0;
+                };
+                std::printf(
+                    "  %-44s count=%lld p50=%.2fms p99=%.2fms"
+                    " max=%.2fms\n",
+                    (name->asString() + labels).c_str(),
+                    static_cast<long long>(num("count")), num("p50_ms"),
+                    num("p99_ms"), num("max_ms"));
+            } else if (const json::Value *v = sample.find("value");
+                       v != nullptr && v->isNumber()) {
+                std::printf("  %-44s %s\n",
+                            (name->asString() + labels).c_str(),
+                            formatValue(v->asNumber()).c_str());
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int port = -1;
+    long interval_ms = 1000;
+    long iterations = 0;
+    bool clear = true;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intValue = [&](const char *flag) -> long {
+            if (++i >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n", flag);
+                std::exit(2);
+            }
+            char *end = nullptr;
+            long v = std::strtol(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "error: bad %s value '%s'\n", flag,
+                             argv[i]);
+                std::exit(2);
+            }
+            return v;
+        };
+        if (arg == "--port") {
+            port = static_cast<int>(intValue("--port"));
+            if (port < 1 || port > 65535) {
+                std::fprintf(stderr, "error: --port out of range\n");
+                return 2;
+            }
+        } else if (arg == "--interval-ms") {
+            interval_ms = intValue("--interval-ms");
+            if (interval_ms < 1) {
+                std::fprintf(stderr,
+                             "error: --interval-ms must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--iterations") {
+            iterations = intValue("--iterations");
+            if (iterations < 0) {
+                std::fprintf(stderr,
+                             "error: --iterations must be >= 0\n");
+                return 2;
+            }
+        } else if (arg == "--once") {
+            iterations = 1;
+            clear = false;
+        } else if (arg == "--no-clear") {
+            clear = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "error: unknown argument '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+    if (port < 0) {
+        std::fprintf(stderr, "error: --port is required\n");
+        usage(stderr);
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    service::detail::ignoreSigpipe();
+
+    long id = 0;
+    for (long frame = 0; iterations == 0 || frame < iterations;
+         ++frame) {
+        if (g_signal != 0)
+            break;
+        // One connection per frame: the dashboard survives worker
+        // restarts and lb failovers without holding a stale fd.
+        int fd = service::detail::connectLoopback(port, 2000);
+        if (fd < 0) {
+            std::fprintf(stderr,
+                         "redqaoa_top: cannot connect to 127.0.0.1:%d:"
+                         " %s\n",
+                         port, std::strerror(errno));
+            return 1;
+        }
+        service::detail::FdLineReader reader(fd);
+        json::Value health;
+        json::Value metrics;
+        const bool ok = exchange(fd, reader, "health", ++id, health) &&
+                        exchange(fd, reader, "metrics", ++id, metrics);
+        ::close(fd);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "redqaoa_top: no answer from 127.0.0.1:%d\n",
+                         port);
+            return 1;
+        }
+        if (clear)
+            std::printf("\033[2J\033[H");
+        renderHealth(health, port);
+        renderMetrics(metrics);
+        std::fflush(stdout);
+        if (iterations != 0 && frame + 1 >= iterations)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+    return 0;
+}
